@@ -1,0 +1,122 @@
+// Ablation — latency-prediction design choices (DESIGN.md ablation list):
+//   * Vivaldi dimensionality and the height vector on/off,
+//   * ICS beacon count and variation threshold,
+//   * measurement (probe) budget vs accuracy.
+// Substantiates the §3.2 trade-off quantitatively.
+#include "bench_common.hpp"
+#include "netinfo/ics.hpp"
+#include "netinfo/pinger.hpp"
+#include "netinfo/vivaldi.hpp"
+
+using namespace uap2p;
+using namespace uap2p::netinfo;
+
+namespace {
+
+struct Env {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 5, 0.3);
+  underlay::Network net{engine, topo, 71};
+  std::vector<PeerId> peers = net.populate(120);
+};
+
+Samples vivaldi_errors(Env& env, VivaldiConfig config, unsigned rounds) {
+  VivaldiSystem system(env.peers.size(), config, Rng(5));
+  Rng rng(7);
+  for (unsigned round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < env.peers.size(); ++i) {
+      const std::size_t j = rng.uniform(env.peers.size());
+      if (i == j) continue;
+      system.update(PeerId(std::uint32_t(i)), PeerId(std::uint32_t(j)),
+                    env.net.rtt_ms(env.peers[i], env.peers[j]));
+    }
+  }
+  Rng eval(9);
+  return relative_error_samples(system, eval, 1500, [&](PeerId a, PeerId b) {
+    return env.net.rtt_ms(a, b);
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("bench_ablation_coords",
+                      "ablation: coordinate-system design choices (§3.2)");
+  Env env;
+
+  TablePrinter vivaldi_table(
+      {"dims", "height", "rounds", "median_err", "p90_err"});
+  for (const std::size_t dims : {2u, 3u, 5u}) {
+    for (const bool height : {false, true}) {
+      VivaldiConfig config;
+      config.dimensions = dims;
+      config.use_height = height;
+      const Samples errors = vivaldi_errors(env, config, 48);
+      auto row = vivaldi_table.row();
+      row.cell(std::uint64_t(dims))
+          .cell(height ? "yes" : "no")
+          .cell(std::uint64_t(48))
+          .cell(errors.median(), 3)
+          .cell(errors.percentile(90), 3);
+    }
+  }
+  vivaldi_table.print("Vivaldi: dimensionality x height vector");
+
+  TablePrinter budget_table({"rounds", "median_err"});
+  for (const unsigned rounds : {4u, 8u, 16u, 32u, 64u}) {
+    const Samples errors = vivaldi_errors(env, {}, rounds);
+    auto row = budget_table.row();
+    row.cell(std::uint64_t(rounds)).cell(errors.median(), 3);
+  }
+  budget_table.print("Vivaldi: accuracy vs sampling budget");
+
+  // ICS: beacons x threshold.
+  PingerConfig ping_config;
+  ping_config.jitter_sigma = 0.0;
+  Pinger pinger(env.net, Rng(11), ping_config);
+  TablePrinter ics_table(
+      {"beacons", "threshold", "dims_chosen", "median_err", "p90_err"});
+  for (const std::size_t beacons : {6u, 12u, 24u}) {
+    for (const double threshold : {0.80, 0.95, 0.999}) {
+      Matrix rtts(beacons, beacons);
+      for (std::size_t i = 0; i < beacons; ++i)
+        for (std::size_t j = i + 1; j < beacons; ++j) {
+          const double rtt =
+              pinger.measure_rtt(env.peers[i], env.peers[j]);
+          rtts(i, j) = rtt;
+          rtts(j, i) = rtt;
+        }
+      IcsConfig config;
+      config.variation_threshold = threshold;
+      const IcsModel model = IcsModel::build(rtts, config);
+      std::vector<std::vector<double>> coords(env.peers.size());
+      for (std::size_t h = beacons; h < env.peers.size(); ++h) {
+        std::vector<double> to_beacons(beacons);
+        for (std::size_t b = 0; b < beacons; ++b)
+          to_beacons[b] = pinger.measure_rtt(env.peers[h], env.peers[b]);
+        coords[h] = model.embed(to_beacons);
+      }
+      Samples errors;
+      Rng rng(13);
+      for (int pair = 0; pair < 1500; ++pair) {
+        const std::size_t a =
+            beacons + rng.uniform(env.peers.size() - beacons);
+        const std::size_t b =
+            beacons + rng.uniform(env.peers.size() - beacons);
+        if (a == b) continue;
+        const double truth = env.net.rtt_ms(env.peers[a], env.peers[b]);
+        errors.add(std::abs(IcsModel::estimate_rtt(coords[a], coords[b]) -
+                            truth) /
+                   truth);
+      }
+      auto row = ics_table.row();
+      row.cell(std::uint64_t(beacons))
+          .cell(threshold, 3)
+          .cell(std::uint64_t(model.dimensions()))
+          .cell(errors.median(), 3)
+          .cell(errors.percentile(90), 3);
+    }
+  }
+  ics_table.print("ICS: beacon count x variation threshold");
+  return 0;
+}

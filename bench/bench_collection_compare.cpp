@@ -1,0 +1,185 @@
+// §3 head-to-head — every proximity-collection technique the survey
+// classifies, applied to the same task: rank 60 candidate neighbors for
+// each querier, keep the top 6. Reported per technique: locality quality
+// (intra-AS share and mean RTT of chosen neighbors), what it costs
+// (probes / queries), and who must cooperate (the §5 trust discussion).
+#include "bench_common.hpp"
+#include "netinfo/binning.hpp"
+#include "netinfo/cdn.hpp"
+#include "netinfo/gmeasure.hpp"
+#include "netinfo/p4p.hpp"
+#include "netinfo/vivaldi.hpp"
+
+using namespace uap2p;
+
+int main() {
+  bench::print_header("bench_collection_compare",
+                      "§3 collection techniques on one neighbor-selection task");
+
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 5, 0.3);
+  underlay::Network net(engine, topo, 131);
+  const auto peers = net.populate(180);
+  constexpr std::size_t kKeep = 6;
+
+  struct Outcome {
+    const char* technique;
+    const char* cooperator;
+    double intra_as = 0.0;
+    double mean_rtt = 0.0;
+    std::uint64_t cost_messages = 0;
+  };
+  std::vector<Outcome> outcomes;
+
+  auto evaluate = [&](const char* name, const char* cooperator,
+                      auto&& rank_fn, std::uint64_t cost) {
+    Outcome outcome{name, cooperator};
+    RunningStats rtt;
+    std::size_t intra = 0, total = 0;
+    for (std::size_t i = 0; i < peers.size(); i += 3) {
+      std::vector<PeerId> ranked = rank_fn(peers[i]);
+      for (std::size_t k = 0; k < kKeep && k < ranked.size(); ++k) {
+        rtt.add(net.rtt_ms(peers[i], ranked[k]));
+        ++total;
+        intra += net.host(peers[i]).as == net.host(ranked[k]).as;
+      }
+    }
+    outcome.intra_as = total ? double(intra) / total : 0.0;
+    outcome.mean_rtt = rtt.mean();
+    outcome.cost_messages = cost;
+    outcomes.push_back(outcome);
+  };
+
+  // Baseline: random.
+  {
+    Rng rng(1);
+    evaluate("random (baseline)", "nobody",
+             [&](PeerId self) {
+               std::vector<PeerId> shuffled = peers;
+               std::erase(shuffled, self);
+               for (std::size_t i = shuffled.size(); i > 1; --i)
+                 std::swap(shuffled[i - 1], shuffled[rng.uniform(i)]);
+               return shuffled;
+             },
+             0);
+  }
+  // Oracle ([1]).
+  {
+    netinfo::Oracle oracle(net);
+    evaluate("ISP oracle [1]", "ISP (per-query)",
+             [&](PeerId self) { return oracle.rank(self, peers); },
+             0);
+    outcomes.back().cost_messages = oracle.query_count();
+  }
+  // P4P ([29]).
+  {
+    netinfo::ITracker itracker(net);
+    netinfo::P4pSelector selector(itracker);
+    evaluate("P4P iTracker [29]", "ISP (one-off view)",
+             [&](PeerId self) { return selector.rank(self, peers); },
+             0);
+    outcomes.back().cost_messages = itracker.view_fetches();
+  }
+  // Ono ([5]).
+  {
+    netinfo::CdnConfig cdn_config;
+    cdn_config.replica_count = 12;
+    netinfo::SimulatedCdn cdn(net, cdn_config);
+    netinfo::CdnInference inference(cdn, net.host_count());
+    inference.warm_up(peers);
+    evaluate("Ono / CDN inference [5]", "none (parasitic on CDN)",
+             [&](PeerId self) { return inference.rank(self, peers); },
+             cdn.redirect_count());
+  }
+  // Landmark binning ([26]).
+  {
+    netinfo::BinningSystem binning(
+        net, {peers[0], peers[1], peers[2], peers[3], peers[4], peers[5]});
+    evaluate("landmark binning [26]", "landmark hosts",
+             [&](PeerId self) { return binning.rank(self, peers); },
+             0);
+    outcomes.back().cost_messages = binning.pinger().probes_sent();
+  }
+  // gMeasure ([34]): group-cached explicit measurement.
+  {
+    netinfo::PingerConfig ping_config;
+    ping_config.jitter_sigma = 0.0;
+    netinfo::Pinger pinger(net, Rng(9), ping_config);
+    netinfo::GroupMeasure gm(net, pinger, peers);
+    evaluate("gMeasure groups [34]", "group heads",
+             [&](PeerId self) {
+               struct Scored {
+                 PeerId peer;
+                 double estimate;
+               };
+               std::vector<Scored> scored;
+               for (const PeerId other : peers) {
+                 if (other == self) continue;
+                 const double rtt = gm.estimate_rtt(self, other);
+                 scored.push_back({other, rtt <= 0 ? 1e12 : rtt});
+               }
+               std::stable_sort(scored.begin(), scored.end(),
+                                [](const Scored& a, const Scored& b) {
+                                  return a.estimate < b.estimate;
+                                });
+               std::vector<PeerId> result;
+               for (const Scored& s : scored) result.push_back(s.peer);
+               return result;
+             },
+             0);
+    outcomes.back().cost_messages = pinger.probes_sent();
+  }
+  // Vivaldi ([7]).
+  {
+    netinfo::VivaldiSystem vivaldi(peers.size(), {}, Rng(3));
+    netinfo::Pinger pinger(net, Rng(5), {});
+    Rng rng(7);
+    for (int round = 0; round < 48; ++round) {
+      for (std::size_t i = 0; i < peers.size(); ++i) {
+        const std::size_t j = rng.uniform(peers.size());
+        if (i == j) continue;
+        const double rtt = pinger.measure_rtt(peers[i], peers[j]);
+        if (rtt > 0) vivaldi.update(PeerId(std::uint32_t(i)),
+                                    PeerId(std::uint32_t(j)), rtt);
+      }
+    }
+    evaluate("Vivaldi coordinates [7]", "nobody",
+             [&](PeerId self) {
+               struct Scored {
+                 PeerId peer;
+                 double estimate;
+               };
+               std::vector<Scored> scored;
+               for (const PeerId other : peers) {
+                 if (other == self) continue;
+                 scored.push_back({other, vivaldi.estimate_rtt(self, other)});
+               }
+               std::stable_sort(scored.begin(), scored.end(),
+                                [](const Scored& a, const Scored& b) {
+                                  return a.estimate < b.estimate;
+                                });
+               std::vector<PeerId> result;
+               for (const Scored& s : scored) result.push_back(s.peer);
+               return result;
+             },
+             pinger.probes_sent());
+  }
+
+  TablePrinter table({"technique", "who cooperates", "intra-AS top-6",
+                      "mean RTT (ms)", "collection msgs"});
+  for (const Outcome& outcome : outcomes) {
+    auto row = table.row();
+    row.cell(outcome.technique)
+        .cell(outcome.cooperator)
+        .cell(outcome.intra_as, 3)
+        .cell(outcome.mean_rtt, 1)
+        .cell(outcome.cost_messages);
+  }
+  table.print("collection technique comparison (180 peers, 18 ASes)");
+  std::printf(
+      "\nshape notes (paper §3/§5): ISP-backed methods (oracle, P4P) give\n"
+      "the best locality at near-zero peer-side measurement cost but need\n"
+      "ISP cooperation; Ono approaches them with no cooperation at all;\n"
+      "coordinates/binning trade accuracy for generality.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Shared scaffolding for the reproduction benches. Each bench binary
+// regenerates one table or figure of the paper; this header provides the
+// standard experiment setups so parameters stay consistent across benches.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "netinfo/oracle.hpp"
+#include "overlay/gnutella.hpp"
+#include "sim/engine.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::bench {
+
+/// A fully wired Gnutella experiment: engine + topology + network + oracle
+/// + overlay, mirroring [1]'s testlab (peers AS-round-robin, 1 ultrapeer
+/// per 2 leaves, hostcaches filled with random subsets).
+struct GnutellaLab {
+  sim::Engine engine;
+  underlay::AsTopology topo;
+  std::unique_ptr<underlay::Network> net;
+  std::vector<PeerId> peers;
+  std::unique_ptr<netinfo::Oracle> oracle;
+  std::unique_ptr<overlay::gnutella::GnutellaSystem> system;
+
+  GnutellaLab(underlay::AsTopology topology, std::size_t peer_count,
+              overlay::gnutella::Config config, std::uint64_t seed = 7)
+      : topo(std::move(topology)) {
+    net = std::make_unique<underlay::Network>(engine, topo, seed);
+    peers = net->populate(peer_count);
+    netinfo::OracleConfig oracle_config;
+    oracle_config.max_list_size = config.hostcache_size;
+    oracle = std::make_unique<netinfo::Oracle>(*net, oracle_config);
+    system = std::make_unique<overlay::gnutella::GnutellaSystem>(
+        *net, peers,
+        overlay::gnutella::testlab_roles(peer_count, 2, topo.as_count()),
+        config, oracle.get());
+    system->bootstrap();
+  }
+
+  /// Locality-correlated workload ([25]): every AS has `copies` local
+  /// providers of its own content; `searches_per_as` local peers search
+  /// it. Returns the number of successful searches.
+  std::size_t run_locality_workload(std::size_t copies,
+                                    std::size_t searches_per_as,
+                                    bool download) {
+    const std::size_t as_count = topo.as_count();
+    for (std::size_t as = 0; as < as_count; ++as) {
+      for (std::size_t copy = 0; copy < copies; ++copy) {
+        const std::size_t index = as + as_count * copy;
+        if (index < peers.size()) {
+          system->share(peers[index], ContentId(std::uint32_t(as)));
+        }
+      }
+    }
+    system->ping_cycle();
+    std::size_t successes = 0;
+    for (std::size_t as = 0; as < as_count; ++as) {
+      for (std::size_t s = 0; s < searches_per_as; ++s) {
+        const std::size_t index = as + as_count * (copies + s);
+        if (index >= peers.size()) continue;
+        successes +=
+            system->search(peers[index], ContentId(std::uint32_t(as)), download)
+                .found;
+      }
+    }
+    return successes;
+  }
+
+  /// Replicated random-content workload: `contents` distinct files, each
+  /// shared by `copies` random peers; `searches` random peers each search
+  /// and download one random file. Locality here comes only from the
+  /// overlay/oracle, not from the workload.
+  std::size_t run_replicated_workload(std::size_t contents, std::size_t copies,
+                                      std::size_t searches, bool download,
+                                      std::uint64_t seed = 3) {
+    Rng rng(seed);
+    for (std::uint32_t c = 0; c < contents; ++c) {
+      for (const std::size_t i :
+           rng.sample_without_replacement(peers.size(), copies)) {
+        system->share(peers[i], ContentId(c));
+      }
+    }
+    system->ping_cycle();
+    std::size_t successes = 0;
+    for (std::size_t s = 0; s < searches; ++s) {
+      const PeerId searcher = peers[rng.uniform(peers.size())];
+      const ContentId want(std::uint32_t(rng.uniform(contents)));
+      successes += system->search(searcher, want, download).found;
+    }
+    return successes;
+  }
+};
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace uap2p::bench

@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) for the hot substrate paths:
+// event-loop throughput, Dijkstra/path-cache lookups, LPM trie, Vivaldi
+// updates, ICS model construction, oracle ranking. These guard the
+// simulator's performance envelope rather than reproduce a paper figure.
+#include <benchmark/benchmark.h>
+
+#include "netinfo/ics.hpp"
+#include "netinfo/ipmap.hpp"
+#include "netinfo/oracle.hpp"
+#include "netinfo/p4p.hpp"
+#include "underlay/geo.hpp"
+#include "netinfo/vivaldi.hpp"
+#include "sim/engine.hpp"
+#include "underlay/network.hpp"
+
+using namespace uap2p;
+
+static void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule(double(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+static void BM_RoutingColdDijkstra(benchmark::State& state) {
+  const underlay::AsTopology topo =
+      underlay::AsTopology::transit_stub(3, std::size_t(state.range(0)), 0.3);
+  for (auto _ : state) {
+    underlay::RoutingTable routing(topo);
+    benchmark::DoNotOptimize(
+        routing.path(RouterId(0), RouterId(std::uint32_t(topo.router_count() - 1))));
+  }
+  state.SetLabel(std::to_string(topo.router_count()) + " routers");
+}
+BENCHMARK(BM_RoutingColdDijkstra)->Arg(5)->Arg(20)->Arg(60);
+
+static void BM_RoutingCachedPath(benchmark::State& state) {
+  const underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 20, 0.3);
+  underlay::RoutingTable routing(topo);
+  const auto last = RouterId(std::uint32_t(topo.router_count() - 1));
+  routing.path(RouterId(0), last);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing.path(RouterId(0), last));
+  }
+}
+BENCHMARK(BM_RoutingCachedPath);
+
+static void BM_PrefixTrieLookup(benchmark::State& state) {
+  netinfo::PrefixTrie trie;
+  Rng rng(3);
+  for (int i = 0; i < 4096; ++i) {
+    trie.insert(std::uint32_t(rng()) & 0xFFFFFF00, 24,
+                {AsId(std::uint32_t(i)), {}});
+  }
+  std::uint32_t probe = 1;
+  for (auto _ : state) {
+    probe = probe * 1664525 + 1013904223;
+    benchmark::DoNotOptimize(trie.lookup(IpAddress{probe}));
+  }
+}
+BENCHMARK(BM_PrefixTrieLookup);
+
+static void BM_VivaldiUpdate(benchmark::State& state) {
+  netinfo::VivaldiSystem system(256, {}, Rng(5));
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto a = PeerId(std::uint32_t(rng.uniform(256)));
+    const auto b = PeerId(std::uint32_t(rng.uniform(256)));
+    if (a == b) continue;
+    system.update(a, b, rng.uniform_real(5.0, 200.0));
+  }
+}
+BENCHMARK(BM_VivaldiUpdate);
+
+static void BM_IcsBuild(benchmark::State& state) {
+  const auto beacons = std::size_t(state.range(0));
+  Rng rng(9);
+  netinfo::Matrix d(beacons, beacons);
+  for (std::size_t i = 0; i < beacons; ++i)
+    for (std::size_t j = i + 1; j < beacons; ++j)
+      d(i, j) = d(j, i) = rng.uniform_real(5.0, 300.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netinfo::IcsModel::build(d, {}));
+  }
+}
+BENCHMARK(BM_IcsBuild)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_OracleRank(benchmark::State& state) {
+  sim::Engine engine;
+  const underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 8, 0.3);
+  underlay::Network net(engine, topo, 11);
+  const auto peers = net.populate(std::size_t(state.range(0)));
+  netinfo::Oracle oracle(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.rank(peers[0], peers));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OracleRank)->Arg(100)->Arg(1000);
+
+static void BM_UtmRoundTrip(benchmark::State& state) {
+  underlay::GeoPoint point{49.87, 8.65};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(underlay::from_utm(underlay::to_utm(point)));
+  }
+}
+BENCHMARK(BM_UtmRoundTrip);
+
+static void BM_P4pRank(benchmark::State& state) {
+  sim::Engine engine;
+  const underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 8, 0.3);
+  underlay::Network net(engine, topo, 13);
+  const auto peers = net.populate(std::size_t(state.range(0)));
+  netinfo::ITracker itracker(net);
+  netinfo::P4pSelector selector(itracker);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.rank(peers[0], peers));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_P4pRank)->Arg(100)->Arg(1000);
+
+BENCHMARK_MAIN();

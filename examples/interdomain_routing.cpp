@@ -1,0 +1,78 @@
+// Inter-domain overlay routing — Brocade [36] vs flat DHT routing.
+// The paper's Table 1 lists Brocade under ISP-location awareness: by
+// tunneling wide-area traffic through per-AS supernodes, an overlay
+// message crosses AS boundaries once instead of once per overlay hop.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "netinfo/oracle.hpp"
+#include "overlay/brocade.hpp"
+#include "overlay/kademlia.hpp"
+#include "sim/engine.hpp"
+#include "underlay/network.hpp"
+
+using namespace uap2p;
+
+int main() {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 4, 0.3);
+  underlay::Network net(engine, topo, 505);
+  const auto peers = net.populate(120);
+  std::printf("inter-domain routing: %zu peers over %zu ASes\n", peers.size(),
+              topo.as_count());
+
+  netinfo::Oracle oracle(net);
+  overlay::kademlia::KademliaSystem dht(net, peers, {}, &oracle);
+  dht.join_all();
+  overlay::brocade::BrocadeSystem brocade(net, peers);
+  std::printf("brocade tier: %zu supernodes elected by capacity\n\n",
+              brocade.supernode_count());
+
+  RunningStats flat_crossings, flat_latency;
+  RunningStats brocade_crossings, brocade_latency;
+  Rng rng(7);
+  int routed = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const PeerId src = peers[rng.uniform(peers.size())];
+    PeerId dst = src;
+    while (dst == src || net.host(dst).as == net.host(src).as) {
+      dst = peers[rng.uniform(peers.size())];
+    }
+    // Flat DHT: locate the destination (RPC legs cross ASes), then send.
+    const auto lookup = dht.lookup(src, dht.node_id(dst));
+    flat_crossings.add(lookup.mean_rpc_as_hops * double(lookup.messages_sent) +
+                       double(net.path_between(src, dst).as_hops()));
+    flat_latency.add(lookup.duration_ms +
+                     net.rtt_ms(src, dst) / 2.0);
+    // Brocade: tunnel through the supernode tier.
+    const auto route = brocade.route(src, dst, 1500);
+    if (!route.delivered) continue;
+    ++routed;
+    brocade_crossings.add(double(route.inter_as_crossings));
+    brocade_latency.add(route.latency_ms);
+  }
+  std::printf("flat DHT   : %.1f AS-boundary crossings, %.0f ms per message "
+              "(incl. lookup)\n",
+              flat_crossings.mean(), flat_latency.mean());
+  std::printf("brocade    : %.1f AS-boundary crossings, %.0f ms per message "
+              "(%d/30 delivered)\n",
+              brocade_crossings.mean(), brocade_latency.mean(), routed);
+  std::printf("reduction  : %.1fx fewer inter-domain crossings\n",
+              flat_crossings.mean() /
+                  std::max(1.0, brocade_crossings.mean()));
+
+  // Supernode churn: kill the busiest supernode and repair.
+  const PeerId victim = brocade.supernode_of(net.host(peers[1]).as);
+  net.set_online(victim, false);
+  const auto broken = brocade.route(peers[0], peers[1], 1500);
+  brocade.repair();
+  const auto repaired = brocade.route(peers[0], peers[1], 1500);
+  std::printf("\nsupernode failure: delivered=%s -> repair() -> delivered=%s\n",
+              broken.delivered ? "yes" : "no",
+              repaired.delivered ? "yes" : "no");
+  std::printf(
+      "\ntakeaway: ISP-location awareness at the routing layer confines\n"
+      "wide-area overlay traffic to a single supernode tunnel per message\n"
+      "— the Brocade [36] entry of the paper's Table 1 in action.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// ISP-friendly file sharing — the paper's headline scenario (§1, §2.1):
+// a BitTorrent-style swarm distributing a 16 MB file across 10 local
+// ISPs, first with uniform random neighbor selection, then with the
+// biased neighbor selection of Bindal et al. [3]. The run prints the two
+// things each side of the "P2P vs ISP" conflict cares about: download
+// completion times (users) and the transit bill (ISPs).
+#include <cstdio>
+
+#include "overlay/bittorrent.hpp"
+#include "sim/engine.hpp"
+#include "underlay/cost.hpp"
+#include "underlay/network.hpp"
+
+using namespace uap2p;
+using namespace uap2p::overlay::bittorrent;
+
+namespace {
+
+void run_swarm(NeighborPolicy policy, const char* label) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 5, 0.4);
+  underlay::Network net(engine, topo, 2024);
+  const auto peers = net.populate(150);
+
+  Config config;
+  config.policy = policy;
+  config.piece_count = 64;          // 64 x 256 KiB = 16 MiB
+  config.external_neighbors = 1;    // [3]'s "k internal, few external"
+  BitTorrentSwarm swarm(net, peers, /*initial_seeds=*/3, config);
+  swarm.build_neighborhoods();
+  const std::size_t rounds = swarm.run(4000);
+
+  const auto& stats = swarm.stats();
+  std::printf("\n--- %s ---\n", label);
+  std::printf("swarm finished in %zu rounds; %zu leechers completed\n",
+              rounds, stats.completed);
+  std::printf("completion rounds: median %.0f, p90 %.0f\n",
+              stats.completion_rounds.median(),
+              stats.completion_rounds.percentile(90));
+  std::printf("piece traffic staying inside an ISP: %.1f%%\n",
+              100.0 * stats.intra_as_piece_fraction());
+  std::printf("overlay: %.0f%% intra-AS edges, %zu inter-AS links "
+              "(minimum for connectivity: %zu), connected: %s\n",
+              100.0 * swarm.intra_as_edge_fraction(),
+              swarm.inter_as_edge_count(),
+              swarm.min_inter_as_edges_for_connectivity(),
+              swarm.overlay_connected() ? "yes" : "NO");
+  std::printf("ISP view: billed transit rate %.2f Mbps -> ~%.0f USD/mo\n",
+              net.traffic().billed_transit_mbps(),
+              net.traffic().estimated_transit_usd_month());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ISP-friendly file sharing: 150 peers, 12 ASes, 16 MiB file\n");
+  run_swarm(NeighborPolicy::kRandom, "uniform random neighbor selection");
+  run_swarm(NeighborPolicy::kBiased,
+            "biased neighbor selection (Bindal et al. [3])");
+  std::printf(
+      "\ntakeaway (paper §2.1): locality shifts traffic from paid transit\n"
+      "links to free local links; download times stay comparable, so the\n"
+      "system is ISP-friendly at no real cost to users.\n");
+  return 0;
+}

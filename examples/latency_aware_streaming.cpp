@@ -1,0 +1,128 @@
+// Latency-aware overlay for live streaming (paper §2.2): VoIP/IPTV-class
+// applications need low peer-to-peer delay. A 120-peer swarm builds a
+// dissemination mesh three ways — random neighbors, neighbors chosen by
+// Vivaldi-predicted RTT, and neighbors chosen by explicit ping — then
+// streams from a source and measures per-hop and end-to-end delays plus
+// the measurement overhead each collection method cost (§3.2 trade-off).
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+
+#include "core/underlay_service.hpp"
+#include "sim/engine.hpp"
+#include "underlay/network.hpp"
+
+using namespace uap2p;
+
+namespace {
+
+constexpr std::size_t kDegree = 4;
+
+/// Builds a dissemination mesh (each peer links to its top-`kDegree`
+/// candidates by the policy) and returns per-peer stream arrival delay
+/// from a BFS-style push from the source, using ground-truth RTT/2 per
+/// overlay hop.
+Samples stream_delays(underlay::Network& net, const std::vector<PeerId>& peers,
+                      core::NeighborRankingPolicy& policy) {
+  // Streaming meshes keep symmetric links: each peer proposes its top
+  // picks plus one random partner (the standard "nearby + random" mesh
+  // recipe that keeps the graph connected), and links are mutual.
+  std::vector<std::vector<PeerId>> mesh(peers.size());
+  Rng rng(7);
+  std::vector<std::vector<PeerId>> hostcache(peers.size());
+  auto link = [&](std::size_t a, PeerId b) {
+    if (PeerId(std::uint32_t(a)) == b) return;
+    if (std::find(mesh[a].begin(), mesh[a].end(), b) != mesh[a].end()) return;
+    mesh[a].push_back(b);
+    mesh[b.value()].push_back(peers[a]);
+  };
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    for (const std::size_t c :
+         rng.sample_without_replacement(peers.size(), 30)) {
+      if (c != i) hostcache[i].push_back(peers[c]);
+    }
+    auto ranked = policy.rank(peers[i], hostcache[i]);
+    ranked.resize(std::min(ranked.size(), kDegree - 1));
+    for (const PeerId pick : ranked) link(i, pick);
+    link(i, peers[rng.uniform(peers.size())]);
+  }
+  // Dijkstra over the overlay mesh with one-way latency edge weights.
+  std::vector<double> arrival(peers.size(), 1e18);
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  arrival[0] = 0.0;
+  frontier.emplace(0.0, 0);
+  while (!frontier.empty()) {
+    const auto [time, index] = frontier.top();
+    frontier.pop();
+    if (time > arrival[index]) continue;
+    for (const PeerId next : mesh[index]) {
+      const double hop = net.rtt_ms(peers[index], next) / 2.0;
+      if (time + hop < arrival[next.value()]) {
+        arrival[next.value()] = time + hop;
+        frontier.emplace(time + hop, next.value());
+      }
+    }
+  }
+  Samples delays;
+  std::size_t unreached = 0;
+  for (std::size_t i = 1; i < peers.size(); ++i) {
+    if (arrival[i] < 1e17) {
+      delays.add(arrival[i]);
+    } else {
+      ++unreached;
+    }
+  }
+  if (unreached > 0) std::printf("  (%zu peers unreached by the mesh)\n", unreached);
+  return delays;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("latency-aware streaming mesh: 120 peers, source = peer 0\n");
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 4, 0.3);
+  underlay::Network net(engine, topo, 77);
+  const auto peers = net.populate(120);
+
+  core::UnderlayServiceConfig config;
+  config.pinger.jitter_sigma = 0.02;
+  core::UnderlayService service(net, config);
+
+  struct Variant {
+    const char* name;
+    std::unique_ptr<core::NeighborRankingPolicy> policy;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"random mesh (no awareness)", core::make_random_policy(3)});
+  service.warm_up_coordinates(peers);
+  const auto overhead_after_vivaldi = service.overhead();
+  variants.push_back(
+      {"Vivaldi-predicted RTT (prediction method, §3.2)",
+       core::make_latency_policy(service, core::LatencyMethod::kVivaldi)});
+  variants.push_back(
+      {"explicit ping (explicit measurement, §3.2)",
+       core::make_latency_policy(service, core::LatencyMethod::kExplicitPing)});
+
+  for (auto& variant : variants) {
+    const auto before = service.overhead();
+    const Samples delays = stream_delays(net, peers, *variant.policy);
+    const auto after = service.overhead();
+    std::printf("\n%s\n", variant.name);
+    std::printf("  stream delay: median %.1f ms, p95 %.1f ms, max %.1f ms\n",
+                delays.median(), delays.percentile(95), delays.max());
+    std::printf("  probes spent during selection: %llu\n",
+                static_cast<unsigned long long>(after.ping_probes -
+                                                before.ping_probes));
+  }
+  std::printf(
+      "\nVivaldi warm-up cost (one-off, amortized): %llu probes / %llu bytes\n",
+      static_cast<unsigned long long>(overhead_after_vivaldi.ping_probes),
+      static_cast<unsigned long long>(overhead_after_vivaldi.ping_bytes));
+  std::printf(
+      "takeaway (paper §2.2/§3.2): latency awareness cuts streaming delay\n"
+      "markedly; prediction gets most of the benefit at a fraction of the\n"
+      "measurement cost of pinging every candidate.\n");
+  return 0;
+}

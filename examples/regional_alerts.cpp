@@ -1,0 +1,81 @@
+// Regional alerting over the geolocation overlay — the emergency-service
+// scenario the paper motivates (§2.4, EchoP2P [10]): a civil-protection
+// node publishes shelter information into a geographic scope (Leopard-
+// style scoped hashing [33]) and later geocasts an evacuation alert to
+// every peer inside the affected rectangle (GeoPeer-style dissemination
+// [2]). Both operate through the zone tree: no network-wide flooding.
+#include <cstdio>
+
+#include "overlay/geo_overlay.hpp"
+#include "sim/engine.hpp"
+#include "underlay/network.hpp"
+
+using namespace uap2p;
+using namespace uap2p::overlay::geo;
+
+int main() {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::mesh(8, 0.35);
+  underlay::Network net(engine, topo, 404);
+  const auto peers = net.populate(150);
+  GeoOverlay overlay(net, peers, {});
+  std::printf("regional alert service: %zu peers, %zu zones (depth %zu)\n",
+              peers.size(), overlay.zone_count(), overlay.tree_depth());
+
+  // The authority: a well-connected peer near the region of interest.
+  const PeerId authority = peers[42];
+  const auto center = net.host(authority).location;
+  const GeoRect region{center.lat_deg - 2.0, center.lat_deg + 2.0,
+                       center.lon_deg - 3.0, center.lon_deg + 3.0};
+  std::printf("affected region: [%.1f..%.1f] x [%.1f..%.1f]\n", region.lat_lo,
+              region.lat_hi, region.lon_lo, region.lon_hi);
+
+  // 1. Publish shelter info into the region (scoped hashing): peers in
+  //    the region can look it up locally; peers far away never see it.
+  const auto put = overlay.scoped_put(authority, ContentId(911), region);
+  std::printf("\nscoped_put('shelter-info') stored in %zu zones, %zu msgs\n",
+              put.zones_stored, put.messages);
+  std::size_t local_hits = 0, local_tries = 0;
+  std::size_t remote_hits = 0, remote_tries = 0;
+  for (const PeerId peer : peers) {
+    const bool inside = region.contains(net.host(peer).location);
+    const auto get = overlay.scoped_get(peer, ContentId(911));
+    if (inside) {
+      ++local_tries;
+      local_hits += get.found;
+    } else {
+      ++remote_tries;
+      remote_hits += get.found;
+    }
+  }
+  std::printf("lookup success: %zu/%zu inside the region, %zu/%zu outside\n",
+              local_hits, local_tries, remote_hits, remote_tries);
+
+  // 2. Geocast the evacuation alert to everyone inside the region.
+  const auto cast = overlay.geocast(authority, region, /*payload=*/512);
+  std::printf("\ngeocast('evacuate'): %zu/%zu peers reached (%.0f%%) with "
+              "%zu messages in %.1f ms\n",
+              cast.delivered, cast.expected, 100.0 * cast.coverage(),
+              cast.messages, cast.duration_ms);
+
+  // 3. Compare against the naive alternative: flooding everyone.
+  std::printf("naive unicast-to-all would cost %zu messages and wake %zu\n"
+              "peers outside the region.\n",
+              peers.size(), peers.size() - cast.expected);
+
+  // 4. Robustness: the region's supervisors fail mid-crisis.
+  const PeerId supervisor = overlay.supervisor_of(authority);
+  if (supervisor != authority) {
+    net.set_online(supervisor, false);
+    const auto degraded = overlay.geocast(authority, region, 512);
+    overlay.repair();
+    const auto repaired = overlay.geocast(authority, region, 512);
+    std::printf("\nsupervisor failure: coverage %.0f%% -> repair() -> %.0f%%\n",
+                100.0 * degraded.coverage(), 100.0 * repaired.coverage());
+  }
+  std::printf(
+      "\ntakeaway (paper §2.4): geolocation awareness turns region-scoped\n"
+      "services (POI lookup, emergency dissemination) into a handful of\n"
+      "tree messages with verifiable coverage.\n");
+  return 0;
+}

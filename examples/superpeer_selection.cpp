@@ -1,0 +1,88 @@
+// Resource-aware super-peer selection (paper §2.3 / §3.4 / §4): a hybrid
+// overlay elects its super-peers three ways — randomly, from ground-truth
+// resources, and from the SkyEye.KOM information-management over-overlay
+// [11] that collects peer resources with real (and measured) message
+// overhead. Election quality, attachment latency, stability and search
+// performance are compared.
+#include <cstdio>
+
+#include "netinfo/skyeye.hpp"
+#include "overlay/superpeer.hpp"
+#include "sim/engine.hpp"
+#include "underlay/network.hpp"
+
+using namespace uap2p;
+using namespace uap2p::overlay::superpeer;
+
+int main() {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 4, 0.3);
+  underlay::Network net(engine, topo, 1234);
+  const auto peers = net.populate(100);
+  std::printf("hybrid overlay: %zu peers, electing 8 super-peers\n\n",
+              peers.size());
+
+  // Run the SkyEye over-overlay for a few minutes of simulated time so
+  // its aggregation tree has the oracle view.
+  netinfo::SkyEyeConfig sky_config;
+  sky_config.update_period_ms = sim::seconds(30);
+  netinfo::SkyEye skyeye(net, peers, sky_config);
+  const auto bytes_before = net.traffic().total_bytes();
+  skyeye.start();
+  engine.run_until(engine.now() + sim::minutes(5));
+  skyeye.stop();
+  std::printf("SkyEye over-overlay: %llu reports, %llu bytes of overhead, "
+              "root sees %llu peers\n",
+              static_cast<unsigned long long>(skyeye.reports_sent()),
+              static_cast<unsigned long long>(net.traffic().total_bytes() -
+                                              bytes_before),
+              static_cast<unsigned long long>(skyeye.root_view().peer_count));
+  std::printf("system view: total upload %.0f Mbps, total storage %.0f GB, "
+              "mean capacity %.2f\n\n",
+              skyeye.root_view().total_upload_mbps,
+              skyeye.root_view().total_storage_gb,
+              skyeye.root_view().mean_capacity);
+
+  struct Variant {
+    const char* name;
+    ElectionPolicy election;
+  };
+  for (const Variant variant :
+       {Variant{"random election (no awareness)", ElectionPolicy::kRandom},
+        Variant{"ground-truth resources (ideal)", ElectionPolicy::kGroundTruth},
+        Variant{"SkyEye oracle view (deployed)", ElectionPolicy::kSkyEye}}) {
+    Config config;
+    config.election = variant.election;
+    config.superpeer_count = 8;
+    SuperPeerOverlay overlay(net, peers, config, &skyeye);
+
+    // Publish content and search across the mesh.
+    for (std::size_t i = 0; i < peers.size(); i += 9) {
+      overlay.publish(peers[i], ContentId(std::uint32_t(i % 4)));
+    }
+    RunningStats search_latency;
+    std::size_t found = 0, searches = 0;
+    for (std::size_t i = 1; i < peers.size(); i += 7) {
+      const auto result = overlay.search(peers[i], ContentId(std::uint32_t(i % 4)));
+      ++searches;
+      if (result.found) {
+        ++found;
+        search_latency.add(result.latency_ms);
+      }
+    }
+    std::printf("--- %s ---\n", variant.name);
+    std::printf("  mean super-peer capacity: %.2f   expected stability: %.2f\n",
+                overlay.mean_superpeer_capacity(),
+                overlay.expected_stability());
+    std::printf("  mean client->SP RTT: %.1f ms\n",
+                overlay.mean_attachment_rtt_ms());
+    std::printf("  searches: %zu/%zu found, first result after %.1f ms (mean)\n\n",
+                found, searches, search_latency.mean());
+  }
+  std::printf(
+      "takeaway (paper §2.3/§3.4): resource awareness puts the right nodes\n"
+      "in the super-peer role; the SkyEye over-overlay delivers nearly the\n"
+      "ideal election using only its own aggregated (and paid-for)\n"
+      "information.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "common/ids.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace uap2p {
+
+std::string IpAddress::to_string() const {
+  std::array<char, 16> buf{};
+  const int n = std::snprintf(buf.data(), buf.size(), "%u.%u.%u.%u",
+                              (bits >> 24) & 0xff, (bits >> 16) & 0xff,
+                              (bits >> 8) & 0xff, bits & 0xff);
+  return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+bool IpAddress::parse(const std::string& text, IpAddress& out) {
+  std::uint32_t acc = 0;
+  const char* p = text.data();
+  const char* end = p + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255) return false;
+    acc = (acc << 8) | value;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return false;
+      ++p;
+    }
+  }
+  if (p != end) return false;
+  out.bits = acc;
+  return true;
+}
+
+}  // namespace uap2p

@@ -1,0 +1,85 @@
+// Strong identifier types shared by every uap2p module.
+//
+// The simulator manipulates several id spaces (autonomous systems, routers,
+// peers, content, simulated IPv4 addresses). Using distinct wrapper types
+// instead of bare integers makes it impossible to pass a router id where a
+// peer id is expected; the wrappers compile away entirely.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace uap2p {
+
+/// CRTP-free strongly typed integer id. `Tag` only disambiguates the type.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  /// Underlying integral value (for indexing into dense arrays).
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  /// Sentinel used for "no id"; equals the max representable value.
+  [[nodiscard]] static constexpr StrongId invalid() {
+    return StrongId(static_cast<Rep>(-1));
+  }
+  [[nodiscard]] constexpr bool is_valid() const {
+    return value_ != static_cast<Rep>(-1);
+  }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  Rep value_ = static_cast<Rep>(-1);
+};
+
+struct AsTag {};
+struct RouterTag {};
+struct PeerTag {};
+struct ContentTag {};
+
+/// Identifier of an autonomous system (one ISP in the cost model).
+using AsId = StrongId<AsTag>;
+/// Identifier of a router inside the underlay graph (global, across ASes).
+using RouterId = StrongId<RouterTag>;
+/// Identifier of an end host participating in a P2P overlay.
+using PeerId = StrongId<PeerTag>;
+/// Identifier of a shared content object (file, chunk group, service).
+using ContentId = StrongId<ContentTag>;
+
+/// Simulated IPv4 address. Prefix allocation is controlled by the underlay
+/// so that IP-to-ISP mapping services (Section 3.1 of the paper) have a
+/// realistic longest-prefix-match structure to work against.
+struct IpAddress {
+  std::uint32_t bits = 0;
+
+  friend constexpr auto operator<=>(IpAddress, IpAddress) = default;
+
+  /// Dotted-quad rendering, e.g. "10.42.0.7".
+  [[nodiscard]] std::string to_string() const;
+  /// Parses dotted-quad text; returns false on malformed input.
+  static bool parse(const std::string& text, IpAddress& out);
+};
+
+}  // namespace uap2p
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<uap2p::StrongId<Tag, Rep>> {
+  size_t operator()(uap2p::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+template <>
+struct hash<uap2p::IpAddress> {
+  size_t operator()(uap2p::IpAddress ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.bits);
+  }
+};
+}  // namespace std

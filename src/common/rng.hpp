@@ -1,0 +1,78 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in uap2p draws from an explicitly seeded Rng so
+// that experiments are bit-reproducible across runs and machines. The engine
+// is xoshiro256** (public domain, Blackman & Vigna), which is much faster
+// than std::mt19937_64 and has no measurable bias in the ranges we use.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace uap2p {
+
+/// xoshiro256** engine with convenience sampling helpers.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be handed to
+/// std::shuffle / std::sample directly.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the engine via SplitMix64 expansion of `seed` (any value is fine,
+  /// including 0).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// rejection method, so the distribution is exactly uniform.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Normal sample via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential sample with the given mean (rate = 1/mean).
+  double exponential(double mean);
+
+  /// Pareto sample with shape `alpha` and minimum `xmin`; used for heavy
+  /// tailed session times and content popularity.
+  double pareto(double alpha, double xmin);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (content popularity).
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Splits off an independently seeded child stream; deterministic given
+  /// this engine's current state.
+  Rng split();
+
+  /// Samples `k` distinct indices out of [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  std::uint64_t state_[4];
+  // Cached second output of the polar method.
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace uap2p

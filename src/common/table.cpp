@@ -1,0 +1,119 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace uap2p {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::cell(
+    const std::string& text) {
+  cells_.push_back(text);
+  return *this;
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::cell(double value,
+                                                         int precision) {
+  cells_.push_back(TablePrinter::fmt(value, precision));
+  return *this;
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::cell(std::uint64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::cell(std::int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+TablePrinter::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+      out << (c + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TablePrinter::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      out << cells[c] << (c + 1 == cells.size() ? "\n" : ",");
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TablePrinter::print(const std::string& title) const {
+  if (!title.empty()) std::cout << "\n== " << title << " ==\n";
+  std::cout << to_string() << std::flush;
+
+  const char* csv_dir = std::getenv("UAP2P_CSV_DIR");
+  if (csv_dir == nullptr || *csv_dir == '\0') return;
+  std::string slug;
+  for (const char c : title.empty() ? std::string("table") : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += char(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  std::ofstream out(std::string(csv_dir) + "/" + slug + ".csv");
+  if (out) out << to_csv();
+}
+
+std::string TablePrinter::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::fmt_compact(std::uint64_t value) {
+  char buf[64];
+  if (value >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.1fM", double(value) / 1e6);
+  } else if (value >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.1fk", double(value) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(value));
+  }
+  return buf;
+}
+
+}  // namespace uap2p

@@ -1,0 +1,65 @@
+// Console table / CSV rendering for benchmark output.
+//
+// Every bench binary prints the same rows the paper's tables and figures
+// report; TablePrinter keeps that output aligned and diffable.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace uap2p {
+
+/// Collects rows of string cells and renders them as an aligned ASCII table
+/// or as CSV. Numeric helpers format with sensible defaults.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a full row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Row-building helpers -----------------------------------------------
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TablePrinter& table) : table_(table) {}
+    RowBuilder& cell(const std::string& text);
+    RowBuilder& cell(double value, int precision = 2);
+    RowBuilder& cell(std::uint64_t value);
+    RowBuilder& cell(std::int64_t value);
+    RowBuilder& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    TablePrinter& table_;
+    std::vector<std::string> cells_;
+  };
+  /// Starts a row that is committed when the builder goes out of scope.
+  [[nodiscard]] RowBuilder row() { return RowBuilder(*this); }
+
+  /// Aligned ASCII rendering with a header separator.
+  [[nodiscard]] std::string to_string() const;
+  /// RFC-4180-ish CSV (no quoting of embedded commas needed for our data).
+  [[nodiscard]] std::string to_csv() const;
+  /// Prints the ASCII rendering to stdout with a title line. When the
+  /// UAP2P_CSV_DIR environment variable is set, the table is additionally
+  /// written to `<dir>/<slugified-title>.csv`, so every bench exports its
+  /// series for external plotting without code changes.
+  void print(const std::string& title = "") const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats a double with fixed precision (shared helper).
+  static std::string fmt(double value, int precision = 2);
+  /// Formats counts like 7614231 as "7.6M" to ease comparison with the
+  /// paper's table (which reports millions).
+  static std::string fmt_compact(std::uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uap2p

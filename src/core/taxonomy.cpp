@@ -1,0 +1,107 @@
+#include "core/taxonomy.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace uap2p::core {
+
+const char* to_string(CollectionTechnique technique) {
+  switch (technique) {
+    case CollectionTechnique::kIpToIspMapping: return "IP-to-ISP mapping";
+    case CollectionTechnique::kIspComponentInNetwork:
+      return "ISP component in network";
+    case CollectionTechnique::kCdnProvidedInformation:
+      return "CDN-provided information";
+    case CollectionTechnique::kExplicitMeasurement:
+      return "explicit measurement";
+    case CollectionTechnique::kPredictionMethod: return "prediction method";
+    case CollectionTechnique::kGps: return "GPS";
+    case CollectionTechnique::kIpToLocationMapping:
+      return "IP-to-location mapping";
+    case CollectionTechnique::kInformationManagementOverlay:
+      return "information management overlay";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::array<TaxonomyEntry, 24> kTaxonomy = {{
+    // ISP-location (paper Table 1, first row).
+    {"BNS (biased neighbor selection)", "[3]", InfoClass::kIspLocation,
+     CollectionTechnique::kIspComponentInNetwork, "overlay/bittorrent", true},
+    {"Oracle", "[1]", InfoClass::kIspLocation,
+     CollectionTechnique::kIspComponentInNetwork, "netinfo/oracle", true},
+    {"P4P", "[29]", InfoClass::kIspLocation,
+     CollectionTechnique::kIspComponentInNetwork, "netinfo/p4p", true},
+    {"Ono", "[5]", InfoClass::kIspLocation,
+     CollectionTechnique::kCdnProvidedInformation, "netinfo/cdn", true},
+    {"TSO", "[31]", InfoClass::kIspLocation,
+     CollectionTechnique::kIpToIspMapping, "netinfo/ipmap", true},
+    {"CAT (cost-aware BitTorrent)", "[32]", InfoClass::kIspLocation,
+     CollectionTechnique::kIspComponentInNetwork, "overlay/bittorrent", true},
+    {"LTM (location-aware topology matching)", "[21]",
+     InfoClass::kIspLocation, CollectionTechnique::kExplicitMeasurement,
+     "netinfo/pinger", true},
+    {"Brocade", "[36]", InfoClass::kIspLocation,
+     CollectionTechnique::kPredictionMethod, "overlay/brocade", true},
+    {"Plethora", "[9]", InfoClass::kIspLocation,
+     CollectionTechnique::kIpToIspMapping, "netinfo/ipmap", true},
+    {"Mithos", "[28]", InfoClass::kIspLocation,
+     CollectionTechnique::kPredictionMethod, "netinfo/vivaldi", true},
+    {"MBC (measurement-based construction)", "[35]",
+     InfoClass::kIspLocation, CollectionTechnique::kExplicitMeasurement,
+     "netinfo/pinger", true},
+    {"Proximity in Kademlia", "[17]", InfoClass::kIspLocation,
+     CollectionTechnique::kIspComponentInNetwork, "overlay/kademlia", true},
+    // Latency.
+    {"Vivaldi", "[7]", InfoClass::kLatency,
+     CollectionTechnique::kPredictionMethod, "netinfo/vivaldi", true},
+    {"ICS (Lim et al. coordinate system)", "[20]", InfoClass::kLatency,
+     CollectionTechnique::kPredictionMethod, "netinfo/ics", true},
+    {"gMeasure", "[34]", InfoClass::kLatency,
+     CollectionTechnique::kExplicitMeasurement, "netinfo/gmeasure", true},
+    {"Genius", "[23]", InfoClass::kLatency,
+     CollectionTechnique::kPredictionMethod, "netinfo/vivaldi", true},
+    {"eCAN", "[30]", InfoClass::kLatency,
+     CollectionTechnique::kPredictionMethod, "netinfo/ics", true},
+    {"Leopard", "[33]", InfoClass::kLatency,
+     CollectionTechnique::kPredictionMethod,
+     "overlay/geo_overlay (scoped hashing)", true},
+    {"Landmark-based proximity", "[26]", InfoClass::kLatency,
+     CollectionTechnique::kPredictionMethod, "netinfo/binning", true},
+    {"Hop-based proximity", "[8]", InfoClass::kLatency,
+     CollectionTechnique::kExplicitMeasurement, "netinfo/pinger", true},
+    // Geolocation.
+    {"Globase.KOM", "[18][19]", InfoClass::kGeolocation,
+     CollectionTechnique::kGps, "overlay/geo_overlay", true},
+    {"GeoPeer", "[2]", InfoClass::kGeolocation,
+     CollectionTechnique::kIpToLocationMapping, "netinfo/geoprov", true},
+    // Peer resources.
+    {"SkyEye.KOM", "[11]", InfoClass::kPeerResources,
+     CollectionTechnique::kInformationManagementOverlay, "netinfo/skyeye",
+     true},
+    {"Bandwidth-aware scheduling", "[6]", InfoClass::kPeerResources,
+     CollectionTechnique::kInformationManagementOverlay, "overlay/superpeer",
+     true},
+}};
+
+}  // namespace
+
+std::span<const TaxonomyEntry> taxonomy() { return kTaxonomy; }
+
+std::vector<TaxonomyEntry> taxonomy_for(InfoClass info) {
+  std::vector<TaxonomyEntry> result;
+  for (const auto& entry : kTaxonomy) {
+    if (entry.info == info) result.push_back(entry);
+  }
+  return result;
+}
+
+std::size_t implemented_count() {
+  return static_cast<std::size_t>(
+      std::count_if(kTaxonomy.begin(), kTaxonomy.end(),
+                    [](const TaxonomyEntry& e) { return e.implemented; }));
+}
+
+}  // namespace uap2p::core

@@ -1,0 +1,51 @@
+// Runtime registry of the survey's taxonomy (Figure 3 and Table 1).
+//
+// Each entry classifies one surveyed system by the underlay information it
+// uses and the collection technique it relies on, and records which uap2p
+// module implements that technique (or its representative). The Fig. 3 /
+// Table 1 bench prints this registry, so the taxonomy ships as executable
+// documentation rather than prose.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/underlay_service.hpp"
+
+namespace uap2p::core {
+
+/// Collection techniques, the leaves of the paper's Figure 3.
+enum class CollectionTechnique {
+  kIpToIspMapping,
+  kIspComponentInNetwork,
+  kCdnProvidedInformation,
+  kExplicitMeasurement,
+  kPredictionMethod,
+  kGps,
+  kIpToLocationMapping,
+  kInformationManagementOverlay,
+};
+
+[[nodiscard]] const char* to_string(CollectionTechnique technique);
+
+struct TaxonomyEntry {
+  std::string system;            ///< Surveyed system name (paper Table 1).
+  std::string reference;         ///< Citation tag in the paper.
+  InfoClass info;                ///< Which underlay information it uses.
+  CollectionTechnique technique; ///< How that information is collected.
+  std::string uap2p_module;      ///< Implementing/representative module.
+  bool implemented;              ///< True if runnable in this repo.
+};
+
+/// The full registry (paper Table 1 plus the collection-side systems of
+/// §3); stable order, grouped by InfoClass.
+[[nodiscard]] std::span<const TaxonomyEntry> taxonomy();
+
+/// Entries for one information class.
+[[nodiscard]] std::vector<TaxonomyEntry> taxonomy_for(InfoClass info);
+
+/// Count of entries whose technique is implemented in this repo.
+[[nodiscard]] std::size_t implemented_count();
+
+}  // namespace uap2p::core

@@ -1,0 +1,342 @@
+#include "core/underlay_service.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uap2p::core {
+
+const char* to_string(InfoClass info) {
+  switch (info) {
+    case InfoClass::kIspLocation: return "ISP-location";
+    case InfoClass::kLatency: return "Latency";
+    case InfoClass::kGeolocation: return "Geolocation";
+    case InfoClass::kPeerResources: return "Peer Resources";
+  }
+  return "?";
+}
+
+UnderlayService::UnderlayService(underlay::Network& network,
+                                 UnderlayServiceConfig config)
+    : network_(network),
+      config_(config),
+      rng_(config.seed),
+      ip_mapping_(network.topology(), config.ip_mapping),
+      oracle_(network, config.oracle),
+      pinger_(network, Rng(config.seed ^ 0x51ed), config.pinger),
+      geo_(network, ip_mapping_, config.geo) {
+  vivaldi_ = std::make_unique<netinfo::VivaldiSystem>(
+      network.host_count() + 1024, config_.vivaldi,
+      Rng(config.seed ^ 0x7a11));
+}
+
+std::optional<AsId> UnderlayService::isp_of(PeerId peer) const {
+  return ip_mapping_.lookup_isp(network_.host(peer).ip);
+}
+
+std::size_t UnderlayService::as_hops(PeerId a, PeerId b) const {
+  return oracle_.as_hops(a, b);
+}
+
+double UnderlayService::rtt_ms(PeerId a, PeerId b, LatencyMethod method) {
+  switch (method) {
+    case LatencyMethod::kExplicitPing:
+      return pinger_.measure_rtt(a, b);
+    case LatencyMethod::kVivaldi:
+      return vivaldi_->estimate_rtt(a, b);
+    case LatencyMethod::kIcs: {
+      if (!ics_) return -1.0;
+      return netinfo::IcsModel::estimate_rtt(ics_embedding(a),
+                                             ics_embedding(b));
+    }
+  }
+  return -1.0;
+}
+
+void UnderlayService::setup_ics(std::span<const PeerId> beacons,
+                                netinfo::IcsConfig config) {
+  assert(beacons.size() >= 2);
+  ics_beacons_.assign(beacons.begin(), beacons.end());
+  ics_coords_.clear();
+  const std::size_t m = ics_beacons_.size();
+  netinfo::Matrix rtts(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double rtt = pinger_.measure_rtt(ics_beacons_[i], ics_beacons_[j]);
+      rtts(i, j) = rtt < 0 ? 1e6 : rtt;
+      rtts(j, i) = rtts(i, j);
+    }
+  }
+  ics_ = netinfo::IcsModel::build(rtts, config);
+}
+
+const std::vector<double>& UnderlayService::ics_embedding(PeerId peer) {
+  auto it = ics_coords_.find(peer.value());
+  if (it != ics_coords_.end()) return it->second;
+  std::vector<double> to_beacons(ics_beacons_.size());
+  for (std::size_t b = 0; b < ics_beacons_.size(); ++b) {
+    const double rtt = pinger_.measure_rtt(peer, ics_beacons_[b]);
+    to_beacons[b] = rtt < 0 ? 1e6 : rtt;
+  }
+  return ics_coords_.emplace(peer.value(), ics_->embed(to_beacons))
+      .first->second;
+}
+
+void UnderlayService::warm_up_coordinates(std::span<const PeerId> peers) {
+  // Each round, every peer samples a handful of random others. Real
+  // deployments sample overlay neighbors; random gossip converges the
+  // same way and keeps this module overlay-agnostic.
+  constexpr unsigned kSamplesPerRound = 4;
+  for (unsigned round = 0; round < config_.vivaldi_rounds; ++round) {
+    for (const PeerId self : peers) {
+      for (unsigned s = 0; s < kSamplesPerRound; ++s) {
+        const PeerId other = peers[rng_.uniform(peers.size())];
+        if (other == self) continue;
+        const double rtt = pinger_.measure_rtt(self, other);
+        if (rtt > 0.0) vivaldi_->update(self, other, rtt);
+      }
+    }
+  }
+}
+
+std::optional<underlay::GeoPoint> UnderlayService::location(
+    PeerId peer, netinfo::GeoSource source) const {
+  return geo_.locate(peer, source);
+}
+
+double UnderlayService::geo_distance_km(PeerId a, PeerId b,
+                                        netinfo::GeoSource source) const {
+  return geo_.distance_km(a, b, source);
+}
+
+std::vector<netinfo::CapacityEntry> UnderlayService::top_capacity(
+    std::size_t k) const {
+  if (skyeye_ == nullptr) return {};
+  return skyeye_->query_top_capacity(k);
+}
+
+UnderlayService::OverheadReport UnderlayService::overhead() const {
+  OverheadReport report;
+  report.ping_probes = pinger_.probes_sent();
+  report.ping_bytes = pinger_.bytes_sent();
+  report.oracle_queries = oracle_.query_count();
+  report.mapping_queries = ip_mapping_.query_count();
+  report.vivaldi_updates = vivaldi_->update_count();
+  return report;
+}
+
+namespace {
+
+/// Shared scaffolding: rank by ascending score with deterministic ties.
+template <typename ScoreFn>
+std::vector<PeerId> rank_by_score(PeerId querier,
+                                  std::span<const PeerId> candidates,
+                                  ScoreFn&& score) {
+  struct Scored {
+    PeerId peer;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (const PeerId candidate : candidates) {
+    if (candidate == querier) continue;
+    scored.push_back(Scored{candidate, score(candidate)});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score < b.score;
+                   });
+  std::vector<PeerId> result;
+  result.reserve(scored.size());
+  for (const Scored& s : scored) result.push_back(s.peer);
+  return result;
+}
+
+class RandomPolicy final : public NeighborRankingPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+  [[nodiscard]] std::string name() const override { return "random"; }
+  std::vector<PeerId> rank(PeerId querier,
+                           std::span<const PeerId> candidates) override {
+    std::vector<PeerId> result(candidates.begin(), candidates.end());
+    std::erase(result, querier);
+    for (std::size_t i = result.size(); i > 1; --i) {
+      std::swap(result[i - 1], result[rng_.uniform(i)]);
+    }
+    return result;
+  }
+
+ private:
+  Rng rng_;
+};
+
+class IspPolicy final : public NeighborRankingPolicy {
+ public:
+  explicit IspPolicy(UnderlayService& service) : service_(service) {}
+  [[nodiscard]] std::string name() const override { return "isp-location"; }
+  std::vector<PeerId> rank(PeerId querier,
+                           std::span<const PeerId> candidates) override {
+    return rank_by_score(querier, candidates, [&](PeerId c) {
+      return static_cast<double>(service_.as_hops(querier, c));
+    });
+  }
+
+ private:
+  UnderlayService& service_;
+};
+
+class LatencyPolicy final : public NeighborRankingPolicy {
+ public:
+  LatencyPolicy(UnderlayService& service, LatencyMethod method)
+      : service_(service), method_(method) {}
+  [[nodiscard]] std::string name() const override {
+    return method_ == LatencyMethod::kExplicitPing ? "latency-ping"
+                                                   : "latency-vivaldi";
+  }
+  std::vector<PeerId> rank(PeerId querier,
+                           std::span<const PeerId> candidates) override {
+    return rank_by_score(querier, candidates, [&](PeerId c) {
+      const double rtt = service_.rtt_ms(querier, c, method_);
+      return rtt < 0.0 ? 1e12 : rtt;
+    });
+  }
+
+ private:
+  UnderlayService& service_;
+  LatencyMethod method_;
+};
+
+class GeoPolicy final : public NeighborRankingPolicy {
+ public:
+  GeoPolicy(UnderlayService& service, netinfo::GeoSource source)
+      : service_(service), source_(source) {}
+  [[nodiscard]] std::string name() const override { return "geolocation"; }
+  std::vector<PeerId> rank(PeerId querier,
+                           std::span<const PeerId> candidates) override {
+    return rank_by_score(querier, candidates, [&](PeerId c) {
+      const double km = service_.geo_distance_km(querier, c, source_);
+      return km < 0.0 ? 1e12 : km;
+    });
+  }
+
+ private:
+  UnderlayService& service_;
+  netinfo::GeoSource source_;
+};
+
+class ResourcePolicy final : public NeighborRankingPolicy {
+ public:
+  explicit ResourcePolicy(UnderlayService& service) : service_(service) {}
+  [[nodiscard]] std::string name() const override { return "peer-resources"; }
+  std::vector<PeerId> rank(PeerId querier,
+                           std::span<const PeerId> candidates) override {
+    return rank_by_score(querier, candidates, [&](PeerId c) {
+      // Negative capacity: strongest first.
+      return -service_.network().host(c).resources.capacity_score();
+    });
+  }
+
+ private:
+  UnderlayService& service_;
+};
+
+class CompositePolicy final : public NeighborRankingPolicy {
+ public:
+  CompositePolicy(UnderlayService& service, CompositeWeights weights,
+                  LatencyMethod method, netinfo::GeoSource source)
+      : service_(service), weights_(weights), method_(method),
+        source_(source) {}
+  [[nodiscard]] std::string name() const override { return "composite"; }
+  std::vector<PeerId> rank(PeerId querier,
+                           std::span<const PeerId> candidates) override {
+    // Normalize each dimension over the candidate set so weights are
+    // comparable, then blend.
+    struct Raw {
+      PeerId peer;
+      double isp, latency, geo, resources;
+    };
+    std::vector<Raw> raw;
+    raw.reserve(candidates.size());
+    for (const PeerId c : candidates) {
+      if (c == querier) continue;
+      Raw r{c, 0, 0, 0, 0};
+      if (weights_.isp > 0)
+        r.isp = static_cast<double>(service_.as_hops(querier, c));
+      if (weights_.latency > 0) {
+        const double rtt = service_.rtt_ms(querier, c, method_);
+        r.latency = rtt < 0.0 ? 1e12 : rtt;
+      }
+      if (weights_.geo > 0) {
+        const double km = service_.geo_distance_km(querier, c, source_);
+        r.geo = km < 0.0 ? 1e12 : km;
+      }
+      if (weights_.resources > 0)
+        r.resources = -service_.network().host(c).resources.capacity_score();
+      raw.push_back(r);
+    }
+    auto normalize = [&](auto member) {
+      double lo = 1e300, hi = -1e300;
+      for (const Raw& r : raw) {
+        lo = std::min(lo, r.*member);
+        hi = std::max(hi, r.*member);
+      }
+      const double span = hi - lo;
+      return [lo, span, member](const Raw& r) {
+        return span <= 0.0 ? 0.0 : (r.*member - lo) / span;
+      };
+    };
+    auto isp_norm = normalize(&Raw::isp);
+    auto lat_norm = normalize(&Raw::latency);
+    auto geo_norm = normalize(&Raw::geo);
+    auto res_norm = normalize(&Raw::resources);
+    std::vector<PeerId> cands;
+    cands.reserve(raw.size());
+    std::stable_sort(raw.begin(), raw.end(), [&](const Raw& a, const Raw& b) {
+      const double sa = weights_.isp * isp_norm(a) +
+                        weights_.latency * lat_norm(a) +
+                        weights_.geo * geo_norm(a) +
+                        weights_.resources * res_norm(a);
+      const double sb = weights_.isp * isp_norm(b) +
+                        weights_.latency * lat_norm(b) +
+                        weights_.geo * geo_norm(b) +
+                        weights_.resources * res_norm(b);
+      return sa < sb;
+    });
+    for (const Raw& r : raw) cands.push_back(r.peer);
+    return cands;
+  }
+
+ private:
+  UnderlayService& service_;
+  CompositeWeights weights_;
+  LatencyMethod method_;
+  netinfo::GeoSource source_;
+};
+
+}  // namespace
+
+std::unique_ptr<NeighborRankingPolicy> make_random_policy(std::uint64_t seed) {
+  return std::make_unique<RandomPolicy>(seed);
+}
+std::unique_ptr<NeighborRankingPolicy> make_isp_policy(
+    UnderlayService& service) {
+  return std::make_unique<IspPolicy>(service);
+}
+std::unique_ptr<NeighborRankingPolicy> make_latency_policy(
+    UnderlayService& service, LatencyMethod method) {
+  return std::make_unique<LatencyPolicy>(service, method);
+}
+std::unique_ptr<NeighborRankingPolicy> make_geo_policy(
+    UnderlayService& service, netinfo::GeoSource source) {
+  return std::make_unique<GeoPolicy>(service, source);
+}
+std::unique_ptr<NeighborRankingPolicy> make_resource_policy(
+    UnderlayService& service) {
+  return std::make_unique<ResourcePolicy>(service);
+}
+std::unique_ptr<NeighborRankingPolicy> make_composite_policy(
+    UnderlayService& service, CompositeWeights weights, LatencyMethod method,
+    netinfo::GeoSource source) {
+  return std::make_unique<CompositePolicy>(service, weights, method, source);
+}
+
+}  // namespace uap2p::core

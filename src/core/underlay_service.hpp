@@ -1,0 +1,160 @@
+// The underlay-awareness framework — the "general architecture for
+// underlay awareness in which different underlay information can be
+// collected and used" that the paper's conclusion names as the definitive
+// next step (§7).
+//
+// UnderlayService is a facade over every collector in src/netinfo, keyed
+// by the survey's four information classes (§2): ISP-location, latency,
+// geolocation and peer resources. Overlays consume it through
+// NeighborRankingPolicy objects, so switching a P2P system from unbiased
+// to ISP-/latency-/geo-/resource-aware neighbor selection is a one-line
+// policy swap — which is exactly how the Table 2 impact bench varies one
+// awareness dimension at a time.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "netinfo/cdn.hpp"
+#include "netinfo/geoprov.hpp"
+#include "netinfo/ics.hpp"
+#include "netinfo/ipmap.hpp"
+#include "netinfo/oracle.hpp"
+#include "netinfo/pinger.hpp"
+#include "netinfo/skyeye.hpp"
+#include "netinfo/vivaldi.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::core {
+
+/// The survey's four classes of underlay information (§2, Figure 3).
+enum class InfoClass { kIspLocation, kLatency, kGeolocation, kPeerResources };
+
+[[nodiscard]] const char* to_string(InfoClass info);
+
+/// How latency estimates are obtained (§3.2's two branches).
+enum class LatencyMethod {
+  kExplicitPing,  ///< Measure now (accurate, costs probes).
+  kVivaldi,       ///< Predict from decentralized coordinates.
+  kIcs,           ///< Predict from landmark coordinates (Lim et al. [20]);
+                  ///< requires setup_ics() first.
+};
+
+struct UnderlayServiceConfig {
+  netinfo::PingerConfig pinger;
+  netinfo::VivaldiConfig vivaldi;
+  netinfo::IpMappingConfig ip_mapping;
+  netinfo::OracleConfig oracle;
+  netinfo::GeoProviderConfig geo;
+  /// Vivaldi warm-up: gossip rounds x samples per peer when
+  /// warm_up_coordinates() is called.
+  unsigned vivaldi_rounds = 24;
+  std::uint64_t seed = 1234;
+};
+
+/// One-stop access to collected underlay information. Owns the collectors
+/// (except SkyEye, which needs a peer list and is attached explicitly).
+class UnderlayService {
+ public:
+  UnderlayService(underlay::Network& network, UnderlayServiceConfig config = {});
+
+  /// ISP-location (§3.1): via the IP-to-ISP database, not ground truth.
+  [[nodiscard]] std::optional<AsId> isp_of(PeerId peer) const;
+  /// AS-hop distance between two peers as the oracle reports it.
+  [[nodiscard]] std::size_t as_hops(PeerId a, PeerId b) const;
+  [[nodiscard]] const netinfo::Oracle& oracle() const { return oracle_; }
+
+  /// Latency (§3.2): measure or predict.
+  [[nodiscard]] double rtt_ms(PeerId a, PeerId b, LatencyMethod method);
+  /// Feeds Vivaldi with `rounds` gossip rounds over `peers` (each peer
+  /// samples a few random others per round through the pinger, paying
+  /// measurement overhead).
+  void warm_up_coordinates(std::span<const PeerId> peers);
+  [[nodiscard]] const netinfo::VivaldiSystem& vivaldi() const {
+    return *vivaldi_;
+  }
+
+  /// Builds the ICS model from `beacons` (pairwise pings, S1-S5 of [20]).
+  /// Hosts are embedded lazily on first kIcs estimate (H1-H3, m probes
+  /// each, charged to the pinger).
+  void setup_ics(std::span<const PeerId> beacons,
+                 netinfo::IcsConfig config = {});
+  [[nodiscard]] bool ics_ready() const { return ics_.has_value(); }
+
+  /// Geolocation (§3.3).
+  [[nodiscard]] std::optional<underlay::GeoPoint> location(
+      PeerId peer, netinfo::GeoSource source) const;
+  [[nodiscard]] double geo_distance_km(PeerId a, PeerId b,
+                                       netinfo::GeoSource source) const;
+
+  /// Peer resources (§3.4): requires an attached SkyEye over-overlay.
+  void attach_skyeye(const netinfo::SkyEye* skyeye) { skyeye_ = skyeye; }
+  [[nodiscard]] std::vector<netinfo::CapacityEntry> top_capacity(
+      std::size_t k) const;
+
+  /// Collection overhead so far (the open issue §5.4 asks to quantify):
+  /// bytes spent on measurement probes and oracle/database queries.
+  struct OverheadReport {
+    std::uint64_t ping_probes = 0;
+    std::uint64_t ping_bytes = 0;
+    std::uint64_t oracle_queries = 0;
+    std::uint64_t mapping_queries = 0;
+    std::uint64_t vivaldi_updates = 0;
+  };
+  [[nodiscard]] OverheadReport overhead() const;
+
+  [[nodiscard]] underlay::Network& network() { return network_; }
+
+ private:
+  underlay::Network& network_;
+  UnderlayServiceConfig config_;
+  Rng rng_;
+  netinfo::IpMappingService ip_mapping_;
+  netinfo::Oracle oracle_;
+  netinfo::Pinger pinger_;
+  netinfo::GeoProvider geo_;
+  std::unique_ptr<netinfo::VivaldiSystem> vivaldi_;
+  const netinfo::SkyEye* skyeye_ = nullptr;
+  std::optional<netinfo::IcsModel> ics_;
+  std::vector<PeerId> ics_beacons_;
+  std::unordered_map<std::uint32_t, std::vector<double>> ics_coords_;
+  const std::vector<double>& ics_embedding(PeerId peer);
+};
+
+/// A neighbor-selection policy: given a querier and candidates, returns
+/// the candidates best-first. This is the seam between collection (§3)
+/// and usage (§4).
+class NeighborRankingPolicy {
+ public:
+  virtual ~NeighborRankingPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::vector<PeerId> rank(
+      PeerId querier, std::span<const PeerId> candidates) = 0;
+};
+
+/// Factory helpers, one per awareness dimension plus the baseline.
+std::unique_ptr<NeighborRankingPolicy> make_random_policy(std::uint64_t seed);
+std::unique_ptr<NeighborRankingPolicy> make_isp_policy(UnderlayService& service);
+std::unique_ptr<NeighborRankingPolicy> make_latency_policy(
+    UnderlayService& service, LatencyMethod method);
+std::unique_ptr<NeighborRankingPolicy> make_geo_policy(
+    UnderlayService& service, netinfo::GeoSource source);
+std::unique_ptr<NeighborRankingPolicy> make_resource_policy(
+    UnderlayService& service);
+/// Weighted blend of normalized scores across the four dimensions.
+struct CompositeWeights {
+  double isp = 1.0;
+  double latency = 1.0;
+  double geo = 0.0;
+  double resources = 0.0;
+};
+std::unique_ptr<NeighborRankingPolicy> make_composite_policy(
+    UnderlayService& service, CompositeWeights weights, LatencyMethod method,
+    netinfo::GeoSource source);
+
+}  // namespace uap2p::core

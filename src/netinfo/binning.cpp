@@ -1,0 +1,102 @@
+#include "netinfo/binning.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace uap2p::netinfo {
+
+std::string Bin::to_string() const {
+  std::string text;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) text += '-';
+    text += std::to_string(int(order[i]));
+  }
+  text += ':';
+  for (const std::uint8_t level : levels) {
+    text += char('0' + level);
+  }
+  return text;
+}
+
+double Bin::similarity(const Bin& a, const Bin& b) {
+  if (a.order.empty() || a.order.size() != b.order.size()) return 0.0;
+  const std::size_t m = a.order.size();
+  double score = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (a.order[i] != b.order[i]) break;
+    // Matching position in the ordering scores 1, a matching level there
+    // scores an extra 1 (levels refine the ordering).
+    score += 1.0;
+    if (a.levels[i] == b.levels[i]) score += 1.0;
+  }
+  return score / (2.0 * double(m));
+}
+
+BinningSystem::BinningSystem(underlay::Network& network,
+                             std::vector<PeerId> landmarks,
+                             BinningConfig config)
+    : network_(network),
+      config_(std::move(config)),
+      landmarks_(std::move(landmarks)),
+      pinger_(network, Rng(config_.seed), PingerConfig{}) {
+  assert(!landmarks_.empty() && landmarks_.size() < 256);
+  assert(std::is_sorted(config_.level_boundaries_ms.begin(),
+                        config_.level_boundaries_ms.end()));
+}
+
+const Bin& BinningSystem::bin_of(PeerId peer) {
+  const std::size_t index = peer.value();
+  if (cached_.size() <= index) {
+    cached_.resize(index + 1, false);
+    bins_.resize(index + 1);
+  }
+  if (cached_[index]) return bins_[index];
+
+  std::vector<double> rtts(landmarks_.size());
+  for (std::size_t l = 0; l < landmarks_.size(); ++l) {
+    const double rtt = pinger_.measure_rtt(peer, landmarks_[l]);
+    rtts[l] = rtt < 0 ? 1e9 : rtt;
+  }
+  Bin bin;
+  bin.order.resize(landmarks_.size());
+  std::iota(bin.order.begin(), bin.order.end(), std::uint8_t{0});
+  std::sort(bin.order.begin(), bin.order.end(),
+            [&](std::uint8_t a, std::uint8_t b) { return rtts[a] < rtts[b]; });
+  bin.levels.reserve(landmarks_.size());
+  for (const std::uint8_t landmark : bin.order) {
+    std::uint8_t level = 0;
+    for (const double boundary : config_.level_boundaries_ms) {
+      if (rtts[landmark] >= boundary) ++level;
+    }
+    bin.levels.push_back(level);
+  }
+  bins_[index] = std::move(bin);
+  cached_[index] = true;
+  return bins_[index];
+}
+
+std::vector<PeerId> BinningSystem::rank(PeerId self,
+                                        std::span<const PeerId> candidates) {
+  const Bin& mine = bin_of(self);
+  struct Scored {
+    PeerId peer;
+    double similarity;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (const PeerId candidate : candidates) {
+    if (candidate == self) continue;
+    scored.push_back(Scored{candidate, Bin::similarity(mine, bin_of(candidate))});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.similarity > b.similarity;
+                   });
+  std::vector<PeerId> result;
+  result.reserve(scored.size());
+  for (const Scored& s : scored) result.push_back(s.peer);
+  return result;
+}
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,73 @@
+// Distributed binning — "Topologically-aware overlay construction and
+// server selection" (Ratnasamy et al. [26]; the survey's "Landmark-based
+// proximity" entry, §3.2).
+//
+// Each peer measures its RTT to a small, well-known set of landmarks and
+// derives a *bin*: the landmark ordering (nearest first) plus a coarse
+// quantization level per landmark. Peers with the same bin are likely to
+// be topologically close — without any peer ever probing another peer.
+// The technique trades the coordinate precision of Vivaldi/ICS for
+// near-zero state and no coordinate maintenance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "netinfo/pinger.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::netinfo {
+
+struct BinningConfig {
+  /// Quantization boundaries in ms: RTT below boundary[0] is level 0, etc.
+  std::vector<double> level_boundaries_ms = {40.0, 100.0};
+  std::uint64_t seed = 59;
+};
+
+/// A peer's bin: landmark order (indices, nearest first) and per-landmark
+/// quantization level, in the same (sorted) order.
+struct Bin {
+  std::vector<std::uint8_t> order;
+  std::vector<std::uint8_t> levels;
+
+  friend bool operator==(const Bin&, const Bin&) = default;
+  /// e.g. "2-0-1:001" — the canonical textual form used as a map key.
+  [[nodiscard]] std::string to_string() const;
+  /// Similarity in [0, 1]: longest common prefix of the landmark order,
+  /// weighted by matching levels (the paper's suggested refinement for
+  /// comparing non-identical bins).
+  [[nodiscard]] static double similarity(const Bin& a, const Bin& b);
+};
+
+class BinningSystem {
+ public:
+  /// `landmarks` are existing peers acting as the well-known landmark set.
+  BinningSystem(underlay::Network& network, std::vector<PeerId> landmarks,
+                BinningConfig config = {});
+
+  /// Measures (through the shared pinger, paying probe overhead) and
+  /// caches the bin of `peer`.
+  const Bin& bin_of(PeerId peer);
+
+  /// Ranks candidates by descending bin similarity with `self`.
+  [[nodiscard]] std::vector<PeerId> rank(PeerId self,
+                                         std::span<const PeerId> candidates);
+
+  [[nodiscard]] std::size_t landmark_count() const {
+    return landmarks_.size();
+  }
+  [[nodiscard]] const Pinger& pinger() const { return pinger_; }
+
+ private:
+  underlay::Network& network_;
+  BinningConfig config_;
+  std::vector<PeerId> landmarks_;
+  Pinger pinger_;
+  std::vector<bool> cached_;
+  std::vector<Bin> bins_;
+};
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,115 @@
+#include "netinfo/cdn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace uap2p::netinfo {
+
+SimulatedCdn::SimulatedCdn(underlay::Network& network, CdnConfig config)
+    : network_(network), config_(config), rng_(config.seed) {
+  // Replicas sit "at the edge of the Internet near end users": one per AS,
+  // spread round-robin over distinct ASes, attached at the gateway.
+  const auto& topology = network_.topology();
+  const std::size_t replica_count =
+      std::min(config_.replica_count, topology.as_count());
+  underlay::HostResources server;
+  server.upload_mbps = 1000.0;
+  server.download_mbps = 1000.0;
+  server.cpu_score = 16.0;
+  for (std::size_t i = 0; i < replica_count; ++i) {
+    const auto as = AsId(static_cast<std::uint32_t>(
+        (i * topology.as_count()) / replica_count));
+    replicas_.push_back(network_.add_host(topology.gateway_of(as), server));
+  }
+}
+
+std::size_t SimulatedCdn::redirect(PeerId client) {
+  assert(!replicas_.empty());
+  ++redirects_;
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const double latency = network_.rtt_ms(client, replicas_[i]);
+    const double score =
+        latency * std::exp(rng_.normal(0.0, config_.load_noise_sigma));
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+CdnInference::CdnInference(SimulatedCdn& cdn, std::size_t peer_count)
+    : cdn_(cdn) {
+  counts_.assign(peer_count,
+                 std::vector<std::uint32_t>(cdn.replica_count(), 0));
+}
+
+void CdnInference::sample(PeerId peer) {
+  assert(peer.value() < counts_.size());
+  ++counts_[peer.value()][cdn_.redirect(peer)];
+}
+
+void CdnInference::warm_up(std::span<const PeerId> peers) {
+  // Config lives on the CDN side; pull the sample budget from there by
+  // sampling a fixed number of times per peer.
+  for (const PeerId peer : peers) {
+    for (unsigned i = 0; i < 32; ++i) sample(peer);
+  }
+}
+
+std::vector<double> CdnInference::ratio_map(PeerId peer) const {
+  const auto& counts = counts_[peer.value()];
+  const double total = std::accumulate(counts.begin(), counts.end(), 0.0);
+  std::vector<double> ratios(counts.size(), 0.0);
+  if (total > 0) {
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      ratios[i] = static_cast<double>(counts[i]) / total;
+  }
+  return ratios;
+}
+
+double CdnInference::similarity(PeerId a, PeerId b) const {
+  const auto ra = ratio_map(a);
+  const auto rb = ratio_map(b);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    dot += ra[i] * rb[i];
+    na += ra[i] * ra[i];
+    nb += rb[i] * rb[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+std::vector<PeerId> CdnInference::rank(
+    PeerId querier, std::span<const PeerId> candidates) const {
+  struct Scored {
+    PeerId peer;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (const PeerId candidate : candidates) {
+    if (candidate == querier) continue;
+    scored.push_back(Scored{candidate, similarity(querier, candidate)});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score > b.score;
+                   });
+  std::vector<PeerId> result;
+  result.reserve(scored.size());
+  for (const Scored& s : scored) result.push_back(s.peer);
+  return result;
+}
+
+std::uint64_t CdnInference::sample_count(PeerId peer) const {
+  const auto& counts = counts_[peer.value()];
+  return std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+}
+
+}  // namespace uap2p::netinfo

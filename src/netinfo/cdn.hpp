@@ -1,0 +1,84 @@
+// CDN-based proximity inference, the Ono technique of Choffnes &
+// Bustamante [5] (paper §3.1, "CDN Provided Information").
+//
+// CDNs redirect each client to the replica server with the least load and
+// shortest path. Ono's insight: two peers that are frequently redirected
+// to the same replicas are close to each other — the CDN's global view is
+// recycled for free. Here a SimulatedCdn places replicas in distinct ASes
+// and redirects by measured latency (with load noise); each peer samples
+// redirections over time into a ratio map, and proximity between peers is
+// the cosine similarity of their ratio maps, exactly Ono's metric.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::netinfo {
+
+struct CdnConfig {
+  std::size_t replica_count = 8;
+  /// Load noise: replica scores are latency * exp(N(0, sigma)); models the
+  /// load-balancing component of real redirections.
+  double load_noise_sigma = 0.25;
+  /// Samples a peer accumulates before its ratio map is considered stable.
+  unsigned samples_per_peer = 32;
+  std::uint64_t seed = 23;
+};
+
+/// The CDN operator side: replica placement and per-request redirection.
+class SimulatedCdn {
+ public:
+  SimulatedCdn(underlay::Network& network, CdnConfig config = {});
+
+  /// One DNS-style redirection: index of the replica chosen for `client`.
+  std::size_t redirect(PeerId client);
+
+  [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  /// The peer acting as replica `index` (placed on a gateway host).
+  [[nodiscard]] PeerId replica(std::size_t index) const {
+    return replicas_[index];
+  }
+  [[nodiscard]] std::uint64_t redirect_count() const { return redirects_; }
+
+ private:
+  underlay::Network& network_;
+  CdnConfig config_;
+  Rng rng_;
+  std::vector<PeerId> replicas_;
+  std::uint64_t redirects_ = 0;
+};
+
+/// The peer side: ratio maps + cosine similarity.
+class CdnInference {
+ public:
+  CdnInference(SimulatedCdn& cdn, std::size_t peer_count);
+
+  /// Lets `peer` observe one redirection (call repeatedly over time).
+  void sample(PeerId peer);
+  /// Runs the configured number of samples for every peer in `peers`.
+  void warm_up(std::span<const PeerId> peers);
+
+  /// Ono ratio map: fraction of redirections that chose each replica.
+  [[nodiscard]] std::vector<double> ratio_map(PeerId peer) const;
+
+  /// Cosine similarity of two peers' ratio maps in [0, 1]; Ono treats
+  /// peers above a threshold (0.15 in the paper's deployment) as close.
+  [[nodiscard]] double similarity(PeerId a, PeerId b) const;
+
+  /// Ranks `candidates` by descending similarity with `querier` — a
+  /// drop-in alternative to the ISP oracle that needs no ISP cooperation.
+  [[nodiscard]] std::vector<PeerId> rank(
+      PeerId querier, std::span<const PeerId> candidates) const;
+
+  [[nodiscard]] std::uint64_t sample_count(PeerId peer) const;
+
+ private:
+  SimulatedCdn& cdn_;
+  std::vector<std::vector<std::uint32_t>> counts_;  // [peer][replica]
+};
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,48 @@
+#include "netinfo/geoprov.hpp"
+
+namespace uap2p::netinfo {
+namespace {
+// One degree of latitude ~ 111.32 km.
+constexpr double kMetersPerDegree = 111320.0;
+}  // namespace
+
+GeoProvider::GeoProvider(const underlay::Network& network,
+                         const IpMappingService& ip_mapping,
+                         GeoProviderConfig config)
+    : network_(network), ip_mapping_(ip_mapping), config_(config) {}
+
+underlay::GeoPoint GeoProvider::gps_fix(PeerId peer) const {
+  // Deterministic per-peer receiver error (a fixed multipath environment).
+  Rng rng(config_.seed ^ (std::uint64_t{peer.value()} * 0x2545f4914f6cdd1dull));
+  underlay::GeoPoint truth = network_.host(peer).location;
+  const double sigma_deg = config_.gps_sigma_m / kMetersPerDegree;
+  truth.lat_deg += rng.normal(0.0, sigma_deg);
+  truth.lon_deg += rng.normal(0.0, sigma_deg);
+  return truth;
+}
+
+std::optional<underlay::GeoPoint> GeoProvider::locate(PeerId peer,
+                                                      GeoSource source) const {
+  switch (source) {
+    case GeoSource::kGps:
+      return gps_fix(peer);
+    case GeoSource::kIpMapping:
+      return ip_mapping_.lookup_location(network_.host(peer).ip);
+    case GeoSource::kIspProvided:
+      return network_.host(peer).location;
+  }
+  return std::nullopt;
+}
+
+underlay::UtmCoordinate GeoProvider::locate_utm(PeerId peer) const {
+  return underlay::to_utm(gps_fix(peer));
+}
+
+double GeoProvider::distance_km(PeerId a, PeerId b, GeoSource source) const {
+  const auto pa = locate(a, source);
+  const auto pb = locate(b, source);
+  if (!pa || !pb) return -1.0;
+  return underlay::haversine_km(*pa, *pb);
+}
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,56 @@
+// Geolocation providers (paper §3.3): the two collection classes the
+// survey identifies, behind one interface.
+//
+//  * Satellite positioning (GPS / Galileo / GLONASS): precise, reported in
+//    UTM; modelled as ground truth plus a few metres of Gaussian error.
+//  * IP-to-Location mapping: cheap but coarse — delegates to
+//    IpMappingService, which returns a region centroid.
+//  * ISP-provided: the ISP knows its customers' exact addresses; precise
+//    but requires trusting the ISP with location data (§5.1).
+#pragma once
+
+#include <optional>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "netinfo/ipmap.hpp"
+#include "underlay/geo.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::netinfo {
+
+enum class GeoSource { kGps, kIpMapping, kIspProvided };
+
+struct GeoProviderConfig {
+  /// GPS standard error, metres (consumer receivers: ~5 m).
+  double gps_sigma_m = 5.0;
+  std::uint64_t seed = 31;
+};
+
+class GeoProvider {
+ public:
+  GeoProvider(const underlay::Network& network,
+              const IpMappingService& ip_mapping,
+              GeoProviderConfig config = {});
+
+  /// Position estimate from the chosen source. kGps/kIspProvided always
+  /// succeed; kIpMapping fails when the IP has no database entry.
+  [[nodiscard]] std::optional<underlay::GeoPoint> locate(
+      PeerId peer, GeoSource source) const;
+
+  /// GPS fix in UTM, the representation the paper's reference [12] uses.
+  [[nodiscard]] underlay::UtmCoordinate locate_utm(PeerId peer) const;
+
+  /// Estimated great-circle distance between two peers using `source` for
+  /// both ends; negative when either lookup fails.
+  [[nodiscard]] double distance_km(PeerId a, PeerId b, GeoSource source) const;
+
+ private:
+  [[nodiscard]] underlay::GeoPoint gps_fix(PeerId peer) const;
+
+  const underlay::Network& network_;
+  const IpMappingService& ip_mapping_;
+  GeoProviderConfig config_;
+};
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,58 @@
+#include "netinfo/gmeasure.hpp"
+
+#include <algorithm>
+
+namespace uap2p::netinfo {
+namespace {
+std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (std::uint64_t(a) << 32) | b;
+}
+}  // namespace
+
+GroupMeasure::GroupMeasure(underlay::Network& network, Pinger& pinger,
+                           std::vector<PeerId> peers)
+    : network_(network), pinger_(pinger) {
+  for (const PeerId peer : peers) {
+    const std::uint32_t as = network_.host(peer).as.value();
+    auto [it, inserted] = heads_.try_emplace(as, peer);
+    if (!inserted && !second_member_.contains(as)) {
+      second_member_.emplace(as, peer);
+    }
+  }
+}
+
+PeerId GroupMeasure::head_of(PeerId peer) const {
+  const auto it = heads_.find(network_.host(peer).as.value());
+  return it == heads_.end() ? PeerId::invalid() : it->second;
+}
+
+double GroupMeasure::estimate_rtt(PeerId a, PeerId b) {
+  const std::uint32_t as_a = network_.host(a).as.value();
+  const std::uint32_t as_b = network_.host(b).as.value();
+  if (as_a == as_b) {
+    auto it = intra_cache_.find(as_a);
+    if (it != intra_cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    const auto second = second_member_.find(as_a);
+    if (second == second_member_.end()) return -1.0;  // singleton group
+    const double rtt = pinger_.measure_rtt(heads_.at(as_a), second->second);
+    if (rtt > 0) intra_cache_.emplace(as_a, rtt);
+    return rtt;
+  }
+  const std::uint64_t key = pair_key(as_a, as_b);
+  auto it = pair_cache_.find(key);
+  if (it != pair_cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const double rtt = pinger_.measure_rtt(heads_.at(as_a), heads_.at(as_b));
+  if (rtt > 0) pair_cache_.emplace(key, rtt);
+  return rtt;
+}
+
+}  // namespace uap2p::netinfo

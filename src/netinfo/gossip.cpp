@@ -1,0 +1,54 @@
+#include "netinfo/gossip.hpp"
+
+namespace uap2p::netinfo {
+
+CoordinateGossip::CoordinateGossip(underlay::Network& network,
+                                   VivaldiSystem& vivaldi, Pinger& pinger,
+                                   std::vector<PeerId> peers,
+                                   GossipConfig config)
+    : network_(network),
+      vivaldi_(vivaldi),
+      pinger_(pinger),
+      peers_(std::move(peers)),
+      config_(config),
+      rng_(config.seed) {
+  timers_.resize(peers_.size());
+}
+
+void CoordinateGossip::start() {
+  running_ = true;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    // Stagger so the probe load spreads over one period.
+    schedule(i, config_.sample_period_ms *
+                    (static_cast<double>(i % 32) + 1.0) / 33.0);
+  }
+}
+
+void CoordinateGossip::stop() {
+  running_ = false;
+  for (auto& timer : timers_) timer.cancel();
+}
+
+void CoordinateGossip::schedule(std::size_t index, sim::SimTime delay) {
+  if (!running_) return;
+  timers_[index] = network_.engine().schedule(delay, [this, index] {
+    tick(index);
+    schedule(index, config_.sample_period_ms);
+  });
+}
+
+void CoordinateGossip::tick(std::size_t index) {
+  const PeerId self = peers_[index];
+  if (!network_.is_online(self)) return;
+  for (unsigned s = 0; s < config_.samples_per_tick; ++s) {
+    const PeerId other = peers_[rng_.uniform(peers_.size())];
+    if (other == self) continue;
+    const double rtt = pinger_.measure_rtt(self, other);
+    if (rtt > 0.0) {
+      vivaldi_.update(self, other, rtt);
+      ++samples_;
+    }
+  }
+}
+
+}  // namespace uap2p::netinfo

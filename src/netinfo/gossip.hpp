@@ -1,0 +1,53 @@
+// Engine-driven Vivaldi maintenance (the deployed form of §3.2's
+// prediction methods): every peer periodically samples the RTT to a
+// random partner through the shared Pinger (paying probe overhead) and
+// applies the Vivaldi update. This is the continuous background process
+// a real deployment runs; UnderlayService::warm_up_coordinates is its
+// synchronous lab shortcut.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "netinfo/pinger.hpp"
+#include "netinfo/vivaldi.hpp"
+#include "sim/engine.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::netinfo {
+
+struct GossipConfig {
+  sim::SimTime sample_period_ms = sim::seconds(10);  ///< Per peer.
+  unsigned samples_per_tick = 1;
+  std::uint64_t seed = 103;
+};
+
+class CoordinateGossip {
+ public:
+  CoordinateGossip(underlay::Network& network, VivaldiSystem& vivaldi,
+                   Pinger& pinger, std::vector<PeerId> peers,
+                   GossipConfig config = {});
+
+  /// Starts the periodic sampling (staggered start offsets).
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+
+ private:
+  void tick(std::size_t index);
+  void schedule(std::size_t index, sim::SimTime delay);
+
+  underlay::Network& network_;
+  VivaldiSystem& vivaldi_;
+  Pinger& pinger_;
+  std::vector<PeerId> peers_;
+  GossipConfig config_;
+  Rng rng_;
+  std::vector<sim::EventHandle> timers_;
+  std::uint64_t samples_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace uap2p::netinfo

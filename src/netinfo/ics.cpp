@@ -1,0 +1,91 @@
+#include "netinfo/ics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace uap2p::netinfo {
+
+IcsModel IcsModel::build(const Matrix& rtt_matrix, const IcsConfig& config) {
+  const std::size_t m = rtt_matrix.rows();
+  assert(rtt_matrix.cols() == m && m >= 2);
+
+  // Symmetrize defensively (measured RTT matrices are nearly but not
+  // exactly symmetric — the paper's "asymmetric node selection" challenge).
+  Matrix d(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      d(i, j) = i == j ? 0.0 : 0.5 * (rtt_matrix(i, j) + rtt_matrix(j, i));
+    }
+  }
+
+  // (S3) PCA: eigendecomposition of the symmetric distance matrix, sorted
+  // by |eigenvalue| = singular value.
+  const EigenResult eigen = symmetric_eigen(d);
+
+  // (S4) dimension from cumulative percentage of variation over squared
+  // singular values.
+  double total_variation = 0.0;
+  for (double lambda : eigen.eigenvalues) total_variation += lambda * lambda;
+  std::size_t n = 0;
+  double covered = 0.0;
+  while (n < m && (covered < config.variation_threshold * total_variation ||
+                   n < config.min_dimensions)) {
+    covered += eigen.eigenvalues[n] * eigen.eigenvalues[n];
+    ++n;
+  }
+  if (config.max_dimensions > 0) n = std::min(n, config.max_dimensions);
+  n = std::max<std::size_t>(1, std::min(n, m));
+
+  IcsModel model;
+  model.dimensions_ = n;
+  model.variation_covered_ =
+      total_variation > 0.0 ? covered / total_variation : 1.0;
+
+  // Unscaled principal basis U_n (m x n) and unscaled beacon coordinates
+  // c_i = U_nᵀ d_i.
+  Matrix u_n(m, n);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) u_n(r, c) = eigen.eigenvectors(r, c);
+
+  std::vector<std::vector<double>> unscaled(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<double> d_i(m);
+    for (std::size_t r = 0; r < m; ++r) d_i[r] = d(r, i);
+    unscaled[i] = u_n.transpose_times(d_i);
+  }
+
+  // (S5) least-squares scale over beacon pairs:
+  //   alpha = sum(D_ij * L_ij) / sum(L_ij^2),
+  // the minimizer of sum (D_ij - alpha * L_ij)^2.
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double embedded = l2_distance(unscaled[i], unscaled[j]);
+      numerator += d(i, j) * embedded;
+      denominator += embedded * embedded;
+    }
+  }
+  model.scale_ = denominator > 1e-12 ? numerator / denominator : 1.0;
+
+  model.transformation_ = Matrix(m, n);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      model.transformation_(r, c) = model.scale_ * u_n(r, c);
+
+  model.beacon_coords_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    model.beacon_coords_[i] = unscaled[i];
+    for (double& x : model.beacon_coords_[i]) x *= model.scale_;
+  }
+  return model;
+}
+
+std::vector<double> IcsModel::embed(
+    const std::vector<double>& rtt_to_beacons) const {
+  assert(rtt_to_beacons.size() == transformation_.rows());
+  return transformation_.transpose_times(rtt_to_beacons);
+}
+
+}  // namespace uap2p::netinfo

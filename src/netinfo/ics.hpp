@@ -1,0 +1,81 @@
+// Internet Coordinate System of Lim, Hou & Choi [20] (paper §3.2, Fig. 4).
+//
+// Landmark ("beacon") based latency prediction:
+//  (S1) beacons measure pairwise RTTs, giving the distance matrix D;
+//  (S2-S3) an administrative node applies PCA to D (symmetric
+//          eigendecomposition, principal directions by |eigenvalue|);
+//  (S4) the embedding dimension n is the smallest one whose cumulative
+//       percentage of variation exceeds a threshold;
+//  (S5) the transformation matrix is the scaled principal basis
+//       Ū_n = α·U_n, where α is the least-squares factor matching
+//       embedded beacon distances to measured ones.
+// Beacon coordinates are c̄_i = Ū_nᵀ d_i. A joining host measures the
+// m-vector l of RTTs to the beacons and obtains x = Ū_nᵀ l (H1–H3).
+//
+// The worked Examples 4 and 5 of [20], reprinted in the survey, are locked
+// in this repo's unit tests (α = 0.6 for n=2, α = 0.5927 for n=4, host A
+// at [-3, 1.8], etc.).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "netinfo/matrix.hpp"
+
+namespace uap2p::netinfo {
+
+struct IcsConfig {
+  /// Cumulative percentage-of-variation threshold for picking the
+  /// dimension (S4); 0.95 keeps principal components covering 95% of the
+  /// variation (measured on squared singular values).
+  double variation_threshold = 0.95;
+  /// Optional hard cap / floor on the dimension; 0 disables the cap.
+  std::size_t max_dimensions = 0;
+  std::size_t min_dimensions = 2;
+};
+
+/// The administrative node's output: everything a host needs to join.
+class IcsModel {
+ public:
+  /// Builds the model from the beacon RTT matrix (S2–S5). `rtt_matrix`
+  /// must be square and symmetric; the diagonal is ignored (taken as 0).
+  static IcsModel build(const Matrix& rtt_matrix, const IcsConfig& config = {});
+
+  /// Dimension n chosen in (S4).
+  [[nodiscard]] std::size_t dimensions() const { return dimensions_; }
+  /// Least-squares scale α from (S5).
+  [[nodiscard]] double scale() const { return scale_; }
+  /// Ū_n: m x n transformation matrix handed to joining hosts (H1).
+  [[nodiscard]] const Matrix& transformation() const { return transformation_; }
+  /// Scaled beacon coordinate c̄_i.
+  [[nodiscard]] const std::vector<double>& beacon_coordinate(
+      std::size_t beacon) const {
+    return beacon_coords_[beacon];
+  }
+  [[nodiscard]] std::size_t beacon_count() const {
+    return beacon_coords_.size();
+  }
+
+  /// (H3): embeds a host from its RTT vector to all beacons.
+  [[nodiscard]] std::vector<double> embed(
+      const std::vector<double>& rtt_to_beacons) const;
+
+  /// Predicted RTT between two embedded coordinates.
+  [[nodiscard]] static double estimate_rtt(const std::vector<double>& a,
+                                           const std::vector<double>& b) {
+    return l2_distance(a, b);
+  }
+
+  /// Cumulative percentage of variation actually covered by the chosen n.
+  [[nodiscard]] double variation_covered() const { return variation_covered_; }
+
+ private:
+  std::size_t dimensions_ = 0;
+  double scale_ = 1.0;
+  double variation_covered_ = 0.0;
+  Matrix transformation_;  // m x n, already scaled by alpha
+  std::vector<std::vector<double>> beacon_coords_;
+};
+
+}  // namespace uap2p::netinfo

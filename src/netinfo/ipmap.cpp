@@ -1,0 +1,90 @@
+#include "netinfo/ipmap.hpp"
+
+#include <cassert>
+
+namespace uap2p::netinfo {
+
+struct PrefixTrie::Node {
+  std::unique_ptr<Node> child[2];
+  std::optional<IpMappingEntry> entry;
+};
+
+PrefixTrie::PrefixTrie() : root_(std::make_unique<Node>()) {}
+PrefixTrie::~PrefixTrie() = default;
+PrefixTrie::PrefixTrie(PrefixTrie&&) noexcept = default;
+PrefixTrie& PrefixTrie::operator=(PrefixTrie&&) noexcept = default;
+
+void PrefixTrie::insert(std::uint32_t prefix, int len, IpMappingEntry entry) {
+  assert(len >= 0 && len <= 32);
+  Node* node = root_.get();
+  for (int bit = 0; bit < len; ++bit) {
+    const int branch = (prefix >> (31 - bit)) & 1;
+    if (!node->child[branch]) node->child[branch] = std::make_unique<Node>();
+    node = node->child[branch].get();
+  }
+  if (!node->entry) ++entries_;
+  node->entry = entry;
+}
+
+std::optional<IpMappingEntry> PrefixTrie::lookup(IpAddress ip) const {
+  const Node* node = root_.get();
+  std::optional<IpMappingEntry> best = node->entry;
+  for (int bit = 0; bit < 32 && node; ++bit) {
+    const int branch = (ip.bits >> (31 - bit)) & 1;
+    node = node->child[branch].get();
+    if (node && node->entry) best = node->entry;
+  }
+  return best;
+}
+
+IpMappingService::IpMappingService(const underlay::AsTopology& topology,
+                                   IpMappingConfig config)
+    : topology_(topology), config_(config) {
+  for (const auto& as : topology.ases()) {
+    trie_.insert(as.prefix, as.prefix_len,
+                 IpMappingEntry{as.id, as.location});
+  }
+}
+
+std::optional<IpMappingEntry> IpMappingService::resolve(IpAddress ip) const {
+  ++queries_;
+  auto entry = trie_.lookup(ip);
+  if (!entry) return std::nullopt;
+  // Deterministic per-IP error channel: hash the IP with the seed so the
+  // same IP always resolves the same (possibly wrong) way, like a stale
+  // database row would.
+  if (config_.error_rate > 0.0 || config_.location_jitter_deg > 0.0) {
+    Rng rng(config_.seed ^ (std::uint64_t{ip.bits} * 0x9e3779b97f4a7c15ull));
+    if (rng.bernoulli(config_.error_rate) && topology_.as_count() > 1) {
+      AsId wrong = entry->isp;
+      while (wrong == entry->isp) {
+        wrong = AsId(static_cast<std::uint32_t>(
+            rng.uniform(topology_.as_count())));
+      }
+      entry->isp = wrong;
+      entry->region = topology_.as_info(wrong).location;
+    }
+    if (config_.location_jitter_deg > 0.0) {
+      entry->region.lat_deg += rng.uniform_real(-config_.location_jitter_deg,
+                                                config_.location_jitter_deg);
+      entry->region.lon_deg += rng.uniform_real(-config_.location_jitter_deg,
+                                                config_.location_jitter_deg);
+    }
+  }
+  return entry;
+}
+
+std::optional<AsId> IpMappingService::lookup_isp(IpAddress ip) const {
+  auto entry = resolve(ip);
+  if (!entry) return std::nullopt;
+  return entry->isp;
+}
+
+std::optional<underlay::GeoPoint> IpMappingService::lookup_location(
+    IpAddress ip) const {
+  auto entry = resolve(ip);
+  if (!entry) return std::nullopt;
+  return entry->region;
+}
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,87 @@
+// IP-to-ISP and IP-to-location mapping services (paper §3.1, §3.3).
+//
+// Real services ([13] IP2Country, [14] IP2Location, [15] IPGEO) resolve an
+// IP to the owning ISP and a rough geographic region via allocation
+// databases. We model the database as a binary longest-prefix-match trie
+// filled from the underlay's ground-truth prefix allocations, with
+// configurable inaccuracy: a fraction of lookups returns a stale/wrong
+// entry, and returned locations are region centroids, not street
+// addresses — the paper's "less accurate, rough geographical area" caveat.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "underlay/geo.hpp"
+#include "underlay/topology.hpp"
+
+namespace uap2p::netinfo {
+
+/// A resolved database entry.
+struct IpMappingEntry {
+  AsId isp;                        ///< Owning ISP.
+  underlay::GeoPoint region;       ///< Region centroid (AS location).
+};
+
+/// Binary trie keyed on IP prefixes, longest match wins. Standalone so
+/// tests can exercise LPM semantics directly.
+class PrefixTrie {
+ public:
+  PrefixTrie();
+  ~PrefixTrie();
+  PrefixTrie(PrefixTrie&&) noexcept;
+  PrefixTrie& operator=(PrefixTrie&&) noexcept;
+  PrefixTrie(const PrefixTrie&) = delete;
+  PrefixTrie& operator=(const PrefixTrie&) = delete;
+
+  /// Inserts `prefix/len`; a later insert of the same prefix overwrites.
+  void insert(std::uint32_t prefix, int len, IpMappingEntry entry);
+  /// Longest-prefix match; nullopt when no covering prefix exists.
+  [[nodiscard]] std::optional<IpMappingEntry> lookup(IpAddress ip) const;
+  [[nodiscard]] std::size_t entry_count() const { return entries_; }
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t entries_ = 0;
+};
+
+struct IpMappingConfig {
+  /// Probability that a lookup returns a wrong ISP (stale allocation data).
+  double error_rate = 0.0;
+  /// Uniform jitter (degrees) applied to returned region centroids,
+  /// modelling city-level granularity.
+  double location_jitter_deg = 0.0;
+  std::uint64_t seed = 7;
+};
+
+/// The queryable service, built from an underlay's allocations.
+class IpMappingService {
+ public:
+  IpMappingService(const underlay::AsTopology& topology,
+                   IpMappingConfig config = {});
+
+  /// ISP lookup (IP-to-ISP, §3.1). Errors are deterministic per (ip, seed).
+  [[nodiscard]] std::optional<AsId> lookup_isp(IpAddress ip) const;
+  /// Location lookup (IP-to-Location, §3.3); jittered centroid.
+  [[nodiscard]] std::optional<underlay::GeoPoint> lookup_location(
+      IpAddress ip) const;
+
+  [[nodiscard]] std::uint64_t query_count() const { return queries_; }
+  [[nodiscard]] std::size_t database_size() const {
+    return trie_.entry_count();
+  }
+
+ private:
+  [[nodiscard]] std::optional<IpMappingEntry> resolve(IpAddress ip) const;
+
+  const underlay::AsTopology& topology_;
+  IpMappingConfig config_;
+  PrefixTrie trie_;
+  mutable std::uint64_t queries_ = 0;
+};
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,56 @@
+// Minimal dense linear algebra for the Internet Coordinate System of
+// Lim et al. [20] (paper §3.2, Figure 4): symmetric eigendecomposition via
+// cyclic Jacobi rotations, which is exact enough (and simple enough to
+// audit) for the <= few-hundred-beacon matrices ICS uses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace uap2p::netinfo {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  /// y = A^T x for a column vector x (size rows()).
+  [[nodiscard]] std::vector<double> transpose_times(
+      const std::vector<double>& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Eigendecomposition of a symmetric matrix, sorted by |eigenvalue|
+/// descending (the order PCA consumes singular values in).
+struct EigenResult {
+  std::vector<double> eigenvalues;  ///< Signed, sorted by magnitude desc.
+  Matrix eigenvectors;              ///< Column i pairs with eigenvalues[i].
+};
+
+/// Cyclic Jacobi; `a` must be symmetric. Converges to machine precision in
+/// a handful of sweeps for well-conditioned inputs.
+EigenResult symmetric_eigen(const Matrix& a, int max_sweeps = 64);
+
+/// Euclidean distance between two equal-length vectors.
+double l2_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,51 @@
+// Message-type tag namespaces for overlays sharing one Network.
+//
+// Network::add_handler delivers every message to every handler of the
+// destination peer; overlays filter on these disjoint ranges. Keeping the
+// allocation in one header prevents collisions between modules.
+#pragma once
+
+namespace uap2p::msg {
+
+// Gnutella (overlay/gnutella): the four message types of [1]'s Table 1
+// plus the HTTP-like file transfer that happens outside the overlay.
+inline constexpr int kGnutellaBase = 100;
+inline constexpr int kGnutellaPing = 100;
+inline constexpr int kGnutellaPong = 101;
+inline constexpr int kGnutellaQuery = 102;
+inline constexpr int kGnutellaQueryHit = 103;
+inline constexpr int kGnutellaHttpRequest = 110;
+inline constexpr int kGnutellaHttpData = 111;
+
+// Kademlia (overlay/kademlia).
+inline constexpr int kKademliaBase = 200;
+inline constexpr int kKademliaFindNode = 200;
+inline constexpr int kKademliaFindNodeReply = 201;
+inline constexpr int kKademliaStore = 202;
+inline constexpr int kKademliaFindValue = 203;
+inline constexpr int kKademliaFindValueReply = 204;
+
+// BitTorrent-like swarm (overlay/bittorrent).
+inline constexpr int kBtBase = 300;
+inline constexpr int kBtHave = 300;
+inline constexpr int kBtRequest = 301;
+inline constexpr int kBtPiece = 302;
+inline constexpr int kBtTrackerAnnounce = 303;
+inline constexpr int kBtTrackerReply = 304;
+
+// SkyEye information-management over-overlay (netinfo/skyeye).
+inline constexpr int kSkyEyeBase = 400;
+inline constexpr int kSkyEyeReport = 400;
+inline constexpr int kSkyEyeQuery = 401;
+inline constexpr int kSkyEyeQueryReply = 402;
+
+// Geolocation overlay (overlay/geo_overlay).
+inline constexpr int kGeoBase = 500;
+inline constexpr int kGeoSearch = 500;
+inline constexpr int kGeoSearchReply = 501;
+inline constexpr int kGeoCastDeliver = 502;
+inline constexpr int kGeoScopedPut = 503;
+inline constexpr int kGeoScopedGet = 504;
+inline constexpr int kGeoScopedGetReply = 505;
+
+}  // namespace uap2p::msg

@@ -1,0 +1,55 @@
+#include "netinfo/oracle.hpp"
+
+#include <algorithm>
+
+namespace uap2p::netinfo {
+
+Oracle::Oracle(const underlay::Network& network, OracleConfig config)
+    : network_(network), config_(config), rng_(config.seed) {}
+
+std::size_t Oracle::as_hops(PeerId a, PeerId b) const {
+  return network_.topology().as_hop_distance(network_.host(a).as,
+                                             network_.host(b).as);
+}
+
+std::vector<PeerId> Oracle::rank(PeerId querier,
+                                 std::span<const PeerId> candidates) const {
+  ++queries_;
+  const AsId home = network_.host(querier).as;
+  struct Ranked {
+    PeerId peer;
+    std::size_t hops;
+    std::uint64_t tiebreak;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(std::min(candidates.size(), config_.max_list_size));
+  for (const PeerId candidate : candidates) {
+    if (ranked.size() >= config_.max_list_size) break;
+    if (candidate == querier || !network_.is_online(candidate)) continue;
+    const AsId as = network_.host(candidate).as;
+    const std::size_t hops = network_.topology().as_hop_distance(home, as);
+    ranked.push_back(
+        Ranked{candidate, hops, config_.shuffle_ties ? rng_() : 0});
+  }
+  ranked_ += ranked.size();
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.hops != b.hops) return a.hops < b.hops;
+    if (a.tiebreak != b.tiebreak) return a.tiebreak < b.tiebreak;
+    return a.peer < b.peer;
+  });
+  std::vector<PeerId> result;
+  result.reserve(ranked.size());
+  for (const Ranked& r : ranked) result.push_back(r.peer);
+  if (config_.dishonest_rate > 0.0 && rng_.bernoulli(config_.dishonest_rate)) {
+    // A dishonest ISP steers the peer to the most distant candidates.
+    std::reverse(result.begin(), result.end());
+  }
+  return result;
+}
+
+PeerId Oracle::best(PeerId querier, std::span<const PeerId> candidates) const {
+  const auto ranked = rank(querier, candidates);
+  return ranked.empty() ? PeerId::invalid() : ranked.front();
+}
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,63 @@
+// The ISP Oracle of Aggarwal, Feldmann & Scheideler [1] (paper §3.1 "ISP
+// Component In Network" and §4, Figures 5/6).
+//
+// A peer hands the oracle its hostcache (a list of candidate neighbor
+// addresses); the oracle — run by the ISP, which knows the AS topology —
+// returns the list ranked by AS-hop distance from the querying peer, so
+// the peer joins a node within its own AS when one is available, else one
+// from the nearest AS. Ties inside one rank are shuffled to avoid
+// hot-spotting the same peer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::netinfo {
+
+struct OracleConfig {
+  /// Maximum list size a peer may submit per query ([1] evaluates 100 and
+  /// 1000); longer lists are truncated before ranking.
+  std::size_t max_list_size = 1000;
+  /// Shuffle ties within the same AS-hop rank.
+  bool shuffle_ties = true;
+  /// §6 "ISP Internal Information" trust ablation: with this probability a
+  /// query is answered dishonestly (ranking inverted — the worst case of
+  /// an oracle optimizing against the peer). 0 = honest ISP.
+  double dishonest_rate = 0.0;
+  std::uint64_t seed = 13;
+};
+
+class Oracle {
+ public:
+  Oracle(const underlay::Network& network, OracleConfig config = {});
+
+  /// Ranks `candidates` by ascending AS-hop distance from `querier`'s AS
+  /// (0 = same AS first). Offline candidates are dropped. Returns a new
+  /// vector; the input is not modified.
+  [[nodiscard]] std::vector<PeerId> rank(
+      PeerId querier, std::span<const PeerId> candidates) const;
+
+  /// Convenience: the best candidate, or PeerId::invalid() if none online.
+  [[nodiscard]] PeerId best(PeerId querier,
+                            std::span<const PeerId> candidates) const;
+
+  /// AS-hop distance between two peers as the oracle computes it.
+  [[nodiscard]] std::size_t as_hops(PeerId a, PeerId b) const;
+
+  [[nodiscard]] std::uint64_t query_count() const { return queries_; }
+  [[nodiscard]] std::uint64_t ranked_candidates() const { return ranked_; }
+
+ private:
+  const underlay::Network& network_;
+  OracleConfig config_;
+  mutable Rng rng_;
+  mutable std::uint64_t queries_ = 0;
+  mutable std::uint64_t ranked_ = 0;
+};
+
+}  // namespace uap2p::netinfo

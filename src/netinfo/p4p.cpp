@@ -1,0 +1,108 @@
+#include "netinfo/p4p.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace uap2p::netinfo {
+
+ITracker::ITracker(const underlay::Network& network, P4pConfig config)
+    : network_(network) {
+  const auto& topology = network.topology();
+  const std::size_t n = topology.as_count();
+  // Opaque renumbering: deterministic shuffle of AS indices so consumers
+  // cannot read topology out of PID values.
+  Rng rng(config.seed);
+  pid_of_as_.resize(n);
+  std::iota(pid_of_as_.begin(), pid_of_as_.end(), Pid{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(pid_of_as_[i - 1], pid_of_as_[rng.uniform(i)]);
+  }
+  // p-distance: policy blend of AS hops and transit crossings along the
+  // gateway-to-gateway route.
+  underlay::RoutingTable routing(topology);
+  matrix_.assign(n, std::vector<double>(n, config.intra_pid_distance));
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const auto& path = routing.path(topology.gateway_of(AsId(std::uint32_t(a))),
+                                      topology.gateway_of(AsId(std::uint32_t(b))));
+      const double hops = path.reachable ? double(path.as_hops()) : 1e6;
+      const double transit =
+          path.reachable ? double(path.transit_crossings) : 1e6;
+      matrix_[pid_of_as_[a]][pid_of_as_[b]] =
+          hops + config.transit_weight * transit;
+    }
+  }
+}
+
+Pid ITracker::pid_of(PeerId peer) const {
+  return pid_of_as_[network_.host(peer).as.value()];
+}
+
+double ITracker::p_distance(Pid from, Pid to) const {
+  assert(from < matrix_.size() && to < matrix_.size());
+  return matrix_[from][to];
+}
+
+P4pSelector::P4pSelector(const ITracker& itracker, std::uint64_t seed)
+    : itracker_(itracker), rng_(seed) {
+  itracker_.record_fetch();  // the one-off my-Internet-view download
+}
+
+std::vector<PeerId> P4pSelector::rank(
+    PeerId self, std::span<const PeerId> candidates) const {
+  const Pid home = itracker_.pid_of(self);
+  struct Scored {
+    PeerId peer;
+    double distance;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (const PeerId candidate : candidates) {
+    if (candidate == self) continue;
+    scored.push_back(
+        Scored{candidate, itracker_.p_distance(home, itracker_.pid_of(candidate))});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.distance < b.distance;
+                   });
+  std::vector<PeerId> result;
+  result.reserve(scored.size());
+  for (const Scored& s : scored) result.push_back(s.peer);
+  return result;
+}
+
+std::vector<PeerId> P4pSelector::select(PeerId self,
+                                        std::span<const PeerId> candidates,
+                                        std::size_t k) const {
+  const Pid home = itracker_.pid_of(self);
+  std::vector<PeerId> pool;
+  std::vector<double> weights;
+  for (const PeerId candidate : candidates) {
+    if (candidate == self) continue;
+    pool.push_back(candidate);
+    weights.push_back(
+        1.0 / (1.0 + itracker_.p_distance(home, itracker_.pid_of(candidate))));
+  }
+  std::vector<PeerId> result;
+  while (result.size() < k && !pool.empty()) {
+    const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    double target = rng_.uniform01() * total;
+    std::size_t chosen = pool.size() - 1;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      target -= weights[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    result.push_back(pool[chosen]);
+    pool.erase(pool.begin() + std::ptrdiff_t(chosen));
+    weights.erase(weights.begin() + std::ptrdiff_t(chosen));
+  }
+  return result;
+}
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,88 @@
+// P4P — "Explicit communications for cooperative control between P2P and
+// network providers" (Xie et al. [29]; paper §3.1 "ISP Component In
+// Network").
+//
+// P4P differs from the oracle of [1] in what the ISP exposes: instead of
+// ranking concrete candidate lists on demand, the ISP's iTracker
+// publishes an abstract "my-Internet view" — opaque partition ids (PIDs)
+// grouping hosts, and a matrix of p-distances between PIDs that encodes
+// the provider's routing costs and policies without revealing them. An
+// application tracker (or peer) maps candidates to PIDs once and then
+// performs weighted selection locally, so per-connection decisions need
+// no further ISP round trips.
+//
+// Here a PID is an AS (the natural partition of our underlay) and the
+// default p-distance is a policy blend of AS-hop distance and the number
+// of paid transit crossings — exactly the costs the ISP wants minimized.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::netinfo {
+
+/// Opaque partition id published by the iTracker. Values are stable
+/// per-iTracker but carry no topology semantics for the application.
+using Pid = std::uint32_t;
+
+struct P4pConfig {
+  /// Weight of paid transit crossings in the p-distance (the ISP's main
+  /// cost driver); AS-hop count contributes weight 1.
+  double transit_weight = 4.0;
+  /// p-distance for staying inside one PID.
+  double intra_pid_distance = 0.0;
+  std::uint64_t seed = 47;
+};
+
+/// The ISP side: publishes PIDs and the p-distance matrix.
+class ITracker {
+ public:
+  ITracker(const underlay::Network& network, P4pConfig config = {});
+
+  /// PID of a host (its AS, opaquely renumbered).
+  [[nodiscard]] Pid pid_of(PeerId peer) const;
+  /// Provider-defined cost of sending traffic from one PID to another.
+  [[nodiscard]] double p_distance(Pid from, Pid to) const;
+  [[nodiscard]] std::size_t pid_count() const { return pid_of_as_.size(); }
+  /// Number of times the application fetched the view (overhead metric;
+  /// note it is O(1) per session, unlike per-query oracle traffic).
+  [[nodiscard]] std::uint64_t view_fetches() const { return fetches_; }
+  /// Marks one my-Internet-view download.
+  void record_fetch() const { ++fetches_; }
+
+ private:
+  const underlay::Network& network_;
+  std::vector<Pid> pid_of_as_;             // AS index -> PID
+  std::vector<std::vector<double>> matrix_;  // PID x PID p-distances
+  mutable std::uint64_t fetches_ = 0;
+};
+
+/// The application side: caches the view and selects peers by ascending
+/// p-distance, with optional proportional weighting so distant PIDs are
+/// de-prioritized rather than starved (P4P's deployment guidance — hard
+/// cutoffs would partition swarms).
+class P4pSelector {
+ public:
+  P4pSelector(const ITracker& itracker, std::uint64_t seed = 53);
+
+  /// Candidates ordered by ascending p-distance from `self`'s PID; ties
+  /// keep input order.
+  [[nodiscard]] std::vector<PeerId> rank(
+      PeerId self, std::span<const PeerId> candidates) const;
+
+  /// Weighted sample of `k` distinct candidates, probability proportional
+  /// to 1 / (1 + p-distance). Keeps a tail of far peers for robustness.
+  [[nodiscard]] std::vector<PeerId> select(
+      PeerId self, std::span<const PeerId> candidates, std::size_t k) const;
+
+ private:
+  const ITracker& itracker_;
+  mutable Rng rng_;
+};
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,40 @@
+#include "netinfo/pinger.hpp"
+
+#include <cmath>
+
+namespace uap2p::netinfo {
+
+Pinger::Pinger(underlay::Network& network, Rng rng, PingerConfig config)
+    : network_(network), rng_(rng), config_(config) {}
+
+void Pinger::charge(PeerId a, PeerId b, std::uint64_t packets) {
+  const auto& path = network_.path_between(a, b);
+  // Request and echo both traverse the path; record both directions.
+  network_.traffic().record(path, packets * config_.probe_bytes * 2,
+                            network_.engine().now());
+  probes_sent_ += packets;
+  bytes_sent_ += packets * config_.probe_bytes * 2;
+}
+
+double Pinger::measure_rtt(PeerId a, PeerId b) {
+  if (!network_.is_online(a) || !network_.is_online(b)) return -1.0;
+  if (!network_.path_between(a, b).reachable) return -1.0;
+  const double truth = network_.rtt_ms(a, b);
+  charge(a, b, config_.probes_per_measurement);
+  if (config_.jitter_sigma <= 0.0) return truth;
+  double acc = 0.0;
+  for (unsigned i = 0; i < config_.probes_per_measurement; ++i) {
+    acc += truth * std::exp(rng_.normal(0.0, config_.jitter_sigma));
+  }
+  return acc / config_.probes_per_measurement;
+}
+
+int Pinger::traceroute_hops(PeerId a, PeerId b) {
+  if (!network_.is_online(a) || !network_.is_online(b)) return -1;
+  const auto& path = network_.path_between(a, b);
+  if (!path.reachable) return -1;
+  charge(a, b, path.router_hops + 1);
+  return static_cast<int>(path.router_hops);
+}
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,57 @@
+// Explicit latency measurement (paper §3.2, "Explicit Measurements").
+//
+// A ping measures ground-truth RTT plus measurement noise, and — crucially
+// for the paper's argument — costs network overhead: every probe is two
+// packets that the TrafficAccountant sees. Benches compare this overhead
+// against prediction methods (Vivaldi, ICS), which is the trade-off the
+// paper describes ("typically these measurements are used only sparingly,
+// relying mainly on prediction techniques").
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::netinfo {
+
+struct PingerConfig {
+  /// Multiplicative lognormal jitter sigma; 0 disables noise.
+  double jitter_sigma = 0.05;
+  /// ICMP-echo-sized probes.
+  std::uint32_t probe_bytes = 64;
+  /// Probes averaged per measure() call.
+  unsigned probes_per_measurement = 3;
+};
+
+/// Synchronous measurement facade. Probes are charged to the network's
+/// traffic accountant so overhead is visible in every experiment.
+class Pinger {
+ public:
+  Pinger(underlay::Network& network, Rng rng, PingerConfig config = {});
+
+  /// Measured RTT in ms between two online peers (average over the
+  /// configured number of probes, each with independent jitter).
+  /// Returns a negative value if either peer is offline/unreachable.
+  double measure_rtt(PeerId a, PeerId b);
+
+  /// Hop count along the routing path (a traceroute); costs one probe per
+  /// hop, which is why hop-based schemes are cheap to abuse but coarse
+  /// (the paper's "long hop problem").
+  int traceroute_hops(PeerId a, PeerId b);
+
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void charge(PeerId a, PeerId b, std::uint64_t packets);
+
+  underlay::Network& network_;
+  Rng rng_;
+  PingerConfig config_;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,130 @@
+// Information-management over-overlay for peer resources, modelled on
+// SkyEye.KOM (Graffi et al. [11]; paper §3.4 calls it "the most
+// interesting solution" for collecting peer-resource information).
+//
+// Peers form a complete b-ary aggregation tree *over* the existing
+// overlay. Each update cycle, every peer sends its parent a report
+// carrying its own resource vector plus the aggregate of its subtree
+// (count, mean bandwidth, top-k peers by capacity). Reports ride real
+// Network messages, so the over-overlay's overhead is measured, not
+// assumed. The root ends up with the "oracle view on the P2P system" the
+// SkyEye paper advertises; queries against it drive resource-aware peer
+// search and super-peer selection (paper §4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/engine.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::netinfo {
+
+/// One entry in a top-k capacity list.
+struct CapacityEntry {
+  PeerId peer;
+  double capacity = 0.0;
+};
+
+/// Aggregated view of a subtree (or, at the root, the whole system).
+struct SystemView {
+  std::uint64_t peer_count = 0;
+  double total_upload_mbps = 0.0;
+  double total_storage_gb = 0.0;
+  double mean_capacity = 0.0;  ///< Mean capacity_score over counted peers.
+  std::vector<CapacityEntry> top_capacity;  ///< Descending, size <= k.
+  sim::SimTime freshest_ms = 0.0;           ///< Newest report folded in.
+  sim::SimTime oldest_ms = 0.0;             ///< Oldest report folded in.
+};
+
+struct SkyEyeConfig {
+  std::size_t branching = 4;   ///< Tree arity.
+  std::size_t top_k = 16;      ///< Capacity list length propagated upward.
+  sim::SimTime update_period_ms = sim::seconds(30);
+  /// A cached child report older than this is dropped from aggregation
+  /// (handles churn without explicit leave messages).
+  sim::SimTime staleness_limit_ms = sim::seconds(90);
+  std::uint32_t report_base_bytes = 64;
+  std::uint32_t report_entry_bytes = 16;
+};
+
+class SkyEye {
+ public:
+  /// Builds the aggregation tree over `peers` in list order (index 0 is
+  /// the root). Handlers are registered on the shared network.
+  SkyEye(underlay::Network& network, std::span<const PeerId> peers,
+         SkyEyeConfig config = {});
+
+  /// Starts periodic reporting; peers report at staggered offsets so the
+  /// root's inbox isn't synchronized.
+  void start();
+  void stop();
+
+  /// The root's current aggregate (the "oracle view"). Reflects reports
+  /// that have physically arrived; right after start() it is empty.
+  [[nodiscard]] const SystemView& root_view() const { return root_view_; }
+
+  /// Resource-based peer search: the top-k capacity peers known at the
+  /// root, filtered to those currently online. Local read (for code that
+  /// already sits at the root / in tests).
+  [[nodiscard]] std::vector<CapacityEntry> query_top_capacity(
+      std::size_t k) const;
+
+  /// The deployed query path: `asker` sends a query message to the root
+  /// and waits for the reply — latency and overhead are real. Returns an
+  /// empty result if the root is offline.
+  struct RemoteQueryResult {
+    std::vector<CapacityEntry> entries;
+    sim::SimTime latency_ms = -1.0;
+    bool answered = false;
+  };
+  RemoteQueryResult query_remote(PeerId asker, std::size_t k);
+
+  [[nodiscard]] std::uint64_t reports_sent() const { return reports_sent_; }
+  [[nodiscard]] std::size_t tree_size() const { return peers_.size(); }
+  [[nodiscard]] PeerId root() const { return peers_.front(); }
+  /// Parent of tree position `index` (root has none).
+  [[nodiscard]] std::optional<std::size_t> parent_index(
+      std::size_t index) const;
+
+ private:
+  struct Report {
+    SystemView view;           // aggregate of the sender's subtree
+    sim::SimTime sent_at = 0.0;
+    bool valid = false;
+  };
+
+  void schedule_report(std::size_t index);
+  void send_report(std::size_t index);
+  SystemView aggregate_subtree(std::size_t index) const;
+  void on_message(std::size_t index, const underlay::Message& msg);
+  [[nodiscard]] SystemView self_view(std::size_t index) const;
+
+  underlay::Network& network_;
+  SkyEyeConfig config_;
+  std::vector<PeerId> peers_;
+  std::vector<std::vector<Report>> child_reports_;  // [index][child slot]
+  std::vector<sim::EventHandle> timers_;
+  SystemView root_view_;
+  std::uint64_t reports_sent_ = 0;
+  bool running_ = false;
+
+  struct ActiveQuery {
+    std::uint64_t id = 0;
+    PeerId asker = PeerId::invalid();
+    sim::SimTime started = 0.0;
+    bool answered = false;
+    sim::SimTime answered_at = 0.0;
+    std::vector<CapacityEntry> entries;
+  };
+  std::optional<ActiveQuery> active_query_;
+  std::uint64_t next_query_ = 1;
+};
+
+/// Merges `b` into `a` (tree aggregation step), keeping top_k capped.
+void merge_views(SystemView& a, const SystemView& b, std::size_t top_k);
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,108 @@
+#include "netinfo/vivaldi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace uap2p::netinfo {
+
+VivaldiCoord VivaldiCoord::origin(std::size_t dims, double height) {
+  VivaldiCoord coord;
+  coord.position.assign(dims, 0.0);
+  coord.height = height;
+  return coord;
+}
+
+double VivaldiCoord::distance(const VivaldiCoord& a, const VivaldiCoord& b) {
+  assert(a.position.size() == b.position.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.position.size(); ++i) {
+    const double d = a.position[i] - b.position[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc) + a.height + b.height;
+}
+
+VivaldiSystem::VivaldiSystem(std::size_t peer_count, VivaldiConfig config,
+                             Rng rng)
+    : config_(config), rng_(rng) {
+  const double h0 = config_.use_height ? config_.min_height : 0.0;
+  coords_.assign(peer_count, VivaldiCoord::origin(config_.dimensions, h0));
+  errors_.assign(peer_count, config_.initial_error);
+}
+
+std::vector<double> VivaldiSystem::random_unit_vector() {
+  std::vector<double> v(config_.dimensions);
+  double norm = 0.0;
+  do {
+    norm = 0.0;
+    for (auto& x : v) {
+      x = rng_.normal();
+      norm += x * x;
+    }
+  } while (norm < 1e-12);
+  norm = std::sqrt(norm);
+  for (auto& x : v) x /= norm;
+  return v;
+}
+
+void VivaldiSystem::update(PeerId self, PeerId other, double rtt_ms) {
+  if (rtt_ms <= 0.0 || self == other) return;
+  VivaldiCoord& xi = coords_[self.value()];
+  const VivaldiCoord& xj = coords_[other.value()];
+  double& ei = errors_[self.value()];
+  const double ej = errors_[other.value()];
+
+  // Sample confidence: w = e_i / (e_i + e_j).
+  const double w = ei / std::max(1e-9, ei + ej);
+
+  const double dist = VivaldiCoord::distance(xi, xj);
+
+  // Update the moving average of the local error with the sample's
+  // relative error, weighted by confidence.
+  const double sample_error = std::abs(dist - rtt_ms) / rtt_ms;
+  ei = std::clamp(sample_error * config_.ce * w + ei * (1.0 - config_.ce * w),
+                  1e-4, 2.0);
+
+  // Spring displacement along the unit vector from x_j toward x_i; a
+  // random direction resolves exact coordinate collisions (e.g. at start,
+  // when everyone sits at the origin).
+  std::vector<double> direction(config_.dimensions);
+  double norm = 0.0;
+  for (std::size_t k = 0; k < config_.dimensions; ++k) {
+    direction[k] = xi.position[k] - xj.position[k];
+    norm += direction[k] * direction[k];
+  }
+  norm = std::sqrt(norm);
+  if (norm < 1e-9) {
+    direction = random_unit_vector();
+    norm = 1.0;
+  }
+
+  const double delta = config_.cc * w;
+  const double force = rtt_ms - dist;  // positive = push apart
+
+  // Height-vector unit: [pos/|v|, (h_i + h_j)/|v|] where |v| is the full
+  // height-vector norm; heights absorb their share of the force.
+  const double full_norm = norm + xi.height + xj.height;
+  for (std::size_t k = 0; k < config_.dimensions; ++k) {
+    xi.position[k] += delta * force * (direction[k] / norm) * (norm / full_norm);
+  }
+  if (config_.use_height) {
+    xi.height += delta * force * (xi.height + xj.height) / full_norm;
+    xi.height = std::max(xi.height, config_.min_height);
+  }
+  ++updates_;
+}
+
+double VivaldiSystem::estimate_rtt(PeerId a, PeerId b) const {
+  return VivaldiCoord::distance(coords_[a.value()], coords_[b.value()]);
+}
+
+double VivaldiSystem::median_error() const {
+  Samples samples;
+  for (double e : errors_) samples.add(e);
+  return samples.median();
+}
+
+}  // namespace uap2p::netinfo

@@ -1,0 +1,97 @@
+// Vivaldi decentralized network coordinates (Dabek et al. [7]; the paper
+// calls it "the most prominent" latency prediction method, §3.2).
+//
+// Each node keeps a Euclidean coordinate plus a height (modelling the
+// access-link delay that no Euclidean embedding can express) and a local
+// error estimate. On each RTT sample against a neighbor, the node moves
+// along the spring force between the coordinates, weighted by the relative
+// confidence of the two nodes — the full adaptive-timestep algorithm of
+// the Vivaldi paper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace uap2p::netinfo {
+
+/// Height-vector coordinate. Operations follow the Vivaldi paper:
+/// subtraction adds heights, the norm adds the height, scaling scales it.
+struct VivaldiCoord {
+  std::vector<double> position;
+  double height = 0.0;
+
+  [[nodiscard]] static VivaldiCoord origin(std::size_t dims, double height);
+  /// ||a - b|| with height-vector semantics = ||pa - pb|| + ha + hb.
+  [[nodiscard]] static double distance(const VivaldiCoord& a,
+                                       const VivaldiCoord& b);
+};
+
+struct VivaldiConfig {
+  std::size_t dimensions = 3;
+  bool use_height = true;
+  double cc = 0.25;          ///< Timestep constant.
+  double ce = 0.25;          ///< Error-averaging constant.
+  double min_height = 0.1;   ///< ms; keeps heights positive.
+  double initial_error = 1.0;
+};
+
+/// Coordinate state for a fixed population of peers. Deterministic given
+/// the seed (random unit vectors break coordinate collisions).
+class VivaldiSystem {
+ public:
+  VivaldiSystem(std::size_t peer_count, VivaldiConfig config, Rng rng);
+
+  /// Applies one measurement: peer `self` observed `rtt_ms` to `other`.
+  /// Mirrors the Vivaldi update rule exactly; both peers' states live here
+  /// but only `self` moves (as in the protocol, where the sample's owner
+  /// updates itself using the remote coordinate piggybacked on the reply).
+  void update(PeerId self, PeerId other, double rtt_ms);
+
+  /// Predicted RTT between two peers from coordinates alone.
+  [[nodiscard]] double estimate_rtt(PeerId a, PeerId b) const;
+
+  [[nodiscard]] const VivaldiCoord& coordinate(PeerId peer) const {
+    return coords_[peer.value()];
+  }
+  [[nodiscard]] double error_estimate(PeerId peer) const {
+    return errors_[peer.value()];
+  }
+  [[nodiscard]] std::size_t peer_count() const { return coords_.size(); }
+  [[nodiscard]] std::uint64_t update_count() const { return updates_; }
+
+  /// Median (over peers) local error estimate; convergence indicator.
+  [[nodiscard]] double median_error() const;
+
+ private:
+  std::vector<double> random_unit_vector();
+
+  VivaldiConfig config_;
+  Rng rng_;
+  std::vector<VivaldiCoord> coords_;
+  std::vector<double> errors_;
+  std::uint64_t updates_ = 0;
+};
+
+/// |predicted - actual| / actual accumulated over `pairs` random pairs,
+/// with `actual` supplied by a callable (ground truth or pinger).
+template <typename RttFn>
+Samples relative_error_samples(const VivaldiSystem& system, Rng& rng,
+                               std::size_t pairs, RttFn&& actual_rtt) {
+  Samples samples;
+  const std::size_t n = system.peer_count();
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const PeerId a(static_cast<std::uint32_t>(rng.uniform(n)));
+    PeerId b = a;
+    while (b == a) b = PeerId(static_cast<std::uint32_t>(rng.uniform(n)));
+    const double truth = actual_rtt(a, b);
+    if (truth <= 0.0) continue;
+    samples.add(std::abs(system.estimate_rtt(a, b) - truth) / truth);
+  }
+  return samples;
+}
+
+}  // namespace uap2p::netinfo

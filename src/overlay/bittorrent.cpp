@@ -1,0 +1,369 @@
+#include "overlay/bittorrent.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "netinfo/msg_types.hpp"
+
+namespace uap2p::overlay::bittorrent {
+
+BitTorrentSwarm::BitTorrentSwarm(underlay::Network& network,
+                                 std::vector<PeerId> peers,
+                                 std::size_t initial_seeds, Config config)
+    : network_(network), config_(config), rng_(config.seed) {
+  assert(initial_seeds >= 1 && initial_seeds <= peers.size());
+  piece_owners_.assign(config_.piece_count, 0);
+  nodes_.reserve(peers.size());
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    Node node;
+    node.peer = peers[i];
+    node.seed = i < initial_seeds;
+    node.bitfield.assign(config_.piece_count, node.seed);
+    node.have_count = node.seed ? config_.piece_count : 0;
+    if (node.seed) {
+      for (auto& owners : piece_owners_) ++owners;
+    }
+    nodes_.push_back(std::move(node));
+  }
+}
+
+void BitTorrentSwarm::build_neighborhoods() {
+  // Tracker view: peers grouped by AS for the biased policy.
+  std::vector<std::vector<std::size_t>> by_as(network_.topology().as_count());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    by_as[network_.host(nodes_[i].peer).as.value()].push_back(i);
+  }
+
+  auto link = [&](std::size_t a, std::size_t b) {
+    if (a == b) return false;
+    auto& na = nodes_[a].neighbors;
+    if (std::find(na.begin(), na.end(), b) != na.end()) return false;
+    if (na.size() >= config_.max_neighbors + 2) return false;
+    if (nodes_[b].neighbors.size() >= config_.max_neighbors + 2) return false;
+    na.push_back(b);
+    nodes_[b].neighbors.push_back(a);
+    return true;
+  };
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& me = nodes_[i];
+    const AsId my_as = network_.host(me.peer).as;
+    if (config_.policy == NeighborPolicy::kCustom) {
+      assert(config_.custom_ranker);
+      std::vector<PeerId> all_peers;
+      all_peers.reserve(nodes_.size());
+      for (const Node& node : nodes_) all_peers.push_back(node.peer);
+      const auto ranked = config_.custom_ranker(me.peer, all_peers);
+      const std::size_t ranked_target =
+          config_.max_neighbors > config_.external_neighbors
+              ? config_.max_neighbors - config_.external_neighbors
+              : config_.max_neighbors;
+      std::size_t links = 0;
+      for (const PeerId pick : ranked) {
+        if (links >= ranked_target) break;
+        // Map the peer back to its swarm index.
+        for (std::size_t j = 0; j < nodes_.size(); ++j) {
+          if (nodes_[j].peer == pick) {
+            if (link(i, j)) ++links;
+            break;
+          }
+        }
+      }
+      std::size_t random_links = 0;
+      std::size_t attempts = 0;
+      while (random_links < config_.external_neighbors &&
+             attempts < nodes_.size() * 4) {
+        ++attempts;
+        if (link(i, rng_.uniform(nodes_.size()))) ++random_links;
+      }
+    } else if (config_.policy == NeighborPolicy::kCostAware) {
+      // CAT [32]: order all candidates by path cost — transit crossings
+      // weigh heavily (they are billed), peering crossings mildly, then
+      // keep a couple of random links for robustness.
+      std::vector<std::size_t> order(nodes_.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::vector<double> cost(nodes_.size(), 0.0);
+      for (std::size_t j = 0; j < nodes_.size(); ++j) {
+        if (j == i) { cost[j] = 1e18; continue; }
+        const auto& path = network_.path_between(me.peer, nodes_[j].peer);
+        cost[j] = path.reachable
+                      ? 4.0 * path.transit_crossings + 1.0 * path.peering_crossings
+                      : 1e9;
+        cost[j] += rng_.uniform01() * 0.01;  // stable random tie-break
+      }
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return cost[a] < cost[b];
+      });
+      const std::size_t cheap_target =
+          config_.max_neighbors > config_.external_neighbors
+              ? config_.max_neighbors - config_.external_neighbors
+              : config_.max_neighbors;
+      std::size_t links = 0;
+      for (const std::size_t j : order) {
+        if (links >= cheap_target) break;
+        if (link(i, j)) ++links;
+      }
+      std::size_t random_links = 0;
+      std::size_t attempts = 0;
+      while (random_links < config_.external_neighbors &&
+             attempts < nodes_.size() * 4) {
+        ++attempts;
+        if (link(i, rng_.uniform(nodes_.size()))) ++random_links;
+      }
+    } else if (config_.policy == NeighborPolicy::kBiased) {
+      // [3]: fill with same-AS peers first, then exactly a few external.
+      const std::size_t internal_target =
+          config_.max_neighbors > config_.external_neighbors
+              ? config_.max_neighbors - config_.external_neighbors
+              : 0;
+      auto& local = by_as[my_as.value()];
+      auto order = rng_.sample_without_replacement(local.size(), local.size());
+      std::size_t internal_links = 0;
+      for (const std::size_t slot : order) {
+        if (internal_links >= internal_target) break;
+        if (link(i, local[slot])) ++internal_links;
+      }
+      std::size_t external_links = 0;
+      std::size_t attempts = 0;
+      while (external_links < config_.external_neighbors &&
+             attempts < nodes_.size() * 4) {
+        ++attempts;
+        const std::size_t other = rng_.uniform(nodes_.size());
+        if (network_.host(nodes_[other].peer).as == my_as) continue;
+        if (link(i, other)) ++external_links;
+      }
+    } else {
+      std::size_t attempts = 0;
+      while (me.neighbors.size() < config_.max_neighbors &&
+             attempts < nodes_.size() * 4) {
+        ++attempts;
+        link(i, rng_.uniform(nodes_.size()));
+      }
+    }
+  }
+  for (Node& node : nodes_) {
+    node.received_from.assign(node.neighbors.size(), 0);
+  }
+}
+
+std::size_t BitTorrentSwarm::pick_rarest(const Node& me,
+                                         const Node& uploader) const {
+  std::size_t best = SIZE_MAX;
+  std::size_t best_rarity = SIZE_MAX;
+  for (std::size_t piece = 0; piece < config_.piece_count; ++piece) {
+    if (me.bitfield[piece] || !uploader.bitfield[piece]) continue;
+    if (piece_owners_[piece] < best_rarity) {
+      best_rarity = piece_owners_[piece];
+      best = piece;
+    }
+  }
+  return best;
+}
+
+void BitTorrentSwarm::transfer_piece(std::size_t from, std::size_t to,
+                                     std::size_t piece, unsigned round) {
+  Node& uploader = nodes_[from];
+  Node& downloader = nodes_[to];
+  // Request + piece ride the network for latency/billing realism.
+  underlay::Message request;
+  request.src = downloader.peer;
+  request.dst = uploader.peer;
+  request.type = msg::kBtRequest;
+  request.size_bytes = config_.request_bytes;
+  network_.send(std::move(request));
+
+  underlay::Message data;
+  data.src = uploader.peer;
+  data.dst = downloader.peer;
+  data.type = msg::kBtPiece;
+  data.size_bytes = config_.piece_bytes;
+  network_.send(std::move(data));
+
+  downloader.bitfield[piece] = true;
+  ++downloader.have_count;
+  ++piece_owners_[piece];
+  ++stats_.pieces_transferred;
+  if (network_.host(uploader.peer).as == network_.host(downloader.peer).as) {
+    ++stats_.intra_as_pieces;
+  }
+  // Tit-for-tat accounting.
+  for (std::size_t slot = 0; slot < downloader.neighbors.size(); ++slot) {
+    if (downloader.neighbors[slot] == from) {
+      downloader.received_from[slot] += config_.piece_bytes;
+    }
+  }
+  // Have gossip to all neighbors.
+  for (const std::size_t neighbor : downloader.neighbors) {
+    underlay::Message have;
+    have.src = downloader.peer;
+    have.dst = nodes_[neighbor].peer;
+    have.type = msg::kBtHave;
+    have.size_bytes = config_.have_bytes;
+    network_.send(std::move(have));
+  }
+  if (downloader.have_count == config_.piece_count && !downloader.seed) {
+    downloader.seed = true;
+    downloader.completed_round = round;
+    ++stats_.completed;
+    stats_.completion_rounds.add(static_cast<double>(round));
+  }
+}
+
+void BitTorrentSwarm::rechoke(std::size_t index, unsigned round) {
+  Node& me = nodes_[index];
+  me.unchoked.clear();
+  // Interested neighbors: those missing a piece we have.
+  std::vector<std::size_t> interested;
+  for (std::size_t slot = 0; slot < me.neighbors.size(); ++slot) {
+    const Node& other = nodes_[me.neighbors[slot]];
+    if (other.have_count >= config_.piece_count) continue;
+    for (std::size_t piece = 0; piece < config_.piece_count; ++piece) {
+      if (me.bitfield[piece] && !other.bitfield[piece]) {
+        interested.push_back(slot);
+        break;
+      }
+    }
+  }
+  if (interested.empty()) return;
+
+  if (me.seed) {
+    // Seeds rotate service round-robin over interested peers.
+    for (std::size_t n = 0; n < config_.upload_slots + 1 &&
+                            n < interested.size();
+         ++n) {
+      me.unchoked.push_back(
+          me.neighbors[interested[(round + n) % interested.size()]]);
+    }
+    return;
+  }
+  // Tit-for-tat: top slots by bytes received from them recently.
+  std::sort(interested.begin(), interested.end(),
+            [&](std::size_t a, std::size_t b) {
+              return me.received_from[a] > me.received_from[b];
+            });
+  for (std::size_t n = 0; n < config_.upload_slots && n < interested.size();
+       ++n) {
+    me.unchoked.push_back(me.neighbors[interested[n]]);
+  }
+  // Optimistic unchoke: one random interested peer outside the top slots.
+  if (interested.size() > config_.upload_slots) {
+    const std::size_t extra =
+        config_.upload_slots +
+        rng_.uniform(interested.size() - config_.upload_slots);
+    me.unchoked.push_back(me.neighbors[interested[extra]]);
+  }
+  // Rate window decays so choking adapts.
+  for (auto& bytes : me.received_from) bytes /= 2;
+}
+
+void BitTorrentSwarm::run_round(unsigned round) {
+  if (round % config_.rechoke_every == 0) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) rechoke(i, round);
+  }
+  // Each uploader serves one piece per unchoked slot per round.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& uploader = nodes_[i];
+    for (const std::size_t downloader_index : uploader.unchoked) {
+      Node& downloader = nodes_[downloader_index];
+      if (downloader.have_count >= config_.piece_count) continue;
+      const std::size_t piece = pick_rarest(downloader, uploader);
+      if (piece == SIZE_MAX) continue;
+      transfer_piece(i, downloader_index, piece, round);
+    }
+  }
+}
+
+std::size_t BitTorrentSwarm::run(std::size_t max_rounds) {
+  std::size_t leechers = 0;
+  for (const Node& node : nodes_) {
+    if (!node.seed) ++leechers;
+  }
+  std::size_t rounds = 0;
+  for (unsigned round = 0; round < max_rounds; ++round) {
+    if (stats_.completed >= leechers) break;
+    run_round(round);
+    ++rounds;
+    network_.engine().run_until(network_.engine().now() + config_.round_ms);
+  }
+  return rounds;
+}
+
+double BitTorrentSwarm::intra_as_edge_fraction() const {
+  std::size_t total = 0;
+  std::size_t intra = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const std::size_t j : nodes_[i].neighbors) {
+      if (j <= i) continue;
+      ++total;
+      if (network_.host(nodes_[i].peer).as == network_.host(nodes_[j].peer).as)
+        ++intra;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(intra) /
+                                static_cast<double>(total);
+}
+
+std::size_t BitTorrentSwarm::inter_as_edge_count() const {
+  std::size_t inter = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const std::size_t j : nodes_[i].neighbors) {
+      if (j <= i) continue;
+      if (network_.host(nodes_[i].peer).as != network_.host(nodes_[j].peer).as)
+        ++inter;
+    }
+  }
+  return inter;
+}
+
+std::size_t BitTorrentSwarm::min_inter_as_edges_for_connectivity() const {
+  std::vector<bool> present(network_.topology().as_count(), false);
+  for (const Node& node : nodes_) {
+    present[network_.host(node.peer).as.value()] = true;
+  }
+  const auto count = static_cast<std::size_t>(
+      std::count(present.begin(), present.end(), true));
+  return count == 0 ? 0 : count - 1;
+}
+
+bool BitTorrentSwarm::overlay_connected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> visited(nodes_.size(), false);
+  std::vector<std::size_t> stack{0};
+  visited[0] = true;
+  std::size_t seen = 1;
+  while (!stack.empty()) {
+    const std::size_t current = stack.back();
+    stack.pop_back();
+    for (const std::size_t next : nodes_[current].neighbors) {
+      if (!visited[next]) {
+        visited[next] = true;
+        ++seen;
+        stack.push_back(next);
+      }
+    }
+  }
+  return seen == nodes_.size();
+}
+
+std::vector<PeerId> BitTorrentSwarm::neighbors_of(PeerId peer) const {
+  for (const Node& node : nodes_) {
+    if (node.peer == peer) {
+      std::vector<PeerId> result;
+      result.reserve(node.neighbors.size());
+      for (const std::size_t index : node.neighbors)
+        result.push_back(nodes_[index].peer);
+      return result;
+    }
+  }
+  return {};
+}
+
+bool BitTorrentSwarm::is_complete(PeerId peer) const {
+  for (const Node& node : nodes_) {
+    if (node.peer == peer) return node.have_count == config_.piece_count;
+  }
+  return false;
+}
+
+}  // namespace uap2p::overlay::bittorrent

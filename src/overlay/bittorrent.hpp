@@ -1,0 +1,129 @@
+// BitTorrent-style content distribution swarm with biased neighbor
+// selection (Bindal et al. [3]; paper §4 and Figure 6).
+//
+// A tracker hands each joining peer a neighbor set: uniformly random
+// (classic BitTorrent) or biased — mostly peers from the same AS plus a
+// configurable few external ones, [3]'s "k internal + m external" rule
+// that keeps the swarm connected across ASes with the minimal number of
+// inter-AS links (Figure 6b).
+//
+// The swarm itself is a round-based chunk-level model of the real
+// protocol: rarest-first piece selection, tit-for-tat rechoking with an
+// optimistic unchoke slot, Have gossip, and seeds that serve round-robin.
+// Piece transfers ride real Network messages, so the inter-AS byte split
+// and the transit bill come from the same TrafficAccountant every other
+// experiment uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::overlay::bittorrent {
+
+enum class NeighborPolicy {
+  kRandom,     ///< Tracker returns a uniform random subset.
+  kBiased,     ///< Same-AS preferred, `external_neighbors` cross-AS ([3]).
+  kCostAware,  ///< CAT [32]: candidates ranked by the monetary cost of the
+               ///< path (paid transit crossings first criterion), so
+               ///< peering-reachable ASes count as nearly local.
+  kCustom,     ///< Tracker delegates to Config::custom_ranker — the hook
+               ///< through which any §3 collector (P4P iTracker, Ono,
+               ///< core policies) can drive neighbor selection.
+};
+
+/// Best-first ranking of `candidates` for `self` (see kCustom).
+using TrackerRanker =
+    std::function<std::vector<PeerId>(PeerId self,
+                                      std::span<const PeerId> candidates)>;
+
+struct Config {
+  std::size_t piece_count = 64;
+  std::uint32_t piece_bytes = 256 * 1024;
+  std::size_t max_neighbors = 8;
+  std::size_t upload_slots = 3;       ///< Tit-for-tat slots (+1 optimistic).
+  unsigned rechoke_every = 3;         ///< Rounds between rechokes.
+  sim::SimTime round_ms = sim::seconds(1);
+  NeighborPolicy policy = NeighborPolicy::kRandom;
+  std::size_t external_neighbors = 1; ///< Cross-AS links under kBiased.
+  /// Required when policy == kCustom; ignored otherwise. Random links
+  /// (`external_neighbors` of them) are still added for robustness.
+  TrackerRanker custom_ranker;
+  std::uint32_t have_bytes = 9;
+  std::uint32_t request_bytes = 17;
+  std::uint64_t seed = 123;
+};
+
+struct SwarmStats {
+  std::size_t completed = 0;
+  Samples completion_rounds;          ///< Per-leecher rounds to finish.
+  std::uint64_t pieces_transferred = 0;
+  std::uint64_t intra_as_pieces = 0;
+  [[nodiscard]] double intra_as_piece_fraction() const {
+    return pieces_transferred == 0
+               ? 0.0
+               : static_cast<double>(intra_as_pieces) /
+                     static_cast<double>(pieces_transferred);
+  }
+};
+
+class BitTorrentSwarm {
+ public:
+  /// `initial_seeds` peers start with the full content; the rest join as
+  /// leechers.
+  BitTorrentSwarm(underlay::Network& network, std::vector<PeerId> peers,
+                  std::size_t initial_seeds, Config config);
+
+  /// Tracker phase: assigns every peer its neighbor set.
+  void build_neighborhoods();
+
+  /// Runs up to `max_rounds` swarm rounds on the engine; stops early when
+  /// every leecher completed. Returns the number of rounds executed.
+  std::size_t run(std::size_t max_rounds);
+
+  [[nodiscard]] const SwarmStats& stats() const { return stats_; }
+  /// Overlay graph metrics (Figure 6).
+  [[nodiscard]] double intra_as_edge_fraction() const;
+  [[nodiscard]] std::size_t inter_as_edge_count() const;
+  [[nodiscard]] std::size_t min_inter_as_edges_for_connectivity() const;
+  /// True when the neighbor graph is connected (sanity invariant: biased
+  /// selection must not partition the swarm).
+  [[nodiscard]] bool overlay_connected() const;
+  [[nodiscard]] std::vector<PeerId> neighbors_of(PeerId peer) const;
+  [[nodiscard]] bool is_complete(PeerId peer) const;
+
+ private:
+  struct Node {
+    PeerId peer;
+    std::vector<std::size_t> neighbors;      // indices into nodes_
+    std::vector<bool> bitfield;
+    std::size_t have_count = 0;
+    bool seed = false;
+    std::size_t completed_round = 0;
+    std::vector<std::size_t> unchoked;       // neighbor indices unchoked BY us
+    std::vector<std::uint64_t> received_from;  // bytes per neighbor slot
+    std::size_t optimistic = SIZE_MAX;       // neighbor slot
+  };
+
+  void rechoke(std::size_t index, unsigned round);
+  void run_round(unsigned round);
+  [[nodiscard]] std::size_t pick_rarest(const Node& me,
+                                        const Node& uploader) const;
+  void transfer_piece(std::size_t from, std::size_t to, std::size_t piece,
+                      unsigned round);
+
+  underlay::Network& network_;
+  Config config_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> piece_owners_;  // global rarity counter
+  SwarmStats stats_;
+};
+
+}  // namespace uap2p::overlay::bittorrent

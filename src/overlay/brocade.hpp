@@ -1,0 +1,85 @@
+// Brocade — "Landmark routing on overlay networks" (Zhao et al. [36];
+// paper Table 1, ISP-location row).
+//
+// Brocade's observation: flat DHT routing wastes wide-area hops because
+// consecutive overlay hops criss-cross autonomous systems. It layers a
+// *secondary overlay of supernodes* — well-provisioned nodes near the
+// network access points — over the flat overlay: a message first hops to
+// the local supernode (intra-domain), tunnels supernode-to-supernode
+// across the backbone once, and is delivered intra-domain on the far
+// side. Here each AS elects its highest-capacity gateway-near peer as
+// supernode; supernodes know the AS→supernode directory (Brocade's
+// "cover set" mapping, which in the original is itself a small DHT).
+//
+// End-to-end routing therefore crosses AS boundaries exactly once, vs.
+// once-per-overlay-hop for flat DHT routing — the comparison the
+// Brocade test and ablation bench quantify.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::overlay::brocade {
+
+struct Config {
+  std::uint32_t header_bytes = 48;  ///< Tunnel header per forwarded leg.
+  /// Max time to wait for an end-to-end delivery before reporting loss.
+  sim::SimTime delivery_timeout_ms = sim::seconds(20);
+};
+
+struct RouteResult {
+  bool delivered = false;
+  sim::SimTime latency_ms = -1.0;
+  std::size_t overlay_hops = 0;      ///< Legs traversed (<= 3).
+  std::size_t inter_as_crossings = 0;  ///< AS-boundary crossings, summed
+                                       ///< over the legs' underlay paths.
+};
+
+class BrocadeSystem {
+ public:
+  /// Elects one supernode per AS (the highest-capacity online peer of
+  /// that AS) and registers forwarding handlers.
+  BrocadeSystem(underlay::Network& network, std::vector<PeerId> peers,
+                Config config = {});
+
+  /// Routes `bytes` from `src` to `dst` through the supernode tier.
+  /// Intra-AS pairs short-circuit to a direct send. Drains the engine.
+  RouteResult route(PeerId src, PeerId dst, std::uint32_t bytes);
+
+  /// Re-elects supernodes (after churn).
+  void repair();
+
+  [[nodiscard]] PeerId supernode_of(AsId as) const;
+  [[nodiscard]] std::size_t supernode_count() const;
+  [[nodiscard]] std::uint64_t forwarded_messages() const { return forwarded_; }
+
+ private:
+  void elect();
+  void on_message(PeerId self, const underlay::Message& msg);
+  bool send_leg(PeerId from, PeerId to, std::uint32_t bytes);
+
+  underlay::Network& network_;
+  Config config_;
+  std::vector<PeerId> peers_;
+  std::vector<PeerId> supernode_of_as_;  // indexed by AS
+  std::uint64_t forwarded_ = 0;
+
+  struct ActiveRoute {
+    std::uint64_t id = 0;
+    PeerId dst = PeerId::invalid();
+    sim::SimTime started = 0.0;
+    bool delivered = false;
+    sim::SimTime delivered_at = 0.0;
+    std::size_t hops = 0;
+    std::size_t crossings = 0;
+  };
+  std::optional<ActiveRoute> active_;
+  std::uint64_t next_route_ = 1;
+};
+
+}  // namespace uap2p::overlay::brocade

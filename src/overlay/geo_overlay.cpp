@@ -1,0 +1,710 @@
+#include "overlay/geo_overlay.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "netinfo/msg_types.hpp"
+
+namespace uap2p::overlay::geo {
+namespace {
+constexpr int kMaxDepth = 16;  // guards against co-located peer clusters
+constexpr sim::SimTime kQuiesceHorizonMs = sim::seconds(20);
+}  // namespace
+
+struct GeoOverlay::Zone {
+  GeoRect box;
+  Zone* parent = nullptr;
+  std::unique_ptr<Zone> children[4];
+  std::vector<std::pair<PeerId, underlay::GeoPoint>> members;  // leaves only
+  PeerId supervisor = PeerId::invalid();
+  int depth = 0;
+  // Geographically-scoped content registry (Leopard [33]); logically the
+  // zone's state, physically held by whoever supervises the zone.
+  std::unordered_map<std::uint32_t, std::vector<PeerId>> scoped_store;
+
+  [[nodiscard]] bool is_leaf() const { return children[0] == nullptr; }
+};
+
+struct GeoOverlay::SearchState {
+  std::uint64_t id = 0;
+  PeerId origin = PeerId::invalid();
+  GeoRect rect;
+  std::vector<PeerId> found;
+  std::size_t messages = 0;
+  std::size_t delivered = 0;
+  sim::SimTime last_activity = 0.0;
+  std::vector<PeerId> scoped_providers;
+  bool scoped_found = false;
+  std::size_t scoped_levels = 0;
+  bool geocast = false;
+  std::uint32_t payload_bytes = 0;
+  sim::SimTime started = 0.0;
+};
+
+namespace {
+struct SearchPayload {
+  std::uint64_t search_id;
+  PeerId origin;
+  GeoRect rect;
+  GeoOverlay::Zone* zone;  // sim-local tree node the message targets
+  bool descending;
+  bool geocast = false;
+  std::uint32_t payload_bytes = 0;
+};
+struct CastPayload {
+  std::uint64_t search_id;
+};
+struct ScopedPutPayload {
+  std::uint64_t op_id;
+  std::uint32_t content;
+  PeerId provider;
+  GeoRect scope;
+  GeoOverlay::Zone* zone;
+  bool descending;
+};
+struct ScopedGetPayload {
+  std::uint64_t op_id;
+  std::uint32_t content;
+  PeerId origin;
+  GeoOverlay::Zone* zone;
+};
+struct ScopedGetReply {
+  std::uint64_t op_id;
+  std::vector<PeerId> providers;
+  std::size_t levels;
+};
+struct ReplyPayload {
+  std::uint64_t search_id;
+  std::vector<PeerId> members;
+};
+}  // namespace
+
+GeoOverlay::GeoOverlay(underlay::Network& network, std::vector<PeerId> peers,
+                       GeoConfig config)
+    : network_(network),
+      config_(config),
+      rng_(config.seed),
+      peers_(std::move(peers)) {
+  root_ = std::make_unique<Zone>();
+  root_->box = config_.world;
+  for (const PeerId peer : peers_) {
+    underlay::GeoPoint location = network_.host(peer).location;
+    // Clamp onto the world box border (paper: peers are assumed to be in
+    // the service region; stragglers snap to the edge).
+    location.lat_deg = std::clamp(location.lat_deg, config_.world.lat_lo,
+                                  std::nextafter(config_.world.lat_hi, -1e9));
+    location.lon_deg = std::clamp(location.lon_deg, config_.world.lon_lo,
+                                  std::nextafter(config_.world.lon_hi, -1e9));
+    insert(*root_, peer, location);
+    network_.add_handler(peer, [this, peer](const underlay::Message& msg) {
+      on_message(peer, msg);
+    });
+  }
+  // Elect supervisors bottom-up over the whole tree.
+  std::vector<Zone*> stack{root_.get()};
+  std::vector<Zone*> order;
+  while (!stack.empty()) {
+    Zone* zone = stack.back();
+    stack.pop_back();
+    order.push_back(zone);
+    if (!zone->is_leaf()) {
+      for (auto& child : zone->children) stack.push_back(child.get());
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    elect_supervisor(**it);
+  }
+}
+
+GeoOverlay::~GeoOverlay() = default;
+
+void GeoOverlay::insert(Zone& zone, PeerId peer,
+                        const underlay::GeoPoint& location) {
+  if (zone.is_leaf()) {
+    zone.members.emplace_back(peer, location);
+    if (zone.members.size() > config_.max_zone_peers &&
+        zone.depth < kMaxDepth) {
+      split(zone);
+    }
+    return;
+  }
+  for (auto& child : zone.children) {
+    if (child->box.contains(location)) {
+      insert(*child, peer, location);
+      return;
+    }
+  }
+  // Numerically on a boundary: put it in the first child (deterministic).
+  insert(*zone.children[0], peer, location);
+}
+
+void GeoOverlay::split(Zone& zone) {
+  const double lat_mid = 0.5 * (zone.box.lat_lo + zone.box.lat_hi);
+  const double lon_mid = 0.5 * (zone.box.lon_lo + zone.box.lon_hi);
+  const GeoRect quadrants[4] = {
+      {zone.box.lat_lo, lat_mid, zone.box.lon_lo, lon_mid},
+      {zone.box.lat_lo, lat_mid, lon_mid, zone.box.lon_hi},
+      {lat_mid, zone.box.lat_hi, zone.box.lon_lo, lon_mid},
+      {lat_mid, zone.box.lat_hi, lon_mid, zone.box.lon_hi},
+  };
+  for (int q = 0; q < 4; ++q) {
+    zone.children[q] = std::make_unique<Zone>();
+    zone.children[q]->box = quadrants[q];
+    zone.children[q]->parent = &zone;
+    zone.children[q]->depth = zone.depth + 1;
+  }
+  auto members = std::move(zone.members);
+  zone.members.clear();
+  for (const auto& [peer, location] : members) {
+    insert(zone, peer, location);
+  }
+}
+
+void GeoOverlay::elect_supervisor(Zone& zone) {
+  if (zone.is_leaf()) {
+    PeerId best = PeerId::invalid();
+    double best_capacity = -1.0;
+    for (const auto& [peer, location] : zone.members) {
+      if (!network_.is_online(peer)) continue;
+      const double capacity = network_.host(peer).resources.capacity_score();
+      if (capacity > best_capacity) {
+        best_capacity = capacity;
+        best = peer;
+      }
+    }
+    zone.supervisor = best;
+    return;
+  }
+  // Interior zones are supervised by the strongest child supervisor.
+  PeerId best = PeerId::invalid();
+  double best_capacity = -1.0;
+  for (const auto& child : zone.children) {
+    const PeerId candidate = child->supervisor;
+    if (!candidate.is_valid() || !network_.is_online(candidate)) continue;
+    const double capacity =
+        network_.host(candidate).resources.capacity_score();
+    if (capacity > best_capacity) {
+      best_capacity = capacity;
+      best = candidate;
+    }
+  }
+  zone.supervisor = best;
+}
+
+GeoOverlay::Zone* GeoOverlay::leaf_for(const underlay::GeoPoint& point) {
+  Zone* zone = root_.get();
+  while (!zone->is_leaf()) {
+    Zone* next = nullptr;
+    for (auto& child : zone->children) {
+      if (child->box.contains(point)) {
+        next = child.get();
+        break;
+      }
+    }
+    zone = next != nullptr ? next : zone->children[0].get();
+  }
+  return zone;
+}
+
+void GeoOverlay::deliver_to_supervisor(Zone& from, Zone& to,
+                                       std::uint64_t search_id, PeerId origin,
+                                       const GeoRect& rect, bool descending,
+                                       bool geocast,
+                                       std::uint32_t payload_bytes) {
+  if (!to.supervisor.is_valid()) return;  // dead zone: query lost until repair
+  underlay::Message msg;
+  msg.src = from.supervisor.is_valid() ? from.supervisor : origin;
+  msg.dst = to.supervisor;
+  msg.type = msg::kGeoSearch;
+  msg.size_bytes = geocast ? config_.search_bytes + payload_bytes
+                           : config_.search_bytes;
+  msg.payload =
+      SearchPayload{search_id, origin, rect, &to, descending, geocast,
+                    payload_bytes};
+  if (network_.send(std::move(msg)) && active_ && active_->id == search_id) {
+    ++active_->messages;
+  }
+}
+
+void GeoOverlay::route_search(Zone& zone, std::uint64_t search_id,
+                              PeerId origin, const GeoRect& rect,
+                              bool descending, bool geocast,
+                              std::uint32_t payload_bytes) {
+  if (!descending) {
+    // Ascend until the zone encloses the query (or we hit the root).
+    if (!zone.box.contains(rect) && zone.parent != nullptr) {
+      deliver_to_supervisor(zone, *zone.parent, search_id, origin, rect,
+                            /*descending=*/false, geocast, payload_bytes);
+      return;
+    }
+    descending = true;  // this zone covers the rect: fan out below
+  }
+  if (zone.is_leaf()) {
+    if (geocast) {
+      // Deliver the payload to every matching member of this leaf.
+      for (const auto& [peer, location] : zone.members) {
+        if (!rect.contains(location) || !network_.is_online(peer)) continue;
+        underlay::Message msg;
+        msg.src = zone.supervisor;
+        msg.dst = peer;
+        msg.type = msg::kGeoCastDeliver;
+        msg.size_bytes = payload_bytes;
+        msg.payload = CastPayload{search_id};
+        if (network_.send(std::move(msg)) && active_ &&
+            active_->id == search_id) {
+          ++active_->messages;
+        }
+      }
+      return;
+    }
+    // Reply to the origin with matching members.
+    ReplyPayload reply;
+    reply.search_id = search_id;
+    for (const auto& [peer, location] : zone.members) {
+      if (rect.contains(location) && network_.is_online(peer)) {
+        reply.members.push_back(peer);
+      }
+    }
+    underlay::Message msg;
+    msg.src = zone.supervisor;
+    msg.dst = origin;
+    msg.type = msg::kGeoSearchReply;
+    msg.size_bytes = config_.reply_base_bytes +
+                     static_cast<std::uint32_t>(reply.members.size()) *
+                         config_.reply_entry_bytes;
+    msg.payload = std::move(reply);
+    if (network_.send(std::move(msg)) && active_ && active_->id == search_id) {
+      ++active_->messages;
+    }
+    return;
+  }
+  for (auto& child : zone.children) {
+    if (!child->box.intersects(rect)) continue;
+    if (child->supervisor == zone.supervisor && child->supervisor.is_valid()) {
+      // Same supervisor handles the child zone locally, no message needed.
+      route_search(*child, search_id, origin, rect, /*descending=*/true,
+                   geocast, payload_bytes);
+    } else {
+      deliver_to_supervisor(zone, *child, search_id, origin, rect,
+                            /*descending=*/true, geocast, payload_bytes);
+    }
+  }
+}
+
+void GeoOverlay::on_message(PeerId self, const underlay::Message& msg) {
+  if (msg.type == msg::kGeoScopedPut) {
+    const auto* payload = std::any_cast<ScopedPutPayload>(&msg.payload);
+    if (payload == nullptr) return;
+    if (payload->zone->supervisor != self) return;
+    auto& providers = payload->zone->scoped_store[payload->content];
+    if (std::find(providers.begin(), providers.end(), payload->provider) ==
+        providers.end()) {
+      providers.push_back(payload->provider);
+    }
+    return;
+  }
+  if (msg.type == msg::kGeoScopedGet) {
+    const auto* payload = std::any_cast<ScopedGetPayload>(&msg.payload);
+    if (payload == nullptr) return;
+    Zone* zone = payload->zone;
+    // Climb locally while this peer supervises the ancestors too.
+    std::size_t climbed = 0;
+    while (true) {
+      auto hit = zone->scoped_store.find(payload->content);
+      if (hit != zone->scoped_store.end() && !hit->second.empty()) {
+        underlay::Message reply;
+        reply.src = self;
+        reply.dst = payload->origin;
+        reply.type = msg::kGeoScopedGetReply;
+        reply.size_bytes = config_.reply_base_bytes +
+                           std::uint32_t(hit->second.size()) *
+                               config_.reply_entry_bytes;
+        reply.payload = ScopedGetReply{payload->op_id, hit->second, climbed};
+        if (network_.send(std::move(reply)) && active_ &&
+            active_->id == payload->op_id) {
+          ++active_->messages;
+        }
+        return;
+      }
+      if (zone->parent == nullptr) {
+        // Root miss: negative reply.
+        underlay::Message reply;
+        reply.src = self;
+        reply.dst = payload->origin;
+        reply.type = msg::kGeoScopedGetReply;
+        reply.size_bytes = config_.reply_base_bytes;
+        reply.payload = ScopedGetReply{payload->op_id, {}, climbed};
+        if (network_.send(std::move(reply)) && active_ &&
+            active_->id == payload->op_id) {
+          ++active_->messages;
+        }
+        return;
+      }
+      Zone* parent = zone->parent;
+      ++climbed;
+      if (parent->supervisor == self) {
+        zone = parent;  // same supervisor: free local climb
+        continue;
+      }
+      if (!parent->supervisor.is_valid()) return;  // lost until repair
+      underlay::Message forward;
+      forward.src = self;
+      forward.dst = parent->supervisor;
+      forward.type = msg::kGeoScopedGet;
+      forward.size_bytes = config_.search_bytes;
+      forward.payload = ScopedGetPayload{payload->op_id, payload->content,
+                                         payload->origin, parent};
+      if (network_.send(std::move(forward)) && active_ &&
+          active_->id == payload->op_id) {
+        ++active_->messages;
+      }
+      return;
+    }
+  }
+  if (msg.type == msg::kGeoScopedGetReply) {
+    const auto* payload = std::any_cast<ScopedGetReply>(&msg.payload);
+    if (payload == nullptr) return;
+    if (!active_ || active_->id != payload->op_id || self != active_->origin)
+      return;
+    active_->scoped_found = !payload->providers.empty();
+    active_->scoped_providers = payload->providers;
+    active_->scoped_levels += payload->levels;
+    return;
+  }
+  if (msg.type == msg::kGeoSearch) {
+    const auto* payload = std::any_cast<SearchPayload>(&msg.payload);
+    if (payload == nullptr) return;
+    if (payload->zone->supervisor != self) return;  // stale after repair
+    route_search(*payload->zone, payload->search_id, payload->origin,
+                 payload->rect, payload->descending, payload->geocast,
+                 payload->payload_bytes);
+  } else if (msg.type == msg::kGeoCastDeliver) {
+    const auto* payload = std::any_cast<CastPayload>(&msg.payload);
+    if (payload == nullptr) return;
+    if (active_ && active_->id == payload->search_id) {
+      ++active_->delivered;
+      active_->last_activity = network_.engine().now();
+    }
+  } else if (msg.type == msg::kGeoSearchReply) {
+    const auto* payload = std::any_cast<ReplyPayload>(&msg.payload);
+    if (payload == nullptr) return;
+    if (!active_ || active_->id != payload->search_id || self != active_->origin)
+      return;
+    active_->last_activity = network_.engine().now();
+    for (const PeerId peer : payload->members) {
+      if (std::find(active_->found.begin(), active_->found.end(), peer) ==
+          active_->found.end()) {
+        active_->found.push_back(peer);
+      }
+    }
+  }
+}
+
+AreaSearchResult GeoOverlay::area_search(PeerId origin, const GeoRect& rect) {
+  active_ = std::make_unique<SearchState>();
+  active_->id = next_search_++;
+  active_->origin = origin;
+  active_->rect = rect;
+  active_->started = network_.engine().now();
+
+  // The origin submits the query to its leaf-zone supervisor.
+  Zone* leaf = leaf_for(network_.host(origin).location);
+  if (leaf->supervisor == origin) {
+    route_search(*leaf, active_->id, origin, rect, /*descending=*/false);
+  } else if (leaf->supervisor.is_valid()) {
+    underlay::Message msg;
+    msg.src = origin;
+    msg.dst = leaf->supervisor;
+    msg.type = msg::kGeoSearch;
+    msg.size_bytes = config_.search_bytes;
+    msg.payload = SearchPayload{active_->id, origin, rect, leaf,
+                                /*descending=*/false};
+    if (network_.send(std::move(msg))) ++active_->messages;
+  }
+  network_.engine().run_until(network_.engine().now() + kQuiesceHorizonMs);
+
+  AreaSearchResult result;
+  result.found = active_->found;
+  result.messages = active_->messages;
+  result.duration_ms = active_->last_activity > 0.0
+                           ? active_->last_activity - active_->started
+                           : network_.engine().now() - active_->started;
+  result.expected = ground_truth(rect).size();
+  active_.reset();
+  return result;
+}
+
+namespace {
+/// Walks the tree collecting leaf zones intersecting `rect`.
+void collect_leaves(GeoOverlay::Zone* zone, const GeoRect& rect,
+                    std::vector<GeoOverlay::Zone*>& out) {
+  if (!zone->box.intersects(rect)) return;
+  if (zone->is_leaf()) {
+    out.push_back(zone);
+    return;
+  }
+  for (auto& child : zone->children) collect_leaves(child.get(), rect, out);
+}
+}  // namespace
+
+GeoOverlay::ScopedPutResult GeoOverlay::scoped_put(PeerId provider,
+                                                   ContentId content,
+                                                   const GeoRect& scope) {
+  // Publication rides one message per target leaf supervisor (the tree
+  // fan-out is identical to geocast; we charge the direct legs).
+  ScopedPutResult result;
+  std::vector<Zone*> leaves;
+  collect_leaves(root_.get(), scope, leaves);
+  for (Zone* leaf : leaves) {
+    if (!leaf->supervisor.is_valid()) continue;  // empty zone: nothing there
+    underlay::Message msg;
+    msg.src = provider;
+    msg.dst = leaf->supervisor;
+    msg.type = msg::kGeoScopedPut;
+    msg.size_bytes = config_.search_bytes;
+    msg.payload = ScopedPutPayload{next_search_++, content.value(), provider,
+                                   scope, leaf, true};
+    if (network_.send(std::move(msg))) {
+      ++result.messages;
+      ++result.zones_stored;
+    }
+  }
+  network_.engine().run_until(network_.engine().now() + kQuiesceHorizonMs);
+  return result;
+}
+
+GeoOverlay::ScopedGetResult GeoOverlay::scoped_get(PeerId origin,
+                                                   ContentId content) {
+  active_ = std::make_unique<SearchState>();
+  active_->id = next_search_++;
+  active_->origin = origin;
+  active_->started = network_.engine().now();
+
+  Zone* leaf = leaf_for(network_.host(origin).location);
+  if (leaf->supervisor.is_valid()) {
+    underlay::Message msg;
+    msg.src = origin;
+    msg.dst = leaf->supervisor;
+    msg.type = msg::kGeoScopedGet;
+    msg.size_bytes = config_.search_bytes;
+    msg.payload = ScopedGetPayload{active_->id, content.value(), origin, leaf};
+    if (network_.send(std::move(msg))) ++active_->messages;
+  }
+  network_.engine().run_until(network_.engine().now() + kQuiesceHorizonMs);
+
+  ScopedGetResult result;
+  result.found = active_->scoped_found;
+  result.providers = active_->scoped_providers;
+  result.tree_levels_climbed = active_->scoped_levels;
+  result.messages = active_->messages;
+  result.duration_ms = network_.engine().now() - active_->started;
+  active_.reset();
+  return result;
+}
+
+GeoOverlay::GeocastResult GeoOverlay::geocast(PeerId origin,
+                                              const GeoRect& rect,
+                                              std::uint32_t payload_bytes) {
+  active_ = std::make_unique<SearchState>();
+  active_->id = next_search_++;
+  active_->origin = origin;
+  active_->rect = rect;
+  active_->geocast = true;
+  active_->payload_bytes = payload_bytes;
+  active_->started = network_.engine().now();
+
+  Zone* leaf = leaf_for(network_.host(origin).location);
+  if (leaf->supervisor == origin) {
+    route_search(*leaf, active_->id, origin, rect, /*descending=*/false,
+                 /*geocast=*/true, payload_bytes);
+  } else if (leaf->supervisor.is_valid()) {
+    underlay::Message msg;
+    msg.src = origin;
+    msg.dst = leaf->supervisor;
+    msg.type = msg::kGeoSearch;
+    msg.size_bytes = config_.search_bytes + payload_bytes;
+    msg.payload = SearchPayload{active_->id,          origin, rect, leaf,
+                                /*descending=*/false, true,   payload_bytes};
+    if (network_.send(std::move(msg))) ++active_->messages;
+  }
+  network_.engine().run_until(network_.engine().now() + kQuiesceHorizonMs);
+
+  GeocastResult result;
+  result.delivered = active_->delivered;
+  result.messages = active_->messages;
+  result.duration_ms = active_->delivered > 0
+                           ? active_->last_activity - active_->started
+                           : 0.0;
+  result.expected = ground_truth(rect).size();
+  active_.reset();
+  return result;
+}
+
+AreaSearchResult GeoOverlay::radius_search(PeerId origin,
+                                           const underlay::GeoPoint& center,
+                                           double radius_km) {
+  // Bounding box around the circle, then post-filter by haversine.
+  const double lat_delta = radius_km / 111.32;
+  const double lon_delta =
+      radius_km /
+      (111.32 * std::max(0.05, std::cos(center.lat_deg * 3.14159265 / 180.0)));
+  GeoRect rect{center.lat_deg - lat_delta, center.lat_deg + lat_delta,
+               center.lon_deg - lon_delta, center.lon_deg + lon_delta};
+  AreaSearchResult result = area_search(origin, rect);
+  std::erase_if(result.found, [&](PeerId peer) {
+    return underlay::haversine_km(network_.host(peer).location, center) >
+           radius_km;
+  });
+  std::sort(result.found.begin(), result.found.end(),
+            [&](PeerId a, PeerId b) {
+              return underlay::haversine_km(network_.host(a).location, center) <
+                     underlay::haversine_km(network_.host(b).location, center);
+            });
+  std::size_t expected = 0;
+  for (const PeerId peer : peers_) {
+    if (network_.is_online(peer) &&
+        underlay::haversine_km(network_.host(peer).location, center) <=
+            radius_km) {
+      ++expected;
+    }
+  }
+  result.expected = expected;
+  return result;
+}
+
+void GeoOverlay::reinsert(PeerId peer) {
+  // Remove from whichever leaf currently registers the peer.
+  std::vector<Zone*> stack{root_.get()};
+  Zone* old_leaf = nullptr;
+  while (!stack.empty()) {
+    Zone* zone = stack.back();
+    stack.pop_back();
+    if (zone->is_leaf()) {
+      const auto before = zone->members.size();
+      std::erase_if(zone->members,
+                    [peer](const auto& member) { return member.first == peer; });
+      if (zone->members.size() != before) {
+        old_leaf = zone;
+        break;
+      }
+    } else {
+      for (auto& child : zone->children) stack.push_back(child.get());
+    }
+  }
+  // Insert at the current location (clamped like the constructor does).
+  underlay::GeoPoint location = network_.host(peer).location;
+  location.lat_deg = std::clamp(location.lat_deg, config_.world.lat_lo,
+                                std::nextafter(config_.world.lat_hi, -1e9));
+  location.lon_deg = std::clamp(location.lon_deg, config_.world.lon_lo,
+                                std::nextafter(config_.world.lon_hi, -1e9));
+  insert(*root_, peer, location);
+  Zone* new_leaf = leaf_for(location);
+  // Refresh supervision where membership changed.
+  if (old_leaf != nullptr) elect_supervisor(*old_leaf);
+  elect_supervisor(*new_leaf);
+  for (Zone* zone = new_leaf->parent; zone != nullptr; zone = zone->parent) {
+    elect_supervisor(*zone);
+  }
+}
+
+void GeoOverlay::repair() {
+  std::vector<Zone*> stack{root_.get()};
+  std::vector<Zone*> order;
+  while (!stack.empty()) {
+    Zone* zone = stack.back();
+    stack.pop_back();
+    order.push_back(zone);
+    if (!zone->is_leaf()) {
+      for (auto& child : zone->children) stack.push_back(child.get());
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Zone& zone = **it;
+    if (!zone.supervisor.is_valid() || !network_.is_online(zone.supervisor)) {
+      elect_supervisor(zone);
+    }
+  }
+}
+
+std::size_t GeoOverlay::zone_count() const {
+  std::size_t count = 0;
+  std::vector<const Zone*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Zone* zone = stack.back();
+    stack.pop_back();
+    ++count;
+    if (!zone->is_leaf()) {
+      for (const auto& child : zone->children) stack.push_back(child.get());
+    }
+  }
+  return count;
+}
+
+std::size_t GeoOverlay::leaf_count() const {
+  std::size_t count = 0;
+  std::vector<const Zone*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Zone* zone = stack.back();
+    stack.pop_back();
+    if (zone->is_leaf()) {
+      ++count;
+    } else {
+      for (const auto& child : zone->children) stack.push_back(child.get());
+    }
+  }
+  return count;
+}
+
+std::size_t GeoOverlay::tree_depth() const {
+  std::size_t depth = 0;
+  std::vector<const Zone*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Zone* zone = stack.back();
+    stack.pop_back();
+    depth = std::max(depth, static_cast<std::size_t>(zone->depth));
+    if (!zone->is_leaf()) {
+      for (const auto& child : zone->children) stack.push_back(child.get());
+    }
+  }
+  return depth;
+}
+
+PeerId GeoOverlay::supervisor_of(PeerId peer) const {
+  const underlay::GeoPoint location = network_.host(peer).location;
+  const Zone* zone = root_.get();
+  while (!zone->is_leaf()) {
+    const Zone* next = nullptr;
+    for (const auto& child : zone->children) {
+      if (child->box.contains(location)) {
+        next = child.get();
+        break;
+      }
+    }
+    zone = next != nullptr ? next : zone->children[0].get();
+  }
+  return zone->supervisor;
+}
+
+std::vector<PeerId> GeoOverlay::ground_truth(const GeoRect& rect) const {
+  std::vector<PeerId> result;
+  std::vector<const Zone*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Zone* zone = stack.back();
+    stack.pop_back();
+    if (!zone->box.intersects(rect)) continue;
+    if (zone->is_leaf()) {
+      for (const auto& [peer, location] : zone->members) {
+        if (rect.contains(location) && network_.is_online(peer)) {
+          result.push_back(peer);
+        }
+      }
+    } else {
+      for (const auto& child : zone->children) stack.push_back(child.get());
+    }
+  }
+  return result;
+}
+
+}  // namespace uap2p::overlay::geo

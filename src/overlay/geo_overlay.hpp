@@ -1,0 +1,177 @@
+// Location-based overlay modelled on Globase.KOM (Kovacevic et al. [19];
+// paper §2.4/§4): a hierarchical tree of geographic zones with supervisor
+// peers, supporting fully retrievable location-based search.
+//
+// The world (a configurable bounding box) is split into a quadtree; a
+// zone splits when it holds more than `max_zone_peers` members. Each zone
+// elects as supervisor its highest-capacity member (peer-resource
+// awareness feeding geolocation awareness, as the survey suggests
+// combining them). An area search routes from the origin's leaf zone up
+// to the smallest zone enclosing the query rectangle, then fans out down
+// to every intersecting leaf; leaf supervisors reply to the origin with
+// their matching members. All routing rides real Network messages.
+//
+// The paper's §2.4 challenges are observable here: "routing around dead
+// nodes" (offline supervisors drop queries until repair() re-elects) and
+// "operating in low density environments" (sparse zones make deep,
+// lopsided trees).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "underlay/geo.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::overlay::geo {
+
+/// Axis-aligned geographic rectangle (degrees).
+struct GeoRect {
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+
+  [[nodiscard]] bool contains(const underlay::GeoPoint& p) const {
+    return p.lat_deg >= lat_lo && p.lat_deg < lat_hi && p.lon_deg >= lon_lo &&
+           p.lon_deg < lon_hi;
+  }
+  [[nodiscard]] bool contains(const GeoRect& other) const {
+    return other.lat_lo >= lat_lo && other.lat_hi <= lat_hi &&
+           other.lon_lo >= lon_lo && other.lon_hi <= lon_hi;
+  }
+  [[nodiscard]] bool intersects(const GeoRect& other) const {
+    return !(other.lat_hi <= lat_lo || other.lat_lo >= lat_hi ||
+             other.lon_hi <= lon_lo || other.lon_lo >= lon_hi);
+  }
+};
+
+struct GeoConfig {
+  GeoRect world{35.0, 62.0, -12.0, 32.0};  ///< Continental default box.
+  std::size_t max_zone_peers = 8;
+  std::uint32_t search_bytes = 64;
+  std::uint32_t reply_base_bytes = 32;
+  std::uint32_t reply_entry_bytes = 12;
+  std::uint64_t seed = 41;
+};
+
+struct AreaSearchResult {
+  std::vector<PeerId> found;
+  std::size_t expected = 0;       ///< Ground-truth member count in the rect.
+  std::size_t messages = 0;       ///< Routing + reply messages.
+  sim::SimTime duration_ms = 0.0;
+  [[nodiscard]] double completeness() const {
+    return expected == 0 ? 1.0
+                         : static_cast<double>(found.size()) /
+                               static_cast<double>(expected);
+  }
+};
+
+class GeoOverlay {
+ public:
+  /// Opaque tree node; defined in the implementation file. Public only so
+  /// in-flight search payloads can carry a target-zone handle.
+  struct Zone;
+
+  /// Builds the zone tree over `peers` using their (GPS-accurate) host
+  /// locations. Peers outside the world box are clamped onto its border.
+  GeoOverlay(underlay::Network& network, std::vector<PeerId> peers,
+             GeoConfig config = {});
+  ~GeoOverlay();
+  GeoOverlay(const GeoOverlay&) = delete;
+  GeoOverlay& operator=(const GeoOverlay&) = delete;
+
+  /// All peers inside `rect`, retrieved via tree routing. Drains the
+  /// engine until replies settle.
+  AreaSearchResult area_search(PeerId origin, const GeoRect& rect);
+
+  /// Convenience point-of-interest search: peers within `radius_km` of
+  /// `center`, sorted by distance (an emergency-service / POI lookup,
+  /// paper §2.4).
+  AreaSearchResult radius_search(PeerId origin,
+                                 const underlay::GeoPoint& center,
+                                 double radius_km);
+
+  /// Geocast (GeoPeer [2]: "information dissemination based on
+  /// geographical information"): delivers a payload to every online peer
+  /// inside `rect`, routed through the zone tree. Returns coverage stats.
+  struct GeocastResult {
+    std::size_t delivered = 0;
+    std::size_t expected = 0;
+    std::size_t messages = 0;
+    sim::SimTime duration_ms = 0.0;
+    [[nodiscard]] double coverage() const {
+      return expected == 0 ? 1.0
+                           : static_cast<double>(delivered) /
+                                 static_cast<double>(expected);
+    }
+  };
+  GeocastResult geocast(PeerId origin, const GeoRect& rect,
+                        std::uint32_t payload_bytes = 256);
+
+  /// Geographically scoped hashing (Leopard, Yu et al. [33]; paper §4):
+  /// content is published *into a geographic scope* — it is stored at the
+  /// supervisors of every leaf zone intersecting the scope rectangle, so
+  /// lookups from inside the scope resolve at the nearest zone level
+  /// (locality-aware, no global hot spot). A lookup walks up from the
+  /// querier's leaf until a zone that stores the content is found.
+  struct ScopedPutResult {
+    std::size_t zones_stored = 0;
+    std::size_t messages = 0;
+  };
+  ScopedPutResult scoped_put(PeerId provider, ContentId content,
+                             const GeoRect& scope);
+
+  struct ScopedGetResult {
+    bool found = false;
+    std::vector<PeerId> providers;
+    std::size_t tree_levels_climbed = 0;
+    std::size_t messages = 0;
+    sim::SimTime duration_ms = 0.0;
+  };
+  ScopedGetResult scoped_get(PeerId origin, ContentId content);
+
+  /// Re-elects supervisors of zones whose supervisor went offline.
+  void repair();
+
+  /// Mobility support (§6): re-registers `peer` at its current host
+  /// location — removes it from its old zone and inserts it at the new
+  /// one (splitting/electing as needed). Call after Network::move_host;
+  /// stale registrations otherwise make area searches miss movers.
+  void reinsert(PeerId peer);
+
+  [[nodiscard]] std::size_t zone_count() const;
+  [[nodiscard]] std::size_t leaf_count() const;
+  [[nodiscard]] std::size_t tree_depth() const;
+  [[nodiscard]] PeerId supervisor_of(PeerId peer) const;
+  /// Ground truth for tests: members whose location is inside `rect`.
+  [[nodiscard]] std::vector<PeerId> ground_truth(const GeoRect& rect) const;
+
+ private:
+  struct SearchState;
+
+  void insert(Zone& zone, PeerId peer, const underlay::GeoPoint& location);
+  void split(Zone& zone);
+  void elect_supervisor(Zone& zone);
+  Zone* leaf_for(const underlay::GeoPoint& point);
+  void on_message(PeerId self, const underlay::Message& msg);
+  void route_search(Zone& zone, std::uint64_t search_id, PeerId origin,
+                    const GeoRect& rect, bool descending,
+                    bool geocast = false, std::uint32_t payload_bytes = 0);
+  void deliver_to_supervisor(Zone& from, Zone& to, std::uint64_t search_id,
+                             PeerId origin, const GeoRect& rect,
+                             bool descending, bool geocast = false,
+                             std::uint32_t payload_bytes = 0);
+
+  underlay::Network& network_;
+  GeoConfig config_;
+  Rng rng_;
+  std::unique_ptr<Zone> root_;
+  std::vector<PeerId> peers_;
+  std::uint64_t next_search_ = 1;
+  std::unique_ptr<SearchState> active_;
+};
+
+}  // namespace uap2p::overlay::geo

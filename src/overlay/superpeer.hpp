@@ -1,0 +1,110 @@
+// Resource-aware super-peer overlay (paper §2.3 / §4: "different roles in
+// the network are taken by appropriate nodes" [11]).
+//
+// A hybrid two-tier system: elected super-peers form a full mesh and index
+// the content of their attached clients; a client search goes to its
+// super-peer, which answers from its own index and relays one hop across
+// the mesh. Election can use ground-truth resources, the SkyEye oracle
+// view (the realistic deployment), or random choice (the baseline that
+// Table 2's "Peer Resources" column is measured against). Clients attach
+// to the lowest-latency super-peer — or a random one for the baseline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "netinfo/skyeye.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::overlay::superpeer {
+
+enum class ElectionPolicy {
+  kRandom,       ///< Baseline: any peer may become a super-peer.
+  kGroundTruth,  ///< Ideal: exact resource knowledge.
+  kSkyEye,       ///< Realistic: the SkyEye root view's top-capacity list.
+};
+
+enum class AttachmentPolicy {
+  kRandom,   ///< Clients pick an arbitrary super-peer.
+  kLatency,  ///< Clients pick the lowest-RTT super-peer.
+};
+
+struct Config {
+  std::size_t superpeer_count = 8;
+  ElectionPolicy election = ElectionPolicy::kGroundTruth;
+  AttachmentPolicy attachment = AttachmentPolicy::kLatency;
+  std::uint32_t query_bytes = 64;
+  std::uint32_t reply_bytes = 96;
+  std::uint64_t seed = 57;
+};
+
+struct SearchResult {
+  bool found = false;
+  std::size_t providers = 0;
+  sim::SimTime latency_ms = -1.0;
+  std::size_t messages = 0;
+};
+
+class SuperPeerOverlay {
+ public:
+  /// Elects super-peers from `peers` and attaches the rest as clients.
+  /// `skyeye` is required for ElectionPolicy::kSkyEye.
+  SuperPeerOverlay(underlay::Network& network, std::vector<PeerId> peers,
+                   Config config, const netinfo::SkyEye* skyeye = nullptr);
+
+  /// Publishes that `peer` offers `content`; indexed at its super-peer.
+  void publish(PeerId peer, ContentId content);
+
+  /// Client search: one hop to the super-peer, one relay across the mesh.
+  /// Drains the engine until replies settle.
+  SearchResult search(PeerId origin, ContentId content);
+
+  [[nodiscard]] const std::vector<PeerId>& superpeers() const {
+    return superpeers_;
+  }
+  [[nodiscard]] PeerId superpeer_of(PeerId client) const;
+  /// Mean capacity score of the elected super-peers (election quality).
+  [[nodiscard]] double mean_superpeer_capacity() const;
+  /// Expected fraction of an hour a random super-peer stays online
+  /// (stability proxy built from expected_online_ms).
+  [[nodiscard]] double expected_stability() const;
+  /// Mean client→super-peer RTT (ms).
+  [[nodiscard]] double mean_attachment_rtt_ms();
+  /// Clients per super-peer (load balance check).
+  [[nodiscard]] std::vector<std::size_t> load_distribution() const;
+
+ private:
+  void elect(const netinfo::SkyEye* skyeye);
+  void attach_clients();
+  void on_message(PeerId self, const underlay::Message& msg);
+
+  underlay::Network& network_;
+  Config config_;
+  Rng rng_;
+  std::vector<PeerId> peers_;
+  std::vector<PeerId> superpeers_;
+  std::unordered_map<std::uint32_t, PeerId> attachment_;  // client -> SP
+  // Per-super-peer index: content -> providers.
+  std::unordered_map<std::uint32_t,
+                     std::unordered_map<std::uint32_t, std::vector<PeerId>>>
+      index_;
+
+  struct ActiveSearch {
+    std::uint64_t id = 0;
+    PeerId origin = PeerId::invalid();
+    std::unordered_set<std::uint32_t> providers;
+    sim::SimTime started = 0.0;
+    sim::SimTime first_reply = -1.0;
+    std::size_t messages = 0;
+  };
+  std::optional<ActiveSearch> active_;
+  std::uint64_t next_search_ = 1;
+};
+
+}  // namespace uap2p::overlay::superpeer

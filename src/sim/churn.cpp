@@ -1,0 +1,73 @@
+#include "sim/churn.hpp"
+
+#include <cassert>
+
+namespace uap2p::sim {
+
+ChurnProcess::ChurnProcess(Engine& engine, Rng rng, ChurnConfig config)
+    : engine_(engine), rng_(rng), config_(config) {}
+
+SimTime ChurnProcess::draw_session() {
+  switch (config_.model) {
+    case SessionModel::kExponential:
+      return rng_.exponential(config_.mean_session);
+    case SessionModel::kPareto: {
+      // Scale xmin so the Pareto mean equals mean_session:
+      // E[X] = alpha * xmin / (alpha - 1).
+      const double alpha = config_.pareto_alpha;
+      const double xmin = config_.mean_session * (alpha - 1.0) / alpha;
+      return rng_.pareto(alpha, xmin);
+    }
+  }
+  return config_.mean_session;
+}
+
+void ChurnProcess::add_peer(PeerId peer, bool initially_online) {
+  const std::size_t idx = peer.value();
+  if (online_.size() <= idx) {
+    online_.resize(idx + 1, false);
+    pending_.resize(idx + 1);
+  }
+  online_[idx] = initially_online;
+  if (initially_online) {
+    ++online_count_;
+    schedule_leave(peer);
+  } else {
+    schedule_join(peer);
+  }
+}
+
+void ChurnProcess::schedule_leave(PeerId peer) {
+  if (stopped_) return;
+  pending_[peer.value()] = engine_.schedule(draw_session(), [this, peer] {
+    if (stopped_ || !online_[peer.value()]) return;
+    online_[peer.value()] = false;
+    --online_count_;
+    if (on_leave_) on_leave_(peer);
+    schedule_join(peer);
+  });
+}
+
+void ChurnProcess::schedule_join(PeerId peer) {
+  if (stopped_) return;
+  const SimTime gap = rng_.exponential(config_.mean_downtime);
+  pending_[peer.value()] = engine_.schedule(gap, [this, peer] {
+    if (stopped_ || online_[peer.value()]) return;
+    online_[peer.value()] = true;
+    ++online_count_;
+    if (on_join_) on_join_(peer);
+    schedule_leave(peer);
+  });
+}
+
+bool ChurnProcess::is_online(PeerId peer) const {
+  const std::size_t idx = peer.value();
+  return idx < online_.size() && online_[idx];
+}
+
+void ChurnProcess::stop() {
+  stopped_ = true;
+  for (auto& handle : pending_) handle.cancel();
+}
+
+}  // namespace uap2p::sim

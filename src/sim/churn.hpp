@@ -1,0 +1,69 @@
+// Churn generation for robustness experiments (Section 5.4 of the paper
+// flags "robustness especially against churn" as an open issue; the
+// Table 2 resilience rows and the ablation benches exercise it).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace uap2p::sim {
+
+/// Session-time model for peers.
+enum class SessionModel {
+  kExponential,  ///< Memoryless sessions (classic analytical model).
+  kPareto,       ///< Heavy-tailed sessions (matches measured P2P traces).
+};
+
+struct ChurnConfig {
+  SessionModel model = SessionModel::kPareto;
+  /// Mean online session length.
+  SimTime mean_session = minutes(30);
+  /// Mean offline gap before a peer rejoins.
+  SimTime mean_downtime = minutes(10);
+  /// Pareto shape for kPareto (alpha <= 1 gives infinite mean; keep > 1).
+  double pareto_alpha = 1.8;
+};
+
+/// Drives join/leave callbacks for a fixed peer population. The overlay
+/// under test subscribes and reacts (repairing routing tables etc.).
+class ChurnProcess {
+ public:
+  using Callback = std::function<void(PeerId)>;
+
+  ChurnProcess(Engine& engine, Rng rng, ChurnConfig config);
+
+  /// Registers a peer and schedules its first departure. `initially_online`
+  /// peers start their session immediately; others start after a random
+  /// downtime.
+  void add_peer(PeerId peer, bool initially_online = true);
+
+  void on_join(Callback cb) { on_join_ = std::move(cb); }
+  void on_leave(Callback cb) { on_leave_ = std::move(cb); }
+
+  [[nodiscard]] bool is_online(PeerId peer) const;
+  [[nodiscard]] std::size_t online_count() const { return online_count_; }
+
+  /// Stops generating further events (existing scheduled ones are disarmed).
+  void stop();
+
+ private:
+  SimTime draw_session();
+  void schedule_leave(PeerId peer);
+  void schedule_join(PeerId peer);
+
+  Engine& engine_;
+  Rng rng_;
+  ChurnConfig config_;
+  Callback on_join_;
+  Callback on_leave_;
+  std::vector<bool> online_;  // indexed by PeerId value
+  std::vector<EventHandle> pending_;
+  std::size_t online_count_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace uap2p::sim

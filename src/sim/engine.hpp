@@ -1,0 +1,91 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop: callbacks are scheduled at absolute
+// simulated times and executed in (time, insertion-order) order. All of
+// uap2p's network and overlay behaviour is expressed as events on one
+// Engine, which makes runs bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace uap2p::sim {
+
+/// Handle to a scheduled event; allows cancellation (e.g. retransmission
+/// timers that are disarmed when the reply arrives).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Safe to call repeatedly and
+  /// after the event fired (no-op then).
+  void cancel();
+  /// True if the event is still scheduled (not fired, not cancelled).
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// The event loop. Not thread-safe by design: one Engine per experiment.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time. 0 before the first event fires.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at `now() + delay`. Negative delays clamp to 0
+  /// (the event still runs after the current callback returns).
+  EventHandle schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules at an absolute time; must be >= now().
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Runs until the queue is empty or `limit` events fired.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+  /// Runs until simulated time reaches `until` (events at exactly `until`
+  /// are executed). Returns the number of events executed.
+  std::uint64_t run_until(SimTime until);
+
+  /// Number of events currently queued (including cancelled tombstones).
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+
+  /// Total events executed since construction (cancelled ones excluded).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace uap2p::sim

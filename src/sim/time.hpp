@@ -1,0 +1,19 @@
+// Simulated-time representation.
+//
+// Simulated time is a double counting milliseconds since the start of the
+// run. Ties in the event queue are broken by insertion sequence number, so
+// floating-point equality never affects determinism.
+#pragma once
+
+namespace uap2p::sim {
+
+/// Milliseconds of simulated time.
+using SimTime = double;
+
+/// Readability helpers for constructing durations.
+constexpr SimTime milliseconds(double ms) { return ms; }
+constexpr SimTime seconds(double s) { return s * 1000.0; }
+constexpr SimTime minutes(double m) { return m * 60.0 * 1000.0; }
+constexpr SimTime hours(double h) { return h * 3600.0 * 1000.0; }
+
+}  // namespace uap2p::sim

@@ -1,0 +1,158 @@
+#include "underlay/geo.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+namespace uap2p::underlay {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kDeg2Rad = kPi / 180.0;
+constexpr double kEarthRadiusKm = 6371.0;
+
+// WGS84 ellipsoid.
+constexpr double kA = 6378137.0;             // semi-major axis, metres
+constexpr double kF = 1.0 / 298.257223563;   // flattening
+constexpr double kK0 = 0.9996;               // UTM scale on central meridian
+constexpr double kFalseEasting = 500000.0;   // metres
+constexpr double kFalseNorthing = 10000000.0;  // metres (southern hemisphere)
+
+// Third flattening and Krüger alpha/beta series coefficients (order 6),
+// precomputed for WGS84. See Karney, "Transverse Mercator with an accuracy
+// of a few nanometers" (2011), Eq. 35/36 truncations.
+constexpr double kN = kF / (2.0 - kF);
+const double kN2 = kN * kN, kN3 = kN2 * kN, kN4 = kN3 * kN, kN5 = kN4 * kN,
+             kN6 = kN5 * kN;
+const double kAHat =
+    kA / (1.0 + kN) * (1.0 + kN2 / 4.0 + kN4 / 64.0 + kN6 / 256.0);
+
+const double kAlpha[6] = {
+    kN / 2.0 - 2.0 / 3.0 * kN2 + 5.0 / 16.0 * kN3 + 41.0 / 180.0 * kN4 -
+        127.0 / 288.0 * kN5 + 7891.0 / 37800.0 * kN6,
+    13.0 / 48.0 * kN2 - 3.0 / 5.0 * kN3 + 557.0 / 1440.0 * kN4 +
+        281.0 / 630.0 * kN5 - 1983433.0 / 1935360.0 * kN6,
+    61.0 / 240.0 * kN3 - 103.0 / 140.0 * kN4 + 15061.0 / 26880.0 * kN5 +
+        167603.0 / 181440.0 * kN6,
+    49561.0 / 161280.0 * kN4 - 179.0 / 168.0 * kN5 +
+        6601661.0 / 7257600.0 * kN6,
+    34729.0 / 80640.0 * kN5 - 3418889.0 / 1995840.0 * kN6,
+    212378941.0 / 319334400.0 * kN6};
+
+const double kBeta[6] = {
+    kN / 2.0 - 2.0 / 3.0 * kN2 + 37.0 / 96.0 * kN3 - 1.0 / 360.0 * kN4 -
+        81.0 / 512.0 * kN5 + 96199.0 / 604800.0 * kN6,
+    1.0 / 48.0 * kN2 + 1.0 / 15.0 * kN3 - 437.0 / 1440.0 * kN4 +
+        46.0 / 105.0 * kN5 - 1118711.0 / 3870720.0 * kN6,
+    17.0 / 480.0 * kN3 - 37.0 / 840.0 * kN4 - 209.0 / 4480.0 * kN5 +
+        5569.0 / 90720.0 * kN6,
+    4397.0 / 161280.0 * kN4 - 11.0 / 504.0 * kN5 - 830251.0 / 7257600.0 * kN6,
+    4583.0 / 161280.0 * kN5 - 108847.0 / 3991680.0 * kN6,
+    20648693.0 / 638668800.0 * kN6};
+
+const double kE2 = kF * (2.0 - kF);           // first eccentricity squared
+const double kE = std::sqrt(kE2);
+
+int utm_zone_for(double lon_deg) {
+  // Normalize to [-180, 180) then map to zones 1..60.
+  double lon = std::fmod(lon_deg + 180.0, 360.0);
+  if (lon < 0) lon += 360.0;
+  int zone = static_cast<int>(lon / 6.0) + 1;
+  return std::clamp(zone, 1, 60);
+}
+
+double zone_central_meridian_deg(int zone) { return (zone - 1) * 6.0 - 177.0; }
+
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat_deg * kDeg2Rad, lat2 = b.lat_deg * kDeg2Rad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDeg2Rad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDeg2Rad;
+  const double s = std::sin(dlat / 2.0), t = std::sin(dlon / 2.0);
+  const double h = s * s + std::cos(lat1) * std::cos(lat2) * t * t;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_delay_ms(double distance_km, double path_stretch) {
+  constexpr double kFibreKmPerMs = 299792.458 / 1.468 / 1000.0;  // ≈ 204.2
+  return distance_km * path_stretch / kFibreKmPerMs;
+}
+
+std::string UtmCoordinate::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%d%c %07.0fE %07.0fN", zone,
+                northern ? 'N' : 'S', easting_m, northing_m);
+  return buf;
+}
+
+UtmCoordinate to_utm(const GeoPoint& point) {
+  const double lat = std::clamp(point.lat_deg, -80.0, 84.0) * kDeg2Rad;
+  const int zone = utm_zone_for(point.lon_deg);
+  const double lon0 = zone_central_meridian_deg(zone) * kDeg2Rad;
+  double lon = point.lon_deg * kDeg2Rad - lon0;
+  // Wrap the longitude difference into [-pi, pi).
+  lon = std::remainder(lon, 2.0 * kPi);
+
+  // Conformal latitude.
+  const double sin_lat = std::sin(lat);
+  const double t = std::sinh(std::atanh(sin_lat) - kE * std::atanh(kE * sin_lat));
+  const double xi_prime = std::atan2(t, std::cos(lon));
+  const double eta_prime = std::asinh(std::sin(lon) / std::hypot(t, std::cos(lon)));
+
+  double xi = xi_prime, eta = eta_prime;
+  for (int j = 0; j < 6; ++j) {
+    const double arg = 2.0 * (j + 1);
+    xi += kAlpha[j] * std::sin(arg * xi_prime) * std::cosh(arg * eta_prime);
+    eta += kAlpha[j] * std::cos(arg * xi_prime) * std::sinh(arg * eta_prime);
+  }
+
+  UtmCoordinate utm;
+  utm.zone = zone;
+  utm.northern = point.lat_deg >= 0.0;
+  utm.easting_m = kFalseEasting + kK0 * kAHat * eta;
+  utm.northing_m = kK0 * kAHat * xi + (utm.northern ? 0.0 : kFalseNorthing);
+  return utm;
+}
+
+GeoPoint from_utm(const UtmCoordinate& utm) {
+  const double x = utm.easting_m - kFalseEasting;
+  const double y = utm.northing_m - (utm.northern ? 0.0 : kFalseNorthing);
+  const double xi = y / (kK0 * kAHat);
+  const double eta = x / (kK0 * kAHat);
+
+  double xi_prime = xi, eta_prime = eta;
+  for (int j = 0; j < 6; ++j) {
+    const double arg = 2.0 * (j + 1);
+    xi_prime -= kBeta[j] * std::sin(arg * xi) * std::cosh(arg * eta);
+    eta_prime -= kBeta[j] * std::cos(arg * xi) * std::sinh(arg * eta);
+  }
+
+  const double chi = std::asin(std::sin(xi_prime) / std::cosh(eta_prime));
+  // Newton-iterate latitude from conformal latitude.
+  double lat = chi;
+  for (int i = 0; i < 6; ++i) {
+    const double sin_lat = std::sin(lat);
+    const double target =
+        std::atanh(std::sin(chi)) + kE * std::atanh(kE * sin_lat);
+    // Solve atanh(sin(lat)) = target.
+    lat = std::asin(std::tanh(target));
+  }
+  const double lon = std::atan2(std::sinh(eta_prime), std::cos(xi_prime));
+
+  GeoPoint out;
+  out.lat_deg = lat / kDeg2Rad;
+  out.lon_deg = lon / kDeg2Rad + zone_central_meridian_deg(utm.zone);
+  if (out.lon_deg >= 180.0) out.lon_deg -= 360.0;
+  if (out.lon_deg < -180.0) out.lon_deg += 360.0;
+  return out;
+}
+
+double utm_distance_m(const UtmCoordinate& a, const UtmCoordinate& b) {
+  assert(a.zone == b.zone && a.northern == b.northern);
+  return std::hypot(a.easting_m - b.easting_m, a.northing_m - b.northing_m);
+}
+
+}  // namespace uap2p::underlay

@@ -1,0 +1,55 @@
+// Geographic primitives for geolocation awareness (paper §2.4, §3.3).
+//
+// The paper notes geolocation is harvested either from satellite positioning
+// (GPS/Galileo/GLONASS, typically represented in UTM coordinates [12]) or
+// from IP-to-location mapping. This module supplies the coordinate math:
+// WGS84 latitude/longitude, great-circle distances, and a real UTM
+// projection (transverse Mercator, Krüger series) so geolocation-aware
+// overlays operate on the same representation the paper cites.
+#pragma once
+
+#include <string>
+
+namespace uap2p::underlay {
+
+/// WGS84 position in degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;  ///< [-90, 90]
+  double lon_deg = 0.0;  ///< [-180, 180)
+
+  friend constexpr bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Great-circle distance in kilometres (haversine on the WGS84 mean radius).
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+/// Minimum one-way propagation delay in milliseconds for a fibre path of
+/// the given great-circle length. Light in fibre covers ~204.6 km/ms; real
+/// paths are longer than geodesics, so a routing-inefficiency factor is
+/// applied (default 1.6, a common measurement-derived value).
+double propagation_delay_ms(double distance_km, double path_stretch = 1.6);
+
+/// UTM (Universal Transverse Mercator) coordinate, the representation the
+/// paper's reference [12] uses for GPS-derived geolocation.
+struct UtmCoordinate {
+  int zone = 0;             ///< 1..60
+  bool northern = true;     ///< Hemisphere.
+  double easting_m = 0.0;   ///< Metres, includes the 500 km false easting.
+  double northing_m = 0.0;  ///< Metres, includes false northing when south.
+
+  /// e.g. "32U 0291827E 5534773N" (zone letter reduced to N/S band).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Projects a WGS84 point to UTM. Valid for latitudes in (-80, 84), the
+/// standard UTM domain; out-of-range latitudes are clamped.
+UtmCoordinate to_utm(const GeoPoint& point);
+
+/// Inverse projection; accurate to well under a metre within a zone.
+GeoPoint from_utm(const UtmCoordinate& utm);
+
+/// Planar distance between two UTM coordinates in the same zone, metres.
+/// Callers must ensure both points share a zone (checked by assert).
+double utm_distance_m(const UtmCoordinate& a, const UtmCoordinate& b);
+
+}  // namespace uap2p::underlay

@@ -1,0 +1,40 @@
+#include "underlay/mobility.hpp"
+
+namespace uap2p::underlay {
+
+MobilityProcess::MobilityProcess(sim::Engine& engine, Network& network,
+                                 MobilityConfig config)
+    : engine_(engine), network_(network), config_(config), rng_(config.seed) {}
+
+void MobilityProcess::add_peer(PeerId peer) {
+  if (pending_.size() <= peer.value()) pending_.resize(peer.value() + 1);
+  schedule_next(peer);
+}
+
+void MobilityProcess::schedule_next(PeerId peer) {
+  if (stopped_) return;
+  const sim::SimTime pause = rng_.exponential(config_.mean_pause_ms);
+  pending_[peer.value()] = engine_.schedule(pause, [this, peer] {
+    if (stopped_) return;
+    const GeoPoint from = network_.host(peer).location;
+    const GeoPoint to{
+        rng_.uniform_real(config_.lat_lo, config_.lat_hi),
+        rng_.uniform_real(config_.lon_lo, config_.lon_hi)};
+    const double km = haversine_km(from, to);
+    const sim::SimTime travel = sim::hours(km / config_.speed_kmh);
+    pending_[peer.value()] = engine_.schedule(travel, [this, peer, to] {
+      if (stopped_) return;
+      network_.move_host(peer, to);
+      ++moves_;
+      if (on_move_) on_move_(peer);
+      schedule_next(peer);
+    });
+  });
+}
+
+void MobilityProcess::stop() {
+  stopped_ = true;
+  for (auto& handle : pending_) handle.cancel();
+}
+
+}  // namespace uap2p::underlay

@@ -1,0 +1,63 @@
+// Mobility process (paper §6 "Mobile Support"): a random-waypoint model
+// driving Network::move_host. Mobile peers invalidate the underlay
+// information collectors cached about them — ISP-location and latency
+// "no longer apply because of continuous variation" — which the mobility
+// ablation bench quantifies.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "underlay/geo.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::underlay {
+
+struct MobilityConfig {
+  /// Mean pause time at a waypoint before the next move.
+  sim::SimTime mean_pause_ms = sim::minutes(5);
+  /// Movement speed in km/h (vehicular default).
+  double speed_kmh = 60.0;
+  /// Waypoints are drawn uniformly from this box.
+  double lat_lo = 36.0, lat_hi = 60.0;
+  double lon_lo = -10.0, lon_hi = 30.0;
+  std::uint64_t seed = 67;
+};
+
+/// Moves registered peers between random waypoints. Movement is
+/// discretized: the peer "arrives" after travel time and is re-attached
+/// at the destination (a handover), which matches how IP-level mobility
+/// appears to overlays — sudden address/attachment changes.
+class MobilityProcess {
+ public:
+  MobilityProcess(sim::Engine& engine, Network& network,
+                  MobilityConfig config = {});
+
+  /// Registers a peer as mobile; first move is scheduled after a pause.
+  void add_peer(PeerId peer);
+
+  /// Invoked after each completed move (overlays re-register here).
+  void on_move(std::function<void(PeerId)> callback) {
+    on_move_ = std::move(callback);
+  }
+
+  [[nodiscard]] std::uint64_t completed_moves() const { return moves_; }
+  void stop();
+
+ private:
+  void schedule_next(PeerId peer);
+
+  sim::Engine& engine_;
+  Network& network_;
+  MobilityConfig config_;
+  Rng rng_;
+  std::function<void(PeerId)> on_move_;
+  std::vector<sim::EventHandle> pending_;
+  std::uint64_t moves_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace uap2p::underlay

@@ -1,0 +1,103 @@
+#include "underlay/routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace uap2p::underlay {
+namespace {
+constexpr sim::SimTime kUnreachable = std::numeric_limits<sim::SimTime>::max();
+
+std::uint64_t pair_key(RouterId src, RouterId dst) {
+  return (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
+}
+}  // namespace
+
+const RoutingTable::SourceState& RoutingTable::run_dijkstra(RouterId src) {
+  auto it = sources_.find(src.value());
+  if (it != sources_.end()) return it->second;
+
+  const std::size_t n = topology_.router_count();
+  SourceState state;
+  state.dist.assign(n, kUnreachable);
+  state.prev_router.assign(n, RouterId::invalid());
+  state.prev_link.assign(n, UINT32_MAX);
+  state.dist[src.value()] = 0.0;
+
+  using Entry = std::pair<sim::SimTime, std::uint32_t>;  // (dist, router)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  frontier.emplace(0.0, src.value());
+  while (!frontier.empty()) {
+    const auto [dist, router] = frontier.top();
+    frontier.pop();
+    if (dist > state.dist[router]) continue;  // stale entry
+    for (const auto& neighbor : topology_.neighbors(RouterId(router))) {
+      const Link& link = topology_.link(neighbor.link_index);
+      const sim::SimTime candidate = dist + link.latency_ms;
+      if (candidate < state.dist[neighbor.router.value()]) {
+        state.dist[neighbor.router.value()] = candidate;
+        state.prev_router[neighbor.router.value()] = RouterId(router);
+        state.prev_link[neighbor.router.value()] = neighbor.link_index;
+        frontier.emplace(candidate, neighbor.router.value());
+      }
+    }
+  }
+  return sources_.emplace(src.value(), std::move(state)).first->second;
+}
+
+sim::SimTime RoutingTable::latency_ms(RouterId src, RouterId dst) {
+  return path(src, dst).latency_ms;
+}
+
+const PathInfo& RoutingTable::path(RouterId src, RouterId dst) {
+  const std::uint64_t key = pair_key(src, dst);
+  auto it = path_cache_.find(key);
+  if (it != path_cache_.end()) return it->second;
+  const SourceState& state = run_dijkstra(src);
+  return path_cache_.emplace(key, summarize(state, src, dst)).first->second;
+}
+
+PathInfo RoutingTable::summarize(const SourceState& state, RouterId src,
+                                 RouterId dst) {
+  PathInfo info;
+  if (state.dist[dst.value()] == kUnreachable) {
+    info.latency_ms = kUnreachable;
+    return info;
+  }
+  info.reachable = true;
+  info.latency_ms = state.dist[dst.value()];
+  info.bottleneck_mbps = std::numeric_limits<double>::max();
+  // Walk predecessors dst -> src, then reverse the AS path.
+  std::vector<AsId> reversed_as{topology_.as_of(dst)};
+  RouterId current = dst;
+  while (current != src) {
+    const std::uint32_t link_index = state.prev_link[current.value()];
+    assert(link_index != UINT32_MAX);
+    const Link& link = topology_.link(link_index);
+    info.bottleneck_mbps = std::min(info.bottleneck_mbps, link.bandwidth_mbps);
+    ++info.router_hops;
+    if (link.type == LinkType::kTransit) ++info.transit_crossings;
+    if (link.type == LinkType::kPeering) ++info.peering_crossings;
+    current = state.prev_router[current.value()];
+    const AsId as = topology_.as_of(current);
+    if (reversed_as.back() != as) reversed_as.push_back(as);
+  }
+  if (src == dst) info.bottleneck_mbps = 0.0;
+  info.as_path.assign(reversed_as.rbegin(), reversed_as.rend());
+  return info;
+}
+
+std::vector<RouterId> RoutingTable::router_path(RouterId src, RouterId dst) {
+  const SourceState& state = run_dijkstra(src);
+  if (state.dist[dst.value()] == kUnreachable) return {};
+  std::vector<RouterId> reversed{dst};
+  RouterId current = dst;
+  while (current != src) {
+    current = state.prev_router[current.value()];
+    reversed.push_back(current);
+  }
+  return {reversed.rbegin(), reversed.rend()};
+}
+
+}  // namespace uap2p::underlay

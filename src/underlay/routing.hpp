@@ -1,0 +1,74 @@
+// Shortest-path routing over the underlay router graph.
+//
+// Routes are computed with Dijkstra on link latencies (one run per source
+// router, cached lazily). PathInfo summarizes everything overlays and the
+// cost model need per packet: end-to-end latency, the AS-level path, and
+// how many transit/peering links the packet crosses. Real interdomain
+// routing is policy-driven (valley-free BGP); latency-shortest paths are
+// an accepted simplification for overlay studies and match the testlab
+// setup of [1], where one router abstracts an AS boundary.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+#include "underlay/topology.hpp"
+
+namespace uap2p::underlay {
+
+/// Per-pair routing summary.
+struct PathInfo {
+  sim::SimTime latency_ms = 0.0;       ///< Sum of link latencies.
+  double bottleneck_mbps = 0.0;        ///< Min link bandwidth on the path.
+  std::vector<AsId> as_path;           ///< Consecutive-deduplicated ASes.
+  std::uint32_t router_hops = 0;       ///< Number of links traversed.
+  std::uint32_t transit_crossings = 0; ///< Transit links on the path.
+  std::uint32_t peering_crossings = 0; ///< Peering links on the path.
+  bool reachable = false;
+
+  /// AS hops = |as_path| - 1 (0 when both endpoints share an AS).
+  [[nodiscard]] std::size_t as_hops() const {
+    return as_path.empty() ? 0 : as_path.size() - 1;
+  }
+  [[nodiscard]] bool intra_as() const { return as_hops() == 0 && reachable; }
+};
+
+/// Caching shortest-path oracle over an immutable topology. Not
+/// thread-safe; one instance per simulation.
+class RoutingTable {
+ public:
+  explicit RoutingTable(const AsTopology& topology) : topology_(topology) {}
+
+  /// One-way latency between two routers (0 when src == dst,
+  /// +infinity-like large value when unreachable).
+  [[nodiscard]] sim::SimTime latency_ms(RouterId src, RouterId dst);
+
+  /// Full per-pair summary; cached.
+  const PathInfo& path(RouterId src, RouterId dst);
+
+  /// Router-level path (sequence of routers, src first). Recomputed from
+  /// the predecessor array on each call; use path() for hot lookups.
+  [[nodiscard]] std::vector<RouterId> router_path(RouterId src, RouterId dst);
+
+  /// Number of distinct source routers whose Dijkstra run is cached.
+  [[nodiscard]] std::size_t cached_sources() const { return sources_.size(); }
+
+ private:
+  struct SourceState {
+    std::vector<sim::SimTime> dist;
+    std::vector<RouterId> prev_router;
+    std::vector<std::uint32_t> prev_link;
+  };
+
+  const SourceState& run_dijkstra(RouterId src);
+  PathInfo summarize(const SourceState& state, RouterId src, RouterId dst);
+
+  const AsTopology& topology_;
+  std::unordered_map<std::uint32_t, SourceState> sources_;
+  std::unordered_map<std::uint64_t, PathInfo> path_cache_;
+};
+
+}  // namespace uap2p::underlay

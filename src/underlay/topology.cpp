@@ -1,0 +1,263 @@
+#include "underlay/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+namespace uap2p::underlay {
+
+const char* to_string(LinkType type) {
+  switch (type) {
+    case LinkType::kInternal: return "internal";
+    case LinkType::kPeering: return "peering";
+    case LinkType::kTransit: return "transit";
+  }
+  return "?";
+}
+
+AsId AsTopology::add_as(std::string name, bool is_transit, GeoPoint location) {
+  AutonomousSystem as;
+  as.id = AsId(static_cast<std::uint32_t>(ases_.size()));
+  as.name = std::move(name);
+  as.is_transit = is_transit;
+  as.location = location;
+  ases_.push_back(std::move(as));
+  assign_prefix(ases_.back().id);
+  as_hop_cache_.clear();
+  return ases_.back().id;
+}
+
+void AsTopology::assign_prefix(AsId as) {
+  // Deterministic /16 allocation: 10.x.0.0/16 for the first 256 ASes, then
+  // (11+k).x.0.0/16 blocks. Gives IP-to-ISP mapping services a realistic
+  // longest-prefix-match structure.
+  const std::uint32_t index = as.value();
+  const std::uint32_t first_octet = 10 + index / 256;
+  const std::uint32_t second_octet = index % 256;
+  ases_[index].prefix = (first_octet << 24) | (second_octet << 16);
+  ases_[index].prefix_len = 16;
+}
+
+RouterId AsTopology::add_router(AsId as, GeoPoint location) {
+  assert(as.value() < ases_.size());
+  Router router;
+  router.id = RouterId(static_cast<std::uint32_t>(routers_.size()));
+  router.as = as;
+  router.location = location;
+  router.is_gateway = ases_[as.value()].routers.empty();
+  ases_[as.value()].routers.push_back(router.id);
+  routers_.push_back(router);
+  adjacency_.emplace_back();
+  return router.id;
+}
+
+void AsTopology::connect(RouterId a, RouterId b, LinkType type,
+                         sim::SimTime latency_ms, double bandwidth_mbps) {
+  assert(a.value() < routers_.size() && b.value() < routers_.size());
+  assert(a != b);
+  const auto index = static_cast<std::uint32_t>(links_.size());
+  links_.push_back(Link{a, b, latency_ms, bandwidth_mbps, type});
+  adjacency_[a.value()].push_back(Neighbor{b, index});
+  adjacency_[b.value()].push_back(Neighbor{a, index});
+  as_hop_cache_.clear();
+}
+
+void AsTopology::connect_ases(AsId a, AsId b, LinkType type) {
+  assert(type != LinkType::kInternal);
+  const auto& as_a = ases_[a.value()];
+  const auto& as_b = ases_[b.value()];
+  sim::SimTime latency = 10.0;
+  if (config_.latency_from_geo) {
+    latency = propagation_delay_ms(haversine_km(as_a.location, as_b.location));
+  }
+  latency = std::max(latency, config_.min_inter_as_latency_ms);
+  connect(gateway_of(a), gateway_of(b), type, latency,
+          config_.inter_as_bandwidth_mbps);
+}
+
+void AsTopology::build_internal_routers(AsId as, Rng& rng) {
+  const GeoPoint center = ases_[as.value()].location;
+  // Routers are scattered within ~30 km of the AS location; the gateway is
+  // the first one. Internal structure is a star on the gateway (a stub
+  // ISP's access network) with latency jittered around the configured mean.
+  std::vector<RouterId> routers;
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.routers_per_as);
+       ++i) {
+    GeoPoint location = center;
+    location.lat_deg += rng.uniform_real(-0.25, 0.25);
+    location.lon_deg += rng.uniform_real(-0.25, 0.25);
+    routers.push_back(add_router(as, location));
+  }
+  for (std::size_t i = 1; i < routers.size(); ++i) {
+    const sim::SimTime latency =
+        config_.internal_latency_ms * rng.uniform_real(0.5, 1.5);
+    connect(routers.front(), routers[i], LinkType::kInternal, latency,
+            config_.internal_bandwidth_mbps);
+  }
+}
+
+AsTopology AsTopology::with_ases(std::size_t n_ases,
+                                 const TopologyConfig& config,
+                                 const std::string& prefix_name) {
+  assert(n_ases > 0);
+  AsTopology topo(config);
+  Rng rng(config.seed);
+  for (std::size_t i = 0; i < n_ases; ++i) {
+    // ASes scatter over a continent-sized box (roughly Europe).
+    GeoPoint location{rng.uniform_real(36.0, 60.0),
+                      rng.uniform_real(-10.0, 30.0)};
+    const AsId as =
+        topo.add_as(prefix_name + std::to_string(i), false, location);
+    topo.build_internal_routers(as, rng);
+  }
+  return topo;
+}
+
+AsTopology AsTopology::ring(std::size_t n_ases, const TopologyConfig& config) {
+  AsTopology topo = with_ases(n_ases, config, "ring-as-");
+  for (std::size_t i = 0; i < n_ases && n_ases > 1; ++i) {
+    const auto next = (i + 1) % n_ases;
+    if (n_ases == 2 && i == 1) break;  // avoid a duplicate link
+    topo.connect_ases(AsId(std::uint32_t(i)), AsId(std::uint32_t(next)),
+                      LinkType::kPeering);
+  }
+  return topo;
+}
+
+AsTopology AsTopology::star(std::size_t n_ases, const TopologyConfig& config) {
+  AsTopology topo = with_ases(n_ases, config, "star-as-");
+  topo.ases_[0].is_transit = true;  // hub acts as the transit provider
+  for (std::size_t i = 1; i < n_ases; ++i) {
+    topo.connect_ases(AsId(0), AsId(std::uint32_t(i)), LinkType::kTransit);
+  }
+  return topo;
+}
+
+AsTopology AsTopology::tree(std::size_t n_ases, std::size_t branching,
+                            const TopologyConfig& config) {
+  assert(branching >= 1);
+  AsTopology topo = with_ases(n_ases, config, "tree-as-");
+  for (std::size_t i = 1; i < n_ases; ++i) {
+    const std::size_t parent = (i - 1) / branching;
+    topo.ases_[parent].is_transit = true;  // inner nodes carry transit
+    topo.connect_ases(AsId(std::uint32_t(parent)), AsId(std::uint32_t(i)),
+                      LinkType::kTransit);
+  }
+  return topo;
+}
+
+AsTopology AsTopology::mesh(std::size_t n_ases, double edge_probability,
+                            const TopologyConfig& config) {
+  AsTopology topo = with_ases(n_ases, config, "mesh-as-");
+  Rng rng(config.seed ^ 0xabcdef);
+  // Spanning ring guarantees connectivity.
+  for (std::size_t i = 0; i < n_ases && n_ases > 1; ++i) {
+    const auto next = (i + 1) % n_ases;
+    if (n_ases == 2 && i == 1) break;
+    topo.connect_ases(AsId(std::uint32_t(i)), AsId(std::uint32_t(next)),
+                      LinkType::kPeering);
+  }
+  for (std::size_t i = 0; i + 2 < n_ases + 1; ++i) {
+    for (std::size_t j = i + 2; j < n_ases; ++j) {
+      if (i == 0 && j == n_ases - 1) continue;  // ring already links these
+      if (rng.bernoulli(edge_probability)) {
+        topo.connect_ases(AsId(std::uint32_t(i)), AsId(std::uint32_t(j)),
+                          LinkType::kPeering);
+      }
+    }
+  }
+  return topo;
+}
+
+AsTopology AsTopology::transit_stub(std::size_t n_transit,
+                                    std::size_t stubs_per_transit,
+                                    double stub_peering_probability,
+                                    const TopologyConfig& config) {
+  assert(n_transit > 0);
+  AsTopology topo(config);
+  Rng rng(config.seed);
+  // Transit ASes sit on a wide backbone ellipse.
+  for (std::size_t i = 0; i < n_transit; ++i) {
+    const double angle = 2.0 * 3.14159265358979 * double(i) / double(n_transit);
+    GeoPoint location{48.0 + 8.0 * std::sin(angle), 10.0 + 18.0 * std::cos(angle)};
+    const AsId as = topo.add_as("transit-" + std::to_string(i), true, location);
+    topo.build_internal_routers(as, rng);
+  }
+  // Full peering mesh between transit ASes.
+  for (std::size_t i = 0; i < n_transit; ++i)
+    for (std::size_t j = i + 1; j < n_transit; ++j)
+      topo.connect_ases(AsId(std::uint32_t(i)), AsId(std::uint32_t(j)),
+                        LinkType::kPeering);
+  // Stubs cluster geographically around their provider.
+  std::vector<std::vector<AsId>> stubs_of(n_transit);
+  for (std::size_t t = 0; t < n_transit; ++t) {
+    const GeoPoint hub = topo.ases_[t].location;
+    for (std::size_t s = 0; s < stubs_per_transit; ++s) {
+      GeoPoint location{hub.lat_deg + rng.uniform_real(-2.0, 2.0),
+                        hub.lon_deg + rng.uniform_real(-3.0, 3.0)};
+      const AsId stub = topo.add_as(
+          "stub-" + std::to_string(t) + "-" + std::to_string(s), false,
+          location);
+      topo.build_internal_routers(stub, rng);
+      topo.connect_ases(AsId(std::uint32_t(t)), stub, LinkType::kTransit);
+      stubs_of[t].push_back(stub);
+    }
+  }
+  // Peering agreements between stubs of the same provider (the paper's
+  // "closely located ISPs are motivated to peer").
+  for (const auto& group : stubs_of) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      for (std::size_t j = i + 1; j < group.size(); ++j) {
+        if (rng.bernoulli(stub_peering_probability)) {
+          topo.connect_ases(group[i], group[j], LinkType::kPeering);
+        }
+      }
+    }
+  }
+  return topo;
+}
+
+std::vector<std::size_t>& AsTopology::as_bfs(AsId from) const {
+  if (as_hop_cache_.size() != ases_.size()) {
+    as_hop_cache_.assign(ases_.size(), {});
+  }
+  auto& dist = as_hop_cache_[from.value()];
+  if (!dist.empty()) return dist;
+
+  dist.assign(ases_.size(), SIZE_MAX);
+  dist[from.value()] = 0;
+  std::deque<AsId> frontier{from};
+  while (!frontier.empty()) {
+    const AsId current = frontier.front();
+    frontier.pop_front();
+    for (const AsId next : as_neighbors(current)) {
+      if (dist[next.value()] == SIZE_MAX) {
+        dist[next.value()] = dist[current.value()] + 1;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return dist;
+}
+
+std::size_t AsTopology::as_hop_distance(AsId from, AsId to) const {
+  assert(from.value() < ases_.size() && to.value() < ases_.size());
+  return as_bfs(from)[to.value()];
+}
+
+std::vector<AsId> AsTopology::as_neighbors(AsId as) const {
+  std::vector<AsId> result;
+  for (const RouterId router : ases_[as.value()].routers) {
+    for (const Neighbor& neighbor : adjacency_[router.value()]) {
+      const AsId other = as_of(neighbor.router);
+      if (other != as && std::find(result.begin(), result.end(), other) ==
+                             result.end()) {
+        result.push_back(other);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace uap2p::underlay

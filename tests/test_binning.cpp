@@ -1,0 +1,128 @@
+#include "netinfo/binning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace uap2p::netinfo {
+namespace {
+
+TEST(Bin, ToStringFormat) {
+  Bin bin;
+  bin.order = {2, 0, 1};
+  bin.levels = {0, 0, 1};
+  EXPECT_EQ(bin.to_string(), "2-0-1:001");
+}
+
+TEST(Bin, SimilarityIdentity) {
+  Bin bin;
+  bin.order = {1, 0, 2};
+  bin.levels = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(Bin::similarity(bin, bin), 1.0);
+}
+
+TEST(Bin, SimilarityPrefixWeighted) {
+  Bin a, b;
+  a.order = {0, 1, 2};
+  a.levels = {0, 0, 0};
+  b.order = {0, 2, 1};  // shares only the first landmark position
+  b.levels = {0, 0, 0};
+  const double partial = Bin::similarity(a, b);
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 1.0);
+  // Same order but one differing level scores between the two.
+  Bin c = a;
+  c.levels = {0, 1, 0};
+  EXPECT_GT(Bin::similarity(a, c), partial);
+  EXPECT_LT(Bin::similarity(a, c), 1.0);
+}
+
+TEST(Bin, SimilarityEmptyOrMismatched) {
+  Bin empty;
+  Bin sized;
+  sized.order = {0};
+  sized.levels = {0};
+  EXPECT_DOUBLE_EQ(Bin::similarity(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(Bin::similarity(empty, sized), 0.0);
+}
+
+struct BinningFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 4, 0.0);
+  underlay::Network net{engine, topo, 23};
+  std::vector<PeerId> peers = net.populate(60);
+
+  std::vector<PeerId> landmarks() {
+    // One landmark per transit AS: peers 0, 1, 2 (round-robin).
+    return {peers[0], peers[1], peers[2]};
+  }
+};
+
+TEST_F(BinningFixture, BinsAreCachedAndStable) {
+  BinningSystem binning(net, landmarks());
+  const Bin first = binning.bin_of(peers[10]);
+  const auto probes = binning.pinger().probes_sent();
+  const Bin second = binning.bin_of(peers[10]);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(binning.pinger().probes_sent(), probes);  // cache hit: no probes
+}
+
+TEST_F(BinningFixture, MeasurementCostIsLandmarkCount) {
+  BinningSystem binning(net, landmarks());
+  const auto before = binning.pinger().probes_sent();
+  binning.bin_of(peers[20]);
+  // 3 landmarks x 3 probes per measurement.
+  EXPECT_EQ(binning.pinger().probes_sent() - before, 9u);
+}
+
+TEST_F(BinningFixture, SameAsPeersShareBinsMoreOftenThanFarPeers) {
+  BinningSystem binning(net, landmarks());
+  const std::size_t as_count = topo.as_count();
+  int same_as_match = 0, same_as_total = 0;
+  int far_match = 0, far_total = 0;
+  for (std::size_t i = 3; i < peers.size(); ++i) {
+    for (std::size_t j = i + 1; j < peers.size(); ++j) {
+      const bool equal =
+          binning.bin_of(peers[i]).order == binning.bin_of(peers[j]).order;
+      if (net.host(peers[i]).as == net.host(peers[j]).as) {
+        ++same_as_total;
+        same_as_match += equal;
+      } else if (i % as_count != j % as_count) {
+        ++far_total;
+        far_match += equal;
+      }
+    }
+  }
+  ASSERT_GT(same_as_total, 0);
+  ASSERT_GT(far_total, 0);
+  EXPECT_GT(double(same_as_match) / same_as_total,
+            double(far_match) / far_total);
+}
+
+TEST_F(BinningFixture, RankPrefersLowRttPeers) {
+  BinningSystem binning(net, landmarks());
+  const PeerId querier = peers[15];
+  const auto ranked = binning.rank(querier, peers);
+  ASSERT_GE(ranked.size(), 10u);
+  // Binning is coarse, so compare the mean RTT of the top third against
+  // the bottom third rather than element-wise.
+  double top = 0.0, bottom = 0.0;
+  const std::size_t third = ranked.size() / 3;
+  for (std::size_t i = 0; i < third; ++i) {
+    top += net.rtt_ms(querier, ranked[i]);
+    bottom += net.rtt_ms(querier, ranked[ranked.size() - 1 - i]);
+  }
+  EXPECT_LT(top, bottom);
+}
+
+TEST_F(BinningFixture, OfflineLandmarkDegradesGracefully) {
+  BinningSystem binning(net, landmarks());
+  net.set_online(peers[1], false);  // landmark 1 unreachable
+  const Bin bin = binning.bin_of(peers[30]);
+  ASSERT_EQ(bin.order.size(), 3u);
+  // The dead landmark sorts last (infinite RTT).
+  EXPECT_EQ(bin.order.back(), 1);
+}
+
+}  // namespace
+}  // namespace uap2p::netinfo

@@ -1,0 +1,127 @@
+#include "overlay/bittorrent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace uap2p::overlay::bittorrent {
+namespace {
+
+struct SwarmFixture {
+  sim::Engine engine;
+  underlay::AsTopology topo;
+  std::unique_ptr<underlay::Network> net;
+  std::vector<PeerId> peers;
+  std::unique_ptr<BitTorrentSwarm> swarm;
+
+  explicit SwarmFixture(NeighborPolicy policy, std::size_t peer_count = 64,
+                        std::size_t seeds = 2) {
+    topo = underlay::AsTopology::mesh(8, 0.3);
+    net = std::make_unique<underlay::Network>(engine, topo, 41);
+    peers = net->populate(peer_count);
+    Config config;
+    config.policy = policy;
+    config.piece_count = 32;
+    swarm = std::make_unique<BitTorrentSwarm>(*net, peers, seeds, config);
+    swarm->build_neighborhoods();
+  }
+};
+
+TEST(BitTorrent, EveryLeecherCompletes) {
+  SwarmFixture fixture(NeighborPolicy::kRandom);
+  const std::size_t rounds = fixture.swarm->run(2000);
+  EXPECT_LT(rounds, 2000u) << "swarm failed to finish";
+  for (const PeerId peer : fixture.peers) {
+    EXPECT_TRUE(fixture.swarm->is_complete(peer));
+  }
+  EXPECT_EQ(fixture.swarm->stats().completed, fixture.peers.size() - 2);
+}
+
+TEST(BitTorrent, PieceAccountingConsistent) {
+  SwarmFixture fixture(NeighborPolicy::kRandom);
+  fixture.swarm->run(2000);
+  const SwarmStats& stats = fixture.swarm->stats();
+  // Every leecher downloads every piece exactly once.
+  EXPECT_EQ(stats.pieces_transferred, (fixture.peers.size() - 2) * 32);
+  EXPECT_LE(stats.intra_as_pieces, stats.pieces_transferred);
+  EXPECT_EQ(stats.completion_rounds.count(), fixture.peers.size() - 2);
+}
+
+TEST(BitTorrent, OverlayConnectedUnderBothPolicies) {
+  SwarmFixture random_fixture(NeighborPolicy::kRandom);
+  SwarmFixture biased_fixture(NeighborPolicy::kBiased);
+  EXPECT_TRUE(random_fixture.swarm->overlay_connected());
+  EXPECT_TRUE(biased_fixture.swarm->overlay_connected());
+}
+
+TEST(BitTorrent, BiasedSelectionClustersNeighborGraph) {
+  SwarmFixture random_fixture(NeighborPolicy::kRandom);
+  SwarmFixture biased_fixture(NeighborPolicy::kBiased);
+  // Figure 6 shape: biased overlay is AS-clustered...
+  EXPECT_GT(biased_fixture.swarm->intra_as_edge_fraction(),
+            random_fixture.swarm->intra_as_edge_fraction() + 0.25);
+  // ...while keeping at least a spanning set of inter-AS links.
+  EXPECT_GE(biased_fixture.swarm->inter_as_edge_count(),
+            biased_fixture.swarm->min_inter_as_edges_for_connectivity());
+  EXPECT_LT(biased_fixture.swarm->inter_as_edge_count(),
+            random_fixture.swarm->inter_as_edge_count());
+}
+
+TEST(BitTorrent, BiasedSwarmLocalizesTraffic) {
+  // Bindal [3]: biased neighbor selection raises the intra-AS share of
+  // piece traffic substantially.
+  SwarmFixture random_fixture(NeighborPolicy::kRandom);
+  SwarmFixture biased_fixture(NeighborPolicy::kBiased);
+  random_fixture.swarm->run(2000);
+  biased_fixture.swarm->run(2000);
+  EXPECT_GT(biased_fixture.swarm->stats().intra_as_piece_fraction(),
+            random_fixture.swarm->stats().intra_as_piece_fraction() + 0.2);
+}
+
+TEST(BitTorrent, BiasedCompletionTimeNotMuchWorse) {
+  // [3]'s headline: locality does not hurt download performance much.
+  SwarmFixture random_fixture(NeighborPolicy::kRandom);
+  SwarmFixture biased_fixture(NeighborPolicy::kBiased);
+  random_fixture.swarm->run(2000);
+  biased_fixture.swarm->run(2000);
+  const double random_median =
+      random_fixture.swarm->stats().completion_rounds.median();
+  const double biased_median =
+      biased_fixture.swarm->stats().completion_rounds.median();
+  EXPECT_LT(biased_median, random_median * 2.0);
+}
+
+TEST(BitTorrent, TrafficAccountantSeesPieceBytes) {
+  SwarmFixture fixture(NeighborPolicy::kRandom, 32, 2);
+  fixture.swarm->run(2000);
+  // At least pieces * piece_bytes must have crossed the network.
+  const auto min_bytes =
+      fixture.swarm->stats().pieces_transferred * std::uint64_t{256 * 1024};
+  EXPECT_GE(fixture.net->traffic().total_bytes(), min_bytes);
+}
+
+TEST(BitTorrent, SeedsNeverDownload) {
+  SwarmFixture fixture(NeighborPolicy::kRandom, 32, 4);
+  fixture.swarm->run(2000);
+  EXPECT_EQ(fixture.swarm->stats().completed, 32u - 4u);
+}
+
+TEST(BitTorrent, NeighborListsSymmetric) {
+  SwarmFixture fixture(NeighborPolicy::kBiased);
+  for (const PeerId peer : fixture.peers) {
+    for (const PeerId other : fixture.swarm->neighbors_of(peer)) {
+      const auto back = fixture.swarm->neighbors_of(other);
+      EXPECT_NE(std::find(back.begin(), back.end(), peer), back.end());
+    }
+  }
+}
+
+TEST(BitTorrent, SingleSeedStillDistributes) {
+  SwarmFixture fixture(NeighborPolicy::kRandom, 24, 1);
+  const std::size_t rounds = fixture.swarm->run(4000);
+  EXPECT_LT(rounds, 4000u);
+  EXPECT_EQ(fixture.swarm->stats().completed, 23u);
+}
+
+}  // namespace
+}  // namespace uap2p::overlay::bittorrent

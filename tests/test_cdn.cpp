@@ -1,0 +1,136 @@
+#include "netinfo/cdn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/engine.hpp"
+
+namespace uap2p::netinfo {
+namespace {
+
+struct CdnFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 4, 0.0);
+  underlay::Network net{engine, topo, 13};
+  std::vector<PeerId> peers = net.populate(20);
+};
+
+TEST_F(CdnFixture, ReplicasSpreadOverDistinctAses) {
+  CdnConfig config;
+  config.replica_count = 6;
+  SimulatedCdn cdn(net, config);
+  ASSERT_EQ(cdn.replica_count(), 6u);
+  std::set<std::uint32_t> ases;
+  for (std::size_t i = 0; i < cdn.replica_count(); ++i) {
+    ases.insert(net.host(cdn.replica(i)).as.value());
+  }
+  EXPECT_EQ(ases.size(), 6u);
+}
+
+TEST_F(CdnFixture, ReplicaCountCappedByAsCount) {
+  CdnConfig config;
+  config.replica_count = 500;
+  SimulatedCdn cdn(net, config);
+  EXPECT_EQ(cdn.replica_count(), topo.as_count());
+}
+
+TEST_F(CdnFixture, NoiselessRedirectionPicksNearestReplica) {
+  CdnConfig config;
+  config.replica_count = 6;
+  config.load_noise_sigma = 0.0;
+  SimulatedCdn cdn(net, config);
+  for (const PeerId peer : peers) {
+    const std::size_t choice = cdn.redirect(peer);
+    const double chosen_rtt = net.rtt_ms(peer, cdn.replica(choice));
+    for (std::size_t i = 0; i < cdn.replica_count(); ++i) {
+      EXPECT_LE(chosen_rtt, net.rtt_ms(peer, cdn.replica(i)) + 1e-9);
+    }
+  }
+}
+
+TEST_F(CdnFixture, RatioMapsSumToOne) {
+  SimulatedCdn cdn(net, {});
+  CdnInference inference(cdn, net.host_count());
+  for (int i = 0; i < 40; ++i) inference.sample(peers[0]);
+  const auto ratios = inference.ratio_map(peers[0]);
+  double sum = 0.0;
+  for (double r : ratios) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(inference.sample_count(peers[0]), 40u);
+}
+
+TEST_F(CdnFixture, EmptyRatioMapHasZeroSimilarity) {
+  SimulatedCdn cdn(net, {});
+  CdnInference inference(cdn, net.host_count());
+  inference.sample(peers[0]);
+  EXPECT_DOUBLE_EQ(inference.similarity(peers[0], peers[1]), 0.0);
+}
+
+TEST_F(CdnFixture, SameAsPeersMoreSimilarThanFarPeers) {
+  // The Ono hypothesis: redirection similarity correlates with proximity.
+  // peers are AS-round-robin over 10 ASes (2 transit + 8 stubs), so
+  // peers[i] and peers[i + 10] share an AS.
+  SimulatedCdn cdn(net, {});
+  CdnInference inference(cdn, net.host_count());
+  inference.warm_up(peers);
+  double same_as_total = 0.0;
+  double cross_total = 0.0;
+  int same_n = 0, cross_n = 0;
+  const std::size_t as_count = topo.as_count();
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    for (std::size_t j = i + 1; j < peers.size(); ++j) {
+      const double sim = inference.similarity(peers[i], peers[j]);
+      if (net.host(peers[i]).as == net.host(peers[j]).as) {
+        same_as_total += sim;
+        ++same_n;
+      } else if ((i % as_count) / 5 != (j % as_count) / 5) {
+        // Different transit subtree: genuinely far.
+        cross_total += sim;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_GT(same_as_total / same_n, cross_total / cross_n);
+}
+
+TEST_F(CdnFixture, RankPutsSameAsPeerAheadOfFarPeer) {
+  SimulatedCdn cdn(net, {});
+  CdnInference inference(cdn, net.host_count());
+  inference.warm_up(peers);
+  const PeerId querier = peers[2];
+  const PeerId local = peers[2 + topo.as_count()];  // same AS
+  // A peer in the other transit subtree.
+  const PeerId remote = peers[7];
+  const std::vector<PeerId> candidates{remote, local};
+  const auto ranked = inference.rank(querier, candidates);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], local);
+}
+
+TEST_F(CdnFixture, RedirectCounterAdvances) {
+  SimulatedCdn cdn(net, {});
+  EXPECT_EQ(cdn.redirect_count(), 0u);
+  cdn.redirect(peers[0]);
+  cdn.redirect(peers[1]);
+  EXPECT_EQ(cdn.redirect_count(), 2u);
+}
+
+TEST_F(CdnFixture, SimilarityIsSymmetricAndBounded) {
+  SimulatedCdn cdn(net, {});
+  CdnInference inference(cdn, net.host_count());
+  inference.warm_up(peers);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      const double s = inference.similarity(peers[i], peers[j]);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0 + 1e-9);
+      EXPECT_DOUBLE_EQ(s, inference.similarity(peers[j], peers[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uap2p::netinfo

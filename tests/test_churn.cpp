@@ -1,0 +1,99 @@
+#include "sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uap2p::sim {
+namespace {
+
+TEST(Churn, InitialStateRespected) {
+  Engine engine;
+  ChurnProcess churn(engine, Rng(1), {});
+  churn.add_peer(PeerId(0), true);
+  churn.add_peer(PeerId(1), false);
+  EXPECT_TRUE(churn.is_online(PeerId(0)));
+  EXPECT_FALSE(churn.is_online(PeerId(1)));
+  EXPECT_EQ(churn.online_count(), 1u);
+}
+
+TEST(Churn, PeersToggleOverTime) {
+  Engine engine;
+  ChurnConfig config;
+  config.model = SessionModel::kExponential;
+  config.mean_session = minutes(10);
+  config.mean_downtime = minutes(5);
+  ChurnProcess churn(engine, Rng(7), config);
+  int joins = 0, leaves = 0;
+  churn.on_join([&](PeerId) { ++joins; });
+  churn.on_leave([&](PeerId) { ++leaves; });
+  for (std::uint32_t i = 0; i < 20; ++i) churn.add_peer(PeerId(i), true);
+  engine.run_until(hours(8));
+  EXPECT_GT(joins, 20);
+  EXPECT_GT(leaves, 20);
+  // Callback counts can differ by at most the population size.
+  EXPECT_LE(std::abs(joins - leaves), 20);
+}
+
+TEST(Churn, SteadyStateOnlineFractionMatchesTheory) {
+  // Expected online fraction = session / (session + downtime) = 2/3.
+  Engine engine;
+  ChurnConfig config;
+  config.model = SessionModel::kExponential;
+  config.mean_session = minutes(20);
+  config.mean_downtime = minutes(10);
+  ChurnProcess churn(engine, Rng(11), config);
+  constexpr std::uint32_t kPeers = 200;
+  for (std::uint32_t i = 0; i < kPeers; ++i) churn.add_peer(PeerId(i), true);
+  // Sample after a long warm-up.
+  engine.run_until(hours(24));
+  const double fraction = double(churn.online_count()) / kPeers;
+  EXPECT_NEAR(fraction, 2.0 / 3.0, 0.12);
+}
+
+TEST(Churn, ParetoSessionsAreHeavyTailed) {
+  Engine engine;
+  ChurnConfig config;
+  config.model = SessionModel::kPareto;
+  config.pareto_alpha = 1.5;
+  config.mean_session = minutes(30);
+  ChurnProcess churn(engine, Rng(13), config);
+  for (std::uint32_t i = 0; i < 100; ++i) churn.add_peer(PeerId(i), true);
+  int leaves = 0;
+  churn.on_leave([&](PeerId) { ++leaves; });
+  engine.run_until(hours(2));
+  // Heavy tail: some peers leave quickly, others outlast the horizon.
+  EXPECT_GT(leaves, 10);
+  EXPECT_GT(churn.online_count(), 0u);
+}
+
+TEST(Churn, StopFreezesState) {
+  Engine engine;
+  ChurnConfig config;
+  config.model = SessionModel::kExponential;
+  config.mean_session = minutes(1);
+  config.mean_downtime = minutes(1);
+  ChurnProcess churn(engine, Rng(17), config);
+  for (std::uint32_t i = 0; i < 10; ++i) churn.add_peer(PeerId(i), true);
+  churn.stop();
+  int events = 0;
+  churn.on_leave([&](PeerId) { ++events; });
+  churn.on_join([&](PeerId) { ++events; });
+  engine.run_until(hours(10));
+  EXPECT_EQ(events, 0);
+  EXPECT_EQ(churn.online_count(), 10u);
+}
+
+TEST(Churn, OfflinePeerEventuallyRejoins) {
+  Engine engine;
+  ChurnConfig config;
+  config.model = SessionModel::kExponential;
+  config.mean_downtime = minutes(2);
+  ChurnProcess churn(engine, Rng(19), config);
+  churn.add_peer(PeerId(0), false);
+  bool joined = false;
+  churn.on_join([&](PeerId peer) { joined |= (peer == PeerId(0)); });
+  engine.run_until(hours(2));
+  EXPECT_TRUE(joined);
+}
+
+}  // namespace
+}  // namespace uap2p::sim

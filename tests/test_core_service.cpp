@@ -1,0 +1,194 @@
+#include "core/underlay_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+
+namespace uap2p::core {
+namespace {
+
+struct ServiceFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 3, 0.3);
+  underlay::Network net{engine, topo, 71};
+  std::vector<PeerId> peers = net.populate(24);
+  UnderlayService service{net};
+};
+
+TEST_F(ServiceFixture, IspLookupMatchesGroundTruthWithPerfectDb) {
+  for (const PeerId peer : peers) {
+    const auto isp = service.isp_of(peer);
+    ASSERT_TRUE(isp.has_value());
+    EXPECT_EQ(*isp, net.host(peer).as);
+  }
+}
+
+TEST_F(ServiceFixture, AsHopsZeroWithinAs) {
+  // Peers are AS-round-robin; peer 0 and peer topo.as_count() share AS 0.
+  const auto as_count = topo.as_count();
+  EXPECT_EQ(service.as_hops(peers[0], peers[as_count]), 0u);
+  EXPECT_GT(service.as_hops(peers[0], peers[1]), 0u);
+}
+
+TEST_F(ServiceFixture, ExplicitPingMatchesNetworkRtt) {
+  UnderlayServiceConfig config;
+  config.pinger.jitter_sigma = 0.0;
+  UnderlayService exact(net, config);
+  EXPECT_DOUBLE_EQ(
+      exact.rtt_ms(peers[0], peers[5], LatencyMethod::kExplicitPing),
+      net.rtt_ms(peers[0], peers[5]));
+}
+
+TEST_F(ServiceFixture, VivaldiPredictsAfterWarmUp) {
+  service.warm_up_coordinates(peers);
+  // Median relative error over sampled pairs must be far below the
+  // "no information" level of 1.0.
+  Rng rng(3);
+  Samples errors;
+  for (int i = 0; i < 200; ++i) {
+    const PeerId a = peers[rng.uniform(peers.size())];
+    const PeerId b = peers[rng.uniform(peers.size())];
+    if (a == b) continue;
+    const double truth = net.rtt_ms(a, b);
+    const double estimate = service.rtt_ms(a, b, LatencyMethod::kVivaldi);
+    errors.add(std::abs(estimate - truth) / truth);
+  }
+  EXPECT_LT(errors.median(), 0.45);
+}
+
+TEST_F(ServiceFixture, GeoSourcesDiverge) {
+  // GPS is meters-accurate; IP mapping returns the AS centroid.
+  const auto gps = service.location(peers[0], netinfo::GeoSource::kGps);
+  const auto isp = service.location(peers[0], netinfo::GeoSource::kIspProvided);
+  const auto ipdb = service.location(peers[0], netinfo::GeoSource::kIpMapping);
+  ASSERT_TRUE(gps && isp && ipdb);
+  const double gps_error =
+      underlay::haversine_km(*gps, net.host(peers[0]).location);
+  const double ipdb_error =
+      underlay::haversine_km(*ipdb, net.host(peers[0]).location);
+  EXPECT_LT(gps_error, 0.1);             // within 100 m
+  EXPECT_DOUBLE_EQ(
+      underlay::haversine_km(*isp, net.host(peers[0]).location), 0.0);
+  EXPECT_GE(ipdb_error, gps_error);      // centroid is coarser
+}
+
+TEST_F(ServiceFixture, OverheadAccountingAdvances) {
+  const auto before = service.overhead();
+  (void)service.rtt_ms(peers[0], peers[1], LatencyMethod::kExplicitPing);
+  (void)service.as_hops(peers[0], peers[1]);
+  (void)service.isp_of(peers[2]);
+  service.warm_up_coordinates(peers);
+  const auto after = service.overhead();
+  EXPECT_GT(after.ping_probes, before.ping_probes);
+  EXPECT_GT(after.ping_bytes, before.ping_bytes);
+  EXPECT_GT(after.mapping_queries, before.mapping_queries);
+  EXPECT_GT(after.vivaldi_updates, before.vivaldi_updates);
+}
+
+TEST_F(ServiceFixture, TopCapacityEmptyWithoutSkyEye) {
+  EXPECT_TRUE(service.top_capacity(5).empty());
+}
+
+TEST_F(ServiceFixture, TopCapacityWithSkyEye) {
+  netinfo::SkyEyeConfig sky_config;
+  sky_config.update_period_ms = sim::seconds(10);
+  netinfo::SkyEye skyeye(net, peers, sky_config);
+  skyeye.start();
+  engine.run_until(sim::minutes(2));
+  skyeye.stop();
+  service.attach_skyeye(&skyeye);
+  const auto top = service.top_capacity(4);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_GE(top[0].capacity, top[3].capacity);
+}
+
+TEST_F(ServiceFixture, RandomPolicyPermutesCandidates) {
+  auto policy = make_random_policy(5);
+  EXPECT_EQ(policy->name(), "random");
+  const auto ranked = policy->rank(peers[0], peers);
+  EXPECT_EQ(ranked.size(), peers.size() - 1);  // querier excluded
+  for (const PeerId peer : ranked) EXPECT_NE(peer, peers[0]);
+}
+
+TEST_F(ServiceFixture, IspPolicyRanksSameAsFirst) {
+  auto policy = make_isp_policy(service);
+  const auto ranked = policy->rank(peers[0], peers);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(net.host(ranked.front()).as, net.host(peers[0]).as);
+  for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
+    EXPECT_LE(service.as_hops(peers[0], ranked[i]),
+              service.as_hops(peers[0], ranked[i + 1]));
+  }
+}
+
+TEST_F(ServiceFixture, LatencyPolicyRanksByRtt) {
+  UnderlayServiceConfig config;
+  config.pinger.jitter_sigma = 0.0;
+  UnderlayService exact(net, config);
+  auto policy = make_latency_policy(exact, LatencyMethod::kExplicitPing);
+  const auto ranked = policy->rank(peers[0], peers);
+  for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
+    EXPECT_LE(net.rtt_ms(peers[0], ranked[i]),
+              net.rtt_ms(peers[0], ranked[i + 1]) + 1e-9);
+  }
+}
+
+TEST_F(ServiceFixture, GeoPolicyRanksByDistance) {
+  auto policy = make_geo_policy(service, netinfo::GeoSource::kIspProvided);
+  const auto ranked = policy->rank(peers[0], peers);
+  const auto origin = net.host(peers[0]).location;
+  for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
+    EXPECT_LE(underlay::haversine_km(origin, net.host(ranked[i]).location),
+              underlay::haversine_km(origin, net.host(ranked[i + 1]).location) +
+                  1e-9);
+  }
+}
+
+TEST_F(ServiceFixture, ResourcePolicyRanksByCapacity) {
+  auto policy = make_resource_policy(service);
+  const auto ranked = policy->rank(peers[0], peers);
+  for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
+    EXPECT_GE(net.host(ranked[i]).resources.capacity_score(),
+              net.host(ranked[i + 1]).resources.capacity_score() - 1e-9);
+  }
+}
+
+TEST_F(ServiceFixture, CompositePolicyPureWeightsMatchSinglePolicies) {
+  UnderlayServiceConfig config;
+  config.pinger.jitter_sigma = 0.0;
+  UnderlayService exact(net, config);
+  CompositeWeights isp_only{1.0, 0.0, 0.0, 0.0};
+  auto composite = make_composite_policy(exact, isp_only,
+                                         LatencyMethod::kExplicitPing,
+                                         netinfo::GeoSource::kIspProvided);
+  auto pure = make_isp_policy(exact);
+  const auto a = composite->rank(peers[3], peers);
+  const auto b = pure->rank(peers[3], peers);
+  // Same hop-class grouping even if tie order differs.
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(exact.as_hops(peers[3], a[i]), exact.as_hops(peers[3], b[i]));
+  }
+}
+
+TEST_F(ServiceFixture, CompositePolicyBlendsDimensions) {
+  CompositeWeights blend{1.0, 0.0, 0.0, 1.0};
+  auto policy = make_composite_policy(service, blend,
+                                      LatencyMethod::kVivaldi,
+                                      netinfo::GeoSource::kIspProvided);
+  const auto ranked = policy->rank(peers[0], peers);
+  EXPECT_EQ(ranked.size(), peers.size() - 1);
+  EXPECT_EQ(policy->name(), "composite");
+}
+
+TEST(InfoClassNames, AllDistinct) {
+  EXPECT_STREQ(to_string(InfoClass::kIspLocation), "ISP-location");
+  EXPECT_STREQ(to_string(InfoClass::kLatency), "Latency");
+  EXPECT_STREQ(to_string(InfoClass::kGeolocation), "Geolocation");
+  EXPECT_STREQ(to_string(InfoClass::kPeerResources), "Peer Resources");
+}
+
+}  // namespace
+}  // namespace uap2p::core

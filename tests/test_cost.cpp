@@ -1,0 +1,132 @@
+#include "underlay/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "underlay/network.hpp"
+
+namespace uap2p::underlay {
+namespace {
+
+TEST(CostCurves, TransitCostProportionalToTraffic) {
+  // Figure 2: "transit traffic costs per Mbps are almost fixed resulting
+  // in a proportional increase of costs with more traffic."
+  const double c100 = cost_curves::transit_monthly_usd(100.0);
+  const double c200 = cost_curves::transit_monthly_usd(200.0);
+  EXPECT_DOUBLE_EQ(c200, 2.0 * c100);
+  EXPECT_DOUBLE_EQ(cost_curves::transit_usd_per_mbps(100.0),
+                   cost_curves::transit_usd_per_mbps(10000.0));
+}
+
+TEST(CostCurves, PeeringCostIndependentOfTraffic) {
+  // Figure 2: peering cost is "just that of maintaining the direct link".
+  const double low = cost_curves::peering_monthly_usd(2);
+  EXPECT_DOUBLE_EQ(low, cost_curves::peering_monthly_usd(2));
+  // Cost per Mbps inversely proportional to traffic.
+  const double per_mbps_10 = cost_curves::peering_usd_per_mbps(10.0, 2);
+  const double per_mbps_1000 = cost_curves::peering_usd_per_mbps(1000.0, 2);
+  EXPECT_NEAR(per_mbps_10 / per_mbps_1000, 100.0, 1e-9);
+}
+
+TEST(CostCurves, CrossoverExistsAndIsConsistent) {
+  const Pricing pricing;
+  const double crossover = cost_curves::crossover_mbps(1, pricing);
+  EXPECT_GT(crossover, 0.0);
+  // At the crossover the two monthly bills match.
+  EXPECT_NEAR(cost_curves::transit_monthly_usd(crossover, pricing),
+              cost_curves::peering_monthly_usd(1, pricing), 1e-6);
+  // Below crossover transit is cheaper; above, peering wins.
+  EXPECT_LT(cost_curves::transit_monthly_usd(crossover * 0.5, pricing),
+            cost_curves::peering_monthly_usd(1, pricing));
+  EXPECT_GT(cost_curves::transit_monthly_usd(crossover * 2.0, pricing),
+            cost_curves::peering_monthly_usd(1, pricing));
+}
+
+TEST(CostCurves, ZeroAndNegativeTrafficSafe) {
+  EXPECT_DOUBLE_EQ(cost_curves::transit_monthly_usd(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cost_curves::transit_monthly_usd(-5.0), 0.0);
+  EXPECT_GT(cost_curves::transit_usd_per_mbps(0.0), 0.0);
+}
+
+PathInfo intra_path() {
+  PathInfo path;
+  path.reachable = true;
+  path.as_path = {AsId(0)};
+  return path;
+}
+
+PathInfo transit_path(std::uint32_t crossings) {
+  PathInfo path;
+  path.reachable = true;
+  path.as_path = {AsId(0), AsId(1)};
+  path.transit_crossings = crossings;
+  return path;
+}
+
+TEST(TrafficAccountant, SplitsIntraAndInter) {
+  TrafficAccountant accountant;
+  accountant.record(intra_path(), 1000, 0.0);
+  accountant.record(transit_path(1), 3000, 0.0);
+  EXPECT_EQ(accountant.total_bytes(), 4000u);
+  EXPECT_EQ(accountant.intra_as_bytes(), 1000u);
+  EXPECT_EQ(accountant.inter_as_bytes(), 3000u);
+  EXPECT_DOUBLE_EQ(accountant.intra_as_fraction(), 0.25);
+  EXPECT_EQ(accountant.message_count(), 2u);
+}
+
+TEST(TrafficAccountant, TransitBytesScaleWithCrossings) {
+  TrafficAccountant accountant;
+  accountant.record(transit_path(3), 100, 0.0);
+  EXPECT_EQ(accountant.transit_link_bytes(), 300u);
+}
+
+TEST(TrafficAccountant, UnreachableIgnored) {
+  TrafficAccountant accountant;
+  PathInfo unreachable;
+  accountant.record(unreachable, 5000, 0.0);
+  EXPECT_EQ(accountant.total_bytes(), 0u);
+  EXPECT_EQ(accountant.message_count(), 0u);
+}
+
+TEST(TrafficAccountant, BilledRateUsesPercentile) {
+  Pricing pricing;
+  pricing.sample_window_ms = 1000.0;  // 1-second windows for the test
+  TrafficAccountant accountant(pricing);
+  // 100 windows of 1 MB transit each, except 3 windows bursting 100x.
+  for (int window = 0; window < 100; ++window) {
+    const std::uint64_t bytes = (window < 3) ? 100'000'000 : 1'000'000;
+    accountant.record(transit_path(1), bytes, window * 1000.0);
+  }
+  // 95th percentile must ignore the 3 burst windows: 1 MB / 1 s = 8 Mbps.
+  EXPECT_NEAR(accountant.billed_transit_mbps(), 8.0, 0.01);
+  EXPECT_NEAR(accountant.estimated_transit_usd_month(),
+              8.0 * pricing.transit_usd_per_mbps_month, 0.2);
+}
+
+TEST(TrafficAccountant, ResetClearsEverything) {
+  TrafficAccountant accountant;
+  accountant.record(transit_path(1), 100, 0.0);
+  accountant.reset();
+  EXPECT_EQ(accountant.total_bytes(), 0u);
+  EXPECT_EQ(accountant.transit_link_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(accountant.billed_transit_mbps(), 0.0);
+}
+
+TEST(TrafficAccountant, LocalityShiftReducesBill) {
+  // The paper's central economic claim: moving traffic from transit to
+  // intra-AS/peering lowers the transit bill at equal total volume.
+  Pricing pricing;
+  pricing.sample_window_ms = 1000.0;
+  TrafficAccountant remote(pricing), local(pricing);
+  for (int window = 0; window < 50; ++window) {
+    remote.record(transit_path(1), 1'000'000, window * 1000.0);
+    // Same volume but 80% stays local.
+    local.record(intra_path(), 800'000, window * 1000.0);
+    local.record(transit_path(1), 200'000, window * 1000.0);
+  }
+  EXPECT_EQ(remote.total_bytes(), local.total_bytes());
+  EXPECT_LT(local.estimated_transit_usd_month(),
+            0.3 * remote.estimated_transit_usd_month());
+}
+
+}  // namespace
+}  // namespace uap2p::underlay

@@ -1,0 +1,67 @@
+// The kCustom tracker hook: any §3 collector can drive BitTorrent
+// neighbor selection. Exercised here with the P4P iTracker [29].
+#include <gtest/gtest.h>
+
+#include "netinfo/p4p.hpp"
+#include "overlay/bittorrent.hpp"
+#include "sim/engine.hpp"
+
+namespace uap2p::overlay::bittorrent {
+namespace {
+
+struct CustomTrackerFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 4, 0.3);
+  underlay::Network net{engine, topo, 101};
+  std::vector<PeerId> peers = net.populate(60);
+  netinfo::ITracker itracker{net};
+  netinfo::P4pSelector selector{itracker};
+
+  Config p4p_config() {
+    Config config;
+    config.policy = NeighborPolicy::kCustom;
+    config.piece_count = 16;
+    config.custom_ranker = [this](PeerId self,
+                                  std::span<const PeerId> candidates) {
+      return selector.rank(self, candidates);
+    };
+    return config;
+  }
+};
+
+TEST_F(CustomTrackerFixture, P4pDrivenSwarmCompletes) {
+  BitTorrentSwarm swarm(net, peers, 2, p4p_config());
+  swarm.build_neighborhoods();
+  const std::size_t rounds = swarm.run(3000);
+  EXPECT_LT(rounds, 3000u);
+  EXPECT_EQ(swarm.stats().completed, peers.size() - 2);
+  EXPECT_TRUE(swarm.overlay_connected());
+}
+
+TEST_F(CustomTrackerFixture, P4pLocalizesLikeBiasedSelection) {
+  BitTorrentSwarm p4p_swarm(net, peers, 2, p4p_config());
+  p4p_swarm.build_neighborhoods();
+  Config random_config;
+  random_config.policy = NeighborPolicy::kRandom;
+  random_config.piece_count = 16;
+  random_config.seed = 7;
+  BitTorrentSwarm random_swarm(net, peers, 2, random_config);
+  random_swarm.build_neighborhoods();
+  EXPECT_GT(p4p_swarm.intra_as_edge_fraction(),
+            random_swarm.intra_as_edge_fraction() + 0.2);
+}
+
+TEST_F(CustomTrackerFixture, RandomRobustnessLinksKept) {
+  Config config = p4p_config();
+  config.external_neighbors = 2;
+  BitTorrentSwarm swarm(net, peers, 2, config);
+  swarm.build_neighborhoods();
+  // Every peer keeps at least its configured degree's worth of links.
+  for (const PeerId peer : peers) {
+    EXPECT_GE(swarm.neighbors_of(peer).size(), 3u);
+  }
+  EXPECT_TRUE(swarm.overlay_connected());
+}
+
+}  // namespace
+}  // namespace uap2p::overlay::bittorrent

@@ -1,0 +1,134 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace uap2p::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(30.0, [&] { order.push_back(3); });
+  engine.schedule(10.0, [&] { order.push_back(1); });
+  engine.schedule(20.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 30.0);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, NowAdvancesOnlyThroughEvents) {
+  Engine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  double seen = -1.0;
+  engine.schedule(42.0, [&] { seen = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(Engine, EventsScheduleMoreEvents) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) engine.schedule(1.0, chain);
+  };
+  engine.schedule(1.0, chain);
+  engine.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool ran = false;
+  EventHandle handle = engine.schedule(5.0, [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  engine.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CancelAfterFireIsNoop) {
+  Engine engine;
+  int count = 0;
+  EventHandle handle = engine.schedule(1.0, [&] { ++count; });
+  engine.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // must not crash or double-count
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryInclusive) {
+  Engine engine;
+  std::vector<double> fired;
+  engine.schedule(10.0, [&] { fired.push_back(10.0); });
+  engine.schedule(20.0, [&] { fired.push_back(20.0); });
+  engine.schedule(30.0, [&] { fired.push_back(30.0); });
+  const auto ran = engine.run_until(20.0);
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(fired, (std::vector<double>{10.0, 20.0}));
+  EXPECT_DOUBLE_EQ(engine.now(), 20.0);
+  engine.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine engine;
+  engine.run_until(100.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 100.0);
+}
+
+TEST(Engine, RunWithLimitStopsEarly) {
+  Engine engine;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) engine.schedule(double(i), [&] { ++count; });
+  EXPECT_EQ(engine.run(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(engine.run(), 7u);
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine engine;
+  engine.schedule(10.0, [&] {
+    bool inner_ran = false;
+    engine.schedule(-5.0, [&] { inner_ran = true; });
+    // Inner event runs after this callback, still at t = 10.
+    EXPECT_FALSE(inner_ran);
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, ExecutedCountsOnlyFiredEvents) {
+  Engine engine;
+  engine.schedule(1.0, [] {});
+  EventHandle cancelled = engine.schedule(2.0, [] {});
+  cancelled.cancel();
+  engine.run();
+  EXPECT_EQ(engine.executed(), 1u);
+}
+
+TEST(Engine, CancelledTombstoneDoesNotBlockRunUntil) {
+  Engine engine;
+  EventHandle early = engine.schedule(1.0, [] {});
+  early.cancel();
+  bool ran = false;
+  engine.schedule(5.0, [&] { ran = true; });
+  engine.run_until(10.0);
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace uap2p::sim

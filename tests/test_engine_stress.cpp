@@ -1,0 +1,117 @@
+// Randomized stress: the event engine against a sorted reference, with a
+// cancel storm and re-entrant scheduling mixed in.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace uap2p::sim {
+namespace {
+
+class EngineStressP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineStressP, ExecutionOrderMatchesSortedReference) {
+  Rng rng(GetParam());
+  Engine engine;
+  struct Planned {
+    double when;
+    int id;
+  };
+  std::vector<Planned> planned;
+  std::vector<int> executed;
+  for (int i = 0; i < 500; ++i) {
+    const double when = rng.uniform_real(0.0, 1000.0);
+    planned.push_back({when, i});
+    engine.schedule(when, [&executed, i] { executed.push_back(i); });
+  }
+  engine.run();
+  std::stable_sort(planned.begin(), planned.end(),
+                   [](const Planned& a, const Planned& b) {
+                     return a.when < b.when;  // ties keep insertion order
+                   });
+  ASSERT_EQ(executed.size(), planned.size());
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    EXPECT_EQ(executed[i], planned[i].id) << "at position " << i;
+  }
+}
+
+TEST_P(EngineStressP, CancelStormNeverExecutesCancelled) {
+  Rng rng(GetParam() ^ 0xdead);
+  Engine engine;
+  std::vector<EventHandle> handles;
+  std::vector<bool> cancelled(400, false);
+  std::vector<bool> ran(400, false);
+  for (int i = 0; i < 400; ++i) {
+    handles.push_back(engine.schedule(rng.uniform_real(0.0, 100.0),
+                                      [&ran, i] { ran[i] = true; }));
+  }
+  for (int i = 0; i < 400; ++i) {
+    if (rng.bernoulli(0.5)) {
+      handles[i].cancel();
+      cancelled[i] = true;
+    }
+  }
+  engine.run();
+  for (int i = 0; i < 400; ++i) {
+    EXPECT_EQ(ran[i], !cancelled[i]) << "event " << i;
+  }
+}
+
+TEST_P(EngineStressP, ReentrantSchedulingKeepsClockMonotone) {
+  Rng rng(GetParam() ^ 0xbeef);
+  Engine engine;
+  double last_time = -1.0;
+  int spawned = 0;
+  std::function<void()> spawner = [&] {
+    EXPECT_GE(engine.now(), last_time);
+    last_time = engine.now();
+    if (spawned < 300) {
+      ++spawned;
+      engine.schedule(rng.uniform_real(0.0, 10.0), spawner);
+      if (rng.bernoulli(0.3)) {
+        ++spawned;
+        engine.schedule(rng.uniform_real(0.0, 10.0), spawner);
+      }
+    }
+  };
+  engine.schedule(0.0, spawner);
+  engine.run();
+  EXPECT_GE(spawned, 300);
+  EXPECT_GE(engine.executed(), 300u);
+}
+
+TEST_P(EngineStressP, RunUntilChunksEqualFullRun) {
+  // Running in arbitrary run_until increments must execute the same set
+  // in the same order as a single run().
+  Rng rng(GetParam() ^ 0x5eed);
+  std::vector<int> chunked, full;
+  for (int mode = 0; mode < 2; ++mode) {
+    Rng local(42);
+    Engine engine;
+    auto& out = mode == 0 ? full : chunked;
+    for (int i = 0; i < 200; ++i) {
+      engine.schedule(local.uniform_real(0.0, 500.0),
+                      [&out, i] { out.push_back(i); });
+    }
+    if (mode == 0) {
+      engine.run();
+    } else {
+      double t = 0.0;
+      while (t < 600.0) {
+        t += rng.uniform_real(1.0, 50.0);
+        engine.run_until(t);
+      }
+      engine.run();
+    }
+  }
+  EXPECT_EQ(chunked, full);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineStressP,
+                         ::testing::Values(3ull, 99ull, 2024ull));
+
+}  // namespace
+}  // namespace uap2p::sim

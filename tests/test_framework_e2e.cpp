@@ -1,0 +1,146 @@
+// Capstone end-to-end scenarios: the whole framework running together —
+// collectors feeding policies feeding overlays, under churn and mobility,
+// with maintenance keeping everything coherent.
+#include <gtest/gtest.h>
+
+#include "core/underlay_service.hpp"
+#include "netinfo/gossip.hpp"
+#include "netinfo/skyeye.hpp"
+#include "overlay/geo_overlay.hpp"
+#include "overlay/gnutella.hpp"
+#include "sim/churn.hpp"
+#include "sim/engine.hpp"
+#include "underlay/mobility.hpp"
+
+namespace uap2p {
+namespace {
+
+TEST(FrameworkE2E, FullStackUnderChurnStaysFunctional) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 4, 0.3);
+  underlay::Network net(engine, topo, 701);
+  const auto peers = net.populate(80);
+
+  // Collection layer: service + SkyEye + background Vivaldi gossip.
+  core::UnderlayServiceConfig service_config;
+  service_config.pinger.jitter_sigma = 0.02;
+  core::UnderlayService service(net, service_config);
+  netinfo::SkyEyeConfig sky_config;
+  sky_config.update_period_ms = sim::seconds(20);
+  netinfo::SkyEye skyeye(net, peers, sky_config);
+  service.attach_skyeye(&skyeye);
+  skyeye.start();
+  netinfo::VivaldiSystem vivaldi(peers.size(), {}, Rng(3));
+  netinfo::Pinger pinger(net, Rng(5), {});
+  netinfo::GossipConfig gossip_config;
+  gossip_config.sample_period_ms = sim::seconds(10);
+  netinfo::CoordinateGossip gossip(net, vivaldi, pinger, peers, gossip_config);
+  gossip.start();
+
+  // Usage layer: oracle-biased Gnutella.
+  netinfo::Oracle oracle(net);
+  overlay::gnutella::Config gnutella_config;
+  gnutella_config.selection =
+      overlay::gnutella::NeighborSelection::kOracleBiased;
+  gnutella_config.oracle_at_file_exchange = true;
+  overlay::gnutella::GnutellaSystem gnutella(
+      net, peers,
+      overlay::gnutella::testlab_roles(peers.size(), 2, topo.as_count()),
+      gnutella_config, &oracle);
+  gnutella.bootstrap();
+  for (std::size_t as = 0; as < topo.as_count(); ++as) {
+    for (std::size_t copy = 0; copy < 3; ++copy) {
+      const std::size_t index = as + topo.as_count() * copy;
+      if (index < peers.size()) {
+        gnutella.share(peers[index], ContentId(std::uint32_t(as)));
+      }
+    }
+  }
+
+  // Stress layer: churn toggling online state.
+  sim::ChurnConfig churn_config;
+  churn_config.model = sim::SessionModel::kExponential;
+  churn_config.mean_session = sim::minutes(40);
+  churn_config.mean_downtime = sim::minutes(10);
+  sim::ChurnProcess churn(engine, Rng(7), churn_config);
+  churn.on_leave([&](PeerId peer) { net.set_online(peer, false); });
+  churn.on_join([&](PeerId peer) { net.set_online(peer, true); });
+  for (const PeerId peer : peers) churn.add_peer(peer, true);
+
+  // Run 40 simulated minutes in 5-minute epochs; repair each epoch, then
+  // issue locality-correlated searches from online peers.
+  std::size_t attempts = 0, successes = 0, intra = 0, downloads = 0;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    engine.run_until(engine.now() + sim::minutes(5));
+    gnutella.repair_overlay();
+    for (std::size_t as = 0; as < topo.as_count(); ++as) {
+      const std::size_t index = as + topo.as_count() * (3 + std::size_t(epoch) % 3);
+      if (index >= peers.size()) continue;
+      const PeerId origin = peers[index];
+      if (!net.is_online(origin)) continue;
+      ++attempts;
+      const auto outcome =
+          gnutella.search(origin, ContentId(std::uint32_t(as)), true);
+      successes += outcome.found;
+      if (outcome.downloaded) {
+        ++downloads;
+        intra += outcome.download_intra_as;
+      }
+    }
+  }
+  gossip.stop();
+  skyeye.stop();
+  churn.stop();
+
+  ASSERT_GT(attempts, 20u);
+  // Searches keep succeeding through churn with repair.
+  EXPECT_GT(double(successes) / double(attempts), 0.8);
+  // ISP-awareness keeps download locality high even under churn.
+  ASSERT_GT(downloads, 0u);
+  EXPECT_GT(double(intra) / double(downloads), 0.6);
+  // Collection layer kept working: coordinates converged and the SkyEye
+  // root sees a large share of the (online) population.
+  Rng eval(11);
+  const Samples errors = netinfo::relative_error_samples(
+      vivaldi, eval, 300, [&](PeerId a, PeerId b) {
+        return net.is_online(a) && net.is_online(b) ? net.rtt_ms(a, b) : -1.0;
+      });
+  EXPECT_LT(errors.median(), 0.6);
+  EXPECT_GT(skyeye.root_view().peer_count, peers.size() / 3);
+  // The framework facade still answers everything.
+  EXPECT_TRUE(service.isp_of(peers[0]).has_value());
+  EXPECT_FALSE(service.top_capacity(3).empty());
+}
+
+TEST(FrameworkE2E, MobilityWithGeoReinsertKeepsSearchesComplete) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::mesh(6, 0.4);
+  underlay::Network net(engine, topo, 709);
+  const auto peers = net.populate(70);
+  overlay::geo::GeoOverlay overlay(net, peers, {});
+
+  underlay::MobilityConfig mobility_config;
+  mobility_config.speed_kmh = 900.0;
+  mobility_config.mean_pause_ms = sim::minutes(1);
+  underlay::MobilityProcess mobility(engine, net, mobility_config);
+  // Overlays subscribe to movement: re-register the mover.
+  mobility.on_move([&](PeerId peer) { overlay.reinsert(peer); });
+  for (std::size_t i = 0; i < peers.size(); i += 2) {
+    mobility.add_peer(peers[i]);
+  }
+  engine.run_until(sim::hours(6));
+  mobility.stop();
+  ASSERT_GT(mobility.completed_moves(), 20u);
+
+  // With re-registration, area searches stay fully retrievable.
+  const overlay::geo::GeoRect rect{44.0, 56.0, -4.0, 24.0};
+  const auto result = overlay.area_search(peers[1], rect);
+  EXPECT_DOUBLE_EQ(result.completeness(), 1.0);
+  // And every found peer really is inside the rect *now*.
+  for (const PeerId peer : result.found) {
+    EXPECT_TRUE(rect.contains(net.host(peer).location));
+  }
+}
+
+}  // namespace
+}  // namespace uap2p

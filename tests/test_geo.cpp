@@ -1,0 +1,111 @@
+#include "underlay/geo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace uap2p::underlay {
+namespace {
+
+// Reference cities.
+const GeoPoint kBerlin{52.5200, 13.4050};
+const GeoPoint kParis{48.8566, 2.3522};
+const GeoPoint kNewYork{40.7128, -74.0060};
+const GeoPoint kSydney{-33.8688, 151.2093};
+const GeoPoint kDarmstadt{49.8728, 8.6512};
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  EXPECT_DOUBLE_EQ(haversine_km(kBerlin, kBerlin), 0.0);
+}
+
+TEST(Haversine, KnownCityDistances) {
+  // Berlin-Paris ~878 km, Berlin-New York ~6385 km (great circle).
+  EXPECT_NEAR(haversine_km(kBerlin, kParis), 878.0, 15.0);
+  EXPECT_NEAR(haversine_km(kBerlin, kNewYork), 6385.0, 60.0);
+  EXPECT_NEAR(haversine_km(kParis, kSydney), 16960.0, 150.0);
+}
+
+TEST(Haversine, Symmetric) {
+  EXPECT_DOUBLE_EQ(haversine_km(kBerlin, kParis),
+                   haversine_km(kParis, kBerlin));
+}
+
+TEST(Haversine, TriangleInequalityOnSamples) {
+  const GeoPoint points[] = {kBerlin, kParis, kNewYork, kSydney, kDarmstadt};
+  for (const auto& a : points) {
+    for (const auto& b : points) {
+      for (const auto& c : points) {
+        EXPECT_LE(haversine_km(a, c),
+                  haversine_km(a, b) + haversine_km(b, c) + 1e-6);
+      }
+    }
+  }
+}
+
+TEST(PropagationDelay, FibreSpeedBounds) {
+  // 1000 km at stretch 1.0: ~4.9 ms (light in fibre).
+  EXPECT_NEAR(propagation_delay_ms(1000.0, 1.0), 4.9, 0.2);
+  // Default stretch 1.6 scales it.
+  EXPECT_NEAR(propagation_delay_ms(1000.0), 4.9 * 1.6, 0.4);
+  EXPECT_DOUBLE_EQ(propagation_delay_ms(0.0), 0.0);
+}
+
+TEST(Utm, KnownReferenceConversion) {
+  // Darmstadt, zone 32. Reference values computed independently with
+  // Snyder's transverse Mercator series (agrees with this Krüger-series
+  // implementation to the centimetre).
+  const UtmCoordinate utm = to_utm(kDarmstadt);
+  EXPECT_EQ(utm.zone, 32);
+  EXPECT_TRUE(utm.northern);
+  EXPECT_NEAR(utm.easting_m, 474936.66, 1.0);
+  EXPECT_NEAR(utm.northing_m, 5524546.51, 1.0);
+}
+
+TEST(Utm, SouthernHemisphereFalseNorthing) {
+  const UtmCoordinate utm = to_utm(kSydney);
+  EXPECT_FALSE(utm.northern);
+  EXPECT_EQ(utm.zone, 56);
+  // Snyder-series reference: 334368.6 E, 6250948.3 N (incl. false
+  // northing).
+  EXPECT_NEAR(utm.easting_m, 334368.63, 1.0);
+  EXPECT_NEAR(utm.northing_m, 6250948.35, 1.0);
+}
+
+TEST(Utm, ToStringFormat) {
+  const UtmCoordinate utm = to_utm(kDarmstadt);
+  const std::string text = utm.to_string();
+  EXPECT_NE(text.find("32N"), std::string::npos);
+  EXPECT_NE(text.find('E'), std::string::npos);
+  EXPECT_NE(text.find('N'), std::string::npos);
+}
+
+TEST(Utm, PlanarDistanceApproximatesHaversineLocally) {
+  // Two points ~20 km apart in the same zone: planar UTM distance should
+  // match the great-circle distance to well under 1%.
+  const GeoPoint a{49.87, 8.65};
+  const GeoPoint b{50.05, 8.70};
+  const double planar = utm_distance_m(to_utm(a), to_utm(b)) / 1000.0;
+  const double sphere = haversine_km(a, b);
+  EXPECT_NEAR(planar / sphere, 1.0, 0.01);
+}
+
+// Property sweep: round trip over a latitude/longitude grid.
+class UtmRoundTripP
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(UtmRoundTripP, InverseRecoversInput) {
+  const auto [lat, lon] = GetParam();
+  const GeoPoint original{lat, lon};
+  const GeoPoint recovered = from_utm(to_utm(original));
+  EXPECT_NEAR(recovered.lat_deg, lat, 1e-6);
+  EXPECT_NEAR(recovered.lon_deg, lon, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UtmRoundTripP,
+    ::testing::Combine(::testing::Values(-70.0, -33.9, 0.01, 36.5, 49.87, 68.0),
+                       ::testing::Values(-150.0, -74.0, -0.1, 8.65, 151.2,
+                                         179.0)));
+
+}  // namespace
+}  // namespace uap2p::underlay

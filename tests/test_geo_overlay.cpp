@@ -1,0 +1,156 @@
+#include "overlay/geo_overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+
+namespace uap2p::overlay::geo {
+namespace {
+
+TEST(GeoRect, ContainsAndIntersects) {
+  const GeoRect rect{40.0, 50.0, 0.0, 10.0};
+  EXPECT_TRUE(rect.contains(underlay::GeoPoint{45.0, 5.0}));
+  EXPECT_FALSE(rect.contains(underlay::GeoPoint{39.9, 5.0}));
+  EXPECT_FALSE(rect.contains(underlay::GeoPoint{50.0, 5.0}));  // half-open
+  const GeoRect overlap{45.0, 55.0, 5.0, 15.0};
+  const GeoRect disjoint{60.0, 70.0, 0.0, 10.0};
+  EXPECT_TRUE(rect.intersects(overlap));
+  EXPECT_FALSE(rect.intersects(disjoint));
+  EXPECT_TRUE(rect.contains(GeoRect{41.0, 49.0, 1.0, 9.0}));
+  EXPECT_FALSE(rect.contains(overlap));
+}
+
+struct GeoFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::mesh(6, 0.4);
+  underlay::Network net{engine, topo, 51};
+  std::vector<PeerId> peers = net.populate(60);
+  GeoOverlay overlay{net, peers, {}};
+};
+
+TEST_F(GeoFixture, TreeSplitsUnderLoad) {
+  EXPECT_GT(overlay.zone_count(), 1u);
+  EXPECT_GT(overlay.leaf_count(), 1u);
+  EXPECT_GE(overlay.tree_depth(), 1u);
+}
+
+TEST_F(GeoFixture, EverySupervisorIsValid) {
+  for (const PeerId peer : peers) {
+    EXPECT_TRUE(overlay.supervisor_of(peer).is_valid());
+  }
+}
+
+TEST_F(GeoFixture, AreaSearchIsComplete) {
+  // Full retrievability (Globase.KOM's headline property): the search
+  // returns exactly the ground-truth member set when everyone is online.
+  const GeoRect rect{45.0, 55.0, 0.0, 20.0};
+  const AreaSearchResult result = overlay.area_search(peers[0], rect);
+  EXPECT_DOUBLE_EQ(result.completeness(), 1.0);
+  auto expected = overlay.ground_truth(rect);
+  auto found = result.found;
+  std::sort(expected.begin(), expected.end());
+  std::sort(found.begin(), found.end());
+  EXPECT_EQ(found, expected);
+  EXPECT_GT(result.messages, 0u);
+  EXPECT_GT(result.duration_ms, 0.0);
+}
+
+TEST_F(GeoFixture, SearchResultsActuallyInsideRect) {
+  const GeoRect rect{48.0, 52.0, 5.0, 12.0};
+  const AreaSearchResult result = overlay.area_search(peers[3], rect);
+  for (const PeerId peer : result.found) {
+    EXPECT_TRUE(rect.contains(net.host(peer).location));
+  }
+}
+
+TEST_F(GeoFixture, EmptyRegionReturnsNothing) {
+  // Ocean south-west of the populated box.
+  const GeoRect rect{36.0, 37.0, -11.9, -11.0};
+  const AreaSearchResult result = overlay.area_search(peers[0], rect);
+  EXPECT_TRUE(result.found.empty());
+  EXPECT_DOUBLE_EQ(result.completeness(), 1.0);  // vacuous
+}
+
+TEST_F(GeoFixture, RadiusSearchSortedAndFiltered) {
+  const underlay::GeoPoint center = net.host(peers[10]).location;
+  const AreaSearchResult result =
+      overlay.radius_search(peers[10], center, 300.0);
+  // The origin itself is within radius 0 of itself.
+  EXPECT_FALSE(result.found.empty());
+  double last = -1.0;
+  for (const PeerId peer : result.found) {
+    const double km = underlay::haversine_km(net.host(peer).location, center);
+    EXPECT_LE(km, 300.0);
+    EXPECT_GE(km, last);
+    last = km;
+  }
+  EXPECT_DOUBLE_EQ(result.completeness(), 1.0);
+}
+
+TEST_F(GeoFixture, SupervisorsHaveHighCapacity) {
+  // The supervisor of a peer's zone is at least as capable as that peer,
+  // unless the peer supervises itself.
+  for (const PeerId peer : peers) {
+    const PeerId supervisor = overlay.supervisor_of(peer);
+    if (supervisor == peer) continue;
+    // The supervisor is the strongest member of the zone, so it must have
+    // capacity >= the zone-mate peer... but only when both share a leaf.
+    if (overlay.supervisor_of(supervisor) == supervisor) {
+      EXPECT_GE(net.host(supervisor).resources.capacity_score(),
+                net.host(peer).resources.capacity_score() * 0.999);
+    }
+  }
+}
+
+TEST_F(GeoFixture, DeadSupervisorLosesQueriesUntilRepair) {
+  const GeoRect rect{45.0, 55.0, 0.0, 20.0};
+  const auto expected = overlay.ground_truth(rect).size();
+  ASSERT_GT(expected, 0u);
+  // Kill several supervisors (the paper's "routing around dead nodes"
+  // challenge).
+  std::vector<PeerId> killed;
+  for (const PeerId peer : peers) {
+    const PeerId supervisor = overlay.supervisor_of(peer);
+    if (supervisor.is_valid() && net.is_online(supervisor) &&
+        supervisor != peers[0]) {
+      net.set_online(supervisor, false);
+      killed.push_back(supervisor);
+      if (killed.size() >= 4) break;
+    }
+  }
+  const AreaSearchResult degraded = overlay.area_search(peers[0], rect);
+  // Repair re-elects supervisors; search becomes complete again (minus
+  // the offline peers themselves, which ground_truth also excludes).
+  overlay.repair();
+  const AreaSearchResult repaired = overlay.area_search(peers[0], rect);
+  EXPECT_GE(repaired.completeness(), degraded.completeness());
+  EXPECT_DOUBLE_EQ(repaired.completeness(), 1.0);
+}
+
+TEST_F(GeoFixture, SearchFromEveryPeerWorks) {
+  const GeoRect rect{47.0, 53.0, 2.0, 18.0};
+  for (std::size_t i = 0; i < peers.size(); i += 11) {
+    const AreaSearchResult result = overlay.area_search(peers[i], rect);
+    EXPECT_DOUBLE_EQ(result.completeness(), 1.0) << "origin " << i;
+  }
+}
+
+TEST(GeoOverlaySmall, SingleZoneNoSplit) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::ring(2);
+  underlay::Network net(engine, topo, 3);
+  const auto peers = net.populate(4);
+  GeoConfig config;
+  config.max_zone_peers = 16;
+  GeoOverlay overlay(net, peers, config);
+  EXPECT_EQ(overlay.zone_count(), 1u);
+  EXPECT_EQ(overlay.leaf_count(), 1u);
+  const AreaSearchResult result =
+      overlay.area_search(peers[0], config.world);
+  EXPECT_EQ(result.found.size(), 4u);
+}
+
+}  // namespace
+}  // namespace uap2p::overlay::geo

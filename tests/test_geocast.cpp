@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "overlay/geo_overlay.hpp"
+#include "sim/engine.hpp"
+
+namespace uap2p::overlay::geo {
+namespace {
+
+struct GeocastFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::mesh(6, 0.4);
+  underlay::Network net{engine, topo, 53};
+  std::vector<PeerId> peers = net.populate(60);
+  GeoOverlay overlay{net, peers, {}};
+};
+
+TEST_F(GeocastFixture, FullCoverageWhenAllOnline) {
+  const GeoRect rect{45.0, 55.0, 0.0, 20.0};
+  const auto result = overlay.geocast(peers[0], rect);
+  EXPECT_GT(result.expected, 0u);
+  EXPECT_EQ(result.delivered, result.expected);
+  EXPECT_DOUBLE_EQ(result.coverage(), 1.0);
+  EXPECT_GT(result.messages, 0u);
+  EXPECT_GT(result.duration_ms, 0.0);
+}
+
+TEST_F(GeocastFixture, EmptyRegionDeliversNothing) {
+  const GeoRect rect{36.0, 36.5, -11.9, -11.5};
+  const auto result = overlay.geocast(peers[0], rect);
+  EXPECT_EQ(result.delivered, 0u);
+  EXPECT_EQ(result.expected, 0u);
+  EXPECT_DOUBLE_EQ(result.coverage(), 1.0);  // vacuous
+}
+
+TEST_F(GeocastFixture, OfflineMembersNotCounted) {
+  const GeoRect rect{45.0, 55.0, 0.0, 20.0};
+  const auto members = overlay.ground_truth(rect);
+  ASSERT_GE(members.size(), 3u);
+  // Take two members offline (not the origin).
+  int killed = 0;
+  for (const PeerId member : members) {
+    if (member == peers[0]) continue;
+    net.set_online(member, false);
+    if (++killed == 2) break;
+  }
+  const auto result = overlay.geocast(peers[0], rect);
+  // Offline members are excluded from both delivery and ground truth.
+  EXPECT_EQ(result.delivered, result.expected);
+}
+
+TEST_F(GeocastFixture, GeocastCheaperThanUnicastFanout) {
+  // Routing through the tree must cost fewer messages than the origin
+  // contacting all recipients directly after a full-area discovery
+  // (discovery alone costs the same tree traversal, plus N unicasts).
+  const GeoRect rect{45.0, 55.0, 0.0, 20.0};
+  const auto search = overlay.area_search(peers[0], rect);
+  const auto cast = overlay.geocast(peers[0], rect);
+  EXPECT_LE(cast.messages, search.messages + search.found.size());
+}
+
+TEST_F(GeocastFixture, WholeWorldGeocastReachesEveryone) {
+  GeoConfig config;
+  const auto result = overlay.geocast(peers[5], config.world);
+  EXPECT_EQ(result.expected, peers.size());
+  EXPECT_EQ(result.delivered, peers.size());
+}
+
+}  // namespace
+}  // namespace uap2p::overlay::geo

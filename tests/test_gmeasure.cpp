@@ -1,0 +1,74 @@
+#include "netinfo/gmeasure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "sim/engine.hpp"
+
+namespace uap2p::netinfo {
+namespace {
+
+struct GmFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 4, 0.3);
+  underlay::Network net{engine, topo, 811};
+  std::vector<PeerId> peers = net.populate(60);
+  PingerConfig ping_config{.jitter_sigma = 0.0};
+  Pinger pinger{net, Rng(3), ping_config};
+  GroupMeasure gm{net, pinger, peers};
+};
+
+TEST_F(GmFixture, OneGroupPerAs) {
+  EXPECT_EQ(gm.group_count(), topo.as_count());
+  for (const PeerId peer : peers) {
+    const PeerId head = gm.head_of(peer);
+    ASSERT_TRUE(head.is_valid());
+    EXPECT_EQ(net.host(head).as, net.host(peer).as);
+  }
+}
+
+TEST_F(GmFixture, CacheCollapsesProbeCount) {
+  // Estimate every pair once: probes are bounded by group pairs, not
+  // peer pairs.
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    for (std::size_t j = i + 1; j < peers.size(); ++j) {
+      gm.estimate_rtt(peers[i], peers[j]);
+    }
+  }
+  const std::size_t g = gm.group_count();
+  EXPECT_LE(gm.cache_misses(), g * (g - 1) / 2 + g);
+  EXPECT_GT(gm.cache_hits(), gm.cache_misses() * 10);
+}
+
+TEST_F(GmFixture, RepeatEstimatesAreFree) {
+  gm.estimate_rtt(peers[0], peers[1]);
+  const auto probes = pinger.probes_sent();
+  for (int i = 0; i < 50; ++i) gm.estimate_rtt(peers[0], peers[1]);
+  EXPECT_EQ(pinger.probes_sent(), probes);
+}
+
+TEST_F(GmFixture, EstimatesCorrelateWithTruth) {
+  // Group-level estimates carry the intra-group spread but must still
+  // track the true RTT ordering on average: mean relative error bounded.
+  Samples errors;
+  for (std::size_t i = 0; i < peers.size(); i += 3) {
+    for (std::size_t j = i + 1; j < peers.size(); j += 3) {
+      const double estimate = gm.estimate_rtt(peers[i], peers[j]);
+      if (estimate <= 0) continue;
+      const double truth = net.rtt_ms(peers[i], peers[j]);
+      errors.add(std::abs(estimate - truth) / truth);
+    }
+  }
+  ASSERT_FALSE(errors.empty());
+  EXPECT_LT(errors.median(), 0.5);
+}
+
+TEST_F(GmFixture, SingletonGroupIntraEstimateFails) {
+  // Build a population where one AS has a single member.
+  std::vector<PeerId> sparse{peers[0], peers[1], peers[2]};
+  GroupMeasure lonely(net, pinger, sparse);
+  EXPECT_LT(lonely.estimate_rtt(peers[0], peers[0]), 0.0);
+}
+
+}  // namespace
+}  // namespace uap2p::netinfo

@@ -1,0 +1,236 @@
+#include "overlay/gnutella.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace uap2p::overlay::gnutella {
+namespace {
+
+/// [1]'s testlab scale: 5 ASes, 45 nodes, 1 ultrapeer per 2 leaves.
+struct Testlab {
+  sim::Engine engine;
+  underlay::AsTopology topo;
+  std::unique_ptr<underlay::Network> net;
+  std::vector<PeerId> peers;
+  std::unique_ptr<netinfo::Oracle> oracle;
+  std::unique_ptr<GnutellaSystem> system;
+
+  explicit Testlab(NeighborSelection selection, std::size_t cache = 100,
+                   bool oracle_at_exchange = false,
+                   std::size_t peer_count = 45) {
+    topo = underlay::AsTopology::ring(5);
+    net = std::make_unique<underlay::Network>(engine, topo, 21);
+    peers = net->populate(peer_count);
+    oracle = std::make_unique<netinfo::Oracle>(*net);
+    Config config;
+    config.selection = selection;
+    config.hostcache_size = cache;
+    config.oracle_at_file_exchange = oracle_at_exchange;
+    system = std::make_unique<GnutellaSystem>(
+        *net, peers, testlab_roles(peer_count), config, oracle.get());
+    system->bootstrap();
+  }
+};
+
+TEST(GnutellaRoles, TestlabPattern) {
+  const auto roles = testlab_roles(9, 2);
+  ASSERT_EQ(roles.size(), 9u);
+  EXPECT_EQ(roles[0], NodeRole::kUltrapeer);
+  EXPECT_EQ(roles[1], NodeRole::kLeaf);
+  EXPECT_EQ(roles[2], NodeRole::kLeaf);
+  EXPECT_EQ(roles[3], NodeRole::kUltrapeer);
+  const auto ups = std::count(roles.begin(), roles.end(), NodeRole::kUltrapeer);
+  EXPECT_EQ(ups, 3);
+}
+
+TEST(Gnutella, BootstrapConnectsEveryNode) {
+  Testlab lab(NeighborSelection::kRandom);
+  for (const PeerId peer : lab.peers) {
+    EXPECT_FALSE(lab.system->neighbors_of(peer).empty())
+        << "peer " << peer.value() << " has no neighbors";
+  }
+}
+
+TEST(Gnutella, LeavesAttachOnlyToUltrapeers) {
+  Testlab lab(NeighborSelection::kRandom);
+  for (const PeerId peer : lab.peers) {
+    if (lab.system->role_of(peer) != NodeRole::kLeaf) continue;
+    for (const PeerId up : lab.system->neighbors_of(peer)) {
+      EXPECT_EQ(lab.system->role_of(up), NodeRole::kUltrapeer);
+    }
+  }
+}
+
+TEST(Gnutella, SearchFindsSharedContent) {
+  Testlab lab(NeighborSelection::kRandom);
+  const ContentId content(7);
+  lab.system->share(lab.peers[10], content);
+  lab.system->share(lab.peers[30], content);
+  const SearchOutcome outcome = lab.system->search(lab.peers[0], content);
+  EXPECT_TRUE(outcome.found);
+  EXPECT_GE(outcome.result_count, 1u);
+  EXPECT_GT(outcome.time_to_first_hit_ms, 0.0);
+  EXPECT_TRUE(outcome.downloaded);
+  EXPECT_GT(outcome.download_time_ms, 0.0);
+}
+
+TEST(Gnutella, SearchForMissingContentFails) {
+  Testlab lab(NeighborSelection::kRandom);
+  const SearchOutcome outcome = lab.system->search(lab.peers[0], ContentId(99));
+  EXPECT_FALSE(outcome.found);
+  EXPECT_EQ(outcome.result_count, 0u);
+  EXPECT_FALSE(outcome.downloaded);
+}
+
+TEST(Gnutella, PingCyclesProducePongsExceedingPings) {
+  Testlab lab(NeighborSelection::kRandom);
+  // First cycle warms pong caches; by the second, pong caching serves
+  // multiple addresses per ping ([1] Table 1: Pong is roughly 10x Ping).
+  lab.system->ping_cycle();
+  lab.system->ping_cycle();
+  lab.system->ping_cycle();
+  const MessageCounts& counts = lab.system->counts();
+  EXPECT_GT(counts.ping, 0u);
+  EXPECT_GT(counts.pong, counts.ping);
+}
+
+TEST(Gnutella, PongCachingSuppressesPingForwarding) {
+  // Warm caches truncate the ping flood: a later cycle sends fewer pings
+  // than the first (cold) one.
+  Testlab lab(NeighborSelection::kRandom);
+  lab.system->ping_cycle();
+  const auto cold_pings = lab.system->counts().ping;
+  lab.system->ping_cycle();
+  lab.system->ping_cycle();
+  const auto warm_pings =
+      (lab.system->counts().ping - cold_pings) / 2;  // per warm cycle
+  EXPECT_LT(warm_pings, cold_pings);
+}
+
+TEST(Gnutella, QueriesExceedQueryHits) {
+  Testlab lab(NeighborSelection::kRandom);
+  const ContentId content(3);
+  lab.system->share(lab.peers[5], content);
+  for (int i = 0; i < 10; ++i) {
+    lab.system->search(lab.peers[static_cast<std::size_t>(i) * 4], content,
+                       /*download=*/false);
+  }
+  const MessageCounts& counts = lab.system->counts();
+  EXPECT_GT(counts.query, counts.query_hit);
+  EXPECT_GT(counts.query_hit, 0u);
+}
+
+TEST(Gnutella, BiasedSelectionClustersTopology) {
+  Testlab random_lab(NeighborSelection::kRandom);
+  Testlab biased_lab(NeighborSelection::kOracleBiased);
+  // Figure 6: biased neighbor selection clusters the overlay by AS.
+  EXPECT_GT(biased_lab.system->intra_as_edge_fraction(),
+            random_lab.system->intra_as_edge_fraction() + 0.2);
+}
+
+TEST(Gnutella, BiasedOverlayKeepsMinimalInterAsConnectivity) {
+  Testlab biased_lab(NeighborSelection::kOracleBiased, 1000);
+  // "a minimal number of inter-AS connections necessary to keep the
+  // network connected" — it must not be zero (network would partition)
+  // and must be far below the random case.
+  Testlab random_lab(NeighborSelection::kRandom, 1000);
+  EXPECT_GE(biased_lab.system->inter_as_edge_count(),
+            biased_lab.system->min_inter_as_edges_for_connectivity());
+  EXPECT_LT(biased_lab.system->inter_as_edge_count(),
+            random_lab.system->inter_as_edge_count());
+}
+
+TEST(Gnutella, BiasedFloodsCostFewerMessages) {
+  // [1]'s Table 1 shape: every message type shrinks under the oracle.
+  Testlab random_lab(NeighborSelection::kRandom, 100);
+  Testlab biased_lab(NeighborSelection::kOracleBiased, 100);
+  auto run_workload = [](Testlab& lab) {
+    // Locality-correlated workload ([25]): each AS has its own popular
+    // content, shared by 4 local peers and searched by 3 other locals.
+    // Peers are AS-round-robin over 5 ASes.
+    for (std::uint32_t as = 0; as < 5; ++as) {
+      for (std::size_t copy = 0; copy < 4; ++copy) {
+        lab.system->share(lab.peers[as + 5 * copy], ContentId(as));
+      }
+    }
+    lab.system->ping_cycle();
+    for (std::uint32_t as = 0; as < 5; ++as) {
+      for (std::size_t searcher = 4; searcher < 7; ++searcher) {
+        lab.system->search(lab.peers[as + 5 * searcher], ContentId(as),
+                           /*download=*/false);
+      }
+    }
+    return lab.system->counts();
+  };
+  const MessageCounts random_counts = run_workload(random_lab);
+  const MessageCounts biased_counts = run_workload(biased_lab);
+  // Dynamic querying terminates locality-biased searches in early waves.
+  EXPECT_LT(biased_counts.query, random_counts.query);
+  EXPECT_LT(biased_counts.total(), random_counts.total());
+}
+
+TEST(Gnutella, NoLostSearchesUnderBias) {
+  // [1]: "whether biased neighbor selection leads to any unsuccessful
+  // content search which was otherwise successful" — it must not.
+  Testlab biased_lab(NeighborSelection::kOracleBiased, 1000);
+  const ContentId content(17);
+  // One provider per AS, like the testlab's uniform file distribution.
+  for (std::size_t i = 0; i < 5; ++i) {
+    biased_lab.system->share(biased_lab.peers[i], content);
+  }
+  std::size_t successes = 0;
+  for (std::size_t i = 5; i < biased_lab.peers.size(); i += 4) {
+    if (biased_lab.system->search(biased_lab.peers[i], content, false).found) {
+      ++successes;
+    }
+  }
+  EXPECT_EQ(successes, 10u);  // every search succeeds
+}
+
+TEST(Gnutella, OracleAtFileExchangeLocalizesDownloads) {
+  Testlab bootstrap_only(NeighborSelection::kOracleBiased, 1000, false);
+  Testlab both_stages(NeighborSelection::kOracleBiased, 1000, true);
+  auto run = [](Testlab& lab) {
+    const ContentId content(23);
+    // Replicate content in every AS so a local provider always exists.
+    for (std::size_t i = 0; i < 10; ++i) lab.system->share(lab.peers[i], content);
+    int intra = 0, total = 0;
+    for (std::size_t i = 10; i < lab.peers.size(); ++i) {
+      const SearchOutcome outcome = lab.system->search(lab.peers[i], content);
+      if (!outcome.downloaded) continue;
+      ++total;
+      intra += outcome.download_intra_as ? 1 : 0;
+    }
+    return total == 0 ? 0.0 : double(intra) / total;
+  };
+  const double without = run(bootstrap_only);
+  const double with = run(both_stages);
+  // [1]: 7-10% intra-AS without the second consultation, ~40% with it.
+  EXPECT_GT(with, without);
+}
+
+TEST(Gnutella, PongsFeedHostcaches) {
+  Testlab lab(NeighborSelection::kRandom, 10);  // tiny caches
+  lab.system->ping_cycle();
+  // After a ping cycle, hostcaches have been refreshed with pong entries;
+  // providers_of is unrelated — instead check message counters moved and
+  // another cycle still works (stability smoke).
+  const auto first = lab.system->counts().pong;
+  lab.system->ping_cycle();
+  EXPECT_GT(lab.system->counts().pong, first);
+}
+
+TEST(Gnutella, MessageCountsAccumulate) {
+  MessageCounts a{1, 2, 3, 4};
+  MessageCounts b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.ping, 11u);
+  EXPECT_EQ(a.pong, 22u);
+  EXPECT_EQ(a.query, 33u);
+  EXPECT_EQ(a.query_hit, 44u);
+  EXPECT_EQ(a.total(), 110u);
+}
+
+}  // namespace
+}  // namespace uap2p::overlay::gnutella

@@ -1,0 +1,97 @@
+#include "netinfo/gossip.hpp"
+
+#include "netinfo/skyeye.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace uap2p::netinfo {
+namespace {
+
+struct GossipFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 4, 0.3);
+  underlay::Network net{engine, topo, 229};
+  std::vector<PeerId> peers = net.populate(50);
+  VivaldiSystem vivaldi{peers.size(), {}, Rng(1)};
+  PingerConfig ping_config{.jitter_sigma = 0.0};
+  Pinger pinger{net, Rng(2), ping_config};
+};
+
+TEST_F(GossipFixture, BackgroundGossipConvergesCoordinates) {
+  GossipConfig config;
+  config.sample_period_ms = sim::seconds(5);
+  config.samples_per_tick = 2;
+  CoordinateGossip gossip(net, vivaldi, pinger, peers, config);
+  gossip.start();
+  engine.run_until(sim::minutes(30));
+  gossip.stop();
+  EXPECT_GT(gossip.samples_taken(), 5000u);
+  Rng eval(3);
+  const Samples errors = relative_error_samples(
+      vivaldi, eval, 500, [&](PeerId a, PeerId b) { return net.rtt_ms(a, b); });
+  EXPECT_LT(errors.median(), 0.35);
+}
+
+TEST_F(GossipFixture, ProbesAreCharged) {
+  CoordinateGossip gossip(net, vivaldi, pinger, peers, {});
+  gossip.start();
+  engine.run_until(sim::minutes(2));
+  gossip.stop();
+  EXPECT_GT(pinger.probes_sent(), 0u);
+  EXPECT_GT(net.traffic().total_bytes(), 0u);
+}
+
+TEST_F(GossipFixture, StopHaltsSampling) {
+  CoordinateGossip gossip(net, vivaldi, pinger, peers, {});
+  gossip.start();
+  engine.run_until(sim::minutes(1));
+  gossip.stop();
+  const auto samples = gossip.samples_taken();
+  engine.run_until(sim::minutes(30));
+  EXPECT_EQ(gossip.samples_taken(), samples);
+}
+
+TEST_F(GossipFixture, OfflinePeersSkipTheirTicks) {
+  for (std::size_t i = 0; i < peers.size(); i += 2) {
+    net.set_online(peers[i], false);
+  }
+  CoordinateGossip gossip(net, vivaldi, pinger, peers, {});
+  gossip.start();
+  engine.run_until(sim::minutes(5));
+  gossip.stop();
+  // Offline peers never moved their coordinate (no self-updates).
+  for (std::size_t i = 0; i < peers.size(); i += 2) {
+    const auto& coord = vivaldi.coordinate(peers[i]);
+    for (const double x : coord.position) EXPECT_DOUBLE_EQ(x, 0.0);
+  }
+}
+
+TEST_F(GossipFixture, RemoteSkyEyeQueryAnswersWithLatency) {
+  SkyEyeConfig sky_config;
+  sky_config.update_period_ms = sim::seconds(10);
+  SkyEye skyeye(net, peers, sky_config);
+  skyeye.start();
+  engine.run_until(sim::minutes(2));
+  skyeye.stop();
+  const auto result = skyeye.query_remote(peers[30], 4);
+  EXPECT_TRUE(result.answered);
+  EXPECT_EQ(result.entries.size(), 4u);
+  EXPECT_GT(result.latency_ms, 0.0);
+  // Root self-query is free.
+  const auto self_result = skyeye.query_remote(skyeye.root(), 4);
+  EXPECT_TRUE(self_result.answered);
+  EXPECT_DOUBLE_EQ(self_result.latency_ms, 0.0);
+}
+
+TEST_F(GossipFixture, RemoteQueryFailsWhenRootOffline) {
+  SkyEyeConfig sky_config;
+  SkyEye skyeye(net, peers, sky_config);
+  net.set_online(skyeye.root(), false);
+  const auto result = skyeye.query_remote(peers[10], 4);
+  EXPECT_FALSE(result.answered);
+}
+
+}  // namespace
+}  // namespace uap2p::netinfo

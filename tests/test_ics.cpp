@@ -1,0 +1,170 @@
+// Locks the ICS implementation to the worked examples of Lim et al. [20]
+// as reprinted in the survey (Figure 4 sidebar, Examples 4 and 5): four
+// beacon nodes in two ASes with intra-AS RTT 1 and inter-AS RTT 3.
+#include "netinfo/ics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace uap2p::netinfo {
+namespace {
+
+/// The Example 1/4 beacon distance matrix: hosts 1,2 in one AS, 3,4 in
+/// another; intra-AS distance 1, inter-AS distance 3.
+Matrix example_matrix() {
+  Matrix d(4, 4);
+  const double values[4][4] = {{0, 1, 3, 3},
+                               {1, 0, 3, 3},
+                               {3, 3, 0, 1},
+                               {3, 3, 1, 0}};
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) d(r, c) = values[r][c];
+  return d;
+}
+
+IcsModel example_model_n2() {
+  IcsConfig config;
+  config.min_dimensions = 2;
+  config.max_dimensions = 2;  // the paper's n = 2 case
+  return IcsModel::build(example_matrix(), config);
+}
+
+TEST(IcsPaperExample4, ScaleFactorIsExactly0p6) {
+  // "By Eq. (11), the scaling factor alpha is 0.6."
+  const IcsModel model = example_model_n2();
+  EXPECT_EQ(model.dimensions(), 2u);
+  EXPECT_NEAR(model.scale(), 0.6, 1e-9);
+}
+
+TEST(IcsPaperExample4, BeaconCoordinatesMatchUpToSign) {
+  // c̄1 = c̄2 = [-2.1, 1.5], c̄3 = c̄4 = [-2.1, -1.5]. Eigenvector signs
+  // are arbitrary, so compare coordinates component-wise by magnitude and
+  // the full pairwise distance structure exactly.
+  const IcsModel model = example_model_n2();
+  const auto& c1 = model.beacon_coordinate(0);
+  const auto& c2 = model.beacon_coordinate(1);
+  const auto& c3 = model.beacon_coordinate(2);
+  const auto& c4 = model.beacon_coordinate(3);
+  ASSERT_EQ(c1.size(), 2u);
+  EXPECT_NEAR(std::abs(c1[0]), 2.1, 1e-9);
+  EXPECT_NEAR(std::abs(c1[1]), 1.5, 1e-9);
+  EXPECT_NEAR(l2_distance(c1, c2), 0.0, 1e-9);
+  EXPECT_NEAR(l2_distance(c3, c4), 0.0, 1e-9);
+}
+
+TEST(IcsPaperExample4, InterAsEmbeddedDistanceIsExactly3) {
+  // "The distances between two hosts in different ASs is exactly 3."
+  const IcsModel model = example_model_n2();
+  for (const auto& [i, j] : {std::pair{0, 2}, {0, 3}, {1, 2}, {1, 3}}) {
+    EXPECT_NEAR(l2_distance(model.beacon_coordinate(i),
+                            model.beacon_coordinate(j)),
+                3.0, 1e-9);
+  }
+}
+
+TEST(IcsPaperExample4, FourDimensionalCase) {
+  // "When n = 4, alpha = 0.5927, L2(c̄1, c̄2) = L2(c̄3, c̄4) = 0.8383, and
+  //  L2(c̄1, c̄3) = ... = 3.0224."
+  IcsConfig config;
+  config.min_dimensions = 4;
+  config.max_dimensions = 4;
+  const IcsModel model = IcsModel::build(example_matrix(), config);
+  EXPECT_EQ(model.dimensions(), 4u);
+  EXPECT_NEAR(model.scale(), 0.5927, 5e-5);
+  EXPECT_NEAR(l2_distance(model.beacon_coordinate(0),
+                          model.beacon_coordinate(1)),
+              0.8383, 5e-5);
+  EXPECT_NEAR(l2_distance(model.beacon_coordinate(2),
+                          model.beacon_coordinate(3)),
+              0.8383, 5e-5);
+  EXPECT_NEAR(l2_distance(model.beacon_coordinate(0),
+                          model.beacon_coordinate(2)),
+              3.0224, 5e-5);
+  EXPECT_NEAR(l2_distance(model.beacon_coordinate(1),
+                          model.beacon_coordinate(3)),
+              3.0224, 5e-5);
+}
+
+TEST(IcsPaperExample5, HostAEmbedding) {
+  // Host A measures l_a = [1, 1, 4, 4]: x_a = [-3, 1.8] (up to sign), and
+  // estimated distances 0.94 to beacons 1/2 and 3.42 to beacons 3/4.
+  const IcsModel model = example_model_n2();
+  const auto xa = model.embed({1.0, 1.0, 4.0, 4.0});
+  ASSERT_EQ(xa.size(), 2u);
+  EXPECT_NEAR(std::abs(xa[0]), 3.0, 1e-9);
+  EXPECT_NEAR(std::abs(xa[1]), 1.8, 1e-9);
+  EXPECT_NEAR(l2_distance(model.beacon_coordinate(0), xa), 0.9487, 5e-4);
+  EXPECT_NEAR(l2_distance(model.beacon_coordinate(1), xa), 0.9487, 5e-4);
+  EXPECT_NEAR(l2_distance(model.beacon_coordinate(2), xa), 3.4205, 5e-4);
+  EXPECT_NEAR(l2_distance(model.beacon_coordinate(3), xa), 3.4205, 5e-4);
+}
+
+TEST(IcsPaperExample5, HostBFarFromAllBeacons) {
+  // Host B: l_b = [10, 10, 10, 10] -> x_b = [-12, 0];
+  // L2(c̄i, x_b) = 10.01 for all beacons.
+  const IcsModel model = example_model_n2();
+  const auto xb = model.embed({10.0, 10.0, 10.0, 10.0});
+  EXPECT_NEAR(std::abs(xb[0]), 12.0, 1e-9);
+  EXPECT_NEAR(std::abs(xb[1]), 0.0, 1e-9);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(l2_distance(model.beacon_coordinate(i), xb), 10.01, 5e-3);
+  }
+}
+
+TEST(Ics, DimensionSelectionByVariation) {
+  // With the example matrix, singular values are 7, 5, 1, 1, so squared
+  // variation is 49, 25, 1, 1: two components cover 74/76 = 97.4%.
+  IcsConfig config;
+  config.variation_threshold = 0.95;
+  config.min_dimensions = 1;
+  const IcsModel model = IcsModel::build(example_matrix(), config);
+  EXPECT_EQ(model.dimensions(), 2u);
+  EXPECT_NEAR(model.variation_covered(), 74.0 / 76.0, 1e-9);
+}
+
+TEST(Ics, HandlesAsymmetricInputBySymmetrizing) {
+  Matrix d = example_matrix();
+  d(0, 1) = 1.2;  // asymmetric measurement (the paper's §6 challenge)
+  d(1, 0) = 0.8;
+  IcsConfig config;
+  config.min_dimensions = 2;
+  config.max_dimensions = 2;
+  const IcsModel model = IcsModel::build(d, config);
+  // Symmetrized back to 1.0, so the example numbers still hold.
+  EXPECT_NEAR(model.scale(), 0.6, 1e-9);
+}
+
+TEST(Ics, PerfectEmbeddingForEuclideanBeacons) {
+  // Beacons placed on a line at 0, 10, 20, 30, 40: RTT matrix is exactly
+  // Euclidean. Estimates between embedded hosts must correlate strongly
+  // with true distances (PCA on a distance matrix is not exact MDS, so we
+  // check rank order, not equality).
+  const std::size_t m = 5;
+  Matrix d(m, m);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      d(i, j) = std::abs(double(i) - double(j)) * 10.0;
+  IcsConfig config;
+  const IcsModel model = IcsModel::build(d, config);
+  // Adjacent beacons must embed closer than distant ones.
+  const double near = l2_distance(model.beacon_coordinate(0),
+                                  model.beacon_coordinate(1));
+  const double far = l2_distance(model.beacon_coordinate(0),
+                                 model.beacon_coordinate(4));
+  EXPECT_LT(near, far);
+}
+
+TEST(Ics, EmbedRejectsNothingAndIsLinear) {
+  const IcsModel model = example_model_n2();
+  const auto x1 = model.embed({1, 2, 3, 4});
+  const auto x2 = model.embed({2, 4, 6, 8});
+  for (std::size_t k = 0; k < x1.size(); ++k) {
+    EXPECT_NEAR(x2[k], 2.0 * x1[k], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace uap2p::netinfo

@@ -1,0 +1,75 @@
+#include "common/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace uap2p {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  PeerId id;
+  EXPECT_FALSE(id.is_valid());
+  EXPECT_EQ(id, PeerId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  AsId as(42);
+  EXPECT_TRUE(as.is_valid());
+  EXPECT_EQ(as.value(), 42u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(PeerId(1), PeerId(2));
+  EXPECT_EQ(PeerId(7), PeerId(7));
+  EXPECT_NE(PeerId(7), PeerId(8));
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<AsId, PeerId>);
+  static_assert(!std::is_same_v<RouterId, ContentId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<PeerId> set;
+  set.insert(PeerId(1));
+  set.insert(PeerId(1));
+  set.insert(PeerId(2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(IpAddress, ToStringKnownValues) {
+  EXPECT_EQ(IpAddress{0x0A000001}.to_string(), "10.0.0.1");
+  EXPECT_EQ(IpAddress{0xFFFFFFFF}.to_string(), "255.255.255.255");
+  EXPECT_EQ(IpAddress{0}.to_string(), "0.0.0.0");
+  EXPECT_EQ(IpAddress{0xC0A80164}.to_string(), "192.168.1.100");
+}
+
+TEST(IpAddress, ParseRoundTrip) {
+  for (std::uint32_t bits : {0u, 0x0A000001u, 0xC0A80101u, 0xFFFFFFFFu,
+                             0x7F000001u, 0x08080808u}) {
+    IpAddress original{bits};
+    IpAddress parsed;
+    ASSERT_TRUE(IpAddress::parse(original.to_string(), parsed));
+    EXPECT_EQ(parsed, original);
+  }
+}
+
+TEST(IpAddress, ParseRejectsMalformed) {
+  IpAddress out;
+  EXPECT_FALSE(IpAddress::parse("", out));
+  EXPECT_FALSE(IpAddress::parse("1.2.3", out));
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4.5", out));
+  EXPECT_FALSE(IpAddress::parse("256.0.0.1", out));
+  EXPECT_FALSE(IpAddress::parse("a.b.c.d", out));
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4x", out));
+  EXPECT_FALSE(IpAddress::parse("1..3.4", out));
+}
+
+TEST(IpAddress, OrderingMatchesNumeric) {
+  EXPECT_LT(IpAddress{1}, IpAddress{2});
+  EXPECT_LT(IpAddress{0x0A000000}, IpAddress{0x0B000000});
+}
+
+}  // namespace
+}  // namespace uap2p

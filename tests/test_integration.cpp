@@ -1,0 +1,156 @@
+// Cross-module integration scenarios: the full stack (underlay -> netinfo
+// collectors -> overlays -> core policies) wired together the way the
+// examples and benches use it.
+#include <gtest/gtest.h>
+
+#include "core/underlay_service.hpp"
+#include "netinfo/skyeye.hpp"
+#include "overlay/bittorrent.hpp"
+#include "overlay/gnutella.hpp"
+#include "sim/churn.hpp"
+#include "sim/engine.hpp"
+
+namespace uap2p {
+namespace {
+
+TEST(Integration, IspAwareGnutellaReducesTransitBytes) {
+  // End-to-end Table 2 story: same workload, unbiased vs oracle-biased,
+  // compared on the transit bytes the ISP pays for.
+  auto run = [](bool biased) {
+    sim::Engine engine;
+    underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 3, 0.4);
+    underlay::Network net(engine, topo, 81);
+    auto peers = net.populate(60);
+    netinfo::Oracle oracle(net);
+    overlay::gnutella::Config config;
+    config.selection = biased
+                           ? overlay::gnutella::NeighborSelection::kOracleBiased
+                           : overlay::gnutella::NeighborSelection::kRandom;
+    config.hostcache_size = 100;
+    config.oracle_at_file_exchange = biased;
+    overlay::gnutella::GnutellaSystem system(
+        net, peers, overlay::gnutella::testlab_roles(peers.size()), config,
+        &oracle);
+    system.bootstrap();
+    const ContentId content(1);
+    for (std::size_t i = 0; i < peers.size(); i += 6) {
+      system.share(peers[i], content);
+    }
+    system.ping_cycle();
+    for (std::size_t i = 1; i < peers.size(); i += 3) {
+      system.search(peers[i], content, /*download=*/true);
+    }
+    return net.traffic().transit_link_bytes();
+  };
+  const auto unbiased_transit = run(false);
+  const auto biased_transit = run(true);
+  EXPECT_LT(biased_transit, unbiased_transit);
+}
+
+TEST(Integration, GnutellaSurvivesChurn) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::ring(5);
+  underlay::Network net(engine, topo, 91);
+  auto peers = net.populate(45);
+  overlay::gnutella::Config config;
+  overlay::gnutella::GnutellaSystem system(
+      net, peers, overlay::gnutella::testlab_roles(peers.size()), config);
+  system.bootstrap();
+  const ContentId content(2);
+  for (std::size_t i = 0; i < peers.size(); i += 5) {
+    system.share(peers[i], content);
+  }
+  // Wire churn to network online flags.
+  sim::ChurnConfig churn_config;
+  churn_config.model = sim::SessionModel::kExponential;
+  churn_config.mean_session = sim::minutes(30);
+  churn_config.mean_downtime = sim::minutes(10);
+  sim::ChurnProcess churn(engine, Rng(5), churn_config);
+  churn.on_leave([&](PeerId peer) { net.set_online(peer, false); });
+  churn.on_join([&](PeerId peer) { net.set_online(peer, true); });
+  for (const PeerId peer : peers) churn.add_peer(peer, true);
+
+  int successes = 0, attempts = 0;
+  for (int round = 0; round < 10; ++round) {
+    engine.run_until(engine.now() + sim::minutes(5));
+    const PeerId origin = peers[static_cast<std::size_t>(round) * 4 + 1];
+    if (!net.is_online(origin)) continue;
+    ++attempts;
+    successes += system.search(origin, content, /*download=*/false).found;
+  }
+  ASSERT_GT(attempts, 3);
+  // Searches may degrade under churn, but the overlay must not collapse.
+  EXPECT_GT(successes, attempts / 2);
+}
+
+TEST(Integration, CompositePolicyBalancesCostAndDelay) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 4, 0.3);
+  underlay::Network net(engine, topo, 101);
+  auto peers = net.populate(40);
+  core::UnderlayServiceConfig service_config;
+  service_config.pinger.jitter_sigma = 0.0;
+  core::UnderlayService service(net, service_config);
+
+  auto isp_policy = core::make_isp_policy(service);
+  auto latency_policy =
+      core::make_latency_policy(service, core::LatencyMethod::kExplicitPing);
+  auto composite = core::make_composite_policy(
+      service, core::CompositeWeights{1.0, 1.0, 0.0, 0.0},
+      core::LatencyMethod::kExplicitPing, netinfo::GeoSource::kIspProvided);
+
+  auto top_k_metrics = [&](core::NeighborRankingPolicy& policy) {
+    double hops = 0.0, rtt = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < peers.size(); i += 4) {
+      const auto ranked = policy.rank(peers[i], peers);
+      for (std::size_t k = 0; k < 5 && k < ranked.size(); ++k) {
+        hops += double(service.as_hops(peers[i], ranked[k]));
+        rtt += net.rtt_ms(peers[i], ranked[k]);
+        ++n;
+      }
+    }
+    return std::pair{hops / n, rtt / n};
+  };
+  const auto [isp_hops, isp_rtt] = top_k_metrics(*isp_policy);
+  const auto [lat_hops, lat_rtt] = top_k_metrics(*latency_policy);
+  const auto [mix_hops, mix_rtt] = top_k_metrics(*composite);
+  // Pure policies win their own dimension; the composite sits between.
+  EXPECT_LE(isp_hops, mix_hops + 1e-9);
+  EXPECT_LE(lat_rtt, mix_rtt + 1e-9);
+  EXPECT_LE(mix_hops, lat_hops + 1e-9);
+  EXPECT_LE(mix_rtt, isp_rtt + 1e-9);
+}
+
+TEST(Integration, SkyEyeDrivenSwarmSeeding) {
+  // Resource awareness feeding a distribution swarm: seeding from the
+  // SkyEye-reported strongest peers must beat seeding from the weakest.
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::mesh(6, 0.4);
+  underlay::Network net(engine, topo, 111);
+  auto peers = net.populate(48);
+  netinfo::SkyEyeConfig sky_config;
+  sky_config.update_period_ms = sim::seconds(10);
+  netinfo::SkyEye skyeye(net, peers, sky_config);
+  skyeye.start();
+  engine.run_until(sim::minutes(2));
+  skyeye.stop();
+  const auto top = skyeye.query_top_capacity(2);
+  ASSERT_EQ(top.size(), 2u);
+  // Reorder peers so the SkyEye-selected strong peers are the seeds.
+  std::vector<PeerId> strong_first = peers;
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto it = std::find(strong_first.begin(), strong_first.end(), top[i].peer);
+    std::iter_swap(strong_first.begin() + i, it);
+  }
+  overlay::bittorrent::Config config;
+  config.piece_count = 16;
+  overlay::bittorrent::BitTorrentSwarm swarm(net, strong_first, 2, config);
+  swarm.build_neighborhoods();
+  const std::size_t rounds = swarm.run(2000);
+  EXPECT_LT(rounds, 2000u);
+  EXPECT_EQ(swarm.stats().completed, peers.size() - 2);
+}
+
+}  // namespace
+}  // namespace uap2p

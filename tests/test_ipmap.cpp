@@ -1,0 +1,141 @@
+#include "netinfo/ipmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p::netinfo {
+namespace {
+
+TEST(PrefixTrie, LongestPrefixWins) {
+  PrefixTrie trie;
+  trie.insert(0x0A000000, 8, {AsId(1), {}});   // 10.0.0.0/8
+  trie.insert(0x0A010000, 16, {AsId(2), {}});  // 10.1.0.0/16
+  trie.insert(0x0A010100, 24, {AsId(3), {}});  // 10.1.1.0/24
+
+  IpAddress ip;
+  ASSERT_TRUE(IpAddress::parse("10.2.3.4", ip));
+  EXPECT_EQ(trie.lookup(ip)->isp, AsId(1));
+  ASSERT_TRUE(IpAddress::parse("10.1.2.3", ip));
+  EXPECT_EQ(trie.lookup(ip)->isp, AsId(2));
+  ASSERT_TRUE(IpAddress::parse("10.1.1.200", ip));
+  EXPECT_EQ(trie.lookup(ip)->isp, AsId(3));
+}
+
+TEST(PrefixTrie, MissReturnsNullopt) {
+  PrefixTrie trie;
+  trie.insert(0x0A000000, 8, {AsId(1), {}});
+  IpAddress ip;
+  ASSERT_TRUE(IpAddress::parse("11.0.0.1", ip));
+  EXPECT_FALSE(trie.lookup(ip).has_value());
+}
+
+TEST(PrefixTrie, DefaultRouteCoversEverything) {
+  PrefixTrie trie;
+  trie.insert(0, 0, {AsId(9), {}});  // 0.0.0.0/0
+  IpAddress ip;
+  ASSERT_TRUE(IpAddress::parse("203.0.113.7", ip));
+  EXPECT_EQ(trie.lookup(ip)->isp, AsId(9));
+}
+
+TEST(PrefixTrie, ReinsertOverwrites) {
+  PrefixTrie trie;
+  trie.insert(0x0A000000, 8, {AsId(1), {}});
+  trie.insert(0x0A000000, 8, {AsId(2), {}});
+  EXPECT_EQ(trie.entry_count(), 1u);
+  IpAddress ip{0x0A000001};
+  EXPECT_EQ(trie.lookup(ip)->isp, AsId(2));
+}
+
+TEST(PrefixTrie, HostRouteSlash32) {
+  PrefixTrie trie;
+  trie.insert(0x0A000000, 8, {AsId(1), {}});
+  trie.insert(0x0A000001, 32, {AsId(7), {}});
+  EXPECT_EQ(trie.lookup(IpAddress{0x0A000001})->isp, AsId(7));
+  EXPECT_EQ(trie.lookup(IpAddress{0x0A000002})->isp, AsId(1));
+}
+
+struct IpMapFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 3);
+  underlay::Network net{engine, topo, 7};
+  std::vector<PeerId> peers = net.populate(16);
+};
+
+TEST_F(IpMapFixture, PerfectDatabaseResolvesGroundTruth) {
+  IpMappingService service(topo, {});
+  for (const PeerId peer : peers) {
+    const auto isp = service.lookup_isp(net.host(peer).ip);
+    ASSERT_TRUE(isp.has_value());
+    EXPECT_EQ(*isp, net.host(peer).as);
+  }
+}
+
+TEST_F(IpMapFixture, LocationIsRegionCentroid) {
+  IpMappingService service(topo, {});
+  for (const PeerId peer : peers) {
+    const auto location = service.lookup_location(net.host(peer).ip);
+    ASSERT_TRUE(location.has_value());
+    const auto& as_location = topo.as_info(net.host(peer).as).location;
+    EXPECT_DOUBLE_EQ(location->lat_deg, as_location.lat_deg);
+    EXPECT_DOUBLE_EQ(location->lon_deg, as_location.lon_deg);
+  }
+}
+
+TEST_F(IpMapFixture, ErrorRateProducesWrongAnswers) {
+  IpMappingConfig config;
+  config.error_rate = 0.5;
+  IpMappingService service(topo, config);
+  int wrong = 0;
+  for (const PeerId peer : peers) {
+    const auto isp = service.lookup_isp(net.host(peer).ip);
+    ASSERT_TRUE(isp.has_value());
+    if (*isp != net.host(peer).as) ++wrong;
+  }
+  EXPECT_GT(wrong, 2);            // some wrong at 50% error
+  EXPECT_LT(wrong, (int)peers.size());  // not all wrong
+}
+
+TEST_F(IpMapFixture, ErrorsAreDeterministicPerIp) {
+  IpMappingConfig config;
+  config.error_rate = 0.5;
+  IpMappingService service(topo, config);
+  for (const PeerId peer : peers) {
+    const auto first = service.lookup_isp(net.host(peer).ip);
+    const auto second = service.lookup_isp(net.host(peer).ip);
+    EXPECT_EQ(first, second) << "stale database rows must be stable";
+  }
+}
+
+TEST_F(IpMapFixture, JitterStaysBounded) {
+  IpMappingConfig config;
+  config.location_jitter_deg = 0.5;
+  IpMappingService service(topo, config);
+  for (const PeerId peer : peers) {
+    const auto location = service.lookup_location(net.host(peer).ip);
+    ASSERT_TRUE(location.has_value());
+    const auto& centroid = topo.as_info(net.host(peer).as).location;
+    EXPECT_LE(std::abs(location->lat_deg - centroid.lat_deg), 0.5);
+    EXPECT_LE(std::abs(location->lon_deg - centroid.lon_deg), 0.5);
+  }
+}
+
+TEST_F(IpMapFixture, QueryCounterAdvances) {
+  IpMappingService service(topo, {});
+  EXPECT_EQ(service.query_count(), 0u);
+  (void)service.lookup_isp(net.host(peers[0]).ip);
+  (void)service.lookup_location(net.host(peers[1]).ip);
+  EXPECT_EQ(service.query_count(), 2u);
+  EXPECT_EQ(service.database_size(), topo.as_count());
+}
+
+TEST_F(IpMapFixture, UnknownIpMisses) {
+  IpMappingService service(topo, {});
+  IpAddress outside;
+  ASSERT_TRUE(IpAddress::parse("203.0.113.1", outside));
+  EXPECT_FALSE(service.lookup_isp(outside).has_value());
+}
+
+}  // namespace
+}  // namespace uap2p::netinfo

@@ -1,0 +1,185 @@
+#include "overlay/kademlia.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+
+namespace uap2p::overlay::kademlia {
+namespace {
+
+TEST(XorMetric, Properties) {
+  EXPECT_EQ(xor_distance(5, 5), 0u);
+  EXPECT_EQ(xor_distance(0b1010, 0b0110), 0b1100u);
+  // Symmetry and the XOR triangle equality d(a,c) <= d(a,b) ^ ... holds as
+  // d(a,c) = d(a,b) ^ d(b,c); verify unidirectional triangle inequality.
+  const NodeId a = 0x123456789abcdef0, b = 0xfedcba9876543210, c = 0x5a5a5a5a;
+  EXPECT_EQ(xor_distance(a, b), xor_distance(b, a));
+  EXPECT_LE(xor_distance(a, c), xor_distance(a, b) + xor_distance(b, c));
+}
+
+TEST(XorMetric, BucketIndex) {
+  const NodeId self = 0;
+  EXPECT_EQ(bucket_index(self, 1), 0);
+  EXPECT_EQ(bucket_index(self, 2), 1);
+  EXPECT_EQ(bucket_index(self, 3), 1);
+  EXPECT_EQ(bucket_index(self, 0x8000000000000000ull), 63);
+  EXPECT_EQ(bucket_index(0xff, 0xfe), 0);  // differ only in lowest bit
+}
+
+struct KademliaFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 3, 0.3);
+  underlay::Network net{engine, topo, 31};
+  std::vector<PeerId> peers = net.populate(40);
+  netinfo::Oracle oracle{net};
+
+  std::unique_ptr<KademliaSystem> make(BucketPolicy policy) {
+    Config config;
+    config.policy = policy;
+    auto system = std::make_unique<KademliaSystem>(
+        net, peers, config, policy == BucketPolicy::kProximity ? &oracle
+                                                               : nullptr);
+    system->join_all();
+    return system;
+  }
+};
+
+TEST_F(KademliaFixture, NodeIdsUnique) {
+  auto system = make(BucketPolicy::kVanilla);
+  std::set<NodeId> ids;
+  for (const PeerId peer : peers) ids.insert(system->node_id(peer));
+  EXPECT_EQ(ids.size(), peers.size());
+}
+
+TEST_F(KademliaFixture, JoinPopulatesRoutingTables) {
+  auto system = make(BucketPolicy::kVanilla);
+  for (const PeerId peer : peers) {
+    EXPECT_GE(system->routing_table(peer).size(), 3u)
+        << "peer " << peer.value();
+  }
+}
+
+TEST_F(KademliaFixture, LookupFindsGloballyClosestNodes) {
+  auto system = make(BucketPolicy::kVanilla);
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const NodeId target = rng();
+    const LookupResult result = system->lookup(peers[trial], target);
+    EXPECT_TRUE(result.converged);
+    ASSERT_FALSE(result.closest.empty());
+    // Brute-force the true closest node.
+    NodeId best = 0;
+    std::uint64_t best_distance = UINT64_MAX;
+    for (const PeerId peer : peers) {
+      const std::uint64_t distance =
+          xor_distance(system->node_id(peer), target);
+      if (distance < best_distance && peer != peers[trial]) {
+        best_distance = distance;
+        best = system->node_id(peer);
+      }
+    }
+    EXPECT_EQ(result.closest.front().id, best)
+        << "lookup must terminate at the globally closest node";
+  }
+}
+
+TEST_F(KademliaFixture, LookupResultsSortedByDistance) {
+  auto system = make(BucketPolicy::kVanilla);
+  const LookupResult result = system->lookup(peers[0], 0xdeadbeefcafef00dull);
+  for (std::size_t i = 0; i + 1 < result.closest.size(); ++i) {
+    EXPECT_LE(xor_distance(result.closest[i].id, 0xdeadbeefcafef00dull),
+              xor_distance(result.closest[i + 1].id, 0xdeadbeefcafef00dull));
+  }
+}
+
+TEST_F(KademliaFixture, StoreThenFindValue) {
+  auto system = make(BucketPolicy::kVanilla);
+  const Key key = 0x1122334455667788ull;
+  system->store(peers[3], key, "hello-dht");
+  const LookupResult result = system->find_value(peers[17], key);
+  ASSERT_TRUE(result.value.has_value());
+  EXPECT_EQ(*result.value, "hello-dht");
+}
+
+TEST_F(KademliaFixture, FindMissingValueReturnsNothing) {
+  auto system = make(BucketPolicy::kVanilla);
+  const LookupResult result = system->find_value(peers[0], 0x999999ull);
+  EXPECT_FALSE(result.value.has_value());
+}
+
+TEST_F(KademliaFixture, StoreReplicatesToMultipleNodes) {
+  auto system = make(BucketPolicy::kVanilla);
+  const Key key = 0xabcdefull;
+  system->store(peers[0], key, "replicated");
+  // Every peer must be able to retrieve it, whichever replica answers.
+  for (std::size_t i = 5; i < peers.size(); i += 7) {
+    const LookupResult result = system->find_value(peers[i], key);
+    EXPECT_TRUE(result.value.has_value()) << "from peer " << i;
+  }
+}
+
+TEST_F(KademliaFixture, LookupSurvivesOfflineNodes) {
+  auto system = make(BucketPolicy::kVanilla);
+  // Take a third of the network offline.
+  for (std::size_t i = 0; i < peers.size(); i += 3) {
+    if (i != 1) net.set_online(peers[i], false);
+  }
+  const LookupResult result = system->lookup(peers[1], 0x7777777777ull);
+  EXPECT_TRUE(result.converged);
+  EXPECT_FALSE(result.closest.empty());
+  // All returned contacts must be online responders.
+  for (const Contact& contact : result.closest) {
+    EXPECT_TRUE(net.is_online(contact.peer));
+  }
+}
+
+TEST_F(KademliaFixture, ProximityPolicyRaisesIntraAsContacts) {
+  auto vanilla = make(BucketPolicy::kVanilla);
+  auto proximity = make(BucketPolicy::kProximity);
+  // Exercise both with identical lookup workloads to churn the tables.
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    const NodeId target = rng();
+    vanilla->lookup(peers[i % peers.size()], target);
+    proximity->lookup(peers[i % peers.size()], target);
+  }
+  EXPECT_GT(proximity->intra_as_contact_fraction(),
+            vanilla->intra_as_contact_fraction());
+}
+
+TEST_F(KademliaFixture, ProximityLookupsStillCorrect) {
+  // Kaune [17]: proximity must not break routing correctness.
+  auto system = make(BucketPolicy::kProximity);
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    const NodeId target = rng();
+    const LookupResult result = system->lookup(peers[trial * 3], target);
+    EXPECT_TRUE(result.converged);
+    NodeId best = 0;
+    std::uint64_t best_distance = UINT64_MAX;
+    for (const PeerId peer : peers) {
+      const std::uint64_t distance =
+          xor_distance(system->node_id(peer), target);
+      if (distance < best_distance && peer != peers[trial * 3]) {
+        best_distance = distance;
+        best = system->node_id(peer);
+      }
+    }
+    ASSERT_FALSE(result.closest.empty());
+    EXPECT_EQ(result.closest.front().id, best);
+  }
+}
+
+TEST_F(KademliaFixture, LookupCountsMessagesAndHops) {
+  auto system = make(BucketPolicy::kVanilla);
+  const LookupResult result = system->lookup(peers[2], 0x4242424242ull);
+  EXPECT_GT(result.messages_sent, 0u);
+  EXPECT_GT(result.hops, 0u);
+  EXPECT_GT(result.duration_ms, 0.0);
+  EXPECT_GT(system->total_rpcs(), 0u);
+}
+
+}  // namespace
+}  // namespace uap2p::overlay::kademlia

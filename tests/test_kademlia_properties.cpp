@@ -1,0 +1,145 @@
+// Parameterized Kademlia sweep: lookup correctness and cost bounds must
+// hold across (k, alpha) combinations and population sizes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.hpp"
+#include "overlay/kademlia.hpp"
+#include "sim/engine.hpp"
+
+namespace uap2p::overlay::kademlia {
+namespace {
+
+struct SweepParam {
+  std::size_t k;
+  std::size_t alpha;
+  std::size_t peers;
+};
+
+class KademliaSweepP : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::mesh(6, 0.4);
+  underlay::Network net{engine, topo, 211};
+  std::vector<PeerId> peers = net.populate(GetParam().peers);
+  std::unique_ptr<KademliaSystem> dht;
+
+  void SetUp() override {
+    Config config;
+    config.k = GetParam().k;
+    config.alpha = GetParam().alpha;
+    dht = std::make_unique<KademliaSystem>(net, peers, config);
+    dht->join_all();
+  }
+
+  NodeId brute_force_closest(NodeId target, PeerId exclude) {
+    NodeId best = 0;
+    std::uint64_t best_distance = UINT64_MAX;
+    for (const PeerId peer : peers) {
+      if (peer == exclude) continue;
+      const std::uint64_t d = xor_distance(dht->node_id(peer), target);
+      if (d < best_distance) {
+        best_distance = d;
+        best = dht->node_id(peer);
+      }
+    }
+    return best;
+  }
+};
+
+TEST_P(KademliaSweepP, LookupsFindTheGlobalClosest) {
+  Rng rng(17);
+  for (int trial = 0; trial < 6; ++trial) {
+    const PeerId origin = peers[rng.uniform(peers.size())];
+    const NodeId target = rng();
+    const LookupResult result = dht->lookup(origin, target);
+    ASSERT_TRUE(result.converged);
+    ASSERT_FALSE(result.closest.empty());
+    EXPECT_EQ(result.closest.front().id, brute_force_closest(target, origin))
+        << "k=" << GetParam().k << " alpha=" << GetParam().alpha;
+  }
+}
+
+TEST_P(KademliaSweepP, LookupCostIsLogarithmicish) {
+  Rng rng(19);
+  uap2p::RunningStats messages;
+  for (int trial = 0; trial < 10; ++trial) {
+    const LookupResult result =
+        dht->lookup(peers[rng.uniform(peers.size())], rng());
+    messages.add(double(result.messages_sent));
+  }
+  // Generous bound: a lookup must not degenerate to flooding the network.
+  EXPECT_LT(messages.mean(), double(peers.size()) / 2.0);
+  EXPECT_GE(messages.mean(), 1.0);
+}
+
+TEST_P(KademliaSweepP, StoreFindRoundTripAcrossParameters) {
+  const Key key = 0x5151515151ull;
+  dht->store(peers[0], key, "sweep-value");
+  const auto result = dht->find_value(peers[peers.size() - 1], key);
+  ASSERT_TRUE(result.value.has_value());
+  EXPECT_EQ(*result.value, "sweep-value");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KademliaSweepP,
+    ::testing::Values(SweepParam{4, 1, 30}, SweepParam{4, 3, 30},
+                      SweepParam{8, 3, 30}, SweepParam{8, 3, 60},
+                      SweepParam{16, 5, 60}, SweepParam{2, 2, 24}));
+
+TEST(KademliaChurn, LookupsSucceedWhileNodesDie) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::mesh(5, 0.4);
+  underlay::Network net(engine, topo, 223);
+  const auto peers = net.populate(50);
+  KademliaSystem dht(net, peers, {});
+  dht.join_all();
+  Rng rng(23);
+  // Progressive die-off: kill 10% before each lookup batch.
+  std::vector<PeerId> alive = peers;
+  for (int wave = 0; wave < 4; ++wave) {
+    for (int kills = 0; kills < 5 && alive.size() > 10; ++kills) {
+      const std::size_t victim = rng.uniform(alive.size());
+      net.set_online(alive[victim], false);
+      alive.erase(alive.begin() + std::ptrdiff_t(victim));
+    }
+    for (int trial = 0; trial < 3; ++trial) {
+      const PeerId origin = alive[rng.uniform(alive.size())];
+      const LookupResult result = dht.lookup(origin, rng());
+      EXPECT_TRUE(result.converged);
+      for (const Contact& contact : result.closest) {
+        EXPECT_TRUE(net.is_online(contact.peer));
+      }
+    }
+  }
+}
+
+TEST(KademliaInvariants, BucketsNeverExceedK) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::mesh(4, 0.5);
+  underlay::Network net(engine, topo, 227);
+  const auto peers = net.populate(40);
+  Config config;
+  config.k = 4;
+  KademliaSystem dht(net, peers, config);
+  dht.join_all();
+  Rng rng(29);
+  for (int i = 0; i < 20; ++i) {
+    dht.lookup(peers[rng.uniform(peers.size())], rng());
+  }
+  for (const PeerId peer : peers) {
+    const auto table = dht.routing_table(peer);
+    // Bucket size bound implies a global bound: 64 buckets x k.
+    EXPECT_LE(table.size(), 64u * config.k);
+    // No self-references and no duplicates.
+    std::set<NodeId> seen;
+    for (const Contact& contact : table) {
+      EXPECT_NE(contact.id, dht.node_id(peer));
+      EXPECT_TRUE(seen.insert(contact.id).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uap2p::overlay::kademlia

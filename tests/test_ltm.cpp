@@ -1,0 +1,76 @@
+// Location-aware topology matching (LTM [21]) on the Gnutella overlay.
+#include <gtest/gtest.h>
+
+#include "overlay/gnutella.hpp"
+#include "sim/engine.hpp"
+
+namespace uap2p::overlay::gnutella {
+namespace {
+
+struct LtmFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 4, 0.3);
+  underlay::Network net{engine, topo, 89};
+  std::vector<PeerId> peers = net.populate(90);
+  GnutellaSystem system{net, peers,
+                        testlab_roles(peers.size(), 2, topo.as_count()),
+                        Config{}};
+  netinfo::PingerConfig ping_config{.jitter_sigma = 0.0};
+  netinfo::Pinger pinger{net, Rng(3), ping_config};
+
+  LtmFixture() { system.bootstrap(); }
+};
+
+TEST_F(LtmFixture, RoundsReduceMeanEdgeRtt) {
+  const double before = system.mean_edge_rtt_ms();
+  std::size_t total_rewired = 0;
+  for (int round = 0; round < 6; ++round) {
+    total_rewired += system.ltm_round(pinger);
+  }
+  EXPECT_GT(total_rewired, 0u);
+  EXPECT_LT(system.mean_edge_rtt_ms(), before);
+}
+
+TEST_F(LtmFixture, ConvergesToNoMoreRewires) {
+  for (int round = 0; round < 30; ++round) {
+    if (system.ltm_round(pinger) == 0) break;
+  }
+  // After convergence-ish, further rounds do little.
+  EXPECT_LE(system.ltm_round(pinger), 2u);
+}
+
+TEST_F(LtmFixture, SearchStillWorksAfterOptimization) {
+  for (int round = 0; round < 6; ++round) system.ltm_round(pinger);
+  const ContentId content(9);
+  for (std::size_t i = 0; i < peers.size(); i += 10) {
+    system.share(peers[i], content);
+  }
+  std::size_t found = 0;
+  for (std::size_t i = 1; i < peers.size(); i += 9) {
+    found += system.search(peers[i], content, false).found;
+  }
+  EXPECT_GE(found, 8u);
+}
+
+TEST_F(LtmFixture, MeasurementOverheadIsPaid) {
+  const auto before = pinger.probes_sent();
+  system.ltm_round(pinger);
+  EXPECT_GT(pinger.probes_sent(), before);
+}
+
+TEST_F(LtmFixture, GraphStaysSymmetric) {
+  for (int round = 0; round < 5; ++round) system.ltm_round(pinger);
+  for (const PeerId peer : peers) {
+    if (system.role_of(peer) != NodeRole::kUltrapeer) continue;
+    for (const PeerId other : system.neighbors_of(peer)) {
+      if (system.role_of(other) != NodeRole::kUltrapeer) continue;
+      const auto back = system.neighbors_of(other);
+      EXPECT_NE(std::find(back.begin(), back.end(), peer), back.end())
+          << "edge " << peer.value() << "<->" << other.value()
+          << " became one-sided";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uap2p::overlay::gnutella

@@ -1,0 +1,118 @@
+#include "netinfo/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace uap2p::netinfo {
+namespace {
+
+TEST(Matrix, IdentityAndMultiply) {
+  Matrix id = Matrix::identity(3);
+  Matrix m(3, 3);
+  int value = 1;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = value++;
+  const Matrix product = id * m;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(product(r, c), m(r, c));
+}
+
+TEST(Matrix, TransposeTimesVector) {
+  Matrix m(2, 3);
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  const auto y = m.transpose_times({1.0, 1.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_DOUBLE_EQ(y[2], 9.0);
+}
+
+TEST(Matrix, TransposedShape) {
+  Matrix m(2, 4, 1.5);
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 4u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(3, 1), 1.5);
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  Matrix m(3, 3);
+  m(0, 0) = 2.0;
+  m(1, 1) = -5.0;
+  m(2, 2) = 1.0;
+  const EigenResult eigen = symmetric_eigen(m);
+  // Sorted by |eigenvalue|: -5, 2, 1.
+  EXPECT_NEAR(eigen.eigenvalues[0], -5.0, 1e-12);
+  EXPECT_NEAR(eigen.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eigen.eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(SymmetricEigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/sqrt2, (1,-1)/sqrt2.
+  Matrix m(2, 2);
+  m(0, 0) = 2; m(0, 1) = 1; m(1, 0) = 1; m(1, 1) = 2;
+  const EigenResult eigen = symmetric_eigen(m);
+  EXPECT_NEAR(eigen.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eigen.eigenvalues[1], 1.0, 1e-12);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(eigen.eigenvectors(0, 0)), inv_sqrt2, 1e-10);
+  EXPECT_NEAR(std::abs(eigen.eigenvectors(1, 0)), inv_sqrt2, 1e-10);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix) {
+  // A = V diag(lambda) V^T must reproduce the input.
+  Rng rng(5);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r; c < n; ++c) {
+      a(r, c) = a(c, r) = rng.uniform_real(-3.0, 3.0);
+    }
+  }
+  const EigenResult eigen = symmetric_eigen(a);
+  Matrix reconstructed(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += eigen.eigenvectors(r, k) * eigen.eigenvalues[k] *
+               eigen.eigenvectors(c, k);
+      }
+      reconstructed(r, c) = acc;
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      EXPECT_NEAR(reconstructed(r, c), a(r, c), 1e-8);
+}
+
+TEST(SymmetricEigen, EigenvectorsOrthonormal) {
+  Rng rng(9);
+  const std::size_t n = 5;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r; c < n; ++c) a(r, c) = a(c, r) = rng.uniform01();
+  const EigenResult eigen = symmetric_eigen(a);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        dot += eigen.eigenvectors(k, i) * eigen.eigenvectors(k, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(L2Distance, BasicProperties) {
+  EXPECT_DOUBLE_EQ(l2_distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(l2_distance({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(l2_distance({-1}, {1}), 2.0);
+}
+
+}  // namespace
+}  // namespace uap2p::netinfo

@@ -1,0 +1,120 @@
+#include "underlay/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netinfo/ipmap.hpp"
+#include "sim/engine.hpp"
+
+namespace uap2p::underlay {
+namespace {
+
+struct MobilityFixture : ::testing::Test {
+  sim::Engine engine;
+  AsTopology topo = AsTopology::transit_stub(2, 4, 0.3);
+  Network net{engine, topo, 29};
+  std::vector<PeerId> peers = net.populate(20);
+};
+
+TEST_F(MobilityFixture, MoveHostUpdatesLocationAndAttachment) {
+  const PeerId peer = peers[0];
+  const GeoPoint far{58.0, 25.0};
+  const RouterId before = net.host(peer).attachment;
+  net.move_host(peer, far);
+  EXPECT_DOUBLE_EQ(net.host(peer).location.lat_deg, 58.0);
+  // Attachment must be the geographically nearest router.
+  const RouterId after = net.host(peer).attachment;
+  const double chosen = haversine_km(topo.router(after).location, far);
+  for (const auto& router : topo.routers()) {
+    EXPECT_LE(chosen, haversine_km(router.location, far) + 1e-9);
+  }
+  (void)before;
+}
+
+TEST_F(MobilityFixture, CrossAsMoveReassignsIp) {
+  const PeerId peer = peers[0];
+  const AsId original_as = net.host(peer).as;
+  // Find a target right on top of a router in a different AS.
+  GeoPoint target{};
+  bool found = false;
+  for (const auto& router : topo.routers()) {
+    if (topo.as_of(router.id) != original_as) {
+      target = router.location;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  net.move_host(peer, target);
+  EXPECT_NE(net.host(peer).as, original_as);
+  const auto& new_as = topo.as_info(net.host(peer).as);
+  EXPECT_EQ(net.host(peer).ip.bits & 0xFFFF0000, new_as.prefix);
+}
+
+TEST_F(MobilityFixture, MoveInvalidatesIpMappingCache) {
+  // The §6 mobility problem: a database lookup made before the move
+  // resolves the old ISP.
+  netinfo::IpMappingService service(topo, {});
+  const PeerId peer = peers[0];
+  const IpAddress old_ip = net.host(peer).ip;
+  const auto before = service.lookup_isp(old_ip);
+  GeoPoint target{};
+  for (const auto& router : topo.routers()) {
+    if (topo.as_of(router.id) != net.host(peer).as) {
+      target = router.location;
+      break;
+    }
+  }
+  net.move_host(peer, target);
+  const auto after = service.lookup_isp(net.host(peer).ip);
+  ASSERT_TRUE(before && after);
+  EXPECT_NE(*before, *after);
+  // The stale IP still resolves to the old ISP — cached info is wrong now.
+  EXPECT_EQ(*service.lookup_isp(old_ip), *before);
+}
+
+TEST_F(MobilityFixture, ProcessMovesPeersOverTime) {
+  MobilityConfig config;
+  config.mean_pause_ms = sim::minutes(1);
+  config.speed_kmh = 900.0;  // fast movers so several legs finish
+  MobilityProcess mobility(engine, net, config);
+  int callbacks = 0;
+  mobility.on_move([&](PeerId) { ++callbacks; });
+  for (const PeerId peer : peers) mobility.add_peer(peer);
+  engine.run_until(sim::hours(12));
+  EXPECT_GT(mobility.completed_moves(), 20u);
+  EXPECT_EQ(int(mobility.completed_moves()), callbacks);
+}
+
+TEST_F(MobilityFixture, TravelTimeScalesWithDistance) {
+  // A 60 km/h mover cannot complete a 600 km leg in under 10 hours, so
+  // after 1 hour of sim time no move should have completed for a peer
+  // whose first waypoint is far; statistically check total moves are few.
+  MobilityConfig config;
+  config.mean_pause_ms = sim::seconds(1);  // move almost immediately
+  config.speed_kmh = 60.0;
+  MobilityProcess mobility(engine, net, config);
+  for (const PeerId peer : peers) mobility.add_peer(peer);
+  engine.run_until(sim::minutes(30));
+  // Mean leg is several hundred km: under 30 min nearly nothing finishes.
+  EXPECT_LE(mobility.completed_moves(), 3u);
+}
+
+TEST_F(MobilityFixture, StopHaltsMovement) {
+  MobilityProcess mobility(engine, net);
+  for (const PeerId peer : peers) mobility.add_peer(peer);
+  mobility.stop();
+  engine.run_until(sim::hours(24));
+  EXPECT_EQ(mobility.completed_moves(), 0u);
+}
+
+TEST_F(MobilityFixture, RttChangesAfterMove) {
+  const PeerId a = peers[0];
+  const PeerId b = peers[1];
+  const double before = net.rtt_ms(a, b);
+  net.move_host(a, GeoPoint{59.5, 29.5});
+  const double after = net.rtt_ms(a, b);
+  EXPECT_NE(before, after);
+}
+
+}  // namespace
+}  // namespace uap2p::underlay

@@ -1,0 +1,231 @@
+#include "underlay/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace uap2p::underlay {
+namespace {
+
+struct NetworkFixture : ::testing::Test {
+  sim::Engine engine;
+  AsTopology topo = AsTopology::ring(4);
+  Network net{engine, topo, /*seed=*/5};
+};
+
+TEST_F(NetworkFixture, HostsGetIpsInsideTheirAsPrefix) {
+  const PeerId a = net.add_host_in_as(AsId(0));
+  const PeerId b = net.add_host_in_as(AsId(2));
+  const auto& as0 = topo.as_info(AsId(0));
+  const auto& as2 = topo.as_info(AsId(2));
+  EXPECT_EQ(net.host(a).ip.bits & 0xFFFF0000, as0.prefix);
+  EXPECT_EQ(net.host(b).ip.bits & 0xFFFF0000, as2.prefix);
+  EXPECT_NE(net.host(a).ip, net.host(b).ip);
+}
+
+TEST_F(NetworkFixture, HostIpsUniqueWithinAs) {
+  const PeerId a = net.add_host_in_as(AsId(1));
+  const PeerId b = net.add_host_in_as(AsId(1));
+  const PeerId c = net.add_host_in_as(AsId(1));
+  EXPECT_NE(net.host(a).ip, net.host(b).ip);
+  EXPECT_NE(net.host(b).ip, net.host(c).ip);
+}
+
+TEST_F(NetworkFixture, PopulateRoundRobinsAses) {
+  const auto peers = net.populate(8);
+  ASSERT_EQ(peers.size(), 8u);
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    EXPECT_EQ(net.host(peers[i]).as, AsId(std::uint32_t(i % 4)));
+  }
+}
+
+TEST_F(NetworkFixture, MessageDeliveredWithPositiveLatency) {
+  const PeerId a = net.add_host_in_as(AsId(0));
+  const PeerId b = net.add_host_in_as(AsId(1));
+  bool delivered = false;
+  double at = -1.0;
+  net.set_handler(b, [&](const Message& msg) {
+    delivered = true;
+    at = engine.now();
+    EXPECT_EQ(msg.src, a);
+    EXPECT_EQ(msg.type, 7);
+  });
+  Message msg;
+  msg.src = a;
+  msg.dst = b;
+  msg.type = 7;
+  msg.size_bytes = 100;
+  ASSERT_TRUE(net.send(std::move(msg)));
+  engine.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_GT(at, 0.0);
+}
+
+TEST_F(NetworkFixture, DeliveryLatencyMatchesRttHalf) {
+  const PeerId a = net.add_host_in_as(AsId(0));
+  const PeerId b = net.add_host_in_as(AsId(2));
+  double at = -1.0;
+  net.set_handler(b, [&](const Message&) { at = engine.now(); });
+  Message msg;
+  msg.src = a;
+  msg.dst = b;
+  msg.size_bytes = 0;  // no transmission delay
+  net.send(std::move(msg));
+  engine.run();
+  // One-way = rtt/2 for a zero-size message on symmetric paths.
+  EXPECT_NEAR(at, net.rtt_ms(a, b) / 2.0, 1e-6);
+}
+
+TEST_F(NetworkFixture, TransmissionDelayScalesWithSize) {
+  HostResources slow;
+  slow.upload_mbps = 1.0;  // 1 Mbit/s -> 8 ms per KB
+  const PeerId a = net.add_host(topo.gateway_of(AsId(0)), slow);
+  const PeerId b = net.add_host(topo.gateway_of(AsId(0)));
+  double small_at = -1, big_at = -1;
+  net.set_handler(b, [&](const Message& msg) {
+    (msg.size_bytes < 1000 ? small_at : big_at) = engine.now();
+  });
+  Message small;
+  small.src = a; small.dst = b; small.size_bytes = 100;
+  Message big;
+  big.src = a; big.dst = b; big.size_bytes = 1'000'000;
+  net.send(std::move(small));
+  net.send(std::move(big));
+  engine.run();
+  // 1 MB at 1 Mbps = 8 s of serialization.
+  EXPECT_GT(big_at - small_at, 7000.0);
+}
+
+TEST_F(NetworkFixture, OfflinePeersDropTraffic) {
+  const PeerId a = net.add_host_in_as(AsId(0));
+  const PeerId b = net.add_host_in_as(AsId(1));
+  net.set_online(b, false);
+  Message msg;
+  msg.src = a;
+  msg.dst = b;
+  EXPECT_FALSE(net.send(std::move(msg)));
+  EXPECT_EQ(net.dropped_count(), 1u);
+
+  net.set_online(b, true);
+  net.set_online(a, false);
+  Message msg2;
+  msg2.src = a;
+  msg2.dst = b;
+  EXPECT_FALSE(net.send(std::move(msg2)));
+}
+
+TEST_F(NetworkFixture, GoingOfflineMidFlightDropsDelivery) {
+  const PeerId a = net.add_host_in_as(AsId(0));
+  const PeerId b = net.add_host_in_as(AsId(1));
+  bool delivered = false;
+  net.set_handler(b, [&](const Message&) { delivered = true; });
+  Message msg;
+  msg.src = a;
+  msg.dst = b;
+  ASSERT_TRUE(net.send(std::move(msg)));
+  net.set_online(b, false);  // goes offline before delivery fires
+  engine.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.dropped_count(), 1u);
+}
+
+TEST_F(NetworkFixture, TrafficAccountingIntraVsInter) {
+  const PeerId a0 = net.add_host_in_as(AsId(0));
+  const PeerId b0 = net.add_host_in_as(AsId(0));
+  const PeerId c1 = net.add_host_in_as(AsId(1));
+  Message intra;
+  intra.src = a0; intra.dst = b0; intra.size_bytes = 500;
+  Message inter;
+  inter.src = a0; inter.dst = c1; inter.size_bytes = 1500;
+  net.send(std::move(intra));
+  net.send(std::move(inter));
+  EXPECT_EQ(net.traffic().total_bytes(), 2000u);
+  EXPECT_EQ(net.traffic().intra_as_bytes(), 500u);
+  EXPECT_NEAR(net.traffic().intra_as_fraction(), 0.25, 1e-9);
+}
+
+TEST_F(NetworkFixture, MultipleHandlersAllInvoked) {
+  const PeerId a = net.add_host_in_as(AsId(0));
+  const PeerId b = net.add_host_in_as(AsId(0));
+  int calls = 0;
+  net.add_handler(b, [&](const Message&) { ++calls; });
+  net.add_handler(b, [&](const Message&) { ++calls; });
+  Message msg;
+  msg.src = a;
+  msg.dst = b;
+  net.send(std::move(msg));
+  engine.run();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_F(NetworkFixture, SetHandlerReplacesAll) {
+  const PeerId a = net.add_host_in_as(AsId(0));
+  const PeerId b = net.add_host_in_as(AsId(0));
+  int old_calls = 0, new_calls = 0;
+  net.add_handler(b, [&](const Message&) { ++old_calls; });
+  net.set_handler(b, [&](const Message&) { ++new_calls; });
+  Message msg;
+  msg.src = a;
+  msg.dst = b;
+  net.send(std::move(msg));
+  engine.run();
+  EXPECT_EQ(old_calls, 0);
+  EXPECT_EQ(new_calls, 1);
+}
+
+TEST_F(NetworkFixture, DeliveredCountByType) {
+  const PeerId a = net.add_host_in_as(AsId(0));
+  const PeerId b = net.add_host_in_as(AsId(0));
+  for (int i = 0; i < 3; ++i) {
+    Message msg;
+    msg.src = a;
+    msg.dst = b;
+    msg.type = 42;
+    net.send(std::move(msg));
+  }
+  engine.run();
+  EXPECT_EQ(net.delivered_count(42), 3u);
+  EXPECT_EQ(net.delivered_count(43), 0u);
+}
+
+TEST_F(NetworkFixture, RttSymmetricAndPositive) {
+  const auto peers = net.populate(6);
+  for (const PeerId a : peers) {
+    for (const PeerId b : peers) {
+      if (a == b) continue;
+      EXPECT_GT(net.rtt_ms(a, b), 0.0);
+      EXPECT_NEAR(net.rtt_ms(a, b), net.rtt_ms(b, a), 1e-9);
+    }
+  }
+}
+
+TEST(HostResources, CapacityScoreMonotoneInBandwidth) {
+  HostResources weak, strong;
+  weak.upload_mbps = 0.5;
+  strong.upload_mbps = 50.0;
+  EXPECT_GT(strong.capacity_score(), weak.capacity_score());
+}
+
+TEST(HostResources, CapacityScoreMonotoneInUptime) {
+  HostResources brief, steady;
+  brief.expected_online_ms = sim::minutes(10);
+  steady.expected_online_ms = sim::hours(20);
+  EXPECT_GT(steady.capacity_score(), brief.capacity_score());
+}
+
+TEST(HostResources, SampleCoversClasses) {
+  Rng rng(3);
+  double min_up = 1e9, max_up = 0;
+  for (int i = 0; i < 500; ++i) {
+    const HostResources res = sample_resources(rng);
+    min_up = std::min(min_up, res.upload_mbps);
+    max_up = std::max(max_up, res.upload_mbps);
+    EXPECT_GT(res.upload_mbps, 0.0);
+    EXPECT_GT(res.expected_online_ms, 0.0);
+  }
+  EXPECT_LT(min_up, 2.0);   // DSL class present
+  EXPECT_GT(max_up, 20.0);  // campus class present
+}
+
+}  // namespace
+}  // namespace uap2p::underlay

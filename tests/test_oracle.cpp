@@ -1,0 +1,168 @@
+#include "netinfo/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace uap2p::netinfo {
+namespace {
+
+struct OracleFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::star(5);
+  underlay::Network net{engine, topo, 11};
+  // 3 peers per AS, round-robin: peer i is in AS i % 5.
+  std::vector<PeerId> peers = net.populate(15);
+
+  [[nodiscard]] std::vector<PeerId> all_but(PeerId querier) const {
+    std::vector<PeerId> result;
+    for (const PeerId peer : peers) {
+      if (peer != querier) result.push_back(peer);
+    }
+    return result;
+  }
+};
+
+TEST_F(OracleFixture, SameAsCandidatesRankFirst) {
+  Oracle oracle(net, {});
+  const PeerId querier = peers[1];  // AS 1
+  const auto ranked = oracle.rank(querier, all_but(querier));
+  ASSERT_EQ(ranked.size(), peers.size() - 1);
+  // First two must be the other AS-1 peers (peers 6 and 11).
+  EXPECT_EQ(net.host(ranked[0]).as, net.host(querier).as);
+  EXPECT_EQ(net.host(ranked[1]).as, net.host(querier).as);
+  EXPECT_NE(net.host(ranked[2]).as, net.host(querier).as);
+}
+
+TEST_F(OracleFixture, RankIsMonotoneInAsHops) {
+  Oracle oracle(net, {});
+  const PeerId querier = peers[2];
+  const auto ranked = oracle.rank(querier, all_but(querier));
+  for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
+    EXPECT_LE(oracle.as_hops(querier, ranked[i]),
+              oracle.as_hops(querier, ranked[i + 1]));
+  }
+}
+
+TEST_F(OracleFixture, StarHubIsOneHopFromEveryone) {
+  Oracle oracle(net, {});
+  const PeerId hub_peer = peers[0];   // AS 0 = hub
+  const PeerId leaf_peer = peers[1];  // AS 1
+  EXPECT_EQ(oracle.as_hops(hub_peer, leaf_peer), 1u);
+  // Two satellite ASes are 2 hops apart via the hub.
+  EXPECT_EQ(oracle.as_hops(peers[1], peers[2]), 2u);
+  EXPECT_EQ(oracle.as_hops(peers[1], peers[6]), 0u);  // same AS
+}
+
+TEST_F(OracleFixture, OfflineCandidatesDropped) {
+  Oracle oracle(net, {});
+  const PeerId querier = peers[0];
+  net.set_online(peers[5], false);
+  const auto ranked = oracle.rank(querier, all_but(querier));
+  EXPECT_EQ(ranked.size(), peers.size() - 2);
+  for (const PeerId peer : ranked) EXPECT_NE(peer, peers[5]);
+}
+
+TEST_F(OracleFixture, SelfExcluded) {
+  Oracle oracle(net, {});
+  const PeerId querier = peers[3];
+  std::vector<PeerId> with_self = all_but(querier);
+  with_self.push_back(querier);
+  const auto ranked = oracle.rank(querier, with_self);
+  for (const PeerId peer : ranked) EXPECT_NE(peer, querier);
+}
+
+TEST_F(OracleFixture, ListSizeCapEnforced) {
+  OracleConfig config;
+  config.max_list_size = 5;
+  Oracle oracle(net, config);
+  const auto ranked = oracle.rank(peers[0], all_but(peers[0]));
+  EXPECT_LE(ranked.size(), 5u);
+}
+
+TEST_F(OracleFixture, BestPrefersSameAs) {
+  Oracle oracle(net, {});
+  const PeerId querier = peers[4];  // AS 4; same-AS peers: 9 and 14
+  const PeerId best = oracle.best(querier, all_but(querier));
+  EXPECT_EQ(net.host(best).as, net.host(querier).as);
+}
+
+TEST_F(OracleFixture, BestReturnsInvalidWhenNoCandidates) {
+  Oracle oracle(net, {});
+  const PeerId best = oracle.best(peers[0], {});
+  EXPECT_FALSE(best.is_valid());
+}
+
+TEST_F(OracleFixture, QueryAccountingAdvances) {
+  Oracle oracle(net, {});
+  EXPECT_EQ(oracle.query_count(), 0u);
+  (void)oracle.rank(peers[0], all_but(peers[0]));
+  (void)oracle.best(peers[1], all_but(peers[1]));
+  EXPECT_EQ(oracle.query_count(), 2u);
+  EXPECT_GT(oracle.ranked_candidates(), 0u);
+}
+
+TEST_F(OracleFixture, TieShufflingPreservesRankGroups) {
+  // With shuffling on, repeated queries may reorder within a hop class but
+  // never across classes.
+  Oracle oracle(net, {});
+  const PeerId querier = peers[1];
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto ranked = oracle.rank(querier, all_but(querier));
+    std::size_t last_hops = 0;
+    for (const PeerId peer : ranked) {
+      const std::size_t hops = oracle.as_hops(querier, peer);
+      EXPECT_GE(hops, last_hops);
+      last_hops = hops;
+    }
+  }
+}
+
+TEST_F(OracleFixture, DeterministicWithoutShuffle) {
+  OracleConfig config;
+  config.shuffle_ties = false;
+  Oracle oracle(net, config);
+  const auto first = oracle.rank(peers[0], all_but(peers[0]));
+  const auto second = oracle.rank(peers[0], all_but(peers[0]));
+  EXPECT_EQ(first, second);
+}
+
+
+TEST_F(OracleFixture, DishonestOracleInvertsRankings) {
+  // §6 "ISP Internal Information": a malicious/self-interested oracle.
+  OracleConfig config;
+  config.dishonest_rate = 1.0;
+  config.shuffle_ties = false;
+  Oracle dishonest(net, config);
+  const PeerId querier = peers[1];
+  const auto ranked = dishonest.rank(querier, all_but(querier));
+  ASSERT_FALSE(ranked.empty());
+  // The worst candidate (max AS hops) now comes first.
+  std::size_t max_hops = 0;
+  for (const PeerId peer : ranked) {
+    max_hops = std::max(max_hops, dishonest.as_hops(querier, peer));
+  }
+  EXPECT_EQ(dishonest.as_hops(querier, ranked.front()), max_hops);
+  EXPECT_EQ(dishonest.as_hops(querier, ranked.back()), 0u);  // same AS last
+}
+
+TEST_F(OracleFixture, PartiallyDishonestOracleSometimesLies) {
+  OracleConfig config;
+  config.dishonest_rate = 0.5;
+  Oracle sometimes(net, config);
+  const PeerId querier = peers[2];
+  int honest = 0, dishonest = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto ranked = sometimes.rank(querier, all_but(querier));
+    if (sometimes.as_hops(querier, ranked.front()) == 0) {
+      ++honest;
+    } else {
+      ++dishonest;
+    }
+  }
+  EXPECT_GT(honest, 5);
+  EXPECT_GT(dishonest, 5);
+}
+
+}  // namespace
+}  // namespace uap2p::netinfo

@@ -1,0 +1,97 @@
+// Parameter sweeps over the remaining overlays: super-peer counts,
+// BitTorrent piece granularity, geo zone capacity. Invariants must hold
+// across the whole configuration space, not just the defaults.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "overlay/bittorrent.hpp"
+#include "overlay/geo_overlay.hpp"
+#include "overlay/superpeer.hpp"
+#include "sim/engine.hpp"
+
+namespace uap2p {
+namespace {
+
+class SuperpeerCountP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SuperpeerCountP, ElectionAndSearchInvariants) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 4, 0.3);
+  underlay::Network net(engine, topo, 901);
+  const auto peers = net.populate(60);
+  overlay::superpeer::Config config;
+  config.superpeer_count = GetParam();
+  overlay::superpeer::SuperPeerOverlay overlay(net, peers, config);
+  ASSERT_EQ(overlay.superpeers().size(), GetParam());
+  // Load covers all clients regardless of superpeer count.
+  const auto load = overlay.load_distribution();
+  EXPECT_EQ(std::accumulate(load.begin(), load.end(), std::size_t{0}),
+            peers.size() - GetParam());
+  // A published item is findable from an arbitrary client.
+  overlay.publish(peers[31], ContentId(1));
+  EXPECT_TRUE(overlay.search(peers[17], ContentId(1)).found);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SuperpeerCountP,
+                         ::testing::Values(1, 2, 8, 20));
+
+struct BtParam {
+  std::size_t pieces;
+  std::size_t neighbors;
+  std::size_t slots;
+};
+
+class BtSweepP : public ::testing::TestWithParam<BtParam> {};
+
+TEST_P(BtSweepP, SwarmCompletesAcrossConfigurations) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::mesh(6, 0.4);
+  underlay::Network net(engine, topo, 907);
+  const auto peers = net.populate(40);
+  overlay::bittorrent::Config config;
+  config.piece_count = GetParam().pieces;
+  config.max_neighbors = GetParam().neighbors;
+  config.upload_slots = GetParam().slots;
+  overlay::bittorrent::BitTorrentSwarm swarm(net, peers, 2, config);
+  swarm.build_neighborhoods();
+  const std::size_t rounds = swarm.run(4000);
+  EXPECT_LT(rounds, 4000u)
+      << "pieces=" << GetParam().pieces << " nbrs=" << GetParam().neighbors;
+  EXPECT_EQ(swarm.stats().completed, peers.size() - 2);
+  EXPECT_EQ(swarm.stats().pieces_transferred,
+            (peers.size() - 2) * GetParam().pieces);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, BtSweepP,
+                         ::testing::Values(BtParam{8, 4, 2},
+                                           BtParam{32, 8, 3},
+                                           BtParam{64, 6, 2},
+                                           BtParam{16, 12, 5}));
+
+class GeoCapacityP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GeoCapacityP, FullRetrievabilityAtAnyZoneCapacity) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::mesh(5, 0.4);
+  underlay::Network net(engine, topo, 911);
+  const auto peers = net.populate(70);
+  overlay::geo::GeoConfig config;
+  config.max_zone_peers = GetParam();
+  overlay::geo::GeoOverlay overlay(net, peers, config);
+  const overlay::geo::GeoRect rect{44.0, 56.0, -4.0, 24.0};
+  const auto result = overlay.area_search(peers[3], rect);
+  EXPECT_DOUBLE_EQ(result.completeness(), 1.0)
+      << "max_zone_peers=" << GetParam()
+      << " zones=" << overlay.zone_count();
+  // Smaller capacity => deeper tree.
+  if (GetParam() <= 2) {
+    EXPECT_GT(overlay.tree_depth(), 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, GeoCapacityP,
+                         ::testing::Values(2, 4, 16, 64));
+
+}  // namespace
+}  // namespace uap2p

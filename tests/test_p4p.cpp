@@ -1,0 +1,139 @@
+#include "netinfo/p4p.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/engine.hpp"
+
+namespace uap2p::netinfo {
+namespace {
+
+struct P4pFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 4, 0.0);
+  underlay::Network net{engine, topo, 19};
+  std::vector<PeerId> peers = net.populate(40);
+  ITracker itracker{net};
+};
+
+TEST_F(P4pFixture, PidsAreStableAndPartitionByAs) {
+  for (const PeerId a : peers) {
+    for (const PeerId b : peers) {
+      const bool same_as = net.host(a).as == net.host(b).as;
+      EXPECT_EQ(itracker.pid_of(a) == itracker.pid_of(b), same_as);
+    }
+  }
+}
+
+TEST_F(P4pFixture, PidsAreOpaque) {
+  // PID values must not simply equal AS indices (the ISP hides topology).
+  std::size_t identical = 0;
+  for (const auto& as : topo.ases()) {
+    const PeerId sample = [&] {
+      for (const PeerId peer : peers) {
+        if (net.host(peer).as == as.id) return peer;
+      }
+      return PeerId::invalid();
+    }();
+    if (sample.is_valid() && itracker.pid_of(sample) == as.id.value())
+      ++identical;
+  }
+  EXPECT_LT(identical, topo.as_count());
+}
+
+TEST_F(P4pFixture, IntraPidDistanceIsMinimal) {
+  const Pid pid = itracker.pid_of(peers[0]);
+  EXPECT_DOUBLE_EQ(itracker.p_distance(pid, pid), 0.0);
+  for (const PeerId other : peers) {
+    const Pid other_pid = itracker.pid_of(other);
+    if (other_pid == pid) continue;
+    EXPECT_GT(itracker.p_distance(pid, other_pid), 0.0);
+  }
+}
+
+TEST_F(P4pFixture, TransitCostsDominatePeering) {
+  // transit_stub(2,4,0): stub->its transit = 1 transit crossing; stubs of
+  // the same provider = 2 transit crossings; the two transits peer (no
+  // transit crossing between them). p-distance must order accordingly.
+  const PeerId transit0 = peers[0];   // AS 0 (transit)
+  const PeerId transit1 = peers[1];   // AS 1 (transit)
+  const PeerId stub_a = peers[2];     // AS 2 (stub of transit 0)
+  const PeerId stub_b = peers[6];     // AS 6 (stub of transit 1)
+  const auto d = [&](PeerId x, PeerId y) {
+    return itracker.p_distance(itracker.pid_of(x), itracker.pid_of(y));
+  };
+  EXPECT_LT(d(transit0, transit1), d(stub_a, transit0));
+  EXPECT_LT(d(stub_a, transit0), d(stub_a, stub_b));
+}
+
+TEST_F(P4pFixture, RankPutsSamePidFirst) {
+  P4pSelector selector(itracker);
+  const auto ranked = selector.rank(peers[0], peers);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(itracker.pid_of(ranked.front()), itracker.pid_of(peers[0]));
+  const Pid home = itracker.pid_of(peers[0]);
+  for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
+    EXPECT_LE(itracker.p_distance(home, itracker.pid_of(ranked[i])),
+              itracker.p_distance(home, itracker.pid_of(ranked[i + 1])));
+  }
+}
+
+TEST_F(P4pFixture, SelectReturnsDistinctPeers) {
+  P4pSelector selector(itracker);
+  const auto chosen = selector.select(peers[3], peers, 10);
+  EXPECT_EQ(chosen.size(), 10u);
+  std::set<PeerId> unique(chosen.begin(), chosen.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (const PeerId peer : chosen) EXPECT_NE(peer, peers[3]);
+}
+
+TEST_F(P4pFixture, SelectPrefersCheapPidsStatistically) {
+  P4pSelector selector(itracker);
+  const Pid home = itracker.pid_of(peers[0]);
+  double mean_distance = 0.0;
+  constexpr int kTrials = 60;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (const PeerId peer : selector.select(peers[0], peers, 5)) {
+      mean_distance += itracker.p_distance(home, itracker.pid_of(peer));
+    }
+  }
+  mean_distance /= kTrials * 5;
+  // Uniform selection baseline.
+  double uniform = 0.0;
+  int count = 0;
+  for (const PeerId peer : peers) {
+    if (peer == peers[0]) continue;
+    uniform += itracker.p_distance(home, itracker.pid_of(peer));
+    ++count;
+  }
+  uniform /= count;
+  EXPECT_LT(mean_distance, uniform);
+}
+
+TEST_F(P4pFixture, SelectKeepsSomeFarPeers) {
+  // Proportional weighting must not starve distant PIDs entirely.
+  P4pSelector selector(itracker);
+  const Pid home = itracker.pid_of(peers[0]);
+  bool saw_far = false;
+  for (int trial = 0; trial < 40 && !saw_far; ++trial) {
+    for (const PeerId peer : selector.select(peers[0], peers, 5)) {
+      if (itracker.p_distance(home, itracker.pid_of(peer)) > 4.0) {
+        saw_far = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_far);
+}
+
+TEST_F(P4pFixture, ViewFetchCountedOncePerSelector) {
+  const auto before = itracker.view_fetches();
+  P4pSelector first(itracker);
+  P4pSelector second(itracker);
+  (void)first.rank(peers[0], peers);
+  (void)first.rank(peers[1], peers);  // no further fetches per query
+  EXPECT_EQ(itracker.view_fetches(), before + 2);
+}
+
+}  // namespace
+}  // namespace uap2p::netinfo

@@ -1,0 +1,185 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace uap2p {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST(Rng, UniformBound1AlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(17);
+  double acc = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) acc += rng.uniform01();
+  EXPECT_NEAR(acc / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(double(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(29);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(31);
+  double acc = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) acc += rng.exponential(3.0);
+  EXPECT_NEAR(acc / kN, 3.0, 0.1);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(37);
+  for (int i = 0; i < 5000; ++i) EXPECT_GE(rng.pareto(1.8, 2.0), 2.0);
+}
+
+TEST(Rng, ParetoMeanMatchesTheory) {
+  // E[X] = alpha * xmin / (alpha - 1) for alpha > 1.
+  Rng rng(41);
+  const double alpha = 2.5, xmin = 1.0;
+  double acc = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) acc += rng.pareto(alpha, xmin);
+  EXPECT_NEAR(acc / kN, alpha * xmin / (alpha - 1.0), 0.05);
+}
+
+TEST(Rng, ZipfInRangeAndSkewed) {
+  Rng rng(43);
+  constexpr std::size_t kN = 50;
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t v = rng.zipf(kN, 1.0);
+    ASSERT_LT(v, kN);
+    ++counts[v];
+  }
+  // Rank 0 must dominate rank kN-1 heavily under s = 1.
+  EXPECT_GT(counts[0], counts[kN - 1] * 5);
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(47);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.sample_without_replacement(100, 30);
+    ASSERT_EQ(sample.size(), 30u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 30u);
+    for (const auto v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullPermutation) {
+  Rng rng(53);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(59);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+// Property sweep: Lemire uniform stays unbiased across bucket counts.
+class RngUniformP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformP, RoughlyUniformHistogram) {
+  const std::uint64_t buckets = GetParam();
+  Rng rng(61 + buckets);
+  std::vector<int> counts(buckets, 0);
+  const int per_bucket = 2000;
+  const int total = static_cast<int>(buckets) * per_bucket;
+  for (int i = 0; i < total; ++i) ++counts[rng.uniform(buckets)];
+  for (const int c : counts) {
+    EXPECT_GT(c, per_bucket * 0.8);
+    EXPECT_LT(c, per_bucket * 1.2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, RngUniformP,
+                         ::testing::Values(2, 3, 5, 10, 17, 64));
+
+}  // namespace
+}  // namespace uap2p

@@ -1,0 +1,141 @@
+// Property suite: RoutingTable vs a brute-force Floyd-Warshall reference
+// on every topology generator and on random graphs.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "underlay/routing.hpp"
+
+namespace uap2p::underlay {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::max();
+
+/// O(V^3) reference all-pairs shortest paths over link latencies.
+std::vector<std::vector<double>> floyd_warshall(const AsTopology& topo) {
+  const std::size_t n = topo.router_count();
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, kInf));
+  for (std::size_t i = 0; i < n; ++i) dist[i][i] = 0.0;
+  for (const Link& link : topo.links()) {
+    const std::size_t a = link.a.value(), b = link.b.value();
+    dist[a][b] = std::min(dist[a][b], link.latency_ms);
+    dist[b][a] = std::min(dist[b][a], link.latency_ms);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dist[i][k] == kInf) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (dist[k][j] == kInf) continue;
+        dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+      }
+    }
+  }
+  return dist;
+}
+
+class RoutingVsReferenceP : public ::testing::TestWithParam<int> {
+ protected:
+  AsTopology make_topology() const {
+    TopologyConfig config;
+    config.seed = 1000 + GetParam();
+    switch (GetParam() % 5) {
+      case 0: return AsTopology::ring(6, config);
+      case 1: return AsTopology::star(7, config);
+      case 2: return AsTopology::tree(9, 2, config);
+      case 3: return AsTopology::mesh(8, 0.3, config);
+      default: return AsTopology::transit_stub(2, 3, 0.4, config);
+    }
+  }
+};
+
+TEST_P(RoutingVsReferenceP, DijkstraMatchesFloydWarshall) {
+  const AsTopology topo = make_topology();
+  RoutingTable routing(topo);
+  const auto reference = floyd_warshall(topo);
+  const auto n = static_cast<std::uint32_t>(topo.router_count());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const double expected = reference[i][j];
+      const auto& info = routing.path(RouterId(i), RouterId(j));
+      if (expected == kInf) {
+        EXPECT_FALSE(info.reachable);
+      } else {
+        ASSERT_TRUE(info.reachable) << i << "->" << j;
+        EXPECT_NEAR(info.latency_ms, expected, 1e-9) << i << "->" << j;
+      }
+    }
+  }
+}
+
+TEST_P(RoutingVsReferenceP, RouterPathLatencySumsCorrectly) {
+  const AsTopology topo = make_topology();
+  RoutingTable routing(topo);
+  Rng rng(GetParam());
+  const auto n = topo.router_count();
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = RouterId(std::uint32_t(rng.uniform(n)));
+    const auto b = RouterId(std::uint32_t(rng.uniform(n)));
+    const auto path = routing.router_path(a, b);
+    if (path.empty()) continue;
+    double acc = 0.0;
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      double best = kInf;
+      for (const auto& neighbor : topo.neighbors(path[k])) {
+        if (neighbor.router == path[k + 1]) {
+          best = std::min(best, topo.link(neighbor.link_index).latency_ms);
+        }
+      }
+      ASSERT_LT(best, kInf) << "non-adjacent consecutive routers";
+      acc += best;
+    }
+    EXPECT_NEAR(acc, routing.latency_ms(a, b), 1e-9);
+  }
+}
+
+TEST_P(RoutingVsReferenceP, CrossingCountsMatchPathWalk) {
+  const AsTopology topo = make_topology();
+  RoutingTable routing(topo);
+  Rng rng(GetParam() * 7 + 1);
+  const auto n = topo.router_count();
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto a = RouterId(std::uint32_t(rng.uniform(n)));
+    const auto b = RouterId(std::uint32_t(rng.uniform(n)));
+    const auto& info = routing.path(a, b);
+    if (!info.reachable) continue;
+    const auto path = routing.router_path(a, b);
+    std::uint32_t transit = 0, peering = 0, hops = 0;
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      for (const auto& neighbor : topo.neighbors(path[k])) {
+        if (neighbor.router != path[k + 1]) continue;
+        const Link& link = topo.link(neighbor.link_index);
+        // The shortest parallel link is the one Dijkstra used.
+        ++hops;
+        if (link.type == LinkType::kTransit) ++transit;
+        if (link.type == LinkType::kPeering) ++peering;
+        break;
+      }
+    }
+    EXPECT_EQ(info.router_hops, hops);
+    EXPECT_EQ(info.transit_crossings, transit);
+    EXPECT_EQ(info.peering_crossings, peering);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, RoutingVsReferenceP,
+                         ::testing::Range(0, 10));
+
+TEST(RoutingRandomGraphs, HandMadeMultiEdgePicksCheapest) {
+  AsTopology topo;
+  const AsId as = topo.add_as("x", false, {50, 8});
+  const RouterId r0 = topo.add_router(as, {50, 8});
+  const RouterId r1 = topo.add_router(as, {50.1, 8.1});
+  topo.connect(r0, r1, LinkType::kInternal, 10.0, 100);
+  topo.connect(r0, r1, LinkType::kInternal, 2.0, 100);  // parallel, cheaper
+  RoutingTable routing(topo);
+  EXPECT_DOUBLE_EQ(routing.latency_ms(r0, r1), 2.0);
+}
+
+}  // namespace
+}  // namespace uap2p::underlay

@@ -1,0 +1,135 @@
+// Geographically scoped hashing (Leopard [33]) on the geo overlay.
+#include <gtest/gtest.h>
+
+#include "overlay/geo_overlay.hpp"
+#include "sim/engine.hpp"
+
+namespace uap2p::overlay::geo {
+namespace {
+
+struct ScopedFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::mesh(6, 0.4);
+  underlay::Network net{engine, topo, 83};
+  std::vector<PeerId> peers = net.populate(80);
+  GeoOverlay overlay{net, peers, {}};
+
+  GeoRect scope_around(PeerId peer, double degrees) {
+    const auto& location = net.host(peer).location;
+    return GeoRect{location.lat_deg - degrees, location.lat_deg + degrees,
+                   location.lon_deg - degrees, location.lon_deg + degrees};
+  }
+};
+
+TEST_F(ScopedFixture, PutThenGetFromInsideScope) {
+  const PeerId provider = peers[10];
+  const GeoRect scope = scope_around(provider, 3.0);
+  const auto put = overlay.scoped_put(provider, ContentId(1), scope);
+  EXPECT_GT(put.zones_stored, 0u);
+  EXPECT_GT(put.messages, 0u);
+  // The provider itself is inside the scope: lookup must succeed.
+  const auto get = overlay.scoped_get(provider, ContentId(1));
+  EXPECT_TRUE(get.found);
+  ASSERT_FALSE(get.providers.empty());
+  EXPECT_EQ(get.providers.front(), provider);
+  EXPECT_GT(get.messages, 0u);
+}
+
+TEST_F(ScopedFixture, NearbyPeerFindsContentAtLowTreeLevel) {
+  const PeerId provider = peers[10];
+  overlay.scoped_put(provider, ContentId(2), scope_around(provider, 5.0));
+  // The geographically nearest other peer resolves with few level climbs.
+  PeerId nearest = PeerId::invalid();
+  double best = 1e18;
+  for (const PeerId other : peers) {
+    if (other == provider) continue;
+    const double km = underlay::haversine_km(net.host(other).location,
+                                             net.host(provider).location);
+    if (km < best) {
+      best = km;
+      nearest = other;
+    }
+  }
+  const auto get = overlay.scoped_get(nearest, ContentId(2));
+  EXPECT_TRUE(get.found);
+  EXPECT_LE(get.tree_levels_climbed, overlay.tree_depth());
+}
+
+TEST_F(ScopedFixture, FarPeerClimbsHigherThanNearPeer) {
+  const PeerId provider = peers[10];
+  overlay.scoped_put(provider, ContentId(3), scope_around(provider, 2.0));
+  // Nearest vs farthest peer: the far one needs more tree levels (it may
+  // even miss if the root zone does not store it — Leopard's scoping).
+  PeerId nearest = PeerId::invalid(), farthest = PeerId::invalid();
+  double best = 1e18, worst = -1.0;
+  for (const PeerId other : peers) {
+    if (other == provider) continue;
+    const double km = underlay::haversine_km(net.host(other).location,
+                                             net.host(provider).location);
+    if (km < best) { best = km; nearest = other; }
+    if (km > worst) { worst = km; farthest = other; }
+  }
+  const auto near_get = overlay.scoped_get(nearest, ContentId(3));
+  const auto far_get = overlay.scoped_get(farthest, ContentId(3));
+  ASSERT_TRUE(near_get.found);
+  if (far_get.found) {
+    EXPECT_GE(far_get.tree_levels_climbed, near_get.tree_levels_climbed);
+  }
+}
+
+TEST_F(ScopedFixture, MissingContentReportsNotFound) {
+  const auto get = overlay.scoped_get(peers[0], ContentId(99));
+  EXPECT_FALSE(get.found);
+  EXPECT_TRUE(get.providers.empty());
+}
+
+TEST_F(ScopedFixture, MultipleProvidersAggregate) {
+  const GeoRect wide{40.0, 58.0, -8.0, 28.0};
+  overlay.scoped_put(peers[5], ContentId(4), wide);
+  overlay.scoped_put(peers[6], ContentId(4), wide);
+  // Search from a peer that is actually inside the scope (a peer outside
+  // it correctly misses — that is Leopard's scoping).
+  PeerId searcher = PeerId::invalid();
+  for (const PeerId peer : peers) {
+    if (peer != peers[5] && peer != peers[6] &&
+        wide.contains(net.host(peer).location)) {
+      searcher = peer;
+      break;
+    }
+  }
+  ASSERT_TRUE(searcher.is_valid());
+  const auto get = overlay.scoped_get(searcher, ContentId(4));
+  ASSERT_TRUE(get.found);
+  EXPECT_GE(get.providers.size(), 1u);
+}
+
+TEST_F(ScopedFixture, OutOfScopePeerMisses) {
+  // Leopard scoping: content published into a small scope is invisible to
+  // queries from far outside it.
+  const PeerId provider = peers[12];
+  overlay.scoped_put(provider, ContentId(6), scope_around(provider, 0.5));
+  PeerId far = PeerId::invalid();
+  double worst = -1.0;
+  for (const PeerId other : peers) {
+    const double km = underlay::haversine_km(net.host(other).location,
+                                             net.host(provider).location);
+    if (km > worst) {
+      worst = km;
+      far = other;
+    }
+  }
+  const auto get = overlay.scoped_get(far, ContentId(6));
+  EXPECT_FALSE(get.found);
+}
+
+TEST_F(ScopedFixture, DuplicatePutIsIdempotent) {
+  const GeoRect scope = scope_around(peers[8], 4.0);
+  overlay.scoped_put(peers[8], ContentId(5), scope);
+  overlay.scoped_put(peers[8], ContentId(5), scope);
+  const auto get = overlay.scoped_get(peers[8], ContentId(5));
+  ASSERT_TRUE(get.found);
+  EXPECT_EQ(get.providers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace uap2p::overlay::geo

@@ -1,0 +1,164 @@
+#include "netinfo/skyeye.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace uap2p::netinfo {
+namespace {
+
+struct SkyEyeFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::mesh(5, 0.4);
+  underlay::Network net{engine, topo, 17};
+  std::vector<PeerId> peers = net.populate(30);
+};
+
+TEST_F(SkyEyeFixture, TreeParentStructure) {
+  SkyEyeConfig config;
+  config.branching = 3;
+  SkyEye skyeye(net, peers, config);
+  EXPECT_FALSE(skyeye.parent_index(0).has_value());
+  EXPECT_EQ(skyeye.parent_index(1).value(), 0u);
+  EXPECT_EQ(skyeye.parent_index(3).value(), 0u);
+  EXPECT_EQ(skyeye.parent_index(4).value(), 1u);
+  EXPECT_EQ(skyeye.parent_index(12).value(), 3u);
+  EXPECT_EQ(skyeye.tree_size(), 30u);
+  EXPECT_EQ(skyeye.root(), peers[0]);
+}
+
+TEST_F(SkyEyeFixture, RootViewEmptyBeforeStart) {
+  SkyEye skyeye(net, peers, {});
+  EXPECT_EQ(skyeye.root_view().peer_count, 0u);
+}
+
+TEST_F(SkyEyeFixture, AggregationCoversWholePopulation) {
+  SkyEyeConfig config;
+  config.branching = 4;
+  config.update_period_ms = sim::seconds(10);
+  SkyEye skyeye(net, peers, config);
+  skyeye.start();
+  // Depth of a 30-node 4-ary tree is 3; a handful of periods suffices for
+  // reports to propagate leaf -> root.
+  engine.run_until(sim::minutes(2));
+  skyeye.stop();
+  EXPECT_EQ(skyeye.root_view().peer_count, peers.size());
+  EXPECT_GT(skyeye.reports_sent(), 0u);
+}
+
+TEST_F(SkyEyeFixture, AggregateTotalsMatchGroundTruth) {
+  SkyEyeConfig config;
+  config.update_period_ms = sim::seconds(10);
+  SkyEye skyeye(net, peers, config);
+  skyeye.start();
+  engine.run_until(sim::minutes(2));
+  skyeye.stop();
+  double expected_upload = 0.0;
+  for (const PeerId peer : peers) {
+    expected_upload += net.host(peer).resources.upload_mbps;
+  }
+  EXPECT_NEAR(skyeye.root_view().total_upload_mbps, expected_upload, 1e-6);
+}
+
+TEST_F(SkyEyeFixture, TopCapacityIsActuallyTheTop) {
+  SkyEyeConfig config;
+  config.top_k = 8;
+  config.update_period_ms = sim::seconds(10);
+  SkyEye skyeye(net, peers, config);
+  skyeye.start();
+  engine.run_until(sim::minutes(2));
+  skyeye.stop();
+  const auto top = skyeye.query_top_capacity(3);
+  ASSERT_EQ(top.size(), 3u);
+  // Compare against brute-force ground truth.
+  std::vector<double> all;
+  for (const PeerId peer : peers) {
+    all.push_back(net.host(peer).resources.capacity_score());
+  }
+  std::sort(all.rbegin(), all.rend());
+  EXPECT_NEAR(top[0].capacity, all[0], 1e-9);
+  EXPECT_NEAR(top[1].capacity, all[1], 1e-9);
+  EXPECT_NEAR(top[2].capacity, all[2], 1e-9);
+  // Descending order.
+  EXPECT_GE(top[0].capacity, top[1].capacity);
+  EXPECT_GE(top[1].capacity, top[2].capacity);
+}
+
+TEST_F(SkyEyeFixture, ReportsCostMeasurableTraffic) {
+  SkyEye skyeye(net, peers, {});
+  const auto before = net.traffic().total_bytes();
+  skyeye.start();
+  engine.run_until(sim::minutes(2));
+  skyeye.stop();
+  EXPECT_GT(net.traffic().total_bytes(), before);
+}
+
+TEST_F(SkyEyeFixture, OfflineSubtreeAgesOut) {
+  SkyEyeConfig config;
+  config.update_period_ms = sim::seconds(10);
+  config.staleness_limit_ms = sim::seconds(30);
+  SkyEye skyeye(net, peers, config);
+  skyeye.start();
+  engine.run_until(sim::minutes(2));
+  ASSERT_EQ(skyeye.root_view().peer_count, peers.size());
+  // Knock out an entire first-level subtree (index 1 and descendants).
+  for (std::size_t i = 1; i < peers.size(); i += 1) {
+    std::size_t walk = i;
+    bool under_one = false;
+    while (walk != 0) {
+      if (walk == 1) { under_one = true; break; }
+      walk = skyeye.parent_index(walk).value();
+    }
+    if (under_one || i == 1) net.set_online(peers[i], false);
+  }
+  engine.run_until(engine.now() + sim::minutes(2));
+  skyeye.stop();
+  EXPECT_LT(skyeye.root_view().peer_count, peers.size());
+  EXPECT_GT(skyeye.root_view().peer_count, 0u);
+}
+
+TEST_F(SkyEyeFixture, QueryFiltersOfflinePeers) {
+  SkyEyeConfig config;
+  config.update_period_ms = sim::seconds(10);
+  SkyEye skyeye(net, peers, config);
+  skyeye.start();
+  engine.run_until(sim::minutes(2));
+  skyeye.stop();
+  const auto top_before = skyeye.query_top_capacity(1);
+  ASSERT_FALSE(top_before.empty());
+  net.set_online(top_before[0].peer, false);
+  const auto top_after = skyeye.query_top_capacity(1);
+  if (!top_after.empty()) {
+    EXPECT_NE(top_after[0].peer, top_before[0].peer);
+  }
+}
+
+TEST(SkyEyeMerge, MergeViewsAggregates) {
+  SystemView a, b;
+  a.peer_count = 2;
+  a.mean_capacity = 4.0;
+  a.total_upload_mbps = 10.0;
+  a.top_capacity = {{PeerId(0), 5.0}, {PeerId(1), 3.0}};
+  b.peer_count = 1;
+  b.mean_capacity = 1.0;
+  b.total_upload_mbps = 2.0;
+  b.top_capacity = {{PeerId(2), 1.0}};
+  merge_views(a, b, 2);
+  EXPECT_EQ(a.peer_count, 3u);
+  EXPECT_DOUBLE_EQ(a.total_upload_mbps, 12.0);
+  EXPECT_NEAR(a.mean_capacity, 3.0, 1e-9);
+  ASSERT_EQ(a.top_capacity.size(), 2u);  // capped at top_k
+  EXPECT_EQ(a.top_capacity[0].peer, PeerId(0));
+}
+
+TEST(SkyEyeMerge, MergeWithEmptyIsNoop) {
+  SystemView a, empty;
+  a.peer_count = 1;
+  a.mean_capacity = 2.0;
+  merge_views(a, empty, 4);
+  EXPECT_EQ(a.peer_count, 1u);
+  EXPECT_DOUBLE_EQ(a.mean_capacity, 2.0);
+}
+
+}  // namespace
+}  // namespace uap2p::netinfo

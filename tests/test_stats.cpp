@@ -1,0 +1,144 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace uap2p {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    whole.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean_before);
+}
+
+TEST(Samples, PercentileExact) {
+  Samples samples;
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) samples.add(v);
+  EXPECT_DOUBLE_EQ(samples.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(50), 30.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(25), 20.0);
+  // Interpolated.
+  EXPECT_DOUBLE_EQ(samples.percentile(10), 14.0);
+}
+
+TEST(Samples, MedianOfUnsortedInput) {
+  Samples samples;
+  for (double v : {5.0, 1.0, 4.0, 2.0, 3.0}) samples.add(v);
+  EXPECT_DOUBLE_EQ(samples.median(), 3.0);
+  EXPECT_DOUBLE_EQ(samples.min(), 1.0);
+  EXPECT_DOUBLE_EQ(samples.max(), 5.0);
+}
+
+TEST(Samples, AddAfterPercentileStillWorks) {
+  Samples samples;
+  samples.add(1.0);
+  EXPECT_DOUBLE_EQ(samples.median(), 1.0);
+  samples.add(100.0);
+  samples.add(2.0);
+  EXPECT_DOUBLE_EQ(samples.median(), 2.0);
+}
+
+TEST(Samples, StddevMatchesFormula) {
+  Samples samples;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) samples.add(v);
+  EXPECT_NEAR(samples.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Samples, EmptyIsSafe) {
+  Samples samples;
+  EXPECT_EQ(samples.mean(), 0.0);
+  EXPECT_EQ(samples.percentile(50), 0.0);
+  EXPECT_TRUE(samples.empty());
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.add(0.5);
+  hist.add(9.5);
+  hist.add(-5.0);   // clamps into bucket 0
+  hist.add(100.0);  // clamps into bucket 9
+  EXPECT_EQ(hist.bucket(0), 2u);
+  EXPECT_EQ(hist.bucket(9), 2u);
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_DOUBLE_EQ(hist.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.bucket_lo(5), 5.0);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram hist(0.0, 2.0, 2);
+  hist.add(0.5);
+  hist.add(0.6);
+  hist.add(1.5);
+  const std::string render = hist.render(10);
+  EXPECT_NE(render.find("2"), std::string::npos);
+  EXPECT_NE(render.find("#"), std::string::npos);
+}
+
+TEST(BillingPercentile, StandardNinetyFifth) {
+  // 100 samples 1..100: the 95th percentile interpolates to 95.05.
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(i);
+  EXPECT_NEAR(billing_percentile(samples), 95.05, 1e-9);
+}
+
+TEST(BillingPercentile, BurstsAboveTheCutoffAreFree) {
+  // The classic property of 95th-percentile billing: short bursts (under
+  // 5% of windows) do not raise the bill.
+  std::vector<double> steady(100, 10.0);
+  std::vector<double> bursty = steady;
+  for (int i = 0; i < 4; ++i) bursty[i] = 1000.0;  // 4% of windows burst
+  EXPECT_DOUBLE_EQ(billing_percentile(steady), billing_percentile(bursty));
+}
+
+TEST(BillingPercentile, EmptyAndSingle) {
+  EXPECT_EQ(billing_percentile({}), 0.0);
+  EXPECT_DOUBLE_EQ(billing_percentile({7.0}), 7.0);
+}
+
+}  // namespace
+}  // namespace uap2p

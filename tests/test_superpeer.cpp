@@ -1,0 +1,153 @@
+#include "overlay/superpeer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/engine.hpp"
+
+namespace uap2p::overlay::superpeer {
+namespace {
+
+struct SpFixture : ::testing::Test {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 3, 0.3);
+  underlay::Network net{engine, topo, 61};
+  std::vector<PeerId> peers = net.populate(50);
+};
+
+TEST_F(SpFixture, GroundTruthElectionPicksStrongestPeers) {
+  Config config;
+  config.election = ElectionPolicy::kGroundTruth;
+  SuperPeerOverlay overlay(net, peers, config);
+  ASSERT_EQ(overlay.superpeers().size(), config.superpeer_count);
+  // Every non-superpeer must be weaker than the weakest superpeer.
+  double weakest_sp = 1e300;
+  for (const PeerId sp : overlay.superpeers()) {
+    weakest_sp =
+        std::min(weakest_sp, net.host(sp).resources.capacity_score());
+  }
+  for (const PeerId peer : peers) {
+    if (std::find(overlay.superpeers().begin(), overlay.superpeers().end(),
+                  peer) != overlay.superpeers().end()) {
+      continue;
+    }
+    EXPECT_LE(net.host(peer).resources.capacity_score(), weakest_sp + 1e-9);
+  }
+}
+
+TEST_F(SpFixture, GroundTruthBeatsRandomOnCapacityAndStability) {
+  Config ground;
+  ground.election = ElectionPolicy::kGroundTruth;
+  Config random;
+  random.election = ElectionPolicy::kRandom;
+  SuperPeerOverlay strong(net, peers, ground);
+  SuperPeerOverlay weak(net, peers, random);
+  EXPECT_GT(strong.mean_superpeer_capacity(), weak.mean_superpeer_capacity());
+  EXPECT_GE(strong.expected_stability(), weak.expected_stability());
+}
+
+TEST_F(SpFixture, SkyEyeElectionMatchesGroundTruthWhenWarm) {
+  netinfo::SkyEyeConfig sky_config;
+  sky_config.update_period_ms = sim::seconds(10);
+  sky_config.top_k = 16;
+  netinfo::SkyEye skyeye(net, peers, sky_config);
+  skyeye.start();
+  engine.run_until(sim::minutes(2));
+  skyeye.stop();
+
+  Config sky;
+  sky.election = ElectionPolicy::kSkyEye;
+  sky.superpeer_count = 8;
+  Config ground;
+  ground.election = ElectionPolicy::kGroundTruth;
+  ground.superpeer_count = 8;
+  SuperPeerOverlay via_skyeye(net, peers, sky, &skyeye);
+  SuperPeerOverlay via_truth(net, peers, ground);
+  auto sorted = [](std::vector<PeerId> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(via_skyeye.superpeers()), sorted(via_truth.superpeers()));
+}
+
+TEST_F(SpFixture, LatencyAttachmentBeatsRandom) {
+  Config latency;
+  latency.attachment = AttachmentPolicy::kLatency;
+  Config random;
+  random.attachment = AttachmentPolicy::kRandom;
+  SuperPeerOverlay near(net, peers, latency);
+  SuperPeerOverlay far(net, peers, random);
+  EXPECT_LT(near.mean_attachment_rtt_ms(), far.mean_attachment_rtt_ms());
+}
+
+TEST_F(SpFixture, EveryClientHasASuperpeer) {
+  SuperPeerOverlay overlay(net, peers, {});
+  for (const PeerId peer : peers) {
+    EXPECT_TRUE(overlay.superpeer_of(peer).is_valid());
+  }
+}
+
+TEST_F(SpFixture, LoadAccountsForAllClients) {
+  SuperPeerOverlay overlay(net, peers, {});
+  const auto load = overlay.load_distribution();
+  const std::size_t total =
+      std::accumulate(load.begin(), load.end(), std::size_t{0});
+  EXPECT_EQ(total, peers.size() - overlay.superpeers().size());
+}
+
+TEST_F(SpFixture, SearchFindsPublishedContent) {
+  SuperPeerOverlay overlay(net, peers, {});
+  const ContentId content(5);
+  overlay.publish(peers[20], content);
+  overlay.publish(peers[33], content);
+  const SearchResult result = overlay.search(peers[7], content);
+  EXPECT_TRUE(result.found);
+  EXPECT_GE(result.providers, 1u);
+  EXPECT_GT(result.latency_ms, 0.0);
+  EXPECT_GT(result.messages, 0u);
+}
+
+TEST_F(SpFixture, SearchAcrossTheMesh) {
+  // Publisher and searcher attached to different super-peers: the mesh
+  // relay must still find it.
+  Config config;
+  config.superpeer_count = 10;
+  SuperPeerOverlay overlay(net, peers, config);
+  PeerId publisher = PeerId::invalid(), searcher = PeerId::invalid();
+  for (const PeerId a : peers) {
+    for (const PeerId b : peers) {
+      if (overlay.superpeer_of(a).is_valid() &&
+          overlay.superpeer_of(b).is_valid() &&
+          overlay.superpeer_of(a) != overlay.superpeer_of(b)) {
+        publisher = a;
+        searcher = b;
+        break;
+      }
+    }
+    if (publisher.is_valid()) break;
+  }
+  ASSERT_TRUE(publisher.is_valid());
+  overlay.publish(publisher, ContentId(9));
+  const SearchResult result = overlay.search(searcher, ContentId(9));
+  EXPECT_TRUE(result.found);
+}
+
+TEST_F(SpFixture, MissingContentNotFound) {
+  SuperPeerOverlay overlay(net, peers, {});
+  const SearchResult result = overlay.search(peers[4], ContentId(404));
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.providers, 0u);
+}
+
+TEST_F(SpFixture, SuperpeerSearchesItsOwnIndex) {
+  SuperPeerOverlay overlay(net, peers, {});
+  const PeerId sp = overlay.superpeers()[0];
+  overlay.publish(sp, ContentId(12));
+  const SearchResult result = overlay.search(sp, ContentId(12));
+  EXPECT_TRUE(result.found);
+}
+
+}  // namespace
+}  // namespace uap2p::overlay::superpeer

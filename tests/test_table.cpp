@@ -1,0 +1,61 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uap2p {
+namespace {
+
+TEST(TablePrinter, AlignedOutputContainsAllCells) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, RowBuilderCommitsOnDestruction) {
+  TablePrinter table({"a", "b", "c"});
+  {
+    auto row = table.row();
+    row.cell("x").cell(3.14159, 2).cell(std::uint64_t{7});
+  }
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NE(table.to_string().find("3.14"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvFormat) {
+  TablePrinter table({"h1", "h2"});
+  table.add_row({"v1", "v2"});
+  EXPECT_EQ(table.to_csv(), "h1,h2\nv1,v2\n");
+}
+
+TEST(TablePrinter, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fmt(1.0, 0), "1");
+  EXPECT_EQ(TablePrinter::fmt(-2.5, 1), "-2.5");
+}
+
+TEST(TablePrinter, FmtCompactMatchesPaperStyle) {
+  // The paper's Table 1 reports counts like "7.6M".
+  EXPECT_EQ(TablePrinter::fmt_compact(7'600'000), "7.6M");
+  EXPECT_EQ(TablePrinter::fmt_compact(75'500'000), "75.5M");
+  EXPECT_EQ(TablePrinter::fmt_compact(1'500), "1.5k");
+  EXPECT_EQ(TablePrinter::fmt_compact(999), "999");
+}
+
+TEST(TablePrinter, IntCellTypes) {
+  TablePrinter table({"i", "u", "d"});
+  {
+    auto row = table.row();
+    row.cell(-5).cell(std::uint64_t{18446744073709551615ull}).cell(2.0, 1);
+  }
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("-5"), std::string::npos);
+  EXPECT_NE(out.find("18446744073709551615"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uap2p

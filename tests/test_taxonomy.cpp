@@ -1,0 +1,67 @@
+#include "core/taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace uap2p::core {
+namespace {
+
+TEST(Taxonomy, CoversAllFourInformationClasses) {
+  // The survey's Figure 3: four classes of underlay information.
+  std::set<InfoClass> classes;
+  for (const auto& entry : taxonomy()) classes.insert(entry.info);
+  EXPECT_EQ(classes.size(), 4u);
+}
+
+TEST(Taxonomy, EveryPaperTable1SystemPresent) {
+  std::set<std::string> names;
+  for (const auto& entry : taxonomy()) names.insert(entry.system);
+  // Spot-check the representative systems of the paper's Table 1.
+  for (const char* expected :
+       {"Oracle", "Ono", "Vivaldi", "Globase.KOM", "GeoPeer", "SkyEye.KOM",
+        "Brocade", "Plethora", "Mithos", "Genius", "eCAN", "Leopard"}) {
+    EXPECT_TRUE(names.contains(expected)) << "missing " << expected;
+  }
+}
+
+TEST(Taxonomy, AllCollectionTechniquesRepresented) {
+  // The eight leaves of Figure 3.
+  std::set<CollectionTechnique> techniques;
+  for (const auto& entry : taxonomy()) techniques.insert(entry.technique);
+  EXPECT_EQ(techniques.size(), 8u);
+}
+
+TEST(Taxonomy, FilterByClassNonEmptyAndConsistent) {
+  for (const InfoClass info :
+       {InfoClass::kIspLocation, InfoClass::kLatency, InfoClass::kGeolocation,
+        InfoClass::kPeerResources}) {
+    const auto entries = taxonomy_for(info);
+    EXPECT_FALSE(entries.empty()) << to_string(info);
+    for (const auto& entry : entries) EXPECT_EQ(entry.info, info);
+  }
+}
+
+TEST(Taxonomy, EverythingIsImplemented) {
+  EXPECT_EQ(implemented_count(), taxonomy().size());
+  for (const auto& entry : taxonomy()) {
+    EXPECT_FALSE(entry.uap2p_module.empty());
+    EXPECT_FALSE(entry.reference.empty());
+  }
+}
+
+TEST(Taxonomy, TechniqueNamesNonEmpty) {
+  for (const auto technique :
+       {CollectionTechnique::kIpToIspMapping,
+        CollectionTechnique::kIspComponentInNetwork,
+        CollectionTechnique::kCdnProvidedInformation,
+        CollectionTechnique::kExplicitMeasurement,
+        CollectionTechnique::kPredictionMethod, CollectionTechnique::kGps,
+        CollectionTechnique::kIpToLocationMapping,
+        CollectionTechnique::kInformationManagementOverlay}) {
+    EXPECT_GT(std::string(to_string(technique)).size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace uap2p::core

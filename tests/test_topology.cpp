@@ -1,0 +1,187 @@
+#include "underlay/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace uap2p::underlay {
+namespace {
+
+TEST(Topology, RingShape) {
+  const AsTopology topo = AsTopology::ring(5);
+  EXPECT_EQ(topo.as_count(), 5u);
+  EXPECT_EQ(topo.router_count(), 15u);  // 3 routers per AS by default
+  // 5 peering links + 2 internal links per AS.
+  std::size_t peering = 0, internal = 0, transit = 0;
+  for (const Link& link : topo.links()) {
+    switch (link.type) {
+      case LinkType::kPeering: ++peering; break;
+      case LinkType::kInternal: ++internal; break;
+      case LinkType::kTransit: ++transit; break;
+    }
+  }
+  EXPECT_EQ(peering, 5u);
+  EXPECT_EQ(internal, 10u);
+  EXPECT_EQ(transit, 0u);
+}
+
+TEST(Topology, RingOfTwoHasOneLink) {
+  const AsTopology topo = AsTopology::ring(2);
+  std::size_t peering = 0;
+  for (const Link& link : topo.links()) {
+    if (link.type == LinkType::kPeering) ++peering;
+  }
+  EXPECT_EQ(peering, 1u);
+}
+
+TEST(Topology, StarShape) {
+  const AsTopology topo = AsTopology::star(6);
+  std::size_t transit = 0;
+  for (const Link& link : topo.links()) {
+    if (link.type == LinkType::kTransit) ++transit;
+  }
+  EXPECT_EQ(transit, 5u);  // hub to each satellite
+  EXPECT_TRUE(topo.as_info(AsId(0)).is_transit);
+  EXPECT_FALSE(topo.as_info(AsId(1)).is_transit);
+  // All satellites are 2 AS-hops apart, 1 from the hub.
+  EXPECT_EQ(topo.as_hop_distance(AsId(1), AsId(2)), 2u);
+  EXPECT_EQ(topo.as_hop_distance(AsId(0), AsId(3)), 1u);
+}
+
+TEST(Topology, TreeShapeHopDistances) {
+  const AsTopology topo = AsTopology::tree(7, 2);  // complete binary tree
+  // Leaves 3 and 4 share parent 1: distance 2. Leaves 3 and 5 go through
+  // the root: distance 4.
+  EXPECT_EQ(topo.as_hop_distance(AsId(3), AsId(4)), 2u);
+  EXPECT_EQ(topo.as_hop_distance(AsId(3), AsId(5)), 4u);
+  EXPECT_EQ(topo.as_hop_distance(AsId(0), AsId(6)), 2u);
+}
+
+TEST(Topology, MeshIsConnected) {
+  const AsTopology topo = AsTopology::mesh(12, 0.2);
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    for (std::uint32_t j = 0; j < 12; ++j) {
+      EXPECT_NE(topo.as_hop_distance(AsId(i), AsId(j)), SIZE_MAX);
+    }
+  }
+}
+
+TEST(Topology, MeshEdgeProbabilityScalesDensity) {
+  const AsTopology sparse = AsTopology::mesh(16, 0.05);
+  const AsTopology dense = AsTopology::mesh(16, 0.8);
+  EXPECT_GT(dense.link_count(), sparse.link_count());
+}
+
+TEST(Topology, TransitStubStructure) {
+  const AsTopology topo = AsTopology::transit_stub(3, 4, 0.0);
+  EXPECT_EQ(topo.as_count(), 3u + 12u);
+  // Transit core is fully meshed with peering.
+  EXPECT_EQ(topo.as_hop_distance(AsId(0), AsId(1)), 1u);
+  EXPECT_EQ(topo.as_hop_distance(AsId(0), AsId(2)), 1u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(topo.as_info(AsId(i)).is_transit);
+  }
+  // A stub reaches its provider in 1 hop and a foreign stub in 3.
+  EXPECT_EQ(topo.as_hop_distance(AsId(3), AsId(0)), 1u);
+  // Stubs of different transit providers: stub -> transit -> transit -> stub.
+  const AsId stub_of_0(3);
+  const AsId stub_of_1(3 + 4);
+  EXPECT_EQ(topo.as_hop_distance(stub_of_0, stub_of_1), 3u);
+}
+
+TEST(Topology, AsHopDistanceProperties) {
+  const AsTopology topo = AsTopology::transit_stub(2, 3, 0.5);
+  const auto n = static_cast<std::uint32_t>(topo.as_count());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(topo.as_hop_distance(AsId(i), AsId(i)), 0u);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      EXPECT_EQ(topo.as_hop_distance(AsId(i), AsId(j)),
+                topo.as_hop_distance(AsId(j), AsId(i)));
+    }
+  }
+}
+
+TEST(Topology, PrefixesAreUniqueAndWellFormed) {
+  const AsTopology topo = AsTopology::mesh(20, 0.1);
+  std::set<std::uint32_t> prefixes;
+  for (const auto& as : topo.ases()) {
+    EXPECT_EQ(as.prefix_len, 16);
+    EXPECT_EQ(as.prefix & 0xFFFF, 0u) << "host bits must be clear";
+    prefixes.insert(as.prefix);
+  }
+  EXPECT_EQ(prefixes.size(), topo.as_count());
+}
+
+TEST(Topology, GatewayIsFirstRouter) {
+  const AsTopology topo = AsTopology::ring(4);
+  for (const auto& as : topo.ases()) {
+    EXPECT_EQ(topo.gateway_of(as.id), as.routers.front());
+    EXPECT_TRUE(topo.router(as.routers.front()).is_gateway);
+  }
+}
+
+TEST(Topology, AsNeighborsMatchesLinks) {
+  const AsTopology topo = AsTopology::ring(5);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const auto neighbors = topo.as_neighbors(AsId(i));
+    EXPECT_EQ(neighbors.size(), 2u);  // ring degree
+  }
+}
+
+TEST(Topology, DeterministicForSameSeed) {
+  TopologyConfig config;
+  config.seed = 99;
+  const AsTopology a = AsTopology::mesh(10, 0.3, config);
+  const AsTopology b = AsTopology::mesh(10, 0.3, config);
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (std::size_t i = 0; i < a.link_count(); ++i) {
+    EXPECT_EQ(a.link(i).a, b.link(i).a);
+    EXPECT_EQ(a.link(i).b, b.link(i).b);
+    EXPECT_DOUBLE_EQ(a.link(i).latency_ms, b.link(i).latency_ms);
+  }
+}
+
+TEST(Topology, InterAsLatencyRespectsFloor) {
+  TopologyConfig config;
+  config.min_inter_as_latency_ms = 5.0;
+  const AsTopology topo = AsTopology::ring(6, config);
+  for (const Link& link : topo.links()) {
+    if (link.type != LinkType::kInternal) {
+      EXPECT_GE(link.latency_ms, 5.0);
+    }
+  }
+}
+
+TEST(Topology, LinkTypeNames) {
+  EXPECT_STREQ(to_string(LinkType::kInternal), "internal");
+  EXPECT_STREQ(to_string(LinkType::kPeering), "peering");
+  EXPECT_STREQ(to_string(LinkType::kTransit), "transit");
+}
+
+// Parameterized: every generator yields a connected AS graph.
+class TopologyConnectivityP : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopologyConnectivityP, AllPairsReachable) {
+  AsTopology topo;
+  switch (GetParam()) {
+    case 0: topo = AsTopology::ring(8); break;
+    case 1: topo = AsTopology::star(8); break;
+    case 2: topo = AsTopology::tree(8, 2); break;
+    case 3: topo = AsTopology::mesh(8, 0.1); break;
+    case 4: topo = AsTopology::transit_stub(2, 3); break;
+    default: FAIL();
+  }
+  const auto n = static_cast<std::uint32_t>(topo.as_count());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      EXPECT_NE(topo.as_hop_distance(AsId(i), AsId(j)), SIZE_MAX)
+          << "AS " << i << " cannot reach AS " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, TopologyConnectivityP,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace uap2p::underlay

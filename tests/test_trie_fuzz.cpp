@@ -1,0 +1,84 @@
+// Randomized differential test: PrefixTrie vs a linear-scan reference.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netinfo/ipmap.hpp"
+
+namespace uap2p::netinfo {
+namespace {
+
+struct ReferenceEntry {
+  std::uint32_t prefix;
+  int len;
+  AsId value;
+};
+
+/// Linear longest-prefix match over the same insertions.
+std::optional<AsId> reference_lookup(const std::vector<ReferenceEntry>& table,
+                                     IpAddress ip) {
+  int best_len = -1;
+  AsId best = AsId::invalid();
+  for (const auto& entry : table) {
+    const std::uint32_t mask =
+        entry.len == 0 ? 0u : (entry.len == 32 ? 0xFFFFFFFFu
+                                               : ~0u << (32 - entry.len));
+    if ((ip.bits & mask) == (entry.prefix & mask) && entry.len > best_len) {
+      best_len = entry.len;
+      best = entry.value;
+    }
+  }
+  if (best_len < 0) return std::nullopt;
+  return best;
+}
+
+class TrieFuzzP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieFuzzP, MatchesLinearReference) {
+  Rng rng(GetParam());
+  PrefixTrie trie;
+  std::vector<ReferenceEntry> reference;
+  // Insert ~200 random prefixes of random lengths; later duplicates
+  // overwrite in both structures.
+  for (int i = 0; i < 200; ++i) {
+    const int len = int(rng.uniform(33));  // 0..32
+    const std::uint32_t mask =
+        len == 0 ? 0u : (len == 32 ? 0xFFFFFFFFu : ~0u << (32 - len));
+    const std::uint32_t prefix = std::uint32_t(rng()) & mask;
+    const AsId value{std::uint32_t(i)};
+    trie.insert(prefix, len, {value, {}});
+    // Overwrite semantics in the reference: remove an exact duplicate.
+    std::erase_if(reference, [&](const ReferenceEntry& e) {
+      return e.len == len && (e.prefix & mask) == prefix;
+    });
+    reference.push_back({prefix, len, value});
+  }
+  // Probe random addresses plus the prefixes themselves.
+  for (int i = 0; i < 2000; ++i) {
+    const IpAddress probe{std::uint32_t(rng())};
+    const auto got = trie.lookup(probe);
+    const auto expected = reference_lookup(reference, probe);
+    ASSERT_EQ(got.has_value(), expected.has_value())
+        << "probe " << probe.to_string();
+    if (got) {
+      EXPECT_EQ(got->isp, *expected) << "probe " << probe.to_string();
+    }
+  }
+  for (const auto& entry : reference) {
+    const IpAddress probe{entry.prefix};
+    const auto got = trie.lookup(probe);
+    const auto expected = reference_lookup(reference, probe);
+    ASSERT_EQ(got.has_value(), expected.has_value());
+    if (got) {
+      EXPECT_EQ(got->isp, *expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieFuzzP,
+                         ::testing::Values(1ull, 42ull, 777ull, 31337ull));
+
+}  // namespace
+}  // namespace uap2p::netinfo

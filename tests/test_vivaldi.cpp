@@ -1,0 +1,171 @@
+#include "netinfo/vivaldi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace uap2p::netinfo {
+namespace {
+
+/// Synthetic ground truth: peers on a 2-D grid, RTT = Euclidean distance
+/// (perfectly embeddable, so Vivaldi must converge to low error).
+struct GridTruth {
+  std::size_t side;
+  double spacing;
+  [[nodiscard]] double rtt(PeerId a, PeerId b) const {
+    const double ax = double(a.value() % side), ay = double(a.value() / side);
+    const double bx = double(b.value() % side), by = double(b.value() / side);
+    return spacing * std::hypot(ax - bx, ay - by) + 2.0;  // +2ms access
+  }
+};
+
+VivaldiConfig test_config() {
+  VivaldiConfig config;
+  config.dimensions = 2;
+  config.use_height = true;
+  return config;
+}
+
+TEST(VivaldiCoord, DistanceWithHeights) {
+  VivaldiCoord a{{0.0, 0.0}, 3.0};
+  VivaldiCoord b{{3.0, 4.0}, 2.0};
+  EXPECT_DOUBLE_EQ(VivaldiCoord::distance(a, b), 5.0 + 3.0 + 2.0);
+}
+
+TEST(VivaldiCoord, DistanceSymmetric) {
+  VivaldiCoord a{{1.0, -2.0}, 0.5};
+  VivaldiCoord b{{-3.0, 7.0}, 1.5};
+  EXPECT_DOUBLE_EQ(VivaldiCoord::distance(a, b),
+                   VivaldiCoord::distance(b, a));
+}
+
+TEST(Vivaldi, InitialErrorIsConfigured) {
+  VivaldiSystem system(10, test_config(), Rng(1));
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(system.error_estimate(PeerId(i)), 1.0);
+  }
+}
+
+TEST(Vivaldi, UpdateMovesCoordinates) {
+  VivaldiSystem system(2, test_config(), Rng(2));
+  const double before = system.estimate_rtt(PeerId(0), PeerId(1));
+  system.update(PeerId(0), PeerId(1), 50.0);
+  system.update(PeerId(1), PeerId(0), 50.0);
+  const double after = system.estimate_rtt(PeerId(0), PeerId(1));
+  EXPECT_NE(before, after);
+  EXPECT_EQ(system.update_count(), 2u);
+}
+
+TEST(Vivaldi, ConvergesOnGrid) {
+  const GridTruth truth{4, 20.0};
+  const std::size_t n = truth.side * truth.side;
+  VivaldiSystem system(n, test_config(), Rng(3));
+  Rng rng(4);
+  // Gossip rounds.
+  for (int round = 0; round < 600; ++round) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto j = PeerId(std::uint32_t(rng.uniform(n)));
+      if (j == PeerId(i)) continue;
+      system.update(PeerId(i), j, truth.rtt(PeerId(i), j));
+    }
+  }
+  Rng eval_rng(5);
+  const Samples errors = relative_error_samples(
+      system, eval_rng, 400,
+      [&](PeerId a, PeerId b) { return truth.rtt(a, b); });
+  EXPECT_LT(errors.median(), 0.12)
+      << "median relative error after convergence";
+  EXPECT_LT(system.median_error(), 0.3);
+}
+
+TEST(Vivaldi, ErrorEstimateDropsWithTraining) {
+  const GridTruth truth{3, 30.0};
+  const std::size_t n = 9;
+  VivaldiSystem system(n, test_config(), Rng(6));
+  Rng rng(7);
+  const double initial = system.median_error();
+  for (int round = 0; round < 200; ++round) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto j = PeerId(std::uint32_t(rng.uniform(n)));
+      if (j == PeerId(i)) continue;
+      system.update(PeerId(i), j, truth.rtt(PeerId(i), j));
+    }
+  }
+  EXPECT_LT(system.median_error(), initial * 0.5);
+}
+
+TEST(Vivaldi, HeightsStayAboveMinimum) {
+  VivaldiConfig config = test_config();
+  config.min_height = 0.25;
+  VivaldiSystem system(5, config, Rng(8));
+  Rng rng(9);
+  for (int round = 0; round < 200; ++round) {
+    const auto a = PeerId(std::uint32_t(rng.uniform(5)));
+    const auto b = PeerId(std::uint32_t(rng.uniform(5)));
+    if (a == b) continue;
+    system.update(a, b, rng.uniform_real(1.0, 100.0));
+  }
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_GE(system.coordinate(PeerId(i)).height, 0.25);
+  }
+}
+
+TEST(Vivaldi, IgnoresInvalidSamples) {
+  VivaldiSystem system(3, test_config(), Rng(10));
+  system.update(PeerId(0), PeerId(0), 50.0);  // self
+  system.update(PeerId(0), PeerId(1), -1.0);  // negative rtt
+  system.update(PeerId(0), PeerId(1), 0.0);   // zero rtt
+  EXPECT_EQ(system.update_count(), 0u);
+}
+
+TEST(Vivaldi, EstimateIsSymmetric) {
+  VivaldiSystem system(4, test_config(), Rng(11));
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = PeerId(std::uint32_t(rng.uniform(4)));
+    const auto b = PeerId(std::uint32_t(rng.uniform(4)));
+    if (a == b) continue;
+    system.update(a, b, 30.0);
+  }
+  EXPECT_DOUBLE_EQ(system.estimate_rtt(PeerId(0), PeerId(3)),
+                   system.estimate_rtt(PeerId(3), PeerId(0)));
+}
+
+TEST(Vivaldi, ErrorEstimateClamped) {
+  VivaldiSystem system(2, test_config(), Rng(13));
+  // Wildly inconsistent samples cannot push the error past the clamp.
+  Rng rng(14);
+  for (int i = 0; i < 500; ++i) {
+    system.update(PeerId(0), PeerId(1), rng.uniform_real(1.0, 10000.0));
+  }
+  EXPECT_LE(system.error_estimate(PeerId(0)), 2.0);
+  EXPECT_GT(system.error_estimate(PeerId(0)), 0.0);
+}
+
+// Ablation-style sweep: more dimensions can only help on a 2-D metric.
+class VivaldiDimsP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VivaldiDimsP, ConvergesAtAnyDimension) {
+  const GridTruth truth{3, 25.0};
+  VivaldiConfig config = test_config();
+  config.dimensions = GetParam();
+  VivaldiSystem system(9, config, Rng(15));
+  Rng rng(16);
+  for (int round = 0; round < 400; ++round) {
+    for (std::uint32_t i = 0; i < 9; ++i) {
+      const auto j = PeerId(std::uint32_t(rng.uniform(9)));
+      if (j == PeerId(i)) continue;
+      system.update(PeerId(i), j, truth.rtt(PeerId(i), j));
+    }
+  }
+  Rng eval_rng(17);
+  const Samples errors = relative_error_samples(
+      system, eval_rng, 200,
+      [&](PeerId a, PeerId b) { return truth.rtt(a, b); });
+  EXPECT_LT(errors.median(), 0.2) << "dims=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, VivaldiDimsP, ::testing::Values(2, 3, 5));
+
+}  // namespace
+}  // namespace uap2p::netinfo
