@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_challenges.cpp" "bench/CMakeFiles/bench_ablation_challenges.dir/bench_ablation_challenges.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_challenges.dir/bench_ablation_challenges.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uap2p_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/uap2p_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/netinfo/CMakeFiles/uap2p_netinfo.dir/DependInfo.cmake"
+  "/root/repo/build/src/underlay/CMakeFiles/uap2p_underlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uap2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uap2p_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

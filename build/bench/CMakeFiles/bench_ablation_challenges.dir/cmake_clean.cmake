@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_challenges.dir/bench_ablation_challenges.cpp.o"
+  "CMakeFiles/bench_ablation_challenges.dir/bench_ablation_challenges.cpp.o.d"
+  "bench_ablation_challenges"
+  "bench_ablation_challenges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_challenges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coords.dir/bench_ablation_coords.cpp.o"
+  "CMakeFiles/bench_ablation_coords.dir/bench_ablation_coords.cpp.o.d"
+  "bench_ablation_coords"
+  "bench_ablation_coords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trust_mobility.dir/bench_ablation_trust_mobility.cpp.o"
+  "CMakeFiles/bench_ablation_trust_mobility.dir/bench_ablation_trust_mobility.cpp.o.d"
+  "bench_ablation_trust_mobility"
+  "bench_ablation_trust_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trust_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collection_compare.dir/bench_collection_compare.cpp.o"
+  "CMakeFiles/bench_collection_compare.dir/bench_collection_compare.cpp.o.d"
+  "bench_collection_compare"
+  "bench_collection_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collection_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

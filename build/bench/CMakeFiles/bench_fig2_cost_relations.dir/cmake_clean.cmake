@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cost_relations.dir/bench_fig2_cost_relations.cpp.o"
+  "CMakeFiles/bench_fig2_cost_relations.dir/bench_fig2_cost_relations.cpp.o.d"
+  "bench_fig2_cost_relations"
+  "bench_fig2_cost_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cost_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ics.dir/bench_fig4_ics.cpp.o"
+  "CMakeFiles/bench_fig4_ics.dir/bench_fig4_ics.cpp.o.d"
+  "bench_fig4_ics"
+  "bench_fig4_ics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_bns.dir/bench_fig6_bns.cpp.o"
+  "CMakeFiles/bench_fig6_bns.dir/bench_fig6_bns.cpp.o.d"
+  "bench_fig6_bns"
+  "bench_fig6_bns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_gnutella.dir/bench_table1_gnutella.cpp.o"
+  "CMakeFiles/bench_table1_gnutella.dir/bench_table1_gnutella.cpp.o.d"
+  "bench_table1_gnutella"
+  "bench_table1_gnutella.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_gnutella.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

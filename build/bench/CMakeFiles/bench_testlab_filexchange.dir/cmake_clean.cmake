@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_testlab_filexchange.dir/bench_testlab_filexchange.cpp.o"
+  "CMakeFiles/bench_testlab_filexchange.dir/bench_testlab_filexchange.cpp.o.d"
+  "bench_testlab_filexchange"
+  "bench_testlab_filexchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_testlab_filexchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

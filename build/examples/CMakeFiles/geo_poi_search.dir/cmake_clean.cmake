@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_poi_search.dir/geo_poi_search.cpp.o"
+  "CMakeFiles/geo_poi_search.dir/geo_poi_search.cpp.o.d"
+  "geo_poi_search"
+  "geo_poi_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_poi_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

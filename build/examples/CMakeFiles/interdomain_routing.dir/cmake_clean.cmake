@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interdomain_routing.dir/interdomain_routing.cpp.o"
+  "CMakeFiles/interdomain_routing.dir/interdomain_routing.cpp.o.d"
+  "interdomain_routing"
+  "interdomain_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interdomain_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

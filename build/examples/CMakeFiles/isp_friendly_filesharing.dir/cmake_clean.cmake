@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_friendly_filesharing.dir/isp_friendly_filesharing.cpp.o"
+  "CMakeFiles/isp_friendly_filesharing.dir/isp_friendly_filesharing.cpp.o.d"
+  "isp_friendly_filesharing"
+  "isp_friendly_filesharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_friendly_filesharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_aware_streaming.dir/latency_aware_streaming.cpp.o"
+  "CMakeFiles/latency_aware_streaming.dir/latency_aware_streaming.cpp.o.d"
+  "latency_aware_streaming"
+  "latency_aware_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_aware_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regional_alerts.dir/regional_alerts.cpp.o"
+  "CMakeFiles/regional_alerts.dir/regional_alerts.cpp.o.d"
+  "regional_alerts"
+  "regional_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regional_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superpeer_selection.dir/superpeer_selection.cpp.o"
+  "CMakeFiles/superpeer_selection.dir/superpeer_selection.cpp.o.d"
+  "superpeer_selection"
+  "superpeer_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superpeer_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

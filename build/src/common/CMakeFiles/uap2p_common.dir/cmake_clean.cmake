@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uap2p_common.dir/ids.cpp.o"
+  "CMakeFiles/uap2p_common.dir/ids.cpp.o.d"
+  "CMakeFiles/uap2p_common.dir/rng.cpp.o"
+  "CMakeFiles/uap2p_common.dir/rng.cpp.o.d"
+  "CMakeFiles/uap2p_common.dir/stats.cpp.o"
+  "CMakeFiles/uap2p_common.dir/stats.cpp.o.d"
+  "CMakeFiles/uap2p_common.dir/table.cpp.o"
+  "CMakeFiles/uap2p_common.dir/table.cpp.o.d"
+  "CMakeFiles/uap2p_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/uap2p_common.dir/thread_pool.cpp.o.d"
+  "libuap2p_common.a"
+  "libuap2p_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uap2p_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

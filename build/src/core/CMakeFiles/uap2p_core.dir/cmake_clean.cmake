@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uap2p_core.dir/taxonomy.cpp.o"
+  "CMakeFiles/uap2p_core.dir/taxonomy.cpp.o.d"
+  "CMakeFiles/uap2p_core.dir/underlay_service.cpp.o"
+  "CMakeFiles/uap2p_core.dir/underlay_service.cpp.o.d"
+  "libuap2p_core.a"
+  "libuap2p_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uap2p_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

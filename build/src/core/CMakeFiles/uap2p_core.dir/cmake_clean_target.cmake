@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuap2p_core.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netinfo/binning.cpp" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/binning.cpp.o" "gcc" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/binning.cpp.o.d"
+  "/root/repo/src/netinfo/cdn.cpp" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/cdn.cpp.o" "gcc" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/cdn.cpp.o.d"
+  "/root/repo/src/netinfo/geoprov.cpp" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/geoprov.cpp.o" "gcc" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/geoprov.cpp.o.d"
+  "/root/repo/src/netinfo/gmeasure.cpp" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/gmeasure.cpp.o" "gcc" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/gmeasure.cpp.o.d"
+  "/root/repo/src/netinfo/gossip.cpp" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/gossip.cpp.o" "gcc" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/gossip.cpp.o.d"
+  "/root/repo/src/netinfo/ics.cpp" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/ics.cpp.o" "gcc" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/ics.cpp.o.d"
+  "/root/repo/src/netinfo/ipmap.cpp" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/ipmap.cpp.o" "gcc" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/ipmap.cpp.o.d"
+  "/root/repo/src/netinfo/matrix.cpp" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/matrix.cpp.o" "gcc" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/matrix.cpp.o.d"
+  "/root/repo/src/netinfo/oracle.cpp" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/oracle.cpp.o" "gcc" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/oracle.cpp.o.d"
+  "/root/repo/src/netinfo/p4p.cpp" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/p4p.cpp.o" "gcc" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/p4p.cpp.o.d"
+  "/root/repo/src/netinfo/pinger.cpp" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/pinger.cpp.o" "gcc" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/pinger.cpp.o.d"
+  "/root/repo/src/netinfo/skyeye.cpp" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/skyeye.cpp.o" "gcc" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/skyeye.cpp.o.d"
+  "/root/repo/src/netinfo/vivaldi.cpp" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/vivaldi.cpp.o" "gcc" "src/netinfo/CMakeFiles/uap2p_netinfo.dir/vivaldi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/underlay/CMakeFiles/uap2p_underlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uap2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uap2p_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uap2p_netinfo.dir/binning.cpp.o"
+  "CMakeFiles/uap2p_netinfo.dir/binning.cpp.o.d"
+  "CMakeFiles/uap2p_netinfo.dir/cdn.cpp.o"
+  "CMakeFiles/uap2p_netinfo.dir/cdn.cpp.o.d"
+  "CMakeFiles/uap2p_netinfo.dir/geoprov.cpp.o"
+  "CMakeFiles/uap2p_netinfo.dir/geoprov.cpp.o.d"
+  "CMakeFiles/uap2p_netinfo.dir/gmeasure.cpp.o"
+  "CMakeFiles/uap2p_netinfo.dir/gmeasure.cpp.o.d"
+  "CMakeFiles/uap2p_netinfo.dir/gossip.cpp.o"
+  "CMakeFiles/uap2p_netinfo.dir/gossip.cpp.o.d"
+  "CMakeFiles/uap2p_netinfo.dir/ics.cpp.o"
+  "CMakeFiles/uap2p_netinfo.dir/ics.cpp.o.d"
+  "CMakeFiles/uap2p_netinfo.dir/ipmap.cpp.o"
+  "CMakeFiles/uap2p_netinfo.dir/ipmap.cpp.o.d"
+  "CMakeFiles/uap2p_netinfo.dir/matrix.cpp.o"
+  "CMakeFiles/uap2p_netinfo.dir/matrix.cpp.o.d"
+  "CMakeFiles/uap2p_netinfo.dir/oracle.cpp.o"
+  "CMakeFiles/uap2p_netinfo.dir/oracle.cpp.o.d"
+  "CMakeFiles/uap2p_netinfo.dir/p4p.cpp.o"
+  "CMakeFiles/uap2p_netinfo.dir/p4p.cpp.o.d"
+  "CMakeFiles/uap2p_netinfo.dir/pinger.cpp.o"
+  "CMakeFiles/uap2p_netinfo.dir/pinger.cpp.o.d"
+  "CMakeFiles/uap2p_netinfo.dir/skyeye.cpp.o"
+  "CMakeFiles/uap2p_netinfo.dir/skyeye.cpp.o.d"
+  "CMakeFiles/uap2p_netinfo.dir/vivaldi.cpp.o"
+  "CMakeFiles/uap2p_netinfo.dir/vivaldi.cpp.o.d"
+  "libuap2p_netinfo.a"
+  "libuap2p_netinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uap2p_netinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

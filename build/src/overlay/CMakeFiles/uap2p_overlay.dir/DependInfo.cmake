@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/bittorrent.cpp" "src/overlay/CMakeFiles/uap2p_overlay.dir/bittorrent.cpp.o" "gcc" "src/overlay/CMakeFiles/uap2p_overlay.dir/bittorrent.cpp.o.d"
+  "/root/repo/src/overlay/brocade.cpp" "src/overlay/CMakeFiles/uap2p_overlay.dir/brocade.cpp.o" "gcc" "src/overlay/CMakeFiles/uap2p_overlay.dir/brocade.cpp.o.d"
+  "/root/repo/src/overlay/geo_overlay.cpp" "src/overlay/CMakeFiles/uap2p_overlay.dir/geo_overlay.cpp.o" "gcc" "src/overlay/CMakeFiles/uap2p_overlay.dir/geo_overlay.cpp.o.d"
+  "/root/repo/src/overlay/gnutella.cpp" "src/overlay/CMakeFiles/uap2p_overlay.dir/gnutella.cpp.o" "gcc" "src/overlay/CMakeFiles/uap2p_overlay.dir/gnutella.cpp.o.d"
+  "/root/repo/src/overlay/kademlia.cpp" "src/overlay/CMakeFiles/uap2p_overlay.dir/kademlia.cpp.o" "gcc" "src/overlay/CMakeFiles/uap2p_overlay.dir/kademlia.cpp.o.d"
+  "/root/repo/src/overlay/superpeer.cpp" "src/overlay/CMakeFiles/uap2p_overlay.dir/superpeer.cpp.o" "gcc" "src/overlay/CMakeFiles/uap2p_overlay.dir/superpeer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netinfo/CMakeFiles/uap2p_netinfo.dir/DependInfo.cmake"
+  "/root/repo/build/src/underlay/CMakeFiles/uap2p_underlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uap2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uap2p_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uap2p_overlay.dir/bittorrent.cpp.o"
+  "CMakeFiles/uap2p_overlay.dir/bittorrent.cpp.o.d"
+  "CMakeFiles/uap2p_overlay.dir/brocade.cpp.o"
+  "CMakeFiles/uap2p_overlay.dir/brocade.cpp.o.d"
+  "CMakeFiles/uap2p_overlay.dir/geo_overlay.cpp.o"
+  "CMakeFiles/uap2p_overlay.dir/geo_overlay.cpp.o.d"
+  "CMakeFiles/uap2p_overlay.dir/gnutella.cpp.o"
+  "CMakeFiles/uap2p_overlay.dir/gnutella.cpp.o.d"
+  "CMakeFiles/uap2p_overlay.dir/kademlia.cpp.o"
+  "CMakeFiles/uap2p_overlay.dir/kademlia.cpp.o.d"
+  "CMakeFiles/uap2p_overlay.dir/superpeer.cpp.o"
+  "CMakeFiles/uap2p_overlay.dir/superpeer.cpp.o.d"
+  "libuap2p_overlay.a"
+  "libuap2p_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uap2p_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

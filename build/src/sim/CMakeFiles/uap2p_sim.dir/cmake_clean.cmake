@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uap2p_sim.dir/churn.cpp.o"
+  "CMakeFiles/uap2p_sim.dir/churn.cpp.o.d"
+  "CMakeFiles/uap2p_sim.dir/engine.cpp.o"
+  "CMakeFiles/uap2p_sim.dir/engine.cpp.o.d"
+  "libuap2p_sim.a"
+  "libuap2p_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uap2p_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

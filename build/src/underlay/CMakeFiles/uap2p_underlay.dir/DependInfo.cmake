@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/underlay/cost.cpp" "src/underlay/CMakeFiles/uap2p_underlay.dir/cost.cpp.o" "gcc" "src/underlay/CMakeFiles/uap2p_underlay.dir/cost.cpp.o.d"
+  "/root/repo/src/underlay/geo.cpp" "src/underlay/CMakeFiles/uap2p_underlay.dir/geo.cpp.o" "gcc" "src/underlay/CMakeFiles/uap2p_underlay.dir/geo.cpp.o.d"
+  "/root/repo/src/underlay/mobility.cpp" "src/underlay/CMakeFiles/uap2p_underlay.dir/mobility.cpp.o" "gcc" "src/underlay/CMakeFiles/uap2p_underlay.dir/mobility.cpp.o.d"
+  "/root/repo/src/underlay/network.cpp" "src/underlay/CMakeFiles/uap2p_underlay.dir/network.cpp.o" "gcc" "src/underlay/CMakeFiles/uap2p_underlay.dir/network.cpp.o.d"
+  "/root/repo/src/underlay/routing.cpp" "src/underlay/CMakeFiles/uap2p_underlay.dir/routing.cpp.o" "gcc" "src/underlay/CMakeFiles/uap2p_underlay.dir/routing.cpp.o.d"
+  "/root/repo/src/underlay/topology.cpp" "src/underlay/CMakeFiles/uap2p_underlay.dir/topology.cpp.o" "gcc" "src/underlay/CMakeFiles/uap2p_underlay.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uap2p_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uap2p_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uap2p_underlay.dir/cost.cpp.o"
+  "CMakeFiles/uap2p_underlay.dir/cost.cpp.o.d"
+  "CMakeFiles/uap2p_underlay.dir/geo.cpp.o"
+  "CMakeFiles/uap2p_underlay.dir/geo.cpp.o.d"
+  "CMakeFiles/uap2p_underlay.dir/mobility.cpp.o"
+  "CMakeFiles/uap2p_underlay.dir/mobility.cpp.o.d"
+  "CMakeFiles/uap2p_underlay.dir/network.cpp.o"
+  "CMakeFiles/uap2p_underlay.dir/network.cpp.o.d"
+  "CMakeFiles/uap2p_underlay.dir/routing.cpp.o"
+  "CMakeFiles/uap2p_underlay.dir/routing.cpp.o.d"
+  "CMakeFiles/uap2p_underlay.dir/topology.cpp.o"
+  "CMakeFiles/uap2p_underlay.dir/topology.cpp.o.d"
+  "libuap2p_underlay.a"
+  "libuap2p_underlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uap2p_underlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_binning.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_binning.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_binning.cpp.o.d"
+  "/root/repo/tests/test_bittorrent.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_bittorrent.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_bittorrent.cpp.o.d"
+  "/root/repo/tests/test_brocade.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_brocade.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_brocade.cpp.o.d"
+  "/root/repo/tests/test_cat_policy.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_cat_policy.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_cat_policy.cpp.o.d"
+  "/root/repo/tests/test_cdn.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_cdn.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_cdn.cpp.o.d"
+  "/root/repo/tests/test_churn.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_churn.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_churn.cpp.o.d"
+  "/root/repo/tests/test_core_service.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_core_service.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_core_service.cpp.o.d"
+  "/root/repo/tests/test_cost.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_cost.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_cost.cpp.o.d"
+  "/root/repo/tests/test_custom_tracker.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_custom_tracker.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_custom_tracker.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_engine_stress.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_engine_stress.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_engine_stress.cpp.o.d"
+  "/root/repo/tests/test_framework_e2e.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_framework_e2e.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_framework_e2e.cpp.o.d"
+  "/root/repo/tests/test_geo.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_geo.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_geo.cpp.o.d"
+  "/root/repo/tests/test_geo_overlay.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_geo_overlay.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_geo_overlay.cpp.o.d"
+  "/root/repo/tests/test_geocast.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_geocast.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_geocast.cpp.o.d"
+  "/root/repo/tests/test_gmeasure.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_gmeasure.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_gmeasure.cpp.o.d"
+  "/root/repo/tests/test_gnutella.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_gnutella.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_gnutella.cpp.o.d"
+  "/root/repo/tests/test_gnutella_properties.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_gnutella_properties.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_gnutella_properties.cpp.o.d"
+  "/root/repo/tests/test_gossip.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_gossip.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_gossip.cpp.o.d"
+  "/root/repo/tests/test_ics.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_ics.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_ics.cpp.o.d"
+  "/root/repo/tests/test_ids.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_ids.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_ids.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ipmap.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_ipmap.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_ipmap.cpp.o.d"
+  "/root/repo/tests/test_kademlia.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_kademlia.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_kademlia.cpp.o.d"
+  "/root/repo/tests/test_kademlia_properties.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_kademlia_properties.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_kademlia_properties.cpp.o.d"
+  "/root/repo/tests/test_ltm.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_ltm.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_ltm.cpp.o.d"
+  "/root/repo/tests/test_maintenance.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_maintenance.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_maintenance.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_mobility.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_mobility.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_mobility.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_oracle.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_oracle.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_oracle.cpp.o.d"
+  "/root/repo/tests/test_overlay_sweeps.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_overlay_sweeps.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_overlay_sweeps.cpp.o.d"
+  "/root/repo/tests/test_p4p.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_p4p.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_p4p.cpp.o.d"
+  "/root/repo/tests/test_pinger.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_pinger.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_pinger.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_routing_properties.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_routing_properties.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_routing_properties.cpp.o.d"
+  "/root/repo/tests/test_scoped_hashing.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_scoped_hashing.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_scoped_hashing.cpp.o.d"
+  "/root/repo/tests/test_skyeye.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_skyeye.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_skyeye.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_superpeer.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_superpeer.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_superpeer.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_taxonomy.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_taxonomy.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_taxonomy.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trie_fuzz.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_trie_fuzz.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_trie_fuzz.cpp.o.d"
+  "/root/repo/tests/test_vivaldi.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_vivaldi.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_vivaldi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uap2p_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/uap2p_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/netinfo/CMakeFiles/uap2p_netinfo.dir/DependInfo.cmake"
+  "/root/repo/build/src/underlay/CMakeFiles/uap2p_underlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uap2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uap2p_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
