@@ -2,18 +2,32 @@
 // event-loop throughput, Dijkstra/path-cache lookups, LPM trie, Vivaldi
 // updates, ICS model construction, oracle ranking. These guard the
 // simulator's performance envelope rather than reproduce a paper figure.
+//
+// Besides the console output, the binary emits a machine-readable
+// `BENCH_micro.json` (path overridable with --bench_json=PATH) holding
+// per-benchmark items/sec, so perf trajectories can be compared across
+// PRs and validated by the bench-smoke CTest check.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
 #include "netinfo/ics.hpp"
 #include "netinfo/ipmap.hpp"
 #include "netinfo/oracle.hpp"
 #include "netinfo/p4p.hpp"
-#include "underlay/geo.hpp"
 #include "netinfo/vivaldi.hpp"
 #include "sim/engine.hpp"
+#include "underlay/geo.hpp"
 #include "underlay/network.hpp"
 
 using namespace uap2p;
+
+// --- Event engine --------------------------------------------------------
 
 static void BM_EngineScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
@@ -26,6 +40,46 @@ static void BM_EngineScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EngineScheduleRun);
+
+static void BM_EngineSteadyStateChurn(benchmark::State& state) {
+  // A warm engine whose slab and queue storage are recycled each round:
+  // the steady-state regime every long simulation run lives in.
+  sim::Engine engine;
+  auto round = [&engine] {
+    for (int i = 0; i < 1000; ++i) engine.schedule(double(i % 97), [] {});
+    return engine.run();
+  };
+  round();  // warm-up: grow slab + queue to steady-state footprint
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(round());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineSteadyStateChurn);
+
+static void BM_EngineCancelHeavy(benchmark::State& state) {
+  // Retransmission-timer workload: most timers are disarmed before they
+  // fire, exercising generation-tombstone skipping and slot recycling.
+  sim::Engine engine;
+  std::vector<sim::EventHandle> handles(1000);
+  auto round = [&] {
+    for (int i = 0; i < 1000; ++i) {
+      handles[std::size_t(i)] = engine.schedule(double(i % 61), [] {});
+    }
+    for (int i = 0; i < 1000; ++i) {
+      if (i % 10 != 0) handles[std::size_t(i)].cancel();
+    }
+    return engine.run();
+  };
+  round();  // warm-up
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(round());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);  // timers armed
+}
+BENCHMARK(BM_EngineCancelHeavy);
+
+// --- Routing -------------------------------------------------------------
 
 static void BM_RoutingColdDijkstra(benchmark::State& state) {
   const underlay::AsTopology topo =
@@ -47,8 +101,53 @@ static void BM_RoutingCachedPath(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(routing.path(RouterId(0), last));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RoutingCachedPath);
+
+static void BM_RoutingMixedCachedPaths(benchmark::State& state) {
+  // Fully warmed cache probed with a shuffled pair sequence: the realistic
+  // hot regime of Network::send once a simulation has been running.
+  const underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 20, 0.3);
+  underlay::RoutingTable routing(topo);
+  const auto n = static_cast<std::uint32_t>(topo.router_count());
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = 0; j < n; ++j) routing.path(RouterId(i), RouterId(j));
+  Rng rng(17);
+  constexpr std::size_t kProbes = 1024;
+  std::vector<std::pair<RouterId, RouterId>> pairs;
+  pairs.reserve(kProbes);
+  for (std::size_t k = 0; k < kProbes; ++k) {
+    pairs.emplace_back(RouterId(std::uint32_t(rng.uniform(n))),
+                       RouterId(std::uint32_t(rng.uniform(n))));
+  }
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[index++ & (kProbes - 1)];
+    benchmark::DoNotOptimize(routing.path(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutingMixedCachedPaths);
+
+// --- Parallel sweep dispatch --------------------------------------------
+
+static void BM_ParallelForDispatch(benchmark::State& state) {
+  // Cost of fanning a tiny sweep out and joining it; dominated by pool
+  // dispatch overhead, which used to include thread creation per call.
+  process_pool();  // lazy init outside the timed region
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    parallel_for(
+        8, [&](std::size_t i) { sink.fetch_add(i, std::memory_order_relaxed); },
+        4);
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ParallelForDispatch);
+
+// --- netinfo / geo -------------------------------------------------------
 
 static void BM_PrefixTrieLookup(benchmark::State& state) {
   netinfo::PrefixTrie trie;
@@ -125,4 +224,109 @@ static void BM_P4pRank(benchmark::State& state) {
 }
 BENCHMARK(BM_P4pRank)->Arg(100)->Arg(1000);
 
-BENCHMARK_MAIN();
+// --- Machine-readable output --------------------------------------------
+
+namespace {
+
+struct JsonEntry {
+  std::string name;
+  std::int64_t iterations = 0;
+  double real_time_ns_per_iter = 0.0;
+  double items_per_second = 0.0;
+};
+
+/// Console reporter that also records every per-iteration run so main()
+/// can emit BENCH_micro.json after the suite finishes. Aggregate rows
+/// (mean/median/stddev under --benchmark_repetitions) are skipped to keep
+/// the schema one-row-per-benchmark.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      JsonEntry entry;
+      entry.name = run.benchmark_name();
+      entry.iterations = run.iterations;
+      if (run.iterations > 0) {
+        entry.real_time_ns_per_iter =
+            run.real_accumulated_time * 1e9 / double(run.iterations);
+      }
+      const auto counter = run.counters.find("items_per_second");
+      if (counter != run.counters.end()) {
+        entry.items_per_second = counter->second.value;
+      } else if (run.real_accumulated_time > 0.0) {
+        // No explicit items counter: one item per iteration.
+        entry.items_per_second =
+            double(run.iterations) / run.real_accumulated_time;
+      }
+      entries.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<JsonEntry> entries;
+};
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool write_json(const std::string& path,
+                const std::vector<JsonEntry>& entries) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(file, "{\n  \"schema_version\": 1,\n");
+  std::fprintf(file, "  \"suite\": \"bench_micro\",\n");
+  std::fprintf(file, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const JsonEntry& e = entries[i];
+    std::fprintf(file,
+                 "    {\"name\": \"%s\", \"iterations\": %lld, "
+                 "\"real_time_ns_per_iter\": %.6g, "
+                 "\"items_per_second\": %.6g}%s\n",
+                 json_escape(e.name).c_str(),
+                 static_cast<long long>(e.iterations), e.real_time_ns_per_iter,
+                 e.items_per_second, i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_micro.json";
+  // Extract our own flag before google-benchmark sees the arguments.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kFlag[] = "--bench_json=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      json_path = argv[i] + sizeof(kFlag) - 1;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (reporter.entries.empty()) {
+    std::fprintf(stderr, "bench_micro: no benchmark runs recorded\n");
+    return 1;
+  }
+  return write_json(json_path, reporter.entries) ? 0 : 1;
+}

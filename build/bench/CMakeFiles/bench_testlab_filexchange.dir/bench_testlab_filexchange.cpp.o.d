@@ -214,12 +214,19 @@ bench/CMakeFiles/bench_testlab_filexchange.dir/bench_testlab_filexchange.cpp.o: 
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/underlay/network.hpp /usr/include/c++/12/any \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/engine.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/time.hpp /root/repo/src/underlay/cost.hpp \
- /root/repo/src/underlay/routing.hpp /root/repo/src/underlay/topology.hpp \
- /root/repo/src/underlay/geo.hpp /root/repo/src/overlay/gnutella.hpp \
- /usr/include/c++/12/optional /usr/include/c++/12/unordered_set \
+ /root/repo/src/underlay/routing.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/underlay/topology.hpp /root/repo/src/underlay/geo.hpp \
+ /root/repo/src/overlay/gnutella.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/stats.hpp \
  /root/repo/src/netinfo/pinger.hpp

@@ -4,3 +4,7 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench-smoke "/root/repo/build/bench/bench_micro" "--benchmark_min_time=0.01" "--bench_json=/root/repo/build/BENCH_micro.json")
+set_tests_properties(bench-smoke PROPERTIES  FIXTURES_SETUP "bench_micro_json" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench-smoke-validate "/root/repo/build/bench/validate_bench_json" "/root/repo/build/BENCH_micro.json")
+set_tests_properties(bench-smoke-validate PROPERTIES  FIXTURES_REQUIRED "bench_micro_json" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -218,6 +218,9 @@ examples/CMakeFiles/latency_aware_streaming.dir/latency_aware_streaming.cpp.o: \
  /root/repo/src/netinfo/cdn.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/limits /root/repo/src/underlay/network.hpp \
  /usr/include/c++/12/any /root/repo/src/sim/engine.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/time.hpp /root/repo/src/underlay/cost.hpp \
  /root/repo/src/underlay/routing.hpp /root/repo/src/underlay/topology.hpp \
  /root/repo/src/underlay/geo.hpp /root/repo/src/netinfo/geoprov.hpp \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alloc_probe.cpp" "tests/CMakeFiles/uap2p_tests.dir/alloc_probe.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/alloc_probe.cpp.o.d"
   "/root/repo/tests/test_binning.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_binning.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_binning.cpp.o.d"
   "/root/repo/tests/test_bittorrent.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_bittorrent.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_bittorrent.cpp.o.d"
   "/root/repo/tests/test_brocade.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_brocade.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_brocade.cpp.o.d"
@@ -18,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_cost.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_cost.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_cost.cpp.o.d"
   "/root/repo/tests/test_custom_tracker.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_custom_tracker.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_custom_tracker.cpp.o.d"
   "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_engine_alloc.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_engine_alloc.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_engine_alloc.cpp.o.d"
   "/root/repo/tests/test_engine_stress.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_engine_stress.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_engine_stress.cpp.o.d"
   "/root/repo/tests/test_framework_e2e.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_framework_e2e.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_framework_e2e.cpp.o.d"
   "/root/repo/tests/test_geo.cpp" "tests/CMakeFiles/uap2p_tests.dir/test_geo.cpp.o" "gcc" "tests/CMakeFiles/uap2p_tests.dir/test_geo.cpp.o.d"

@@ -297,6 +297,4 @@ tests/CMakeFiles/uap2p_tests.dir/test_engine_stress.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/rng.hpp /root/repo/src/sim/engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/time.hpp
+ /usr/include/c++/12/cstring /root/repo/src/sim/time.hpp

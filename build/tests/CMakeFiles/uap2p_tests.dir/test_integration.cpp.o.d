@@ -296,16 +296,20 @@ tests/CMakeFiles/uap2p_tests.dir/test_integration.cpp.o: \
  /root/repo/src/core/underlay_service.hpp /usr/include/c++/12/span \
  /root/repo/src/common/ids.hpp /root/repo/src/netinfo/cdn.hpp \
  /root/repo/src/common/rng.hpp /root/repo/src/underlay/network.hpp \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/time.hpp /root/repo/src/underlay/cost.hpp \
- /root/repo/src/underlay/routing.hpp /root/repo/src/underlay/topology.hpp \
- /root/repo/src/underlay/geo.hpp /root/repo/src/netinfo/geoprov.hpp \
- /root/repo/src/netinfo/ipmap.hpp /root/repo/src/netinfo/ics.hpp \
- /root/repo/src/netinfo/matrix.hpp /root/repo/src/netinfo/oracle.hpp \
- /root/repo/src/netinfo/pinger.hpp /root/repo/src/netinfo/skyeye.hpp \
- /root/repo/src/netinfo/vivaldi.hpp /root/repo/src/common/stats.hpp \
- /root/repo/src/overlay/bittorrent.hpp \
+ /root/repo/src/sim/engine.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/cstring /root/repo/src/sim/time.hpp \
+ /root/repo/src/underlay/cost.hpp /root/repo/src/underlay/routing.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/underlay/topology.hpp /root/repo/src/underlay/geo.hpp \
+ /root/repo/src/netinfo/geoprov.hpp /root/repo/src/netinfo/ipmap.hpp \
+ /root/repo/src/netinfo/ics.hpp /root/repo/src/netinfo/matrix.hpp \
+ /root/repo/src/netinfo/oracle.hpp /root/repo/src/netinfo/pinger.hpp \
+ /root/repo/src/netinfo/skyeye.hpp /root/repo/src/netinfo/vivaldi.hpp \
+ /root/repo/src/common/stats.hpp /root/repo/src/overlay/bittorrent.hpp \
  /root/repo/src/overlay/gnutella.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/churn.hpp

@@ -297,8 +297,12 @@ tests/CMakeFiles/uap2p_tests.dir/test_kademlia_properties.cpp.o: \
  /root/repo/src/common/ids.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/netinfo/oracle.hpp /usr/include/c++/12/span \
  /root/repo/src/underlay/network.hpp /root/repo/src/sim/engine.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/cstring /root/repo/src/sim/time.hpp \
+ /root/repo/src/underlay/cost.hpp /root/repo/src/underlay/routing.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/time.hpp \
- /root/repo/src/underlay/cost.hpp /root/repo/src/underlay/routing.hpp \
+ /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/underlay/topology.hpp /root/repo/src/underlay/geo.hpp

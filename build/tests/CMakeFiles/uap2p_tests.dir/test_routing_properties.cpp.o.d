@@ -294,6 +294,8 @@ tests/CMakeFiles/uap2p_tests.dir/test_routing_properties.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/rng.hpp /root/repo/src/underlay/routing.hpp \
- /root/repo/src/common/ids.hpp /root/repo/src/sim/time.hpp \
- /root/repo/src/underlay/topology.hpp /usr/include/c++/12/span \
- /root/repo/src/underlay/geo.hpp
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/ids.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/underlay/topology.hpp \
+ /usr/include/c++/12/span /root/repo/src/underlay/geo.hpp

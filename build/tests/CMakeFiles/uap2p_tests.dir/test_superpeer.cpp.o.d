@@ -145,7 +145,21 @@ tests/CMakeFiles/uap2p_tests.dir/test_superpeer.cpp.o: \
  /usr/include/c++/12/limits /root/repo/src/common/stats.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/netinfo/skyeye.hpp \
  /usr/include/c++/12/span /root/repo/src/sim/engine.hpp \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/time.hpp \
+ /root/repo/src/underlay/network.hpp /usr/include/c++/12/any \
+ /root/repo/src/underlay/cost.hpp /root/repo/src/underlay/routing.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/underlay/topology.hpp /root/repo/src/underlay/geo.hpp \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -211,20 +225,11 @@ tests/CMakeFiles/uap2p_tests.dir/test_superpeer.cpp.o: \
  /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/time.hpp /root/repo/src/underlay/network.hpp \
- /usr/include/c++/12/any /root/repo/src/underlay/cost.hpp \
- /root/repo/src/underlay/routing.hpp /root/repo/src/underlay/topology.hpp \
- /root/repo/src/underlay/geo.hpp /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
- /usr/include/c++/12/stdlib.h /usr/include/string.h \
- /usr/include/strings.h /usr/include/x86_64-linux-gnu/sys/stat.h \
+ /usr/include/c++/12/stdlib.h /usr/include/x86_64-linux-gnu/sys/stat.h \
  /usr/include/x86_64-linux-gnu/bits/stat.h \
  /usr/include/x86_64-linux-gnu/bits/struct_stat.h \
  /usr/include/x86_64-linux-gnu/bits/statx.h /usr/include/linux/stat.h \
@@ -293,18 +298,13 @@ tests/CMakeFiles/uap2p_tests.dir/test_superpeer.cpp.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
  /root/miniconda/include/gtest/internal/gtest-param-util.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h

@@ -5,6 +5,11 @@
 #include <exception>
 
 namespace uap2p {
+namespace {
+/// Set for the lifetime of every pool worker thread; lets parallel_for
+/// detect nesting without threading a context object through callers.
+thread_local bool t_on_worker_thread = false;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -22,7 +27,10 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
+
 void ThreadPool::worker_loop() {
+  t_on_worker_thread = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -36,12 +44,21 @@ void ThreadPool::worker_loop() {
   }
 }
 
+ThreadPool& process_pool() {
+  // Magic static: constructed on first use, joined after main() returns.
+  static ThreadPool pool;
+  return pool;
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads) {
   if (n == 0) return;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   threads = std::min(threads, n);
-  if (threads <= 1) {
+  // Inline when there is no parallelism to exploit, and when nested inside
+  // a pool worker: blocking a worker on futures served by the same pool
+  // would deadlock once all workers wait on each other.
+  if (threads <= 1 || ThreadPool::on_worker_thread()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -60,10 +77,15 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
       }
     }
   };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(body);
-  for (auto& worker : pool) worker.join();
+  ThreadPool& pool = process_pool();
+  // One chunk task per requested lane; the caller's thread works too, so
+  // the sweep makes progress even while pool workers are busy elsewhere.
+  const std::size_t lanes = std::min(threads - 1, pool.thread_count());
+  std::vector<std::future<void>> futures;
+  futures.reserve(lanes);
+  for (std::size_t t = 0; t < lanes; ++t) futures.push_back(pool.submit(body));
+  body();
+  for (auto& future : futures) future.get();
   if (first_error) std::rethrow_exception(first_error);
 }
 

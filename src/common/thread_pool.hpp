@@ -45,6 +45,11 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
+  /// True when the calling thread is a worker of *any* ThreadPool. Used by
+  /// parallel_for to run nested invocations inline instead of deadlocking
+  /// on the shared process pool.
+  [[nodiscard]] static bool on_worker_thread();
+
  private:
   void worker_loop();
 
@@ -55,9 +60,18 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Runs fn(i) for i in [0, n), spread over a transient pool. Exceptions
-/// from any iteration are rethrown (first one wins). Iteration order is
-/// unspecified; fn must be safe to run concurrently with itself.
+/// The lazily-initialized process-wide pool (hardware_concurrency threads,
+/// created on first use, joined at process exit). parallel_for dispatches
+/// through this pool so bench sweeps stop paying thread creation and
+/// teardown per sweep point.
+ThreadPool& process_pool();
+
+/// Runs fn(i) for i in [0, n), spread over the shared process pool
+/// (`threads` caps the concurrency; 0 means hardware_concurrency).
+/// Exceptions from any iteration are rethrown (first one wins). Iteration
+/// order is unspecified; fn must be safe to run concurrently with itself.
+/// Runs inline when threads <= 1 or when called from inside a pool worker
+/// (nested parallelism degrades to sequential instead of deadlocking).
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 

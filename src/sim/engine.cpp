@@ -1,39 +1,25 @@
 #include "sim/engine.hpp"
 
-#include <cassert>
-
 namespace uap2p::sim {
-
-void EventHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
-}
-
-bool EventHandle::pending() const {
-  return cancelled_ && !*cancelled_ && cancelled_.use_count() > 1;
-}
-
-EventHandle Engine::schedule(SimTime delay, std::function<void()> fn) {
-  if (delay < 0) delay = 0;
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-EventHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
-  assert(when >= now_);
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
-  return EventHandle(std::move(cancelled));
-}
 
 bool Engine::pop_and_run() {
   while (!queue_.empty()) {
-    // priority_queue::top returns const&; the event is copied out before pop
-    // because the callback may schedule new events (mutating the queue).
-    Event ev = queue_.top();
+    const QueueEntry entry = queue_.top();
     queue_.pop();
-    if (*ev.cancelled) continue;  // tombstone left by EventHandle::cancel
-    now_ = ev.when;
-    *ev.cancelled = true;  // marks "fired" so pending() turns false
-    ev.fn();
+    const std::uint32_t index = static_cast<std::uint32_t>(entry.tag) &
+                                kSlotMask;
+    Slot& slot = slot_at(index);
+    if (slot.armed_tag != entry.tag) continue;  // cancelled tombstone
+    now_ = entry.when;
+    // Disarm before invoking, so cancel()/pending() on the firing event
+    // no-op inside its own callback. The callback runs in place: chunked
+    // slab storage never relocates, and the slot is kept off the free
+    // list until after the call, so re-entrant schedule() cannot clobber
+    // it.
+    slot.armed_tag = kFreeBit | kInvalidSlot;
+    slot.fn.fire();
+    slot.armed_tag = kFreeBit | free_head_;
+    free_head_ = index;
     ++executed_;
     return true;
   }
@@ -50,11 +36,14 @@ std::uint64_t Engine::run_until(SimTime until) {
   std::uint64_t ran = 0;
   while (!queue_.empty()) {
     // Skip tombstones at the head so their timestamps don't gate progress.
-    if (*queue_.top().cancelled) {
+    const QueueEntry& top = queue_.top();
+    const std::uint32_t index = static_cast<std::uint32_t>(top.tag) &
+                                kSlotMask;
+    if (slot_at(index).armed_tag != top.tag) {
       queue_.pop();
       continue;
     }
-    if (queue_.top().when > until) break;
+    if (top.when > until) break;
     if (pop_and_run()) ++ran;
   }
   if (now_ < until) now_ = until;

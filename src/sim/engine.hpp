@@ -4,20 +4,147 @@
 // simulated times and executed in (time, insertion-order) order. All of
 // uap2p's network and overlay behaviour is expressed as events on one
 // Engine, which makes runs bit-reproducible.
+//
+// Performance model (see DESIGN.md "Performance model"): the steady-state
+// schedule -> run cycle is allocation-free. Callbacks live in a chunked
+// slab of recycled slots; captures up to EventCallback::kInlineCapacity
+// bytes are stored inline in the slot (larger ones spill to the heap).
+// Cancellation uses per-event tags (a global sequence number packed with
+// the slot index) instead of shared ownership, so an EventHandle is two
+// words and never touches the allocator. Handles must not outlive their
+// Engine.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <algorithm>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace uap2p::sim {
 
+class Engine;
+
+namespace detail {
+
+/// Type-erased `void()` callback with small-buffer optimization. Captures
+/// of at most kInlineCapacity bytes are stored in-place (no allocation);
+/// larger callables are heap-allocated and owned through the same ops
+/// table. Move-only, like the slab slots that hold it.
+class EventCallback {
+ public:
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  EventCallback() = default;
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+  EventCallback(EventCallback&& other) noexcept { move_from(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  ~EventCallback() { reset(); }
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using Decayed = std::decay_t<F>;
+    reset();
+    if constexpr (sizeof(Decayed) <= kInlineCapacity &&
+                  alignof(Decayed) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(fn));
+      ops_ = &kInlineOps<Decayed>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Decayed*(
+          new Decayed(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Decayed>;
+    }
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  /// Invokes and then destroys the callable with a single ops dispatch
+  /// (the event loop's per-fire path); leaves the callback empty. If the
+  /// callable throws, it is leaked rather than double-destroyed.
+  void fire() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(storage_);
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return ops_ == nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*invoke_destroy)(void*);
+    void (*destroy)(void*);
+    /// Move-constructs into `dst` from `src` and destroys `src`.
+    void (*relocate)(void* dst, void* src);
+  };
+
+  template <typename F>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*std::launder(static_cast<F*>(p)))(); },
+      [](void* p) {
+        F* fn = std::launder(static_cast<F*>(p));
+        (*fn)();
+        fn->~F();
+      },
+      [](void* p) { std::launder(static_cast<F*>(p))->~F(); },
+      [](void* dst, void* src) {
+        F* from = std::launder(static_cast<F*>(src));
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      }};
+
+  template <typename F>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**static_cast<F**>(p))(); },
+      [](void* p) {
+        F* fn = *static_cast<F**>(p);
+        (*fn)();
+        delete fn;
+      },
+      [](void* p) { delete *static_cast<F**>(p); },
+      [](void* dst, void* src) { std::memcpy(dst, src, sizeof(F*)); }};
+
+  void move_from(EventCallback& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace detail
+
 /// Handle to a scheduled event; allows cancellation (e.g. retransmission
-/// timers that are disarmed when the reply arrives).
+/// timers that are disarmed when the reply arrives). A handle is an
+/// {engine, tag} pair: the tag packs the event's globally unique sequence
+/// number with its slab slot, so stale handles to fired or cancelled
+/// events degrade to no-ops (the slot's armed tag no longer matches).
+/// Must not be used after its Engine is destroyed.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -30,9 +157,11 @@ class EventHandle {
 
  private:
   friend class Engine;
-  explicit EventHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(Engine* engine, std::uint64_t tag)
+      : engine_(engine), tag_(tag) {}
+
+  Engine* engine_ = nullptr;
+  std::uint64_t tag_ = 0;
 };
 
 /// The event loop. Not thread-safe by design: one Engine per experiment.
@@ -47,10 +176,24 @@ class Engine {
 
   /// Schedules `fn` to run at `now() + delay`. Negative delays clamp to 0
   /// (the event still runs after the current callback returns).
-  EventHandle schedule(SimTime delay, std::function<void()> fn);
+  template <typename F>
+  EventHandle schedule(SimTime delay, F&& fn) {
+    if (delay < 0) delay = 0;
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedules at an absolute time; must be >= now().
-  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  template <typename F>
+  EventHandle schedule_at(SimTime when, F&& fn) {
+    assert(when >= now_);
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slot_at(slot);
+    s.fn.emplace(std::forward<F>(fn));
+    const std::uint64_t tag = (next_seq_++ << kSlotBits) | slot;
+    s.armed_tag = tag;
+    queue_.push(QueueEntry{when, tag});
+    return EventHandle(this, tag);
+  }
 
   /// Runs until the queue is empty or `limit` events fired.
   /// Returns the number of events executed.
@@ -66,26 +209,183 @@ class Engine {
   /// Total events executed since construction (cancelled ones excluded).
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  /// Slab capacity: high-water mark of concurrently scheduled events.
+  /// Exposed so tests can assert that steady-state churn recycles slots
+  /// instead of growing the slab.
+  [[nodiscard]] std::size_t slab_size() const { return slot_count_; }
+
  private:
-  struct Event {
+  friend class EventHandle;
+
+  // Event tags pack (sequence << kSlotBits) | slot into one word: the
+  // sequence makes every scheduling globally unique (so a tag never
+  // matches a reused slot — the generation-counter idea with the counter
+  // shared engine-wide), and the slot index is recovered with a mask. 24
+  // slot bits cap the slab at ~16.7M concurrent events; 40 sequence bits
+  // allow ~10^12 schedules per Engine. Free slots are marked with
+  // kFreeBit, which no live tag can carry below 5*10^11 schedules.
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint32_t kInvalidSlot = kSlotMask;
+  static constexpr std::uint64_t kFreeBit = 1ull << 63;
+
+  /// One slab cell: the callback plus the tag it is armed with. While on
+  /// the free list, armed_tag instead holds kFreeBit | next-free-slot
+  /// (the callback storage is dead then, so the slot stays at 64 bytes).
+  struct Slot {
+    detail::EventCallback fn;
+    std::uint64_t armed_tag = kFreeBit | kInvalidSlot;
+  };
+
+  /// The slab is a list of fixed-size chunks, so Slot addresses are stable
+  /// for the Engine's lifetime: growth allocates a fresh chunk instead of
+  /// relocating live callbacks the way a flat vector's realloc would, and
+  /// stability is what lets pop_and_run invoke callbacks in place. With
+  /// EventCallback's 48-byte inline buffer a Slot is 64 bytes, so a chunk
+  /// is 16 KiB.
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;  // slots
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+  [[nodiscard]] Slot& slot_at(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & kChunkMask];
+  }
+  [[nodiscard]] const Slot& slot_at(std::uint32_t slot) const {
+    return chunks_[slot >> kChunkShift][slot & kChunkMask];
+  }
+
+  /// POD heap entry: 16 bytes, no ownership. The callback stays in the
+  /// slab; the priority queue only orders (when, tag) — the tag's
+  /// high-bits sequence number breaks time ties in insertion order — and
+  /// remembers which slot to fire.
+  struct QueueEntry {
     SimTime when;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint64_t tag;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+
+  /// Min-heap over (when, tag) specialized for the event loop: 4-ary (a
+  /// quarter of the levels of a binary heap touch memory on each sift,
+  /// and with 16-byte entries the four children share one cache line),
+  /// hole-based sifting (one store per level instead of a swap), flat
+  /// vector storage reused across runs so the steady state never
+  /// allocates.
+  class EventHeap {
+   public:
+    [[nodiscard]] bool empty() const { return entries_.empty(); }
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    void reserve(std::size_t n) { entries_.reserve(n); }
+    [[nodiscard]] const QueueEntry& top() const { return entries_.front(); }
+
+    void push(const QueueEntry& entry) {
+      std::size_t hole = entries_.size();
+      entries_.push_back(entry);  // grows storage; value rewritten below
+      while (hole > 0) {
+        const std::size_t parent = (hole - 1) / 4;
+        if (!earlier(entry, entries_[parent])) break;
+        entries_[hole] = entries_[parent];
+        hole = parent;
+      }
+      entries_[hole] = entry;
     }
+
+    void pop() {
+      // Bottom-up deletion (Wegener): walk the min-child path all the way
+      // to a leaf, then sift the displaced back element up from there.
+      // The displaced element came from the heap's bottom, so it almost
+      // always belongs near the leaves — this saves the per-level
+      // "min child vs displaced" comparison of the classic sift-down.
+      const QueueEntry displaced = entries_.back();
+      entries_.pop_back();
+      const std::size_t n = entries_.size();
+      if (n == 0) return;
+      std::size_t hole = 0;
+      for (;;) {
+        const std::size_t first_child = hole * 4 + 1;
+        if (first_child >= n) break;
+        const std::size_t end = std::min(first_child + 4, n);
+        std::size_t best = first_child;
+        for (std::size_t c = first_child + 1; c < end; ++c) {
+          if (earlier(entries_[c], entries_[best])) best = c;
+        }
+        entries_[hole] = entries_[best];
+        hole = best;
+      }
+      while (hole > 0) {
+        const std::size_t parent = (hole - 1) / 4;
+        if (!earlier(displaced, entries_[parent])) break;
+        entries_[hole] = entries_[parent];
+        hole = parent;
+      }
+      entries_[hole] = displaced;
+    }
+
+   private:
+    /// Branchless (when, tag) comparison: sift loops run it on
+    /// unpredictable data, where a mispredicted branch costs more than
+    /// evaluating both sides, so compose with bitwise ops instead of
+    /// short-circuiting.
+    static bool earlier(const QueueEntry& a, const QueueEntry& b) {
+      return (a.when < b.when) |
+             ((a.when == b.when) & (a.tag < b.tag));
+    }
+
+    std::vector<QueueEntry> entries_;
   };
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kInvalidSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = static_cast<std::uint32_t>(slot_at(slot).armed_tag) &
+                   kSlotMask;
+      return slot;
+    }
+    assert(slot_count_ < kInvalidSlot);
+    if ((slot_count_ & kChunkMask) == 0) {
+      chunks_.emplace_back();
+      chunks_.back().reserve(kChunkSize);  // data pointer is final
+    }
+    chunks_.back().emplace_back();
+    return slot_count_++;
+  }
+
+  /// Destroys the slot's callback (if still present), invalidates stale
+  /// handles/queue-entries (the armed tag is gone), and recycles the slot.
+  void release_slot(std::uint32_t slot) {
+    Slot& s = slot_at(slot);
+    s.fn.reset();
+    s.armed_tag = kFreeBit | free_head_;
+    free_head_ = slot;
+  }
+
+  void cancel_tag(std::uint64_t tag) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(tag) & kSlotMask;
+    if (slot >= slot_count_) return;
+    if (slot_at(slot).armed_tag != tag) return;  // fired or recycled
+    release_slot(slot);  // the queue entry becomes a tombstone
+  }
+
+  [[nodiscard]] bool tag_pending(std::uint64_t tag) const {
+    const std::uint32_t slot = static_cast<std::uint32_t>(tag) & kSlotMask;
+    return slot < slot_count_ && slot_at(slot).armed_tag == tag;
+  }
 
   bool pop_and_run();
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventHeap queue_;
+  std::vector<std::vector<Slot>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = kInvalidSlot;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
 };
+
+inline void EventHandle::cancel() {
+  if (engine_ != nullptr) engine_->cancel_tag(tag_);
+}
+
+inline bool EventHandle::pending() const {
+  return engine_ != nullptr && engine_->tag_pending(tag_);
+}
 
 }  // namespace uap2p::sim

@@ -175,6 +175,9 @@ sim::SimTime Network::rtt_ms(PeerId a, PeerId b) {
   const Host& hb = hosts_[b.value()];
   const PathInfo& forward = routing_.path(ha.attachment, hb.attachment);
   const PathInfo& back = routing_.path(hb.attachment, ha.attachment);
+  // Summing kUnreachableLatency overflows to +inf; report the sentinel
+  // unchanged when either direction has no route.
+  if (!forward.reachable || !back.reachable) return kUnreachableLatency;
   return 2.0 * (ha.access_latency_ms + hb.access_latency_ms) +
          forward.latency_ms + back.latency_ms;
 }

@@ -2,35 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
-#include <limits>
-#include <queue>
+#include <utility>
 
 namespace uap2p::underlay {
-namespace {
-constexpr sim::SimTime kUnreachable = std::numeric_limits<sim::SimTime>::max();
-
-std::uint64_t pair_key(RouterId src, RouterId dst) {
-  return (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
-}
-}  // namespace
 
 const RoutingTable::SourceState& RoutingTable::run_dijkstra(RouterId src) {
-  auto it = sources_.find(src.value());
-  if (it != sources_.end()) return it->second;
+  assert(src.value() < sources_.size());
+  std::optional<SourceState>& cached = sources_[src.value()];
+  if (cached.has_value()) return *cached;
 
   const std::size_t n = topology_.router_count();
-  SourceState state;
-  state.dist.assign(n, kUnreachable);
+  SourceState& state = cached.emplace();
+  ++cached_sources_;
+  state.dist.assign(n, kUnreachableLatency);
   state.prev_router.assign(n, RouterId::invalid());
   state.prev_link.assign(n, UINT32_MAX);
   state.dist[src.value()] = 0.0;
 
-  using Entry = std::pair<sim::SimTime, std::uint32_t>;  // (dist, router)
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
-  frontier.emplace(0.0, src.value());
-  while (!frontier.empty()) {
-    const auto [dist, router] = frontier.top();
-    frontier.pop();
+  assert(frontier_.empty());  // drained by the previous run
+  frontier_.emplace(0.0, src.value());
+  while (!frontier_.empty()) {
+    const auto [dist, router] = frontier_.top();
+    frontier_.pop();
     if (dist > state.dist[router]) continue;  // stale entry
     for (const auto& neighbor : topology_.neighbors(RouterId(router))) {
       const Link& link = topology_.link(neighbor.link_index);
@@ -39,37 +32,69 @@ const RoutingTable::SourceState& RoutingTable::run_dijkstra(RouterId src) {
         state.dist[neighbor.router.value()] = candidate;
         state.prev_router[neighbor.router.value()] = RouterId(router);
         state.prev_link[neighbor.router.value()] = neighbor.link_index;
-        frontier.emplace(candidate, neighbor.router.value());
+        frontier_.emplace(candidate, neighbor.router.value());
       }
     }
   }
-  return sources_.emplace(src.value(), std::move(state)).first->second;
+  return state;
 }
 
-sim::SimTime RoutingTable::latency_ms(RouterId src, RouterId dst) {
-  return path(src, dst).latency_ms;
-}
-
-const PathInfo& RoutingTable::path(RouterId src, RouterId dst) {
-  const std::uint64_t key = pair_key(src, dst);
-  auto it = path_cache_.find(key);
-  if (it != path_cache_.end()) return it->second;
+const PathInfo& RoutingTable::path_miss(std::uint64_t key, RouterId src,
+                                        RouterId dst) {
   const SourceState& state = run_dijkstra(src);
-  return path_cache_.emplace(key, summarize(state, src, dst)).first->second;
+  return cache_insert(key, summarize(state, src, dst));
+}
+
+const PathInfo& RoutingTable::cache_insert(std::uint64_t key, PathInfo info) {
+  // Grow at 70% load so probe sequences stay short.
+  if (cache_slots_.empty() ||
+      value_count_ + 1 > cache_slots_.size() * 7 / 10) {
+    grow_cache();
+  }
+  if (value_count_ % kValuesPerChunk == 0) {
+    value_chunks_.emplace_back();
+    value_chunks_.back().reserve(kValuesPerChunk);  // data pointer is final
+  }
+  ++value_count_;
+  value_chunks_.back().push_back(std::move(info));
+  const PathInfo* stored = &value_chunks_.back().back();
+
+  const std::size_t mask = cache_slots_.size() - 1;
+  std::size_t i = probe_start(key, mask);
+  while (cache_slots_[i].value != nullptr) i = (i + 1) & mask;
+  cache_slots_[i] = CacheSlot{key, stored};
+  memo_key_ = key;
+  memo_value_ = stored;
+  return *stored;
+}
+
+void RoutingTable::grow_cache() {
+  const std::size_t new_capacity =
+      cache_slots_.empty() ? 64 : cache_slots_.size() * 2;
+  std::vector<CacheSlot> old = std::move(cache_slots_);
+  cache_slots_.assign(new_capacity, CacheSlot{});
+  const std::size_t mask = new_capacity - 1;
+  for (const CacheSlot& slot : old) {
+    if (slot.value == nullptr) continue;
+    std::size_t i = probe_start(slot.key, mask);
+    while (cache_slots_[i].value != nullptr) i = (i + 1) & mask;
+    cache_slots_[i] = slot;
+  }
 }
 
 PathInfo RoutingTable::summarize(const SourceState& state, RouterId src,
                                  RouterId dst) {
   PathInfo info;
-  if (state.dist[dst.value()] == kUnreachable) {
-    info.latency_ms = kUnreachable;
+  if (state.dist[dst.value()] == kUnreachableLatency) {
+    info.latency_ms = kUnreachableLatency;
     return info;
   }
   info.reachable = true;
   info.latency_ms = state.dist[dst.value()];
   info.bottleneck_mbps = std::numeric_limits<double>::max();
   // Walk predecessors dst -> src, then reverse the AS path.
-  std::vector<AsId> reversed_as{topology_.as_of(dst)};
+  scratch_as_.clear();
+  scratch_as_.push_back(topology_.as_of(dst));
   RouterId current = dst;
   while (current != src) {
     const std::uint32_t link_index = state.prev_link[current.value()];
@@ -81,16 +106,16 @@ PathInfo RoutingTable::summarize(const SourceState& state, RouterId src,
     if (link.type == LinkType::kPeering) ++info.peering_crossings;
     current = state.prev_router[current.value()];
     const AsId as = topology_.as_of(current);
-    if (reversed_as.back() != as) reversed_as.push_back(as);
+    if (scratch_as_.back() != as) scratch_as_.push_back(as);
   }
   if (src == dst) info.bottleneck_mbps = 0.0;
-  info.as_path.assign(reversed_as.rbegin(), reversed_as.rend());
+  info.as_path.assign(scratch_as_.rbegin(), scratch_as_.rend());
   return info;
 }
 
 std::vector<RouterId> RoutingTable::router_path(RouterId src, RouterId dst) {
   const SourceState& state = run_dijkstra(src);
-  if (state.dist[dst.value()] == kUnreachable) return {};
+  if (state.dist[dst.value()] == kUnreachableLatency) return {};
   std::vector<RouterId> reversed{dst};
   RouterId current = dst;
   while (current != src) {

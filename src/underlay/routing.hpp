@@ -7,10 +7,19 @@
 // routing is policy-driven (valley-free BGP); latency-shortest paths are
 // an accepted simplification for overlay studies and match the testlab
 // setup of [1], where one router abstracts an AS boundary.
+//
+// Performance model (see DESIGN.md "Performance model"): the cached-path
+// fast path is a single probe of a flat open-addressing table (power-of-two
+// capacity, linear probing) inlined below — no hashing library, no bucket
+// chains, no allocation. Per-source Dijkstra results live in dense slots
+// indexed by router id, and the Dijkstra frontier/scratch buffers are
+// reused across runs.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <limits>
+#include <optional>
+#include <queue>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -18,6 +27,12 @@
 #include "underlay/topology.hpp"
 
 namespace uap2p::underlay {
+
+/// Sentinel latency for unreachable router pairs. Callers must branch on
+/// PathInfo::reachable (or the checked accessors below) before summing
+/// latencies: adding anything to this value overflows to +inf.
+inline constexpr sim::SimTime kUnreachableLatency =
+    std::numeric_limits<sim::SimTime>::max();
 
 /// Per-pair routing summary.
 struct PathInfo {
@@ -34,27 +49,67 @@ struct PathInfo {
     return as_path.empty() ? 0 : as_path.size() - 1;
   }
   [[nodiscard]] bool intra_as() const { return as_hops() == 0 && reachable; }
+
+  /// Latency if the pair is reachable, `std::nullopt` otherwise. Use this
+  /// (or latency_or) when the result feeds arithmetic; the raw latency_ms
+  /// field is kUnreachableLatency for unreachable pairs and poisons sums.
+  [[nodiscard]] std::optional<sim::SimTime> checked_latency_ms() const {
+    if (!reachable) return std::nullopt;
+    return latency_ms;
+  }
+  /// Latency if reachable, `fallback` otherwise.
+  [[nodiscard]] sim::SimTime latency_or(sim::SimTime fallback) const {
+    return reachable ? latency_ms : fallback;
+  }
 };
 
 /// Caching shortest-path oracle over an immutable topology. Not
 /// thread-safe; one instance per simulation.
 class RoutingTable {
  public:
-  explicit RoutingTable(const AsTopology& topology) : topology_(topology) {}
+  explicit RoutingTable(const AsTopology& topology)
+      : topology_(topology), sources_(topology.router_count()) {}
 
   /// One-way latency between two routers (0 when src == dst,
-  /// +infinity-like large value when unreachable).
-  [[nodiscard]] sim::SimTime latency_ms(RouterId src, RouterId dst);
+  /// kUnreachableLatency when unreachable — do not sum without checking
+  /// path().reachable or using the PathInfo checked accessors).
+  [[nodiscard]] sim::SimTime latency_ms(RouterId src, RouterId dst) {
+    return path(src, dst).latency_ms;
+  }
 
-  /// Full per-pair summary; cached.
-  const PathInfo& path(RouterId src, RouterId dst);
+  /// Full per-pair summary; cached. The returned reference is stable for
+  /// the lifetime of the RoutingTable (values live in a chunked store that
+  /// never relocates, only the index rehashes).
+  const PathInfo& path(RouterId src, RouterId dst) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
+    // One-entry memo: overlay traffic has strong per-pair temporal
+    // locality (retries, request/response bursts between two hosts).
+    if (key == memo_key_ && memo_value_ != nullptr) return *memo_value_;
+    if (!cache_slots_.empty()) {
+      const std::size_t mask = cache_slots_.size() - 1;
+      for (std::size_t i = probe_start(key, mask);; i = (i + 1) & mask) {
+        const CacheSlot& slot = cache_slots_[i];
+        if (slot.value == nullptr) break;
+        if (slot.key == key) {
+          memo_key_ = key;
+          memo_value_ = slot.value;
+          return *slot.value;
+        }
+      }
+    }
+    return path_miss(key, src, dst);
+  }
 
   /// Router-level path (sequence of routers, src first). Recomputed from
   /// the predecessor array on each call; use path() for hot lookups.
   [[nodiscard]] std::vector<RouterId> router_path(RouterId src, RouterId dst);
 
   /// Number of distinct source routers whose Dijkstra run is cached.
-  [[nodiscard]] std::size_t cached_sources() const { return sources_.size(); }
+  [[nodiscard]] std::size_t cached_sources() const { return cached_sources_; }
+
+  /// Number of pair summaries held by the flat cache.
+  [[nodiscard]] std::size_t cached_pairs() const { return value_count_; }
 
  private:
   struct SourceState {
@@ -63,12 +118,53 @@ class RoutingTable {
     std::vector<std::uint32_t> prev_link;
   };
 
+  /// Flat open-addressing index entry: pair key -> pointer into the
+  /// chunked PathInfo store. Kept separate from the values so rehashing
+  /// moves 16 bytes per entry and never invalidates returned references.
+  struct CacheSlot {
+    std::uint64_t key = 0;
+    const PathInfo* value = nullptr;  ///< nullptr marks an empty slot.
+  };
+
+  /// Fibonacci-style multiplicative mix; pair keys are dense small ints in
+  /// both halves, so the high bits of key * phi spread well.
+  static std::size_t probe_start(std::uint64_t key, std::size_t mask) {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
+           mask;
+  }
+
+  /// Values are stored in fixed-size chunks (each fully reserved at
+  /// creation) so PathInfo addresses stay stable as the cache grows; the
+  /// index and the memo hold plain pointers into the chunks.
+  static constexpr std::size_t kValuesPerChunk = 64;
+
+  const PathInfo& path_miss(std::uint64_t key, RouterId src, RouterId dst);
+  const PathInfo& cache_insert(std::uint64_t key, PathInfo info);
+  void grow_cache();
+
   const SourceState& run_dijkstra(RouterId src);
   PathInfo summarize(const SourceState& state, RouterId src, RouterId dst);
 
   const AsTopology& topology_;
-  std::unordered_map<std::uint32_t, SourceState> sources_;
-  std::unordered_map<std::uint64_t, PathInfo> path_cache_;
+
+  // Dense per-source Dijkstra results, indexed by router id.
+  std::vector<std::optional<SourceState>> sources_;
+  std::size_t cached_sources_ = 0;
+
+  // Flat pair -> PathInfo cache, plus the last-pair memo.
+  std::vector<CacheSlot> cache_slots_;
+  std::vector<std::vector<PathInfo>> value_chunks_;
+  std::uint32_t value_count_ = 0;
+  std::uint64_t memo_key_ = 0;
+  const PathInfo* memo_value_ = nullptr;
+
+  // Reusable Dijkstra scratch: the frontier heap keeps its backing vector
+  // across runs, and summarize/router_path reuse one AS scratch buffer.
+  using FrontierEntry = std::pair<sim::SimTime, std::uint32_t>;
+  std::priority_queue<FrontierEntry, std::vector<FrontierEntry>,
+                      std::greater<>>
+      frontier_;
+  std::vector<AsId> scratch_as_;
 };
 
 }  // namespace uap2p::underlay

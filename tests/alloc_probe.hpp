@@ -1,0 +1,18 @@
+// Allocation-counting test hook.
+//
+// alloc_probe.cpp replaces the global operator new/delete for the whole
+// test binary with counting wrappers around malloc/free. Tests diff
+// allocation_count() around a code region to assert it is allocation-free
+// (e.g. the engine's steady-state schedule -> run cycle).
+#pragma once
+
+#include <cstdint>
+
+namespace uap2p::testing {
+
+/// Total number of successful global operator new calls (all threads)
+/// since process start. Monotonic; diff across a region to count its
+/// allocations.
+std::uint64_t allocation_count();
+
+}  // namespace uap2p::testing

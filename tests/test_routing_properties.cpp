@@ -126,6 +126,108 @@ TEST_P(RoutingVsReferenceP, CrossingCountsMatchPathWalk) {
 INSTANTIATE_TEST_SUITE_P(AllGenerators, RoutingVsReferenceP,
                          ::testing::Range(0, 10));
 
+// --- Flat-cache correctness after the open-addressing flattening ---------
+
+namespace {
+void expect_bit_identical(const PathInfo& a, const PathInfo& b,
+                          std::uint32_t i, std::uint32_t j) {
+  EXPECT_EQ(a.reachable, b.reachable) << i << "->" << j;
+  EXPECT_EQ(a.latency_ms, b.latency_ms) << i << "->" << j;  // exact, not near
+  EXPECT_EQ(a.bottleneck_mbps, b.bottleneck_mbps) << i << "->" << j;
+  EXPECT_EQ(a.router_hops, b.router_hops) << i << "->" << j;
+  EXPECT_EQ(a.transit_crossings, b.transit_crossings) << i << "->" << j;
+  EXPECT_EQ(a.peering_crossings, b.peering_crossings) << i << "->" << j;
+  EXPECT_EQ(a.as_path, b.as_path) << i << "->" << j;
+}
+}  // namespace
+
+TEST_P(RoutingVsReferenceP, FlatCacheHitsAreBitIdenticalToFreshDijkstra) {
+  const AsTopology topo = make_topology();
+  RoutingTable cached(topo);
+  const auto n = static_cast<std::uint32_t>(topo.router_count());
+  // First sweep populates the flat cache (and forces several growth /
+  // rehash cycles for the larger topologies).
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = 0; j < n; ++j) cached.path(RouterId(i), RouterId(j));
+  EXPECT_EQ(cached.cached_pairs(), std::size_t(n) * n);
+  // Second sweep must serve every pair from the cache, bit-identical to a
+  // routing table that computes each answer fresh.
+  RoutingTable fresh(topo);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      expect_bit_identical(cached.path(RouterId(i), RouterId(j)),
+                           fresh.path(RouterId(i), RouterId(j)), i, j);
+    }
+  }
+  EXPECT_EQ(cached.cached_pairs(), std::size_t(n) * n);  // no re-inserts
+}
+
+TEST_P(RoutingVsReferenceP, SelfPathsAreCachedAndZero) {
+  const AsTopology topo = make_topology();
+  RoutingTable routing(topo);
+  const auto n = static_cast<std::uint32_t>(topo.router_count());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const PathInfo& info = routing.path(RouterId(i), RouterId(i));
+    EXPECT_TRUE(info.reachable);
+    EXPECT_EQ(info.latency_ms, 0.0);
+    EXPECT_EQ(info.router_hops, 0u);
+    EXPECT_EQ(info.as_hops(), 0u);
+    // The cached copy must be the same object on a repeat query.
+    EXPECT_EQ(&info, &routing.path(RouterId(i), RouterId(i)));
+  }
+}
+
+TEST(RoutingFlatCache, UnreachablePartitionIsStableAndChecked) {
+  // Two disconnected mesh islands: every cross-island pair is unreachable
+  // in both directions, and the checked accessors let callers branch
+  // instead of summing kUnreachableLatency.
+  AsTopology topo;
+  std::vector<RouterId> left, right;
+  const AsId as_l = topo.add_as("left", false, {50, 8});
+  const AsId as_r = topo.add_as("right", false, {10, 100});
+  for (int i = 0; i < 4; ++i) left.push_back(topo.add_router(as_l, {50, 8}));
+  for (int i = 0; i < 4; ++i) right.push_back(topo.add_router(as_r, {10, 100}));
+  for (int i = 0; i < 3; ++i) {
+    topo.connect(left[i], left[i + 1], LinkType::kInternal, 1.0, 1000);
+    topo.connect(right[i], right[i + 1], LinkType::kInternal, 1.0, 1000);
+  }
+  RoutingTable routing(topo);
+  for (const RouterId a : left) {
+    for (const RouterId b : right) {
+      for (int pass = 0; pass < 2; ++pass) {  // second pass hits the cache
+        const PathInfo& forward = routing.path(a, b);
+        const PathInfo& back = routing.path(b, a);
+        EXPECT_FALSE(forward.reachable);
+        EXPECT_FALSE(back.reachable);
+        EXPECT_EQ(forward.latency_ms, kUnreachableLatency);
+        EXPECT_EQ(routing.latency_ms(a, b), kUnreachableLatency);
+        EXPECT_FALSE(forward.checked_latency_ms().has_value());
+        EXPECT_EQ(forward.latency_or(-1.0), -1.0);
+      }
+    }
+  }
+  // Intra-island pairs stay reachable and checked accessors pass through.
+  const PathInfo& local = routing.path(left[0], left[3]);
+  ASSERT_TRUE(local.reachable);
+  EXPECT_EQ(local.checked_latency_ms().value(), 3.0);
+  EXPECT_EQ(local.latency_or(-1.0), 3.0);
+}
+
+TEST(RoutingFlatCache, ReferencesSurviveCacheGrowth) {
+  // path() hands out references that callers (e.g. Network::rtt_ms) hold
+  // across further lookups; rehashing the flat index must not move values.
+  const AsTopology topo = AsTopology::transit_stub(3, 6, 0.4);
+  RoutingTable routing(topo);
+  const auto n = static_cast<std::uint32_t>(topo.router_count());
+  const PathInfo& early = routing.path(RouterId(0), RouterId(n - 1));
+  const PathInfo early_copy = early;
+  for (std::uint32_t i = 0; i < n; ++i)  // force growth + rehash cycles
+    for (std::uint32_t j = 0; j < n; ++j) routing.path(RouterId(i), RouterId(j));
+  EXPECT_GT(routing.cached_pairs(), 64u);
+  expect_bit_identical(early, early_copy, 0, n - 1);
+  EXPECT_EQ(&early, &routing.path(RouterId(0), RouterId(n - 1)));
+}
+
 TEST(RoutingRandomGraphs, HandMadeMultiEdgePicksCheapest) {
   AsTopology topo;
   const AsId as = topo.add_as("x", false, {50, 8});
