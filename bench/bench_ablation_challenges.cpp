@@ -4,6 +4,10 @@
 //   * oracle candidate-list size sweep (100 / 1000 / full),
 //   * Kademlia proximity policy: lookup traffic locality vs correctness,
 //   * churn: search success as mean session length shrinks.
+//
+// Every section is a set of independent trials over bench::run_trials;
+// sections that compare policies over "the same network" keep their
+// historical fixed seeds inside the trial so the comparison is unchanged.
 #include <algorithm>
 
 #include "bench_common.hpp"
@@ -12,173 +16,251 @@
 
 using namespace uap2p;
 
-int main() {
-  bench::print_header("bench_ablation_challenges",
-                      "ablation: the paper's §6 challenges, quantified");
+namespace {
 
+/// §6 asymmetry + long-hop sections share one 120-peer network (seed 91).
+struct GeometryResult {
+  std::size_t asymmetric = 0;
+  std::size_t peer_count = 0;
+  double hop_latency_disagreement = 0.0;
+};
+
+GeometryResult run_geometry() {
   sim::Engine engine;
   underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 5, 0.3);
   underlay::Network net(engine, topo, 91);
   const auto peers = net.populate(120);
+  GeometryResult result;
+  result.peer_count = peers.size();
 
-  // -- Asymmetric node selection ------------------------------------
-  // For each peer, find its latency-closest peer; count pairs where the
-  // relation is not mutual.
-  {
-    std::vector<std::size_t> closest(peers.size());
-    for (std::size_t i = 0; i < peers.size(); ++i) {
-      double best = 1e300;
-      for (std::size_t j = 0; j < peers.size(); ++j) {
-        if (i == j) continue;
-        const double rtt = net.rtt_ms(peers[i], peers[j]);
-        if (rtt < best) {
-          best = rtt;
-          closest[i] = j;
-        }
+  // Asymmetric node selection: for each peer, find its latency-closest
+  // peer; count pairs where the relation is not mutual.
+  std::vector<std::size_t> closest(peers.size());
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    double best = 1e300;
+    for (std::size_t j = 0; j < peers.size(); ++j) {
+      if (i == j) continue;
+      const double rtt = net.rtt_ms(peers[i], peers[j]);
+      if (rtt < best) {
+        best = rtt;
+        closest[i] = j;
       }
     }
-    std::size_t asymmetric = 0;
-    for (std::size_t i = 0; i < peers.size(); ++i) {
-      if (closest[closest[i]] != i) ++asymmetric;
-    }
-    std::printf(
-        "\nasymmetric node selection: %zu/%zu peers (%.0f%%) have a\n"
-        "closest-peer relation that is not mutual — the §6 asymmetry\n"
-        "problem exists even with symmetric link latencies.\n",
-        asymmetric, peers.size(), 100.0 * asymmetric / peers.size());
+  }
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    if (closest[closest[i]] != i) ++result.asymmetric;
   }
 
-  // -- Long hop problem ----------------------------------------------
-  // Rank all candidate peers for a querier by router-hop count and by
-  // latency; report Kendall-style pair disagreement.
-  {
-    RunningStats disagreement;
-    for (std::size_t q = 0; q < 12; ++q) {
-      std::size_t discordant = 0, pairs = 0;
-      for (std::size_t a = 0; a < peers.size(); a += 4) {
-        for (std::size_t b = a + 4; b < peers.size(); b += 4) {
-          if (a == q || b == q) continue;
-          const auto& path_a = net.path_between(peers[q], peers[a]);
-          const auto& path_b = net.path_between(peers[q], peers[b]);
-          const double lat_a = net.rtt_ms(peers[q], peers[a]);
-          const double lat_b = net.rtt_ms(peers[q], peers[b]);
-          if (path_a.router_hops == path_b.router_hops) continue;
-          ++pairs;
-          const bool hops_say_a = path_a.router_hops < path_b.router_hops;
-          const bool latency_says_a = lat_a < lat_b;
-          if (hops_say_a != latency_says_a) ++discordant;
-        }
+  // Long hop problem: rank all candidate peers for a querier by router-hop
+  // count and by latency; report Kendall-style pair disagreement.
+  RunningStats disagreement;
+  for (std::size_t q = 0; q < 12; ++q) {
+    std::size_t discordant = 0, pairs = 0;
+    for (std::size_t a = 0; a < peers.size(); a += 4) {
+      for (std::size_t b = a + 4; b < peers.size(); b += 4) {
+        if (a == q || b == q) continue;
+        const auto& path_a = net.path_between(peers[q], peers[a]);
+        const auto& path_b = net.path_between(peers[q], peers[b]);
+        const double lat_a = net.rtt_ms(peers[q], peers[a]);
+        const double lat_b = net.rtt_ms(peers[q], peers[b]);
+        if (path_a.router_hops == path_b.router_hops) continue;
+        ++pairs;
+        const bool hops_say_a = path_a.router_hops < path_b.router_hops;
+        const bool latency_says_a = lat_a < lat_b;
+        if (hops_say_a != latency_says_a) ++discordant;
       }
-      if (pairs > 0) disagreement.add(double(discordant) / double(pairs));
     }
-    std::printf(
-        "long hop problem: hop-count ranking disagrees with latency\n"
-        "ranking on %.0f%% of comparable pairs (one hop can hide a long\n"
-        "physical distance).\n",
-        100.0 * disagreement.mean());
+    if (pairs > 0) disagreement.add(double(discordant) / double(pairs));
   }
+  result.hop_latency_disagreement = disagreement.mean();
+  return result;
+}
 
-  // -- Oracle list size sweep ------------------------------------------
+struct OracleSweepRow {
+  double intra_as_edge_frac = 0.0;
+  std::uint64_t transit_bytes = 0;
+  std::uint64_t msg_total = 0;
+};
+
+OracleSweepRow run_oracle_sweep(std::size_t cache) {
+  overlay::gnutella::Config config;
+  config.selection = overlay::gnutella::NeighborSelection::kOracleBiased;
+  config.hostcache_size = cache;
+  config.oracle_at_file_exchange = true;
+  // All list sizes share one lab seed: the sweep varies only the knob.
+  bench::GnutellaLab lab(underlay::AsTopology::transit_stub(3, 5, 0.3), 240,
+                         config, /*seed=*/7);
+  lab.run_locality_workload(4, 3, /*download=*/true);
+  return {lab.system->intra_as_edge_fraction(),
+          lab.net->traffic().transit_link_bytes(),
+          lab.system->counts().total()};
+}
+
+struct KademliaRow {
+  double intra_as_contacts = 0.0;
+  double lookup_msgs = 0.0;
+  double mean_rpc_as_hops = 0.0;
+  double lookup_ms = 0.0;
+  std::uint64_t transit_bytes = 0;
+};
+
+KademliaRow run_kademlia(overlay::kademlia::BucketPolicy policy) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 5, 0.3);
+  underlay::Network net(engine, topo, 93);
+  const auto peers = net.populate(100);
+  netinfo::Oracle oracle(net);
+  overlay::kademlia::Config config;
+  config.policy = policy;
+  overlay::kademlia::KademliaSystem dht(net, peers, config, &oracle);
+  dht.join_all();
+  net.traffic().reset();
+  Rng rng(95);
+  RunningStats messages, duration, rpc_hops;
+  for (int i = 0; i < 40; ++i) {
+    const auto result = dht.lookup(peers[rng.uniform(peers.size())], rng());
+    messages.add(double(result.messages_sent));
+    duration.add(result.duration_ms);
+    rpc_hops.add(result.mean_rpc_as_hops);
+  }
+  return {dht.intra_as_contact_fraction(), messages.mean(), rpc_hops.mean(),
+          duration.mean(), net.traffic().transit_link_bytes()};
+}
+
+struct ChurnRow {
+  double success_pct = 0.0;
+  double online_pct = 0.0;
+};
+
+ChurnRow run_churn(double session_minutes) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::ring(5);
+  underlay::Network net(engine, topo, 97);
+  const auto peers = net.populate(60);
+  overlay::gnutella::Config config;
+  overlay::gnutella::GnutellaSystem system(
+      net, peers, overlay::gnutella::testlab_roles(peers.size()), config);
+  system.bootstrap();
+  // Scarce content: only 3 replicas, so churn genuinely threatens search
+  // completeness.
+  for (std::size_t i = 0; i < 3; ++i) {
+    system.share(peers[i * 7 + 2], ContentId(1));
+  }
+  sim::ChurnConfig churn_config;
+  churn_config.model = sim::SessionModel::kExponential;
+  churn_config.mean_session = sim::minutes(session_minutes);
+  churn_config.mean_downtime = sim::minutes(session_minutes / 3.0);
+  sim::ChurnProcess churn(engine, Rng(99), churn_config);
+  churn.on_leave([&](PeerId p) { net.set_online(p, false); });
+  churn.on_join([&](PeerId p) { net.set_online(p, true); });
+  for (const PeerId peer : peers) churn.add_peer(peer, true);
+
+  int success = 0, attempts = 0;
+  for (int round = 0; round < 12; ++round) {
+    engine.run_until(engine.now() + sim::minutes(4));
+    const PeerId origin = peers[(std::size_t(round) * 5 + 1) % peers.size()];
+    if (!net.is_online(origin)) continue;
+    ++attempts;
+    success += system.search(origin, ContentId(1), false).found;
+  }
+  return {attempts ? 100.0 * success / attempts : 0.0,
+          100.0 * churn.online_count() / peers.size()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_flags(argc, argv);
+  bench::print_header("bench_ablation_challenges",
+                      "ablation: the paper's §6 challenges, quantified");
+
+  // One flat trial list covering every section; indices partition it.
+  constexpr std::size_t kCaches[] = {20, 100, 1000};
+  constexpr overlay::kademlia::BucketPolicy kPolicies[] = {
+      overlay::kademlia::BucketPolicy::kVanilla,
+      overlay::kademlia::BucketPolicy::kProximity};
+  constexpr double kSessions[] = {120.0, 30.0, 10.0, 3.0};
+
+  struct TrialResult {
+    GeometryResult geometry;
+    OracleSweepRow oracle;
+    KademliaRow kademlia;
+    ChurnRow churn;
+  };
+  const std::size_t kGeometryAt = 0;
+  const std::size_t kOracleAt = 1;
+  const std::size_t kKademliaAt = kOracleAt + std::size(kCaches);
+  const std::size_t kChurnAt = kKademliaAt + std::size(kPolicies);
+  const std::size_t kTrials = kChurnAt + std::size(kSessions);
+
+  const auto results = bench::run_trials(
+      kTrials, /*base_seed=*/91, [&](std::size_t trial, std::uint64_t) {
+        TrialResult result;
+        if (trial == kGeometryAt) {
+          result.geometry = run_geometry();
+        } else if (trial < kKademliaAt) {
+          result.oracle = run_oracle_sweep(kCaches[trial - kOracleAt]);
+        } else if (trial < kChurnAt) {
+          result.kademlia = run_kademlia(kPolicies[trial - kKademliaAt]);
+        } else {
+          result.churn = run_churn(kSessions[trial - kChurnAt]);
+        }
+        return result;
+      });
+
+  const GeometryResult& geometry = results[kGeometryAt].geometry;
+  std::printf(
+      "\nasymmetric node selection: %zu/%zu peers (%.0f%%) have a\n"
+      "closest-peer relation that is not mutual — the §6 asymmetry\n"
+      "problem exists even with symmetric link latencies.\n",
+      geometry.asymmetric, geometry.peer_count,
+      100.0 * geometry.asymmetric / geometry.peer_count);
+  std::printf(
+      "long hop problem: hop-count ranking disagrees with latency\n"
+      "ranking on %.0f%% of comparable pairs (one hop can hide a long\n"
+      "physical distance).\n",
+      100.0 * geometry.hop_latency_disagreement);
+
   {
     TablePrinter table({"oracle list size", "intra_as_edge_frac",
                         "transit_bytes", "msg_total"});
-    for (const std::size_t cache : {20ul, 100ul, 1000ul}) {
-      overlay::gnutella::Config config;
-      config.selection = overlay::gnutella::NeighborSelection::kOracleBiased;
-      config.hostcache_size = cache;
-      config.oracle_at_file_exchange = true;
-      bench::GnutellaLab lab(underlay::AsTopology::transit_stub(3, 5, 0.3),
-                             240, config);
-      lab.run_locality_workload(4, 3, /*download=*/true);
+    for (std::size_t i = 0; i < std::size(kCaches); ++i) {
+      const OracleSweepRow& sweep = results[kOracleAt + i].oracle;
       auto row = table.row();
-      row.cell(std::uint64_t(cache))
-          .cell(lab.system->intra_as_edge_fraction(), 3)
-          .cell(lab.net->traffic().transit_link_bytes())
-          .cell(lab.system->counts().total());
+      row.cell(std::uint64_t(kCaches[i]))
+          .cell(sweep.intra_as_edge_frac, 3)
+          .cell(sweep.transit_bytes)
+          .cell(sweep.msg_total);
     }
     table.print("oracle candidate-list size (the 100-vs-1000 knob of [1])");
   }
 
-  // -- Kademlia proximity ------------------------------------------------
   {
     TablePrinter table({"bucket policy", "intra_as_contacts", "lookup_msgs",
                         "mean_rpc_as_hops", "lookup_ms", "transit_bytes"});
-    for (const auto policy : {overlay::kademlia::BucketPolicy::kVanilla,
-                              overlay::kademlia::BucketPolicy::kProximity}) {
-      sim::Engine dht_engine;
-      underlay::AsTopology dht_topo =
-          underlay::AsTopology::transit_stub(3, 5, 0.3);
-      underlay::Network dht_net(dht_engine, dht_topo, 93);
-      const auto dht_peers = dht_net.populate(100);
-      netinfo::Oracle oracle(dht_net);
-      overlay::kademlia::Config config;
-      config.policy = policy;
-      overlay::kademlia::KademliaSystem dht(dht_net, dht_peers, config,
-                                            &oracle);
-      dht.join_all();
-      dht_net.traffic().reset();
-      Rng rng(95);
-      RunningStats messages, duration, rpc_hops;
-      for (int i = 0; i < 40; ++i) {
-        const auto result =
-            dht.lookup(dht_peers[rng.uniform(dht_peers.size())], rng());
-        messages.add(double(result.messages_sent));
-        duration.add(result.duration_ms);
-        rpc_hops.add(result.mean_rpc_as_hops);
-      }
+    for (std::size_t i = 0; i < std::size(kPolicies); ++i) {
+      const KademliaRow& dht = results[kKademliaAt + i].kademlia;
       auto row = table.row();
-      row.cell(policy == overlay::kademlia::BucketPolicy::kVanilla
+      row.cell(kPolicies[i] == overlay::kademlia::BucketPolicy::kVanilla
                    ? "vanilla"
                    : "proximity (Kaune [17])")
-          .cell(dht.intra_as_contact_fraction(), 3)
-          .cell(messages.mean(), 1)
-          .cell(rpc_hops.mean(), 2)
-          .cell(duration.mean(), 1)
-          .cell(dht_net.traffic().transit_link_bytes());
+          .cell(dht.intra_as_contacts, 3)
+          .cell(dht.lookup_msgs, 1)
+          .cell(dht.mean_rpc_as_hops, 2)
+          .cell(dht.lookup_ms, 1)
+          .cell(dht.transit_bytes);
     }
     table.print("Kademlia: proximity neighbor selection (§4, [17])");
   }
 
-  // -- Churn sweep ---------------------------------------------------
   {
     TablePrinter table({"mean session", "search success_%", "online_%"});
-    for (const double session_minutes : {120.0, 30.0, 10.0, 3.0}) {
-      sim::Engine churn_engine;
-      underlay::AsTopology churn_topo = underlay::AsTopology::ring(5);
-      underlay::Network churn_net(churn_engine, churn_topo, 97);
-      const auto churn_peers = churn_net.populate(60);
-      overlay::gnutella::Config config;
-      overlay::gnutella::GnutellaSystem system(
-          churn_net, churn_peers,
-          overlay::gnutella::testlab_roles(churn_peers.size()), config);
-      system.bootstrap();
-      // Scarce content: only 3 replicas, so churn genuinely threatens
-      // search completeness.
-      for (std::size_t i = 0; i < 3; ++i) {
-        system.share(churn_peers[i * 7 + 2], ContentId(1));
-      }
-      sim::ChurnConfig churn_config;
-      churn_config.model = sim::SessionModel::kExponential;
-      churn_config.mean_session = sim::minutes(session_minutes);
-      churn_config.mean_downtime = sim::minutes(session_minutes / 3.0);
-      sim::ChurnProcess churn(churn_engine, Rng(99), churn_config);
-      churn.on_leave([&](PeerId p) { churn_net.set_online(p, false); });
-      churn.on_join([&](PeerId p) { churn_net.set_online(p, true); });
-      for (const PeerId peer : churn_peers) churn.add_peer(peer, true);
-
-      int success = 0, attempts = 0;
-      for (int round = 0; round < 12; ++round) {
-        churn_engine.run_until(churn_engine.now() + sim::minutes(4));
-        const PeerId origin =
-            churn_peers[(std::size_t(round) * 5 + 1) % churn_peers.size()];
-        if (!churn_net.is_online(origin)) continue;
-        ++attempts;
-        success += system.search(origin, ContentId(1), false).found;
-      }
+    for (std::size_t i = 0; i < std::size(kSessions); ++i) {
+      const ChurnRow& churn = results[kChurnAt + i].churn;
       auto row = table.row();
-      row.cell(TablePrinter::fmt(session_minutes, 0) + " min")
-          .cell(attempts ? 100.0 * success / attempts : 0.0, 1)
-          .cell(100.0 * churn.online_count() / churn_peers.size(), 1);
+      row.cell(TablePrinter::fmt(kSessions[i], 0) + " min")
+          .cell(churn.success_pct, 1)
+          .cell(churn.online_pct, 1);
     }
     table.print("churn: search success vs session length (§5.4 open issue)");
   }

@@ -3,6 +3,10 @@
 //   * ICS beacon count and variation threshold,
 //   * measurement (probe) budget vs accuracy.
 // Substantiates the §3.2 trade-off quantitatively.
+//
+// Every table row is one independent trial (own engine/network, fixed
+// historical seeds, so the numbers match the old serial sweep exactly)
+// dispatched through bench::run_trials.
 #include "bench_common.hpp"
 #include "netinfo/ics.hpp"
 #include "netinfo/pinger.hpp"
@@ -37,85 +41,118 @@ Samples vivaldi_errors(Env& env, VivaldiConfig config, unsigned rounds) {
   });
 }
 
+struct ErrorRow {
+  std::uint64_t dims_chosen = 0;  // ICS only.
+  double median_err = 0.0;
+  double p90_err = 0.0;
+};
+
+ErrorRow run_vivaldi(VivaldiConfig config, unsigned rounds) {
+  Env env;
+  const Samples errors = vivaldi_errors(env, config, rounds);
+  return {0, errors.median(), errors.percentile(90)};
+}
+
+ErrorRow run_ics(std::size_t beacons, double threshold) {
+  Env env;
+  PingerConfig ping_config;
+  ping_config.jitter_sigma = 0.0;
+  Pinger pinger(env.net, Rng(11), ping_config);
+  Matrix rtts(beacons, beacons);
+  for (std::size_t i = 0; i < beacons; ++i)
+    for (std::size_t j = i + 1; j < beacons; ++j) {
+      const double rtt = pinger.measure_rtt(env.peers[i], env.peers[j]);
+      rtts(i, j) = rtt;
+      rtts(j, i) = rtt;
+    }
+  IcsConfig config;
+  config.variation_threshold = threshold;
+  const IcsModel model = IcsModel::build(rtts, config);
+  std::vector<std::vector<double>> coords(env.peers.size());
+  for (std::size_t h = beacons; h < env.peers.size(); ++h) {
+    std::vector<double> to_beacons(beacons);
+    for (std::size_t b = 0; b < beacons; ++b)
+      to_beacons[b] = pinger.measure_rtt(env.peers[h], env.peers[b]);
+    coords[h] = model.embed(to_beacons);
+  }
+  Samples errors;
+  Rng rng(13);
+  for (int pair = 0; pair < 1500; ++pair) {
+    const std::size_t a = beacons + rng.uniform(env.peers.size() - beacons);
+    const std::size_t b = beacons + rng.uniform(env.peers.size() - beacons);
+    if (a == b) continue;
+    const double truth = env.net.rtt_ms(env.peers[a], env.peers[b]);
+    errors.add(std::abs(IcsModel::estimate_rtt(coords[a], coords[b]) - truth) /
+               truth);
+  }
+  return {model.dimensions(), errors.median(), errors.percentile(90)};
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_flags(argc, argv);
   bench::print_header("bench_ablation_coords",
                       "ablation: coordinate-system design choices (§3.2)");
-  Env env;
+
+  constexpr std::size_t kDims[] = {2, 3, 5};
+  constexpr bool kHeights[] = {false, true};
+  constexpr unsigned kBudgets[] = {4, 8, 16, 32, 64};
+  constexpr std::size_t kBeacons[] = {6, 12, 24};
+  constexpr double kThresholds[] = {0.80, 0.95, 0.999};
+
+  const std::size_t kVivaldiCount = std::size(kDims) * std::size(kHeights);
+  const std::size_t kBudgetAt = kVivaldiCount;
+  const std::size_t kIcsAt = kBudgetAt + std::size(kBudgets);
+  const std::size_t kTrials =
+      kIcsAt + std::size(kBeacons) * std::size(kThresholds);
+
+  const auto rows = bench::run_trials(
+      kTrials, /*base_seed=*/71, [&](std::size_t trial, std::uint64_t) {
+        if (trial < kBudgetAt) {
+          VivaldiConfig config;
+          config.dimensions = kDims[trial / std::size(kHeights)];
+          config.use_height = kHeights[trial % std::size(kHeights)];
+          return run_vivaldi(config, 48);
+        }
+        if (trial < kIcsAt) {
+          // Budget sweep keeps the default Vivaldi configuration.
+          return run_vivaldi(VivaldiConfig{}, kBudgets[trial - kBudgetAt]);
+        }
+        const std::size_t i = trial - kIcsAt;
+        return run_ics(kBeacons[i / std::size(kThresholds)],
+                       kThresholds[i % std::size(kThresholds)]);
+      });
 
   TablePrinter vivaldi_table(
       {"dims", "height", "rounds", "median_err", "p90_err"});
-  for (const std::size_t dims : {2u, 3u, 5u}) {
-    for (const bool height : {false, true}) {
-      VivaldiConfig config;
-      config.dimensions = dims;
-      config.use_height = height;
-      const Samples errors = vivaldi_errors(env, config, 48);
-      auto row = vivaldi_table.row();
-      row.cell(std::uint64_t(dims))
-          .cell(height ? "yes" : "no")
-          .cell(std::uint64_t(48))
-          .cell(errors.median(), 3)
-          .cell(errors.percentile(90), 3);
-    }
+  for (std::size_t i = 0; i < kVivaldiCount; ++i) {
+    auto row = vivaldi_table.row();
+    row.cell(std::uint64_t(kDims[i / std::size(kHeights)]))
+        .cell(kHeights[i % std::size(kHeights)] ? "yes" : "no")
+        .cell(std::uint64_t(48))
+        .cell(rows[i].median_err, 3)
+        .cell(rows[i].p90_err, 3);
   }
   vivaldi_table.print("Vivaldi: dimensionality x height vector");
 
   TablePrinter budget_table({"rounds", "median_err"});
-  for (const unsigned rounds : {4u, 8u, 16u, 32u, 64u}) {
-    const Samples errors = vivaldi_errors(env, {}, rounds);
+  for (std::size_t i = 0; i < std::size(kBudgets); ++i) {
     auto row = budget_table.row();
-    row.cell(std::uint64_t(rounds)).cell(errors.median(), 3);
+    row.cell(std::uint64_t(kBudgets[i])).cell(rows[kBudgetAt + i].median_err, 3);
   }
   budget_table.print("Vivaldi: accuracy vs sampling budget");
 
-  // ICS: beacons x threshold.
-  PingerConfig ping_config;
-  ping_config.jitter_sigma = 0.0;
-  Pinger pinger(env.net, Rng(11), ping_config);
   TablePrinter ics_table(
       {"beacons", "threshold", "dims_chosen", "median_err", "p90_err"});
-  for (const std::size_t beacons : {6u, 12u, 24u}) {
-    for (const double threshold : {0.80, 0.95, 0.999}) {
-      Matrix rtts(beacons, beacons);
-      for (std::size_t i = 0; i < beacons; ++i)
-        for (std::size_t j = i + 1; j < beacons; ++j) {
-          const double rtt =
-              pinger.measure_rtt(env.peers[i], env.peers[j]);
-          rtts(i, j) = rtt;
-          rtts(j, i) = rtt;
-        }
-      IcsConfig config;
-      config.variation_threshold = threshold;
-      const IcsModel model = IcsModel::build(rtts, config);
-      std::vector<std::vector<double>> coords(env.peers.size());
-      for (std::size_t h = beacons; h < env.peers.size(); ++h) {
-        std::vector<double> to_beacons(beacons);
-        for (std::size_t b = 0; b < beacons; ++b)
-          to_beacons[b] = pinger.measure_rtt(env.peers[h], env.peers[b]);
-        coords[h] = model.embed(to_beacons);
-      }
-      Samples errors;
-      Rng rng(13);
-      for (int pair = 0; pair < 1500; ++pair) {
-        const std::size_t a =
-            beacons + rng.uniform(env.peers.size() - beacons);
-        const std::size_t b =
-            beacons + rng.uniform(env.peers.size() - beacons);
-        if (a == b) continue;
-        const double truth = env.net.rtt_ms(env.peers[a], env.peers[b]);
-        errors.add(std::abs(IcsModel::estimate_rtt(coords[a], coords[b]) -
-                            truth) /
-                   truth);
-      }
-      auto row = ics_table.row();
-      row.cell(std::uint64_t(beacons))
-          .cell(threshold, 3)
-          .cell(std::uint64_t(model.dimensions()))
-          .cell(errors.median(), 3)
-          .cell(errors.percentile(90), 3);
-    }
+  for (std::size_t i = kIcsAt; i < kTrials; ++i) {
+    const std::size_t cell = i - kIcsAt;
+    auto row = ics_table.row();
+    row.cell(std::uint64_t(kBeacons[cell / std::size(kThresholds)]))
+        .cell(kThresholds[cell % std::size(kThresholds)], 3)
+        .cell(rows[i].dims_chosen)
+        .cell(rows[i].median_err, 3)
+        .cell(rows[i].p90_err, 3);
   }
   ics_table.print("ICS: beacon count x variation threshold");
   return 0;

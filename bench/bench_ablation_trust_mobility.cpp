@@ -3,6 +3,10 @@
 //     is not trustworthy (dishonesty-rate sweep),
 //   * "Mobile Support": how cached underlay information decays for mobile
 //     peers (staleness sweep under a random-waypoint model).
+//
+// Each sweep point is an independent trial (its own engine + network with
+// the historical fixed seed) run through bench::run_trials; the honest-RTT
+// ratio column is derived after the gather from the rate-0 row.
 #include "bench_common.hpp"
 #include "netinfo/ipmap.hpp"
 #include "netinfo/vivaldi.hpp"
@@ -10,37 +14,130 @@
 
 using namespace uap2p;
 
-int main() {
+namespace {
+
+struct TrustRow {
+  double mean_as_hops = 0.0;
+  double mean_rtt = 0.0;
+};
+
+TrustRow run_trust(double dishonest_rate) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 4, 0.3);
+  underlay::Network net(engine, topo, 139);
+  const auto peers = net.populate(120);
+  netinfo::OracleConfig config;
+  config.dishonest_rate = dishonest_rate;
+  netinfo::Oracle oracle(net, config);
+  RunningStats hops, rtt;
+  for (std::size_t i = 0; i < peers.size(); i += 2) {
+    const auto ranked = oracle.rank(peers[i], peers);
+    for (std::size_t k = 0; k < 5 && k < ranked.size(); ++k) {
+      hops.add(double(oracle.as_hops(peers[i], ranked[k])));
+      rtt.add(net.rtt_ms(peers[i], ranked[k]));
+    }
+  }
+  return {hops.mean(), rtt.mean()};
+}
+
+struct MobilityRow {
+  double moves_per_hour = 0.0;
+  double stale_isp_pct = 0.0;
+  double vivaldi_median_err = 0.0;
+  double geo_error_km_p90 = 0.0;
+};
+
+MobilityRow run_mobility(double speed_kmh) {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 5, 0.3);
+  underlay::Network net(engine, topo, 149);
+  const auto peers = net.populate(100);
+
+  // Collect everything while peers are static...
+  netinfo::IpMappingService ip_db(topo, {});
+  std::vector<AsId> cached_isp(peers.size());
+  std::vector<underlay::GeoPoint> cached_location(peers.size());
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    cached_isp[i] = *ip_db.lookup_isp(net.host(peers[i]).ip);
+    cached_location[i] = net.host(peers[i]).location;
+  }
+  netinfo::VivaldiSystem vivaldi(peers.size(), {}, Rng(3));
+  Rng gossip(5);
+  for (int round = 0; round < 32; ++round) {
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      const std::size_t j = gossip.uniform(peers.size());
+      if (i == j) continue;
+      vivaldi.update(PeerId(std::uint32_t(i)), PeerId(std::uint32_t(j)),
+                     net.rtt_ms(peers[i], peers[j]));
+    }
+  }
+
+  // ...then let them move for 4 simulated hours.
+  underlay::MobilityConfig mobility_config;
+  mobility_config.speed_kmh = speed_kmh;
+  mobility_config.mean_pause_ms = sim::minutes(2);
+  underlay::MobilityProcess mobility(engine, net, mobility_config);
+  if (speed_kmh > 0) {
+    for (const PeerId peer : peers) mobility.add_peer(peer);
+  }
+  engine.run_until(sim::hours(4));
+  mobility.stop();
+
+  // How much of the cached information still holds?
+  std::size_t stale_isp = 0;
+  Samples geo_error;
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    if (net.host(peers[i]).as != cached_isp[i]) ++stale_isp;
+    geo_error.add(underlay::haversine_km(cached_location[i],
+                                         net.host(peers[i]).location));
+  }
+  Rng eval(7);
+  const Samples vivaldi_error = netinfo::relative_error_samples(
+      vivaldi, eval, 800, [&](PeerId a, PeerId b) { return net.rtt_ms(a, b); });
+
+  return {mobility.completed_moves() / 4.0,
+          100.0 * double(stale_isp) / double(peers.size()),
+          vivaldi_error.median(), geo_error.percentile(90)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_flags(argc, argv);
   bench::print_header("bench_ablation_trust_mobility",
                       "§6 challenges: ISP trust and mobile support");
 
-  // --- Dishonest oracle sweep ------------------------------------------
+  constexpr double kRates[] = {0.0, 0.25, 0.5, 1.0};
+  constexpr double kSpeeds[] = {0.0, 60.0, 300.0, 900.0};
+  const std::size_t kMobilityAt = std::size(kRates);
+  const std::size_t kTrials = kMobilityAt + std::size(kSpeeds);
+
+  struct TrialResult {
+    TrustRow trust;
+    MobilityRow mobility;
+  };
+  const auto results = bench::run_trials(
+      kTrials, /*base_seed=*/139, [&](std::size_t trial, std::uint64_t) {
+        TrialResult result;
+        if (trial < kMobilityAt) {
+          result.trust = run_trust(kRates[trial]);
+        } else {
+          result.mobility = run_mobility(kSpeeds[trial - kMobilityAt]);
+        }
+        return result;
+      });
+
   {
     TablePrinter table({"dishonest_rate", "mean_neighbor_as_hops",
                         "mean_neighbor_rtt_ms", "vs honest rtt"});
-    double honest_rtt = 0.0;
-    for (const double rate : {0.0, 0.25, 0.5, 1.0}) {
-      sim::Engine engine;
-      underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 4, 0.3);
-      underlay::Network net(engine, topo, 139);
-      const auto peers = net.populate(120);
-      netinfo::OracleConfig config;
-      config.dishonest_rate = rate;
-      netinfo::Oracle oracle(net, config);
-      RunningStats hops, rtt;
-      for (std::size_t i = 0; i < peers.size(); i += 2) {
-        const auto ranked = oracle.rank(peers[i], peers);
-        for (std::size_t k = 0; k < 5 && k < ranked.size(); ++k) {
-          hops.add(double(oracle.as_hops(peers[i], ranked[k])));
-          rtt.add(net.rtt_ms(peers[i], ranked[k]));
-        }
-      }
-      if (rate == 0.0) honest_rtt = rtt.mean();
+    const double honest_rtt = results[0].trust.mean_rtt;
+    for (std::size_t i = 0; i < std::size(kRates); ++i) {
+      const TrustRow& trust = results[i].trust;
       auto row = table.row();
-      row.cell(rate, 2)
-          .cell(hops.mean(), 2)
-          .cell(rtt.mean(), 1)
-          .cell(honest_rtt > 0 ? rtt.mean() / honest_rtt : 1.0, 2);
+      row.cell(kRates[i], 2)
+          .cell(trust.mean_as_hops, 2)
+          .cell(trust.mean_rtt, 1)
+          .cell(honest_rtt > 0 ? trust.mean_rtt / honest_rtt : 1.0, 2);
     }
     table.print("trusting a dishonest ISP oracle (peer-side damage)");
     std::printf(
@@ -49,66 +146,19 @@ int main() {
         "latency while looking exactly like a helpful one.\n");
   }
 
-  // --- Mobility staleness sweep ----------------------------------------
   {
     TablePrinter table({"mobility", "moves/h", "stale_isp_mapping_%",
                         "vivaldi_median_err", "geo_error_km_p90"});
-    for (const double speed_kmh : {0.0, 60.0, 300.0, 900.0}) {
-      sim::Engine engine;
-      underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 5, 0.3);
-      underlay::Network net(engine, topo, 149);
-      const auto peers = net.populate(100);
-
-      // Collect everything while peers are static...
-      netinfo::IpMappingService ip_db(topo, {});
-      std::vector<AsId> cached_isp(peers.size());
-      std::vector<underlay::GeoPoint> cached_location(peers.size());
-      for (std::size_t i = 0; i < peers.size(); ++i) {
-        cached_isp[i] = *ip_db.lookup_isp(net.host(peers[i]).ip);
-        cached_location[i] = net.host(peers[i]).location;
-      }
-      netinfo::VivaldiSystem vivaldi(peers.size(), {}, Rng(3));
-      Rng gossip(5);
-      for (int round = 0; round < 32; ++round) {
-        for (std::size_t i = 0; i < peers.size(); ++i) {
-          const std::size_t j = gossip.uniform(peers.size());
-          if (i == j) continue;
-          vivaldi.update(PeerId(std::uint32_t(i)), PeerId(std::uint32_t(j)),
-                         net.rtt_ms(peers[i], peers[j]));
-        }
-      }
-
-      // ...then let them move for 4 simulated hours.
-      underlay::MobilityConfig mobility_config;
-      mobility_config.speed_kmh = speed_kmh;
-      mobility_config.mean_pause_ms = sim::minutes(2);
-      underlay::MobilityProcess mobility(engine, net, mobility_config);
-      if (speed_kmh > 0) {
-        for (const PeerId peer : peers) mobility.add_peer(peer);
-      }
-      engine.run_until(sim::hours(4));
-      mobility.stop();
-
-      // How much of the cached information still holds?
-      std::size_t stale_isp = 0;
-      Samples geo_error;
-      for (std::size_t i = 0; i < peers.size(); ++i) {
-        if (net.host(peers[i]).as != cached_isp[i]) ++stale_isp;
-        geo_error.add(underlay::haversine_km(cached_location[i],
-                                             net.host(peers[i]).location));
-      }
-      Rng eval(7);
-      const Samples vivaldi_error = netinfo::relative_error_samples(
-          vivaldi, eval, 800,
-          [&](PeerId a, PeerId b) { return net.rtt_ms(a, b); });
-
+    for (std::size_t i = 0; i < std::size(kSpeeds); ++i) {
+      const MobilityRow& mob = results[kMobilityAt + i].mobility;
+      const double speed_kmh = kSpeeds[i];
       auto row = table.row();
-      row.cell(speed_kmh == 0 ? "static" :
-               TablePrinter::fmt(speed_kmh, 0) + " km/h")
-          .cell(mobility.completed_moves() / 4.0, 1)
-          .cell(100.0 * double(stale_isp) / double(peers.size()), 1)
-          .cell(vivaldi_error.median(), 3)
-          .cell(geo_error.percentile(90), 1);
+      row.cell(speed_kmh == 0 ? "static"
+                              : TablePrinter::fmt(speed_kmh, 0) + " km/h")
+          .cell(mob.moves_per_hour, 1)
+          .cell(mob.stale_isp_pct, 1)
+          .cell(mob.vivaldi_median_err, 3)
+          .cell(mob.geo_error_km_p90, 1);
     }
     table.print("mobility: decay of cached underlay information (4 h)");
     std::printf(

@@ -3,6 +3,10 @@
 // each querier, keep the top 6. Reported per technique: locality quality
 // (intra-AS share and mean RTT of chosen neighbors), what it costs
 // (probes / queries), and who must cooperate (the §5 trust discussion).
+//
+// Each technique runs as one independent trial over its own copy of the
+// *same* network (fixed net seed): the comparison column-to-column is
+// across identical underlays, and the trials parallelize freely.
 #include "bench_common.hpp"
 #include "netinfo/binning.hpp"
 #include "netinfo/cdn.hpp"
@@ -12,158 +16,177 @@
 
 using namespace uap2p;
 
-int main() {
+namespace {
+
+/// The shared experiment substrate; every technique trial builds an
+/// identical one (net seed fixed at 131, as the serial bench always did).
+struct Env {
+  sim::Engine engine;
+  underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 5, 0.3);
+  underlay::Network net{engine, topo, 131};
+  std::vector<PeerId> peers = net.populate(180);
+};
+
+constexpr std::size_t kKeep = 6;
+
+struct Outcome {
+  const char* technique = "";
+  const char* cooperator = "";
+  double intra_as = 0.0;
+  double mean_rtt = 0.0;
+  std::uint64_t cost_messages = 0;
+};
+
+template <typename RankFn>
+Outcome evaluate(Env& env, const char* name, const char* cooperator,
+                 RankFn&& rank_fn) {
+  Outcome outcome;
+  outcome.technique = name;
+  outcome.cooperator = cooperator;
+  RunningStats rtt;
+  std::size_t intra = 0, total = 0;
+  for (std::size_t i = 0; i < env.peers.size(); i += 3) {
+    std::vector<PeerId> ranked = rank_fn(env.peers[i]);
+    for (std::size_t k = 0; k < kKeep && k < ranked.size(); ++k) {
+      rtt.add(env.net.rtt_ms(env.peers[i], ranked[k]));
+      ++total;
+      intra += env.net.host(env.peers[i]).as == env.net.host(ranked[k]).as;
+    }
+  }
+  outcome.intra_as = total ? double(intra) / total : 0.0;
+  outcome.mean_rtt = rtt.mean();
+  return outcome;
+}
+
+template <typename System>
+std::vector<PeerId> rank_by_estimate(Env& env, PeerId self,
+                                     const System& estimate) {
+  struct Scored {
+    PeerId peer;
+    double score;
+  };
+  std::vector<Scored> scored;
+  for (const PeerId other : env.peers) {
+    if (other == self) continue;
+    scored.push_back({other, estimate(self, other)});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score < b.score;
+                   });
+  std::vector<PeerId> result;
+  for (const Scored& s : scored) result.push_back(s.peer);
+  return result;
+}
+
+Outcome run_technique(std::size_t technique) {
+  Env env;
+  const auto& peers = env.peers;
+  switch (technique) {
+    case 0: {  // Baseline: random.
+      Rng rng(1);
+      return evaluate(env, "random (baseline)", "nobody", [&](PeerId self) {
+        std::vector<PeerId> shuffled = peers;
+        std::erase(shuffled, self);
+        for (std::size_t i = shuffled.size(); i > 1; --i)
+          std::swap(shuffled[i - 1], shuffled[rng.uniform(i)]);
+        return shuffled;
+      });
+    }
+    case 1: {  // Oracle ([1]).
+      netinfo::Oracle oracle(env.net);
+      Outcome outcome =
+          evaluate(env, "ISP oracle [1]", "ISP (per-query)",
+                   [&](PeerId self) { return oracle.rank(self, peers); });
+      outcome.cost_messages = oracle.query_count();
+      return outcome;
+    }
+    case 2: {  // P4P ([29]).
+      netinfo::ITracker itracker(env.net);
+      netinfo::P4pSelector selector(itracker);
+      Outcome outcome =
+          evaluate(env, "P4P iTracker [29]", "ISP (one-off view)",
+                   [&](PeerId self) { return selector.rank(self, peers); });
+      outcome.cost_messages = itracker.view_fetches();
+      return outcome;
+    }
+    case 3: {  // Ono ([5]).
+      netinfo::CdnConfig cdn_config;
+      cdn_config.replica_count = 12;
+      netinfo::SimulatedCdn cdn(env.net, cdn_config);
+      netinfo::CdnInference inference(cdn, env.net.host_count());
+      inference.warm_up(peers);
+      Outcome outcome =
+          evaluate(env, "Ono / CDN inference [5]", "none (parasitic on CDN)",
+                   [&](PeerId self) { return inference.rank(self, peers); });
+      outcome.cost_messages = cdn.redirect_count();
+      return outcome;
+    }
+    case 4: {  // Landmark binning ([26]).
+      netinfo::BinningSystem binning(
+          env.net, {peers[0], peers[1], peers[2], peers[3], peers[4],
+                    peers[5]});
+      Outcome outcome =
+          evaluate(env, "landmark binning [26]", "landmark hosts",
+                   [&](PeerId self) { return binning.rank(self, peers); });
+      outcome.cost_messages = binning.pinger().probes_sent();
+      return outcome;
+    }
+    case 5: {  // gMeasure ([34]): group-cached explicit measurement.
+      netinfo::PingerConfig ping_config;
+      ping_config.jitter_sigma = 0.0;
+      netinfo::Pinger pinger(env.net, Rng(9), ping_config);
+      netinfo::GroupMeasure gm(env.net, pinger, peers);
+      Outcome outcome = evaluate(
+          env, "gMeasure groups [34]", "group heads", [&](PeerId self) {
+            return rank_by_estimate(env, self, [&](PeerId a, PeerId b) {
+              const double rtt = gm.estimate_rtt(a, b);
+              return rtt <= 0 ? 1e12 : rtt;
+            });
+          });
+      outcome.cost_messages = pinger.probes_sent();
+      return outcome;
+    }
+    default: {  // Vivaldi ([7]).
+      netinfo::VivaldiSystem vivaldi(peers.size(), {}, Rng(3));
+      netinfo::Pinger pinger(env.net, Rng(5), {});
+      Rng rng(7);
+      for (int round = 0; round < 48; ++round) {
+        for (std::size_t i = 0; i < peers.size(); ++i) {
+          const std::size_t j = rng.uniform(peers.size());
+          if (i == j) continue;
+          const double rtt = pinger.measure_rtt(peers[i], peers[j]);
+          if (rtt > 0) vivaldi.update(PeerId(std::uint32_t(i)),
+                                      PeerId(std::uint32_t(j)), rtt);
+        }
+      }
+      Outcome outcome = evaluate(
+          env, "Vivaldi coordinates [7]", "nobody", [&](PeerId self) {
+            return rank_by_estimate(env, self, [&](PeerId a, PeerId b) {
+              return vivaldi.estimate_rtt(a, b);
+            });
+          });
+      outcome.cost_messages = pinger.probes_sent();
+      return outcome;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_flags(argc, argv);
   bench::print_header("bench_collection_compare",
                       "§3 collection techniques on one neighbor-selection task");
 
-  sim::Engine engine;
-  underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 5, 0.3);
-  underlay::Network net(engine, topo, 131);
-  const auto peers = net.populate(180);
-  constexpr std::size_t kKeep = 6;
-
-  struct Outcome {
-    const char* technique;
-    const char* cooperator;
-    double intra_as = 0.0;
-    double mean_rtt = 0.0;
-    std::uint64_t cost_messages = 0;
-  };
-  std::vector<Outcome> outcomes;
-
-  auto evaluate = [&](const char* name, const char* cooperator,
-                      auto&& rank_fn, std::uint64_t cost) {
-    Outcome outcome{name, cooperator};
-    RunningStats rtt;
-    std::size_t intra = 0, total = 0;
-    for (std::size_t i = 0; i < peers.size(); i += 3) {
-      std::vector<PeerId> ranked = rank_fn(peers[i]);
-      for (std::size_t k = 0; k < kKeep && k < ranked.size(); ++k) {
-        rtt.add(net.rtt_ms(peers[i], ranked[k]));
-        ++total;
-        intra += net.host(peers[i]).as == net.host(ranked[k]).as;
-      }
-    }
-    outcome.intra_as = total ? double(intra) / total : 0.0;
-    outcome.mean_rtt = rtt.mean();
-    outcome.cost_messages = cost;
-    outcomes.push_back(outcome);
-  };
-
-  // Baseline: random.
-  {
-    Rng rng(1);
-    evaluate("random (baseline)", "nobody",
-             [&](PeerId self) {
-               std::vector<PeerId> shuffled = peers;
-               std::erase(shuffled, self);
-               for (std::size_t i = shuffled.size(); i > 1; --i)
-                 std::swap(shuffled[i - 1], shuffled[rng.uniform(i)]);
-               return shuffled;
-             },
-             0);
-  }
-  // Oracle ([1]).
-  {
-    netinfo::Oracle oracle(net);
-    evaluate("ISP oracle [1]", "ISP (per-query)",
-             [&](PeerId self) { return oracle.rank(self, peers); },
-             0);
-    outcomes.back().cost_messages = oracle.query_count();
-  }
-  // P4P ([29]).
-  {
-    netinfo::ITracker itracker(net);
-    netinfo::P4pSelector selector(itracker);
-    evaluate("P4P iTracker [29]", "ISP (one-off view)",
-             [&](PeerId self) { return selector.rank(self, peers); },
-             0);
-    outcomes.back().cost_messages = itracker.view_fetches();
-  }
-  // Ono ([5]).
-  {
-    netinfo::CdnConfig cdn_config;
-    cdn_config.replica_count = 12;
-    netinfo::SimulatedCdn cdn(net, cdn_config);
-    netinfo::CdnInference inference(cdn, net.host_count());
-    inference.warm_up(peers);
-    evaluate("Ono / CDN inference [5]", "none (parasitic on CDN)",
-             [&](PeerId self) { return inference.rank(self, peers); },
-             cdn.redirect_count());
-  }
-  // Landmark binning ([26]).
-  {
-    netinfo::BinningSystem binning(
-        net, {peers[0], peers[1], peers[2], peers[3], peers[4], peers[5]});
-    evaluate("landmark binning [26]", "landmark hosts",
-             [&](PeerId self) { return binning.rank(self, peers); },
-             0);
-    outcomes.back().cost_messages = binning.pinger().probes_sent();
-  }
-  // gMeasure ([34]): group-cached explicit measurement.
-  {
-    netinfo::PingerConfig ping_config;
-    ping_config.jitter_sigma = 0.0;
-    netinfo::Pinger pinger(net, Rng(9), ping_config);
-    netinfo::GroupMeasure gm(net, pinger, peers);
-    evaluate("gMeasure groups [34]", "group heads",
-             [&](PeerId self) {
-               struct Scored {
-                 PeerId peer;
-                 double estimate;
-               };
-               std::vector<Scored> scored;
-               for (const PeerId other : peers) {
-                 if (other == self) continue;
-                 const double rtt = gm.estimate_rtt(self, other);
-                 scored.push_back({other, rtt <= 0 ? 1e12 : rtt});
-               }
-               std::stable_sort(scored.begin(), scored.end(),
-                                [](const Scored& a, const Scored& b) {
-                                  return a.estimate < b.estimate;
-                                });
-               std::vector<PeerId> result;
-               for (const Scored& s : scored) result.push_back(s.peer);
-               return result;
-             },
-             0);
-    outcomes.back().cost_messages = pinger.probes_sent();
-  }
-  // Vivaldi ([7]).
-  {
-    netinfo::VivaldiSystem vivaldi(peers.size(), {}, Rng(3));
-    netinfo::Pinger pinger(net, Rng(5), {});
-    Rng rng(7);
-    for (int round = 0; round < 48; ++round) {
-      for (std::size_t i = 0; i < peers.size(); ++i) {
-        const std::size_t j = rng.uniform(peers.size());
-        if (i == j) continue;
-        const double rtt = pinger.measure_rtt(peers[i], peers[j]);
-        if (rtt > 0) vivaldi.update(PeerId(std::uint32_t(i)),
-                                    PeerId(std::uint32_t(j)), rtt);
-      }
-    }
-    evaluate("Vivaldi coordinates [7]", "nobody",
-             [&](PeerId self) {
-               struct Scored {
-                 PeerId peer;
-                 double estimate;
-               };
-               std::vector<Scored> scored;
-               for (const PeerId other : peers) {
-                 if (other == self) continue;
-                 scored.push_back({other, vivaldi.estimate_rtt(self, other)});
-               }
-               std::stable_sort(scored.begin(), scored.end(),
-                                [](const Scored& a, const Scored& b) {
-                                  return a.estimate < b.estimate;
-                                });
-               std::vector<PeerId> result;
-               for (const Scored& s : scored) result.push_back(s.peer);
-               return result;
-             },
-             pinger.probes_sent());
-  }
+  constexpr std::size_t kTechniques = 7;
+  const std::vector<Outcome> outcomes = bench::run_trials(
+      kTechniques, /*base_seed=*/131,
+      [](std::size_t technique, std::uint64_t) {
+        // Techniques keep their historical fixed internal seeds; the trial
+        // seed is unused so every column sees the identical underlay.
+        return run_technique(technique);
+      });
 
   TablePrinter table({"technique", "who cooperates", "intra-AS top-6",
                       "mean RTT (ms)", "collection msgs"});

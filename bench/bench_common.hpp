@@ -6,16 +6,66 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "netinfo/oracle.hpp"
 #include "overlay/gnutella.hpp"
 #include "sim/engine.hpp"
 #include "underlay/network.hpp"
 
 namespace uap2p::bench {
+
+/// Process-wide bench options (set once by parse_flags before any trials).
+struct Options {
+  /// --serial: run every trial on the calling thread. The emitted tables
+  /// must be byte-identical either way; a CTest target diffs the two.
+  bool serial = false;
+};
+
+inline Options& options() {
+  static Options instance;
+  return instance;
+}
+
+/// Parses the shared bench flags (currently just --serial); call first
+/// thing in main. Unrecognized arguments are left alone.
+inline void parse_flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--serial") options().serial = true;
+  }
+}
+
+/// Runs `count` independent trials across the process-wide thread pool and
+/// returns their results in trial-index order.
+///
+/// Determinism contract (see DESIGN.md "Performance model"):
+///  * per-trial seeds are derived *serially* from `base_seed` via
+///    Rng::split_seed before any trial is dispatched, so seed assignment
+///    cannot depend on scheduling;
+///  * each trial must be self-contained — build its own Engine / Network /
+///    overlay from `fn(trial_index, trial_seed)` and share no mutable
+///    state with other trials;
+///  * results are gathered by index (parallel_map), so consumers see them
+///    exactly as a serial loop would have produced them.
+/// Under these rules the emitted tables are bit-identical between
+/// `--serial` and the default parallel run — only wall-clock differs.
+///
+/// `threads` caps trial concurrency (0 = hardware concurrency); the
+/// --serial flag overrides it to 1.
+template <typename Fn>
+auto run_trials(std::size_t count, std::uint64_t base_seed, Fn&& fn,
+                std::size_t threads = 0) {
+  Rng master(base_seed);
+  std::vector<std::uint64_t> seeds(count);
+  for (std::uint64_t& seed : seeds) seed = master.split_seed();
+  return parallel_map(
+      count, [&](std::size_t i) { return fn(i, seeds[i]); },
+      options().serial ? 1 : threads);
+}
 
 /// A fully wired Gnutella experiment: engine + topology + network + oracle
 /// + overlay, mirroring [1]'s testlab (peers AS-round-robin, 1 ultrapeer
@@ -28,10 +78,16 @@ struct GnutellaLab {
   std::unique_ptr<netinfo::Oracle> oracle;
   std::unique_ptr<overlay::gnutella::GnutellaSystem> system;
 
+  /// `seed` is the trial seed (required — parallel trials must not share
+  /// RNG streams); the network, overlay, and workload streams are derived
+  /// from it via Rng::split_seed so they stay decorrelated.
   GnutellaLab(underlay::AsTopology topology, std::size_t peer_count,
-              overlay::gnutella::Config config, std::uint64_t seed = 7)
-      : topo(std::move(topology)) {
-    net = std::make_unique<underlay::Network>(engine, topo, seed);
+              overlay::gnutella::Config config, std::uint64_t seed)
+      : topo(std::move(topology)), workload_rng_(0) {
+    Rng derive(seed);
+    net = std::make_unique<underlay::Network>(engine, topo, derive.split_seed());
+    config.seed = derive.split_seed();
+    workload_rng_ = Rng(derive.split_seed());
     peers = net->populate(peer_count);
     netinfo::OracleConfig oracle_config;
     oracle_config.max_list_size = config.hostcache_size;
@@ -75,11 +131,11 @@ struct GnutellaLab {
   /// Replicated random-content workload: `contents` distinct files, each
   /// shared by `copies` random peers; `searches` random peers each search
   /// and download one random file. Locality here comes only from the
-  /// overlay/oracle, not from the workload.
+  /// overlay/oracle, not from the workload. Draws from the lab's own
+  /// seed-derived workload stream, so concurrent labs stay independent.
   std::size_t run_replicated_workload(std::size_t contents, std::size_t copies,
-                                      std::size_t searches, bool download,
-                                      std::uint64_t seed = 3) {
-    Rng rng(seed);
+                                      std::size_t searches, bool download) {
+    Rng& rng = workload_rng_;
     for (std::uint32_t c = 0; c < contents; ++c) {
       for (const std::size_t i :
            rng.sample_without_replacement(peers.size(), copies)) {
@@ -95,6 +151,9 @@ struct GnutellaLab {
     }
     return successes;
   }
+
+  /// Per-lab workload stream (derived from the trial seed in the ctor).
+  Rng workload_rng_;
 };
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

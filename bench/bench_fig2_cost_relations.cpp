@@ -52,7 +52,8 @@ int main() {
                            : overlay::gnutella::NeighborSelection::kRandom;
     config.hostcache_size = 100;
     config.oracle_at_file_exchange = biased;
-    bench::GnutellaLab lab(AsTopology::transit_stub(2, 4, 0.3), 120, config);
+    bench::GnutellaLab lab(AsTopology::transit_stub(2, 4, 0.3), 120, config,
+                           /*seed=*/7);
     lab.run_replicated_workload(/*contents=*/12, /*copies=*/10,
                                 /*searches=*/60, /*download=*/true);
     auto& traffic = lab.net->traffic();

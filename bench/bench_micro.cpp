@@ -15,8 +15,10 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/thread_pool.hpp"
 #include "netinfo/ics.hpp"
+#include "overlay/gnutella.hpp"
 #include "netinfo/ipmap.hpp"
 #include "netinfo/oracle.hpp"
 #include "netinfo/p4p.hpp"
@@ -130,6 +132,44 @@ static void BM_RoutingMixedCachedPaths(benchmark::State& state) {
 }
 BENCHMARK(BM_RoutingMixedCachedPaths);
 
+// --- Overlay flooding ----------------------------------------------------
+
+static void BM_GnutellaFloodSteadyState(benchmark::State& state) {
+  // A warmed 180-peer ultrapeer/leaf overlay issuing full-TTL query floods
+  // for scarce content: the regime every Table-1-style run spends its time
+  // in. Items are flooded messages (Query + QueryHit transmissions).
+  sim::Engine engine;
+  const underlay::AsTopology topo =
+      underlay::AsTopology::transit_stub(3, 5, 0.3);
+  underlay::Network net(engine, topo, 21);
+  const auto peers = net.populate(180);
+  overlay::gnutella::Config config;
+  config.dynamic_querying = false;  // always flood at full TTL
+  overlay::gnutella::GnutellaSystem system(
+      net, peers,
+      overlay::gnutella::testlab_roles(peers.size(), 2, topo.as_count()),
+      config);
+  system.bootstrap();
+  for (std::size_t i = 0; i < 3; ++i) {
+    system.share(peers[i * 7 + 1], ContentId(5));
+  }
+  system.ping_cycle();
+  std::size_t origin = 0;
+  auto do_search = [&] {
+    origin = (origin + 37) % peers.size();
+    return system.search(peers[origin], ContentId(5), /*download=*/false)
+        .result_count;
+  };
+  for (int i = 0; i < 3; ++i) do_search();  // warm caches and scratch
+  const std::uint64_t before = system.counts().total();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(do_search());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(system.counts().total() - before));
+}
+BENCHMARK(BM_GnutellaFloodSteadyState);
+
 // --- Parallel sweep dispatch --------------------------------------------
 
 static void BM_ParallelForDispatch(benchmark::State& state) {
@@ -146,6 +186,37 @@ static void BM_ParallelForDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8);
 }
 BENCHMARK(BM_ParallelForDispatch);
+
+static void BM_TrialFanout(benchmark::State& state) {
+  // bench::run_trials end to end at 1 / 4 / hardware-width threads: serial
+  // seed derivation, pool dispatch of self-contained trials, index-ordered
+  // gather. The trial body is ~1k Rng draws, small enough that harness
+  // overhead is visible, big enough that threads can genuinely overlap.
+  // Items are completed trials.
+  process_pool();  // lazy init outside the timed region
+  const auto threads = std::size_t(state.range(0));
+  constexpr std::size_t kTrials = 64;
+  for (auto _ : state) {
+    const auto results = bench::run_trials(
+        kTrials, /*base_seed=*/42,
+        [](std::size_t index, std::uint64_t seed) {
+          Rng rng(seed);
+          std::uint64_t acc = index;
+          for (int i = 0; i < 1000; ++i) acc = acc * 31 + rng();
+          return acc;
+        },
+        threads);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * kTrials);
+}
+BENCHMARK(BM_TrialFanout)->Apply([](benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(4);
+  // Hardware width, deduplicated against the fixed args so the emitted
+  // JSON never carries two benchmarks with the same name.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (hw != 1 && hw != 4) b->Arg(hw);
+});
 
 // --- netinfo / geo -------------------------------------------------------
 

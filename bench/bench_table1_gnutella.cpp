@@ -25,12 +25,13 @@ struct RunResult {
   std::size_t searches = 0;
 };
 
-RunResult run(NeighborSelection selection, std::size_t cache) {
+RunResult run(NeighborSelection selection, std::size_t cache,
+              std::uint64_t seed) {
   Config config;
   config.selection = selection;
   config.hostcache_size = cache;
   bench::GnutellaLab lab(underlay::AsTopology::transit_stub(3, 5, 0.3), 360,
-                         config);
+                         config, seed);
   RunResult result;
   const std::size_t as_count = lab.topo.as_count();
   result.searches = as_count * 4;
@@ -48,14 +49,31 @@ RunResult run(NeighborSelection selection, std::size_t cache) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_flags(argc, argv);
   bench::print_header(
       "bench_table1_gnutella",
       "[1] Table 1 (message counts) + Figure 5 (overlay clustering)");
 
-  const RunResult unbiased = run(NeighborSelection::kRandom, 1000);
-  const RunResult biased100 = run(NeighborSelection::kOracleBiased, 100);
-  const RunResult biased1000 = run(NeighborSelection::kOracleBiased, 1000);
+  // The three columns share one trial seed so they differ only in the
+  // configuration under test, exactly as a serial loop would have run them.
+  struct Column {
+    NeighborSelection selection;
+    std::size_t cache;
+  };
+  const Column columns[] = {{NeighborSelection::kRandom, 1000},
+                            {NeighborSelection::kOracleBiased, 100},
+                            {NeighborSelection::kOracleBiased, 1000}};
+  const auto results = bench::run_trials(
+      std::size(columns), /*base_seed=*/7,
+      [&](std::size_t i, std::uint64_t) {
+        // All columns share a fixed lab seed: the comparison is between
+        // selection policies over the *same* network and workload.
+        return run(columns[i].selection, columns[i].cache, /*seed=*/7);
+      });
+  const RunResult& unbiased = results[0];
+  const RunResult& biased100 = results[1];
+  const RunResult& biased1000 = results[2];
 
   TablePrinter table({"Gnutella message type", "Unbiased Gnutella",
                       "Biased, cache 100", "Biased, cache 1000"});

@@ -14,15 +14,14 @@ using namespace uap2p::overlay::gnutella;
 
 namespace {
 
-double run_scheme(const underlay::AsTopology& base, NeighborSelection sel,
+double run_scheme(underlay::AsTopology base, NeighborSelection sel,
                   std::size_t cache, bool oracle_exchange,
                   std::uint64_t seed) {
   Config config;
   config.selection = sel;
   config.hostcache_size = cache;
   config.oracle_at_file_exchange = oracle_exchange;
-  config.seed = seed;
-  bench::GnutellaLab lab(base, 45, config, seed);
+  bench::GnutellaLab lab(std::move(base), 45, config, seed);
 
   // Content catalogue after [1]'s testlab: 270 unique files spread over
   // the nodes (6 per node in the uniform scheme), with popular files
@@ -58,38 +57,53 @@ double run_scheme(const underlay::AsTopology& base, NeighborSelection sel,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_flags(argc, argv);
   bench::print_header(
       "bench_testlab_filexchange",
       "[1] §5 testlab: intra-AS file exchange percentage, 45 nodes, 5 ASes");
 
   TablePrinter table({"topology", "unbiased_%", "oracle_c100_%",
                       "oracle_c1000_%", "oracle_both_stages_%"});
+  struct Scheme {
+    NeighborSelection selection;
+    std::size_t cache;
+    bool oracle_exchange;
+  };
+  const Scheme schemes[] = {{NeighborSelection::kRandom, 1000, false},
+                            {NeighborSelection::kOracleBiased, 100, false},
+                            {NeighborSelection::kOracleBiased, 1000, false},
+                            {NeighborSelection::kOracleBiased, 1000, true}};
+  const char* const topo_names[] = {"ring", "star", "tree", "random mesh"};
+  constexpr std::size_t kSchemes = std::size(schemes);
+  constexpr std::size_t kTopos = std::size(topo_names);
+
+  // One trial per (topology, scheme) cell; each builds its own topology so
+  // trials share nothing. Seeds are derived serially by run_trials.
+  const auto cells = bench::run_trials(
+      kTopos * kSchemes, /*base_seed=*/100,
+      [&](std::size_t trial, std::uint64_t seed) {
+        const std::size_t t = trial / kSchemes;
+        const Scheme& scheme = schemes[trial % kSchemes];
+        underlay::AsTopology topo =
+            t == 0   ? underlay::AsTopology::ring(5)
+            : t == 1 ? underlay::AsTopology::star(5)
+            : t == 2 ? underlay::AsTopology::tree(5, 2)
+                     : underlay::AsTopology::mesh(5, 0.4);
+        return run_scheme(std::move(topo), scheme.selection, scheme.cache,
+                          scheme.oracle_exchange, seed);
+      });
+
   double sum_unbiased = 0, sum_c100 = 0, sum_c1000 = 0, sum_both = 0;
   int rows = 0;
-  struct Shape {
-    const char* name;
-    underlay::AsTopology topo;
-  };
-  std::vector<Shape> shapes;
-  shapes.push_back({"ring", underlay::AsTopology::ring(5)});
-  shapes.push_back({"star", underlay::AsTopology::star(5)});
-  shapes.push_back({"tree", underlay::AsTopology::tree(5, 2)});
-  shapes.push_back({"random mesh", underlay::AsTopology::mesh(5, 0.4)});
-  std::uint64_t topo_seed = 100;
-  for (auto& [name, topo] : shapes) {
-    topo_seed += 10;  // decorrelate content placement across topologies
-    const double unbiased = run_scheme(topo, NeighborSelection::kRandom, 1000,
-                                       false, topo_seed + 1);
-    const double c100 = run_scheme(topo, NeighborSelection::kOracleBiased, 100,
-                                   false, topo_seed + 2);
-    const double c1000 = run_scheme(topo, NeighborSelection::kOracleBiased,
-                                    1000, false, topo_seed + 3);
-    const double both = run_scheme(topo, NeighborSelection::kOracleBiased,
-                                   1000, true, topo_seed + 4);
+  for (std::size_t t = 0; t < kTopos; ++t) {
+    const double unbiased = cells[t * kSchemes + 0];
+    const double c100 = cells[t * kSchemes + 1];
+    const double c1000 = cells[t * kSchemes + 2];
+    const double both = cells[t * kSchemes + 3];
     auto row = table.row();
-    row.cell(name).cell(unbiased, 1).cell(c100, 1).cell(c1000, 1).cell(both,
-                                                                       1);
+    row.cell(topo_names[t]).cell(unbiased, 1).cell(c100, 1).cell(c1000, 1)
+        .cell(both, 1);
     sum_unbiased += unbiased;
     sum_c100 += c100;
     sum_c1000 += c1000;

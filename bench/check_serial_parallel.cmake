@@ -1,0 +1,28 @@
+# Determinism check for the parallel trial harness: a converted bench must
+# emit byte-identical output with and without --serial (see the
+# bench::run_trials contract in bench_common.hpp / DESIGN.md).
+#
+# Usage: cmake -DBENCH=<path-to-bench-binary> -P check_serial_parallel.cmake
+if(NOT BENCH)
+  message(FATAL_ERROR "pass -DBENCH=<bench binary>")
+endif()
+
+execute_process(COMMAND "${BENCH}"
+  OUTPUT_VARIABLE parallel_out
+  RESULT_VARIABLE parallel_rc)
+execute_process(COMMAND "${BENCH}" --serial
+  OUTPUT_VARIABLE serial_out
+  RESULT_VARIABLE serial_rc)
+
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} (parallel) exited with ${parallel_rc}")
+endif()
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --serial exited with ${serial_rc}")
+endif()
+if(NOT parallel_out STREQUAL serial_out)
+  message(FATAL_ERROR
+    "${BENCH}: parallel output differs from --serial output.\n"
+    "--- parallel ---\n${parallel_out}\n--- serial ---\n${serial_out}")
+endif()
+message(STATUS "serial and parallel outputs are byte-identical")

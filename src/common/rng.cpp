@@ -127,8 +127,10 @@ std::size_t Rng::zipf(std::size_t n, double s) {
   return n - 1;
 }
 
-Rng Rng::split() {
-  return Rng((*this)() ^ 0xd1b54a32d192ed03ull);
+Rng Rng::split() { return Rng(split_seed()); }
+
+std::uint64_t Rng::split_seed() {
+  return (*this)() ^ 0xd1b54a32d192ed03ull;
 }
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,

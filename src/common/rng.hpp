@@ -64,6 +64,11 @@ class Rng {
   /// this engine's current state.
   Rng split();
 
+  /// The seed split() would construct its child from. Useful when the child
+  /// stream must be created elsewhere (e.g. per-trial seeds derived serially
+  /// on the main thread, then handed to pool workers).
+  std::uint64_t split_seed();
+
   /// Samples `k` distinct indices out of [0, n) (k <= n), in random order.
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k);

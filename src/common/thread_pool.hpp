@@ -75,4 +75,20 @@ ThreadPool& process_pool();
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 
+/// parallel_for with an index-ordered gather: results[i] = fn(i) regardless
+/// of which worker ran which index or in what order they finished. This is
+/// the determinism contract the bench trial harness builds on — consumers
+/// see results exactly as a serial loop would have produced them.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn, std::size_t threads = 0)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(std::is_default_constructible_v<R>,
+                "parallel_map gathers into a pre-sized vector");
+  std::vector<R> results(n);
+  parallel_for(
+      n, [&](std::size_t i) { results[i] = fn(i); }, threads);
+  return results;
+}
+
 }  // namespace uap2p

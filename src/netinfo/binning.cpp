@@ -78,7 +78,9 @@ const Bin& BinningSystem::bin_of(PeerId peer) {
 
 std::vector<PeerId> BinningSystem::rank(PeerId self,
                                         std::span<const PeerId> candidates) {
-  const Bin& mine = bin_of(self);
+  // Copy, don't reference: caching a candidate below may grow bins_ and
+  // invalidate references into it.
+  const Bin mine = bin_of(self);
   struct Scored {
     PeerId peer;
     double similarity;

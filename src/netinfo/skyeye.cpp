@@ -148,7 +148,7 @@ void SkyEye::send_report(std::size_t index) {
 
 void SkyEye::on_message(std::size_t index, const underlay::Message& msg) {
   if (msg.type == msg::kSkyEyeQuery && index == 0) {
-    const auto* query = std::any_cast<QueryPayload>(&msg.payload);
+    const auto* query = payload_cast<QueryPayload>(&msg.payload);
     if (query == nullptr) return;
     underlay::Message reply;
     reply.src = peers_[0];
@@ -163,7 +163,7 @@ void SkyEye::on_message(std::size_t index, const underlay::Message& msg) {
     return;
   }
   if (msg.type == msg::kSkyEyeQueryReply) {
-    const auto* reply = std::any_cast<QueryReplyPayload>(&msg.payload);
+    const auto* reply = payload_cast<QueryReplyPayload>(&msg.payload);
     if (reply == nullptr || !active_query_ ||
         active_query_->id != reply->query_id ||
         peers_[index] != active_query_->asker) {
@@ -175,7 +175,7 @@ void SkyEye::on_message(std::size_t index, const underlay::Message& msg) {
     return;
   }
   if (msg.type != msg::kSkyEyeReport) return;
-  const auto* payload = std::any_cast<ReportPayload>(&msg.payload);
+  const auto* payload = payload_cast<ReportPayload>(&msg.payload);
   if (payload == nullptr) return;
   // Slot by child position; fallback reports from grandchildren reuse the
   // slot of the subtree they belong to (modulo branching keeps it stable).

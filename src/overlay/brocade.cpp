@@ -71,7 +71,7 @@ bool BrocadeSystem::send_leg(PeerId from, PeerId to, std::uint32_t bytes) {
 
 void BrocadeSystem::on_message(PeerId self, const underlay::Message& msg) {
   if (msg.type != kBrocadeForward && msg.type != kBrocadeDeliver) return;
-  const auto* payload = std::any_cast<ForwardPayload>(&msg.payload);
+  const auto* payload = payload_cast<ForwardPayload>(&msg.payload);
   if (payload == nullptr || !active_ || active_->id != payload->route_id) {
     return;
   }

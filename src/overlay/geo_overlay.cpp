@@ -295,7 +295,7 @@ void GeoOverlay::route_search(Zone& zone, std::uint64_t search_id,
 
 void GeoOverlay::on_message(PeerId self, const underlay::Message& msg) {
   if (msg.type == msg::kGeoScopedPut) {
-    const auto* payload = std::any_cast<ScopedPutPayload>(&msg.payload);
+    const auto* payload = payload_cast<ScopedPutPayload>(&msg.payload);
     if (payload == nullptr) return;
     if (payload->zone->supervisor != self) return;
     auto& providers = payload->zone->scoped_store[payload->content];
@@ -306,7 +306,7 @@ void GeoOverlay::on_message(PeerId self, const underlay::Message& msg) {
     return;
   }
   if (msg.type == msg::kGeoScopedGet) {
-    const auto* payload = std::any_cast<ScopedGetPayload>(&msg.payload);
+    const auto* payload = payload_cast<ScopedGetPayload>(&msg.payload);
     if (payload == nullptr) return;
     Zone* zone = payload->zone;
     // Climb locally while this peer supervises the ancestors too.
@@ -364,7 +364,7 @@ void GeoOverlay::on_message(PeerId self, const underlay::Message& msg) {
     }
   }
   if (msg.type == msg::kGeoScopedGetReply) {
-    const auto* payload = std::any_cast<ScopedGetReply>(&msg.payload);
+    const auto* payload = payload_cast<ScopedGetReply>(&msg.payload);
     if (payload == nullptr) return;
     if (!active_ || active_->id != payload->op_id || self != active_->origin)
       return;
@@ -374,21 +374,21 @@ void GeoOverlay::on_message(PeerId self, const underlay::Message& msg) {
     return;
   }
   if (msg.type == msg::kGeoSearch) {
-    const auto* payload = std::any_cast<SearchPayload>(&msg.payload);
+    const auto* payload = payload_cast<SearchPayload>(&msg.payload);
     if (payload == nullptr) return;
     if (payload->zone->supervisor != self) return;  // stale after repair
     route_search(*payload->zone, payload->search_id, payload->origin,
                  payload->rect, payload->descending, payload->geocast,
                  payload->payload_bytes);
   } else if (msg.type == msg::kGeoCastDeliver) {
-    const auto* payload = std::any_cast<CastPayload>(&msg.payload);
+    const auto* payload = payload_cast<CastPayload>(&msg.payload);
     if (payload == nullptr) return;
     if (active_ && active_->id == payload->search_id) {
       ++active_->delivered;
       active_->last_activity = network_.engine().now();
     }
   } else if (msg.type == msg::kGeoSearchReply) {
-    const auto* payload = std::any_cast<ReplyPayload>(&msg.payload);
+    const auto* payload = payload_cast<ReplyPayload>(&msg.payload);
     if (payload == nullptr) return;
     if (!active_ || active_->id != payload->search_id || self != active_->origin)
       return;

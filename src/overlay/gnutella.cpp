@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 #include "netinfo/msg_types.hpp"
 
@@ -189,8 +190,16 @@ void GnutellaSystem::share(PeerId peer, ContentId content) {
   node(peer).shared.insert(content.value());
 }
 
+void GnutellaSystem::begin_flood_cycle() {
+  // Guids are monotonic and the engine quiesces between flood cycles, so
+  // no in-flight message can reference a guid from a previous cycle;
+  // epoch-bumping every node's table is a safe O(nodes) reset that keeps
+  // all slot capacity for the next flood.
+  for (Node& me : nodes_) me.flood_state.clear();
+}
+
 void GnutellaSystem::send_typed(PeerId from, PeerId to, int type,
-                                std::uint32_t bytes, std::any payload) {
+                                std::uint32_t bytes, Payload payload) {
   switch (type) {
     case msg::kGnutellaPing: ++counts_.ping; break;
     case msg::kGnutellaPong: ++counts_.pong; break;
@@ -210,21 +219,21 @@ void GnutellaSystem::send_typed(PeerId from, PeerId to, int type,
 void GnutellaSystem::on_message(PeerId self, const underlay::Message& msg) {
   switch (msg.type) {
     case msg::kGnutellaPing:
-      handle_ping(self, msg.src, *std::any_cast<PingPayload>(&msg.payload));
+      handle_ping(self, msg.src, *payload_cast<PingPayload>(&msg.payload));
       break;
     case msg::kGnutellaPong:
-      handle_pong(self, *std::any_cast<PongPayload>(&msg.payload));
+      handle_pong(self, *payload_cast<PongPayload>(&msg.payload));
       break;
     case msg::kGnutellaQuery:
-      handle_query(self, msg.src, *std::any_cast<QueryPayload>(&msg.payload));
+      handle_query(self, msg.src, *payload_cast<QueryPayload>(&msg.payload));
       break;
     case msg::kGnutellaQueryHit:
       handle_query_hit(self,
-                       *std::any_cast<QueryHitPayload>(&msg.payload));
+                       *payload_cast<QueryHitPayload>(&msg.payload));
       break;
     case msg::kGnutellaHttpData: {
-      if (active_search_ && active_search_->origin == self) {
-        active_search_->download_done_at = network_.engine().now();
+      if (search_active_ && active_search_.origin == self) {
+        active_search_.download_done_at = network_.engine().now();
       }
       break;
     }
@@ -265,9 +274,9 @@ void GnutellaSystem::cache_pong(Node& me, PeerId about) {
 void GnutellaSystem::handle_ping(PeerId self, PeerId from,
                                  const PingPayload& ping) {
   Node& me = node(self);
-  if (me.seen_guids.contains(ping.guid)) return;  // duplicate flood copy
-  me.seen_guids.insert(ping.guid);
-  me.route_back[ping.guid] = from;
+  // One probe both detects duplicate flood copies and records the reverse
+  // path (the previous hop) for routing Pongs back.
+  if (!me.flood_state.try_emplace(ping.guid, from).second) return;
   // Answer with a Pong about ourselves, routed back hop-by-hop.
   send_typed(self, from, msg::kGnutellaPong, config_.pong_bytes,
              PongPayload{ping.guid, self});
@@ -298,18 +307,16 @@ void GnutellaSystem::handle_pong(PeerId self, const PongPayload& pong) {
   // Every node a Pong transits learns the address (hostcache + cache).
   add_to_hostcache(me, pong.about);
   cache_pong(me, pong.about);
-  auto route = me.route_back.find(pong.guid);
-  if (route == me.route_back.end()) return;  // we are the origin: consumed
-  send_typed(self, route->second, msg::kGnutellaPong, config_.pong_bytes,
-             pong);
+  const PeerId* route = me.flood_state.find(pong.guid);
+  // No entry or the origin marker: the Pong is consumed here.
+  if (route == nullptr || !route->is_valid()) return;
+  send_typed(self, *route, msg::kGnutellaPong, config_.pong_bytes, pong);
 }
 
 void GnutellaSystem::handle_query(PeerId self, PeerId from,
                                   const QueryPayload& query) {
   Node& me = node(self);
-  if (me.seen_guids.contains(query.guid)) return;
-  me.seen_guids.insert(query.guid);
-  me.route_back[query.guid] = from;
+  if (!me.flood_state.try_emplace(query.guid, from).second) return;
   // Local hit?
   if (me.shared.contains(query.content)) {
     send_typed(self, from, msg::kGnutellaQueryHit, config_.queryhit_bytes,
@@ -335,31 +342,32 @@ void GnutellaSystem::handle_query(PeerId self, PeerId from,
 
 void GnutellaSystem::handle_query_hit(PeerId self, const QueryHitPayload& hit) {
   Node& me = node(self);
-  auto route = me.route_back.find(hit.guid);
-  if (route == me.route_back.end()) {
+  const PeerId* route = me.flood_state.find(hit.guid);
+  if (route == nullptr || !route->is_valid()) {
     // We are the search origin; collect the result.
-    if (active_search_ && active_search_->guids.contains(hit.guid)) {
-      if (active_search_->first_hit < 0.0) {
-        active_search_->first_hit =
-            network_.engine().now() - active_search_->started;
+    if (search_active_ && active_search_.owns(hit.guid)) {
+      if (active_search_.first_hit < 0.0) {
+        active_search_.first_hit =
+            network_.engine().now() - active_search_.started;
       }
-      if (std::find(active_search_->providers.begin(),
-                    active_search_->providers.end(),
-                    hit.provider) == active_search_->providers.end()) {
-        active_search_->providers.push_back(hit.provider);
+      if (std::find(active_search_.providers.begin(),
+                    active_search_.providers.end(),
+                    hit.provider) == active_search_.providers.end()) {
+        active_search_.providers.push_back(hit.provider);
       }
     }
     return;
   }
-  send_typed(self, route->second, msg::kGnutellaQueryHit,
-             config_.queryhit_bytes, hit);
+  send_typed(self, *route, msg::kGnutellaQueryHit, config_.queryhit_bytes,
+             hit);
 }
 
 void GnutellaSystem::ping_cycle() {
+  begin_flood_cycle();
   for (Node& me : nodes_) {
     if (!network_.is_online(me.peer)) continue;
     const std::uint64_t guid = next_guid_++;
-    me.seen_guids.insert(guid);
+    me.flood_state.try_emplace(guid, PeerId::invalid());
     if (me.role == NodeRole::kUltrapeer) {
       for (const PeerId next : me.up_neighbors) {
         send_typed(me.peer, next, msg::kGnutellaPing, config_.ping_bytes,
@@ -379,18 +387,22 @@ SearchOutcome GnutellaSystem::search(PeerId origin, ContentId content,
                                      bool download) {
   Node& me = node(origin);
   SearchOutcome outcome;
-  ActiveSearch search_state;
-  search_state.origin = origin;
-  search_state.started = network_.engine().now();
-  active_search_ = std::move(search_state);
+  begin_flood_cycle();
+  active_search_.guids.clear();
+  active_search_.providers.clear();
+  active_search_.origin = origin;
+  active_search_.started = network_.engine().now();
+  active_search_.first_hit = -1.0;
+  active_search_.download_done_at = -1.0;
+  search_active_ = true;
 
   // Dynamic querying: expanding-ring waves, stopping as soon as enough
   // providers answered. Without it, a single full-TTL flood is issued.
   const int first_ttl = config_.dynamic_querying ? 1 : config_.query_ttl;
   for (int ttl = first_ttl; ttl <= config_.query_ttl; ++ttl) {
     const std::uint64_t guid = next_guid_++;
-    me.seen_guids.insert(guid);
-    active_search_->guids.insert(guid);
+    me.flood_state.try_emplace(guid, PeerId::invalid());
+    active_search_.guids.push_back(guid);
     if (me.role == NodeRole::kUltrapeer) {
       if (ttl == first_ttl) {
         // Check own leaves once (we are their proxy).
@@ -412,12 +424,12 @@ SearchOutcome GnutellaSystem::search(PeerId origin, ContentId content,
       }
     }
     network_.engine().run_until(network_.engine().now() + kQuiesceHorizonMs);
-    if (active_search_->providers.size() >= config_.desired_results) break;
+    if (active_search_.providers.size() >= config_.desired_results) break;
   }
 
-  outcome.found = !active_search_->providers.empty();
-  outcome.result_count = active_search_->providers.size();
-  outcome.time_to_first_hit_ms = active_search_->first_hit;
+  outcome.found = !active_search_.providers.empty();
+  outcome.result_count = active_search_.providers.size();
+  outcome.time_to_first_hit_ms = active_search_.first_hit;
 
   if (download && outcome.found) {
     // Pick the provider: randomly ([1]'s default "chooses a node randomly
@@ -425,11 +437,11 @@ SearchOutcome GnutellaSystem::search(PeerId origin, ContentId content,
     // consultation stage is enabled.
     PeerId provider = PeerId::invalid();
     if (config_.oracle_at_file_exchange && oracle_ != nullptr) {
-      provider = oracle_->best(origin, active_search_->providers);
+      provider = oracle_->best(origin, active_search_.providers);
     }
     if (!provider.is_valid()) {
-      provider = active_search_->providers[rng_.uniform(
-          active_search_->providers.size())];
+      provider = active_search_.providers[rng_.uniform(
+          active_search_.providers.size())];
     }
     outcome.provider = provider;
     outcome.download_intra_as =
@@ -442,13 +454,13 @@ SearchOutcome GnutellaSystem::search(PeerId origin, ContentId content,
     request.size_bytes = config_.http_request_bytes;
     if (network_.send(std::move(request))) {
       network_.engine().run_until(network_.engine().now() + kQuiesceHorizonMs);
-      if (active_search_->download_done_at >= 0.0) {
+      if (active_search_.download_done_at >= 0.0) {
         outcome.downloaded = true;
-        outcome.download_time_ms = active_search_->download_done_at - before;
+        outcome.download_time_ms = active_search_.download_done_at - before;
       }
     }
   }
-  active_search_.reset();
+  search_active_ = false;
   return outcome;
 }
 

@@ -23,13 +23,14 @@
 // variant that lifts intra-AS exchanges from ~7% to ~40% in [1].
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/ids.hpp"
+#include "common/payload.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "netinfo/oracle.hpp"
@@ -176,10 +177,13 @@ class GnutellaSystem {
     std::vector<PeerId> leaves;         // attached leaves (UPs only)
     std::vector<PeerId> ultrapeers;     // attachments (leaves only)
     std::vector<PeerId> hostcache;
-    std::unordered_set<std::uint64_t> seen_guids;
-    // Reverse-path routing state: guid -> previous hop.
-    std::unordered_map<std::uint64_t, PeerId> route_back;
-    std::unordered_set<std::uint32_t> shared;  // ContentId values
+    // Merged flood dedup + reverse-path state: guid -> previous hop, with
+    // PeerId::invalid() marking "this node originated the flood". One flat
+    // probe answers both "seen before?" and "route back where?"; reset per
+    // flood cycle by an O(1) epoch bump (capacity retained), so a
+    // steady-state flood never touches the allocator.
+    FlatMap<std::uint64_t, PeerId> flood_state;
+    FlatSet<std::uint32_t> shared;  // ContentId values
     // Pong cache: (address, last-seen sim time), oldest first.
     std::vector<std::pair<PeerId, sim::SimTime>> pong_cache;
   };
@@ -225,9 +229,10 @@ class GnutellaSystem {
   void handle_query_hit(PeerId self, const QueryHitPayload& hit);
 
   void send_typed(PeerId from, PeerId to, int type, std::uint32_t bytes,
-                  std::any payload);
-  void route_back_or_deliver(PeerId self, std::uint64_t guid, int type,
-                             std::uint32_t bytes, std::any payload);
+                  Payload payload);
+  /// Epoch-resets every node's flood_state before a new flood cycle. Safe
+  /// because the engine quiesces between floods and guids never repeat.
+  void begin_flood_cycle();
 
   underlay::Network& network_;
   Config config_;
@@ -239,16 +244,23 @@ class GnutellaSystem {
   std::uint64_t next_guid_ = 1;
 
   // Search in flight (one at a time; searches are issued sequentially and
-  // the engine is drained between them).
+  // the engine is drained between them). A plain member rather than an
+  // optional so the guid/provider vectors keep their capacity from search
+  // to search — steady-state searches allocate nothing.
   struct ActiveSearch {
-    std::unordered_set<std::uint64_t> guids;  // one per expanding-ring wave
+    std::vector<std::uint64_t> guids;  // one per expanding-ring wave
     PeerId origin = PeerId::invalid();
     sim::SimTime started = 0.0;
     sim::SimTime first_hit = -1.0;
     sim::SimTime download_done_at = -1.0;
     std::vector<PeerId> providers;
+
+    [[nodiscard]] bool owns(std::uint64_t guid) const {
+      return std::find(guids.begin(), guids.end(), guid) != guids.end();
+    }
   };
-  std::optional<ActiveSearch> active_search_;
+  ActiveSearch active_search_;
+  bool search_active_ = false;
 };
 
 /// Builds the role vector of [1]'s testlab: one ultrapeer for every

@@ -97,7 +97,7 @@ void KademliaSystem::on_message(PeerId self_peer,
   Node& self = node(self_peer);
   switch (msg.type) {
     case msg::kKademliaFindNode: {
-      const auto* payload = std::any_cast<FindNodePayload>(&msg.payload);
+      const auto* payload = payload_cast<FindNodePayload>(&msg.payload);
       if (payload == nullptr) return;
       const NodeId sender_id = ids_.at(msg.src.value());
       observe(self, Contact{sender_id, msg.src});
@@ -128,7 +128,7 @@ void KademliaSystem::on_message(PeerId self_peer,
       break;
     }
     case msg::kKademliaFindNodeReply: {
-      const auto* reply = std::any_cast<FindNodeReply>(&msg.payload);
+      const auto* reply = payload_cast<FindNodeReply>(&msg.payload);
       if (reply == nullptr || !active_ || self_peer != active_->origin) return;
       auto timeout = active_->timeouts.find(reply->rpc_id);
       if (timeout == active_->timeouts.end()) return;  // stale / timed out
@@ -156,7 +156,7 @@ void KademliaSystem::on_message(PeerId self_peer,
       break;
     }
     case msg::kKademliaStore: {
-      const auto* payload = std::any_cast<StorePayload>(&msg.payload);
+      const auto* payload = payload_cast<StorePayload>(&msg.payload);
       if (payload == nullptr) return;
       observe(self, Contact{ids_.at(msg.src.value()), msg.src});
       self.storage[payload->key] = payload->value;

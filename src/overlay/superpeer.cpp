@@ -132,7 +132,7 @@ PeerId SuperPeerOverlay::superpeer_of(PeerId client) const {
 
 void SuperPeerOverlay::on_message(PeerId self, const underlay::Message& msg) {
   if (msg.type == kSpQuery || msg.type == kSpRelay) {
-    const auto* payload = std::any_cast<QueryPayload>(&msg.payload);
+    const auto* payload = payload_cast<QueryPayload>(&msg.payload);
     if (payload == nullptr) return;
     // Answer from the local index.
     auto sp_index = index_.find(self.value());
@@ -162,7 +162,7 @@ void SuperPeerOverlay::on_message(PeerId self, const underlay::Message& msg) {
       }
     }
   } else if (msg.type == kSpReply) {
-    const auto* payload = std::any_cast<ReplyPayload>(&msg.payload);
+    const auto* payload = payload_cast<ReplyPayload>(&msg.payload);
     if (payload == nullptr) return;
     if (!active_ || active_->id != payload->search_id ||
         self != active_->origin) {

@@ -54,6 +54,15 @@ class TrafficAccountant {
   /// Records one message of `bytes` bytes sent along `path` at time `now`.
   void record(const PathInfo& path, std::uint64_t bytes, sim::SimTime now);
 
+  /// Pre-sizes the per-window transit series through `horizon` of sim time,
+  /// so record() stays allocation-free until then (steady-state probes).
+  void reserve_windows(sim::SimTime horizon) {
+    const auto windows =
+        static_cast<std::size_t>(horizon / pricing_.sample_window_ms) + 1;
+    if (window_transit_bytes_.capacity() < windows)
+      window_transit_bytes_.reserve(windows);
+  }
+
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
   [[nodiscard]] std::uint64_t intra_as_bytes() const { return intra_bytes_; }
   [[nodiscard]] std::uint64_t inter_as_bytes() const {

@@ -153,19 +153,24 @@ bool Network::send(Message msg) {
           : 0.0;
   const sim::SimTime delay = src.access_latency_ms + path.latency_ms +
                              dst.access_latency_ms + transmission_ms;
-  const PeerId dst_id = msg.dst;
-  const int type = msg.type;
-  engine_.schedule(delay, [this, dst_id, type,
-                           msg = std::move(msg)]() mutable {
+  const std::uint32_t slot = in_flight_.acquire();
+  in_flight_[slot] = std::move(msg);
+  engine_.schedule(delay, [this, slot] {
+    const Message& delivered = in_flight_[slot];
+    const PeerId dst_id = delivered.dst;
     if (!hosts_[dst_id.value()].online) {
       ++dropped_;
-      return;
+    } else {
+      const auto index = static_cast<std::size_t>(std::max(0, delivered.type));
+      if (delivered_by_type_.size() <= index)
+        delivered_by_type_.resize(index + 1, 0);
+      ++delivered_by_type_[index];
+      // Handlers may send() recursively; slot addresses are stable, so
+      // `delivered` stays valid while new in-flight slots are acquired.
+      for (const auto& handler : handlers_[dst_id.value()]) handler(delivered);
     }
-    const auto index = static_cast<std::size_t>(std::max(0, type));
-    if (delivered_by_type_.size() <= index)
-      delivered_by_type_.resize(index + 1, 0);
-    ++delivered_by_type_[index];
-    for (const auto& handler : handlers_[dst_id.value()]) handler(msg);
+    in_flight_[slot].payload.reset();  // free heap payloads promptly
+    in_flight_.release(slot);
   });
   return true;
 }

@@ -8,12 +8,13 @@
 // evaluation reasons about comes from.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/ids.hpp"
+#include "common/payload.hpp"
 #include "common/rng.hpp"
 #include "sim/engine.hpp"
 #include "underlay/cost.hpp"
@@ -54,13 +55,15 @@ struct Host {
 };
 
 /// An overlay message in flight. `type` is an overlay-defined tag used for
-/// the per-type counting that [1]'s Table 1 reports.
+/// the per-type counting that [1]'s Table 1 reports. The payload is a
+/// small-buffer box (common/payload.hpp): descriptor-sized payloads live
+/// inline in the message, so sending one does not touch the allocator.
 struct Message {
   PeerId src;
   PeerId dst;
   int type = 0;
   std::uint32_t size_bytes = 64;
-  std::any payload;
+  Payload payload;
 };
 
 /// The transport. One instance per experiment; owns hosts, delegates
@@ -143,6 +146,12 @@ class Network {
   std::vector<std::uint32_t> hosts_per_as_;
   std::vector<std::uint64_t> delivered_by_type_;
   std::uint64_t dropped_ = 0;
+
+  // In-flight messages parked in a recycled slot pool. The engine's
+  // delivery closure captures only {this, slot} — small enough for the
+  // engine's inline callback buffer — instead of the whole Message, which
+  // would spill the closure to the heap on every send.
+  SlotPool<Message> in_flight_;
 };
 
 }  // namespace uap2p::underlay

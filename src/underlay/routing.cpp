@@ -46,40 +46,11 @@ const PathInfo& RoutingTable::path_miss(std::uint64_t key, RouterId src,
 }
 
 const PathInfo& RoutingTable::cache_insert(std::uint64_t key, PathInfo info) {
-  // Grow at 70% load so probe sequences stay short.
-  if (cache_slots_.empty() ||
-      value_count_ + 1 > cache_slots_.size() * 7 / 10) {
-    grow_cache();
-  }
-  if (value_count_ % kValuesPerChunk == 0) {
-    value_chunks_.emplace_back();
-    value_chunks_.back().reserve(kValuesPerChunk);  // data pointer is final
-  }
-  ++value_count_;
-  value_chunks_.back().push_back(std::move(info));
-  const PathInfo* stored = &value_chunks_.back().back();
-
-  const std::size_t mask = cache_slots_.size() - 1;
-  std::size_t i = probe_start(key, mask);
-  while (cache_slots_[i].value != nullptr) i = (i + 1) & mask;
-  cache_slots_[i] = CacheSlot{key, stored};
+  const PathInfo* stored = &values_.push(std::move(info));
+  cache_.insert_or_assign(key, stored);
   memo_key_ = key;
   memo_value_ = stored;
   return *stored;
-}
-
-void RoutingTable::grow_cache() {
-  const std::size_t new_capacity =
-      cache_slots_.empty() ? 64 : cache_slots_.size() * 2;
-  std::vector<CacheSlot> old = std::move(cache_slots_);
-  cache_slots_.assign(new_capacity, CacheSlot{});
-  const std::size_t mask = new_capacity - 1;
-  for (const CacheSlot& slot : old) {
-    if (slot.value == nullptr) continue;
-    std::size_t i = probe_start(slot.key, mask);
-    while (cache_slots_[i].value != nullptr) i = (i + 1) & mask;
-    cache_slots_[i] = slot;
-  }
 }
 
 PathInfo RoutingTable::summarize(const SourceState& state, RouterId src,

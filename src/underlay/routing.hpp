@@ -9,11 +9,11 @@
 // setup of [1], where one router abstracts an AS boundary.
 //
 // Performance model (see DESIGN.md "Performance model"): the cached-path
-// fast path is a single probe of a flat open-addressing table (power-of-two
-// capacity, linear probing) inlined below — no hashing library, no bucket
-// chains, no allocation. Per-source Dijkstra results live in dense slots
-// indexed by router id, and the Dijkstra frontier/scratch buffers are
-// reused across runs.
+// fast path is a single probe of a flat open-addressing table (FlatMap,
+// common/flat_map.hpp — power-of-two capacity, linear probing) — no hashing
+// library, no bucket chains, no allocation. Per-source Dijkstra results
+// live in dense slots indexed by router id, and the Dijkstra
+// frontier/scratch buffers are reused across runs.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +22,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/ids.hpp"
 #include "sim/time.hpp"
 #include "underlay/topology.hpp"
@@ -86,17 +87,10 @@ class RoutingTable {
     // One-entry memo: overlay traffic has strong per-pair temporal
     // locality (retries, request/response bursts between two hosts).
     if (key == memo_key_ && memo_value_ != nullptr) return *memo_value_;
-    if (!cache_slots_.empty()) {
-      const std::size_t mask = cache_slots_.size() - 1;
-      for (std::size_t i = probe_start(key, mask);; i = (i + 1) & mask) {
-        const CacheSlot& slot = cache_slots_[i];
-        if (slot.value == nullptr) break;
-        if (slot.key == key) {
-          memo_key_ = key;
-          memo_value_ = slot.value;
-          return *slot.value;
-        }
-      }
+    if (const PathInfo* const* found = cache_.find(key)) {
+      memo_key_ = key;
+      memo_value_ = *found;
+      return **found;
     }
     return path_miss(key, src, dst);
   }
@@ -109,7 +103,7 @@ class RoutingTable {
   [[nodiscard]] std::size_t cached_sources() const { return cached_sources_; }
 
   /// Number of pair summaries held by the flat cache.
-  [[nodiscard]] std::size_t cached_pairs() const { return value_count_; }
+  [[nodiscard]] std::size_t cached_pairs() const { return values_.size(); }
 
  private:
   struct SourceState {
@@ -118,29 +112,8 @@ class RoutingTable {
     std::vector<std::uint32_t> prev_link;
   };
 
-  /// Flat open-addressing index entry: pair key -> pointer into the
-  /// chunked PathInfo store. Kept separate from the values so rehashing
-  /// moves 16 bytes per entry and never invalidates returned references.
-  struct CacheSlot {
-    std::uint64_t key = 0;
-    const PathInfo* value = nullptr;  ///< nullptr marks an empty slot.
-  };
-
-  /// Fibonacci-style multiplicative mix; pair keys are dense small ints in
-  /// both halves, so the high bits of key * phi spread well.
-  static std::size_t probe_start(std::uint64_t key, std::size_t mask) {
-    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
-           mask;
-  }
-
-  /// Values are stored in fixed-size chunks (each fully reserved at
-  /// creation) so PathInfo addresses stay stable as the cache grows; the
-  /// index and the memo hold plain pointers into the chunks.
-  static constexpr std::size_t kValuesPerChunk = 64;
-
   const PathInfo& path_miss(std::uint64_t key, RouterId src, RouterId dst);
   const PathInfo& cache_insert(std::uint64_t key, PathInfo info);
-  void grow_cache();
 
   const SourceState& run_dijkstra(RouterId src);
   PathInfo summarize(const SourceState& state, RouterId src, RouterId dst);
@@ -151,10 +124,12 @@ class RoutingTable {
   std::vector<std::optional<SourceState>> sources_;
   std::size_t cached_sources_ = 0;
 
-  // Flat pair -> PathInfo cache, plus the last-pair memo.
-  std::vector<CacheSlot> cache_slots_;
-  std::vector<std::vector<PathInfo>> value_chunks_;
-  std::uint32_t value_count_ = 0;
+  // Flat pair -> PathInfo cache. The index (FlatMap) rehashes as it grows,
+  // but it stores pointers into the ChunkedStore, whose element addresses
+  // never move — so references returned by path() stay valid for the
+  // table's lifetime. One-entry memo on top for per-pair temporal locality.
+  FlatMap<std::uint64_t, const PathInfo*> cache_;
+  ChunkedStore<PathInfo> values_;
   std::uint64_t memo_key_ = 0;
   const PathInfo* memo_value_ = nullptr;
 

@@ -1,0 +1,68 @@
+// Steady-state allocation behaviour of the Gnutella flood path: once the
+// overlay, the per-node flood tables, the network's in-flight message
+// pool, and the traffic accountant's billing windows are warm, a full
+// query flood (Query out, QueryHit back, route-back delivery) must not
+// touch the global allocator at all. This is the overlay-level
+// counterpart of test_engine_alloc.cpp and guards the flat-table rewrite
+// of GnutellaSystem.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "alloc_probe.hpp"
+#include "overlay/gnutella.hpp"
+#include "sim/engine.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p {
+namespace {
+
+TEST(GnutellaAllocation, SteadyStateQueryFloodIsAllocationFree) {
+  sim::Engine engine;
+  const underlay::AsTopology topo =
+      underlay::AsTopology::transit_stub(3, 5, 0.3);
+  underlay::Network net(engine, topo, 21);
+  const auto peers = net.populate(180);
+  overlay::gnutella::Config config;
+  config.dynamic_querying = false;  // always flood at full TTL
+  overlay::gnutella::GnutellaSystem system(
+      net, peers,
+      overlay::gnutella::testlab_roles(peers.size(), 2, topo.as_count()),
+      config);
+  system.bootstrap();
+  for (std::size_t i = 0; i < 3; ++i) {
+    system.share(peers[i * 7 + 1], ContentId(5));
+  }
+  system.ping_cycle();
+
+  std::size_t origin = 0;
+  auto do_search = [&] {
+    origin = (origin + 37) % peers.size();
+    return system
+        .search(peers[origin], ContentId(5), /*download=*/false)
+        .result_count;
+  };
+
+  // Warm-up: grows flood tables, fan-out scratch, the engine slab, the
+  // in-flight message pool, and per-type delivery counters to their
+  // steady-state footprint. Rotate far enough that every measured origin
+  // has floods behind it.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_GT(do_search(), 0u);
+  }
+  // Billing windows grow with simulated time; pre-size them past the end
+  // of the measured region (each search quiesces for 30 simulated
+  // seconds, so 16 more searches stay well under an hour).
+  net.traffic().reserve_windows(engine.now() + sim::hours(1));
+
+  const std::uint64_t before = testing::allocation_count();
+  std::size_t results = 0;
+  for (int i = 0; i < 16; ++i) results += do_search();
+  const std::uint64_t after = testing::allocation_count();
+
+  EXPECT_EQ(after - before, 0u) << "steady-state query flood allocated";
+  EXPECT_GT(results, 0u);
+}
+
+}  // namespace
+}  // namespace uap2p
