@@ -37,6 +37,7 @@ TrustRow run_trust(double dishonest_rate) {
       rtt.add(net.rtt_ms(peers[i], ranked[k]));
     }
   }
+  bench::submit_engine_metrics(engine, net);
   return {hops.mean(), rtt.mean()};
 }
 
@@ -95,6 +96,7 @@ MobilityRow run_mobility(double speed_kmh) {
   const Samples vivaldi_error = netinfo::relative_error_samples(
       vivaldi, eval, 800, [&](PeerId a, PeerId b) { return net.rtt_ms(a, b); });
 
+  bench::submit_engine_metrics(engine, net);
   return {mobility.completed_moves() / 4.0,
           100.0 * double(stale_isp) / double(peers.size()),
           vivaldi_error.median(), geo_error.percentile(90)};
@@ -166,5 +168,5 @@ int main(int argc, char** argv) {
         "latency coordinates 'no longer apply because of continuous\n"
         "variation' — collectors need refresh schedules tied to mobility.\n");
   }
-  return 0;
+  return bench::dump_observability();
 }

@@ -79,8 +79,7 @@ std::vector<PeerId> rank_by_estimate(Env& env, PeerId self,
   return result;
 }
 
-Outcome run_technique(std::size_t technique) {
-  Env env;
+Outcome run_technique(Env& env, std::size_t technique) {
   const auto& peers = env.peers;
   switch (technique) {
     case 0: {  // Baseline: random.
@@ -185,7 +184,10 @@ int main(int argc, char** argv) {
       [](std::size_t technique, std::uint64_t) {
         // Techniques keep their historical fixed internal seeds; the trial
         // seed is unused so every column sees the identical underlay.
-        return run_technique(technique);
+        Env env;
+        Outcome outcome = run_technique(env, technique);
+        bench::submit_engine_metrics(env.engine, env.net);
+        return outcome;
       });
 
   TablePrinter table({"technique", "who cooperates", "intra-AS top-6",
@@ -204,5 +206,5 @@ int main(int argc, char** argv) {
       "the best locality at near-zero peer-side measurement cost but need\n"
       "ISP cooperation; Ono approaches them with no cooperation at all;\n"
       "coordinates/binning trade accuracy for generality.\n");
-  return 0;
+  return bench::dump_observability();
 }

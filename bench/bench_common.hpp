@@ -3,16 +3,21 @@
 // standard experiment setups so parameters stay consistent across benches.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "netinfo/oracle.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "overlay/gnutella.hpp"
 #include "sim/engine.hpp"
 #include "underlay/network.hpp"
@@ -24,6 +29,16 @@ struct Options {
   /// --serial: run every trial on the calling thread. The emitted tables
   /// must be byte-identical either way; a CTest target diffs the two.
   bool serial = false;
+  /// --metrics=<path>: collect per-trial MetricsRegistry snapshots and
+  /// write the deterministically merged JSON there at dump_observability.
+  /// Byte-identical between --serial and parallel runs (CTest gate).
+  std::string metrics_path;
+  /// Collection switch (set by --metrics; tests flip it directly).
+  bool collect_metrics = false;
+  /// --trace=<path>: JSONL trace of the first trial of the first
+  /// run_trials call (one deterministic trial keeps the file bounded and
+  /// single-writer).
+  std::string trace_path;
 };
 
 inline Options& options() {
@@ -31,12 +46,148 @@ inline Options& options() {
   return instance;
 }
 
-/// Parses the shared bench flags (currently just --serial); call first
-/// thing in main. Unrecognized arguments are left alone.
+/// Parses the shared bench flags (--serial, --metrics=, --trace=); call
+/// first thing in main. Unrecognized arguments are left alone.
 inline void parse_flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--serial") options().serial = true;
+    const std::string_view arg(argv[i]);
+    if (arg == "--serial") {
+      options().serial = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      options().metrics_path = std::string(arg.substr(10));
+      options().collect_metrics = !options().metrics_path.empty();
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      options().trace_path = std::string(arg.substr(8));
+    }
   }
+}
+
+namespace detail {
+/// Which trial the calling thread is currently executing (set by
+/// run_trials around fn). Lets labs/helpers key their metric submissions
+/// without threading identifiers through every bench.
+struct TrialContext {
+  bool in_trial = false;
+  std::uint64_t group = 0;  ///< run_trials invocation, in call order
+  std::size_t index = 0;    ///< trial index within the invocation
+};
+inline TrialContext& trial_context() {
+  thread_local TrialContext ctx;
+  return ctx;
+}
+}  // namespace detail
+
+/// Gathers per-trial metric registries and merges them in (group, index)
+/// order — the order a serial run would have produced them — so the
+/// merged snapshot is byte-identical regardless of scheduling.
+class TrialMetrics {
+ public:
+  void submit(std::uint64_t group, std::size_t index,
+              obs::MetricsRegistry&& registry) {
+    std::lock_guard lock(mutex_);
+    entries_.push_back(Entry{group, index, std::move(registry)});
+  }
+
+  std::uint64_t next_group() {
+    std::lock_guard lock(mutex_);
+    return next_group_++;
+  }
+
+  /// Deterministic merge of everything submitted so far.
+  [[nodiscard]] obs::MetricsRegistry merged() {
+    std::lock_guard lock(mutex_);
+    std::stable_sort(entries_.begin(), entries_.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.group != b.group ? a.group < b.group
+                                                 : a.index < b.index;
+                     });
+    obs::MetricsRegistry out;
+    for (const Entry& entry : entries_) out.merge(entry.registry);
+    return out;
+  }
+
+  void reset() {
+    std::lock_guard lock(mutex_);
+    entries_.clear();
+    next_group_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t group;
+    std::size_t index;
+    obs::MetricsRegistry registry;
+  };
+  std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_group_ = 0;
+};
+
+inline TrialMetrics& trial_metrics() {
+  static TrialMetrics instance;
+  return instance;
+}
+
+/// Submits a trial's registry keyed by the calling thread's trial
+/// identity. No-op unless metrics collection is on.
+inline void submit_trial_metrics(obs::MetricsRegistry&& registry) {
+  if (!options().collect_metrics) return;
+  const detail::TrialContext& ctx = detail::trial_context();
+  trial_metrics().submit(ctx.group, ctx.in_trial ? ctx.index : 0,
+                         std::move(registry));
+}
+
+/// Standard teardown submission for benches that wire Engine/Network by
+/// hand instead of through GnutellaLab: exports engine + traffic counters
+/// into a fresh registry and submits it. Call at the end of the trial fn.
+inline void submit_engine_metrics(const sim::Engine& engine,
+                                  const underlay::Network& net) {
+  if (!options().collect_metrics) return;
+  obs::MetricsRegistry registry;
+  engine.export_metrics(registry);
+  net.traffic().export_metrics(registry);
+  submit_trial_metrics(std::move(registry));
+}
+
+namespace detail {
+inline std::unique_ptr<obs::JsonlTraceSink>& trace_sink_storage() {
+  static std::unique_ptr<obs::JsonlTraceSink> sink;
+  return sink;
+}
+}  // namespace detail
+
+/// Claims the --trace JSONL sink. Non-null exactly once, for the first
+/// claimant inside trial 0 of the first run_trials call — one trial, one
+/// engine, one writer, so the emitted timestamps are monotone and the
+/// file is identical between --serial and parallel runs. The sink stays
+/// alive until dump_observability().
+inline obs::TraceSink* acquire_trial_trace() {
+  if (options().trace_path.empty()) return nullptr;
+  const detail::TrialContext& ctx = detail::trial_context();
+  if (!ctx.in_trial || ctx.group != 0 || ctx.index != 0) return nullptr;
+  if (detail::trace_sink_storage() != nullptr) return nullptr;  // claimed
+  detail::trace_sink_storage() =
+      std::make_unique<obs::JsonlTraceSink>(options().trace_path);
+  return detail::trace_sink_storage()->ok()
+             ? detail::trace_sink_storage().get()
+             : nullptr;
+}
+
+/// Writes the merged --metrics snapshot and closes the --trace sink.
+/// Call once at the end of main; returns 0 on success (benches fold it
+/// into their exit code so CI notices I/O failures).
+inline int dump_observability() {
+  int rc = 0;
+  if (options().collect_metrics && !options().metrics_path.empty()) {
+    const obs::MetricsRegistry merged = trial_metrics().merged();
+    if (!merged.write_json_file(options().metrics_path)) {
+      std::fprintf(stderr, "error: failed to write metrics to %s\n",
+                   options().metrics_path.c_str());
+      rc = 1;
+    }
+  }
+  detail::trace_sink_storage().reset();  // flush + close
+  return rc;
 }
 
 /// Runs `count` independent trials across the process-wide thread pool and
@@ -62,8 +213,24 @@ auto run_trials(std::size_t count, std::uint64_t base_seed, Fn&& fn,
   Rng master(base_seed);
   std::vector<std::uint64_t> seeds(count);
   for (std::uint64_t& seed : seeds) seed = master.split_seed();
+  // Group ids are handed out in call order on the calling thread, so they
+  // are scheduling-independent and the metrics merge order matches a
+  // serial run exactly.
+  const std::uint64_t group = trial_metrics().next_group();
   return parallel_map(
-      count, [&](std::size_t i) { return fn(i, seeds[i]); },
+      count,
+      [&, group](std::size_t i) {
+        struct ContextGuard {
+          ContextGuard(std::uint64_t g, std::size_t idx) {
+            detail::TrialContext& ctx = detail::trial_context();
+            ctx.in_trial = true;
+            ctx.group = g;
+            ctx.index = idx;
+          }
+          ~ContextGuard() { detail::trial_context().in_trial = false; }
+        } guard(group, i);
+        return fn(i, seeds[i]);
+      },
       options().serial ? 1 : threads);
 }
 
@@ -96,8 +263,33 @@ struct GnutellaLab {
         *net, peers,
         overlay::gnutella::testlab_roles(peer_count, 2, topo.as_count()),
         config, oracle.get());
+    if (options().collect_metrics) {
+      net->set_metrics(&metrics);
+      system->bind_metrics(metrics);
+    }
+    if (obs::TraceSink* trace = acquire_trial_trace()) {
+      engine.set_trace(trace);
+      net->set_trace(trace);
+      system->set_trace(trace);
+    }
     system->bootstrap();
   }
+
+  /// Runs before member destruction, so engine/net/system are still alive:
+  /// finalize and hand the trial's registry to the process-wide collector.
+  ~GnutellaLab() {
+    if (!options().collect_metrics) return;
+    engine.export_metrics(metrics);
+    net->traffic().export_metrics(metrics);
+    submit_trial_metrics(std::move(metrics));
+  }
+
+  GnutellaLab(const GnutellaLab&) = delete;
+  GnutellaLab& operator=(const GnutellaLab&) = delete;
+
+  /// Per-trial registry; counters bound at construction, engine/traffic
+  /// snapshots added and the whole thing submitted at destruction.
+  obs::MetricsRegistry metrics;
 
   /// Locality-correlated workload ([25]): every AS has `copies` local
   /// providers of its own content; `searches_per_as` local peers search

@@ -170,6 +170,66 @@ static void BM_GnutellaFloodSteadyState(benchmark::State& state) {
 }
 BENCHMARK(BM_GnutellaFloodSteadyState);
 
+// --- Observability overhead ---------------------------------------------
+
+enum class ObsMode { kOff, kCounters, kTrace };
+
+static void BM_ObsOverhead(benchmark::State& state) {
+  // The BM_GnutellaFloodSteadyState workload under the three obs settings:
+  // 0 = compiled in but disabled (the shipping default — must be within
+  // noise of the PR 2 flood baseline), 1 = registry counters bound,
+  // 2 = counters + full JSONL trace to /dev/null. Items are flooded
+  // messages, so ns/item is directly comparable across the three rows.
+  const auto mode = static_cast<ObsMode>(state.range(0));
+  sim::Engine engine;
+  const underlay::AsTopology topo =
+      underlay::AsTopology::transit_stub(3, 5, 0.3);
+  underlay::Network net(engine, topo, 21);
+  const auto peers = net.populate(180);
+  overlay::gnutella::Config config;
+  config.dynamic_querying = false;  // always flood at full TTL
+  overlay::gnutella::GnutellaSystem system(
+      net, peers,
+      overlay::gnutella::testlab_roles(peers.size(), 2, topo.as_count()),
+      config);
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::JsonlTraceSink> trace;
+  if (mode != ObsMode::kOff) {
+    net.set_metrics(&registry);
+    system.bind_metrics(registry);
+  }
+  if (mode == ObsMode::kTrace) {
+    trace = std::make_unique<obs::JsonlTraceSink>("/dev/null");
+    engine.set_trace(trace.get());
+    net.set_trace(trace.get());
+    system.set_trace(trace.get());
+  }
+  system.bootstrap();
+  for (std::size_t i = 0; i < 3; ++i) {
+    system.share(peers[i * 7 + 1], ContentId(5));
+  }
+  system.ping_cycle();
+  std::size_t origin = 0;
+  auto do_search = [&] {
+    origin = (origin + 37) % peers.size();
+    return system.search(peers[origin], ContentId(5), /*download=*/false)
+        .result_count;
+  };
+  for (int i = 0; i < 3; ++i) do_search();  // warm caches and scratch
+  const std::uint64_t before = system.counts().total();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(do_search());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(system.counts().total() - before));
+  switch (mode) {
+    case ObsMode::kOff: state.SetLabel("obs=off"); break;
+    case ObsMode::kCounters: state.SetLabel("obs=counters"); break;
+    case ObsMode::kTrace: state.SetLabel("obs=counters+jsonl"); break;
+  }
+}
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Arg(2);
+
 // --- Parallel sweep dispatch --------------------------------------------
 
 static void BM_ParallelForDispatch(benchmark::State& state) {

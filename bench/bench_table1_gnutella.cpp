@@ -126,5 +126,6 @@ int main(int argc, char** argv) {
       biased100.successes == unbiased.successes &&
       biased1000.successes == unbiased.successes;
   std::printf("\nshape check vs paper: %s\n", shape_ok ? "OK" : "MISMATCH");
-  return shape_ok ? 0 : 1;
+  const int obs_rc = bench::dump_observability();
+  return shape_ok && obs_rc == 0 ? 0 : 1;
 }

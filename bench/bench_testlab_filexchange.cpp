@@ -131,5 +131,6 @@ int main(int argc, char** argv) {
   std::printf("shape check vs paper: %s (both-stages gain: %.1fx)\n",
               shape_ok ? "OK" : "MISMATCH",
               mean_unbiased > 0 ? mean_both / mean_unbiased : 0.0);
-  return shape_ok ? 0 : 1;
+  const int obs_rc = bench::dump_observability();
+  return shape_ok && obs_rc == 0 ? 0 : 1;
 }

@@ -1,16 +1,25 @@
 # Determinism check for the parallel trial harness: a converted bench must
-# emit byte-identical output with and without --serial (see the
-# bench::run_trials contract in bench_common.hpp / DESIGN.md).
+# emit byte-identical output — stdout AND the --metrics JSON snapshot —
+# with and without --serial (see the bench::run_trials contract in
+# bench_common.hpp / DESIGN.md "Observability").
 #
-# Usage: cmake -DBENCH=<path-to-bench-binary> -P check_serial_parallel.cmake
+# Usage: cmake -DBENCH=<path-to-bench-binary> [-DWORKDIR=<dir>]
+#        -P check_serial_parallel.cmake
 if(NOT BENCH)
   message(FATAL_ERROR "pass -DBENCH=<bench binary>")
 endif()
+if(NOT WORKDIR)
+  set(WORKDIR "${CMAKE_CURRENT_BINARY_DIR}")
+endif()
 
-execute_process(COMMAND "${BENCH}"
+get_filename_component(bench_name "${BENCH}" NAME)
+set(parallel_metrics "${WORKDIR}/${bench_name}.metrics.parallel.json")
+set(serial_metrics "${WORKDIR}/${bench_name}.metrics.serial.json")
+
+execute_process(COMMAND "${BENCH}" "--metrics=${parallel_metrics}"
   OUTPUT_VARIABLE parallel_out
   RESULT_VARIABLE parallel_rc)
-execute_process(COMMAND "${BENCH}" --serial
+execute_process(COMMAND "${BENCH}" --serial "--metrics=${serial_metrics}"
   OUTPUT_VARIABLE serial_out
   RESULT_VARIABLE serial_rc)
 
@@ -25,4 +34,13 @@ if(NOT parallel_out STREQUAL serial_out)
     "${BENCH}: parallel output differs from --serial output.\n"
     "--- parallel ---\n${parallel_out}\n--- serial ---\n${serial_out}")
 endif()
-message(STATUS "serial and parallel outputs are byte-identical")
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  "${parallel_metrics}" "${serial_metrics}"
+  RESULT_VARIABLE metrics_diff)
+if(NOT metrics_diff EQUAL 0)
+  message(FATAL_ERROR
+    "${BENCH}: --metrics snapshot differs between parallel and --serial "
+    "runs (${parallel_metrics} vs ${serial_metrics})")
+endif()
+message(STATUS "serial and parallel outputs + metrics are byte-identical")

@@ -47,11 +47,15 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-void Samples::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(values_.begin(), values_.end());
-    sorted_ = true;
+const std::vector<double>& Samples::sorted() const {
+  // Order statistics sort a scratch copy: values_ itself stays in
+  // insertion order so values() is stable across percentile queries.
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
   }
+  return sorted_;
 }
 
 double Samples::mean() const {
@@ -73,26 +77,24 @@ double Samples::stddev() const {
 
 double Samples::min() const {
   if (values_.empty()) return 0.0;
-  ensure_sorted();
-  return values_.front();
+  return sorted().front();
 }
 
 double Samples::max() const {
   if (values_.empty()) return 0.0;
-  ensure_sorted();
-  return values_.back();
+  return sorted().back();
 }
 
 double Samples::percentile(double q) const {
   if (values_.empty()) return 0.0;
-  ensure_sorted();
+  const std::vector<double>& ordered = sorted();
   const double clamped = std::clamp(q, 0.0, 100.0);
   const double rank =
-      clamped / 100.0 * static_cast<double>(values_.size() - 1);
+      clamped / 100.0 * static_cast<double>(ordered.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const std::size_t hi = std::min(lo + 1, ordered.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  return ordered[lo] * (1.0 - frac) + ordered[hi] * frac;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
@@ -107,6 +109,14 @@ void Histogram::add(double x) {
                                    static_cast<std::ptrdiff_t>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  assert(lo_ == other.lo_ && hi_ == other.hi_ &&
+         counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
 }
 
 double Histogram::bucket_lo(std::size_t i) const {

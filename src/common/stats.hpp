@@ -39,7 +39,7 @@ class Samples {
  public:
   void add(double x) {
     values_.push_back(x);
-    sorted_ = false;
+    sorted_valid_ = false;
   }
   void reserve(std::size_t n) { values_.reserve(n); }
 
@@ -53,12 +53,16 @@ class Samples {
   /// Exact percentile by linear interpolation, q in [0,100].
   [[nodiscard]] double percentile(double q) const;
   [[nodiscard]] double median() const { return percentile(50.0); }
+  /// Samples in insertion order, always: percentile queries sort a
+  /// separate scratch copy, so trace/export code may rely on this order
+  /// no matter which accessors ran before.
   [[nodiscard]] const std::vector<double>& values() const { return values_; }
 
  private:
-  mutable std::vector<double> values_;
-  mutable bool sorted_ = false;
-  void ensure_sorted() const;
+  std::vector<double> values_;  // insertion order; never reordered
+  mutable std::vector<double> sorted_;  // scratch for order statistics
+  mutable bool sorted_valid_ = false;
+  const std::vector<double>& sorted() const;
 };
 
 /// Fixed-bucket linear histogram over [lo, hi); out-of-range samples clamp
@@ -68,6 +72,11 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t buckets);
 
   void add(double x);
+  /// Adds another histogram's counts bucket-wise (parallel reduction);
+  /// bounds and bucket count must match.
+  void merge(const Histogram& other);
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
   [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
   [[nodiscard]] double bucket_lo(std::size_t i) const;

@@ -29,6 +29,13 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
 
+PoolStats ThreadPool::stats() const {
+  std::lock_guard lock(mutex_);
+  PoolStats snapshot = stats_;
+  snapshot.queue_depth = queue_.size();
+  return snapshot;
+}
+
 void ThreadPool::worker_loop() {
   t_on_worker_thread = true;
   for (;;) {
@@ -39,6 +46,7 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
+      ++stats_.dispatched;
     }
     task();
   }

@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -17,6 +18,16 @@
 #include <vector>
 
 namespace uap2p {
+
+/// Pool introspection snapshot. Dispatch counters only — never fold these
+/// into per-trial metrics registries: which worker ran what depends on
+/// scheduling, so pool stats are not part of the determinism contract.
+struct PoolStats {
+  std::uint64_t submitted = 0;   ///< tasks ever enqueued
+  std::uint64_t dispatched = 0;  ///< tasks pulled off the queue by workers
+  std::size_t queue_depth = 0;   ///< tasks waiting right now
+  std::size_t queue_high_water = 0;  ///< max tasks ever waiting at once
+};
 
 /// Fixed-size pool executing submitted tasks FIFO.
 class ThreadPool {
@@ -38,12 +49,18 @@ class ThreadPool {
     {
       std::lock_guard lock(mutex_);
       queue_.emplace([task] { (*task)(); });
+      ++stats_.submitted;
+      if (queue_.size() > stats_.queue_high_water)
+        stats_.queue_high_water = queue_.size();
     }
     cv_.notify_one();
     return result;
   }
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Introspection snapshot (taken under the queue mutex).
+  [[nodiscard]] PoolStats stats() const;
 
   /// True when the calling thread is a worker of *any* ThreadPool. Used by
   /// parallel_for to run nested invocations inline instead of deadlocking
@@ -55,9 +72,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  PoolStats stats_;  // queue_depth derived from queue_.size() on demand
 };
 
 /// The lazily-initialized process-wide pool (hardware_concurrency threads,

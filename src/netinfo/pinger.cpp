@@ -14,6 +14,8 @@ void Pinger::charge(PeerId a, PeerId b, std::uint64_t packets) {
                             network_.engine().now());
   probes_sent_ += packets;
   bytes_sent_ += packets * config_.probe_bytes * 2;
+  probe_metric_.inc(packets);
+  probe_bytes_metric_.inc(packets * config_.probe_bytes * 2);
 }
 
 double Pinger::measure_rtt(PeerId a, PeerId b) {
@@ -21,12 +23,21 @@ double Pinger::measure_rtt(PeerId a, PeerId b) {
   if (!network_.path_between(a, b).reachable) return -1.0;
   const double truth = network_.rtt_ms(a, b);
   charge(a, b, config_.probes_per_measurement);
-  if (config_.jitter_sigma <= 0.0) return truth;
-  double acc = 0.0;
-  for (unsigned i = 0; i < config_.probes_per_measurement; ++i) {
-    acc += truth * std::exp(rng_.normal(0.0, config_.jitter_sigma));
+  double measured = truth;
+  if (config_.jitter_sigma > 0.0) {
+    double acc = 0.0;
+    for (unsigned i = 0; i < config_.probes_per_measurement; ++i) {
+      acc += truth * std::exp(rng_.normal(0.0, config_.jitter_sigma));
+    }
+    measured = acc / config_.probes_per_measurement;
   }
-  return acc / config_.probes_per_measurement;
+  if (trace_ != nullptr) {
+    trace_->record({network_.engine().now(), obs::TraceKind::kOverlay,
+                    static_cast<std::int32_t>(a.value()),
+                    static_cast<std::int32_t>(b.value()), obs::op::kProbe,
+                    measured});
+  }
+  return measured;
 }
 
 int Pinger::traceroute_hops(PeerId a, PeerId b) {

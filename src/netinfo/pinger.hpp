@@ -44,6 +44,21 @@ class Pinger {
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// Observability ---------------------------------------------------------
+  /// Binds "pinger.*" counters in `registry` (nullptr detaches); counters
+  /// count from bind time onward.
+  void set_metrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) {
+      probe_metric_ = {};
+      probe_bytes_metric_ = {};
+      return;
+    }
+    probe_metric_ = registry->counter("pinger.probes");
+    probe_bytes_metric_ = registry->counter("pinger.bytes");
+  }
+  /// Emits a kOverlay op::kProbe record per measure_rtt call.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
  private:
   void charge(PeerId a, PeerId b, std::uint64_t packets);
 
@@ -52,6 +67,9 @@ class Pinger {
   PingerConfig config_;
   std::uint64_t probes_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  obs::Counter probe_metric_;
+  obs::Counter probe_bytes_metric_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace uap2p::netinfo

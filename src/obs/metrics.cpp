@@ -1,0 +1,191 @@
+#include "obs/metrics.hpp"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+namespace uap2p::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  const auto it = counter_index_.find(std::string(name));
+  if (it != counter_index_.end())
+    return Counter(&counters_[it->second].value);
+  detail::CounterEntry& entry =
+      counters_.push(detail::CounterEntry{std::string(name), 0});
+  counter_index_.emplace(entry.name, counters_.size() - 1);
+  return Counter(&entry.value);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauge_index_.find(std::string(name));
+  if (it != gauge_index_.end()) return Gauge(&gauges_[it->second]);
+  detail::GaugeEntry& entry =
+      gauges_.push(detail::GaugeEntry{std::string(name)});
+  gauge_index_.emplace(entry.name, gauges_.size() - 1);
+  return Gauge(&entry);
+}
+
+Stat MetricsRegistry::stat(std::string_view name) {
+  const auto it = stat_index_.find(std::string(name));
+  if (it != stat_index_.end()) return Stat(&stats_[it->second].stats);
+  detail::StatEntry& entry =
+      stats_.push(detail::StatEntry{std::string(name), {}});
+  stat_index_.emplace(entry.name, stats_.size() - 1);
+  return Stat(&entry.stats);
+}
+
+Histo MetricsRegistry::histogram(std::string_view name, double lo, double hi,
+                                 std::size_t buckets) {
+  const auto it = histo_index_.find(std::string(name));
+  if (it != histo_index_.end()) {
+    detail::HistoEntry& entry = histos_[it->second];
+    assert(entry.hist.lo() == lo && entry.hist.hi() == hi &&
+           entry.hist.bucket_count() == buckets);
+    (void)lo;
+    (void)hi;
+    (void)buckets;
+    return Histo(&entry.hist);
+  }
+  detail::HistoEntry& entry =
+      histos_.push(detail::HistoEntry{std::string(name), lo, hi, buckets});
+  histo_index_.emplace(entry.name, histos_.size() - 1);
+  return Histo(&entry.hist);
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (std::size_t i = 0; i < other.counters_.size(); ++i) {
+    const detail::CounterEntry& src = other.counters_[i];
+    counter(src.name).inc(src.value);
+  }
+  for (std::size_t i = 0; i < other.gauges_.size(); ++i) {
+    const detail::GaugeEntry& src = other.gauges_[i];
+    Gauge dst = gauge(src.name);
+    if (src.is_set) dst.set(src.value);
+  }
+  for (std::size_t i = 0; i < other.stats_.size(); ++i) {
+    const detail::StatEntry& src = other.stats_[i];
+    stat(src.name).stats_->merge(src.stats);
+  }
+  for (std::size_t i = 0; i < other.histos_.size(); ++i) {
+    const detail::HistoEntry& src = other.histos_[i];
+    Histo dst = histogram(src.name, src.hist.lo(), src.hist.hi(),
+                          src.hist.bucket_count());
+    dst.hist_->merge(src.hist);
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out;
+  out.reserve(256 + 64 * (counters_.size() + gauges_.size() + stats_.size()));
+  out += "{\n  \"schema_version\": 1,\n  \"counters\": [";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    const detail::CounterEntry& e = counters_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"";
+    append_escaped(out, e.name);
+    out += "\", \"value\": ";
+    append_u64(out, e.value);
+    out += "}";
+  }
+  out += counters_.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"gauges\": [";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    const detail::GaugeEntry& e = gauges_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"";
+    append_escaped(out, e.name);
+    out += "\", \"value\": ";
+    append_double(out, e.value);
+    out += "}";
+  }
+  out += gauges_.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"stats\": [";
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    const detail::StatEntry& e = stats_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"";
+    append_escaped(out, e.name);
+    out += "\", \"count\": ";
+    append_u64(out, e.stats.count());
+    out += ", \"mean\": ";
+    append_double(out, e.stats.mean());
+    out += ", \"stddev\": ";
+    append_double(out, e.stats.stddev());
+    out += ", \"min\": ";
+    append_double(out, e.stats.min());
+    out += ", \"max\": ";
+    append_double(out, e.stats.max());
+    out += ", \"sum\": ";
+    append_double(out, e.stats.sum());
+    out += "}";
+  }
+  out += stats_.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"histograms\": [";
+  for (std::size_t i = 0; i < histos_.size(); ++i) {
+    const detail::HistoEntry& e = histos_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"";
+    append_escaped(out, e.name);
+    out += "\", \"lo\": ";
+    append_double(out, e.hist.lo());
+    out += ", \"hi\": ";
+    append_double(out, e.hist.hi());
+    out += ", \"total\": ";
+    append_u64(out, e.hist.total());
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < e.hist.bucket_count(); ++b) {
+      if (b != 0) out += ", ";
+      append_u64(out, e.hist.bucket(b));
+    }
+    out += "]}";
+  }
+  out += histos_.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) ==
+                  json.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+}  // namespace uap2p::obs

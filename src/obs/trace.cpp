@@ -1,0 +1,51 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+
+namespace uap2p::obs {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kEventScheduled: return "event_scheduled";
+    case TraceKind::kEventFired: return "event_fired";
+    case TraceKind::kEventCancelled: return "event_cancelled";
+    case TraceKind::kMsgSent: return "msg_sent";
+    case TraceKind::kMsgHop: return "msg_hop";
+    case TraceKind::kMsgDelivered: return "msg_delivered";
+    case TraceKind::kMsgDropped: return "msg_dropped";
+    case TraceKind::kOverlay: return "overlay";
+    case TraceKind::kChurnJoin: return "churn_join";
+    case TraceKind::kChurnLeave: return "churn_leave";
+  }
+  return "unknown";
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "wb")), owns_file_(true) {}
+
+JsonlTraceSink::~JsonlTraceSink() {
+  if (file_ != nullptr && owns_file_) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+void JsonlTraceSink::record(const TraceRecord& rec) {
+  if (file_ == nullptr) return;
+  char buf[192];
+  const int n = std::snprintf(
+      buf, sizeof buf,
+      "{\"t\": %.6f, \"kind\": \"%s\", \"a\": %" PRId32 ", \"b\": %" PRId32
+      ", \"tag\": %" PRIu64 ", \"value\": %.17g}\n",
+      rec.t, trace_kind_name(rec.kind), rec.a, rec.b, rec.tag, rec.value);
+  if (n > 0) {
+    std::fwrite(buf, 1, static_cast<std::size_t>(n), file_);
+    ++written_;
+  }
+}
+
+void JsonlTraceSink::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+}  // namespace uap2p::obs

@@ -1,0 +1,126 @@
+// Structured sim-time tracing (DESIGN.md "Observability").
+//
+// Producers hold a raw `TraceSink*` that is null when tracing is off, so
+// the disabled path is a single predicted branch and zero allocations —
+// the alloc-probe tests enforce this on the steady-state Gnutella flood.
+// Records are fixed-size POD (no strings on the hot path); sinks decide
+// the encoding. Timestamps are simulated time, and because every producer
+// emits at its engine's current now(), a single-engine trace is monotone
+// non-decreasing in t (validate_trace checks this).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace uap2p::obs {
+
+enum class TraceKind : std::uint8_t {
+  kEventScheduled = 0,  ///< a=-1, b=-1, tag=event tag, value=fire time
+  kEventFired = 1,      ///< tag=event tag
+  kEventCancelled = 2,  ///< tag=event tag
+  kMsgSent = 3,         ///< a=src peer, b=dst peer, tag=type, value=bytes
+  kMsgHop = 4,          ///< a=src, b=dst, tag=type, value=router hops
+  kMsgDelivered = 5,    ///< a=src, b=dst, tag=type, value=bytes
+  kMsgDropped = 6,      ///< a=src, b=dst, tag=type, value=bytes
+  kOverlay = 7,         ///< protocol event; tag=op:: code, a/b peers
+  kChurnJoin = 8,       ///< a=peer
+  kChurnLeave = 9,      ///< a=peer
+};
+
+/// Returns a stable short name ("event_scheduled", "msg_sent", ...).
+const char* trace_kind_name(TraceKind kind);
+
+/// Overlay protocol operation codes carried in TraceRecord::tag for
+/// TraceKind::kOverlay records.
+namespace op {
+inline constexpr std::uint64_t kSearchStart = 1;
+inline constexpr std::uint64_t kSearchDone = 2;
+inline constexpr std::uint64_t kPingCycle = 3;
+inline constexpr std::uint64_t kLtmRewire = 4;
+inline constexpr std::uint64_t kRepair = 5;
+inline constexpr std::uint64_t kLookup = 6;
+inline constexpr std::uint64_t kProbe = 7;
+inline constexpr std::uint64_t kPieceTransfer = 8;
+}  // namespace op
+
+/// One trace record; 32 bytes, trivially copyable. Field meaning depends
+/// on `kind` (see the enum comments); unused fields are -1 / 0.
+struct TraceRecord {
+  double t = 0.0;  ///< Simulated time (ms) at emission.
+  TraceKind kind = TraceKind::kEventScheduled;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::uint64_t tag = 0;
+  double value = 0.0;
+};
+
+/// Sink interface. record() is the hot path: implementations must not
+/// allocate per record (the alloc-probe tests cover the ring sink and the
+/// producers; JSONL writes through a stack buffer into stdio).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceRecord& rec) = 0;
+  virtual void flush() {}
+};
+
+/// Writes one JSON object per line:
+///   {"t": 12.5, "kind": "msg_sent", "a": 3, "b": 7, "tag": 102, "value": 64}
+/// Formatting goes through a stack buffer and fwrite, so record() never
+/// touches the allocator.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(const std::string& path);
+  /// Adopts `file` (does not close it) — e.g. a test's tmpfile().
+  explicit JsonlTraceSink(std::FILE* file) : file_(file) {}
+  ~JsonlTraceSink() override;
+  JsonlTraceSink(const JsonlTraceSink&) = delete;
+  JsonlTraceSink& operator=(const JsonlTraceSink&) = delete;
+
+  void record(const TraceRecord& rec) override;
+  void flush() override;
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+  [[nodiscard]] std::uint64_t records_written() const { return written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool owns_file_ = false;
+  std::uint64_t written_ = 0;
+};
+
+/// Keeps the most recent `capacity` records in a preallocated ring —
+/// always-on flight recording with zero steady-state allocations.
+class RingTraceSink final : public TraceSink {
+ public:
+  explicit RingTraceSink(std::size_t capacity) : records_(capacity) {}
+
+  void record(const TraceRecord& rec) override {
+    records_[head_] = rec;
+    head_ = head_ + 1 == records_.size() ? 0 : head_ + 1;
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return records_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    return total_ < records_.size() ? static_cast<std::size_t>(total_)
+                                    : records_.size();
+  }
+  /// Total records ever recorded (including overwritten ones).
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  /// i-th retained record, oldest first (i < size()).
+  [[nodiscard]] const TraceRecord& at(std::size_t i) const {
+    const std::size_t start =
+        total_ < records_.size() ? 0 : head_;  // oldest retained
+    const std::size_t idx = start + i;
+    return records_[idx < records_.size() ? idx : idx - records_.size()];
+  }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t head_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace uap2p::obs

@@ -1,0 +1,26 @@
+# End-to-end check of the --trace pipeline: run a converted bench with
+# --trace=<file>, then validate the emitted JSONL with validate_trace
+# (parses, has "kind" fields, timestamps monotone non-decreasing).
+#
+# Usage: cmake -DBENCH=<bench binary> -DVALIDATOR=<validate_trace binary>
+#        -DTRACE=<output path> -P validate_trace.cmake
+foreach(var BENCH VALIDATOR TRACE)
+  if(NOT ${var})
+    message(FATAL_ERROR "pass -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(COMMAND "${BENCH}" "--trace=${TRACE}"
+  OUTPUT_QUIET
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --trace=${TRACE} exited with ${bench_rc}")
+endif()
+
+execute_process(COMMAND "${VALIDATOR}" "${TRACE}"
+  OUTPUT_VARIABLE validator_out
+  RESULT_VARIABLE validator_rc)
+if(NOT validator_rc EQUAL 0)
+  message(FATAL_ERROR "trace validation failed: ${validator_out}")
+endif()
+message(STATUS "${validator_out}")

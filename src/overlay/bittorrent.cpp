@@ -184,8 +184,16 @@ void BitTorrentSwarm::transfer_piece(std::size_t from, std::size_t to,
   ++downloader.have_count;
   ++piece_owners_[piece];
   ++stats_.pieces_transferred;
+  piece_metric_.inc();
   if (network_.host(uploader.peer).as == network_.host(downloader.peer).as) {
     ++stats_.intra_as_pieces;
+    intra_piece_metric_.inc();
+  }
+  if (trace_ != nullptr) {
+    trace_->record({network_.engine().now(), obs::TraceKind::kOverlay,
+                    static_cast<std::int32_t>(downloader.peer.value()),
+                    static_cast<std::int32_t>(uploader.peer.value()),
+                    obs::op::kPieceTransfer, static_cast<double>(piece)});
   }
   // Tit-for-tat accounting.
   for (std::size_t slot = 0; slot < downloader.neighbors.size(); ++slot) {

@@ -98,6 +98,21 @@ class BitTorrentSwarm {
   [[nodiscard]] std::vector<PeerId> neighbors_of(PeerId peer) const;
   [[nodiscard]] bool is_complete(PeerId peer) const;
 
+  /// Observability ---------------------------------------------------------
+  /// Binds "bt.*" counters in `registry` (nullptr detaches); counters
+  /// count from bind time onward.
+  void set_metrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) {
+      piece_metric_ = {};
+      intra_piece_metric_ = {};
+      return;
+    }
+    piece_metric_ = registry->counter("bt.pieces.transferred");
+    intra_piece_metric_ = registry->counter("bt.pieces.intra_as");
+  }
+  /// Emits a kOverlay op::kPieceTransfer record per piece transfer.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
  private:
   struct Node {
     PeerId peer;
@@ -124,6 +139,9 @@ class BitTorrentSwarm {
   std::vector<Node> nodes_;
   std::vector<std::size_t> piece_owners_;  // global rarity counter
   SwarmStats stats_;
+  obs::Counter piece_metric_;
+  obs::Counter intra_piece_metric_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace uap2p::overlay::bittorrent

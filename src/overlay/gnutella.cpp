@@ -49,6 +49,7 @@ GnutellaSystem::GnutellaSystem(underlay::Network& network,
       rng_(config.seed) {
   assert(peers.size() == roles.size());
   assert(config_.selection == NeighborSelection::kRandom || oracle_ != nullptr);
+  bind_metrics(own_metrics_);
   nodes_.reserve(peers.size());
   for (std::size_t i = 0; i < peers.size(); ++i) {
     Node node;
@@ -198,13 +199,33 @@ void GnutellaSystem::begin_flood_cycle() {
   for (Node& me : nodes_) me.flood_state.clear();
 }
 
+void GnutellaSystem::bind_metrics(obs::MetricsRegistry& registry) {
+  // Move the current values into the target registry, so counts() stays
+  // exact across a rebind (e.g. GnutellaLab attaching its per-trial
+  // registry after construction). Zeroing the old slots first makes the
+  // migration correct even when the target is the registry already bound.
+  const MessageCounts current = counts();
+  ping_count_.set(0);
+  pong_count_.set(0);
+  query_count_.set(0);
+  query_hit_count_.set(0);
+  ping_count_ = registry.counter("gnutella.messages.ping");
+  pong_count_ = registry.counter("gnutella.messages.pong");
+  query_count_ = registry.counter("gnutella.messages.query");
+  query_hit_count_ = registry.counter("gnutella.messages.query_hit");
+  ping_count_.inc(current.ping);
+  pong_count_.inc(current.pong);
+  query_count_.inc(current.query);
+  query_hit_count_.inc(current.query_hit);
+}
+
 void GnutellaSystem::send_typed(PeerId from, PeerId to, int type,
                                 std::uint32_t bytes, Payload payload) {
   switch (type) {
-    case msg::kGnutellaPing: ++counts_.ping; break;
-    case msg::kGnutellaPong: ++counts_.pong; break;
-    case msg::kGnutellaQuery: ++counts_.query; break;
-    case msg::kGnutellaQueryHit: ++counts_.query_hit; break;
+    case msg::kGnutellaPing: ping_count_.inc(); break;
+    case msg::kGnutellaPong: pong_count_.inc(); break;
+    case msg::kGnutellaQuery: query_count_.inc(); break;
+    case msg::kGnutellaQueryHit: query_hit_count_.inc(); break;
     default: break;
   }
   underlay::Message msg;
@@ -363,6 +384,10 @@ void GnutellaSystem::handle_query_hit(PeerId self, const QueryHitPayload& hit) {
 }
 
 void GnutellaSystem::ping_cycle() {
+  if (trace_ != nullptr) {
+    trace_->record({network_.engine().now(), obs::TraceKind::kOverlay, -1, -1,
+                    obs::op::kPingCycle, 0.0});
+  }
   begin_flood_cycle();
   for (Node& me : nodes_) {
     if (!network_.is_online(me.peer)) continue;
@@ -387,6 +412,12 @@ SearchOutcome GnutellaSystem::search(PeerId origin, ContentId content,
                                      bool download) {
   Node& me = node(origin);
   SearchOutcome outcome;
+  if (trace_ != nullptr) {
+    trace_->record({network_.engine().now(), obs::TraceKind::kOverlay,
+                    static_cast<std::int32_t>(origin.value()), -1,
+                    obs::op::kSearchStart,
+                    static_cast<double>(content.value())});
+  }
   begin_flood_cycle();
   active_search_.guids.clear();
   active_search_.providers.clear();
@@ -461,6 +492,15 @@ SearchOutcome GnutellaSystem::search(PeerId origin, ContentId content,
     }
   }
   search_active_ = false;
+  if (trace_ != nullptr) {
+    trace_->record({network_.engine().now(), obs::TraceKind::kOverlay,
+                    static_cast<std::int32_t>(origin.value()),
+                    outcome.provider.is_valid()
+                        ? static_cast<std::int32_t>(outcome.provider.value())
+                        : -1,
+                    obs::op::kSearchDone,
+                    static_cast<double>(outcome.result_count)});
+  }
   return outcome;
 }
 
@@ -485,6 +525,10 @@ std::size_t GnutellaSystem::repair_overlay() {
       if (before < config_.leaf_attachments) attach_leaf(me);
       recreated += me.ultrapeers.size() - before;
     }
+  }
+  if (trace_ != nullptr) {
+    trace_->record({network_.engine().now(), obs::TraceKind::kOverlay, -1, -1,
+                    obs::op::kRepair, static_cast<double>(recreated)});
   }
   return recreated;
 }
@@ -534,6 +578,12 @@ std::size_t GnutellaSystem::ltm_round(netinfo::Pinger& pinger,
     me.up_neighbors.push_back(replacement);
     node(replacement).up_neighbors.push_back(me.peer);
     ++rewired;
+    if (trace_ != nullptr) {
+      trace_->record({network_.engine().now(), obs::TraceKind::kOverlay,
+                      static_cast<std::int32_t>(me.peer.value()),
+                      static_cast<std::int32_t>(replacement.value()),
+                      obs::op::kLtmRewire, replacement_rtt});
+    }
   }
   return rewired;
 }

@@ -33,6 +33,8 @@
 #include "common/payload.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "netinfo/oracle.hpp"
 #include "netinfo/pinger.hpp"
 #include "underlay/network.hpp"
@@ -162,12 +164,29 @@ class GnutellaSystem {
   /// the overlay connected (spanning-tree bound, Fig. 6 discussion).
   [[nodiscard]] std::size_t min_inter_as_edges_for_connectivity() const;
 
-  [[nodiscard]] const MessageCounts& counts() const { return counts_; }
+  /// Table 1 per-type counts, re-derived from the "gnutella.messages.*"
+  /// registry counters (same values the --metrics snapshot exports).
+  [[nodiscard]] const MessageCounts& counts() const {
+    counts_.ping = ping_count_.value();
+    counts_.pong = pong_count_.value();
+    counts_.query = query_count_.value();
+    counts_.query_hit = query_hit_count_.value();
+    return counts_;
+  }
   [[nodiscard]] const underlay::Network& network() const { return network_; }
   [[nodiscard]] std::vector<PeerId> neighbors_of(PeerId peer) const;
   [[nodiscard]] NodeRole role_of(PeerId peer) const;
   /// All peers currently sharing `content`.
   [[nodiscard]] std::vector<PeerId> providers_of(ContentId content) const;
+
+  /// Observability ---------------------------------------------------------
+  /// Re-homes the "gnutella.messages.*" counters into `registry` (the
+  /// system always counts into an internal registry otherwise). Current
+  /// values carry over, so counts() is exact across a rebind.
+  void bind_metrics(obs::MetricsRegistry& registry);
+  /// Emits kOverlay records (search start/done, ping cycles, LTM rewires,
+  /// churn repair); nullptr disables.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
 
  private:
   struct Node {
@@ -240,7 +259,16 @@ class GnutellaSystem {
   Rng rng_;
   std::vector<Node> nodes_;
   std::unordered_map<std::uint32_t, std::size_t> index_of_;
-  MessageCounts counts_;
+  // Per-type counters live in a metrics registry (the internal one until
+  // bind_metrics re-homes them); counts_ is the cache counts() refreshes
+  // from the counters so the legacy API keeps returning a reference.
+  obs::MetricsRegistry own_metrics_;
+  obs::Counter ping_count_;
+  obs::Counter pong_count_;
+  obs::Counter query_count_;
+  obs::Counter query_hit_count_;
+  mutable MessageCounts counts_;
+  obs::TraceSink* trace_ = nullptr;
   std::uint64_t next_guid_ = 1;
 
   // Search in flight (one at a time; searches are issued sequentially and

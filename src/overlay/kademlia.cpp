@@ -209,6 +209,7 @@ void KademliaSystem::issue_queries(ActiveLookup& lookup) {
     ++lookup.in_flight;
     ++lookup.messages;
     ++rpcs_;
+    rpc_metric_.inc();
     if (oracle_ != nullptr) {
       lookup.rpc_as_hops_sum += proximity_cost(lookup.origin, entry.contact.peer);
     }
@@ -230,6 +231,7 @@ void KademliaSystem::issue_queries(ActiveLookup& lookup) {
           if (!active_ || !active_->timeouts.contains(rpc_id)) return;
           active_->timeouts.erase(rpc_id);
           --active_->in_flight;
+          timeout_metric_.inc();
           for (auto& e : active_->shortlist) {
             if (e.contact.peer == queried_peer) e.failed = true;
           }
@@ -294,6 +296,12 @@ LookupResult KademliaSystem::run_lookup(PeerId origin, NodeId target,
   }
   for (auto& [rpc, handle] : active_->timeouts) handle.cancel();
   active_.reset();
+  if (trace_ != nullptr) {
+    trace_->record({network_.engine().now(), obs::TraceKind::kOverlay,
+                    static_cast<std::int32_t>(origin.value()), -1,
+                    obs::op::kLookup,
+                    static_cast<double>(result.messages_sent)});
+  }
   return result;
 }
 

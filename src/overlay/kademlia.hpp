@@ -102,6 +102,21 @@ class KademliaSystem {
   [[nodiscard]] double intra_as_contact_fraction() const;
   [[nodiscard]] std::uint64_t total_rpcs() const { return rpcs_; }
 
+  /// Observability ---------------------------------------------------------
+  /// Binds "kad.*" counters in `registry` (nullptr detaches); counters
+  /// count from bind time onward.
+  void set_metrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) {
+      rpc_metric_ = {};
+      timeout_metric_ = {};
+      return;
+    }
+    rpc_metric_ = registry->counter("kad.rpcs");
+    timeout_metric_ = registry->counter("kad.rpc_timeouts");
+  }
+  /// Emits a kOverlay op::kLookup record per completed lookup.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
  private:
   struct Bucket {
     std::vector<Contact> contacts;  // oldest first (vanilla LRS order)
@@ -175,6 +190,9 @@ class KademliaSystem {
   std::unordered_map<std::uint32_t, NodeId> ids_;
   std::uint64_t next_rpc_ = 1;
   std::uint64_t rpcs_ = 0;
+  obs::Counter rpc_metric_;
+  obs::Counter timeout_metric_;
+  obs::TraceSink* trace_ = nullptr;
   std::optional<ActiveLookup> active_;
 };
 

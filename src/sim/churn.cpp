@@ -43,6 +43,10 @@ void ChurnProcess::schedule_leave(PeerId peer) {
     if (stopped_ || !online_[peer.value()]) return;
     online_[peer.value()] = false;
     --online_count_;
+    if (trace_ != nullptr) {
+      trace_->record({engine_.now(), obs::TraceKind::kChurnLeave,
+                      static_cast<std::int32_t>(peer.value()), -1, 0, 0.0});
+    }
     if (on_leave_) on_leave_(peer);
     schedule_join(peer);
   });
@@ -55,6 +59,10 @@ void ChurnProcess::schedule_join(PeerId peer) {
     if (stopped_ || online_[peer.value()]) return;
     online_[peer.value()] = true;
     ++online_count_;
+    if (trace_ != nullptr) {
+      trace_->record({engine_.now(), obs::TraceKind::kChurnJoin,
+                      static_cast<std::int32_t>(peer.value()), -1, 0, 0.0});
+    }
     if (on_join_) on_join_(peer);
     schedule_leave(peer);
   });

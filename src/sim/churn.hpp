@@ -44,6 +44,10 @@ class ChurnProcess {
   void on_join(Callback cb) { on_join_ = std::move(cb); }
   void on_leave(Callback cb) { on_leave_ = std::move(cb); }
 
+  /// Emits kChurnJoin/kChurnLeave records at each transition; nullptr
+  /// disables (one predicted branch per transition).
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
   [[nodiscard]] bool is_online(PeerId peer) const;
   [[nodiscard]] std::size_t online_count() const { return online_count_; }
 
@@ -64,6 +68,7 @@ class ChurnProcess {
   std::vector<EventHandle> pending_;
   std::size_t online_count_ = 0;
   bool stopped_ = false;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace uap2p::sim

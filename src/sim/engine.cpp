@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace uap2p::sim {
 
 bool Engine::pop_and_run() {
@@ -11,6 +13,9 @@ bool Engine::pop_and_run() {
     Slot& slot = slot_at(index);
     if (slot.armed_tag != entry.tag) continue;  // cancelled tombstone
     now_ = entry.when;
+    if (trace_ != nullptr) [[unlikely]] {
+      trace_event(obs::TraceKind::kEventFired, entry.tag, 0.0);
+    }
     // Disarm before invoking, so cancel()/pending() on the firing event
     // no-op inside its own callback. The callback runs in place: chunked
     // slab storage never relocates, and the slot is kept off the free
@@ -48,6 +53,22 @@ std::uint64_t Engine::run_until(SimTime until) {
   }
   if (now_ < until) now_ = until;
   return ran;
+}
+
+void Engine::trace_event(obs::TraceKind kind, std::uint64_t tag,
+                         double value) {
+  trace_->record({now_, kind, -1, -1, tag, value});
+}
+
+void Engine::export_metrics(obs::MetricsRegistry& registry) const {
+  const EngineStats s = stats();
+  registry.counter("engine.events.scheduled").set(s.scheduled);
+  registry.counter("engine.events.executed").set(s.executed);
+  registry.counter("engine.events.cancelled").set(s.cancelled);
+  registry.counter("engine.callbacks.inline").set(s.inline_callbacks);
+  registry.counter("engine.callbacks.spilled").set(s.spilled_callbacks);
+  registry.counter("engine.queue.high_water").set(s.queue_high_water);
+  registry.counter("engine.slab.slots").set(s.slab_slots);
 }
 
 }  // namespace uap2p::sim

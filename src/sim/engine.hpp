@@ -25,7 +25,12 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
+
+namespace uap2p::obs {
+class MetricsRegistry;
+}  // namespace uap2p::obs
 
 namespace uap2p::sim {
 
@@ -54,8 +59,11 @@ class EventCallback {
   }
   ~EventCallback() { reset(); }
 
+  /// Returns true when the callable was stored inline (no allocation);
+  /// false when it spilled to the heap. The engine feeds this into its
+  /// inline-vs-spilled introspection counters.
   template <typename F>
-  void emplace(F&& fn) {
+  bool emplace(F&& fn) {
     using Decayed = std::decay_t<F>;
     reset();
     if constexpr (sizeof(Decayed) <= kInlineCapacity &&
@@ -63,10 +71,12 @@ class EventCallback {
                   std::is_nothrow_move_constructible_v<Decayed>) {
       ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(fn));
       ops_ = &kInlineOps<Decayed>;
+      return true;
     } else {
       ::new (static_cast<void*>(storage_)) Decayed*(
           new Decayed(std::forward<F>(fn)));
       ops_ = &kHeapOps<Decayed>;
+      return false;
     }
   }
 
@@ -164,6 +174,19 @@ class EventHandle {
   std::uint64_t tag_ = 0;
 };
 
+/// Engine introspection snapshot (DESIGN.md "Observability"). All values
+/// are counted unconditionally — the increments ride on cache lines the
+/// scheduling path already touches, so they are free in practice.
+struct EngineStats {
+  std::uint64_t scheduled = 0;   ///< schedule()/schedule_at() calls
+  std::uint64_t executed = 0;    ///< callbacks fired
+  std::uint64_t cancelled = 0;   ///< successful cancellations
+  std::uint64_t inline_callbacks = 0;   ///< captures stored in the slab
+  std::uint64_t spilled_callbacks = 0;  ///< captures heap-allocated
+  std::size_t queue_high_water = 0;  ///< max concurrently queued entries
+  std::size_t slab_slots = 0;        ///< slab capacity (slots ever created)
+};
+
 /// The event loop. Not thread-safe by design: one Engine per experiment.
 class Engine {
  public:
@@ -188,10 +211,18 @@ class Engine {
     assert(when >= now_);
     const std::uint32_t slot = acquire_slot();
     Slot& s = slot_at(slot);
-    s.fn.emplace(std::forward<F>(fn));
+    if (s.fn.emplace(std::forward<F>(fn))) {
+      ++inline_callbacks_;
+    } else {
+      ++spilled_callbacks_;
+    }
     const std::uint64_t tag = (next_seq_++ << kSlotBits) | slot;
     s.armed_tag = tag;
     queue_.push(QueueEntry{when, tag});
+    if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
+    if (trace_ != nullptr) [[unlikely]] {
+      trace_event(obs::TraceKind::kEventScheduled, tag, when);
+    }
     return EventHandle(this, tag);
   }
 
@@ -213,6 +244,30 @@ class Engine {
   /// Exposed so tests can assert that steady-state churn recycles slots
   /// instead of growing the slab.
   [[nodiscard]] std::size_t slab_size() const { return slot_count_; }
+
+  /// Introspection snapshot (schedule/fire/cancel counters, inline vs
+  /// spilled callbacks, queue high-water mark).
+  [[nodiscard]] EngineStats stats() const {
+    EngineStats s;
+    s.scheduled = inline_callbacks_ + spilled_callbacks_;
+    s.executed = executed_;
+    s.cancelled = cancelled_;
+    s.inline_callbacks = inline_callbacks_;
+    s.spilled_callbacks = spilled_callbacks_;
+    s.queue_high_water = queue_high_water_;
+    s.slab_slots = slot_count_;
+    return s;
+  }
+
+  /// Exports stats() as "engine.*" counters into `registry` (idempotent
+  /// set, not add — safe to call at any point, typically trial teardown).
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Attaches a trace sink for event scheduled/fired/cancelled records;
+  /// nullptr (the default) disables tracing at the cost of one predicted
+  /// branch per operation. The sink must outlive the engine or be
+  /// detached before destruction.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
 
  private:
   friend class EventHandle;
@@ -362,7 +417,15 @@ class Engine {
     if (slot >= slot_count_) return;
     if (slot_at(slot).armed_tag != tag) return;  // fired or recycled
     release_slot(slot);  // the queue entry becomes a tombstone
+    ++cancelled_;
+    if (trace_ != nullptr) [[unlikely]] {
+      trace_event(obs::TraceKind::kEventCancelled, tag, 0.0);
+    }
   }
+
+  /// Cold outlined trace emission (defined in engine.cpp) so the record
+  /// construction stays out of the inlined scheduling hot paths.
+  void trace_event(obs::TraceKind kind, std::uint64_t tag, double value);
 
   [[nodiscard]] bool tag_pending(std::uint64_t tag) const {
     const std::uint32_t slot = static_cast<std::uint32_t>(tag) & kSlotMask;
@@ -378,6 +441,11 @@ class Engine {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t inline_callbacks_ = 0;
+  std::uint64_t spilled_callbacks_ = 0;
+  std::size_t queue_high_water_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 inline void EventHandle::cancel() {

@@ -73,6 +73,16 @@ double TrafficAccountant::estimated_transit_usd_month() const {
   return cost_curves::transit_monthly_usd(billed_transit_mbps(), pricing_);
 }
 
+void TrafficAccountant::export_metrics(obs::MetricsRegistry& registry) const {
+  registry.counter("traffic.bytes.total").set(total_bytes_);
+  registry.counter("traffic.bytes.intra_as").set(intra_bytes_);
+  registry.counter("traffic.bytes.transit_links").set(transit_bytes_);
+  registry.counter("traffic.bytes.peering_links").set(peering_bytes_);
+  registry.counter("traffic.messages").set(messages_);
+  registry.gauge("traffic.intra_as_fraction").set(intra_as_fraction());
+  registry.gauge("traffic.billed_transit_mbps").set(billed_transit_mbps());
+}
+
 void TrafficAccountant::reset() {
   total_bytes_ = intra_bytes_ = transit_bytes_ = peering_bytes_ = 0;
   messages_ = 0;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 #include "underlay/routing.hpp"
 
@@ -88,6 +89,10 @@ class TrafficAccountant {
   /// Estimated monthly transit bill if the observed traffic pattern
   /// repeated for a month.
   [[nodiscard]] double estimated_transit_usd_month() const;
+
+  /// Exports the locality split as "traffic.*" counters/gauges into
+  /// `registry` (idempotent set; typically called at trial teardown).
+  void export_metrics(obs::MetricsRegistry& registry) const;
 
   void reset();
 

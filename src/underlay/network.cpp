@@ -131,20 +131,57 @@ void Network::move_host(PeerId peer, const GeoPoint& location) {
   host.access_latency_ms = rng_.uniform_real(1.0, 12.0);
 }
 
+namespace {
+
+// Cold outlined trace emission: keeps the TraceRecord construction out of
+// the send/delivery hot paths so the disabled case is a single predicted
+// branch with no code-size cost (the flood bench gates this; see
+// BM_ObsOverhead).
+[[gnu::noinline]] void emit_msg_trace(obs::TraceSink* trace, double now,
+                                      obs::TraceKind kind, PeerId src,
+                                      PeerId dst, int type, double value) {
+  trace->record({now, kind, static_cast<std::int32_t>(src.value()),
+                 static_cast<std::int32_t>(dst.value()),
+                 static_cast<std::uint64_t>(type), value});
+}
+
+}  // namespace
+
 bool Network::send(Message msg) {
   assert(msg.src.value() < hosts_.size() && msg.dst.value() < hosts_.size());
   const Host& src = hosts_[msg.src.value()];
   const Host& dst = hosts_[msg.dst.value()];
   if (!src.online || !dst.online) {
     ++dropped_;
+    dropped_metric_.inc();
+    if (trace_ != nullptr) {
+      emit_msg_trace(trace_, engine_.now(), obs::TraceKind::kMsgDropped,
+                     msg.src, msg.dst, msg.type,
+                     static_cast<double>(msg.size_bytes));
+    }
     return false;
   }
   const PathInfo& path = routing_.path(src.attachment, dst.attachment);
   if (!path.reachable) {
     ++dropped_;
+    dropped_metric_.inc();
+    if (trace_ != nullptr) {
+      emit_msg_trace(trace_, engine_.now(), obs::TraceKind::kMsgDropped,
+                     msg.src, msg.dst, msg.type,
+                     static_cast<double>(msg.size_bytes));
+    }
     return false;
   }
   traffic_.record(path, msg.size_bytes, engine_.now());
+  sent_count_.inc();
+  bytes_sent_.inc(msg.size_bytes);
+  if (trace_ != nullptr) [[unlikely]] {
+    emit_msg_trace(trace_, engine_.now(), obs::TraceKind::kMsgSent, msg.src,
+                   msg.dst, msg.type, static_cast<double>(msg.size_bytes));
+    emit_msg_trace(trace_, engine_.now(), obs::TraceKind::kMsgHop, msg.src,
+                   msg.dst, msg.type,
+                   static_cast<double>(path.router_hops));
+  }
 
   const double transmission_ms =
       src.resources.upload_mbps > 0.0
@@ -160,11 +197,23 @@ bool Network::send(Message msg) {
     const PeerId dst_id = delivered.dst;
     if (!hosts_[dst_id.value()].online) {
       ++dropped_;
+      dropped_metric_.inc();
+      if (trace_ != nullptr) {
+        emit_msg_trace(trace_, engine_.now(), obs::TraceKind::kMsgDropped,
+                       delivered.src, dst_id, delivered.type,
+                       static_cast<double>(delivered.size_bytes));
+      }
     } else {
       const auto index = static_cast<std::size_t>(std::max(0, delivered.type));
       if (delivered_by_type_.size() <= index)
         delivered_by_type_.resize(index + 1, 0);
       ++delivered_by_type_[index];
+      delivered_count_.inc();
+      if (trace_ != nullptr) [[unlikely]] {
+        emit_msg_trace(trace_, engine_.now(), obs::TraceKind::kMsgDelivered,
+                       delivered.src, dst_id, delivered.type,
+                       static_cast<double>(delivered.size_bytes));
+      }
       // Handlers may send() recursively; slot addresses are stable, so
       // `delivered` stays valid while new in-flight slots are acquired.
       for (const auto& handler : handlers_[dst_id.value()]) handler(delivered);
@@ -190,6 +239,20 @@ sim::SimTime Network::rtt_ms(PeerId a, PeerId b) {
 const PathInfo& Network::path_between(PeerId a, PeerId b) {
   return routing_.path(hosts_[a.value()].attachment,
                        hosts_[b.value()].attachment);
+}
+
+void Network::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    sent_count_ = {};
+    delivered_count_ = {};
+    dropped_metric_ = {};
+    bytes_sent_ = {};
+    return;
+  }
+  sent_count_ = registry->counter("net.messages.sent");
+  delivered_count_ = registry->counter("net.messages.delivered");
+  dropped_metric_ = registry->counter("net.messages.dropped");
+  bytes_sent_ = registry->counter("net.bytes.sent");
 }
 
 std::uint64_t Network::delivered_count(int type) const {

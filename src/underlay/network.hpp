@@ -16,6 +16,8 @@
 #include "common/ids.hpp"
 #include "common/payload.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "underlay/cost.hpp"
 #include "underlay/routing.hpp"
@@ -135,6 +137,15 @@ class Network {
   [[nodiscard]] std::uint64_t delivered_count(int type) const;
   [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
 
+  /// Observability ---------------------------------------------------------
+  /// Binds "net.*" counters in `registry` (nullptr detaches). Counters
+  /// start from the registry's current values; bind before traffic flows
+  /// for totals to match delivered/dropped_count().
+  void set_metrics(obs::MetricsRegistry* registry);
+  /// Emits kMsgSent/kMsgHop/kMsgDelivered/kMsgDropped records; nullptr
+  /// (the default) costs one predicted branch per send/delivery.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
  private:
   sim::Engine& engine_;
   const AsTopology& topology_;
@@ -146,6 +157,11 @@ class Network {
   std::vector<std::uint32_t> hosts_per_as_;
   std::vector<std::uint64_t> delivered_by_type_;
   std::uint64_t dropped_ = 0;
+  obs::Counter sent_count_;       // unbound (no-op) until set_metrics
+  obs::Counter delivered_count_;
+  obs::Counter dropped_metric_;
+  obs::Counter bytes_sent_;
+  obs::TraceSink* trace_ = nullptr;
 
   // In-flight messages parked in a recycled slot pool. The engine's
   // delivery closure captures only {this, slot} — small enough for the

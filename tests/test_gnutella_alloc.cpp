@@ -10,6 +10,8 @@
 #include <cstdint>
 
 #include "alloc_probe.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "overlay/gnutella.hpp"
 #include "sim/engine.hpp"
 #include "underlay/network.hpp"
@@ -62,6 +64,59 @@ TEST(GnutellaAllocation, SteadyStateQueryFloodIsAllocationFree) {
 
   EXPECT_EQ(after - before, 0u) << "steady-state query flood allocated";
   EXPECT_GT(results, 0u);
+}
+
+TEST(GnutellaAllocation, SteadyStateFloodWithObsEnabledIsAllocationFree) {
+  // Same regime as above, but with the full observability surface armed:
+  // registry counters bound on the network and overlay, and a ring trace
+  // sink attached to engine, network, and overlay. Counters are pointer
+  // increments and the ring buffer is preallocated, so the flood must
+  // still never touch the global allocator.
+  sim::Engine engine;
+  const underlay::AsTopology topo =
+      underlay::AsTopology::transit_stub(3, 5, 0.3);
+  underlay::Network net(engine, topo, 21);
+  const auto peers = net.populate(180);
+  overlay::gnutella::Config config;
+  config.dynamic_querying = false;
+  overlay::gnutella::GnutellaSystem system(
+      net, peers,
+      overlay::gnutella::testlab_roles(peers.size(), 2, topo.as_count()),
+      config);
+  obs::MetricsRegistry registry;
+  obs::RingTraceSink ring(1 << 16);
+  net.set_metrics(&registry);
+  system.bind_metrics(registry);
+  engine.set_trace(&ring);
+  net.set_trace(&ring);
+  system.set_trace(&ring);
+  system.bootstrap();
+  for (std::size_t i = 0; i < 3; ++i) {
+    system.share(peers[i * 7 + 1], ContentId(5));
+  }
+  system.ping_cycle();
+
+  std::size_t origin = 0;
+  auto do_search = [&] {
+    origin = (origin + 37) % peers.size();
+    return system
+        .search(peers[origin], ContentId(5), /*download=*/false)
+        .result_count;
+  };
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_GT(do_search(), 0u);
+  }
+  net.traffic().reserve_windows(engine.now() + sim::hours(1));
+
+  const std::uint64_t before = testing::allocation_count();
+  std::size_t results = 0;
+  for (int i = 0; i < 16; ++i) results += do_search();
+  const std::uint64_t after = testing::allocation_count();
+
+  EXPECT_EQ(after - before, 0u) << "flood with obs armed allocated";
+  EXPECT_GT(results, 0u);
+  EXPECT_GT(registry.counter("net.messages.sent").value(), 0u);
+  EXPECT_GT(ring.total_recorded(), 0u);
 }
 
 }  // namespace

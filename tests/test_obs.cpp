@@ -1,0 +1,186 @@
+// uap2p::obs contract tests: registry semantics (interned handles, no-op
+// unbound handles, stable addresses), deterministic merge in submission
+// order, byte-deterministic JSON export, and the two trace sinks. Built
+// as its own binary (uap2p_obs_tests, label "obs") so the asan preset can
+// run exactly this suite without the counting operator new of
+// alloc_probe.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace uap2p::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterRegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("msgs");
+  Counter b = registry.counter("msgs");
+  a.inc(3);
+  b.inc(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 7u);
+  EXPECT_EQ(registry.counter_count(), 1u);
+}
+
+TEST(MetricsRegistry, UnboundHandlesAreNoOps) {
+  Counter counter;
+  Gauge gauge;
+  Stat stat;
+  Histo histo;
+  EXPECT_FALSE(counter.bound());
+  counter.inc();
+  counter.set(9);
+  gauge.set(1.5);
+  stat.add(2.0);
+  histo.observe(3.0);
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsRegistry, HandlesSurviveFurtherRegistrations) {
+  // Entries live in a ChunkedStore: registering hundreds more metrics must
+  // not invalidate previously handed-out handles.
+  MetricsRegistry registry;
+  Counter first = registry.counter("first");
+  first.inc();
+  for (int i = 0; i < 500; ++i) {
+    registry.counter("filler." + std::to_string(i)).inc();
+  }
+  first.inc();
+  EXPECT_EQ(first.value(), 2u);
+  EXPECT_EQ(registry.counter("first").value(), 2u);
+}
+
+TEST(MetricsRegistry, HandlesSurviveRegistryMove) {
+  MetricsRegistry registry;
+  Counter counter = registry.counter("moved");
+  counter.inc(5);
+  MetricsRegistry moved = std::move(registry);
+  counter.inc(5);
+  EXPECT_EQ(moved.counter("moved").value(), 10u);
+}
+
+TEST(MetricsRegistry, MergeSemanticsPerKind) {
+  MetricsRegistry a;
+  a.counter("c").inc(10);
+  a.gauge("g").set(1.0);
+  a.stat("s").add(1.0);
+  a.stat("s").add(3.0);
+  a.histogram("h", 0.0, 10.0, 5).observe(1.0);
+
+  MetricsRegistry b;
+  b.counter("c").inc(32);
+  b.gauge("g").set(2.5);
+  b.stat("s").add(5.0);
+  b.histogram("h", 0.0, 10.0, 5).observe(9.0);
+  b.counter("only_b").inc(1);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("c").value(), 42u);       // counters add
+  EXPECT_EQ(a.counter("only_b").value(), 1u);   // new names registered
+  const std::string json = a.to_json();
+  EXPECT_NE(json.find("\"name\": \"g\", \"value\": 2.5"), std::string::npos)
+      << "gauge merge must be last-set-wins:\n" << json;
+  // Welford merge over {1,3} + {5}: count 3, mean 3.
+  EXPECT_NE(json.find("\"name\": \"s\", \"count\": 3, \"mean\": 3"),
+            std::string::npos)
+      << json;
+  // Histogram buckets add element-wise: 2 total.
+  EXPECT_NE(json.find("\"total\": 2"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistry, MergeOfUnsetGaugeDoesNotClobber) {
+  MetricsRegistry a;
+  a.gauge("g").set(7.0);
+  MetricsRegistry b;
+  b.gauge("g");  // registered but never set
+  a.merge(b);
+  EXPECT_NE(a.to_json().find("\"name\": \"g\", \"value\": 7"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonIsByteDeterministic) {
+  auto build = [] {
+    MetricsRegistry registry;
+    registry.counter("z").inc(3);
+    registry.counter("a").inc(1);
+    registry.gauge("mid").set(0.123456789012345);
+    registry.stat("s").add(2.0);
+    registry.histogram("h", 0.0, 1.0, 4).observe(0.6);
+    return registry.to_json();
+  };
+  const std::string first = build();
+  EXPECT_EQ(first, build());
+  // Registration order, not name order, fixes entry order.
+  EXPECT_LT(first.find("\"z\""), first.find("\"a\""));
+}
+
+TEST(MetricsRegistry, MergeOrderInvarianceForCommutativeKinds) {
+  // Counters and histograms commute; merging the same per-trial registries
+  // in the same (group, index) order from different "schedules" must give
+  // identical bytes — the property the serial-vs-parallel bench gate
+  // checks end to end.
+  std::vector<MetricsRegistry> trials;
+  for (int t = 0; t < 4; ++t) {
+    MetricsRegistry registry;
+    registry.counter("events").inc(std::uint64_t(t) * 17 + 1);
+    registry.stat("latency").add(double(t) + 0.5);
+    trials.push_back(std::move(registry));
+  }
+  MetricsRegistry merged_once;
+  for (const MetricsRegistry& trial : trials) merged_once.merge(trial);
+  MetricsRegistry merged_twice;
+  for (const MetricsRegistry& trial : trials) merged_twice.merge(trial);
+  EXPECT_EQ(merged_once.to_json(), merged_twice.to_json());
+}
+
+TEST(JsonlTraceSink, WritesOneParseableRecordPerLine) {
+  const std::string path = ::testing::TempDir() + "obs_trace_test.jsonl";
+  {
+    JsonlTraceSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    sink.record({1.5, TraceKind::kMsgSent, 3, 7, 100, 23.0});
+    sink.record({2.5, TraceKind::kEventFired, -1, -1, 42, 0.0});
+    EXPECT_EQ(sink.records_written(), 2u);
+  }
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  char line[512];
+  ASSERT_NE(std::fgets(line, sizeof line, file), nullptr);
+  EXPECT_NE(std::string(line).find("\"kind\": \"msg_sent\""),
+            std::string::npos);
+  EXPECT_NE(std::string(line).find("\"t\": 1.5"), std::string::npos);
+  ASSERT_NE(std::fgets(line, sizeof line, file), nullptr);
+  EXPECT_NE(std::string(line).find("\"kind\": \"event_fired\""),
+            std::string::npos);
+  EXPECT_EQ(std::fgets(line, sizeof line, file), nullptr);
+  std::fclose(file);
+  std::remove(path.c_str());
+}
+
+TEST(RingTraceSink, KeepsTheLastCapacityRecordsInOrder) {
+  RingTraceSink ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.record({double(i), TraceKind::kOverlay, i, -1, 0, 0.0});
+  }
+  EXPECT_EQ(ring.total_recorded(), 10u);
+  ASSERT_EQ(ring.size(), 4u);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.at(i).a, std::int32_t(6 + i)) << "oldest-first order";
+  }
+}
+
+TEST(TraceKindName, CoversEveryKind) {
+  EXPECT_STREQ(trace_kind_name(TraceKind::kEventScheduled),
+               "event_scheduled");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kMsgDropped), "msg_dropped");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kChurnJoin), "churn_join");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kChurnLeave), "churn_leave");
+}
+
+}  // namespace
+}  // namespace uap2p::obs

@@ -107,6 +107,37 @@ TEST(RunTrials, SerialFlagForcesSingleThread) {
   EXPECT_EQ(peak.load(), 1);
 }
 
+TEST(RunTrials, MetricsSnapshotsAreByteIdenticalSerialVsParallel) {
+  // The observability acceptance gate in unit form: per-trial registries
+  // submitted from GnutellaLab destructors merge in (group, index) order,
+  // so the merged JSON must not depend on how many threads ran the trials.
+  auto run_once = [](std::size_t threads) {
+    bench::trial_metrics().reset();
+    bench::options().collect_metrics = true;
+    bench::run_trials(
+        4, /*base_seed=*/11,
+        [](std::size_t, std::uint64_t seed) {
+          overlay::gnutella::Config config;
+          bench::GnutellaLab lab(underlay::AsTopology::transit_stub(2, 3, 0.3),
+                                 60, config, seed);
+          return lab.run_locality_workload(/*copies=*/2, /*searches_per_as=*/2,
+                                           /*download=*/false);
+        },
+        threads);
+    bench::options().collect_metrics = false;
+    const std::string json = bench::trial_metrics().merged().to_json();
+    bench::trial_metrics().reset();
+    return json;
+  };
+  const std::string serial = run_once(1);
+  const std::string parallel = run_once(4);
+  EXPECT_EQ(serial, parallel);
+  // The snapshot really carries the overlay + engine + traffic sections.
+  EXPECT_NE(serial.find("gnutella.messages.query"), std::string::npos);
+  EXPECT_NE(serial.find("engine.events.executed"), std::string::npos);
+  EXPECT_NE(serial.find("traffic.bytes.total"), std::string::npos);
+}
+
 TEST(Rng, SplitSeedMatchesSplit) {
   // split() must stay a pure wrapper over split_seed() so harness seeds
   // and direct Rng::split children agree.

@@ -74,6 +74,18 @@ TEST(Samples, MedianOfUnsortedInput) {
   EXPECT_DOUBLE_EQ(samples.max(), 5.0);
 }
 
+TEST(Samples, ValuesKeepInsertionOrderAfterPercentile) {
+  // percentile()/min()/max() sort a separate scratch copy; values() must
+  // keep exposing samples in insertion order (callers iterate it to pair
+  // samples with the sequence that produced them).
+  Samples samples;
+  const std::vector<double> inserted = {5.0, 1.0, 4.0, 2.0, 3.0};
+  for (double v : inserted) samples.add(v);
+  EXPECT_DOUBLE_EQ(samples.percentile(90), 4.6);
+  EXPECT_DOUBLE_EQ(samples.min(), 1.0);
+  EXPECT_EQ(samples.values(), inserted);
+}
+
 TEST(Samples, AddAfterPercentileStillWorks) {
   Samples samples;
   samples.add(1.0);
