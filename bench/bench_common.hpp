@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +40,11 @@ struct Options {
   /// run_trials call (one deterministic trial keeps the file bounded and
   /// single-writer).
   std::string trace_path;
+  /// --seed-offset=N: added to every run_trials base seed. 0 (the
+  /// default) reproduces the canonical tables; any other value perturbs
+  /// every RNG stream — the tracediff-self-check gate uses it to prove
+  /// that uap2p_tracediff actually detects behavioral divergence.
+  std::uint64_t seed_offset = 0;
 };
 
 inline Options& options() {
@@ -58,6 +64,9 @@ inline void parse_flags(int argc, char** argv) {
       options().collect_metrics = !options().metrics_path.empty();
     } else if (arg.rfind("--trace=", 0) == 0) {
       options().trace_path = std::string(arg.substr(8));
+    } else if (arg.rfind("--seed-offset=", 0) == 0) {
+      options().seed_offset =
+          std::strtoull(std::string(arg.substr(14)).c_str(), nullptr, 10);
     }
   }
 }
@@ -210,7 +219,7 @@ inline int dump_observability() {
 template <typename Fn>
 auto run_trials(std::size_t count, std::uint64_t base_seed, Fn&& fn,
                 std::size_t threads = 0) {
-  Rng master(base_seed);
+  Rng master(base_seed + options().seed_offset);
   std::vector<std::uint64_t> seeds(count);
   for (std::uint64_t& seed : seeds) seed = master.split_seed();
   // Group ids are handed out in call order on the calling thread, so they

@@ -1,0 +1,87 @@
+# tracediff-self-check: proves uap2p_tracediff in BOTH directions against
+# a live bench (the --trace round-trip driver).
+#
+#  1. Two runs of BENCH with the same (default) seed must produce traces
+#     that uap2p_tracediff calls identical — exit 0, no output.
+#  2. A run with --seed-offset=1 perturbs every RNG stream; the diff
+#     against the baseline must exit nonzero and its report must name the
+#     first divergent record ("first divergence at t=..." with a kind=).
+#
+# Usage: cmake -DBENCH=<bench binary> -DTRACEDIFF=<uap2p_tracediff>
+#        [-DBASELINE=<existing baseline trace>] -DWORKDIR=<dir>
+#        -P check_tracediff.cmake
+# When BASELINE is given (the obs-trace-gen fixture's file), run 1 reuses
+# it instead of regenerating, saving one bench execution.
+foreach(var BENCH TRACEDIFF WORKDIR)
+  if(NOT ${var})
+    message(FATAL_ERROR "pass -D${var}=...")
+  endif()
+endforeach()
+
+get_filename_component(bench_name "${BENCH}" NAME)
+set(repeat_trace "${WORKDIR}/${bench_name}.tracediff.repeat.jsonl")
+set(perturbed_trace "${WORKDIR}/${bench_name}.tracediff.perturbed.jsonl")
+
+if(BASELINE)
+  set(baseline_trace "${BASELINE}")
+else()
+  set(baseline_trace "${WORKDIR}/${bench_name}.tracediff.baseline.jsonl")
+  execute_process(COMMAND "${BENCH}" "--trace=${baseline_trace}"
+    OUTPUT_QUIET RESULT_VARIABLE baseline_rc)
+  if(NOT baseline_rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} (baseline) exited with ${baseline_rc}")
+  endif()
+endif()
+
+# Direction 1: same seed, same commit -> byte-replayable -> empty diff.
+execute_process(COMMAND "${BENCH}" "--trace=${repeat_trace}"
+  OUTPUT_QUIET RESULT_VARIABLE repeat_rc)
+if(NOT repeat_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} (repeat) exited with ${repeat_rc}")
+endif()
+execute_process(
+  COMMAND "${TRACEDIFF}" "${baseline_trace}" "${repeat_trace}"
+  OUTPUT_VARIABLE same_out ERROR_VARIABLE same_err
+  RESULT_VARIABLE same_rc)
+if(NOT same_rc EQUAL 0)
+  message(FATAL_ERROR
+    "tracediff flagged two same-seed runs as divergent (rc=${same_rc}):\n"
+    "${same_out}${same_err}")
+endif()
+if(NOT "${same_out}${same_err}" STREQUAL "")
+  message(FATAL_ERROR
+    "tracediff of identical runs should be silent, got:\n"
+    "${same_out}${same_err}")
+endif()
+
+# Direction 2: perturbed RNG stream -> the diff must find and name the
+# first divergent record. The bench's shape check may legitimately fail
+# under a perturbed seed; only the trace output matters here.
+execute_process(COMMAND "${BENCH}" --seed-offset=1
+  "--trace=${perturbed_trace}"
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT EXISTS "${perturbed_trace}")
+  message(FATAL_ERROR "${BENCH} --seed-offset=1 wrote no trace")
+endif()
+execute_process(
+  COMMAND "${TRACEDIFF}" "${baseline_trace}" "${perturbed_trace}"
+  OUTPUT_VARIABLE diff_out ERROR_VARIABLE diff_err
+  RESULT_VARIABLE diff_rc)
+if(diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "tracediff failed to detect a perturbed RNG stream "
+    "(${baseline_trace} vs ${perturbed_trace})")
+endif()
+if(NOT "${diff_err}" MATCHES "first divergence at t=[0-9.]+")
+  message(FATAL_ERROR
+    "tracediff divergence report does not name the first divergent "
+    "record's sim-time:\n${diff_err}")
+endif()
+if(NOT "${diff_err}" MATCHES "kind=[a-z_]+")
+  message(FATAL_ERROR
+    "tracediff divergence report does not name the divergent record's "
+    "kind:\n${diff_err}")
+endif()
+string(REGEX MATCH "first divergence at [^\n]*" first_line "${diff_err}")
+message(STATUS "self-check ok: identical runs diff empty; perturbed run "
+  "detected (${first_line})")

@@ -1,0 +1,40 @@
+# traceprof-smoke: folds the obs-trace-gen fixture's trace with
+# uap2p_traceprof and checks the output contract end-to-end:
+#  * folded stdout is non-empty and every line is flamegraph.pl's folded
+#    format ("frame;frame... <integer weight>");
+#  * at least one origin tag beyond the root frame is present;
+#  * --self-check passes (positive weights, percentages sum to ~100).
+#
+# Usage: cmake -DTRACEPROF=<uap2p_traceprof> -DTRACE=<trace.jsonl>
+#        -P check_traceprof.cmake
+foreach(var TRACEPROF TRACE)
+  if(NOT ${var})
+    message(FATAL_ERROR "pass -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(COMMAND "${TRACEPROF}" --self-check "${TRACE}"
+  OUTPUT_VARIABLE folded ERROR_VARIABLE summary
+  RESULT_VARIABLE prof_rc)
+if(NOT prof_rc EQUAL 0)
+  message(FATAL_ERROR
+    "uap2p_traceprof --self-check exited with ${prof_rc}:\n${summary}")
+endif()
+if("${folded}" STREQUAL "")
+  message(FATAL_ERROR "folded output is empty")
+endif()
+
+# Folded stacks contain literal semicolons, which CMake lists would eat —
+# validate by deleting every well-formed line and requiring nothing left.
+string(REGEX REPLACE "[a-z_]+(;[a-z_]+)* [0-9]+\n" "" leftover "${folded}")
+if(NOT "${leftover}" STREQUAL "")
+  message(FATAL_ERROR "non-folded-format output: '${leftover}'")
+endif()
+if(NOT "${folded}" MATCHES "sim;[a-z_]+ ")
+  message(FATAL_ERROR
+    "no origin-tagged stack (sim;<origin> ...) in folded output:\n${folded}")
+endif()
+if(NOT "${summary}" MATCHES "self-check ok")
+  message(FATAL_ERROR "self-check did not report ok:\n${summary}")
+endif()
+message(STATUS "traceprof smoke ok:\n${summary}")

@@ -1,82 +1,56 @@
-// Validates a --trace JSONL file (see obs::JsonlTraceSink): every line
-// must be a one-object JSON record with a "kind" field, and the "t"
-// timestamps must be monotone non-decreasing — all records come from one
-// engine, stamped at its now(). Used by the obs-validate-trace CTest gate
-// (src/obs/validate_trace.cmake) so the trace path can't silently rot.
+// Validates a --trace JSONL file through the shared obs::TraceReader (the
+// same parser uap2p_tracediff and uap2p_traceprof use): every line must be
+// a complete trace record, and the "t" timestamps must be monotone
+// non-decreasing — all records come from one engine, stamped at its
+// now(). Used by the obs-validate-trace CTest gate so the trace path
+// can't silently rot.
 //
 // Usage: validate_trace <trace.jsonl>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+
+#include "obs/jsonl.hpp"
 
 int main(int argc, char** argv) {
   if (argc != 2) {
     std::fprintf(stderr, "usage: %s <trace.jsonl>\n", argv[0]);
     return 2;
   }
-  std::FILE* file = std::fopen(argv[1], "rb");
-  if (file == nullptr) {
-    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+  uap2p::obs::TraceReader reader(argv[1]);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error: %s\n", reader.error().c_str());
     return 1;
   }
 
-  char line[1024];
-  unsigned long long line_no = 0;
+  unsigned long long records = 0;
   double previous_t = -1.0;
-  int rc = 0;
-  while (std::fgets(line, sizeof line, file) != nullptr) {
-    ++line_no;
-    std::size_t len = std::strlen(line);
-    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
-      line[--len] = '\0';
+  uap2p::obs::TraceRecord rec;
+  for (;;) {
+    const uap2p::obs::TraceReader::Status status = reader.next(rec);
+    if (status == uap2p::obs::TraceReader::Status::kEof) break;
+    if (status != uap2p::obs::TraceReader::Status::kRecord) {
+      // The validator is strict: a truncated tail means the producing
+      // bench did not shut its sink down cleanly, which IS a bug here.
+      std::fprintf(stderr, "line %llu: %s\n",
+                   static_cast<unsigned long long>(reader.line_number()),
+                   reader.error().c_str());
+      return 1;
     }
-    if (len == 0) {
-      std::fprintf(stderr, "line %llu: empty\n", line_no);
-      rc = 1;
-      break;
-    }
-    if (line[0] != '{' || line[len - 1] != '}') {
-      std::fprintf(stderr, "line %llu: not a JSON object: %s\n", line_no,
-                   line);
-      rc = 1;
-      break;
-    }
-    if (std::strstr(line, "\"kind\"") == nullptr) {
-      std::fprintf(stderr, "line %llu: missing \"kind\" field\n", line_no);
-      rc = 1;
-      break;
-    }
-    const char* t_field = std::strstr(line, "\"t\":");
-    if (t_field == nullptr) {
-      std::fprintf(stderr, "line %llu: missing \"t\" field\n", line_no);
-      rc = 1;
-      break;
-    }
-    char* end = nullptr;
-    const double t = std::strtod(t_field + 4, &end);
-    if (end == t_field + 4) {
-      std::fprintf(stderr, "line %llu: unparsable \"t\" value\n", line_no);
-      rc = 1;
-      break;
-    }
-    if (t < previous_t) {
+    if (rec.t < previous_t) {
       std::fprintf(stderr,
                    "line %llu: timestamp %.6f goes backwards (previous "
                    "%.6f)\n",
-                   line_no, t, previous_t);
-      rc = 1;
-      break;
+                   static_cast<unsigned long long>(reader.line_number()),
+                   rec.t, previous_t);
+      return 1;
     }
-    previous_t = t;
+    previous_t = rec.t;
+    ++records;
   }
-  std::fclose(file);
 
-  if (rc == 0 && line_no == 0) {
+  if (records == 0) {
     std::fprintf(stderr, "error: trace is empty\n");
-    rc = 1;
+    return 1;
   }
-  if (rc == 0) {
-    std::printf("ok: %llu trace records, timestamps monotone\n", line_no);
-  }
-  return rc;
+  std::printf("ok: %llu trace records, timestamps monotone\n", records);
+  return 0;
 }

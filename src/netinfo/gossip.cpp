@@ -31,6 +31,7 @@ void CoordinateGossip::stop() {
 
 void CoordinateGossip::schedule(std::size_t index, sim::SimTime delay) {
   if (!running_) return;
+  sim::OriginScope origin(network_.engine(), obs::origin::kGossip);
   timers_[index] = network_.engine().schedule(delay, [this, index] {
     tick(index);
     schedule(index, config_.sample_period_ms);

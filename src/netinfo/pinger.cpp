@@ -19,6 +19,7 @@ void Pinger::charge(PeerId a, PeerId b, std::uint64_t packets) {
 }
 
 double Pinger::measure_rtt(PeerId a, PeerId b) {
+  sim::OriginScope origin(network_.engine(), obs::origin::kPinger);
   if (!network_.is_online(a) || !network_.is_online(b)) return -1.0;
   if (!network_.path_between(a, b).reachable) return -1.0;
   const double truth = network_.rtt_ms(a, b);

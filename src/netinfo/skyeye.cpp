@@ -70,6 +70,7 @@ std::optional<std::size_t> SkyEye::parent_index(std::size_t index) const {
 
 void SkyEye::start() {
   running_ = true;
+  sim::OriginScope origin(network_.engine(), obs::origin::kCoords);
   for (std::size_t i = 0; i < peers_.size(); ++i) {
     // Stagger first reports uniformly over one period.
     const sim::SimTime offset =
@@ -88,6 +89,7 @@ void SkyEye::stop() {
 
 void SkyEye::schedule_report(std::size_t index) {
   if (!running_) return;
+  sim::OriginScope origin(network_.engine(), obs::origin::kCoords);
   timers_[index] =
       network_.engine().schedule(config_.update_period_ms, [this, index] {
         send_report(index);

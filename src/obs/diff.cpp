@@ -1,0 +1,289 @@
+#include "obs/diff.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <deque>
+#include <tuple>
+#include <vector>
+
+#include "obs/jsonl.hpp"
+
+namespace uap2p::obs {
+
+namespace {
+
+bool is_event_kind(TraceKind kind) {
+  return kind == TraceKind::kEventScheduled ||
+         kind == TraceKind::kEventFired || kind == TraceKind::kEventCancelled;
+}
+
+/// Normalized comparison key. The timestamp is handled by the group
+/// machinery; event tags are masked per DiffOptions (see diff.hpp).
+struct RecordKey {
+  std::uint8_t kind;
+  std::int32_t a;
+  std::int32_t b;
+  std::uint64_t tag;
+  double value;
+
+  static RecordKey of(const TraceRecord& rec, bool mask_event_tags) {
+    const bool mask = mask_event_tags && is_event_kind(rec.kind);
+    return RecordKey{static_cast<std::uint8_t>(rec.kind), rec.a, rec.b,
+                     mask ? 0 : rec.tag, rec.value};
+  }
+  [[nodiscard]] auto tie() const { return std::tie(kind, a, b, tag, value); }
+  bool operator<(const RecordKey& other) const { return tie() < other.tie(); }
+  bool operator==(const RecordKey& other) const {
+    return tie() == other.tie();
+  }
+};
+
+struct Rec {
+  TraceRecord rec;
+  std::string raw;  ///< original line, for context printing
+};
+
+/// Streams a trace file as groups of records sharing one timestamp,
+/// keeping a rolling window of raw lines for context reporting.
+class GroupStream {
+ public:
+  GroupStream(const std::string& path, std::size_t context)
+      : reader_(path), context_(context) {}
+
+  [[nodiscard]] bool ok() const { return reader_.ok(); }
+  [[nodiscard]] const std::string& error() const { return reader_.error(); }
+  [[nodiscard]] bool truncated() const {
+    return state_ == TraceReader::Status::kTruncated;
+  }
+  [[nodiscard]] bool failed() const {
+    return state_ == TraceReader::Status::kError;
+  }
+  [[nodiscard]] std::uint64_t error_line() const {
+    return reader_.line_number();
+  }
+
+  /// Current group (valid after next_group() returned true).
+  [[nodiscard]] const std::vector<Rec>& group() const { return group_; }
+  [[nodiscard]] double group_t() const { return group_t_; }
+  /// 0-based record index of the group's first record.
+  [[nodiscard]] std::uint64_t base_index() const { return base_index_; }
+
+  /// Advances to the next timestamp group. False at end of stream (EOF,
+  /// truncated tail, or parse error — check failed()/truncated()).
+  bool next_group() {
+    // Retire the previous group into the context window.
+    for (Rec& rec : group_) push_history(std::move(rec.raw));
+    base_index_ += group_.size();
+    group_.clear();
+    if (state_ != TraceReader::Status::kRecord) return false;
+    if (!pending_valid_) {
+      if (!pull()) return false;
+    }
+    group_t_ = pending_.rec.t;
+    do {
+      group_.push_back(std::move(pending_));
+      pending_valid_ = false;
+    } while (pull() && pending_.rec.t == group_t_);
+    return true;
+  }
+
+  /// Last `context` raw lines preceding the current group, oldest first.
+  [[nodiscard]] const std::deque<std::string>& history() const {
+    return history_;
+  }
+
+  /// Reads up to `n` further raw lines (the records after the current
+  /// group — starts with the already-buffered look-ahead record).
+  std::vector<std::string> read_ahead(std::size_t n) {
+    std::vector<std::string> lines;
+    if (pending_valid_ && lines.size() < n) {
+      lines.push_back(pending_.raw);
+      pending_valid_ = false;
+    }
+    while (lines.size() < n && pull()) {
+      lines.push_back(pending_.raw);
+      pending_valid_ = false;
+    }
+    return lines;
+  }
+
+ private:
+  bool pull() {
+    if (state_ != TraceReader::Status::kRecord) return false;
+    TraceRecord rec;
+    state_ = reader_.next(rec);
+    if (state_ != TraceReader::Status::kRecord) return false;
+    pending_ = Rec{rec, reader_.line()};
+    pending_valid_ = true;
+    state_ = TraceReader::Status::kRecord;
+    return true;
+  }
+
+  void push_history(std::string line) {
+    if (context_ == 0) return;
+    history_.push_back(std::move(line));
+    while (history_.size() > context_) history_.pop_front();
+  }
+
+  TraceReader reader_;
+  std::size_t context_;
+  std::deque<std::string> history_;
+  std::vector<Rec> group_;
+  double group_t_ = 0.0;
+  std::uint64_t base_index_ = 0;
+  Rec pending_;
+  bool pending_valid_ = false;
+  TraceReader::Status state_ = TraceReader::Status::kRecord;
+};
+
+void append_context(std::string& out, const char* label, GroupStream& stream,
+                    const std::vector<Rec>& group, std::size_t mark,
+                    std::size_t context) {
+  out += "  context ";
+  out += label;
+  out += ":\n";
+  for (const std::string& line : stream.history()) {
+    out += "      " + line + "\n";
+  }
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    out += (i == mark ? "  >>> " : "      ") + group[i].raw + "\n";
+  }
+  for (const std::string& line : stream.read_ahead(context)) {
+    out += "      " + line + "\n";
+  }
+}
+
+/// Describes one record for the headline message.
+std::string describe(const TraceRecord& rec) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "kind=%s node=%" PRId32 " peer=%" PRId32 " tag=%" PRIu64
+                " value=%g",
+                trace_kind_name(rec.kind), rec.a, rec.b, rec.tag, rec.value);
+  return buf;
+}
+
+}  // namespace
+
+DiffResult diff_traces(const std::string& path_a, const std::string& path_b,
+                       const DiffOptions& options) {
+  DiffResult result;
+  GroupStream a(path_a, options.context);
+  GroupStream b(path_b, options.context);
+  if (!a.ok() || !b.ok()) {
+    result.outcome = DiffResult::Outcome::kError;
+    result.message = !a.ok() ? a.error() : b.error();
+    return result;
+  }
+
+  auto finish_divergence = [&](GroupStream& in, const Rec& rec,
+                               std::size_t mark, std::uint64_t index,
+                               const char* which, const char* detail) {
+    result.outcome = DiffResult::Outcome::kDiverged;
+    result.t = rec.rec.t;
+    result.kind = trace_kind_name(rec.rec.kind);
+    result.node = rec.rec.a;
+    result.record_index = index;
+    char head[256];
+    std::snprintf(head, sizeof head,
+                  "first divergence at t=%.6f: %s record #%" PRIu64 " (%s) %s",
+                  rec.rec.t, which, index, detail, describe(rec.rec).c_str());
+    result.message = head;
+    result.message += "\n";
+    append_context(result.message, which, in, in.group(), mark,
+                   options.context);
+  };
+
+  auto stream_error = [&](GroupStream& stream, const char* which,
+                          const std::string& path) {
+    result.outcome = DiffResult::Outcome::kError;
+    result.message = "trace " + std::string(which) + " (" + path + ") line " +
+                     std::to_string(stream.error_line()) + ": " +
+                     stream.error();
+  };
+
+  for (;;) {
+    const bool has_a = a.next_group();
+    const bool has_b = b.next_group();
+    if (a.failed()) return stream_error(a, "A", path_a), result;
+    if (b.failed()) return stream_error(b, "B", path_b), result;
+    result.a_truncated = a.truncated();
+    result.b_truncated = b.truncated();
+
+    if (!has_a && !has_b) break;  // both ended together: identical
+    if (has_a != has_b) {
+      // One file ended early. If it ended on a truncated record (writer
+      // died mid-line), the comparison is only meaningful up to that
+      // point — report identical-up-to-truncation via the flags instead
+      // of a divergence. A cleanly-ended shorter file IS a divergence.
+      const GroupStream& ended = has_a ? b : a;
+      if (ended.truncated()) break;
+      GroupStream& longer = has_a ? a : b;
+      const char* which = has_a ? "A" : "B";
+      finish_divergence(longer, longer.group().front(), 0,
+                        longer.base_index(), which,
+                        "present after the other trace ended");
+      return result;
+    }
+    if (a.group_t() != b.group_t()) {
+      const bool a_first = a.group_t() < b.group_t();
+      GroupStream& early = a_first ? a : b;
+      finish_divergence(early, early.group().front(), 0, early.base_index(),
+                        a_first ? "A" : "B",
+                        "timestamp group missing from the other trace");
+      return result;
+    }
+
+    // Same timestamp: compare as multisets (same-t reordering is legal).
+    const std::vector<Rec>& ga = a.group();
+    const std::vector<Rec>& gb = b.group();
+    std::vector<std::size_t> ia(ga.size()), ib(gb.size());
+    for (std::size_t i = 0; i < ia.size(); ++i) ia[i] = i;
+    for (std::size_t i = 0; i < ib.size(); ++i) ib[i] = i;
+    auto by_key = [&](const std::vector<Rec>& group) {
+      return [&group, &options](std::size_t lhs, std::size_t rhs) {
+        return RecordKey::of(group[lhs].rec, options.mask_event_tags) <
+               RecordKey::of(group[rhs].rec, options.mask_event_tags);
+      };
+    };
+    std::sort(ia.begin(), ia.end(), by_key(ga));
+    std::sort(ib.begin(), ib.end(), by_key(gb));
+    const std::size_t common = std::min(ia.size(), ib.size());
+    for (std::size_t k = 0; k < common; ++k) {
+      const Rec& ra = ga[ia[k]];
+      const Rec& rb = gb[ib[k]];
+      if (RecordKey::of(ra.rec, options.mask_event_tags) ==
+          RecordKey::of(rb.rec, options.mask_event_tags)) {
+        continue;
+      }
+      // Report from the file whose record sorts first (it is the one the
+      // other file lacks at this timestamp).
+      const bool from_a = RecordKey::of(ra.rec, options.mask_event_tags) <
+                          RecordKey::of(rb.rec, options.mask_event_tags);
+      // A record missing from a truncated stream's final group is the
+      // truncation, not a divergence.
+      if ((from_a ? b : a).truncated()) break;
+      GroupStream& stream = from_a ? a : b;
+      const Rec& rec = from_a ? ra : rb;
+      const std::size_t mark = from_a ? ia[k] : ib[k];
+      finish_divergence(stream, rec, mark, stream.base_index() + mark,
+                        from_a ? "A" : "B",
+                        "missing from the other trace at this timestamp");
+      return result;
+    }
+    if (ia.size() != ib.size()) {
+      const bool from_a = ia.size() > ib.size();
+      // Mid-group truncation of the shorter file: same tolerance rule.
+      if ((from_a ? b : a).truncated()) break;
+      GroupStream& stream = from_a ? a : b;
+      const std::size_t mark = from_a ? ia[common] : ib[common];
+      finish_divergence(stream, stream.group()[mark], mark,
+                        stream.base_index() + mark, from_a ? "A" : "B",
+                        "extra record at this timestamp");
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace uap2p::obs

@@ -1,0 +1,69 @@
+// Structural trace diffing (DESIGN.md "Regression diffing").
+//
+// Compares two --trace JSONL files from the same seed and reports the
+// FIRST record where the simulations diverge — sim-time, kind, peers —
+// instead of "the final table changed". Two tolerance rules make the
+// comparison behavioral rather than byte-level:
+//  * records carrying the same timestamp are compared as a multiset:
+//    the determinism contract only fixes the (time, causality) order, so
+//    a commit that reorders same-t work without changing it is NOT a
+//    divergence;
+//  * the engine-internal event tag (sequence<<24|slot) is masked on
+//    kEventScheduled/kEventFired/kEventCancelled records, because slot
+//    and sequence assignment legally drift under same-t reordering; all
+//    semantic fields (origin, fire time, message/overlay tags) still
+//    compare exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace uap2p::obs {
+
+struct DiffOptions {
+  /// Records of leading/trailing context around the divergence included
+  /// in the report, per file.
+  std::size_t context = 3;
+  /// Mask the engine event tag (see header comment). Message and overlay
+  /// records always compare their tag (message type / op code).
+  bool mask_event_tags = true;
+};
+
+struct DiffResult {
+  enum class Outcome {
+    kIdentical,  ///< no divergence (same-t reordering tolerated)
+    kDiverged,   ///< first divergent record found; see the fields below
+    kError,      ///< I/O or parse failure; see message
+  };
+  Outcome outcome = Outcome::kIdentical;
+
+  /// Human-readable report: one line naming the first divergent record
+  /// (sim-time, kind, node) followed by the ±context window from both
+  /// files. Empty when identical.
+  std::string message;
+
+  // First-divergence coordinates (valid when kDiverged).
+  double t = 0.0;          ///< sim-time of the divergent timestamp group
+  std::string kind;        ///< kind name of the first divergent record
+  std::int32_t node = -1;  ///< its `a` field (peer / origin), -1 if n/a
+  std::uint64_t record_index = 0;  ///< 0-based index into file A's stream
+
+  /// Set when a file ended with a truncated final record (writer died
+  /// mid-line); comparison treats the truncated tail as end-of-stream.
+  bool a_truncated = false;
+  bool b_truncated = false;
+
+  [[nodiscard]] bool identical() const {
+    return outcome == Outcome::kIdentical;
+  }
+};
+
+/// Streams both files and returns the comparison verdict. Memory use is
+/// O(largest same-timestamp group + context), not O(file).
+DiffResult diff_traces(const std::string& path_a, const std::string& path_b,
+                       const DiffOptions& options = {});
+
+}  // namespace uap2p::obs

@@ -1,0 +1,143 @@
+#include "obs/jsonl.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace uap2p::obs {
+
+namespace {
+
+/// Finds `"key":` in `line` and returns a pointer just past the colon
+/// (and any spaces), or nullptr. The trace schema is flat and its keys
+/// ("t", "kind", ...) never appear inside string values other than the
+/// kind name, so plain substring search is exact here.
+const char* find_field(std::string_view line, const char* key) {
+  char pattern[16];
+  const int n =
+      std::snprintf(pattern, sizeof pattern, "\"%s\":", key);
+  if (n <= 0 || static_cast<std::size_t>(n) >= sizeof pattern) return nullptr;
+  const std::size_t pos = line.find(pattern);
+  if (pos == std::string_view::npos) return nullptr;
+  const char* p = line.data() + pos + static_cast<std::size_t>(n);
+  const char* end = line.data() + line.size();
+  while (p < end && *p == ' ') ++p;
+  return p < end ? p : nullptr;
+}
+
+bool parse_double(std::string_view line, const char* key, double& out) {
+  const char* p = find_field(line, key);
+  if (p == nullptr) return false;
+  char* end = nullptr;
+  out = std::strtod(p, &end);
+  return end != p;
+}
+
+bool parse_i32(std::string_view line, const char* key, std::int32_t& out) {
+  const char* p = find_field(line, key);
+  if (p == nullptr) return false;
+  char* end = nullptr;
+  out = static_cast<std::int32_t>(std::strtol(p, &end, 10));
+  return end != p;
+}
+
+bool parse_u64(std::string_view line, const char* key, std::uint64_t& out) {
+  const char* p = find_field(line, key);
+  if (p == nullptr) return false;
+  char* end = nullptr;
+  out = std::strtoull(p, &end, 10);
+  return end != p;
+}
+
+}  // namespace
+
+bool parse_trace_line(std::string_view line, TraceRecord& out,
+                      std::string& error) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  if (line.empty()) {
+    error = "empty line";
+    return false;
+  }
+  if (line.front() != '{' || line.back() != '}') {
+    error = "not a JSON object";
+    return false;
+  }
+  if (!parse_double(line, "t", out.t)) {
+    error = "missing or unparsable \"t\" field";
+    return false;
+  }
+  const char* kind = find_field(line, "kind");
+  if (kind == nullptr || *kind != '"') {
+    error = "missing \"kind\" field";
+    return false;
+  }
+  ++kind;  // past the opening quote
+  const char* close = static_cast<const char*>(
+      std::memchr(kind, '"', static_cast<std::size_t>(
+                                 line.data() + line.size() - kind)));
+  if (close == nullptr) {
+    error = "unterminated \"kind\" string";
+    return false;
+  }
+  if (!trace_kind_from_name(
+          std::string_view(kind, static_cast<std::size_t>(close - kind)),
+          out.kind)) {
+    error = "unknown trace kind \"" +
+            std::string(kind, static_cast<std::size_t>(close - kind)) + "\"";
+    return false;
+  }
+  // a/b/tag/value default when absent — future producers may drop fields
+  // that are always -1/0 for a kind.
+  out.a = -1;
+  out.b = -1;
+  out.tag = 0;
+  out.value = 0.0;
+  parse_i32(line, "a", out.a);
+  parse_i32(line, "b", out.b);
+  parse_u64(line, "tag", out.tag);
+  parse_double(line, "value", out.value);
+  return true;
+}
+
+bool TraceReader::read_line() {
+  line_.clear();
+  had_newline_ = false;
+  char buf[1024];
+  while (std::fgets(buf, sizeof buf, file_) != nullptr) {
+    line_.append(buf);
+    if (!line_.empty() && line_.back() == '\n') {
+      had_newline_ = true;
+      line_.pop_back();
+      if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+      return true;
+    }
+  }
+  return !line_.empty();  // final unterminated line, or EOF
+}
+
+TraceReader::Status TraceReader::next(TraceRecord& out) {
+  if (file_ == nullptr) {
+    done_ = Status::kError;
+    return done_;
+  }
+  if (done_ != Status::kRecord) return done_;
+  if (!read_line()) {
+    done_ = Status::kEof;
+    return done_;
+  }
+  ++line_number_;
+  std::string parse_error;
+  if (parse_trace_line(line_, out, parse_error)) return Status::kRecord;
+  if (!had_newline_) {
+    // Unparsable AND missing its newline: the writer died mid-record.
+    error_ = "truncated final record";
+    done_ = Status::kTruncated;
+  } else {
+    error_ = parse_error;
+    done_ = Status::kError;
+  }
+  return done_;
+}
+
+}  // namespace uap2p::obs

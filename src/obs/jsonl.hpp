@@ -1,0 +1,80 @@
+// Streaming reader for --trace JSONL files (the format JsonlTraceSink
+// writes; see DESIGN.md "Observability"). Shared by uap2p_tracediff,
+// uap2p_traceprof, and the obs-validate-trace gate so there is exactly
+// one parser for the trace wire format.
+//
+// The reader never loads the whole file: it pulls fixed-size chunks
+// through stdio and hands out one TraceRecord per line. Two real-world
+// imperfections are first-class statuses rather than hard errors:
+//  * a truncated final line (the producing process died mid-write) ends
+//    the stream with kTruncated after all complete records were returned;
+//  * a RingTraceSink dump starts mid-run (the "truncated head"), so the
+//    first record need not be at t=0 and fired records may lack their
+//    scheduled partner — the reader makes no cross-record assumptions.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.hpp"
+
+namespace uap2p::obs {
+
+/// Parses one JSONL trace line (without trailing newline) into `out`.
+/// Field order is not assumed; unknown fields are ignored. Returns false
+/// and fills `error` when the line is not a complete trace record.
+bool parse_trace_line(std::string_view line, TraceRecord& out,
+                      std::string& error);
+
+/// Pull-based trace record stream over a JSONL file.
+class TraceReader {
+ public:
+  enum class Status {
+    kRecord,     ///< `out` holds the next record
+    kEof,        ///< clean end of file
+    kTruncated,  ///< partial final line (no newline, unparsable) — EOF-like
+    kError,      ///< malformed line or I/O failure; see error()
+  };
+
+  explicit TraceReader(const std::string& path)
+      : file_(std::fopen(path.c_str(), "rb")), owns_file_(true) {
+    if (file_ == nullptr) error_ = "cannot open " + path;
+  }
+  /// Adopts `file` for reading (does not close it) — e.g. a tmpfile().
+  explicit TraceReader(std::FILE* file) : file_(file) {}
+  ~TraceReader() {
+    if (file_ != nullptr && owns_file_) std::fclose(file_);
+  }
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+
+  /// Advances to the next record. After kEof/kTruncated/kError every
+  /// further call returns the same status.
+  Status next(TraceRecord& out);
+
+  /// 1-based line number of the record last returned (or the offending
+  /// line for kError/kTruncated).
+  [[nodiscard]] std::uint64_t line_number() const { return line_number_; }
+  /// Raw text of that line (no newline). Valid until the next next().
+  [[nodiscard]] const std::string& line() const { return line_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  /// Reads one line (any length) into line_. Returns false at EOF with an
+  /// empty line; sets had_newline_ when the line was newline-terminated.
+  bool read_line();
+
+  std::FILE* file_ = nullptr;
+  bool owns_file_ = false;
+  std::string line_;
+  std::string error_;
+  std::uint64_t line_number_ = 0;
+  bool had_newline_ = false;
+  Status done_ = Status::kRecord;  ///< sticky terminal status once != kRecord
+};
+
+}  // namespace uap2p::obs

@@ -1,0 +1,143 @@
+#include "obs/prof.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <unordered_map>
+
+#include "obs/jsonl.hpp"
+
+namespace uap2p::obs {
+
+namespace {
+
+std::uint8_t origin_of(const TraceRecord& rec) {
+  // Pre-origin traces carry a=-1 on event records; out-of-range values
+  // (a newer producer) degrade to untagged rather than failing the fold.
+  return rec.a >= 0 && rec.a < static_cast<std::int32_t>(origin::kCount)
+             ? static_cast<std::uint8_t>(rec.a)
+             : origin::kUntagged;
+}
+
+std::uint64_t span_us(double scheduled_t, double fired_t) {
+  const double us = (fired_t - scheduled_t) * 1000.0;  // t is in ms
+  return us > 0.0 ? static_cast<std::uint64_t>(std::llround(us)) : 0;
+}
+
+/// Per-(origin, outcome) accumulation cell.
+struct Cell {
+  std::uint64_t us = 0;
+  std::uint64_t count = 0;
+};
+
+}  // namespace
+
+bool profile_trace(const std::string& path, TraceProfile& out,
+                   std::string& error) {
+  out = TraceProfile{};
+  TraceReader reader(path);
+  if (!reader.ok()) {
+    error = reader.error();
+    return false;
+  }
+
+  // In-flight scheduled events: tag -> schedule time. Tags are unique
+  // within one engine's trace, and entries are erased when the event
+  // fires or is cancelled, so this stays at the queue's high-water size.
+  std::unordered_map<std::uint64_t, double> in_flight;
+  Cell fired_cells[origin::kCount];
+  Cell cancelled_cells[origin::kCount];
+
+  TraceRecord rec;
+  for (;;) {
+    const TraceReader::Status status = reader.next(rec);
+    if (status == TraceReader::Status::kEof) break;
+    if (status == TraceReader::Status::kTruncated) {
+      out.truncated = true;
+      break;
+    }
+    if (status == TraceReader::Status::kError) {
+      error = "line " + std::to_string(reader.line_number()) + ": " +
+              reader.error();
+      return false;
+    }
+    switch (rec.kind) {
+      case TraceKind::kEventScheduled:
+        in_flight[rec.tag] = rec.t;
+        break;
+      case TraceKind::kEventFired:
+      case TraceKind::kEventCancelled: {
+        Cell* cells = rec.kind == TraceKind::kEventFired ? fired_cells
+                                                         : cancelled_cells;
+        Cell& cell = cells[origin_of(rec)];
+        ++cell.count;
+        if (rec.kind == TraceKind::kEventFired) {
+          ++out.fired;
+        } else {
+          ++out.cancelled;
+        }
+        const auto it = in_flight.find(rec.tag);
+        if (it == in_flight.end()) {
+          // Scheduled partner missing: a ring-sink dump whose head was
+          // overwritten. Count the event; its span is unknowable.
+          ++out.orphans;
+        } else {
+          cell.us += span_us(it->second, rec.t);
+          in_flight.erase(it);
+        }
+        break;
+      }
+      default:
+        break;  // msg/overlay/churn records don't enter the event fold
+    }
+  }
+
+  std::uint64_t total_us = 0;
+  for (const Cell& cell : fired_cells) total_us += cell.us;
+  for (const Cell& cell : cancelled_cells) total_us += cell.us;
+  out.time_weighted = total_us > 0;
+
+  auto emit = [&](const Cell cells[], const char* suffix) {
+    for (std::uint8_t o = 0; o < origin::kCount; ++o) {
+      const Cell& cell = cells[o];
+      const std::uint64_t weight = out.time_weighted ? cell.us : cell.count;
+      if (weight == 0) continue;
+      std::string stack = std::string("sim;") + origin_name(o) + suffix;
+      out.entries.push_back(ProfileEntry{std::move(stack), weight});
+      out.total_weight += weight;
+    }
+  };
+  emit(fired_cells, "");
+  emit(cancelled_cells, ";cancelled");
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const ProfileEntry& lhs, const ProfileEntry& rhs) {
+              return lhs.stack < rhs.stack;
+            });
+  return true;
+}
+
+void write_folded(const TraceProfile& profile, std::FILE* file) {
+  for (const ProfileEntry& entry : profile.entries) {
+    std::fprintf(file, "%s %" PRIu64 "\n", entry.stack.c_str(), entry.weight);
+  }
+}
+
+void write_summary(const TraceProfile& profile, std::FILE* file) {
+  std::fprintf(file, "# %s-weighted engine event profile\n",
+               profile.time_weighted ? "time" : "count");
+  for (std::size_t i = 0; i < profile.entries.size(); ++i) {
+    std::fprintf(file, "%-32s %8.2f%%  (%" PRIu64 " %s)\n",
+                 profile.entries[i].stack.c_str(), profile.percent(i),
+                 profile.entries[i].weight,
+                 profile.time_weighted ? "us" : "events");
+  }
+  std::fprintf(file,
+               "total %" PRIu64 " %s across %" PRIu64 " fired / %" PRIu64
+               " cancelled events (%" PRIu64 " orphans)%s\n",
+               profile.total_weight,
+               profile.time_weighted ? "us" : "events", profile.fired,
+               profile.cancelled, profile.orphans,
+               profile.truncated ? " [input truncated]" : "");
+}
+
+}  // namespace uap2p::obs

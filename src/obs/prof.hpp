@@ -1,0 +1,67 @@
+// Engine event profiles from --trace files (DESIGN.md "Regression
+// diffing"): folds event_scheduled/event_fired spans by scheduling origin
+// (churn, maintenance, flooding, ...) into a time-weighted collapsed-stack
+// profile of what the simulated network spends its events on. Output is
+// Brendan Gregg's folded format — `frame;frame;frame weight` — so
+// flamegraph.pl renders it directly:
+//
+//   uap2p_traceprof trace.jsonl > folded.txt && flamegraph.pl folded.txt
+//
+// A span's weight is the simulated time between scheduling and firing
+// (integer microseconds): the event backlog each activity keeps in
+// flight, which is the discrete-event analogue of "time spent". When a
+// trace has only zero-delay spans the profile falls back to event counts
+// (time_weighted=false) so the output is never empty for a live system.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace uap2p::obs {
+
+struct ProfileEntry {
+  std::string stack;     ///< semicolon-joined frames, e.g. "sim;flooding"
+  std::uint64_t weight;  ///< folded weight (µs of sim time, or a count)
+};
+
+struct TraceProfile {
+  /// Folded stacks in deterministic (lexicographic) order.
+  std::vector<ProfileEntry> entries;
+  std::uint64_t total_weight = 0;
+  /// True when weights are simulated microseconds; false when the trace
+  /// had no nonzero spans and the fold fell back to event counts.
+  bool time_weighted = true;
+
+  // Accounting (not part of the folded output).
+  std::uint64_t fired = 0;      ///< event_fired records seen
+  std::uint64_t cancelled = 0;  ///< event_cancelled records seen
+  std::uint64_t orphans = 0;    ///< fired/cancelled without a scheduled
+                                ///< partner (ring-sink truncated head)
+  bool truncated = false;       ///< input ended with a partial record
+
+  /// Percentage of total weight for entry `i` (0 when total is 0).
+  [[nodiscard]] double percent(std::size_t i) const {
+    return total_weight == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(entries[i].weight) /
+                     static_cast<double>(total_weight);
+  }
+};
+
+/// Folds `path` into `out`. Returns false on I/O or parse failure (error
+/// filled). A trace with zero event records yields an empty profile and
+/// returns true — callers decide whether that is acceptable.
+bool profile_trace(const std::string& path, TraceProfile& out,
+                   std::string& error);
+
+/// Writes the folded-format lines ("stack weight\n") to `file`.
+void write_folded(const TraceProfile& profile, std::FILE* file);
+
+/// Writes a per-stack percentage summary; the lines sum to ~100%.
+void write_summary(const TraceProfile& profile, std::FILE* file);
+
+}  // namespace uap2p::obs

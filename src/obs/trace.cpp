@@ -20,6 +20,34 @@ const char* trace_kind_name(TraceKind kind) {
   return "unknown";
 }
 
+bool trace_kind_from_name(std::string_view name, TraceKind& out) {
+  for (std::uint8_t k = 0; k <= static_cast<std::uint8_t>(TraceKind::kChurnLeave);
+       ++k) {
+    const TraceKind kind = static_cast<TraceKind>(k);
+    if (name == trace_kind_name(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* origin_name(std::uint8_t origin) {
+  switch (origin) {
+    case origin::kUntagged: return "untagged";
+    case origin::kChurn: return "churn";
+    case origin::kMaintenance: return "maintenance";
+    case origin::kFlooding: return "flooding";
+    case origin::kPinger: return "pinger";
+    case origin::kTransfer: return "transfer";
+    case origin::kMobility: return "mobility";
+    case origin::kGossip: return "gossip";
+    case origin::kCoords: return "coords";
+    case origin::kLookup: return "lookup";
+    default: return "untagged";
+  }
+}
+
 JsonlTraceSink::JsonlTraceSink(const std::string& path)
     : file_(std::fopen(path.c_str(), "wb")), owns_file_(true) {}
 

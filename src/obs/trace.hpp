@@ -12,14 +12,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace uap2p::obs {
 
 enum class TraceKind : std::uint8_t {
-  kEventScheduled = 0,  ///< a=-1, b=-1, tag=event tag, value=fire time
-  kEventFired = 1,      ///< tag=event tag
-  kEventCancelled = 2,  ///< tag=event tag
+  kEventScheduled = 0,  ///< a=origin tag, tag=event tag, value=fire time
+  kEventFired = 1,      ///< a=origin tag, tag=event tag
+  kEventCancelled = 2,  ///< a=origin tag, tag=event tag
   kMsgSent = 3,         ///< a=src peer, b=dst peer, tag=type, value=bytes
   kMsgHop = 4,          ///< a=src, b=dst, tag=type, value=router hops
   kMsgDelivered = 5,    ///< a=src, b=dst, tag=type, value=bytes
@@ -31,6 +32,34 @@ enum class TraceKind : std::uint8_t {
 
 /// Returns a stable short name ("event_scheduled", "msg_sent", ...).
 const char* trace_kind_name(TraceKind kind);
+
+/// Inverse of trace_kind_name; returns false for unknown names.
+bool trace_kind_from_name(std::string_view name, TraceKind& out);
+
+/// Scheduling origins. Every engine event record (kEventScheduled /
+/// kEventFired / kEventCancelled) carries the origin of the activity that
+/// scheduled it in TraceRecord::a, and events scheduled from inside a
+/// firing callback inherit the firing event's origin — so a whole
+/// flood-forwarding chain stays attributed to kFlooding even though each
+/// hop is a fresh delivery event. uap2p_traceprof folds fired spans by
+/// these tags.
+namespace origin {
+inline constexpr std::uint8_t kUntagged = 0;     ///< no scope set
+inline constexpr std::uint8_t kChurn = 1;        ///< session join/leave churn
+inline constexpr std::uint8_t kMaintenance = 2;  ///< overlay ping/repair/LTM
+inline constexpr std::uint8_t kFlooding = 3;     ///< query flood forwarding
+inline constexpr std::uint8_t kPinger = 4;       ///< active RTT probing
+inline constexpr std::uint8_t kTransfer = 5;     ///< content download traffic
+inline constexpr std::uint8_t kMobility = 6;     ///< waypoint mobility moves
+inline constexpr std::uint8_t kGossip = 7;       ///< gossip rounds
+inline constexpr std::uint8_t kCoords = 8;       ///< coordinate maintenance
+inline constexpr std::uint8_t kLookup = 9;       ///< DHT lookups / RPCs
+inline constexpr std::uint8_t kCount = 10;
+}  // namespace origin
+
+/// Stable short name for an origin tag ("churn", "flooding", ...);
+/// out-of-range values map to "untagged".
+const char* origin_name(std::uint8_t origin);
 
 /// Overlay protocol operation codes carried in TraceRecord::tag for
 /// TraceKind::kOverlay records.
@@ -115,6 +144,16 @@ class RingTraceSink final : public TraceSink {
         total_ < records_.size() ? 0 : head_;  // oldest retained
     const std::size_t idx = start + i;
     return records_[idx < records_.size() ? idx : idx - records_.size()];
+  }
+
+  /// Replays the retained records, oldest first, into another sink —
+  /// e.g. a JsonlTraceSink to dump the flight recorder after a failure.
+  /// When the ring has wrapped, the resulting file starts mid-run (the
+  /// "truncated head"): fired records whose scheduled record was
+  /// overwritten are expected, and the trace tools tolerate them.
+  void dump(TraceSink& to) const {
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) to.record(at(i));
   }
 
  private:

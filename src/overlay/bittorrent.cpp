@@ -266,6 +266,7 @@ void BitTorrentSwarm::rechoke(std::size_t index, unsigned round) {
 }
 
 void BitTorrentSwarm::run_round(unsigned round) {
+  sim::OriginScope origin(network_.engine(), obs::origin::kTransfer);
   if (round % config_.rechoke_every == 0) {
     for (std::size_t i = 0; i < nodes_.size(); ++i) rechoke(i, round);
   }

@@ -384,6 +384,7 @@ void GnutellaSystem::handle_query_hit(PeerId self, const QueryHitPayload& hit) {
 }
 
 void GnutellaSystem::ping_cycle() {
+  sim::OriginScope trace_origin(network_.engine(), obs::origin::kMaintenance);
   if (trace_ != nullptr) {
     trace_->record({network_.engine().now(), obs::TraceKind::kOverlay, -1, -1,
                     obs::op::kPingCycle, 0.0});
@@ -410,6 +411,7 @@ void GnutellaSystem::ping_cycle() {
 
 SearchOutcome GnutellaSystem::search(PeerId origin, ContentId content,
                                      bool download) {
+  sim::OriginScope trace_origin(network_.engine(), obs::origin::kFlooding);
   Node& me = node(origin);
   SearchOutcome outcome;
   if (trace_ != nullptr) {
@@ -477,6 +479,8 @@ SearchOutcome GnutellaSystem::search(PeerId origin, ContentId content,
     outcome.provider = provider;
     outcome.download_intra_as =
         network_.host(origin).as == network_.host(provider).as;
+    sim::OriginScope download_origin(network_.engine(),
+                                     obs::origin::kTransfer);
     const sim::SimTime before = network_.engine().now();
     underlay::Message request;
     request.src = origin;
@@ -535,6 +539,7 @@ std::size_t GnutellaSystem::repair_overlay() {
 
 std::size_t GnutellaSystem::ltm_round(netinfo::Pinger& pinger,
                                       double cut_factor) {
+  sim::OriginScope trace_origin(network_.engine(), obs::origin::kMaintenance);
   std::size_t rewired = 0;
   for (Node& me : nodes_) {
     if (me.role != NodeRole::kUltrapeer) continue;

@@ -260,6 +260,7 @@ void KademliaSystem::finish_if_converged(ActiveLookup& lookup) {
 LookupResult KademliaSystem::run_lookup(PeerId origin, NodeId target,
                                         bool want_value, Key key) {
   assert(!active_ && "one lookup at a time");
+  sim::OriginScope trace_origin(network_.engine(), obs::origin::kLookup);
   ActiveLookup lookup;
   lookup.origin = origin;
   lookup.target = target;

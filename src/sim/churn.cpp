@@ -39,6 +39,7 @@ void ChurnProcess::add_peer(PeerId peer, bool initially_online) {
 
 void ChurnProcess::schedule_leave(PeerId peer) {
   if (stopped_) return;
+  OriginScope origin(engine_, obs::origin::kChurn);
   pending_[peer.value()] = engine_.schedule(draw_session(), [this, peer] {
     if (stopped_ || !online_[peer.value()]) return;
     online_[peer.value()] = false;
@@ -54,6 +55,7 @@ void ChurnProcess::schedule_leave(PeerId peer) {
 
 void ChurnProcess::schedule_join(PeerId peer) {
   if (stopped_) return;
+  OriginScope origin(engine_, obs::origin::kChurn);
   const SimTime gap = rng_.exponential(config_.mean_downtime);
   pending_[peer.value()] = engine_.schedule(gap, [this, peer] {
     if (stopped_ || online_[peer.value()]) return;

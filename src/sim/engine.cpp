@@ -14,7 +14,10 @@ bool Engine::pop_and_run() {
     if (slot.armed_tag != entry.tag) continue;  // cancelled tombstone
     now_ = entry.when;
     if (trace_ != nullptr) [[unlikely]] {
-      trace_event(obs::TraceKind::kEventFired, entry.tag, 0.0);
+      // Inherit the firing event's origin before invoking the callback so
+      // anything it schedules stays attributed to the same causal chain.
+      origin_ = slot_origin(index);
+      trace_event(obs::TraceKind::kEventFired, entry.tag, 0.0, origin_);
     }
     // Disarm before invoking, so cancel()/pending() on the firing event
     // no-op inside its own callback. The callback runs in place: chunked
@@ -55,9 +58,19 @@ std::uint64_t Engine::run_until(SimTime until) {
   return ran;
 }
 
-void Engine::trace_event(obs::TraceKind kind, std::uint64_t tag,
-                         double value) {
-  trace_->record({now_, kind, -1, -1, tag, value});
+void Engine::trace_event(obs::TraceKind kind, std::uint64_t tag, double value,
+                         std::uint8_t origin) {
+  trace_->record({now_, kind, static_cast<std::int32_t>(origin), -1, tag,
+                  value});
+}
+
+void Engine::note_scheduled(std::uint32_t slot, std::uint64_t tag,
+                            SimTime when) {
+  // Resizes only when the slab grew since the last traced schedule; the
+  // steady state (recycled slots) never allocates here.
+  if (slot_origins_.size() < slot_count_) slot_origins_.resize(slot_count_);
+  slot_origins_[slot] = origin_;
+  trace_event(obs::TraceKind::kEventScheduled, tag, when, origin_);
 }
 
 void Engine::export_metrics(obs::MetricsRegistry& registry) const {

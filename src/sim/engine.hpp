@@ -221,7 +221,7 @@ class Engine {
     queue_.push(QueueEntry{when, tag});
     if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
     if (trace_ != nullptr) [[unlikely]] {
-      trace_event(obs::TraceKind::kEventScheduled, tag, when);
+      note_scheduled(slot, tag, when);
     }
     return EventHandle(this, tag);
   }
@@ -268,6 +268,15 @@ class Engine {
   /// branch per operation. The sink must outlive the engine or be
   /// detached before destruction.
   void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
+  /// Current scheduling origin (obs::origin::*). Events scheduled while an
+  /// origin is set carry it in their trace records; events scheduled from
+  /// inside a firing callback inherit the firing event's origin, so whole
+  /// causal chains stay attributed without threading a tag through every
+  /// producer. Only trace output depends on it — simulation behaviour is
+  /// identical whether or not origins are set. Prefer OriginScope.
+  void set_origin(std::uint8_t origin) { origin_ = origin; }
+  [[nodiscard]] std::uint8_t origin() const { return origin_; }
 
  private:
   friend class EventHandle;
@@ -416,16 +425,28 @@ class Engine {
     const std::uint32_t slot = static_cast<std::uint32_t>(tag) & kSlotMask;
     if (slot >= slot_count_) return;
     if (slot_at(slot).armed_tag != tag) return;  // fired or recycled
+    const std::uint8_t origin = slot_origin(slot);
     release_slot(slot);  // the queue entry becomes a tombstone
     ++cancelled_;
     if (trace_ != nullptr) [[unlikely]] {
-      trace_event(obs::TraceKind::kEventCancelled, tag, 0.0);
+      trace_event(obs::TraceKind::kEventCancelled, tag, 0.0, origin);
     }
   }
 
   /// Cold outlined trace emission (defined in engine.cpp) so the record
   /// construction stays out of the inlined scheduling hot paths.
-  void trace_event(obs::TraceKind kind, std::uint64_t tag, double value);
+  void trace_event(obs::TraceKind kind, std::uint64_t tag, double value,
+                   std::uint8_t origin);
+
+  /// Cold: records the scheduling origin for the slot and emits the
+  /// scheduled trace record. Only called while tracing is on.
+  void note_scheduled(std::uint32_t slot, std::uint64_t tag, SimTime when);
+
+  /// Origin the slot's event was scheduled under (kUntagged when origins
+  /// were never tracked for it — e.g. tracing was attached later).
+  [[nodiscard]] std::uint8_t slot_origin(std::uint32_t slot) const {
+    return slot < slot_origins_.size() ? slot_origins_[slot] : 0;
+  }
 
   [[nodiscard]] bool tag_pending(std::uint64_t tag) const {
     const std::uint32_t slot = static_cast<std::uint32_t>(tag) & kSlotMask;
@@ -438,6 +459,10 @@ class Engine {
   std::vector<std::vector<Slot>> chunks_;
   std::uint32_t slot_count_ = 0;
   std::uint32_t free_head_ = kInvalidSlot;
+  /// Scheduling origins, indexed by slot. Grown lazily on the traced
+  /// scheduling path only — steady-state slot recycling never resizes it,
+  /// so the obs-armed zero-allocation tests stay valid.
+  std::vector<std::uint8_t> slot_origins_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
@@ -445,7 +470,28 @@ class Engine {
   std::uint64_t inline_callbacks_ = 0;
   std::uint64_t spilled_callbacks_ = 0;
   std::size_t queue_high_water_ = 0;
+  std::uint8_t origin_ = 0;  ///< current scheduling origin (obs::origin::*)
   obs::TraceSink* trace_ = nullptr;
+};
+
+/// RAII scheduling-origin scope: producers wrap the region that schedules
+/// events (a churn arm, a search flood, a maintenance cycle) and every
+/// event scheduled inside — directly or transitively, via the firing-time
+/// inheritance in the engine — is trace-attributed to that origin. Two
+/// byte stores when tracing is off; never allocates.
+class OriginScope {
+ public:
+  OriginScope(Engine& engine, std::uint8_t origin)
+      : engine_(engine), previous_(engine.origin()) {
+    engine_.set_origin(origin);
+  }
+  ~OriginScope() { engine_.set_origin(previous_); }
+  OriginScope(const OriginScope&) = delete;
+  OriginScope& operator=(const OriginScope&) = delete;
+
+ private:
+  Engine& engine_;
+  std::uint8_t previous_;
 };
 
 inline void EventHandle::cancel() {

@@ -13,6 +13,7 @@ void MobilityProcess::add_peer(PeerId peer) {
 
 void MobilityProcess::schedule_next(PeerId peer) {
   if (stopped_) return;
+  sim::OriginScope origin(engine_, obs::origin::kMobility);
   const sim::SimTime pause = rng_.exponential(config_.mean_pause_ms);
   pending_[peer.value()] = engine_.schedule(pause, [this, peer] {
     if (stopped_) return;

@@ -1,0 +1,353 @@
+// Edge-case tests for the trace-consuming tool layer: the shared
+// streaming JSONL reader (obs/jsonl.hpp), the structural diff
+// (obs/diff.hpp), and the folded event profile (obs/prof.hpp). The
+// interesting inputs are the imperfect ones: truncated final lines,
+// files of unequal length, same-timestamp permutations (legal under the
+// determinism contract — must NOT diverge), empty traces, and ring-sink
+// dumps whose head wrapped away.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/diff.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/prof.hpp"
+#include "obs/trace.hpp"
+
+namespace uap2p::obs {
+namespace {
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "/uap2p_trace_tools." + name;
+}
+
+/// Writes `content` verbatim (no newline appended).
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr) << path;
+  std::fwrite(content.data(), 1, content.size(), file);
+  std::fclose(file);
+}
+
+/// Writes records through the real sink, so tests exercise the actual
+/// wire format end-to-end.
+std::string write_trace(const char* name,
+                        const std::vector<TraceRecord>& records) {
+  const std::string path = temp_path(name);
+  JsonlTraceSink sink(path);
+  for (const TraceRecord& rec : records) sink.record(rec);
+  return path;
+}
+
+std::string jsonl_line(const TraceRecord& rec) {
+  std::FILE* file = std::tmpfile();
+  {
+    JsonlTraceSink sink(file);
+    sink.record(rec);
+  }
+  std::fseek(file, 0, SEEK_SET);
+  char buf[256] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, file);
+  std::fclose(file);
+  return std::string(buf, n);
+}
+
+TEST(TraceReader, RoundTripsSinkOutput) {
+  const std::string path = write_trace(
+      "roundtrip",
+      {{1.5, TraceKind::kEventScheduled, 3, -1, 42, 7.25},
+       {7.25, TraceKind::kEventFired, 3, -1, 42, 0.0},
+       {8.0, TraceKind::kMsgSent, 4, 9, 102, 64.0}});
+  TraceReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  TraceRecord rec;
+  ASSERT_EQ(reader.next(rec), TraceReader::Status::kRecord);
+  EXPECT_DOUBLE_EQ(rec.t, 1.5);
+  EXPECT_EQ(rec.kind, TraceKind::kEventScheduled);
+  EXPECT_EQ(rec.a, 3);
+  EXPECT_EQ(rec.tag, 42u);
+  EXPECT_DOUBLE_EQ(rec.value, 7.25);
+  ASSERT_EQ(reader.next(rec), TraceReader::Status::kRecord);
+  EXPECT_EQ(rec.kind, TraceKind::kEventFired);
+  ASSERT_EQ(reader.next(rec), TraceReader::Status::kRecord);
+  EXPECT_EQ(rec.kind, TraceKind::kMsgSent);
+  EXPECT_EQ(rec.b, 9);
+  EXPECT_EQ(reader.next(rec), TraceReader::Status::kEof);
+  EXPECT_EQ(reader.next(rec), TraceReader::Status::kEof) << "sticky EOF";
+}
+
+TEST(TraceReader, TruncatedFinalLine) {
+  const std::string full =
+      jsonl_line({1.0, TraceKind::kEventFired, 0, -1, 1, 0.0});
+  const std::string path = temp_path("truncated");
+  write_file(path, full + "{\"t\": 2.0, \"ki");  // writer died mid-record
+  TraceReader reader(path);
+  TraceRecord rec;
+  ASSERT_EQ(reader.next(rec), TraceReader::Status::kRecord);
+  EXPECT_EQ(reader.next(rec), TraceReader::Status::kTruncated);
+  EXPECT_EQ(reader.line_number(), 2u);
+  EXPECT_EQ(reader.next(rec), TraceReader::Status::kTruncated) << "sticky";
+}
+
+TEST(TraceReader, CompleteFinalLineWithoutNewlineIsARecord) {
+  const std::string full =
+      jsonl_line({1.0, TraceKind::kChurnJoin, 5, -1, 0, 0.0});
+  const std::string path = temp_path("no_newline");
+  write_file(path, full.substr(0, full.size() - 1));  // strip only the \n
+  TraceReader reader(path);
+  TraceRecord rec;
+  ASSERT_EQ(reader.next(rec), TraceReader::Status::kRecord);
+  EXPECT_EQ(rec.kind, TraceKind::kChurnJoin);
+  EXPECT_EQ(rec.a, 5);
+  EXPECT_EQ(reader.next(rec), TraceReader::Status::kEof);
+}
+
+TEST(TraceReader, EmptyFileIsCleanEof) {
+  const std::string path = temp_path("empty");
+  write_file(path, "");
+  TraceReader reader(path);
+  TraceRecord rec;
+  EXPECT_EQ(reader.next(rec), TraceReader::Status::kEof);
+}
+
+TEST(TraceReader, MalformedCompleteLineIsAnError) {
+  const std::string path = temp_path("malformed");
+  write_file(path, "{\"t\": 1.0, \"kind\": \"no_such_kind\"}\n");
+  TraceReader reader(path);
+  TraceRecord rec;
+  EXPECT_EQ(reader.next(rec), TraceReader::Status::kError);
+  EXPECT_NE(reader.error().find("no_such_kind"), std::string::npos);
+}
+
+TEST(TraceReader, MissingFileReportsError) {
+  TraceReader reader(temp_path("does_not_exist"));
+  EXPECT_FALSE(reader.ok());
+  TraceRecord rec;
+  EXPECT_EQ(reader.next(rec), TraceReader::Status::kError);
+}
+
+TEST(ParseTraceLine, FieldOrderIndependent) {
+  TraceRecord rec;
+  std::string error;
+  ASSERT_TRUE(parse_trace_line(
+      R"({"value": 3.5, "kind": "msg_dropped", "b": 2, "a": 1, "t": 9.0, "tag": 7})",
+      rec, error))
+      << error;
+  EXPECT_EQ(rec.kind, TraceKind::kMsgDropped);
+  EXPECT_DOUBLE_EQ(rec.t, 9.0);
+  EXPECT_EQ(rec.a, 1);
+  EXPECT_EQ(rec.b, 2);
+  EXPECT_EQ(rec.tag, 7u);
+  EXPECT_DOUBLE_EQ(rec.value, 3.5);
+}
+
+TEST(TraceDiff, IdenticalFilesAndEmptyFiles) {
+  const std::vector<TraceRecord> records = {
+      {0.0, TraceKind::kEventScheduled, 2, -1, 1, 4.0},
+      {4.0, TraceKind::kEventFired, 2, -1, 1, 0.0},
+      {4.0, TraceKind::kMsgSent, 0, 1, 102, 64.0}};
+  const std::string a = write_trace("ident_a", records);
+  const std::string b = write_trace("ident_b", records);
+  EXPECT_TRUE(diff_traces(a, b).identical());
+
+  const std::string ea = temp_path("empty_a");
+  const std::string eb = temp_path("empty_b");
+  write_file(ea, "");
+  write_file(eb, "");
+  EXPECT_TRUE(diff_traces(ea, eb).identical());
+
+  const DiffResult mixed = diff_traces(ea, a);
+  EXPECT_EQ(mixed.outcome, DiffResult::Outcome::kDiverged);
+  EXPECT_EQ(mixed.kind, "event_scheduled");
+}
+
+TEST(TraceDiff, EqualTimestampPermutationIsNotADivergence) {
+  // Same four records at t=2.0 in different within-t orders: legal under
+  // the determinism contract's divergence-tolerance rule.
+  const TraceRecord w = {2.0, TraceKind::kMsgSent, 0, 1, 102, 64.0};
+  const TraceRecord x = {2.0, TraceKind::kMsgSent, 1, 2, 102, 64.0};
+  const TraceRecord y = {2.0, TraceKind::kMsgDelivered, 0, 1, 102, 64.0};
+  const TraceRecord z = {2.0, TraceKind::kChurnLeave, 7, -1, 0, 0.0};
+  const std::string a = write_trace("perm_a", {w, x, y, z});
+  const std::string b = write_trace("perm_b", {z, y, x, w});
+  const DiffResult result = diff_traces(a, b);
+  EXPECT_TRUE(result.identical()) << result.message;
+}
+
+TEST(TraceDiff, EventTagDriftIsMaskedButMsgTagIsNot) {
+  // Same-t engine events whose slot/sequence tags differ: masked.
+  const std::string a = write_trace(
+      "tags_a", {{1.0, TraceKind::kEventFired, 3, -1, /*tag=*/100, 0.0}});
+  const std::string b = write_trace(
+      "tags_b", {{1.0, TraceKind::kEventFired, 3, -1, /*tag=*/200, 0.0}});
+  EXPECT_TRUE(diff_traces(a, b).identical());
+  DiffOptions strict;
+  strict.mask_event_tags = false;
+  EXPECT_EQ(diff_traces(a, b, strict).outcome,
+            DiffResult::Outcome::kDiverged);
+
+  // A message-type tag difference is semantic and always flagged.
+  const std::string c = write_trace(
+      "tags_c", {{1.0, TraceKind::kMsgSent, 0, 1, /*type=*/102, 64.0}});
+  const std::string d = write_trace(
+      "tags_d", {{1.0, TraceKind::kMsgSent, 0, 1, /*type=*/103, 64.0}});
+  EXPECT_EQ(diff_traces(c, d).outcome, DiffResult::Outcome::kDiverged);
+}
+
+TEST(TraceDiff, FirstDivergenceIsPinpointed) {
+  std::vector<TraceRecord> base, changed;
+  for (int i = 0; i < 10; ++i) {
+    const TraceRecord rec = {static_cast<double>(i), TraceKind::kMsgSent,
+                             i, i + 1, 102, 64.0};
+    base.push_back(rec);
+    changed.push_back(rec);
+  }
+  changed[6].kind = TraceKind::kMsgDropped;  // node 6 drops instead of sends
+  const std::string a = write_trace("pin_a", base);
+  const std::string b = write_trace("pin_b", changed);
+  const DiffResult result = diff_traces(a, b);
+  ASSERT_EQ(result.outcome, DiffResult::Outcome::kDiverged);
+  EXPECT_DOUBLE_EQ(result.t, 6.0);
+  EXPECT_EQ(result.kind, "msg_sent");  // msg_sent sorts before msg_dropped
+  EXPECT_EQ(result.node, 6);
+  EXPECT_EQ(result.record_index, 6u);
+  EXPECT_NE(result.message.find("first divergence at t=6.0"),
+            std::string::npos)
+      << result.message;
+  EXPECT_NE(result.message.find("kind=msg_sent"), std::string::npos);
+  // The ±context window shows surrounding records from the file.
+  EXPECT_NE(result.message.find("\"t\": 5."), std::string::npos)
+      << result.message;
+  EXPECT_NE(result.message.find("\"t\": 7."), std::string::npos)
+      << result.message;
+}
+
+TEST(TraceDiff, UnequalLengthDivergesAtFirstExtraRecord) {
+  std::vector<TraceRecord> shorter;
+  for (int i = 0; i < 5; ++i) {
+    shorter.push_back({static_cast<double>(i), TraceKind::kEventFired, 1,
+                       -1, static_cast<std::uint64_t>(i), 0.0});
+  }
+  std::vector<TraceRecord> longer = shorter;
+  longer.push_back({9.0, TraceKind::kChurnLeave, 3, -1, 0, 0.0});
+  const std::string a = write_trace("len_a", shorter);
+  const std::string b = write_trace("len_b", longer);
+  const DiffResult result = diff_traces(a, b);
+  ASSERT_EQ(result.outcome, DiffResult::Outcome::kDiverged);
+  EXPECT_DOUBLE_EQ(result.t, 9.0);
+  EXPECT_EQ(result.kind, "churn_leave");
+  EXPECT_EQ(result.record_index, 5u);
+}
+
+TEST(TraceDiff, TruncatedTailComparesUpToTruncation) {
+  const std::vector<TraceRecord> records = {
+      {0.0, TraceKind::kEventFired, 1, -1, 1, 0.0},
+      {1.0, TraceKind::kEventFired, 2, -1, 2, 0.0},
+      {2.0, TraceKind::kEventFired, 3, -1, 3, 0.0}};
+  const std::string a = write_trace("trunc_a", records);
+  // B: first two records complete, third cut mid-write.
+  const std::string full =
+      jsonl_line(records[0]) + jsonl_line(records[1]) + "{\"t\": 2.0, \"k";
+  const std::string b = temp_path("trunc_b");
+  write_file(b, full);
+  const DiffResult result = diff_traces(a, b);
+  EXPECT_TRUE(result.identical()) << result.message;
+  EXPECT_TRUE(result.b_truncated);
+  EXPECT_FALSE(result.a_truncated);
+}
+
+TEST(TraceProfile, TimeWeightedFoldByOrigin) {
+  // flooding: two spans of 4ms and 6ms; maintenance: one span of 10ms;
+  // plus one cancelled churn event (2ms until cancellation).
+  const std::string path = write_trace(
+      "prof_fold",
+      {{0.0, TraceKind::kEventScheduled, origin::kFlooding, -1, 1, 4.0},
+       {0.0, TraceKind::kEventScheduled, origin::kMaintenance, -1, 2, 10.0},
+       {0.0, TraceKind::kEventScheduled, origin::kChurn, -1, 3, 50.0},
+       {0.0, TraceKind::kEventScheduled, origin::kFlooding, -1, 4, 6.0},
+       {2.0, TraceKind::kEventCancelled, origin::kChurn, -1, 3, 0.0},
+       {4.0, TraceKind::kEventFired, origin::kFlooding, -1, 1, 0.0},
+       {6.0, TraceKind::kEventFired, origin::kFlooding, -1, 4, 0.0},
+       {10.0, TraceKind::kEventFired, origin::kMaintenance, -1, 2, 0.0}});
+  TraceProfile profile;
+  std::string error;
+  ASSERT_TRUE(profile_trace(path, profile, error)) << error;
+  EXPECT_TRUE(profile.time_weighted);
+  EXPECT_EQ(profile.fired, 3u);
+  EXPECT_EQ(profile.cancelled, 1u);
+  EXPECT_EQ(profile.orphans, 0u);
+  ASSERT_EQ(profile.entries.size(), 3u);  // lexicographic order
+  EXPECT_EQ(profile.entries[0].stack, "sim;churn;cancelled");
+  EXPECT_EQ(profile.entries[0].weight, 2000u);  // µs
+  EXPECT_EQ(profile.entries[1].stack, "sim;flooding");
+  EXPECT_EQ(profile.entries[1].weight, 10000u);
+  EXPECT_EQ(profile.entries[2].stack, "sim;maintenance");
+  EXPECT_EQ(profile.entries[2].weight, 10000u);
+  EXPECT_EQ(profile.total_weight, 22000u);
+  double percent_sum = 0;
+  for (std::size_t i = 0; i < profile.entries.size(); ++i) {
+    percent_sum += profile.percent(i);
+  }
+  EXPECT_NEAR(percent_sum, 100.0, 1e-9);
+}
+
+TEST(TraceProfile, ZeroDelaySpansFallBackToCounts) {
+  const std::string path = write_trace(
+      "prof_counts",
+      {{1.0, TraceKind::kEventScheduled, origin::kGossip, -1, 1, 1.0},
+       {1.0, TraceKind::kEventFired, origin::kGossip, -1, 1, 0.0},
+       {1.0, TraceKind::kEventScheduled, origin::kGossip, -1, 2, 1.0},
+       {1.0, TraceKind::kEventFired, origin::kGossip, -1, 2, 0.0}});
+  TraceProfile profile;
+  std::string error;
+  ASSERT_TRUE(profile_trace(path, profile, error)) << error;
+  EXPECT_FALSE(profile.time_weighted);
+  ASSERT_EQ(profile.entries.size(), 1u);
+  EXPECT_EQ(profile.entries[0].stack, "sim;gossip");
+  EXPECT_EQ(profile.entries[0].weight, 2u);  // counts, not µs
+}
+
+TEST(TraceProfile, RingWrappedHeadYieldsOrphans) {
+  // A ring that only kept the tail of a run: fired records whose
+  // scheduled partners were overwritten must count as orphans, not
+  // corrupt the fold.
+  RingTraceSink ring(3);
+  ring.record({0.0, TraceKind::kEventScheduled, origin::kChurn, -1, 1, 8.0});
+  ring.record({0.0, TraceKind::kEventScheduled, origin::kChurn, -1, 2, 9.0});
+  ring.record({5.0, TraceKind::kEventScheduled, origin::kFlooding, -1, 3,
+               6.0});
+  ring.record({6.0, TraceKind::kEventFired, origin::kFlooding, -1, 3, 0.0});
+  ring.record({8.0, TraceKind::kEventFired, origin::kChurn, -1, 1, 0.0});
+  // Retained: {scheduled tag 3, fired tag 3, fired tag 1 (orphan)}.
+  ASSERT_EQ(ring.size(), 3u);
+  const std::string path = temp_path("ring_dump");
+  {
+    JsonlTraceSink sink(path);
+    ring.dump(sink);
+  }
+  TraceProfile profile;
+  std::string error;
+  ASSERT_TRUE(profile_trace(path, profile, error)) << error;
+  EXPECT_EQ(profile.fired, 2u);
+  EXPECT_EQ(profile.orphans, 1u);
+  // The orphan is counted but its span is unknowable, so only the
+  // complete flooding span carries weight.
+  ASSERT_EQ(profile.entries.size(), 1u);
+  EXPECT_EQ(profile.entries[0].stack, "sim;flooding");
+  EXPECT_EQ(profile.entries[0].weight, 1000u);  // 1ms span
+}
+
+TEST(TraceProfile, EmptyTraceIsAnEmptyProfile) {
+  const std::string path = temp_path("prof_empty");
+  write_file(path, "");
+  TraceProfile profile;
+  std::string error;
+  ASSERT_TRUE(profile_trace(path, profile, error)) << error;
+  EXPECT_TRUE(profile.entries.empty());
+  EXPECT_EQ(profile.total_weight, 0u);
+}
+
+}  // namespace
+}  // namespace uap2p::obs

@@ -1,0 +1,73 @@
+// uap2p_tracediff — structural regression diff of two --trace JSONL files
+// from the same seed (see src/obs/diff.hpp for the tolerance rules).
+//
+// Usage: uap2p_tracediff [--context=K] [--strict-tags] a.jsonl b.jsonl
+//
+// Exit codes: 0 identical (same-t reordering tolerated), 1 diverged
+// (stderr names the first divergent record's sim-time, kind, and node),
+// 2 usage or I/O error. The tracediff-self-check CTest gate asserts both
+// directions: identical seed -> exit 0 and empty output; perturbed seed
+// -> exit 1 with a "first divergence at t=..." report.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/diff.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--context=K] [--strict-tags] <a.jsonl> <b.jsonl>\n"
+               "  --context=K     records of context around the divergence "
+               "(default 3)\n"
+               "  --strict-tags   also compare engine-internal event tags\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uap2p::obs::DiffOptions options;
+  std::string paths[2];
+  int path_count = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--context=", 10) == 0) {
+      options.context = static_cast<std::size_t>(std::strtoul(
+          arg + 10, nullptr, 10));
+    } else if (std::strcmp(arg, "--strict-tags") == 0) {
+      options.mask_event_tags = false;
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (path_count < 2) {
+      paths[path_count++] = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path_count != 2) return usage(argv[0]);
+
+  const uap2p::obs::DiffResult result =
+      uap2p::obs::diff_traces(paths[0], paths[1], options);
+  switch (result.outcome) {
+    case uap2p::obs::DiffResult::Outcome::kIdentical:
+      if (result.a_truncated || result.b_truncated) {
+        std::fprintf(stderr,
+                     "note: %s%s%s ended with a truncated record; compared "
+                     "up to the truncation\n",
+                     result.a_truncated ? "A" : "",
+                     result.a_truncated && result.b_truncated ? " and " : "",
+                     result.b_truncated ? "B" : "");
+      }
+      return 0;
+    case uap2p::obs::DiffResult::Outcome::kDiverged:
+      std::fprintf(stderr, "%s", result.message.c_str());
+      return 1;
+    case uap2p::obs::DiffResult::Outcome::kError:
+      std::fprintf(stderr, "error: %s\n", result.message.c_str());
+      return 2;
+  }
+  return 2;
+}

@@ -1,0 +1,87 @@
+// uap2p_traceprof — folded-stack engine event profile from a --trace
+// JSONL file (see src/obs/prof.hpp). stdout is flamegraph.pl-ready:
+//
+//   bench_table1_gnutella --trace=t.jsonl
+//   uap2p_traceprof t.jsonl > folded.txt && flamegraph.pl folded.txt
+//
+// Usage: uap2p_traceprof [--summary] [--self-check] <trace.jsonl>
+//   --summary     also print a per-origin percentage table to stderr
+//   --self-check  verify the fold's invariants (non-empty, positive
+//                 weights, percentages summing to ~100) and report; the
+//                 traceprof-smoke CTest gate runs this mode
+//
+// Exit codes: 0 ok, 1 empty profile or failed self-check, 2 usage/I/O.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/prof.hpp"
+
+int main(int argc, char** argv) {
+  bool summary = false;
+  bool self_check = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--summary") == 0) {
+      summary = true;
+    } else if (std::strcmp(arg, "--self-check") == 0) {
+      self_check = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--summary] [--self-check] <trace.jsonl>\n",
+                   argv[0]);
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "error: more than one input file\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s [--summary] [--self-check] <trace.jsonl>\n",
+                 argv[0]);
+    return 2;
+  }
+
+  uap2p::obs::TraceProfile profile;
+  std::string error;
+  if (!uap2p::obs::profile_trace(path, profile, error)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+
+  uap2p::obs::write_folded(profile, stdout);
+  if (summary || self_check) {
+    uap2p::obs::write_summary(profile, stderr);
+  }
+
+  if (profile.entries.empty()) {
+    std::fprintf(stderr,
+                 "error: no engine event records in %s — was the trace "
+                 "recorded with the engine's sink attached?\n",
+                 path.c_str());
+    return 1;
+  }
+  if (self_check) {
+    double percent_sum = 0.0;
+    bool weights_ok = true;
+    for (std::size_t i = 0; i < profile.entries.size(); ++i) {
+      percent_sum += profile.percent(i);
+      weights_ok = weights_ok && profile.entries[i].weight > 0;
+    }
+    const bool sum_ok = std::fabs(percent_sum - 100.0) < 0.5;
+    if (!weights_ok || !sum_ok) {
+      std::fprintf(stderr,
+                   "self-check FAILED: weights_ok=%d percent_sum=%.4f\n",
+                   weights_ok ? 1 : 0, percent_sum);
+      return 1;
+    }
+    std::fprintf(stderr, "self-check ok: %zu stacks, percentages sum to "
+                 "%.2f%%\n",
+                 profile.entries.size(), percent_sum);
+  }
+  return 0;
+}
