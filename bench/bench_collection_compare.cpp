@@ -18,13 +18,15 @@ using namespace uap2p;
 
 namespace {
 
-/// The shared experiment substrate; every technique trial builds an
-/// identical one (net seed fixed at 131, as the serial bench always did).
+/// The shared experiment substrate; every technique trial wires an
+/// identical one (net seed fixed at 131, as the serial bench always did)
+/// around the group-wide immutable routing snapshot.
 struct Env {
+  explicit Env(std::shared_ptr<const underlay::SharedRouting> routing)
+      : net(engine, std::move(routing), 131), peers(net.populate(180)) {}
   sim::Engine engine;
-  underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 5, 0.3);
-  underlay::Network net{engine, topo, 131};
-  std::vector<PeerId> peers = net.populate(180);
+  underlay::Network net;
+  std::vector<PeerId> peers;
 };
 
 constexpr std::size_t kKeep = 6;
@@ -179,12 +181,15 @@ int main(int argc, char** argv) {
                       "§3 collection techniques on one neighbor-selection task");
 
   constexpr std::size_t kTechniques = 7;
+  // One warmed routing snapshot for the whole group; trials only read it.
+  const auto routing = underlay::SharedRouting::build(
+      underlay::AsTopology::transit_stub(3, 5, 0.3));
   const std::vector<Outcome> outcomes = bench::run_trials(
       kTechniques, /*base_seed=*/131,
-      [](std::size_t technique, std::uint64_t) {
+      [&](std::size_t technique, std::uint64_t) {
         // Techniques keep their historical fixed internal seeds; the trial
         // seed is unused so every column sees the identical underlay.
-        Env env;
+        Env env(routing);
         Outcome outcome = run_technique(env, technique);
         bench::submit_engine_metrics(env.engine, env.net);
         return outcome;

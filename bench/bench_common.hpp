@@ -248,7 +248,9 @@ auto run_trials(std::size_t count, std::uint64_t base_seed, Fn&& fn,
 /// per 2 leaves, hostcaches filled with random subsets).
 struct GnutellaLab {
   sim::Engine engine;
-  underlay::AsTopology topo;
+  /// Group-wide immutable routing snapshot (null in owned-topology mode).
+  std::shared_ptr<const underlay::SharedRouting> shared;
+  underlay::AsTopology topo;  ///< Owned-mode storage; empty in shared mode.
   std::unique_ptr<underlay::Network> net;
   std::vector<PeerId> peers;
   std::unique_ptr<netinfo::Oracle> oracle;
@@ -262,26 +264,26 @@ struct GnutellaLab {
       : topo(std::move(topology)), workload_rng_(0) {
     Rng derive(seed);
     net = std::make_unique<underlay::Network>(engine, topo, derive.split_seed());
-    config.seed = derive.split_seed();
-    workload_rng_ = Rng(derive.split_seed());
-    peers = net->populate(peer_count);
-    netinfo::OracleConfig oracle_config;
-    oracle_config.max_list_size = config.hostcache_size;
-    oracle = std::make_unique<netinfo::Oracle>(*net, oracle_config);
-    system = std::make_unique<overlay::gnutella::GnutellaSystem>(
-        *net, peers,
-        overlay::gnutella::testlab_roles(peer_count, 2, topo.as_count()),
-        config, oracle.get());
-    if (options().collect_metrics) {
-      net->set_metrics(&metrics);
-      system->bind_metrics(metrics);
-    }
-    if (obs::TraceSink* trace = acquire_trial_trace()) {
-      engine.set_trace(trace);
-      net->set_trace(trace);
-      system->set_trace(trace);
-    }
-    system->bootstrap();
+    init(peer_count, std::move(config), derive);
+  }
+
+  /// Shared-routing mode: trials of a group borrow one warmed snapshot
+  /// (underlay::SharedRouting::build) instead of each re-deriving an
+  /// identical topology and re-running Dijkstra. The RNG derivation order
+  /// is the same as the owned ctor, so behavior is byte-identical.
+  GnutellaLab(std::shared_ptr<const underlay::SharedRouting> routing,
+              std::size_t peer_count, overlay::gnutella::Config config,
+              std::uint64_t seed)
+      : shared(std::move(routing)), workload_rng_(0) {
+    Rng derive(seed);
+    net = std::make_unique<underlay::Network>(engine, shared,
+                                              derive.split_seed());
+    init(peer_count, std::move(config), derive);
+  }
+
+  /// The lab's topology, whichever mode owns it.
+  [[nodiscard]] const underlay::AsTopology& topology() const {
+    return net->topology();
   }
 
   /// Runs before member destruction, so engine/net/system are still alive:
@@ -306,7 +308,7 @@ struct GnutellaLab {
   std::size_t run_locality_workload(std::size_t copies,
                                     std::size_t searches_per_as,
                                     bool download) {
-    const std::size_t as_count = topo.as_count();
+    const std::size_t as_count = topology().as_count();
     for (std::size_t as = 0; as < as_count; ++as) {
       for (std::size_t copy = 0; copy < copies; ++copy) {
         const std::size_t index = as + as_count * copy;
@@ -355,6 +357,34 @@ struct GnutellaLab {
 
   /// Per-lab workload stream (derived from the trial seed in the ctor).
   Rng workload_rng_;
+
+ private:
+  /// Shared ctor tail; `derive` has already produced the network seed, so
+  /// the split_seed draw order (net, overlay config, workload) is
+  /// identical in both modes.
+  void init(std::size_t peer_count, overlay::gnutella::Config config,
+            Rng& derive) {
+    config.seed = derive.split_seed();
+    workload_rng_ = Rng(derive.split_seed());
+    peers = net->populate(peer_count);
+    netinfo::OracleConfig oracle_config;
+    oracle_config.max_list_size = config.hostcache_size;
+    oracle = std::make_unique<netinfo::Oracle>(*net, oracle_config);
+    system = std::make_unique<overlay::gnutella::GnutellaSystem>(
+        *net, peers,
+        overlay::gnutella::testlab_roles(peer_count, 2, topology().as_count()),
+        config, oracle.get());
+    if (options().collect_metrics) {
+      net->set_metrics(&metrics);
+      system->bind_metrics(metrics);
+    }
+    if (obs::TraceSink* trace = acquire_trial_trace()) {
+      engine.set_trace(trace);
+      net->set_trace(trace);
+      system->set_trace(trace);
+    }
+    system->bootstrap();
+  }
 };
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

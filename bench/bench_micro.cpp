@@ -93,13 +93,37 @@ static void BM_RoutingColdDijkstra(benchmark::State& state) {
   }
   state.SetLabel(std::to_string(topo.router_count()) + " routers");
 }
-BENCHMARK(BM_RoutingColdDijkstra)->Arg(5)->Arg(20)->Arg(60);
+BENCHMARK(BM_RoutingColdDijkstra)->Arg(5)->Arg(20)->Arg(60)->Arg(200)->Arg(1000);
+
+static void BM_RoutingWarmAll(benchmark::State& state) {
+  // Batch all-pairs warm-up over the process pool: the provider-side
+  // precompute a P4P/oracle deployment would run per topology snapshot.
+  // Arg = AS count on a sparse mesh (~8 inter-AS links per AS); /1000 is
+  // the scale target — 3000 sources routed all-pairs in O(N^2) memory.
+  const auto ases = static_cast<std::size_t>(state.range(0));
+  const underlay::AsTopology topo =
+      underlay::AsTopology::mesh(ases, 8.0 / double(ases));
+  (void)topo.csr();  // charge the one-off CSR build to setup, not the loop
+  for (auto _ : state) {
+    underlay::RoutingTable routing(topo);
+    routing.warm_all();
+    benchmark::DoNotOptimize(routing.cached_sources());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          std::int64_t(topo.router_count()));  // sources
+  state.SetLabel(std::to_string(topo.router_count()) + " routers");
+}
+BENCHMARK(BM_RoutingWarmAll)
+    ->Arg(60)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
 
 static void BM_RoutingCachedPath(benchmark::State& state) {
   const underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 20, 0.3);
   underlay::RoutingTable routing(topo);
   const auto last = RouterId(std::uint32_t(topo.router_count() - 1));
-  routing.path(RouterId(0), last);  // warm
+  (void)routing.path(RouterId(0), last);  // warm
   for (auto _ : state) {
     benchmark::DoNotOptimize(routing.path(RouterId(0), last));
   }
@@ -114,7 +138,8 @@ static void BM_RoutingMixedCachedPaths(benchmark::State& state) {
   underlay::RoutingTable routing(topo);
   const auto n = static_cast<std::uint32_t>(topo.router_count());
   for (std::uint32_t i = 0; i < n; ++i)
-    for (std::uint32_t j = 0; j < n; ++j) routing.path(RouterId(i), RouterId(j));
+    for (std::uint32_t j = 0; j < n; ++j)
+      (void)routing.path(RouterId(i), RouterId(j));
   Rng rng(17);
   constexpr std::size_t kProbes = 1024;
   std::vector<std::pair<RouterId, RouterId>> pairs;

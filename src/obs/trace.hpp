@@ -97,13 +97,16 @@ class TraceSink {
 
 /// Writes one JSON object per line:
 ///   {"t": 12.5, "kind": "msg_sent", "a": 3, "b": 7, "tag": 102, "value": 64}
-/// Formatting goes through a stack buffer and fwrite, so record() never
-/// touches the allocator.
+/// record() formats directly into a preallocated batch buffer and only
+/// calls fwrite when the buffer nears capacity (plus a large setvbuf
+/// buffer on owned files), so the per-record cost is one snprintf — no
+/// stdio locking, no allocator traffic. Bytes on disk are identical to the
+/// unbatched writer (the tracediff-self-check gate covers this).
 class JsonlTraceSink final : public TraceSink {
  public:
   explicit JsonlTraceSink(const std::string& path);
   /// Adopts `file` (does not close it) — e.g. a test's tmpfile().
-  explicit JsonlTraceSink(std::FILE* file) : file_(file) {}
+  explicit JsonlTraceSink(std::FILE* file) : file_(file) { arm_buffer(); }
   ~JsonlTraceSink() override;
   JsonlTraceSink(const JsonlTraceSink&) = delete;
   JsonlTraceSink& operator=(const JsonlTraceSink&) = delete;
@@ -114,9 +117,18 @@ class JsonlTraceSink final : public TraceSink {
   [[nodiscard]] std::uint64_t records_written() const { return written_; }
 
  private:
+  /// Batch capacity; drained whenever fewer than kMaxRecordBytes remain.
+  static constexpr std::size_t kBufferBytes = 256 * 1024;
+  static constexpr std::size_t kMaxRecordBytes = 192;
+
+  void arm_buffer();
+  void drain();  ///< fwrite the batch buffer (no fflush).
+
   std::FILE* file_ = nullptr;
   bool owns_file_ = false;
   std::uint64_t written_ = 0;
+  std::vector<char> buffer_;
+  std::size_t used_ = 0;
 };
 
 /// Keeps the most recent `capacity` records in a preallocated ring —

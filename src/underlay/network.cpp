@@ -48,21 +48,31 @@ HostResources sample_resources(Rng& rng) {
 Network::Network(sim::Engine& engine, const AsTopology& topology,
                  std::uint64_t seed, Pricing pricing)
     : engine_(engine),
-      topology_(topology),
-      routing_(topology),
+      topology_(&topology),
+      owned_routing_(std::make_unique<RoutingTable>(topology)),
       traffic_(pricing),
       rng_(seed),
       hosts_per_as_(topology.as_count(), 0) {}
+
+Network::Network(sim::Engine& engine,
+                 std::shared_ptr<const SharedRouting> routing,
+                 std::uint64_t seed, Pricing pricing)
+    : engine_(engine),
+      shared_routing_(std::move(routing)),
+      topology_(&shared_routing_->topology()),
+      traffic_(pricing),
+      rng_(seed),
+      hosts_per_as_(topology_->as_count(), 0) {}
 
 PeerId Network::add_host(RouterId attachment, HostResources resources) {
   Host host;
   host.id = PeerId(static_cast<std::uint32_t>(hosts_.size()));
   host.attachment = attachment;
-  host.as = topology_.as_of(attachment);
+  host.as = topology_->as_of(attachment);
   // IPs count up from .0.2 inside the AS prefix (gateway-style offsets).
-  const auto& as = topology_.as_info(host.as);
+  const auto& as = topology_->as_info(host.as);
   host.ip = IpAddress{as.prefix + 2 + hosts_per_as_[host.as.value()]++};
-  const auto& router = topology_.router(attachment);
+  const auto& router = topology_->router(attachment);
   host.location = GeoPoint{router.location.lat_deg + rng_.uniform_real(-0.1, 0.1),
                            router.location.lon_deg + rng_.uniform_real(-0.1, 0.1)};
   host.resources = resources;
@@ -73,7 +83,7 @@ PeerId Network::add_host(RouterId attachment, HostResources resources) {
 }
 
 PeerId Network::add_host_in_as(AsId as, HostResources resources) {
-  const auto& routers = topology_.as_info(as).routers;
+  const auto& routers = topology_->as_info(as).routers;
   const RouterId router = routers[rng_.uniform(routers.size())];
   return add_host(router, resources);
 }
@@ -82,7 +92,7 @@ std::vector<PeerId> Network::populate(std::size_t count) {
   std::vector<PeerId> peers;
   peers.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const AsId as(static_cast<std::uint32_t>(i % topology_.as_count()));
+    const AsId as(static_cast<std::uint32_t>(i % topology_->as_count()));
     peers.push_back(add_host_in_as(as, sample_resources(rng_)));
   }
   return peers;
@@ -111,7 +121,7 @@ void Network::move_host(PeerId peer, const GeoPoint& location) {
   // Re-attach to the geographically nearest router.
   RouterId best = host.attachment;
   double best_km = std::numeric_limits<double>::max();
-  for (const auto& router : topology_.routers()) {
+  for (const auto& router : topology_->routers()) {
     const double km = haversine_km(router.location, location);
     if (km < best_km) {
       best_km = km;
@@ -120,10 +130,10 @@ void Network::move_host(PeerId peer, const GeoPoint& location) {
   }
   if (best != host.attachment) {
     host.attachment = best;
-    const AsId new_as = topology_.as_of(best);
+    const AsId new_as = topology_->as_of(best);
     if (new_as != host.as) {
       host.as = new_as;
-      const auto& as = topology_.as_info(new_as);
+      const auto& as = topology_->as_info(new_as);
       host.ip = IpAddress{as.prefix + 2 + hosts_per_as_[new_as.value()]++};
     }
   }
@@ -161,7 +171,7 @@ bool Network::send(Message msg) {
     }
     return false;
   }
-  const PathInfo& path = routing_.path(src.attachment, dst.attachment);
+  const PathInfo path = route(src.attachment, dst.attachment);
   if (!path.reachable) {
     ++dropped_;
     dropped_metric_.inc();
@@ -227,8 +237,8 @@ bool Network::send(Message msg) {
 sim::SimTime Network::rtt_ms(PeerId a, PeerId b) {
   const Host& ha = hosts_[a.value()];
   const Host& hb = hosts_[b.value()];
-  const PathInfo& forward = routing_.path(ha.attachment, hb.attachment);
-  const PathInfo& back = routing_.path(hb.attachment, ha.attachment);
+  const PathInfo forward = route(ha.attachment, hb.attachment);
+  const PathInfo back = route(hb.attachment, ha.attachment);
   // Summing kUnreachableLatency overflows to +inf; report the sentinel
   // unchanged when either direction has no route.
   if (!forward.reachable || !back.reachable) return kUnreachableLatency;
@@ -236,9 +246,8 @@ sim::SimTime Network::rtt_ms(PeerId a, PeerId b) {
          forward.latency_ms + back.latency_ms;
 }
 
-const PathInfo& Network::path_between(PeerId a, PeerId b) {
-  return routing_.path(hosts_[a.value()].attachment,
-                       hosts_[b.value()].attachment);
+PathInfo Network::path_between(PeerId a, PeerId b) {
+  return route(hosts_[a.value()].attachment, hosts_[b.value()].attachment);
 }
 
 void Network::set_metrics(obs::MetricsRegistry* registry) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/flat_map.hpp"
@@ -72,7 +73,14 @@ struct Message {
 /// routing to RoutingTable and billing to TrafficAccountant.
 class Network {
  public:
+  /// Owned-routing mode: the network builds its own lazy RoutingTable
+  /// over `topology` (which must outlive the network).
   Network(sim::Engine& engine, const AsTopology& topology,
+          std::uint64_t seed = 1, Pricing pricing = {});
+  /// Shared-routing mode: borrows an immutable, fully warmed snapshot
+  /// (typically group-wide across parallel trials). Path lookups are pure
+  /// reads; results are byte-identical to the owned mode.
+  Network(sim::Engine& engine, std::shared_ptr<const SharedRouting> routing,
           std::uint64_t seed = 1, Pricing pricing = {});
 
   /// Host management ------------------------------------------------------
@@ -118,7 +126,7 @@ class Network {
   [[nodiscard]] sim::SimTime rtt_ms(PeerId a, PeerId b);
 
   /// Routing summary between two peers' attachment routers.
-  const PathInfo& path_between(PeerId a, PeerId b);
+  [[nodiscard]] PathInfo path_between(PeerId a, PeerId b);
 
   /// Accessors -------------------------------------------------------------
   [[nodiscard]] const Host& host(PeerId peer) const {
@@ -126,8 +134,7 @@ class Network {
   }
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
   [[nodiscard]] const std::vector<Host>& hosts() const { return hosts_; }
-  [[nodiscard]] const AsTopology& topology() const { return topology_; }
-  [[nodiscard]] RoutingTable& routing() { return routing_; }
+  [[nodiscard]] const AsTopology& topology() const { return *topology_; }
   [[nodiscard]] TrafficAccountant& traffic() { return traffic_; }
   [[nodiscard]] const TrafficAccountant& traffic() const { return traffic_; }
   [[nodiscard]] sim::Engine& engine() { return engine_; }
@@ -147,9 +154,16 @@ class Network {
   void set_trace(obs::TraceSink* trace) { trace_ = trace; }
 
  private:
+  /// Path lookup dispatch: shared snapshot (pure read) or owned lazy table.
+  [[nodiscard]] PathInfo route(RouterId src, RouterId dst) {
+    return shared_routing_ != nullptr ? shared_routing_->path(src, dst)
+                                      : owned_routing_->path(src, dst);
+  }
+
   sim::Engine& engine_;
-  const AsTopology& topology_;
-  RoutingTable routing_;
+  std::shared_ptr<const SharedRouting> shared_routing_;  ///< Null when owned.
+  const AsTopology* topology_;
+  std::unique_ptr<RoutingTable> owned_routing_;  ///< Null when shared.
   TrafficAccountant traffic_;
   Rng rng_;
   std::vector<Host> hosts_;

@@ -1,99 +1,382 @@
 #include "underlay/routing.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstring>
 #include <utility>
+
+#include "common/thread_pool.hpp"
 
 namespace uap2p::underlay {
 
-const RoutingTable::SourceState& RoutingTable::run_dijkstra(RouterId src) {
-  assert(src.value() < sources_.size());
-  std::optional<SourceState>& cached = sources_[src.value()];
-  if (cached.has_value()) return *cached;
+namespace {
 
+/// Order-preserving bit image of a non-negative double: for 0 <= a, b,
+/// a < b iff enc(a) < enc(b). Lets the queue compare distances as u64.
+[[nodiscard]] std::uint64_t enc(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+/// Monotone calendar queue for Dijkstra: 512 circular buckets of width
+/// max_edge_weight / 256. Dijkstra's frontier only spans one edge weight
+/// beyond the current minimum, so live keys occupy at most 256 buckets and
+/// bucket indices never collide across epochs. Push appends to an
+/// intrusive per-bucket list (three stores); pop drains buckets in cursor
+/// order, restoring the exact global (distance, router id) order by
+/// sorting each bucket's handful of entries as it is reached. Entries
+/// pushed into the bucket currently being drained (weight < one bucket
+/// width) sorted-insert into the not-yet-emitted tail, which reproduces a
+/// binary heap's semantics exactly: every pop yields the minimum of the
+/// entries present. Compared to a d-ary heap this removes the O(log n)
+/// compare/swap chain from both ends of the hot loop.
+class CalendarQueue {
+ public:
+  struct Slot {
+    std::uint64_t key;   ///< enc(distance).
+    std::uint32_t node;
+    std::uint32_t next;  ///< Intrusive bucket chain (index into pool).
+  };
+
+  /// `max_weight` is the largest edge latency; `max_pushes` bounds the
+  /// number of pushes (improving relaxations <= directed edge count).
+  void reset(double max_weight, std::size_t max_pushes) {
+    if (pool_.size() < max_pushes + 1) pool_.resize(max_pushes + 1);
+    pool_used_ = 0;
+    std::memset(head_, 0xFF, sizeof(head_));
+    std::memset(occupied_, 0, sizeof(occupied_));
+    inv_width_ = max_weight > 0.0 ? double(kBuckets / 2) / max_weight : 1.0;
+    cursor_ = 0;
+    count_ = 0;
+    pending_.clear();
+    pending_at_ = 0;
+  }
+
+  /// Seeds the source at distance 0 (cursor starts on its bucket).
+  void seed(std::uint32_t node) {
+    pending_.push_back(Slot{0, node, 0});
+    count_ = 1;
+  }
+
+  [[nodiscard]] std::uint32_t size() const { return count_; }
+
+  void push(double distance, std::uint32_t node) {
+    const auto bucket_abs = static_cast<std::uint64_t>(distance * inv_width_);
+    ++count_;
+    if (bucket_abs != cursor_) [[likely]] {
+      const auto b = static_cast<std::uint32_t>(bucket_abs) & (kBuckets - 1);
+      pool_[pool_used_] = Slot{enc(distance), node, head_[b]};
+      head_[b] = pool_used_++;
+      occupied_[b >> 6] |= 1ull << (b & 63);
+      return;
+    }
+    // Lands in the bucket being drained: sorted-insert after the emitted
+    // prefix (its key is >= every already-popped key by monotonicity).
+    const Slot slot{enc(distance), node, 0};
+    std::size_t pos = pending_.size();
+    pending_.push_back(slot);
+    while (pos > pending_at_ && slot_before(slot, pending_[pos - 1])) {
+      pending_[pos] = pending_[pos - 1];
+      --pos;
+    }
+    pending_[pos] = slot;
+  }
+
+  Slot pop() {
+    --count_;
+    if (pending_at_ < pending_.size()) [[likely]] {
+      return pending_[pending_at_++];
+    }
+    advance_cursor();
+    const auto b = static_cast<std::uint32_t>(cursor_) & (kBuckets - 1);
+    std::uint32_t index = head_[b];
+    head_[b] = UINT32_MAX;
+    occupied_[b >> 6] &= ~(1ull << (b & 63));
+    const Slot first = pool_[index];
+    index = first.next;
+    pending_.clear();
+    pending_at_ = 0;
+    if (index == UINT32_MAX) [[likely]] return first;  // one-entry bucket
+    // Gather the chain and sort it (insertion sort for the common tiny
+    // case; buckets can get large on uniform-latency topologies where a
+    // whole BFS wavefront shares one distance).
+    pending_.push_back(first);
+    for (; index != UINT32_MAX; index = pool_[index].next) {
+      pending_.push_back(pool_[index]);
+    }
+    if (pending_.size() <= 32) {
+      for (std::size_t i = 1; i < pending_.size(); ++i) {
+        const Slot slot = pending_[i];
+        std::size_t pos = i;
+        while (pos > 0 && slot_before(slot, pending_[pos - 1])) {
+          pending_[pos] = pending_[pos - 1];
+          --pos;
+        }
+        pending_[pos] = slot;
+      }
+    } else {
+      std::sort(pending_.begin(), pending_.end(),
+                [](const Slot& a, const Slot& b) { return slot_before(a, b); });
+    }
+    pending_at_ = 1;
+    return pending_[0];
+  }
+
+ private:
+  static constexpr std::uint32_t kBuckets = 512;
+
+  [[nodiscard]] static bool slot_before(const Slot& a, const Slot& b) {
+    return a.key != b.key ? a.key < b.key : a.node < b.node;
+  }
+
+  void advance_cursor() {
+    std::uint64_t bucket_abs = cursor_ + 1;
+    while (true) {
+      const auto b = static_cast<std::uint32_t>(bucket_abs) & (kBuckets - 1);
+      const std::uint32_t word_index = b >> 6;
+      const std::uint64_t word = occupied_[word_index] & (~0ull << (b & 63));
+      if (word != 0) {
+        const auto found = static_cast<std::uint32_t>(
+            (word_index << 6) | std::uint32_t(std::countr_zero(word)));
+        bucket_abs += (found - b) & (kBuckets - 1);
+        break;
+      }
+      bucket_abs += 64 - (b & 63);  // jump to the next bitmap word
+    }
+    cursor_ = bucket_abs;
+  }
+
+  std::vector<Slot> pool_;
+  std::uint32_t pool_used_ = 0;
+  std::uint32_t head_[kBuckets];
+  std::uint64_t occupied_[kBuckets / 64];
+  double inv_width_ = 1.0;
+  std::uint64_t cursor_ = 0;  ///< Absolute index of the bucket being drained.
+  std::uint32_t count_ = 0;
+  // Sorted not-yet-emitted entries of the cursor bucket.
+  std::vector<Slot> pending_;
+  std::size_t pending_at_ = 0;
+};
+
+/// Reusable per-thread Dijkstra scratch. thread_local (not per-table) so a
+/// fresh RoutingTable pays no scratch allocation after the first run on a
+/// thread, and warm_all workers each get their own.
+struct DijkstraScratch {
+  std::vector<sim::SimTime> dist;
+  CalendarQueue queue;
+};
+
+DijkstraScratch& scratch() {
+  thread_local DijkstraScratch instance;
+  return instance;
+}
+
+}  // namespace
+
+void RoutingTable::compute_row(std::uint32_t src) {
+  const AsTopology::RouterCsr& graph = topology_.csr();
   const std::size_t n = topology_.router_count();
-  SourceState& state = cached.emplace();
-  ++cached_sources_;
-  state.dist.assign(n, kUnreachableLatency);
-  state.prev_router.assign(n, RouterId::invalid());
-  state.prev_link.assign(n, UINT32_MAX);
-  state.dist[src.value()] = 0.0;
+  SourceRow& out = rows_[src];
+  if (out.entries == nullptr) out.entries.reset(new DestEntry[n]);
+  DestEntry* const row = out.entries.get();
 
-  assert(frontier_.empty());  // drained by the previous run
-  frontier_.emplace(0.0, src.value());
-  while (!frontier_.empty()) {
-    const auto [dist, router] = frontier_.top();
-    frontier_.pop();
-    if (dist > state.dist[router]) continue;  // stale entry
-    for (const auto& neighbor : topology_.neighbors(RouterId(router))) {
-      const Link& link = topology_.link(neighbor.link_index);
-      const sim::SimTime candidate = dist + link.latency_ms;
-      if (candidate < state.dist[neighbor.router.value()]) {
-        state.dist[neighbor.router.value()] = candidate;
-        state.prev_router[neighbor.router.value()] = RouterId(router);
-        state.prev_link[neighbor.router.value()] = neighbor.link_index;
-        frontier_.emplace(candidate, neighbor.router.value());
+  DijkstraScratch& s = scratch();
+  s.dist.assign(n, kUnreachableLatency);
+  s.queue.reset(graph.max_weight, graph.heads.size());
+  sim::SimTime* const dist = s.dist.data();
+  const std::uint32_t* const offsets = graph.offsets.data();
+  const std::uint32_t* const heads = graph.heads.data();
+  const sim::SimTime* const weights = graph.weights.data();
+  const std::uint32_t* const links = graph.links.data();
+  const double* const bandwidths = graph.bandwidths.data();
+  const std::uint8_t* const types = graph.types.data();
+  const std::uint32_t* const router_as = graph.router_as.data();
+
+  dist[src] = 0.0;
+  // Identity for the bottleneck min-fold while children derive from the
+  // source; reset to the reported 0 after the run.
+  row[src] = DestEntry{0.0, std::numeric_limits<double>::max(), UINT32_MAX,
+                       0,   0,
+                       0,   0};
+  s.queue.seed(src);
+  std::size_t settled = 0;
+
+  while (s.queue.size() != 0) {
+    const CalendarQueue::Slot top = s.queue.pop();
+    const std::uint32_t node = top.node;
+    const sim::SimTime node_dist = dist[node];
+    if (enc(node_dist) < top.key) continue;  // stale entry
+    ++settled;
+    // The popped router is settled, so its aggregates are final: fold them
+    // forward into each improved neighbor's row entry right here. A later
+    // improvement of the neighbor overwrites the whole entry, keeping row
+    // and dist consistent.
+    const DestEntry parent = row[node];
+    const std::uint32_t parent_as = router_as[node];
+    const std::uint32_t end = offsets[node + 1];
+    for (std::uint32_t e = offsets[node]; e < end; ++e) {
+      const std::uint32_t next = heads[e];
+      const sim::SimTime candidate = node_dist + weights[e];
+      if (candidate < dist[next]) {
+        dist[next] = candidate;
+        DestEntry& entry = row[next];
+        entry.latency = candidate;
+        entry.bottleneck = std::min(parent.bottleneck, bandwidths[e]);
+        entry.prev_link = links[e];
+        entry.router_hops = static_cast<std::uint16_t>(parent.router_hops + 1);
+        const auto type = static_cast<LinkType>(types[e]);
+        entry.transit = static_cast<std::uint16_t>(
+            parent.transit + (type == LinkType::kTransit ? 1 : 0));
+        entry.peering = static_cast<std::uint16_t>(
+            parent.peering + (type == LinkType::kPeering ? 1 : 0));
+        entry.as_crossings = static_cast<std::uint16_t>(
+            parent.as_crossings + (router_as[next] != parent_as ? 1 : 0));
+        s.queue.push(candidate, next);
       }
     }
   }
-  return state;
-}
 
-const PathInfo& RoutingTable::path_miss(std::uint64_t key, RouterId src,
-                                        RouterId dst) {
-  const SourceState& state = run_dijkstra(src);
-  return cache_insert(key, summarize(state, src, dst));
-}
-
-const PathInfo& RoutingTable::cache_insert(std::uint64_t key, PathInfo info) {
-  const PathInfo* stored = &values_.push(std::move(info));
-  cache_.insert_or_assign(key, stored);
-  memo_key_ = key;
-  memo_value_ = stored;
-  return *stored;
-}
-
-PathInfo RoutingTable::summarize(const SourceState& state, RouterId src,
-                                 RouterId dst) {
-  PathInfo info;
-  if (state.dist[dst.value()] == kUnreachableLatency) {
-    info.latency_ms = kUnreachableLatency;
-    return info;
+  if (settled < n) {
+    // Disconnected topology: stamp the rows relaxation never touched.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dist[i] == kUnreachableLatency) {
+        row[i] = DestEntry{kUnreachableLatency, 0.0, UINT32_MAX, 0, 0, 0, 0};
+      }
+    }
   }
-  info.reachable = true;
-  info.latency_ms = state.dist[dst.value()];
-  info.bottleneck_mbps = std::numeric_limits<double>::max();
-  // Walk predecessors dst -> src, then reverse the AS path.
+  row[src].bottleneck = 0.0;  // self-paths report no bandwidth constraint
+}
+
+std::span<const AsId> RoutingTable::as_path(RouterId src, RouterId dst) {
+  const DestEntry* row = ensure_row(src.value());
+  if (row[dst.value()].latency == kUnreachableLatency) return {};
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
+  if (const std::uint32_t* found = pair_paths_.find(key)) {
+    const InternedPath& path = interned_[*found];
+    return {path.data, path.size};
+  }
+  // Walk predecessors dst -> src, then reverse into src-first order.
   scratch_as_.clear();
   scratch_as_.push_back(topology_.as_of(dst));
   RouterId current = dst;
   while (current != src) {
-    const std::uint32_t link_index = state.prev_link[current.value()];
-    assert(link_index != UINT32_MAX);
-    const Link& link = topology_.link(link_index);
-    info.bottleneck_mbps = std::min(info.bottleneck_mbps, link.bandwidth_mbps);
-    ++info.router_hops;
-    if (link.type == LinkType::kTransit) ++info.transit_crossings;
-    if (link.type == LinkType::kPeering) ++info.peering_crossings;
-    current = state.prev_router[current.value()];
+    current = prev_router_of(row[current.value()], current);
     const AsId as = topology_.as_of(current);
     if (scratch_as_.back() != as) scratch_as_.push_back(as);
   }
-  if (src == dst) info.bottleneck_mbps = 0.0;
-  info.as_path.assign(scratch_as_.rbegin(), scratch_as_.rend());
-  return info;
+  std::reverse(scratch_as_.begin(), scratch_as_.end());
+  const std::uint32_t id = intern(scratch_as_);
+  pair_paths_.insert_or_assign(key, id);
+  const InternedPath& path = interned_[id];
+  return {path.data, path.size};
+}
+
+std::uint32_t RoutingTable::intern(std::span<const AsId> sequence) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a over AS ids
+  for (const AsId as : sequence) {
+    hash ^= as.value();
+    hash *= 1099511628211ull;
+  }
+  const std::uint32_t* head = intern_heads_.find(hash);
+  if (head != nullptr) {
+    for (std::uint32_t id = *head; id != UINT32_MAX; id = interned_[id].next) {
+      const InternedPath& path = interned_[id];
+      if (path.size == sequence.size() &&
+          std::equal(sequence.begin(), sequence.end(), path.data)) {
+        return id;
+      }
+    }
+  }
+  if (arena_.empty() ||
+      arena_.back().capacity() - arena_.back().size() < sequence.size()) {
+    arena_.emplace_back();
+    arena_.back().reserve(std::max(kArenaBlock, sequence.size()));
+  }
+  std::vector<AsId>& block = arena_.back();
+  const AsId* data = block.data() + block.size();
+  block.insert(block.end(), sequence.begin(), sequence.end());
+  const auto id = static_cast<std::uint32_t>(interned_.size());
+  interned_.push_back(InternedPath{data,
+                                   static_cast<std::uint32_t>(sequence.size()),
+                                   head != nullptr ? *head : UINT32_MAX});
+  intern_heads_.insert_or_assign(hash, id);
+  return id;
 }
 
 std::vector<RouterId> RoutingTable::router_path(RouterId src, RouterId dst) {
-  const SourceState& state = run_dijkstra(src);
-  if (state.dist[dst.value()] == kUnreachableLatency) return {};
+  const DestEntry* row = ensure_row(src.value());
+  if (row[dst.value()].latency == kUnreachableLatency) return {};
   std::vector<RouterId> reversed{dst};
   RouterId current = dst;
   while (current != src) {
-    current = state.prev_router[current.value()];
+    current = prev_router_of(row[current.value()], current);
     reversed.push_back(current);
   }
   return {reversed.rbegin(), reversed.rend()};
+}
+
+void RoutingTable::warm_all(std::size_t threads) {
+  const std::size_t n = topology_.router_count();
+  (void)topology_.csr();  // build once before workers share it read-only
+  parallel_for(
+      n,
+      [this](std::size_t src) {
+        if (rows_[src].entries == nullptr) {
+          compute_row(static_cast<std::uint32_t>(src));
+        }
+      },
+      threads);
+  cached_sources_ = n;
+}
+
+void RoutingTable::warm_all(ThreadPool& pool) {
+  const std::size_t n = topology_.router_count();
+  (void)topology_.csr();
+  const std::size_t lanes = std::min(pool.thread_count(), n);
+  if (lanes <= 1 || ThreadPool::on_worker_thread()) {
+    // Nested parallelism degrades to inline, mirroring parallel_for.
+    for (std::size_t src = 0; src < n; ++src) {
+      if (rows_[src].entries == nullptr) {
+        compute_row(static_cast<std::uint32_t>(src));
+      }
+    }
+  } else {
+    std::vector<std::future<void>> done;
+    done.reserve(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      done.push_back(pool.submit([this, lane, lanes, n] {
+        for (std::size_t src = lane; src < n; src += lanes) {
+          if (rows_[src].entries == nullptr) {
+            compute_row(static_cast<std::uint32_t>(src));
+          }
+        }
+      }));
+    }
+    for (auto& future : done) future.get();
+  }
+  cached_sources_ = n;
+}
+
+std::size_t RoutingTable::row_bytes() const {
+  std::size_t total = 0;
+  for (const SourceRow& row : rows_) {
+    if (row.entries != nullptr) {
+      total += topology_.router_count() * sizeof(DestEntry);
+    }
+  }
+  return total;
+}
+
+std::shared_ptr<const SharedRouting> SharedRouting::build(AsTopology topology,
+                                                          std::size_t threads) {
+  std::shared_ptr<SharedRouting> shared(
+      new SharedRouting(std::move(topology)));
+  shared->topology_.warm_as_hops(threads);
+  shared->table_.warm_all(threads);
+  return shared;
 }
 
 }  // namespace uap2p::underlay

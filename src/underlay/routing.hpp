@@ -1,31 +1,46 @@
 // Shortest-path routing over the underlay router graph.
 //
-// Routes are computed with Dijkstra on link latencies (one run per source
-// router, cached lazily). PathInfo summarizes everything overlays and the
-// cost model need per packet: end-to-end latency, the AS-level path, and
-// how many transit/peering links the packet crosses. Real interdomain
-// routing is policy-driven (valley-free BGP); latency-shortest paths are
-// an accepted simplification for overlay studies and match the testlab
-// setup of [1], where one router abstracts an AS boundary.
+// Routes are computed with Dijkstra over the topology's flat CSR adjacency
+// (underlay/topology.hpp) — one run per source router, cached lazily or
+// batch-warmed in parallel via warm_all. Per-source results are a compact
+// array of per-destination aggregates (latency, bottleneck, hop/crossing
+// counts, predecessor link): O(routers) per source with no per-pair path
+// vectors, so all-pairs state for 1000-AS topologies fits in memory. The
+// AS-level sequence is materialized lazily into an interned store only
+// when a caller asks for it (as_path). Real interdomain routing is
+// policy-driven (valley-free BGP); latency-shortest paths are an accepted
+// simplification for overlay studies and match the testlab setup of [1].
 //
-// Performance model (see DESIGN.md "Performance model"): the cached-path
-// fast path is a single probe of a flat open-addressing table (FlatMap,
-// common/flat_map.hpp — power-of-two capacity, linear probing) — no hashing
-// library, no bucket chains, no allocation. Per-source Dijkstra results
-// live in dense slots indexed by router id, and the Dijkstra
-// frontier/scratch buffers are reused across runs.
+// Performance model (see DESIGN.md "Performance model"): path() on a
+// warmed source is two array indexations and a 40-byte copy. Dijkstra
+// runs over a monotone calendar queue (512 latency-width buckets, exact
+// (distance, router id) order restored inside each bucket) and folds the
+// per-destination aggregates directly into the row during edge relaxation
+// — the relaxing router is always settled, so its aggregates are final.
+// The scratch (distance array, calendar queue) is thread_local, reused
+// across runs and across tables. Ties break canonically on (distance,
+// router id), so the predecessor graph — and everything derived from it —
+// is independent of scheduling and thread count; that is what makes
+// SharedRouting safe to reuse across parallel trials without changing any
+// emitted byte.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
-#include <queue>
+#include <span>
 #include <vector>
 
 #include "common/flat_map.hpp"
 #include "common/ids.hpp"
 #include "sim/time.hpp"
 #include "underlay/topology.hpp"
+
+namespace uap2p {
+class ThreadPool;
+}
 
 namespace uap2p::underlay {
 
@@ -35,21 +50,20 @@ namespace uap2p::underlay {
 inline constexpr sim::SimTime kUnreachableLatency =
     std::numeric_limits<sim::SimTime>::max();
 
-/// Per-pair routing summary.
+/// Per-pair routing summary. A plain 40-byte value, returned by copy; the
+/// AS-level sequence itself lives in the RoutingTable (see as_path).
 struct PathInfo {
   sim::SimTime latency_ms = 0.0;       ///< Sum of link latencies.
   double bottleneck_mbps = 0.0;        ///< Min link bandwidth on the path.
-  std::vector<AsId> as_path;           ///< Consecutive-deduplicated ASes.
   std::uint32_t router_hops = 0;       ///< Number of links traversed.
   std::uint32_t transit_crossings = 0; ///< Transit links on the path.
   std::uint32_t peering_crossings = 0; ///< Peering links on the path.
+  std::uint32_t as_crossings = 0;      ///< AS boundary changes on the path.
   bool reachable = false;
 
-  /// AS hops = |as_path| - 1 (0 when both endpoints share an AS).
-  [[nodiscard]] std::size_t as_hops() const {
-    return as_path.empty() ? 0 : as_path.size() - 1;
-  }
-  [[nodiscard]] bool intra_as() const { return as_hops() == 0 && reachable; }
+  /// AS hops along the path (0 when both endpoints share an AS).
+  [[nodiscard]] std::size_t as_hops() const { return as_crossings; }
+  [[nodiscard]] bool intra_as() const { return as_crossings == 0 && reachable; }
 
   /// Latency if the pair is reachable, `std::nullopt` otherwise. Use this
   /// (or latency_or) when the result feeds arithmetic; the raw latency_ms
@@ -64,12 +78,14 @@ struct PathInfo {
   }
 };
 
-/// Caching shortest-path oracle over an immutable topology. Not
-/// thread-safe; one instance per simulation.
+/// Shortest-path oracle over an immutable topology. Lazy queries (the
+/// non-const entry points) are not thread-safe; a fully warmed table is
+/// read through the const entry points from any number of threads — that
+/// is the contract SharedRouting packages up.
 class RoutingTable {
  public:
   explicit RoutingTable(const AsTopology& topology)
-      : topology_(topology), sources_(topology.router_count()) {}
+      : topology_(topology), rows_(topology.router_count()) {}
 
   /// One-way latency between two routers (0 when src == dst,
   /// kUnreachableLatency when unreachable — do not sum without checking
@@ -78,68 +94,158 @@ class RoutingTable {
     return path(src, dst).latency_ms;
   }
 
-  /// Full per-pair summary; cached. The returned reference is stable for
-  /// the lifetime of the RoutingTable (values live in a chunked store that
-  /// never relocates, only the index rehashes).
-  const PathInfo& path(RouterId src, RouterId dst) {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
-    // One-entry memo: overlay traffic has strong per-pair temporal
-    // locality (retries, request/response bursts between two hosts).
-    if (key == memo_key_ && memo_value_ != nullptr) return *memo_value_;
-    if (const PathInfo* const* found = cache_.find(key)) {
-      memo_key_ = key;
-      memo_value_ = *found;
-      return **found;
-    }
-    return path_miss(key, src, dst);
+  /// Full per-pair summary, by value. Runs the source's Dijkstra on first
+  /// use; afterwards a lookup is two array indexations.
+  [[nodiscard]] PathInfo path(RouterId src, RouterId dst) {
+    return summarize(ensure_row(src.value())[dst.value()]);
+  }
+  /// Read-only lookup on a warmed source (warm_all or a prior lazy query).
+  /// Safe to call concurrently; SharedRouting exposes exactly this.
+  [[nodiscard]] PathInfo path(RouterId src, RouterId dst) const {
+    assert(warmed(src));
+    return summarize(rows_[src.value()].entries[dst.value()]);
   }
 
+  /// AS-level sequence for a reachable pair (consecutive-deduplicated,
+  /// src's AS first), empty when unreachable. Materialized from the
+  /// predecessor links on first request per (src, dst) and interned:
+  /// identical sequences share one stable copy, and the returned span
+  /// stays valid for the table's lifetime.
+  [[nodiscard]] std::span<const AsId> as_path(RouterId src, RouterId dst);
+
   /// Router-level path (sequence of routers, src first). Recomputed from
-  /// the predecessor array on each call; use path() for hot lookups.
+  /// the predecessor links on each call; use path() for hot lookups.
   [[nodiscard]] std::vector<RouterId> router_path(RouterId src, RouterId dst);
+
+  /// Batch-computes every source row, spread over the process pool
+  /// (`threads` caps concurrency, 0 = hardware). Deterministic: rows are
+  /// independent pure functions of the topology and writes are indexed by
+  /// source, so the warmed table is identical to one filled serially.
+  void warm_all(std::size_t threads = 0);
+  /// Same, dispatching on an explicit pool (runs inline when the pool has
+  /// one thread or the caller is already a pool worker).
+  void warm_all(ThreadPool& pool);
+
+  [[nodiscard]] bool warmed(RouterId src) const {
+    return rows_[src.value()].entries != nullptr;
+  }
 
   /// Number of distinct source routers whose Dijkstra run is cached.
   [[nodiscard]] std::size_t cached_sources() const { return cached_sources_; }
 
-  /// Number of pair summaries held by the flat cache.
-  [[nodiscard]] std::size_t cached_pairs() const { return values_.size(); }
+  /// Bytes held by the per-source aggregate rows — the O(N²) budget that
+  /// must fit for 1000-AS all-pairs routing.
+  [[nodiscard]] std::size_t row_bytes() const;
 
  private:
-  struct SourceState {
-    std::vector<sim::SimTime> dist;
-    std::vector<RouterId> prev_router;
-    std::vector<std::uint32_t> prev_link;
+  /// Per-destination aggregates for one source row; 32 bytes. reachable
+  /// is encoded as latency != kUnreachableLatency.
+  struct DestEntry {
+    sim::SimTime latency;
+    double bottleneck;
+    std::uint32_t prev_link;  ///< Global link index; UINT32_MAX at src/unreached.
+    std::uint16_t router_hops;
+    std::uint16_t transit;
+    std::uint16_t peering;
+    std::uint16_t as_crossings;
+  };
+  /// One per-source row of router_count() DestEntry aggregates. Allocated
+  /// uninitialized (compute_row writes every entry exactly once: settled
+  /// destinations during relaxation, the rest in the unreachable sweep) so
+  /// a cold run never pays a redundant value-initialization pass.
+  struct SourceRow {
+    std::unique_ptr<DestEntry[]> entries;  ///< Null until computed.
+  };
+  /// One interned AS sequence; `data` points into the stable block arena,
+  /// `next` chains same-hash entries.
+  struct InternedPath {
+    const AsId* data;
+    std::uint32_t size;
+    std::uint32_t next;
   };
 
-  const PathInfo& path_miss(std::uint64_t key, RouterId src, RouterId dst);
-  const PathInfo& cache_insert(std::uint64_t key, PathInfo info);
+  [[nodiscard]] PathInfo summarize(const DestEntry& entry) const {
+    PathInfo info;
+    if (entry.latency == kUnreachableLatency) {
+      info.latency_ms = kUnreachableLatency;
+      return info;
+    }
+    info.latency_ms = entry.latency;
+    info.bottleneck_mbps = entry.bottleneck;
+    info.router_hops = entry.router_hops;
+    info.transit_crossings = entry.transit;
+    info.peering_crossings = entry.peering;
+    info.as_crossings = entry.as_crossings;
+    info.reachable = true;
+    return info;
+  }
 
-  const SourceState& run_dijkstra(RouterId src);
-  PathInfo summarize(const SourceState& state, RouterId src, RouterId dst);
+  const DestEntry* ensure_row(std::uint32_t src) {
+    SourceRow& row = rows_[src];
+    if (row.entries == nullptr) {
+      compute_row(src);
+      ++cached_sources_;
+    }
+    return row.entries.get();
+  }
+
+  /// Dijkstra + aggregate pass for one source. Writes only rows_[src] and
+  /// thread_local scratch, so warm_all may run it concurrently for
+  /// distinct sources (the topology CSR must be built first).
+  void compute_row(std::uint32_t src);
+
+  [[nodiscard]] RouterId prev_router_of(const DestEntry& entry,
+                                        RouterId node) const {
+    const Link& link = topology_.link(entry.prev_link);
+    return link.a == node ? link.b : link.a;
+  }
+
+  std::uint32_t intern(std::span<const AsId> sequence);
 
   const AsTopology& topology_;
-
-  // Dense per-source Dijkstra results, indexed by router id.
-  std::vector<std::optional<SourceState>> sources_;
+  std::vector<SourceRow> rows_;
   std::size_t cached_sources_ = 0;
 
-  // Flat pair -> PathInfo cache. The index (FlatMap) rehashes as it grows,
-  // but it stores pointers into the ChunkedStore, whose element addresses
-  // never move — so references returned by path() stay valid for the
-  // table's lifetime. One-entry memo on top for per-pair temporal locality.
-  FlatMap<std::uint64_t, const PathInfo*> cache_;
-  ChunkedStore<PathInfo> values_;
-  std::uint64_t memo_key_ = 0;
-  const PathInfo* memo_value_ = nullptr;
-
-  // Reusable Dijkstra scratch: the frontier heap keeps its backing vector
-  // across runs, and summarize/router_path reuse one AS scratch buffer.
-  using FrontierEntry = std::pair<sim::SimTime, std::uint32_t>;
-  std::priority_queue<FrontierEntry, std::vector<FrontierEntry>,
-                      std::greater<>>
-      frontier_;
+  // Lazy as_path store: pair -> interned entry, hash -> chain head, and a
+  // block arena whose blocks never reallocate once created — spans handed
+  // out stay valid as the store grows.
+  static constexpr std::size_t kArenaBlock = 1024;
+  FlatMap<std::uint64_t, std::uint32_t> pair_paths_;
+  FlatMap<std::uint64_t, std::uint32_t> intern_heads_;
+  std::vector<InternedPath> interned_;
+  std::vector<std::vector<AsId>> arena_;
   std::vector<AsId> scratch_as_;
+};
+
+/// An immutable, fully warmed topology + routing snapshot that parallel
+/// trials of a bench group borrow instead of each rebuilding identical
+/// state (the underlay is seed-derived per *group*, not per trial). All
+/// entry points are const and purely read after build(): the router CSR,
+/// the AS-hop cache, and every source row are precomputed, so concurrent
+/// readers never race and results are byte-identical to an owned table.
+class SharedRouting {
+ public:
+  /// Builds the snapshot: constructs the CSR views, warms every AS-hop
+  /// BFS row, and batch-computes all Dijkstra sources (`threads` caps the
+  /// warm-up concurrency, 0 = hardware).
+  [[nodiscard]] static std::shared_ptr<const SharedRouting> build(
+      AsTopology topology, std::size_t threads = 0);
+
+  [[nodiscard]] const AsTopology& topology() const { return topology_; }
+  [[nodiscard]] const RoutingTable& table() const { return table_; }
+  [[nodiscard]] PathInfo path(RouterId src, RouterId dst) const {
+    return table_.path(src, dst);
+  }
+
+  SharedRouting(const SharedRouting&) = delete;
+  SharedRouting& operator=(const SharedRouting&) = delete;
+
+ private:
+  explicit SharedRouting(AsTopology topology)
+      : topology_(std::move(topology)), table_(topology_) {}
+
+  AsTopology topology_;  ///< Declared before table_, which references it.
+  RoutingTable table_;
 };
 
 }  // namespace uap2p::underlay

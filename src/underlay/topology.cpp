@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <deque>
+
+#include "common/thread_pool.hpp"
 
 namespace uap2p::underlay {
 
@@ -25,6 +26,7 @@ AsId AsTopology::add_as(std::string name, bool is_transit, GeoPoint location) {
   ases_.push_back(std::move(as));
   assign_prefix(ases_.back().id);
   as_hop_cache_.clear();
+  as_csr_dirty_ = true;
   return ases_.back().id;
 }
 
@@ -49,6 +51,7 @@ RouterId AsTopology::add_router(AsId as, GeoPoint location) {
   ases_[as.value()].routers.push_back(router.id);
   routers_.push_back(router);
   adjacency_.emplace_back();
+  csr_dirty_ = true;
   return router.id;
 }
 
@@ -61,6 +64,8 @@ void AsTopology::connect(RouterId a, RouterId b, LinkType type,
   adjacency_[a.value()].push_back(Neighbor{b, index});
   adjacency_[b.value()].push_back(Neighbor{a, index});
   as_hop_cache_.clear();
+  csr_dirty_ = true;
+  as_csr_dirty_ = true;
 }
 
 void AsTopology::connect_ases(AsId a, AsId b, LinkType type) {
@@ -218,26 +223,97 @@ AsTopology AsTopology::transit_stub(std::size_t n_transit,
   return topo;
 }
 
+const AsTopology::RouterCsr& AsTopology::csr() const {
+  if (!csr_dirty_) return csr_;
+  const std::size_t n = routers_.size();
+  std::size_t edges = 0;
+  for (const auto& list : adjacency_) edges += list.size();
+  csr_.offsets.assign(n + 1, 0);
+  csr_.heads.clear();
+  csr_.heads.reserve(edges);
+  csr_.weights.clear();
+  csr_.weights.reserve(edges);
+  csr_.links.clear();
+  csr_.links.reserve(edges);
+  csr_.bandwidths.clear();
+  csr_.bandwidths.reserve(edges);
+  csr_.types.clear();
+  csr_.types.reserve(edges);
+  csr_.router_as.resize(n);
+  csr_.max_weight = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    csr_.offsets[r] = static_cast<std::uint32_t>(csr_.heads.size());
+    csr_.router_as[r] = routers_[r].as.value();
+    for (const Neighbor& neighbor : adjacency_[r]) {
+      const Link& link = links_[neighbor.link_index];
+      csr_.heads.push_back(neighbor.router.value());
+      csr_.weights.push_back(link.latency_ms);
+      csr_.links.push_back(neighbor.link_index);
+      csr_.bandwidths.push_back(link.bandwidth_mbps);
+      csr_.types.push_back(static_cast<std::uint8_t>(link.type));
+      csr_.max_weight = std::max(csr_.max_weight, link.latency_ms);
+    }
+  }
+  csr_.offsets[n] = static_cast<std::uint32_t>(csr_.heads.size());
+  csr_dirty_ = false;
+  return csr_;
+}
+
+const AsTopology::AsCsr& AsTopology::as_csr() const {
+  if (!as_csr_dirty_) return as_csr_;
+  const std::size_t n = ases_.size();
+  as_csr_.offsets.assign(n + 1, 0);
+  as_csr_.heads.clear();
+  // Per-source stamp dedup (an AS may reach the same neighbor over several
+  // links); discovery order is preserved, matching the historical
+  // as_neighbors result.
+  std::vector<std::uint32_t> seen(n, UINT32_MAX);
+  for (std::size_t a = 0; a < n; ++a) {
+    as_csr_.offsets[a] = static_cast<std::uint32_t>(as_csr_.heads.size());
+    for (const RouterId router : ases_[a].routers) {
+      for (const Neighbor& neighbor : adjacency_[router.value()]) {
+        const AsId other = routers_[neighbor.router.value()].as;
+        if (other.value() == a || seen[other.value()] == a) continue;
+        seen[other.value()] = static_cast<std::uint32_t>(a);
+        as_csr_.heads.push_back(other);
+      }
+    }
+  }
+  as_csr_.offsets[n] = static_cast<std::uint32_t>(as_csr_.heads.size());
+  as_csr_dirty_ = false;
+  return as_csr_;
+}
+
+void AsTopology::fill_as_row(std::vector<std::size_t>& dist, AsId from) const {
+  // Callers build as_csr_ before any concurrent fill; this reads it only.
+  const AsCsr& graph = as_csr_;
+  dist.assign(ases_.size(), SIZE_MAX);
+  dist[from.value()] = 0;
+  std::vector<std::uint32_t> queue;
+  queue.reserve(ases_.size());
+  queue.push_back(from.value());
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t current = queue[head];
+    const std::size_t next_dist = dist[current] + 1;
+    for (std::uint32_t e = graph.offsets[current];
+         e < graph.offsets[current + 1]; ++e) {
+      const std::uint32_t other = graph.heads[e].value();
+      if (dist[other] == SIZE_MAX) {
+        dist[other] = next_dist;
+        queue.push_back(other);
+      }
+    }
+  }
+}
+
 std::vector<std::size_t>& AsTopology::as_bfs(AsId from) const {
   if (as_hop_cache_.size() != ases_.size()) {
     as_hop_cache_.assign(ases_.size(), {});
   }
   auto& dist = as_hop_cache_[from.value()];
   if (!dist.empty()) return dist;
-
-  dist.assign(ases_.size(), SIZE_MAX);
-  dist[from.value()] = 0;
-  std::deque<AsId> frontier{from};
-  while (!frontier.empty()) {
-    const AsId current = frontier.front();
-    frontier.pop_front();
-    for (const AsId next : as_neighbors(current)) {
-      if (dist[next.value()] == SIZE_MAX) {
-        dist[next.value()] = dist[current.value()] + 1;
-        frontier.push_back(next);
-      }
-    }
-  }
+  (void)as_csr();
+  fill_as_row(dist, from);
   return dist;
 }
 
@@ -246,18 +322,25 @@ std::size_t AsTopology::as_hop_distance(AsId from, AsId to) const {
   return as_bfs(from)[to.value()];
 }
 
-std::vector<AsId> AsTopology::as_neighbors(AsId as) const {
-  std::vector<AsId> result;
-  for (const RouterId router : ases_[as.value()].routers) {
-    for (const Neighbor& neighbor : adjacency_[router.value()]) {
-      const AsId other = as_of(neighbor.router);
-      if (other != as && std::find(result.begin(), result.end(), other) ==
-                             result.end()) {
-        result.push_back(other);
-      }
-    }
+void AsTopology::warm_as_hops(std::size_t threads) const {
+  (void)as_csr();  // build once, before workers share it read-only
+  if (as_hop_cache_.size() != ases_.size()) {
+    as_hop_cache_.assign(ases_.size(), {});
   }
-  return result;
+  parallel_for(
+      ases_.size(),
+      [this](std::size_t a) {
+        auto& dist = as_hop_cache_[a];
+        if (dist.empty()) fill_as_row(dist, AsId(static_cast<std::uint32_t>(a)));
+      },
+      threads);
+}
+
+std::span<const AsId> AsTopology::as_neighbors(AsId as) const {
+  const AsCsr& graph = as_csr();
+  const std::uint32_t begin = graph.offsets[as.value()];
+  const std::uint32_t end = graph.offsets[as.value() + 1];
+  return {graph.heads.data() + begin, end - begin};
 }
 
 }  // namespace uap2p::underlay

@@ -132,13 +132,48 @@ class AsTopology {
     return adjacency_[id.value()];
   }
 
+  /// Flat CSR (compressed sparse row) view of the router graph: the
+  /// directed edges out of router r are heads[offsets[r] .. offsets[r+1]),
+  /// with weights[] the link latency and links[] the global link index.
+  /// Neighbor order matches neighbors(). Rebuilt lazily after the last
+  /// mutation; every RoutingTable runs Dijkstra over this view, so build
+  /// it (by calling this) before sharing a topology across threads.
+  struct RouterCsr {
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint32_t> heads;
+    std::vector<sim::SimTime> weights;
+    std::vector<std::uint32_t> links;
+    /// Flat mirrors of the Link / Router records the routing aggregate
+    /// fold needs, so Dijkstra never chases 40-byte Link structs:
+    std::vector<double> bandwidths;        ///< One per edge.
+    std::vector<std::uint8_t> types;       ///< LinkType, one per edge.
+    std::vector<std::uint32_t> router_as;  ///< AS id, one per router.
+    double max_weight = 0.0;  ///< Max edge latency (calendar bucket width).
+  };
+  [[nodiscard]] const RouterCsr& csr() const;
+
+  /// CSR view of the inter-AS graph (consecutive-deduplicated, in router /
+  /// link discovery order). Backs as_neighbors and the AS-hop BFS.
+  struct AsCsr {
+    std::vector<std::uint32_t> offsets;
+    std::vector<AsId> heads;
+  };
+  [[nodiscard]] const AsCsr& as_csr() const;
+
   /// AS-level hop distance (BFS over the inter-AS graph); this is the
   /// metric the Oracle of [1] ranks candidate lists by. Returns
   /// SIZE_MAX if unreachable. Cached after first use per source.
   [[nodiscard]] std::size_t as_hop_distance(AsId from, AsId to) const;
 
-  /// All ASes adjacent to `as` in the inter-AS graph.
-  [[nodiscard]] std::vector<AsId> as_neighbors(AsId as) const;
+  /// Precomputes every per-source AS-hop BFS row (spread over `threads`,
+  /// 0 = hardware concurrency). After warming, as_hop_distance is a pure
+  /// read — required before sharing the topology across threads, since
+  /// the lazy per-source fill mutates the cache.
+  void warm_as_hops(std::size_t threads = 0) const;
+
+  /// All ASes adjacent to `as` in the inter-AS graph (a view into the AS
+  /// CSR; valid until the next mutation).
+  [[nodiscard]] std::span<const AsId> as_neighbors(AsId as) const;
 
   [[nodiscard]] const TopologyConfig& config() const { return config_; }
 
@@ -154,12 +189,18 @@ class AsTopology {
   void build_internal_routers(AsId as, Rng& rng);
   void assign_prefix(AsId as);
   std::vector<std::size_t>& as_bfs(AsId from) const;
+  void fill_as_row(std::vector<std::size_t>& dist, AsId from) const;
 
   TopologyConfig config_;
   std::vector<AutonomousSystem> ases_;
   std::vector<Router> routers_;
   std::vector<Link> links_;
   std::vector<std::vector<Neighbor>> adjacency_;
+  // Lazily (re)built flat views; dirty after any mutation.
+  mutable RouterCsr csr_;
+  mutable bool csr_dirty_ = true;
+  mutable AsCsr as_csr_;
+  mutable bool as_csr_dirty_ = true;
   // Lazy per-source AS-hop caches.
   mutable std::vector<std::vector<std::size_t>> as_hop_cache_;
 };

@@ -49,15 +49,14 @@ TEST(CostCurves, ZeroAndNegativeTrafficSafe) {
 
 PathInfo intra_path() {
   PathInfo path;
-  path.reachable = true;
-  path.as_path = {AsId(0)};
+  path.reachable = true;  // as_crossings == 0 -> intra_as()
   return path;
 }
 
 PathInfo transit_path(std::uint32_t crossings) {
   PathInfo path;
   path.reachable = true;
-  path.as_path = {AsId(0), AsId(1)};
+  path.as_crossings = 1;
   path.transit_crossings = crossings;
   return path;
 }

@@ -8,11 +8,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "../bench/bench_common.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "underlay/routing.hpp"
 
 namespace uap2p {
 namespace {
@@ -136,6 +139,114 @@ TEST(RunTrials, MetricsSnapshotsAreByteIdenticalSerialVsParallel) {
   EXPECT_NE(serial.find("gnutella.messages.query"), std::string::npos);
   EXPECT_NE(serial.find("engine.events.executed"), std::string::npos);
   EXPECT_NE(serial.find("traffic.bytes.total"), std::string::npos);
+}
+
+TEST(SharedRouting, ConcurrentReadersSeeIdenticalAnswers) {
+  // The tentpole contract: after build(), the snapshot is pure reads.
+  // Hammer the same warmed table from many threads (the TSan subject) and
+  // require every thread to observe bit-identical answers to a serial
+  // reference sweep.
+  const auto routing = underlay::SharedRouting::build(
+      underlay::AsTopology::transit_stub(2, 4, 0.4));
+  const auto n =
+      static_cast<std::uint32_t>(routing->topology().router_count());
+  // Serial reference sweep (fingerprint of every pair's summary).
+  auto fingerprint = [&] {
+    std::uint64_t acc = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        const underlay::PathInfo info =
+            routing->path(RouterId(i), RouterId(j));
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(info.latency_ms));
+        std::memcpy(&bits, &info.latency_ms, sizeof(bits));
+        acc = acc * 1099511628211ull + bits;
+        acc = acc * 31 + info.router_hops + info.as_crossings * 7 +
+              info.transit_crossings * 11 + info.peering_crossings * 13 +
+              (info.reachable ? 1 : 0);
+      }
+    }
+    return acc;
+  };
+  const std::uint64_t expected = fingerprint();
+  const auto sweeps = parallel_map(
+      8, [&](std::size_t) { return fingerprint(); }, 8);
+  for (const std::uint64_t got : sweeps) EXPECT_EQ(got, expected);
+  // The AS-hop cache is warmed too — concurrent reads through the Oracle's
+  // metric are pure after build().
+  const std::size_t as_count = routing->topology().as_count();
+  auto row_sum = [&](std::size_t from) {
+    std::size_t acc = 0;
+    for (std::size_t to = 0; to < as_count; ++to) {
+      acc += routing->topology().as_hop_distance(AsId(std::uint32_t(from)),
+                                                 AsId(std::uint32_t(to)));
+    }
+    return acc;
+  };
+  std::vector<std::size_t> serial_rows(8);
+  for (std::size_t k = 0; k < serial_rows.size(); ++k)
+    serial_rows[k] = row_sum(k % as_count);
+  const auto hops = parallel_map(
+      8, [&](std::size_t k) { return row_sum(k % as_count); }, 8);
+  for (std::size_t k = 0; k < hops.size(); ++k)
+    EXPECT_EQ(hops[k], serial_rows[k]);
+}
+
+TEST(SharedRouting, WarmAllOnPoolMatchesSerialWarm) {
+  // warm_all(ThreadPool&) must produce the identical table to a serial
+  // warm: rows are pure functions of the topology, indexed by source.
+  const underlay::AsTopology topo =
+      underlay::AsTopology::transit_stub(2, 3, 0.5);
+  underlay::RoutingTable serial(topo);
+  serial.warm_all(1);
+  underlay::RoutingTable pooled(topo);
+  {
+    ThreadPool pool(4);
+    pooled.warm_all(pool);
+  }
+  EXPECT_EQ(pooled.cached_sources(), topo.router_count());
+  const auto n = static_cast<std::uint32_t>(topo.router_count());
+  const auto& serial_const = serial;
+  const auto& pooled_const = pooled;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const underlay::PathInfo a = serial_const.path(RouterId(i), RouterId(j));
+      const underlay::PathInfo b = pooled_const.path(RouterId(i), RouterId(j));
+      EXPECT_EQ(a.latency_ms, b.latency_ms);
+      EXPECT_EQ(a.bottleneck_mbps, b.bottleneck_mbps);
+      EXPECT_EQ(a.router_hops, b.router_hops);
+      EXPECT_EQ(a.as_crossings, b.as_crossings);
+    }
+  }
+}
+
+TEST(RunTrials, SharedRoutingTrialsAreByteIdenticalSerialVsParallel) {
+  // The bench-adoption gate in unit form: trials that borrow one group-wide
+  // SharedRouting snapshot (as bench_table1 / bench_collection_compare now
+  // do) must merge byte-identical metrics no matter the thread count.
+  const auto routing = underlay::SharedRouting::build(
+      underlay::AsTopology::transit_stub(2, 3, 0.3));
+  auto run_once = [&](std::size_t threads) {
+    bench::trial_metrics().reset();
+    bench::options().collect_metrics = true;
+    bench::run_trials(
+        4, /*base_seed=*/11,
+        [&](std::size_t, std::uint64_t seed) {
+          overlay::gnutella::Config config;
+          bench::GnutellaLab lab(routing, 60, config, seed);
+          return lab.run_locality_workload(/*copies=*/2, /*searches_per_as=*/2,
+                                           /*download=*/false);
+        },
+        threads);
+    bench::options().collect_metrics = false;
+    const std::string json = bench::trial_metrics().merged().to_json();
+    bench::trial_metrics().reset();
+    return json;
+  };
+  const std::string serial = run_once(1);
+  const std::string parallel = run_once(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("gnutella.messages.query"), std::string::npos);
 }
 
 TEST(Rng, SplitSeedMatchesSplit) {

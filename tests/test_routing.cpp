@@ -39,9 +39,11 @@ TEST(Routing, PathInfoSummaries) {
   EXPECT_EQ(info.peering_crossings, 1u);
   EXPECT_EQ(info.transit_crossings, 0u);
   EXPECT_FALSE(info.intra_as());
-  ASSERT_EQ(info.as_path.size(), 2u);
-  EXPECT_EQ(info.as_path.front(), AsId(0));
-  EXPECT_EQ(info.as_path.back(), AsId(1));
+  EXPECT_EQ(info.as_crossings, 1u);
+  const auto as_path = routing.as_path(RouterId(0), RouterId(3));
+  ASSERT_EQ(as_path.size(), 2u);
+  EXPECT_EQ(as_path.front(), AsId(0));
+  EXPECT_EQ(as_path.back(), AsId(1));
   EXPECT_DOUBLE_EQ(info.bottleneck_mbps, 1000.0);
 }
 
@@ -132,11 +134,11 @@ TEST(Routing, CacheGrowsPerSource) {
   const AsTopology topo = AsTopology::ring(4);
   RoutingTable routing(topo);
   EXPECT_EQ(routing.cached_sources(), 0u);
-  routing.path(RouterId(0), RouterId(5));
+  (void)routing.path(RouterId(0), RouterId(5));
   EXPECT_EQ(routing.cached_sources(), 1u);
-  routing.path(RouterId(0), RouterId(7));
+  (void)routing.path(RouterId(0), RouterId(7));
   EXPECT_EQ(routing.cached_sources(), 1u);  // same source reused
-  routing.path(RouterId(3), RouterId(1));
+  (void)routing.path(RouterId(3), RouterId(1));
   EXPECT_EQ(routing.cached_sources(), 2u);
 }
 
@@ -146,13 +148,64 @@ TEST(Routing, AsPathHasNoConsecutiveDuplicates) {
   const auto n = static_cast<std::uint32_t>(topo.router_count());
   for (std::uint32_t i = 0; i < n; i += 4) {
     for (std::uint32_t j = 1; j < n; j += 4) {
-      const PathInfo& info = routing.path(RouterId(i), RouterId(j));
-      if (!info.reachable) continue;
-      for (std::size_t k = 0; k + 1 < info.as_path.size(); ++k) {
-        EXPECT_NE(info.as_path[k], info.as_path[k + 1]);
+      const PathInfo info = routing.path(RouterId(i), RouterId(j));
+      const auto as_path = routing.as_path(RouterId(i), RouterId(j));
+      if (!info.reachable) {
+        EXPECT_TRUE(as_path.empty());
+        continue;
+      }
+      // The lazily interned sequence agrees with the packed crossing count.
+      ASSERT_EQ(as_path.size(), std::size_t(info.as_crossings) + 1);
+      for (std::size_t k = 0; k + 1 < as_path.size(); ++k) {
+        EXPECT_NE(as_path[k], as_path[k + 1]);
       }
     }
   }
+}
+
+TEST(Routing, AsPathInterningDeduplicatesStorage) {
+  // Many intra-AS pairs share the single-AS sequence; interning must hand
+  // back the same stable storage for all of them.
+  const AsTopology topo = AsTopology::ring(3);
+  RoutingTable routing(topo);
+  const auto first = routing.as_path(RouterId(0), RouterId(1));
+  const auto second = routing.as_path(RouterId(1), RouterId(2));
+  const auto repeat = routing.as_path(RouterId(0), RouterId(1));
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first.data(), second.data());  // same interned sequence
+  EXPECT_EQ(first.data(), repeat.data());  // pair memoized
+  // Spans stay valid as the store grows across every pair in the topology.
+  const auto n = static_cast<std::uint32_t>(topo.router_count());
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = 0; j < n; ++j)
+      (void)routing.as_path(RouterId(i), RouterId(j));
+  EXPECT_EQ(first.front(), topo.as_of(RouterId(0)));
+}
+
+TEST(Routing, WarmAllMatchesLazyQueries) {
+  const AsTopology topo = AsTopology::transit_stub(2, 4, 0.4);
+  RoutingTable lazy(topo);
+  RoutingTable warmed(topo);
+  warmed.warm_all();
+  EXPECT_EQ(warmed.cached_sources(), topo.router_count());
+  const auto& warmed_const = warmed;
+  const auto n = static_cast<std::uint32_t>(topo.router_count());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(warmed_const.warmed(RouterId(i)));
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const PathInfo a = lazy.path(RouterId(i), RouterId(j));
+      // Read through the const (shared-reader) entry point.
+      const PathInfo b = warmed_const.path(RouterId(i), RouterId(j));
+      EXPECT_EQ(a.reachable, b.reachable);
+      EXPECT_EQ(a.latency_ms, b.latency_ms);  // bit-identical
+      EXPECT_EQ(a.bottleneck_mbps, b.bottleneck_mbps);
+      EXPECT_EQ(a.router_hops, b.router_hops);
+      EXPECT_EQ(a.transit_crossings, b.transit_crossings);
+      EXPECT_EQ(a.peering_crossings, b.peering_crossings);
+      EXPECT_EQ(a.as_crossings, b.as_crossings);
+    }
+  }
+  EXPECT_GT(warmed.row_bytes(), 0u);
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 // on every topology generator and on random graphs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -126,9 +129,10 @@ TEST_P(RoutingVsReferenceP, CrossingCountsMatchPathWalk) {
 INSTANTIATE_TEST_SUITE_P(AllGenerators, RoutingVsReferenceP,
                          ::testing::Range(0, 10));
 
-// --- Flat-cache correctness after the open-addressing flattening ---------
+// --- CSR core vs the retained adjacency-list reference -------------------
 
 namespace {
+
 void expect_bit_identical(const PathInfo& a, const PathInfo& b,
                           std::uint32_t i, std::uint32_t j) {
   EXPECT_EQ(a.reachable, b.reachable) << i << "->" << j;
@@ -137,43 +141,141 @@ void expect_bit_identical(const PathInfo& a, const PathInfo& b,
   EXPECT_EQ(a.router_hops, b.router_hops) << i << "->" << j;
   EXPECT_EQ(a.transit_crossings, b.transit_crossings) << i << "->" << j;
   EXPECT_EQ(a.peering_crossings, b.peering_crossings) << i << "->" << j;
-  EXPECT_EQ(a.as_path, b.as_path) << i << "->" << j;
+  EXPECT_EQ(a.as_crossings, b.as_crossings) << i << "->" << j;
 }
-}  // namespace
 
-TEST_P(RoutingVsReferenceP, FlatCacheHitsAreBitIdenticalToFreshDijkstra) {
-  const AsTopology topo = make_topology();
-  RoutingTable cached(topo);
+/// The pre-CSR RoutingTable implementation, retained verbatim in spirit as
+/// the reference: per-source Dijkstra walking AsTopology::neighbors()
+/// adjacency lists through a std::priority_queue with (distance, router)
+/// ordering, then a per-destination path walk that materializes every
+/// aggregate the production table now keeps in its compact rows.
+struct ReferenceDijkstra {
+  explicit ReferenceDijkstra(const AsTopology& topo) : topo_(topo) {}
+
+  struct Result {
+    PathInfo info;
+    std::vector<AsId> as_path;
+  };
+
+  Result query(RouterId src, RouterId dst) const {
+    const std::size_t n = topo_.router_count();
+    std::vector<double> dist(n, kInf);
+    std::vector<std::uint32_t> prev_link(
+        n, std::numeric_limits<std::uint32_t>::max());
+    using Item = std::pair<double, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    dist[src.value()] = 0.0;
+    queue.push({0.0, src.value()});
+    while (!queue.empty()) {
+      const auto [d, node] = queue.top();
+      queue.pop();
+      if (d > dist[node]) continue;  // stale entry
+      for (const auto& neighbor : topo_.neighbors(RouterId(node))) {
+        const Link& link = topo_.link(neighbor.link_index);
+        const double candidate = d + link.latency_ms;
+        if (candidate < dist[neighbor.router.value()]) {
+          dist[neighbor.router.value()] = candidate;
+          prev_link[neighbor.router.value()] =
+              static_cast<std::uint32_t>(neighbor.link_index);
+          queue.push({candidate, neighbor.router.value()});
+        }
+      }
+    }
+    Result result;
+    if (dist[dst.value()] == kInf) {
+      result.info.latency_ms = kUnreachableLatency;
+      return result;
+    }
+    result.info.reachable = true;
+    result.info.latency_ms = dist[dst.value()];
+    result.info.bottleneck_mbps =
+        src == dst ? 0.0 : std::numeric_limits<double>::max();
+    result.as_path.push_back(topo_.as_of(dst));
+    for (RouterId node = dst; node != src;) {
+      const Link& link = topo_.link(prev_link[node.value()]);
+      const RouterId parent = link.a == node ? link.b : link.a;
+      ++result.info.router_hops;
+      if (link.type == LinkType::kTransit) ++result.info.transit_crossings;
+      if (link.type == LinkType::kPeering) ++result.info.peering_crossings;
+      if (topo_.as_of(parent) != topo_.as_of(node)) {
+        ++result.info.as_crossings;
+        result.as_path.push_back(topo_.as_of(parent));
+      }
+      result.info.bottleneck_mbps =
+          std::min(result.info.bottleneck_mbps, link.bandwidth_mbps);
+      node = parent;
+    }
+    if (src == dst) result.as_path = {topo_.as_of(src)};
+    std::reverse(result.as_path.begin(), result.as_path.end());
+    return result;
+  }
+
+  const AsTopology& topo_;
+};
+
+/// Every pair, both the lazy and the warmed CSR table, against the
+/// adjacency-list reference. Latency / reachability / bottleneck must be
+/// bit-identical (same additions in the same order); hop and crossing
+/// counts and the interned AS sequence must agree exactly.
+void expect_matches_reference(const AsTopology& topo) {
+  const ReferenceDijkstra reference(topo);
+  RoutingTable lazy(topo);
+  RoutingTable warmed(topo);
+  warmed.warm_all();
   const auto n = static_cast<std::uint32_t>(topo.router_count());
-  // First sweep populates the flat cache (and forces several growth /
-  // rehash cycles for the larger topologies).
-  for (std::uint32_t i = 0; i < n; ++i)
-    for (std::uint32_t j = 0; j < n; ++j) cached.path(RouterId(i), RouterId(j));
-  EXPECT_EQ(cached.cached_pairs(), std::size_t(n) * n);
-  // Second sweep must serve every pair from the cache, bit-identical to a
-  // routing table that computes each answer fresh.
-  RoutingTable fresh(topo);
   for (std::uint32_t i = 0; i < n; ++i) {
     for (std::uint32_t j = 0; j < n; ++j) {
-      expect_bit_identical(cached.path(RouterId(i), RouterId(j)),
-                           fresh.path(RouterId(i), RouterId(j)), i, j);
+      const auto expected = reference.query(RouterId(i), RouterId(j));
+      expect_bit_identical(lazy.path(RouterId(i), RouterId(j)), expected.info,
+                           i, j);
+      expect_bit_identical(warmed.path(RouterId(i), RouterId(j)),
+                           expected.info, i, j);
+      if (!expected.info.reachable) continue;
+      const auto as_path = lazy.as_path(RouterId(i), RouterId(j));
+      ASSERT_EQ(as_path.size(), expected.as_path.size()) << i << "->" << j;
+      for (std::size_t k = 0; k < as_path.size(); ++k)
+        EXPECT_EQ(as_path[k], expected.as_path[k]) << i << "->" << j;
     }
   }
-  EXPECT_EQ(cached.cached_pairs(), std::size_t(n) * n);  // no re-inserts
 }
 
-TEST_P(RoutingVsReferenceP, SelfPathsAreCachedAndZero) {
+}  // namespace
+
+TEST_P(RoutingVsReferenceP, CsrMatchesAdjacencyListReference) {
+  expect_matches_reference(make_topology());
+}
+
+TEST(RoutingVsReference, RandomMeshes) {
+  for (int trial = 0; trial < 6; ++trial) {
+    TopologyConfig config;
+    config.seed = 4000 + trial;
+    expect_matches_reference(
+        AsTopology::mesh(6 + 3 * trial, 0.15 + 0.05 * trial, config));
+  }
+}
+
+TEST(RoutingVsReference, RandomTransitStubs) {
+  for (int trial = 0; trial < 4; ++trial) {
+    TopologyConfig config;
+    config.seed = 5000 + trial;
+    expect_matches_reference(
+        AsTopology::transit_stub(2 + trial % 2, 3 + trial, 0.3, config));
+  }
+}
+
+TEST_P(RoutingVsReferenceP, SelfPathsAreZero) {
   const AsTopology topo = make_topology();
   RoutingTable routing(topo);
   const auto n = static_cast<std::uint32_t>(topo.router_count());
   for (std::uint32_t i = 0; i < n; ++i) {
-    const PathInfo& info = routing.path(RouterId(i), RouterId(i));
+    const PathInfo info = routing.path(RouterId(i), RouterId(i));
     EXPECT_TRUE(info.reachable);
     EXPECT_EQ(info.latency_ms, 0.0);
     EXPECT_EQ(info.router_hops, 0u);
     EXPECT_EQ(info.as_hops(), 0u);
-    // The cached copy must be the same object on a repeat query.
-    EXPECT_EQ(&info, &routing.path(RouterId(i), RouterId(i)));
+    const auto self_as = routing.as_path(RouterId(i), RouterId(i));
+    ASSERT_EQ(self_as.size(), 1u);
+    EXPECT_EQ(self_as.front(), topo.as_of(RouterId(i)));
   }
 }
 
@@ -213,19 +315,24 @@ TEST(RoutingFlatCache, UnreachablePartitionIsStableAndChecked) {
   EXPECT_EQ(local.latency_or(-1.0), 3.0);
 }
 
-TEST(RoutingFlatCache, ReferencesSurviveCacheGrowth) {
-  // path() hands out references that callers (e.g. Network::rtt_ms) hold
-  // across further lookups; rehashing the flat index must not move values.
+TEST(RoutingFlatCache, InternedSpansSurviveStoreGrowth) {
+  // as_path() hands out spans that callers may hold across further
+  // lookups; growing the interned store (and the arena behind it) must not
+  // move previously returned sequences.
   const AsTopology topo = AsTopology::transit_stub(3, 6, 0.4);
   RoutingTable routing(topo);
   const auto n = static_cast<std::uint32_t>(topo.router_count());
-  const PathInfo& early = routing.path(RouterId(0), RouterId(n - 1));
-  const PathInfo early_copy = early;
-  for (std::uint32_t i = 0; i < n; ++i)  // force growth + rehash cycles
-    for (std::uint32_t j = 0; j < n; ++j) routing.path(RouterId(i), RouterId(j));
-  EXPECT_GT(routing.cached_pairs(), 64u);
-  expect_bit_identical(early, early_copy, 0, n - 1);
-  EXPECT_EQ(&early, &routing.path(RouterId(0), RouterId(n - 1)));
+  const auto early = routing.as_path(RouterId(0), RouterId(n - 1));
+  ASSERT_FALSE(early.empty());
+  const std::vector<AsId> early_copy(early.begin(), early.end());
+  for (std::uint32_t i = 0; i < n; ++i)  // force store + arena growth
+    for (std::uint32_t j = 0; j < n; ++j)
+      (void)routing.as_path(RouterId(i), RouterId(j));
+  const auto again = routing.as_path(RouterId(0), RouterId(n - 1));
+  EXPECT_EQ(early.data(), again.data());  // memoized, not re-interned
+  ASSERT_EQ(early.size(), early_copy.size());
+  for (std::size_t k = 0; k < early.size(); ++k)
+    EXPECT_EQ(early[k], early_copy[k]);
 }
 
 TEST(RoutingRandomGraphs, HandMadeMultiEdgePicksCheapest) {
