@@ -21,6 +21,7 @@
 #include "obs/trace.hpp"
 #include "overlay/gnutella.hpp"
 #include "sim/engine.hpp"
+#include "sim/sharded_engine.hpp"
 #include "underlay/network.hpp"
 
 namespace uap2p::bench {
@@ -45,6 +46,11 @@ struct Options {
   /// every RNG stream — the tracediff-self-check gate uses it to prove
   /// that uap2p_tracediff actually detects behavioral divergence.
   std::uint64_t seed_offset = 0;
+  /// --shards=N: per-AS engine shards inside each scenario (conservative
+  /// parallel sync, DESIGN.md "Sharded engine"). 1 (the default) is the
+  /// serial baseline; the sharded-serial-identical gates diff trace and
+  /// metrics between --shards=1 and --shards=4.
+  std::size_t shards = 1;
 };
 
 inline Options& options() {
@@ -67,6 +73,9 @@ inline void parse_flags(int argc, char** argv) {
     } else if (arg.rfind("--seed-offset=", 0) == 0) {
       options().seed_offset =
           std::strtoull(std::string(arg.substr(14)).c_str(), nullptr, 10);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      options().shards = std::max<std::size_t>(
+          1, std::strtoull(std::string(arg.substr(9)).c_str(), nullptr, 10));
     }
   }
 }
@@ -247,7 +256,13 @@ auto run_trials(std::size_t count, std::uint64_t base_seed, Fn&& fn,
 /// + overlay, mirroring [1]'s testlab (peers AS-round-robin, 1 ultrapeer
 /// per 2 leaves, hostcaches filled with random subsets).
 struct GnutellaLab {
-  sim::Engine engine;
+  /// Per-AS shard engines (sim::EngineGroup). One shard — the default —
+  /// is the serial baseline; every pre-existing bench runs there.
+  sim::EngineGroup engines;
+  /// Shard 0, kept as a reference so single-engine call sites
+  /// (lab.engine.now(), lab.engine.run_until(...)) read unchanged. In
+  /// driver code all shard clocks agree, so shard 0 is "the" clock.
+  sim::Engine& engine;
   /// Group-wide immutable routing snapshot (null in owned-topology mode).
   std::shared_ptr<const underlay::SharedRouting> shared;
   underlay::AsTopology topo;  ///< Owned-mode storage; empty in shared mode.
@@ -258,12 +273,18 @@ struct GnutellaLab {
 
   /// `seed` is the trial seed (required — parallel trials must not share
   /// RNG streams); the network, overlay, and workload streams are derived
-  /// from it via Rng::split_seed so they stay decorrelated.
+  /// from it via Rng::split_seed so they stay decorrelated. `shards` = 0
+  /// (the default) takes the --shards flag.
   GnutellaLab(underlay::AsTopology topology, std::size_t peer_count,
-              overlay::gnutella::Config config, std::uint64_t seed)
-      : topo(std::move(topology)), workload_rng_(0) {
+              overlay::gnutella::Config config, std::uint64_t seed,
+              std::size_t shards = 0)
+      : engines(shards != 0 ? shards : options().shards),
+        engine(engines.shard(0)),
+        topo(std::move(topology)),
+        workload_rng_(0) {
     Rng derive(seed);
-    net = std::make_unique<underlay::Network>(engine, topo, derive.split_seed());
+    net = std::make_unique<underlay::Network>(engines, topo,
+                                              derive.split_seed());
     init(peer_count, std::move(config), derive);
   }
 
@@ -273,10 +294,13 @@ struct GnutellaLab {
   /// is the same as the owned ctor, so behavior is byte-identical.
   GnutellaLab(std::shared_ptr<const underlay::SharedRouting> routing,
               std::size_t peer_count, overlay::gnutella::Config config,
-              std::uint64_t seed)
-      : shared(std::move(routing)), workload_rng_(0) {
+              std::uint64_t seed, std::size_t shards = 0)
+      : engines(shards != 0 ? shards : options().shards),
+        engine(engines.shard(0)),
+        shared(std::move(routing)),
+        workload_rng_(0) {
     Rng derive(seed);
-    net = std::make_unique<underlay::Network>(engine, shared,
+    net = std::make_unique<underlay::Network>(engines, shared,
                                               derive.split_seed());
     init(peer_count, std::move(config), derive);
   }
@@ -290,8 +314,17 @@ struct GnutellaLab {
   /// finalize and hand the trial's registry to the process-wide collector.
   ~GnutellaLab() {
     if (!options().collect_metrics) return;
-    engine.export_metrics(metrics);
-    net->traffic().export_metrics(metrics);
+    if (engines.size() == 1) {
+      // Byte-identical to the pre-sharding export: one engine, one
+      // delivery lane, no side registries to fold in.
+      engine.export_metrics(metrics);
+      net->traffic().export_metrics(metrics);
+    } else {
+      engines.export_metrics(metrics);
+      net->export_traffic(metrics);
+      net->merge_side_metrics(metrics);
+      system->collect_shard_metrics(metrics);
+    }
     submit_trial_metrics(std::move(metrics));
   }
 
@@ -378,7 +411,10 @@ struct GnutellaLab {
       net->set_metrics(&metrics);
       system->bind_metrics(metrics);
     }
-    if (obs::TraceSink* trace = acquire_trial_trace()) {
+    // A JSONL sink is single-writer; sharded runs capture traces through
+    // obs::ShardedTraceMux instead (bench_sharded_gate wires it by hand).
+    if (obs::TraceSink* trace = acquire_trial_trace();
+        trace != nullptr && engines.size() == 1) {
       engine.set_trace(trace);
       net->set_trace(trace);
       system->set_trace(trace);

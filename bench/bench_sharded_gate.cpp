@@ -1,0 +1,161 @@
+// Sharded-serial identity driver (DESIGN.md "Sharded engine").
+//
+// Runs one fixed scenario — --scenario=gnutella (flood search over the
+// testlab overlay) or --scenario=kademlia (join + iterative lookups +
+// store/find_value) — under the shard count given by --shards, and emits
+// the observability artifacts the CTest gates diff across shard counts:
+//   * --metrics=<path>: a registry holding the overlay counters, the
+//     lane-merged network/traffic counters, and the engine group's
+//     *comparable* export (the five behavioral counters; the structural
+//     queue/slab stats depend on how the event queue was split and are
+//     deliberately excluded). Must be byte-identical between --shards=1
+//     and --shards=4 (cmake -E compare_files).
+//   * --trace=<path>: the full JSONL trace, captured through
+//     obs::ShardedTraceMux (per-shard lanes merged by timestamp) for
+//     every shard count — including 1 — so both runs take the exact same
+//     emission path. Must diff empty under uap2p_tracediff.
+//
+// The scenario itself is driven through the same EngineGroup machinery at
+// every shard count; --shards=1 is the serial baseline.
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "overlay/kademlia.hpp"
+
+namespace {
+
+using namespace uap2p;
+
+/// Wires per-shard engine lanes + network lanes + the overlay's driver
+/// lane into `mux` (lane 0 = driver/overlay, lane i+1 = shard i).
+template <typename Overlay>
+void wire_trace(sim::EngineGroup& engines, underlay::Network& net,
+                Overlay& overlay, obs::ShardedTraceMux* mux) {
+  if (mux == nullptr) return;
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    engines.shard(i).set_trace(mux->lane(i + 1));
+  }
+  net.set_trace_mux(mux);
+  overlay.set_trace(mux->lane(0));
+}
+
+/// Gnutella flood scenario: locality workload + keepalive cycle over the
+/// standard testlab (GnutellaLab handles construction; its automatic
+/// observability is off — this bench owns the registry and the mux).
+int run_gnutella(std::size_t shards, obs::MetricsRegistry& reg,
+                 obs::ShardedTraceMux* mux) {
+  overlay::gnutella::Config config;
+  bench::GnutellaLab lab(underlay::AsTopology::transit_stub(3, 5, 0.3), 120,
+                         config, /*seed=*/7 + bench::options().seed_offset,
+                         shards);
+  lab.net->set_metrics(&reg);
+  lab.system->bind_metrics(reg);
+  wire_trace(lab.engines, *lab.net, *lab.system, mux);
+
+  const std::size_t successes =
+      lab.run_locality_workload(/*copies=*/2, /*searches_per_as=*/2,
+                                /*download=*/true);
+  lab.system->ping_cycle();
+
+  std::printf("gnutella: shards=%zu successes=%zu messages=%llu\n", shards,
+              successes,
+              static_cast<unsigned long long>(lab.system->counts().total()));
+
+  lab.net->merge_side_metrics(reg);
+  lab.system->collect_shard_metrics(reg);
+  lab.engines.export_comparable_metrics(reg);
+  lab.net->export_traffic(reg);
+  return successes > 0 ? 0 : 1;
+}
+
+/// Kademlia scenario, hand-wired in group mode (vanilla bucket policy —
+/// the gate needs no oracle): sequential join, a spread of node lookups,
+/// then a store/find_value round-trip.
+int run_kademlia(std::size_t shards, obs::MetricsRegistry& reg,
+                 obs::ShardedTraceMux* mux) {
+  sim::EngineGroup engines(shards);
+  const underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 5, 0.3);
+  Rng derive(11 + bench::options().seed_offset);
+  underlay::Network net(engines, topo, derive.split_seed());
+  const std::vector<PeerId> peers = net.populate(64);
+  overlay::kademlia::Config config;
+  config.seed = derive.split_seed();
+  overlay::kademlia::KademliaSystem kad(net, peers, config);
+  net.set_metrics(&reg);
+  kad.set_metrics(&reg);
+  wire_trace(engines, net, kad, mux);
+
+  kad.join_all();
+  std::size_t converged = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    // Deterministic targets spread over the id space, no extra RNG stream.
+    const overlay::kademlia::NodeId target =
+        kad.node_id(peers[(i * 7) % peers.size()]) ^
+        (0x9e3779b97f4a7c15ull * (i + 1));
+    converged += kad.lookup(peers[i % peers.size()], target).converged;
+  }
+  const overlay::kademlia::Key key = 0xfeedfacecafef00dull;
+  kad.store(peers[0], key, "underlay");
+  const auto found = kad.find_value(peers[5], key);
+  const bool value_ok = found.value.has_value() && *found.value == "underlay";
+
+  std::printf("kademlia: shards=%zu converged=%zu/16 value=%s rpcs=%llu\n",
+              shards, converged, value_ok ? "ok" : "MISSING",
+              static_cast<unsigned long long>(kad.total_rpcs()));
+
+  net.merge_side_metrics(reg);
+  engines.export_comparable_metrics(reg);
+  net.export_traffic(reg);
+  return converged > 0 && value_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace uap2p;
+  bench::parse_flags(argc, argv);
+  std::string scenario = "gnutella";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scenario=", 11) == 0) {
+      scenario = argv[i] + 11;
+    }
+  }
+  // This bench owns its observability wiring (the mux must cover every
+  // shard); detach the GnutellaLab/run_trials automatic paths.
+  const std::string metrics_path = bench::options().metrics_path;
+  const std::string trace_path = bench::options().trace_path;
+  bench::options().collect_metrics = false;
+  bench::options().metrics_path.clear();
+  bench::options().trace_path.clear();
+  const std::size_t shards = bench::options().shards;
+
+  obs::MetricsRegistry reg;
+  obs::ShardedTraceMux mux(shards);
+  obs::ShardedTraceMux* muxp = trace_path.empty() ? nullptr : &mux;
+
+  int rc;
+  if (scenario == "kademlia") {
+    rc = run_kademlia(shards, reg, muxp);
+  } else if (scenario == "gnutella") {
+    rc = run_gnutella(shards, reg, muxp);
+  } else {
+    std::fprintf(stderr, "unknown --scenario=%s\n", scenario.c_str());
+    return 2;
+  }
+
+  if (!metrics_path.empty() && !reg.write_json_file(metrics_path)) {
+    std::fprintf(stderr, "error: failed to write metrics to %s\n",
+                 metrics_path.c_str());
+    rc = 1;
+  }
+  if (muxp != nullptr) {
+    obs::JsonlTraceSink sink(trace_path);
+    if (!sink.ok()) {
+      std::fprintf(stderr, "error: failed to open trace %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    mux.flush_to(sink);
+  }
+  return rc;
+}

@@ -1,0 +1,61 @@
+# sharded-serial-identical gate: a scenario run under --shards=4 must be
+# indistinguishable from the --shards=1 serial baseline —
+#   * the --metrics snapshot byte-identical (cmake -E compare_files); the
+#     bench exports only shard-count-invariant counters, so any delta is
+#     a lost/duplicated/reordered event;
+#   * the --trace JSONL diff-empty under uap2p_tracediff (timestamp
+#     groups in order, per-group multiset equality with event tags
+#     masked — tags are allocator ids, the records themselves must match).
+#
+# Usage: cmake -DBENCH=<bench_sharded_gate> -DTRACEDIFF=<uap2p_tracediff>
+#        -DSCENARIO=<gnutella|kademlia> -DWORKDIR=<dir>
+#        -P check_sharded_identical.cmake
+foreach(var BENCH TRACEDIFF SCENARIO WORKDIR)
+  if(NOT ${var})
+    message(FATAL_ERROR "pass -D${var}=...")
+  endif()
+endforeach()
+
+set(serial_metrics "${WORKDIR}/sharded_gate.${SCENARIO}.s1.metrics.json")
+set(sharded_metrics "${WORKDIR}/sharded_gate.${SCENARIO}.s4.metrics.json")
+set(serial_trace "${WORKDIR}/sharded_gate.${SCENARIO}.s1.trace.jsonl")
+set(sharded_trace "${WORKDIR}/sharded_gate.${SCENARIO}.s4.trace.jsonl")
+
+execute_process(COMMAND "${BENCH}" "--scenario=${SCENARIO}" --shards=1
+  "--metrics=${serial_metrics}" "--trace=${serial_trace}"
+  OUTPUT_QUIET RESULT_VARIABLE serial_rc)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --shards=1 exited with ${serial_rc}")
+endif()
+
+execute_process(COMMAND "${BENCH}" "--scenario=${SCENARIO}" --shards=4
+  "--metrics=${sharded_metrics}" "--trace=${sharded_trace}"
+  OUTPUT_QUIET RESULT_VARIABLE sharded_rc)
+if(NOT sharded_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --shards=4 exited with ${sharded_rc}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  "${serial_metrics}" "${sharded_metrics}"
+  RESULT_VARIABLE metrics_diff)
+if(NOT metrics_diff EQUAL 0)
+  message(FATAL_ERROR
+    "${SCENARIO}: --metrics snapshot differs between --shards=1 and "
+    "--shards=4 (${serial_metrics} vs ${sharded_metrics})")
+endif()
+
+execute_process(COMMAND "${TRACEDIFF}" "${serial_trace}" "${sharded_trace}"
+  OUTPUT_VARIABLE diff_out ERROR_VARIABLE diff_err
+  RESULT_VARIABLE trace_rc)
+if(NOT trace_rc EQUAL 0)
+  message(FATAL_ERROR
+    "${SCENARIO}: trace differs between --shards=1 and --shards=4 "
+    "(rc=${trace_rc}):\n${diff_out}${diff_err}")
+endif()
+if(NOT "${diff_out}${diff_err}" STREQUAL "")
+  message(FATAL_ERROR
+    "${SCENARIO}: tracediff of identical shard counts should be silent, "
+    "got:\n${diff_out}${diff_err}")
+endif()
+message(STATUS
+  "${SCENARIO}: --shards=1 and --shards=4 trace + metrics are identical")

@@ -50,11 +50,22 @@ GnutellaSystem::GnutellaSystem(underlay::Network& network,
   assert(peers.size() == roles.size());
   assert(config_.selection == NeighborSelection::kRandom || oracle_ != nullptr);
   bind_metrics(own_metrics_);
+  if (sim::EngineGroup* group = network_.group();
+      group != nullptr && group->size() > 1) {
+    shard_lanes_.resize(group->size() - 1);
+    for (ShardCounters& lane : shard_lanes_) {
+      lane.ping = lane.side.counter("gnutella.messages.ping");
+      lane.pong = lane.side.counter("gnutella.messages.pong");
+      lane.query = lane.side.counter("gnutella.messages.query");
+      lane.query_hit = lane.side.counter("gnutella.messages.query_hit");
+    }
+  }
   nodes_.reserve(peers.size());
   for (std::size_t i = 0; i < peers.size(); ++i) {
     Node node;
     node.peer = peers[i];
     node.role = roles[i];
+    node.cache_rng = Rng(config_.seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
     index_of_[peers[i].value()] = nodes_.size();
     nodes_.push_back(std::move(node));
     network_.add_handler(peers[i], [this, peer = peers[i]](
@@ -73,7 +84,7 @@ void GnutellaSystem::add_to_hostcache(Node& node, PeerId peer) {
   if (node.hostcache.size() < config_.hostcache_size) {
     node.hostcache.push_back(peer);
   } else if (!node.hostcache.empty()) {
-    node.hostcache[rng_.uniform(node.hostcache.size())] = peer;
+    node.hostcache[node.cache_rng.uniform(node.hostcache.size())] = peer;
   }
 }
 
@@ -221,12 +232,27 @@ void GnutellaSystem::bind_metrics(obs::MetricsRegistry& registry) {
 
 void GnutellaSystem::send_typed(PeerId from, PeerId to, int type,
                                 std::uint32_t bytes, Payload payload) {
-  switch (type) {
-    case msg::kGnutellaPing: ping_count_.inc(); break;
-    case msg::kGnutellaPong: pong_count_.inc(); break;
-    case msg::kGnutellaQuery: query_count_.inc(); break;
-    case msg::kGnutellaQueryHit: query_hit_count_.inc(); break;
-    default: break;
+  // Shard windows > 0 count into their private lane; shard 0 and driver
+  // code share the main counters (only ever touched by one thread at a
+  // time — shard 0's during windows, the coordinator between them).
+  const int lane = sim::current_shard();
+  if (lane <= 0 || shard_lanes_.empty()) {
+    switch (type) {
+      case msg::kGnutellaPing: ping_count_.inc(); break;
+      case msg::kGnutellaPong: pong_count_.inc(); break;
+      case msg::kGnutellaQuery: query_count_.inc(); break;
+      case msg::kGnutellaQueryHit: query_hit_count_.inc(); break;
+      default: break;
+    }
+  } else {
+    ShardCounters& counters = shard_lanes_[static_cast<std::size_t>(lane) - 1];
+    switch (type) {
+      case msg::kGnutellaPing: counters.ping.inc(); break;
+      case msg::kGnutellaPong: counters.pong.inc(); break;
+      case msg::kGnutellaQuery: counters.query.inc(); break;
+      case msg::kGnutellaQueryHit: counters.query_hit.inc(); break;
+      default: break;
+    }
   }
   underlay::Message msg;
   msg.src = from;
@@ -383,8 +409,12 @@ void GnutellaSystem::handle_query_hit(PeerId self, const QueryHitPayload& hit) {
              hit);
 }
 
+void GnutellaSystem::collect_shard_metrics(obs::MetricsRegistry& into) const {
+  for (const ShardCounters& lane : shard_lanes_) into.merge(lane.side);
+}
+
 void GnutellaSystem::ping_cycle() {
-  sim::OriginScope trace_origin(network_.engine(), obs::origin::kMaintenance);
+  underlay::ScopedOrigin trace_origin(network_, obs::origin::kMaintenance);
   if (trace_ != nullptr) {
     trace_->record({network_.engine().now(), obs::TraceKind::kOverlay, -1, -1,
                     obs::op::kPingCycle, 0.0});
@@ -406,12 +436,12 @@ void GnutellaSystem::ping_cycle() {
       }
     }
   }
-  network_.engine().run_until(network_.engine().now() + kQuiesceHorizonMs);
+  network_.run_until(network_.engine().now() + kQuiesceHorizonMs);
 }
 
 SearchOutcome GnutellaSystem::search(PeerId origin, ContentId content,
                                      bool download) {
-  sim::OriginScope trace_origin(network_.engine(), obs::origin::kFlooding);
+  underlay::ScopedOrigin trace_origin(network_, obs::origin::kFlooding);
   Node& me = node(origin);
   SearchOutcome outcome;
   if (trace_ != nullptr) {
@@ -456,7 +486,7 @@ SearchOutcome GnutellaSystem::search(PeerId origin, ContentId content,
                    QueryPayload{guid, ttl, content.value()});
       }
     }
-    network_.engine().run_until(network_.engine().now() + kQuiesceHorizonMs);
+    network_.run_until(network_.engine().now() + kQuiesceHorizonMs);
     if (active_search_.providers.size() >= config_.desired_results) break;
   }
 
@@ -479,8 +509,7 @@ SearchOutcome GnutellaSystem::search(PeerId origin, ContentId content,
     outcome.provider = provider;
     outcome.download_intra_as =
         network_.host(origin).as == network_.host(provider).as;
-    sim::OriginScope download_origin(network_.engine(),
-                                     obs::origin::kTransfer);
+    underlay::ScopedOrigin download_origin(network_, obs::origin::kTransfer);
     const sim::SimTime before = network_.engine().now();
     underlay::Message request;
     request.src = origin;
@@ -488,7 +517,7 @@ SearchOutcome GnutellaSystem::search(PeerId origin, ContentId content,
     request.type = msg::kGnutellaHttpRequest;
     request.size_bytes = config_.http_request_bytes;
     if (network_.send(std::move(request))) {
-      network_.engine().run_until(network_.engine().now() + kQuiesceHorizonMs);
+      network_.run_until(network_.engine().now() + kQuiesceHorizonMs);
       if (active_search_.download_done_at >= 0.0) {
         outcome.downloaded = true;
         outcome.download_time_ms = active_search_.download_done_at - before;
@@ -539,7 +568,7 @@ std::size_t GnutellaSystem::repair_overlay() {
 
 std::size_t GnutellaSystem::ltm_round(netinfo::Pinger& pinger,
                                       double cut_factor) {
-  sim::OriginScope trace_origin(network_.engine(), obs::origin::kMaintenance);
+  underlay::ScopedOrigin trace_origin(network_, obs::origin::kMaintenance);
   std::size_t rewired = 0;
   for (Node& me : nodes_) {
     if (me.role != NodeRole::kUltrapeer) continue;

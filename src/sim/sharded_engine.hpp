@@ -1,0 +1,184 @@
+// Sharded deterministic event loop (DESIGN.md "Sharded engine").
+//
+// One scenario, N per-shard Engines, conservative synchronization. The
+// EngineGroup owns the shard engines and advances them in lockstep
+// windows: after a barrier every shard may safely execute events up to
+//   horizon = min(next event time over all shards) + lookahead
+// where the lookahead is a lower bound on the cross-shard delivery delay
+// supplied by the mailbox (for the AS-partitioned underlay: the minimum
+// inter-AS link latency plus both ends' minimum access latency). A
+// message sent at time s >= next arrives at >= next + lookahead >=
+// horizon, so no shard can receive an event in its own past — the
+// classic conservative (CMB-style) argument, null-message-free because
+// every shard advances to the same horizon per epoch instead of
+// exchanging per-link clocks.
+//
+// Cross-shard sends are not scheduled directly (the destination engine is
+// owned by another thread mid-window); the producer parks them in a
+// mailbox and the group drains the mailbox between windows, on the
+// coordinating thread, via Engine::schedule_import. Determinism contract:
+// see ShardMailbox::exchange below and the "Sharded engine" section of
+// DESIGN.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace uap2p::obs {
+class MetricsRegistry;
+}  // namespace uap2p::obs
+
+namespace uap2p::sim {
+
+namespace detail {
+/// Index of the shard the calling thread is executing a window for, or -1
+/// outside windows (the driver / coordinator phase).
+inline thread_local int current_shard_lane = -1;
+}  // namespace detail
+
+/// The shard whose window the calling thread is currently running, -1 in
+/// driver (between-windows) code. Producers that must route per-shard
+/// state without threading ids through every call (the Network's delivery
+/// lanes, per-shard trace buffers) key off this.
+[[nodiscard]] inline int current_shard() { return detail::current_shard_lane; }
+
+/// RAII lane marker used by the group around each shard window.
+class ShardLaneScope {
+ public:
+  explicit ShardLaneScope(int lane) : previous_(detail::current_shard_lane) {
+    detail::current_shard_lane = lane;
+  }
+  ~ShardLaneScope() { detail::current_shard_lane = previous_; }
+  ShardLaneScope(const ShardLaneScope&) = delete;
+  ShardLaneScope& operator=(const ShardLaneScope&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// Cross-shard transport hook. The underlay's Network implements it; the
+/// group calls exchange() single-threaded between windows (and after the
+/// final window of a step/run, so mailboxes are always empty when control
+/// returns to the driver — every serial-side schedule has its sharded
+/// counterpart counted before metrics are read).
+class ShardMailbox {
+ public:
+  virtual ~ShardMailbox() = default;
+  /// Drains every parked cross-shard message into its destination shard's
+  /// engine (Engine::schedule_import), in a canonical (timestamp,
+  /// source-shard, send-order) order so event tags — the same-timestamp
+  /// tie-break — are assigned deterministically.
+  virtual void exchange() = 0;
+  /// Conservative lower bound (ms) on the delay of any cross-shard
+  /// delivery. May be kNoEventTime-like +infinity when no cross-shard
+  /// traffic is possible (single-AS topologies): the group then runs each
+  /// target in one window.
+  [[nodiscard]] virtual SimTime lookahead_ms() const = 0;
+};
+
+/// Coordinator owning N shard engines. With one shard it degrades to a
+/// thin wrapper over a single Engine (no barriers, no lane bookkeeping in
+/// the hot loop) while keeping the exact window semantics of the sharded
+/// run — a --shards=1 run is the serial baseline the identity gates diff
+/// against.
+class EngineGroup {
+ public:
+  explicit EngineGroup(std::size_t shards);
+  EngineGroup(const EngineGroup&) = delete;
+  EngineGroup& operator=(const EngineGroup&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return engines_.size(); }
+  [[nodiscard]] Engine& shard(std::size_t i) { return *engines_[i]; }
+  [[nodiscard]] const Engine& shard(std::size_t i) const {
+    return *engines_[i];
+  }
+
+  /// The engine of the calling context: the current window's shard engine
+  /// on a worker, shard 0 in driver code (where all clocks agree).
+  [[nodiscard]] Engine& current() {
+    const int lane = current_shard();
+    return *engines_[lane < 0 ? 0 : static_cast<std::size_t>(lane)];
+  }
+
+  /// Registers the cross-shard transport (nullptr detaches). Must outlive
+  /// the group or be detached before destruction.
+  void set_mailbox(ShardMailbox* mailbox) { mailbox_ = mailbox; }
+
+  /// Barrier-time clock (all shards agree whenever the driver runs).
+  [[nodiscard]] SimTime now() const { return engines_[0]->now(); }
+
+  /// Earliest live event over all shards, or Engine::kNoEventTime.
+  [[nodiscard]] SimTime next_event_time();
+
+  /// Runs conservative windows until simulated time reaches `until`; on
+  /// return every shard clock equals `until` and all mailboxes are
+  /// drained. Returns the number of events executed.
+  std::uint64_t run_until(SimTime until);
+
+  /// Runs exactly one conservative window (from the earliest pending
+  /// event to that time plus the lookahead) and drains the mailboxes.
+  /// Returns the number of events executed — 0 means every shard is idle.
+  /// Drivers that poll completion flags between windows (the Kademlia
+  /// lookup loop) step with this; the window semantics are identical for
+  /// every shard count, which is what makes --shards=1 and --shards=4
+  /// byte-comparable.
+  std::uint64_t step();
+
+  /// Sets the scheduling origin on every shard engine (trace attribution
+  /// for driver-phase scheduling, which may target any shard's engine).
+  void set_origin(std::uint8_t origin);
+  [[nodiscard]] std::uint8_t origin() const { return engines_[0]->origin(); }
+
+  /// Summed behavioral stats: the five counters (scheduled / executed /
+  /// cancelled / inline / spilled) reproduce a serial run's exactly —
+  /// every event has one home engine and is counted once. The structural
+  /// fields (queue_high_water, slab_slots) are summed too but depend on
+  /// the shard count; see export_metrics.
+  [[nodiscard]] EngineStats stats() const;
+
+  /// Full "engine.*" export: the five behavioral counters (rollup sums),
+  /// a merged rollup of the structural stats (queue high-water = max over
+  /// shards, slab slots = sum), then per-shard
+  /// "engine.shard<i>.queue.high_water" / ".slab.slots" counters in
+  /// shard-id order — byte-stable JSON for a fixed shard count.
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Exports only the five behavioral counters, whose values are
+  /// shard-count-invariant. The sharded-serial-identical gates compare
+  /// --metrics files across shard counts, so they must exclude the
+  /// structural stats (which depend on how the event queue was split).
+  void export_comparable_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  /// Runs every shard to `horizon` (parallel when size() > 1); returns
+  /// events executed.
+  std::uint64_t run_window(SimTime horizon);
+
+  std::vector<std::unique_ptr<Engine>> engines_;
+  ShardMailbox* mailbox_ = nullptr;
+};
+
+/// RAII origin scope over every engine of a group: the sharded equivalent
+/// of sim::OriginScope, for driver-phase regions whose scheduling may
+/// land on any shard (ping cycles, search floods, lookup timeouts).
+class GroupOriginScope {
+ public:
+  GroupOriginScope(EngineGroup& group, std::uint8_t origin)
+      : group_(group), previous_(group.origin()) {
+    group_.set_origin(origin);
+  }
+  ~GroupOriginScope() { group_.set_origin(previous_); }
+  GroupOriginScope(const GroupOriginScope&) = delete;
+  GroupOriginScope& operator=(const GroupOriginScope&) = delete;
+
+ private:
+  EngineGroup& group_;
+  std::uint8_t previous_;
+};
+
+}  // namespace uap2p::sim

@@ -83,6 +83,18 @@ void TrafficAccountant::export_metrics(obs::MetricsRegistry& registry) const {
   registry.gauge("traffic.billed_transit_mbps").set(billed_transit_mbps());
 }
 
+void TrafficAccountant::merge_from(const TrafficAccountant& other) {
+  total_bytes_ += other.total_bytes_;
+  intra_bytes_ += other.intra_bytes_;
+  transit_bytes_ += other.transit_bytes_;
+  peering_bytes_ += other.peering_bytes_;
+  messages_ += other.messages_;
+  if (window_transit_bytes_.size() < other.window_transit_bytes_.size())
+    window_transit_bytes_.resize(other.window_transit_bytes_.size(), 0.0);
+  for (std::size_t i = 0; i < other.window_transit_bytes_.size(); ++i)
+    window_transit_bytes_[i] += other.window_transit_bytes_[i];
+}
+
 void TrafficAccountant::reset() {
   total_bytes_ = intra_bytes_ = transit_bytes_ = peering_bytes_ = 0;
   messages_ = 0;

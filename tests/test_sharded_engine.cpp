@@ -1,0 +1,192 @@
+// Sharded engine (sim::EngineGroup) + cross-shard mailbox tests. These
+// live in the parallel-labeled binary so the tsan preset runs them: the
+// shard windows of run_until/step execute on pool workers, and any
+// cross-shard state leak (network lanes, overlay counters, mailbox
+// drains) is a data race TSan can see.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "overlay/gnutella.hpp"
+#include "sim/sharded_engine.hpp"
+#include "underlay/network.hpp"
+
+namespace uap2p {
+namespace {
+
+TEST(ShardedEngine, ClocksAlignAfterRunUntil) {
+  sim::EngineGroup group(4);
+  std::atomic<int> fired{0};
+  for (std::size_t s = 0; s < group.size(); ++s) {
+    group.shard(s).schedule_at(10.0 * double(s + 1), [&] { ++fired; });
+  }
+  // No mailbox -> infinite lookahead -> one window to the target.
+  EXPECT_EQ(group.run_until(100.0), 4u);
+  EXPECT_EQ(fired.load(), 4);
+  for (std::size_t s = 0; s < group.size(); ++s) {
+    EXPECT_DOUBLE_EQ(group.shard(s).now(), 100.0);
+  }
+  EXPECT_EQ(group.next_event_time(), sim::Engine::kNoEventTime);
+}
+
+TEST(ShardedEngine, StepRunsOneWindowAtATime) {
+  sim::EngineGroup group(2);
+  std::atomic<int> fired{0};
+  group.shard(0).schedule_at(5.0, [&] { ++fired; });
+  group.shard(1).schedule_at(7.0, [&] { ++fired; });
+  // Without a mailbox each step's window reaches exactly the earliest
+  // pending event, so the two events fire on separate steps.
+  EXPECT_EQ(group.step(), 1u);
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(group.step(), 1u);
+  EXPECT_EQ(fired.load(), 2);
+  EXPECT_EQ(group.step(), 0u);
+}
+
+TEST(ShardedEngine, SingleShardMatchesPlainEngine) {
+  sim::Engine plain;
+  sim::EngineGroup group(1);
+  std::uint64_t a = 0, b = 0;
+  for (int i = 0; i < 100; ++i) {
+    plain.schedule(double(i % 13), [&a, i] { a += std::uint64_t(i); });
+    group.shard(0).schedule(double(i % 13), [&b, i] { b += std::uint64_t(i); });
+  }
+  EXPECT_EQ(plain.run_until(20.0), group.run_until(20.0));
+  EXPECT_EQ(a, b);
+  const sim::EngineStats ps = plain.stats();
+  const sim::EngineStats gs = group.stats();
+  EXPECT_EQ(ps.scheduled, gs.scheduled);
+  EXPECT_EQ(ps.executed, gs.executed);
+  EXPECT_EQ(ps.inline_callbacks, gs.inline_callbacks);
+  EXPECT_EQ(ps.spilled_callbacks, gs.spilled_callbacks);
+}
+
+// Ping-pong stress through the Network's cross-shard mailbox: every
+// delivery's handler replies with a decremented type until it hits zero,
+// so messages bounce between shards and every bounce crosses the
+// exchange path. Deterministic delivery totals prove nothing is lost or
+// duplicated; TSan proves the lanes don't race.
+TEST(ShardedEngine, CrossShardMailboxStress) {
+  sim::EngineGroup group(4);
+  const underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 5, 0.3);
+  underlay::Network net(group, topo, /*seed=*/17);
+  const std::vector<PeerId> peers = net.populate(32);
+  std::atomic<std::uint64_t> handled{0};
+  for (const PeerId peer : peers) {
+    net.set_handler(peer, [&, peer](const underlay::Message& msg) {
+      ++handled;
+      if (msg.type > 0) {
+        underlay::Message reply;
+        reply.src = peer;
+        reply.dst = msg.src;
+        reply.type = msg.type - 1;
+        net.send(std::move(reply));
+      }
+    });
+  }
+  constexpr int kHops = 8;
+  constexpr std::size_t kPairs = 16;
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    underlay::Message msg;
+    msg.src = peers[i];
+    msg.dst = peers[i + kPairs];
+    msg.type = kHops;
+    ASSERT_TRUE(net.send(std::move(msg)));
+  }
+  net.run_until(sim::seconds(300));
+  // Each seed message triggers kHops replies: kHops + 1 deliveries total.
+  EXPECT_EQ(handled.load(), kPairs * (kHops + 1));
+  std::uint64_t delivered = 0;
+  for (int type = 0; type <= kHops; ++type) {
+    delivered += net.delivered_count(type);
+    EXPECT_EQ(net.delivered_count(type), kPairs);
+  }
+  EXPECT_EQ(delivered, kPairs * (kHops + 1));
+  EXPECT_EQ(net.dropped_count(), 0u);
+  // All clocks aligned at the barrier.
+  for (std::size_t s = 0; s < group.size(); ++s) {
+    EXPECT_DOUBLE_EQ(group.shard(s).now(), sim::seconds(300));
+  }
+}
+
+/// One small Gnutella flood scenario; returns behavioral observables that
+/// must not depend on the shard count.
+struct GnutellaRun {
+  overlay::gnutella::MessageCounts counts;
+  std::uint64_t scheduled = 0;
+  std::uint64_t executed = 0;
+  std::size_t results = 0;
+  std::string comparable_json;
+};
+
+GnutellaRun run_gnutella(std::size_t shards) {
+  sim::EngineGroup engines(shards);
+  const underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 5, 0.3);
+  underlay::Network net(engines, topo, /*seed=*/99);
+  const std::vector<PeerId> peers = net.populate(60);
+  overlay::gnutella::Config config;
+  config.seed = 7;
+  overlay::gnutella::GnutellaSystem system(
+      net, peers,
+      overlay::gnutella::testlab_roles(peers.size(), 2, topo.as_count()),
+      config);
+  system.bootstrap();
+  system.share(peers[3], ContentId(1));
+  system.ping_cycle();
+  GnutellaRun out;
+  out.results =
+      system.search(peers[40], ContentId(1), /*download=*/false).result_count;
+  out.counts = system.counts();
+  const sim::EngineStats stats = engines.stats();
+  out.scheduled = stats.scheduled;
+  out.executed = stats.executed;
+  obs::MetricsRegistry reg;
+  engines.export_comparable_metrics(reg);
+  out.comparable_json = reg.to_json();
+  return out;
+}
+
+TEST(ShardedEngine, GnutellaShardedMatchesSerial) {
+  const GnutellaRun serial = run_gnutella(1);
+  const GnutellaRun sharded = run_gnutella(4);
+  EXPECT_EQ(serial.results, sharded.results);
+  EXPECT_EQ(serial.counts.ping, sharded.counts.ping);
+  EXPECT_EQ(serial.counts.pong, sharded.counts.pong);
+  EXPECT_EQ(serial.counts.query, sharded.counts.query);
+  EXPECT_EQ(serial.counts.query_hit, sharded.counts.query_hit);
+  EXPECT_EQ(serial.scheduled, sharded.scheduled);
+  EXPECT_EQ(serial.executed, sharded.executed);
+  // The comparable export (the five behavioral engine counters) is the
+  // piece of the --metrics snapshot the CTest gate byte-compares.
+  EXPECT_EQ(serial.comparable_json, sharded.comparable_json);
+  EXPECT_GT(serial.counts.total(), 0u);
+}
+
+TEST(ShardedEngine, ExportRollupShape) {
+  sim::EngineGroup group(3);
+  for (std::size_t s = 0; s < group.size(); ++s) {
+    group.shard(s).schedule_at(1.0 + double(s), [] {});
+  }
+  group.run_until(10.0);
+  obs::MetricsRegistry full;
+  group.export_metrics(full);
+  const std::string json = full.to_json();
+  // Rollup + one structural pair per shard, in shard-id order.
+  EXPECT_NE(json.find("engine.events.executed"), std::string::npos);
+  EXPECT_NE(json.find("engine.queue.high_water"), std::string::npos);
+  for (int s = 0; s < 3; ++s) {
+    const std::string key = "engine.shard" + std::to_string(s);
+    EXPECT_NE(json.find(key + ".queue.high_water"), std::string::npos);
+    EXPECT_NE(json.find(key + ".slab.slots"), std::string::npos);
+  }
+  obs::MetricsRegistry comparable;
+  group.export_comparable_metrics(comparable);
+  EXPECT_EQ(comparable.counter_count(), 5u);
+  EXPECT_EQ(comparable.to_json().find("engine.shard"), std::string::npos);
+  EXPECT_EQ(comparable.to_json().find("queue.high_water"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uap2p
