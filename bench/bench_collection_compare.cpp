@@ -182,7 +182,9 @@ int main(int argc, char** argv) {
 
   constexpr std::size_t kTechniques = 7;
   // One warmed routing snapshot for the whole group; trials only read it.
-  const auto routing = underlay::SharedRouting::build(
+  // With --snapshot-dir= the snapshot persists across runs too.
+  const auto routing = bench::shared_routing_cached(
+      "transit-stub", "t3-s5-p0.3", /*seed=*/1,
       underlay::AsTopology::transit_stub(3, 5, 0.3));
   const std::vector<Outcome> outcomes = bench::run_trials(
       kTechniques, /*base_seed=*/131,

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -23,6 +24,7 @@
 #include "sim/engine.hpp"
 #include "sim/sharded_engine.hpp"
 #include "underlay/network.hpp"
+#include "underlay/snapshot.hpp"
 
 namespace uap2p::bench {
 
@@ -51,6 +53,11 @@ struct Options {
   /// serial baseline; the sharded-serial-identical gates diff trace and
   /// metrics between --shards=1 and --shards=4.
   std::size_t shards = 1;
+  /// --snapshot-dir=<dir> (or UAP2P_SNAPSHOT_DIR when the flag is absent):
+  /// cache of persistent warmed-routing snapshots, keyed by (generator
+  /// name, generator params, topology seed). Empty (the default) disables
+  /// the cache — every bench builds its routing fresh, exactly as before.
+  std::string snapshot_dir;
 };
 
 inline Options& options() {
@@ -76,8 +83,81 @@ inline void parse_flags(int argc, char** argv) {
     } else if (arg.rfind("--shards=", 0) == 0) {
       options().shards = std::max<std::size_t>(
           1, std::strtoull(std::string(arg.substr(9)).c_str(), nullptr, 10));
+    } else if (arg.rfind("--snapshot-dir=", 0) == 0) {
+      options().snapshot_dir = std::string(arg.substr(15));
     }
   }
+  if (options().snapshot_dir.empty()) {
+    if (const char* env = std::getenv("UAP2P_SNAPSHOT_DIR")) {
+      options().snapshot_dir = env;
+    }
+  }
+}
+
+/// Cache filename for a (generator, params, seed) routing key:
+/// "<generator>_<params>_seed<seed>.uap2psnap" with every character
+/// outside [A-Za-z0-9._-] mapped to '-' so arbitrary param strings stay
+/// filesystem-safe.
+inline std::string snapshot_cache_name(std::string_view generator,
+                                       std::string_view params,
+                                       std::uint64_t seed) {
+  std::string name;
+  name.reserve(generator.size() + params.size() + 32);
+  name.append(generator).push_back('_');
+  name.append(params);
+  name += "_seed" + std::to_string(seed);
+  for (char& c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '-';
+  }
+  return name + ".uap2psnap";
+}
+
+/// Load-else-build a SharedRouting through the --snapshot-dir cache.
+///
+/// With no cache dir configured this is exactly SharedRouting::build. With
+/// one, the first run for a key pays the full warm-up and serializes it;
+/// later runs mmap-load the rows in O(ms) with zero Dijkstra. Any mismatch
+/// (corruption, version skew, a topology change that moved the CSR bytes)
+/// falls back to a fresh build and rewrites the cache entry, so a stale
+/// cache can cost time but never correctness: the load path byte-compares
+/// the stored CSR against the topology generated *now* from the caller's
+/// params, and the adopted rows were themselves byte-identical to a fresh
+/// warm at write time (snapshot-roundtrip gate).
+///
+/// `generator`/`params`/`seed` must uniquely describe how `topology` was
+/// generated — they are the cache key.
+inline std::shared_ptr<const underlay::SharedRouting> shared_routing_cached(
+    std::string_view generator, std::string_view params, std::uint64_t seed,
+    underlay::AsTopology topology, std::size_t threads = 0) {
+  const std::string& dir = options().snapshot_dir;
+  if (dir.empty()) {
+    return underlay::SharedRouting::build(std::move(topology), threads);
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  const std::string path =
+      (std::filesystem::path(dir) / snapshot_cache_name(generator, params, seed))
+          .string();
+  std::string error;
+  if (std::filesystem::exists(path, ec)) {
+    if (auto loaded = underlay::SharedRouting::load(topology, path, threads,
+                                                    &error)) {
+      return loaded;
+    }
+    std::fprintf(stderr, "snapshot cache: %s rejected (%s); rebuilding\n",
+                 path.c_str(), error.c_str());
+  }
+  auto built = underlay::SharedRouting::build(std::move(topology), threads);
+  // Cache write is best-effort: a read-only or full disk must not fail the
+  // bench, it just keeps paying the warm-up.
+  if (!underlay::snapshot::write(built->topology(), built->table(), path,
+                                 &error)) {
+    std::fprintf(stderr, "snapshot cache: write %s failed (%s)\n",
+                 path.c_str(), error.c_str());
+  }
+  return built;
 }
 
 namespace detail {

@@ -12,6 +12,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -119,6 +122,114 @@ BENCHMARK(BM_RoutingWarmAll)
     ->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
+// Snapshot files for BM_SnapshotLoad / BM_SnapshotOpenVerify, written once
+// per (router-count) arg into the snapshot dir (or a temp dir when no
+// --snapshot-dir= is set) and reused across benchmark registrations.
+static const std::string& snapshot_bench_file(std::size_t ases) {
+  static std::map<std::size_t, std::string> files;
+  static std::mutex mutex;
+  std::lock_guard lock(mutex);
+  auto it = files.find(ases);
+  if (it != files.end()) return it->second;
+  std::filesystem::path dir = bench::options().snapshot_dir.empty()
+                                  ? std::filesystem::temp_directory_path() /
+                                        "uap2p_bench_snapshots"
+                                  : std::filesystem::path(
+                                        bench::options().snapshot_dir);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string params = "a" + std::to_string(ases) + "-bench";
+  const std::string path =
+      (dir / bench::snapshot_cache_name("mesh", params, 1)).string();
+  std::string error;
+  // Reuse an existing cache entry when it attaches cleanly; else (first
+  // run, version skew, corruption) warm fresh and (re)write it.
+  const underlay::AsTopology topo =
+      underlay::AsTopology::mesh(ases, 8.0 / double(ases));
+  if (!std::filesystem::exists(path, ec) ||
+      underlay::SharedRouting::load(topo, path, 0, &error) == nullptr) {
+    underlay::RoutingTable table(topo);
+    table.warm_all();
+    if (!underlay::snapshot::write(topo, table, path, &error)) {
+      std::fprintf(stderr, "bench_micro: snapshot write failed: %s\n",
+                   error.c_str());
+      std::abort();
+    }
+  }
+  return files.emplace(ases, path).first->second;
+}
+
+static void BM_SnapshotLoad(benchmark::State& state) {
+  // The zero-Dijkstra counterpart of BM_RoutingWarmAll: mmap-open the
+  // persistent snapshot, byte-compare its CSR against the live topology,
+  // and adopt the row image into a fresh RoutingTable — the warmed-table
+  // load path benches take on a --snapshot-dir= cache hit. Arg is the
+  // router count (/3000 pairs with BM_RoutingWarmAll/1000, the same
+  // 1000-AS mesh). Like WarmAll, the loop builds a fresh table over a
+  // pre-built topology: topology generation / CSR build / AS-hop warm are
+  // setup in both, so ns-per-iter compares the row-filling machinery
+  // alone (Dijkstra-all-sources vs mmap+verify+adopt). Steady-state
+  // regime: the one-time full content verify of the file identity is paid
+  // in setup (BM_SnapshotOpenVerify prices it alone).
+  const auto routers = static_cast<std::size_t>(state.range(0));
+  const std::size_t ases = routers / 3;
+  const std::string& path = snapshot_bench_file(ases);
+  const underlay::AsTopology topo =
+      underlay::AsTopology::mesh(ases, 8.0 / double(ases));
+  (void)topo.csr();  // charge the one-off CSR build to setup, like WarmAll
+  {
+    std::string error;  // pre-verify so the loop measures steady state
+    if (underlay::snapshot::MappedSnapshot::open(path, &error) == nullptr) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    std::string error;
+    const auto snap = underlay::snapshot::MappedSnapshot::open(path, &error);
+    if (snap == nullptr) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    underlay::RoutingTable routing(topo);
+    if (!underlay::snapshot::attach(*snap, topo, routing, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(routing.cached_sources());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          std::int64_t(topo.router_count()));  // sources
+  state.SetLabel(std::to_string(topo.router_count()) + " routers");
+}
+BENCHMARK(BM_SnapshotLoad)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_SnapshotOpenVerify(benchmark::State& state) {
+  // Cold-trust open: re-hash every section payload (Verify::kAlways), the
+  // cost the first open of a new file identity pays. Memory-bandwidth
+  // bound on the row image, so expect ~file_size / ~8 GB/s.
+  const auto routers = static_cast<std::size_t>(state.range(0));
+  const std::string& path = snapshot_bench_file(routers / 3);
+  for (auto _ : state) {
+    std::string error;
+    const auto snap = underlay::snapshot::MappedSnapshot::open(
+        path, &error, underlay::snapshot::MappedSnapshot::Verify::kAlways);
+    if (snap == nullptr) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(snap->file_bytes());
+  }
+  state.SetLabel(std::to_string(routers) + " routers");
+}
+BENCHMARK(BM_SnapshotOpenVerify)
+    ->Arg(3000)
+    ->Unit(benchmark::kMillisecond);
+
 static void BM_RoutingCachedPath(benchmark::State& state) {
   const underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 20, 0.3);
   underlay::RoutingTable routing(topo);
@@ -199,10 +310,13 @@ BENCHMARK(BM_GnutellaFloodSteadyState);
 
 // One warmed routing snapshot for every BM_ShardedFlood shard count: the
 // 1000-AS mesh's all-pairs warm-up is setup cost, not the thing measured,
-// and sharing it keeps the four variants' setups comparable.
+// and sharing it keeps the four variants' setups comparable. Under
+// --snapshot-dir= the warm-up is skipped entirely after the first run —
+// the rows mmap-load from the persistent snapshot cache.
 static const std::shared_ptr<const underlay::SharedRouting>&
 sharded_flood_routing() {
-  static const auto routing = underlay::SharedRouting::build(
+  static const auto routing = bench::shared_routing_cached(
+      "mesh", "a1000-e0.008", /*seed=*/1,
       underlay::AsTopology::mesh(1000, 8.0 / 1000.0));
   return routing;
 }
@@ -537,17 +651,25 @@ bool write_json(const std::string& path,
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_micro.json";
-  // Extract our own flag before google-benchmark sees the arguments.
+  // Extract our own flags before google-benchmark sees the arguments.
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     constexpr const char kFlag[] = "--bench_json=";
+    constexpr const char kSnapDir[] = "--snapshot-dir=";
     if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
       json_path = argv[i] + sizeof(kFlag) - 1;
+    } else if (std::strncmp(argv[i], kSnapDir, sizeof(kSnapDir) - 1) == 0) {
+      bench::options().snapshot_dir = argv[i] + sizeof(kSnapDir) - 1;
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
+  if (bench::options().snapshot_dir.empty()) {
+    if (const char* env = std::getenv("UAP2P_SNAPSHOT_DIR")) {
+      bench::options().snapshot_dir = env;
+    }
+  }
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

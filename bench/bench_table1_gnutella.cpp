@@ -66,7 +66,9 @@ int main(int argc, char** argv) {
                             {NeighborSelection::kOracleBiased, 1000}};
   // Every column runs over the same topology, so the trials borrow one
   // warmed routing snapshot instead of each re-running all Dijkstras.
-  const auto routing = underlay::SharedRouting::build(
+  // With --snapshot-dir= the snapshot persists across runs too.
+  const auto routing = bench::shared_routing_cached(
+      "transit-stub", "t3-s5-p0.3", /*seed=*/1,
       underlay::AsTopology::transit_stub(3, 5, 0.3));
   const auto results = bench::run_trials(
       std::size(columns), /*base_seed=*/7,

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/thread_pool.hpp"
+#include "underlay/snapshot.hpp"
 
 namespace uap2p::underlay {
 
@@ -179,8 +180,14 @@ void RoutingTable::compute_row(std::uint32_t src) {
   const AsTopology::RouterCsr& graph = topology_.csr();
   const std::size_t n = topology_.router_count();
   SourceRow& out = rows_[src];
-  if (out.entries == nullptr) out.entries.reset(new DestEntry[n]);
-  DestEntry* const row = out.entries.get();
+  if (out.entries == nullptr) {
+    // Value-initialized so the 4 trailing padding bytes of every entry are
+    // zero bits: serialized rows (underlay/snapshot.hpp) must be
+    // byte-deterministic, and assignment below only covers the fields.
+    out.owned.reset(new DestEntry[n]());
+    out.entries = out.owned.get();
+  }
+  DestEntry* const row = out.entries;
 
   DijkstraScratch& s = scratch();
   s.dist.assign(n, kUnreachableLatency);
@@ -270,6 +277,7 @@ std::span<const AsId> RoutingTable::as_path(RouterId src, RouterId dst) {
   std::reverse(scratch_as_.begin(), scratch_as_.end());
   const std::uint32_t id = intern(scratch_as_);
   pair_paths_.insert_or_assign(key, id);
+  pair_keys_.push_back(key);
   const InternedPath& path = interned_[id];
   return {path.data, path.size};
 }
@@ -360,6 +368,33 @@ void RoutingTable::warm_all(ThreadPool& pool) {
   cached_sources_ = n;
 }
 
+void RoutingTable::adopt_rows(std::span<const DestEntry> image) {
+  const std::size_t n = topology_.router_count();
+  assert(image.size() == n * n);
+  assert(cached_sources_ == 0 && "adopt_rows wants a fresh table");
+  for (std::size_t src = 0; src < n; ++src) {
+    // The table never writes through an adopted row (compute_row is gated
+    // on a null entries pointer), so shedding const here is safe even for
+    // a PROT_READ mapping.
+    rows_[src].entries = const_cast<DestEntry*>(image.data() + src * n);
+    rows_[src].owned.reset();
+  }
+  cached_sources_ = n;
+}
+
+std::vector<std::uint64_t> RoutingTable::materialized_pair_keys() const {
+  std::vector<std::uint64_t> keys = pair_keys_;
+  std::sort(keys.begin(), keys.end());  // (src, dst) order, query-order-free
+  return keys;
+}
+
+void RoutingTable::materialize_pairs(std::span<const std::uint64_t> keys) {
+  for (const std::uint64_t key : keys) {
+    (void)as_path(RouterId(static_cast<std::uint32_t>(key >> 32)),
+                  RouterId(static_cast<std::uint32_t>(key)));
+  }
+}
+
 std::size_t RoutingTable::row_bytes() const {
   std::size_t total = 0;
   for (const SourceRow& row : rows_) {
@@ -369,6 +404,9 @@ std::size_t RoutingTable::row_bytes() const {
   }
   return total;
 }
+
+SharedRouting::SharedRouting(AsTopology topology)
+    : topology_(std::move(topology)), table_(topology_) {}
 
 std::shared_ptr<const SharedRouting> SharedRouting::build(AsTopology topology,
                                                           std::size_t threads) {

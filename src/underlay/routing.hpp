@@ -31,6 +31,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/flat_map.hpp"
@@ -43,6 +44,10 @@ class ThreadPool;
 }
 
 namespace uap2p::underlay {
+
+namespace snapshot {
+class MappedSnapshot;  // underlay/snapshot.hpp
+}
 
 /// Sentinel latency for unreachable router pairs. Callers must branch on
 /// PathInfo::reachable (or the checked accessors below) before summing
@@ -86,6 +91,24 @@ class RoutingTable {
  public:
   explicit RoutingTable(const AsTopology& topology)
       : topology_(topology), rows_(topology.router_count()) {}
+
+  /// Per-destination aggregates for one source row. This is both the
+  /// in-memory layout and the on-disk snapshot record (underlay/snapshot):
+  /// 32 bytes of little-endian PODs, written and mapped back verbatim.
+  /// reachable is encoded as latency != kUnreachableLatency.
+  struct DestEntry {
+    sim::SimTime latency;
+    double bottleneck;
+    std::uint32_t prev_link;  ///< Global link index; UINT32_MAX at src/unreached.
+    std::uint16_t router_hops;
+    std::uint16_t transit;
+    std::uint16_t peering;
+    std::uint16_t as_crossings;
+    std::uint32_t reserved;  ///< Explicit tail padding; always zero so the
+                             ///< serialized record is byte-deterministic.
+  };
+  static_assert(sizeof(DestEntry) == 32 && alignof(DestEntry) == 8,
+                "DestEntry is a fixed-width snapshot record");
 
   /// One-way latency between two routers (0 when src == dst,
   /// kUnreachableLatency when unreachable — do not sum without checking
@@ -137,24 +160,44 @@ class RoutingTable {
   /// must fit for 1000-AS all-pairs routing.
   [[nodiscard]] std::size_t row_bytes() const;
 
+  /// Snapshot export/import contract (underlay/snapshot.hpp) -------------
+
+  /// Contiguous view of source `src`'s per-destination aggregates
+  /// (router_count() entries). Requires the source to be warmed.
+  [[nodiscard]] std::span<const DestEntry> row(RouterId src) const {
+    assert(warmed(src));
+    return {rows_[src.value()].entries, topology_.router_count()};
+  }
+
+  /// Adopts a fully warmed external row image: router_count() rows of
+  /// router_count() entries, contiguous in source order — the layout a
+  /// snapshot maps back in. The table only ever *reads* adopted rows
+  /// (compute_row is gated on a null row), so a PROT_READ mmap region is
+  /// fine; the caller must keep `image` alive for the table's lifetime.
+  /// Call on a freshly constructed table (no computed rows, no interned
+  /// paths).
+  void adopt_rows(std::span<const DestEntry> image);
+
+  /// Keys of every (src, dst) pair whose as_path has been materialized,
+  /// as (src << 32 | dst), sorted ascending — the deterministic export
+  /// order a snapshot persists regardless of the query order that built
+  /// the intern table.
+  [[nodiscard]] std::vector<std::uint64_t> materialized_pair_keys() const;
+
+  /// Re-materializes as_path for each key in the order given. A snapshot
+  /// load feeds the sorted key list here, so the rebuilt intern table is
+  /// identical no matter what query order produced the snapshot.
+  void materialize_pairs(std::span<const std::uint64_t> keys);
+
  private:
-  /// Per-destination aggregates for one source row; 32 bytes. reachable
-  /// is encoded as latency != kUnreachableLatency.
-  struct DestEntry {
-    sim::SimTime latency;
-    double bottleneck;
-    std::uint32_t prev_link;  ///< Global link index; UINT32_MAX at src/unreached.
-    std::uint16_t router_hops;
-    std::uint16_t transit;
-    std::uint16_t peering;
-    std::uint16_t as_crossings;
-  };
-  /// One per-source row of router_count() DestEntry aggregates. Allocated
-  /// uninitialized (compute_row writes every entry exactly once: settled
-  /// destinations during relaxation, the rest in the unreachable sweep) so
-  /// a cold run never pays a redundant value-initialization pass.
+  /// One per-source row of router_count() DestEntry aggregates. `entries`
+  /// points at `owned` for computed rows (allocated uninitialized:
+  /// compute_row writes every entry exactly once — settled destinations
+  /// during relaxation, the rest in the unreachable sweep) or into an
+  /// external snapshot image after adopt_rows.
   struct SourceRow {
-    std::unique_ptr<DestEntry[]> entries;  ///< Null until computed.
+    DestEntry* entries = nullptr;        ///< Null until computed/adopted.
+    std::unique_ptr<DestEntry[]> owned;  ///< Backing store when computed.
   };
   /// One interned AS sequence; `data` points into the stable block arena,
   /// `next` chains same-hash entries.
@@ -186,7 +229,7 @@ class RoutingTable {
       compute_row(src);
       ++cached_sources_;
     }
-    return row.entries.get();
+    return row.entries;
   }
 
   /// Dijkstra + aggregate pass for one source. Writes only rows_[src] and
@@ -211,6 +254,7 @@ class RoutingTable {
   // out stay valid as the store grows.
   static constexpr std::size_t kArenaBlock = 1024;
   FlatMap<std::uint64_t, std::uint32_t> pair_paths_;
+  std::vector<std::uint64_t> pair_keys_;  ///< Insertion-ordered pair_paths_ keys.
   FlatMap<std::uint64_t, std::uint32_t> intern_heads_;
   std::vector<InternedPath> interned_;
   std::vector<std::vector<AsId>> arena_;
@@ -231,19 +275,38 @@ class SharedRouting {
   [[nodiscard]] static std::shared_ptr<const SharedRouting> build(
       AsTopology topology, std::size_t threads = 0);
 
+  /// Zero-Dijkstra load path (DESIGN.md "Snapshot format"): mmaps a
+  /// snapshot written by snapshot::write, byte-verifies it (checksums +
+  /// a byte-compare of the stored CSR against `topology`'s, which proves
+  /// the file matches this exact generator + seed), adopts the row image
+  /// straight out of the mapping, rebuilds the as-path intern table in
+  /// sorted order, and warms the (cheap, BFS-only) AS-hop cache. Returns
+  /// null — with `error` describing why — on any mismatch, corruption,
+  /// or version skew; callers fall back to build(). The mapped region is
+  /// owned by the returned object, so queries read from the page cache.
+  [[nodiscard]] static std::shared_ptr<const SharedRouting> load(
+      AsTopology topology, const std::string& snapshot_path,
+      std::size_t threads = 0, std::string* error = nullptr);
+
   [[nodiscard]] const AsTopology& topology() const { return topology_; }
   [[nodiscard]] const RoutingTable& table() const { return table_; }
   [[nodiscard]] PathInfo path(RouterId src, RouterId dst) const {
     return table_.path(src, dst);
   }
 
+  /// True when the routing rows live in a mmapped snapshot image.
+  [[nodiscard]] bool snapshot_backed() const { return mapped_ != nullptr; }
+
   SharedRouting(const SharedRouting&) = delete;
   SharedRouting& operator=(const SharedRouting&) = delete;
+  ~SharedRouting();
 
  private:
-  explicit SharedRouting(AsTopology topology)
-      : topology_(std::move(topology)), table_(topology_) {}
+  explicit SharedRouting(AsTopology topology);  // defined in routing.cpp
 
+  /// Declared first: table_ may point into the mapping, so the region
+  /// must outlive it (members destroy in reverse declaration order).
+  std::unique_ptr<snapshot::MappedSnapshot> mapped_;
   AsTopology topology_;  ///< Declared before table_, which references it.
   RoutingTable table_;
 };

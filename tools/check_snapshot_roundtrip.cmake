@@ -1,0 +1,65 @@
+# snapshot-roundtrip: proves the persistent warmed-routing snapshot cycle
+# end-to-end on a ~200-router transit-stub underlay with uap2p_snapshot.
+#
+#  1. `write` warms all-pairs routing and serializes it.
+#  2. `info` re-reads the file and recomputes every section checksum.
+#  3. `verify` mmap-loads the snapshot, attaches it to a fresh table, then
+#     recomputes the whole warm-up from scratch and byte-compares every
+#     per-source row — the byte-identity guarantee the bench cache relies
+#     on.
+#
+# (Corruption/truncation/version-skew rejection is covered byte-by-byte in
+# tests/test_snapshot.cpp, where flipping bits is easy; CMake has no
+# binary editing primitives.)
+#
+# Usage: cmake -DSNAPSHOT_TOOL=<uap2p_snapshot> -DWORKDIR=<dir>
+#        -P check_snapshot_roundtrip.cmake
+foreach(var SNAPSHOT_TOOL WORKDIR)
+  if(NOT ${var})
+    message(FATAL_ERROR "pass -D${var}=...")
+  endif()
+endforeach()
+
+set(topo_flags --generator=transit-stub --transit=4 --stubs=16
+    --peering=0.3 --seed=7)
+set(snap "${WORKDIR}/roundtrip.uap2psnap")
+
+execute_process(
+  COMMAND "${SNAPSHOT_TOOL}" write "--out=${snap}" ${topo_flags}
+  OUTPUT_VARIABLE write_out ERROR_VARIABLE write_err
+  RESULT_VARIABLE write_rc)
+if(NOT write_rc EQUAL 0)
+  message(FATAL_ERROR "snapshot write failed (rc=${write_rc}):\n"
+    "${write_out}${write_err}")
+endif()
+if(NOT "${write_out}" MATCHES "204 routers")
+  message(FATAL_ERROR "expected a 204-router topology, got:\n${write_out}")
+endif()
+
+execute_process(
+  COMMAND "${SNAPSHOT_TOOL}" info "--file=${snap}"
+  OUTPUT_VARIABLE info_out ERROR_VARIABLE info_err
+  RESULT_VARIABLE info_rc)
+if(NOT info_rc EQUAL 0)
+  message(FATAL_ERROR "snapshot info failed (rc=${info_rc}):\n"
+    "${info_out}${info_err}")
+endif()
+if(NOT "${info_out}" MATCHES "checksums       ok")
+  message(FATAL_ERROR "info did not report clean checksums:\n${info_out}")
+endif()
+
+execute_process(
+  COMMAND "${SNAPSHOT_TOOL}" verify "--file=${snap}" ${topo_flags}
+  OUTPUT_VARIABLE verify_out ERROR_VARIABLE verify_err
+  RESULT_VARIABLE verify_rc)
+if(NOT verify_rc EQUAL 0)
+  message(FATAL_ERROR "snapshot verify failed (rc=${verify_rc}):\n"
+    "${verify_out}${verify_err}")
+endif()
+if(NOT "${verify_out}" MATCHES "byte-identical to a fresh warm-all")
+  message(FATAL_ERROR
+    "verify did not report byte-identity:\n${verify_out}")
+endif()
+
+message(STATUS "snapshot-roundtrip ok: write/info/verify clean on "
+  "204 routers")
