@@ -58,6 +58,14 @@ struct Options {
   /// name, generator params, topology seed). Empty (the default) disables
   /// the cache — every bench builds its routing fresh, exactly as before.
   std::string snapshot_dir;
+  /// --metrics-every=<sim ms>: periodic metrics snapshots during the
+  /// first trial, written as <dash dir>/metrics_NNNNNN.json every N sim
+  /// milliseconds (one claimant, single-shard runs only — the same
+  /// single-writer rule as --trace). 0 disables.
+  double metrics_every_ms = 0.0;
+  /// --dash=<dir>: output directory for the periodic snapshots (and the
+  /// natural --out for a follow-up uap2p_dash run). Created on demand.
+  std::string dash_dir;
 };
 
 inline Options& options() {
@@ -85,7 +93,16 @@ inline void parse_flags(int argc, char** argv) {
           1, std::strtoull(std::string(arg.substr(9)).c_str(), nullptr, 10));
     } else if (arg.rfind("--snapshot-dir=", 0) == 0) {
       options().snapshot_dir = std::string(arg.substr(15));
+    } else if (arg.rfind("--metrics-every=", 0) == 0) {
+      options().metrics_every_ms =
+          std::strtod(std::string(arg.substr(16)).c_str(), nullptr);
+    } else if (arg.rfind("--dash=", 0) == 0) {
+      options().dash_dir = std::string(arg.substr(7));
     }
+  }
+  if (options().metrics_every_ms > 0.0 && !options().dash_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options().dash_dir, ec);
   }
   if (options().snapshot_dir.empty()) {
     if (const char* env = std::getenv("UAP2P_SNAPSHOT_DIR")) {
@@ -252,7 +269,39 @@ inline std::unique_ptr<obs::JsonlTraceSink>& trace_sink_storage() {
   static std::unique_ptr<obs::JsonlTraceSink> sink;
   return sink;
 }
+inline bool& periodic_snapshots_claimed() {
+  static bool claimed = false;
+  return claimed;
+}
 }  // namespace detail
+
+/// Claims the --metrics-every periodic-snapshot role for the calling
+/// lab/trial. True exactly once per process, for the first trial of the
+/// first run_trials group (or the first lab built outside run_trials) —
+/// one deterministic writer, same rule as acquire_trial_trace.
+inline bool claim_periodic_snapshots() {
+  if (options().metrics_every_ms <= 0.0 || options().dash_dir.empty())
+    return false;
+  const detail::TrialContext& ctx = detail::trial_context();
+  if (ctx.in_trial && (ctx.group != 0 || ctx.index != 0)) return false;
+  if (detail::periodic_snapshots_claimed()) return false;
+  detail::periodic_snapshots_claimed() = true;
+  return true;
+}
+
+/// Writes one numbered periodic snapshot (metrics_000000.json, ...) into
+/// --dash. `seq` is the claimant's own firing counter.
+inline bool write_periodic_snapshot(const obs::MetricsRegistry& registry,
+                                    std::size_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof name, "metrics_%06zu.json", seq);
+  const std::string path =
+      (std::filesystem::path(options().dash_dir) / name).string();
+  if (registry.write_json_file(path)) return true;
+  std::fprintf(stderr, "error: failed to write periodic snapshot %s\n",
+               path.c_str());
+  return false;
+}
 
 /// Claims the --trace JSONL sink. Non-null exactly once, for the first
 /// claimant inside trial 0 of the first run_trials call — one trial, one
@@ -472,6 +521,8 @@ struct GnutellaLab {
   Rng workload_rng_;
 
  private:
+  /// Firing counter for --metrics-every snapshot filenames.
+  std::size_t snapshot_seq_ = 0;
   /// Shared ctor tail; `derive` has already produced the network seed, so
   /// the split_seed draw order (net, overlay config, workload) is
   /// identical in both modes.
@@ -490,6 +541,25 @@ struct GnutellaLab {
     if (options().collect_metrics) {
       net->set_metrics(&metrics);
       system->bind_metrics(metrics);
+    }
+    // Per-AS-pair attribution whenever metrics leave the process: the
+    // matrix rides the same export/merge paths as the scalar accountant,
+    // so sharded runs stay byte-identical to serial ones.
+    if (options().collect_metrics || options().metrics_every_ms > 0.0) {
+      net->enable_traffic_matrix();
+    }
+    // --metrics-every periodic snapshots: the claiming lab exports its
+    // full current state every N sim ms into --dash. Single-shard only
+    // (reading other lanes' accountants mid-window would race).
+    if (engines.size() == 1 && claim_periodic_snapshots()) {
+      engine.schedule_every(options().metrics_every_ms, [this] {
+        obs::MetricsRegistry snap;
+        engine.export_metrics(snap);
+        net->traffic().export_metrics(snap);
+        snap.merge(metrics);
+        write_periodic_snapshot(snap, snapshot_seq_++);
+        return true;
+      });
     }
     // A JSONL sink is single-writer; sharded runs capture traces through
     // obs::ShardedTraceMux instead (bench_sharded_gate wires it by hand).

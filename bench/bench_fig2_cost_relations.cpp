@@ -8,7 +8,8 @@
 using namespace uap2p;
 using namespace uap2p::underlay;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_flags(argc, argv);
   bench::print_header("bench_fig2_cost_relations",
                       "Figure 2 (cost relations, after Norton [24])");
 
@@ -64,5 +65,5 @@ int main() {
         .cell(traffic.estimated_transit_usd_month(), 2);
   }
   sim_table.print("Fig 2 (live): locality shifts traffic off transit links");
-  return 0;
+  return bench::dump_observability();
 }

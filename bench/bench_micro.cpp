@@ -385,14 +385,17 @@ BENCHMARK(BM_ShardedEngineBarrier)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
 
 // --- Observability overhead ---------------------------------------------
 
-enum class ObsMode { kOff, kCounters, kTrace };
+enum class ObsMode { kOff, kCounters, kTrace, kMatrix };
 
 static void BM_ObsOverhead(benchmark::State& state) {
-  // The BM_GnutellaFloodSteadyState workload under the three obs settings:
+  // The BM_GnutellaFloodSteadyState workload under the obs settings:
   // 0 = compiled in but disabled (the shipping default — must be within
   // noise of the PR 2 flood baseline), 1 = registry counters bound,
-  // 2 = counters + full JSONL trace to /dev/null. Items are flooded
-  // messages, so ns/item is directly comparable across the three rows.
+  // 2 = counters + full JSONL trace to /dev/null, 3 = counters + the
+  // per-AS-pair traffic matrix with windowed time-series accounting (the
+  // --metrics-every cost observatory regime; acceptance keeps it within
+  // 5% of row 0). Items are flooded messages, so ns/item is directly
+  // comparable across the rows.
   const auto mode = static_cast<ObsMode>(state.range(0));
   sim::Engine engine;
   const underlay::AsTopology topo =
@@ -417,6 +420,7 @@ static void BM_ObsOverhead(benchmark::State& state) {
     net.set_trace(trace.get());
     system.set_trace(trace.get());
   }
+  if (mode == ObsMode::kMatrix) net.enable_traffic_matrix();
   system.bootstrap();
   for (std::size_t i = 0; i < 3; ++i) {
     system.share(peers[i * 7 + 1], ContentId(5));
@@ -439,9 +443,10 @@ static void BM_ObsOverhead(benchmark::State& state) {
     case ObsMode::kOff: state.SetLabel("obs=off"); break;
     case ObsMode::kCounters: state.SetLabel("obs=counters"); break;
     case ObsMode::kTrace: state.SetLabel("obs=counters+jsonl"); break;
+    case ObsMode::kMatrix: state.SetLabel("obs=matrix"); break;
   }
 }
-BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 // --- Parallel sweep dispatch --------------------------------------------
 

@@ -50,6 +50,10 @@ int run_gnutella(std::size_t shards, obs::MetricsRegistry& reg,
                          shards);
   lab.net->set_metrics(&reg);
   lab.system->bind_metrics(reg);
+  // Per-AS-pair matrix + windowed series ride the byte-diffed export:
+  // the gate proves the sharded merge of the new sections stays
+  // byte-identical to the serial run too.
+  lab.net->enable_traffic_matrix();
   wire_trace(lab.engines, *lab.net, *lab.system, mux);
 
   const std::size_t successes =
@@ -83,6 +87,7 @@ int run_kademlia(std::size_t shards, obs::MetricsRegistry& reg,
   overlay::kademlia::KademliaSystem kad(net, peers, config);
   net.set_metrics(&reg);
   kad.set_metrics(&reg);
+  net.enable_traffic_matrix();
   wire_trace(engines, net, kad, mux);
 
   kad.join_all();

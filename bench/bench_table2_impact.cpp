@@ -37,6 +37,10 @@ Metrics run_policy(core::NeighborRankingPolicy& policy, std::uint64_t seed) {
   underlay::AsTopology topo = underlay::AsTopology::transit_stub(2, 5, 0.3);
   underlay::Network net(engine, topo, seed);
   const auto peers = net.populate(kPeers);
+  if (bench::options().collect_metrics ||
+      bench::options().metrics_every_ms > 0.0) {
+    net.enable_traffic_matrix();
+  }
   Metrics metrics;
 
   // Neighbor selection: each peer ranks a hostcache-like random subset of
@@ -141,6 +145,7 @@ Metrics run_policy(core::NeighborRankingPolicy& policy, std::uint64_t seed) {
     }
   }
   metrics.resilience = attempts == 0 ? 0.0 : double(successes) / attempts;
+  bench::submit_engine_metrics(engine, net);
   return metrics;
 }
 
@@ -158,7 +163,8 @@ std::string symbol(double baseline, double value, bool higher_is_better) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_flags(argc, argv);
   bench::print_header("bench_table2_impact",
                       "Table 2 (impact of underlay awareness, measured)");
 
@@ -244,5 +250,6 @@ int main() {
       runs[3].metrics.neighbor_rtt_ms < base.neighbor_rtt_ms &&   // geo helps
       runs[4].metrics.download_ms < base.download_ms * 0.7;       // resources
   std::printf("shape check vs paper: %s\n", shape_ok ? "OK" : "MISMATCH");
-  return shape_ok ? 0 : 1;
+  const int obs_rc = bench::dump_observability();
+  return shape_ok ? obs_rc : 1;
 }

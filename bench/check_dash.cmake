@@ -1,0 +1,68 @@
+# dash-smoke: the cost-observatory pipeline end to end, in two halves.
+#
+# 1. Renderer determinism: uap2p_dash over the committed fixture snapshot
+#    must byte-reproduce the pinned golden dash.html/dash.json. The goldens
+#    depend only on renderer code, so this diff catches any nondeterminism
+#    (or unreviewed output change) in the dashboard itself.
+# 2. Live pipeline: run the Figure-2 bench with --metrics-every into a
+#    scratch --dash dir, validate every periodic snapshot's time-series
+#    schema with validate_bench_json --metrics, render the dashboard over
+#    the sequence, and check dash.json carries the expected sections.
+#
+# Expects: DASH_TOOL, BENCH, VALIDATOR, FIXTURE, GOLDEN_DIR, WORKDIR.
+
+function(run_checked)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    string(JOIN " " cmdline ${ARGV})
+    message(FATAL_ERROR "command failed (${rc}): ${cmdline}")
+  endif()
+endfunction()
+
+# --- 1. golden byte-diff --------------------------------------------------
+set(golden_out "${WORKDIR}/dash_golden_out")
+file(REMOVE_RECURSE "${golden_out}")
+file(MAKE_DIRECTORY "${golden_out}")
+run_checked("${DASH_TOOL}" "--out=${golden_out}"
+            "--title=uap2p cost observatory (pinned fixture)" "${FIXTURE}")
+foreach(artifact dash.html dash.json)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${golden_out}/${artifact}" "${GOLDEN_DIR}/${artifact}"
+    RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+      "${artifact} differs from the pinned golden. If the renderer change "
+      "is intentional, regenerate bench/golden/ with uap2p_dash over "
+      "bench/fixtures/dash_fixture_metrics.json and commit the new bytes.")
+  endif()
+endforeach()
+message(STATUS "dash-smoke: golden render byte-identical")
+
+# --- 2. live --metrics-every pipeline -------------------------------------
+set(live_dir "${WORKDIR}/dash_live")
+file(REMOVE_RECURSE "${live_dir}")
+run_checked("${BENCH}" "--metrics-every=300000" "--dash=${live_dir}")
+
+file(GLOB snapshots "${live_dir}/metrics_*.json")
+list(LENGTH snapshots snapshot_count)
+if(snapshot_count LESS 2)
+  message(FATAL_ERROR
+    "expected >= 2 periodic snapshots in ${live_dir}, got ${snapshot_count}")
+endif()
+list(SORT snapshots)
+foreach(snapshot ${snapshots})
+  run_checked("${VALIDATOR}" --metrics "${snapshot}")
+endforeach()
+
+run_checked("${DASH_TOOL}" "--out=${live_dir}" ${snapshots})
+file(READ "${live_dir}/dash.json" dash_json)
+foreach(key schema_version pricing summary as_bills pairs series
+        billed_transit_mbps closed_form_crossover_mbps)
+  string(FIND "${dash_json}" "\"${key}\"" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "live dash.json is missing \"${key}\"")
+  endif()
+endforeach()
+message(STATUS
+  "dash-smoke: live pipeline ok (${snapshot_count} snapshots rendered)")

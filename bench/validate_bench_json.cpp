@@ -1,294 +1,80 @@
-// Schema validator for BENCH_micro.json, run by the bench-smoke CTest
-// check so the machine-readable perf baseline can't silently rot.
+// Schema validator for the machine-readable bench artifacts, run by the
+// bench-smoke and dash-smoke CTest checks so the JSON baselines can't
+// silently rot. Two modes over the shared obs::json parser:
 //
-// Validates, with a small self-contained JSON parser (no dependencies):
-//   - the document parses as a JSON object,
-//   - schema_version == 1 and suite == "bench_micro",
-//   - benchmarks is a non-empty array of objects, each carrying a
-//     non-empty unique name, iterations > 0, real_time_ns_per_iter >= 0
-//     and items_per_second > 0,
-//   - the hot-path benchmarks guarded by this PR's perf targets are
-//     present.
+//   validate_bench_json <BENCH_micro.json>
+//     - the document parses as a JSON object,
+//     - schema_version == 1 and suite == "bench_micro",
+//     - benchmarks is a non-empty array of objects, each carrying a
+//       non-empty unique name, iterations > 0, real_time_ns_per_iter >= 0
+//       and items_per_second > 0,
+//     - the hot-path benchmarks guarded by the perf targets are present.
 //
-// Usage: validate_bench_json <path-to-BENCH_micro.json>
-#include <cctype>
+//   validate_bench_json --metrics <metrics.json>
+//     - a MetricsRegistry snapshot (--metrics / --metrics-every output):
+//       schema_version == 2, all five sections present as arrays,
+//     - every entry carries a non-empty name, unique within its section,
+//     - histograms: lo < hi, bucket_width > 0, per-bucket bounds chain
+//       (bucket[i].hi == bucket[i+1].lo) and counts are >= 0,
+//     - time_series: window_ms > 0, window starts monotone from 0 with
+//       start[i+1] == start[i] + window_ms, end == start + window_ms,
+//       values >= 0 (they are byte/message totals, never negative).
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <map>
-#include <memory>
 #include <set>
-#include <sstream>
 #include <string>
-#include <vector>
+
+#include "obs/json.hpp"
 
 namespace {
 
-// --- Minimal JSON value + recursive-descent parser -----------------------
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : text_(text) {}
-
-  bool parse(JsonValue& out) {
-    skip_whitespace();
-    if (!parse_value(out)) return false;
-    skip_whitespace();
-    return position_ == text_.size();  // no trailing garbage
-  }
-
-  [[nodiscard]] const std::string& error() const { return error_; }
-
- private:
-  bool fail(const std::string& message) {
-    if (error_.empty()) {
-      std::ostringstream out;
-      out << message << " at offset " << position_;
-      error_ = out.str();
-    }
-    return false;
-  }
-
-  void skip_whitespace() {
-    while (position_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[position_]))) {
-      ++position_;
-    }
-  }
-
-  bool consume(char expected) {
-    if (position_ < text_.size() && text_[position_] == expected) {
-      ++position_;
-      return true;
-    }
-    return fail(std::string("expected '") + expected + "'");
-  }
-
-  bool parse_value(JsonValue& out) {
-    skip_whitespace();
-    if (position_ >= text_.size()) return fail("unexpected end of input");
-    const char c = text_[position_];
-    if (c == '{') return parse_object(out);
-    if (c == '[') return parse_array(out);
-    if (c == '"') {
-      out.type = JsonValue::Type::kString;
-      return parse_string(out.string);
-    }
-    if (c == 't' || c == 'f') return parse_literal(out);
-    if (c == 'n') return parse_literal(out);
-    return parse_number(out);
-  }
-
-  bool parse_object(JsonValue& out) {
-    out.type = JsonValue::Type::kObject;
-    if (!consume('{')) return false;
-    skip_whitespace();
-    if (position_ < text_.size() && text_[position_] == '}') {
-      ++position_;
-      return true;
-    }
-    for (;;) {
-      skip_whitespace();
-      std::string key;
-      if (!parse_string(key)) return false;
-      skip_whitespace();
-      if (!consume(':')) return false;
-      JsonValue value;
-      if (!parse_value(value)) return false;
-      out.object.emplace(std::move(key), std::move(value));
-      skip_whitespace();
-      if (position_ < text_.size() && text_[position_] == ',') {
-        ++position_;
-        continue;
-      }
-      return consume('}');
-    }
-  }
-
-  bool parse_array(JsonValue& out) {
-    out.type = JsonValue::Type::kArray;
-    if (!consume('[')) return false;
-    skip_whitespace();
-    if (position_ < text_.size() && text_[position_] == ']') {
-      ++position_;
-      return true;
-    }
-    for (;;) {
-      JsonValue value;
-      if (!parse_value(value)) return false;
-      out.array.push_back(std::move(value));
-      skip_whitespace();
-      if (position_ < text_.size() && text_[position_] == ',') {
-        ++position_;
-        continue;
-      }
-      return consume(']');
-    }
-  }
-
-  bool parse_string(std::string& out) {
-    if (!consume('"')) return false;
-    out.clear();
-    while (position_ < text_.size()) {
-      const char c = text_[position_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (position_ >= text_.size()) return fail("dangling escape");
-        const char esc = text_[position_++];
-        switch (esc) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          case 'r': out.push_back('\r'); break;
-          case 'b': out.push_back('\b'); break;
-          case 'f': out.push_back('\f'); break;
-          case 'u':
-            // Benchmark names are ASCII; accept and skip the 4 hex digits.
-            if (position_ + 4 > text_.size()) return fail("bad \\u escape");
-            position_ += 4;
-            out.push_back('?');
-            break;
-          default: return fail("unknown escape");
-        }
-      } else {
-        out.push_back(c);
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  bool parse_literal(JsonValue& out) {
-    auto match = [&](const char* literal) {
-      const std::size_t len = std::string(literal).size();
-      if (text_.compare(position_, len, literal) == 0) {
-        position_ += len;
-        return true;
-      }
-      return false;
-    };
-    if (match("true")) {
-      out.type = JsonValue::Type::kBool;
-      out.boolean = true;
-      return true;
-    }
-    if (match("false")) {
-      out.type = JsonValue::Type::kBool;
-      out.boolean = false;
-      return true;
-    }
-    if (match("null")) {
-      out.type = JsonValue::Type::kNull;
-      return true;
-    }
-    return fail("unknown literal");
-  }
-
-  bool parse_number(JsonValue& out) {
-    const std::size_t start = position_;
-    while (position_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[position_])) ||
-            std::strchr("+-.eE", text_[position_]) != nullptr)) {
-      ++position_;
-    }
-    if (position_ == start) return fail("expected a number");
-    try {
-      out.number = std::stod(text_.substr(start, position_ - start));
-    } catch (...) {
-      return fail("malformed number");
-    }
-    out.type = JsonValue::Type::kNumber;
-    return true;
-  }
-
-  const std::string& text_;
-  std::size_t position_ = 0;
-  std::string error_;
-};
-
-// --- Schema checks -------------------------------------------------------
+using uap2p::obs::json::Value;
+using uap2p::obs::json::field;
 
 int complain(const std::string& message) {
   std::fprintf(stderr, "validate_bench_json: %s\n", message.c_str());
   return 1;
 }
 
-const JsonValue* field(const JsonValue& object, const std::string& key,
-                       JsonValue::Type type) {
-  const auto it = object.object.find(key);
-  if (it == object.object.end() || it->second.type != type) return nullptr;
-  return &it->second;
-}
+// --- BENCH_micro.json ----------------------------------------------------
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc != 2) return complain("usage: validate_bench_json <file.json>");
-  std::ifstream input(argv[1]);
-  if (!input) return complain(std::string("cannot read ") + argv[1]);
-  std::ostringstream buffer;
-  buffer << input.rdbuf();
-  const std::string text = buffer.str();
-
-  JsonValue root;
-  Parser parser(text);
-  if (!parser.parse(root)) {
-    return complain("JSON parse error: " + parser.error());
-  }
-  if (root.type != JsonValue::Type::kObject) {
-    return complain("top level is not an object");
-  }
-
-  const JsonValue* version =
-      field(root, "schema_version", JsonValue::Type::kNumber);
+int validate_bench(const char* path, const Value& root) {
+  const Value* version = field(root, "schema_version", Value::Type::kNumber);
   if (version == nullptr || version->number != 1.0) {
     return complain("schema_version missing or != 1");
   }
-  const JsonValue* suite = field(root, "suite", JsonValue::Type::kString);
+  const Value* suite = field(root, "suite", Value::Type::kString);
   if (suite == nullptr || suite->string != "bench_micro") {
     return complain("suite missing or != \"bench_micro\"");
   }
-  const JsonValue* benchmarks =
-      field(root, "benchmarks", JsonValue::Type::kArray);
+  const Value* benchmarks = field(root, "benchmarks", Value::Type::kArray);
   if (benchmarks == nullptr || benchmarks->array.empty()) {
     return complain("benchmarks missing or empty");
   }
 
   std::set<std::string> seen;
-  for (const JsonValue& entry : benchmarks->array) {
-    if (entry.type != JsonValue::Type::kObject) {
+  for (const Value& entry : benchmarks->array) {
+    if (entry.type != Value::Type::kObject) {
       return complain("benchmark entry is not an object");
     }
-    const JsonValue* name = field(entry, "name", JsonValue::Type::kString);
+    const Value* name = field(entry, "name", Value::Type::kString);
     if (name == nullptr || name->string.empty()) {
       return complain("benchmark entry without a name");
     }
     if (!seen.insert(name->string).second) {
       return complain("duplicate benchmark name: " + name->string);
     }
-    const JsonValue* iterations =
-        field(entry, "iterations", JsonValue::Type::kNumber);
+    const Value* iterations = field(entry, "iterations", Value::Type::kNumber);
     if (iterations == nullptr || iterations->number <= 0) {
       return complain(name->string + ": iterations missing or <= 0");
     }
-    const JsonValue* time =
-        field(entry, "real_time_ns_per_iter", JsonValue::Type::kNumber);
+    const Value* time =
+        field(entry, "real_time_ns_per_iter", Value::Type::kNumber);
     if (time == nullptr || time->number < 0) {
       return complain(name->string + ": real_time_ns_per_iter missing or < 0");
     }
-    const JsonValue* items =
-        field(entry, "items_per_second", JsonValue::Type::kNumber);
+    const Value* items =
+        field(entry, "items_per_second", Value::Type::kNumber);
     if (items == nullptr || items->number <= 0) {
       return complain(name->string + ": items_per_second missing or <= 0");
     }
@@ -304,7 +90,150 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("validate_bench_json: %s ok (%zu benchmarks)\n", argv[1],
+  std::printf("validate_bench_json: %s ok (%zu benchmarks)\n", path,
               seen.size());
   return 0;
+}
+
+// --- metrics snapshots ---------------------------------------------------
+
+/// Section entries must be objects with a non-empty, section-unique name.
+int check_names(const Value& section, const std::string& label) {
+  std::set<std::string> seen;
+  for (const Value& entry : section.array) {
+    if (entry.type != Value::Type::kObject) {
+      return complain(label + " entry is not an object");
+    }
+    const Value* name = field(entry, "name", Value::Type::kString);
+    if (name == nullptr || name->string.empty()) {
+      return complain(label + " entry without a name");
+    }
+    if (!seen.insert(name->string).second) {
+      return complain("duplicate " + label + " name: " + name->string);
+    }
+  }
+  return 0;
+}
+
+int validate_metrics(const char* path, const Value& root) {
+  const Value* version = field(root, "schema_version", Value::Type::kNumber);
+  if (version == nullptr || version->number != 2.0) {
+    return complain("schema_version missing or != 2");
+  }
+  const Value* sections[5] = {};
+  const char* names[5] = {"counters", "gauges", "stats", "histograms",
+                          "time_series"};
+  for (int i = 0; i < 5; ++i) {
+    sections[i] = field(root, names[i], Value::Type::kArray);
+    if (sections[i] == nullptr) {
+      return complain(std::string("section missing or not an array: ") +
+                      names[i]);
+    }
+    if (const int rc = check_names(*sections[i], names[i]); rc != 0) return rc;
+  }
+
+  for (const Value& histo : sections[3]->array) {
+    const std::string& name =
+        field(histo, "name", Value::Type::kString)->string;
+    const Value* lo = field(histo, "lo", Value::Type::kNumber);
+    const Value* hi = field(histo, "hi", Value::Type::kNumber);
+    const Value* width = field(histo, "bucket_width", Value::Type::kNumber);
+    const Value* buckets = field(histo, "buckets", Value::Type::kArray);
+    if (lo == nullptr || hi == nullptr || width == nullptr ||
+        buckets == nullptr) {
+      return complain(name + ": lo/hi/bucket_width/buckets missing");
+    }
+    if (!(lo->number < hi->number) || width->number <= 0) {
+      return complain(name + ": degenerate bucket geometry");
+    }
+    double prev_hi = lo->number;
+    for (const Value& bucket : buckets->array) {
+      const Value* b_lo = field(bucket, "lo", Value::Type::kNumber);
+      const Value* b_hi = field(bucket, "hi", Value::Type::kNumber);
+      const Value* count = field(bucket, "count", Value::Type::kNumber);
+      if (b_lo == nullptr || b_hi == nullptr || count == nullptr) {
+        return complain(name + ": bucket without lo/hi/count");
+      }
+      if (b_lo->number != prev_hi) {
+        return complain(name + ": bucket bounds do not chain");
+      }
+      if (!(b_lo->number < b_hi->number) || count->number < 0) {
+        return complain(name + ": bad bucket bounds or negative count");
+      }
+      prev_hi = b_hi->number;
+    }
+  }
+
+  std::size_t windows_total = 0;
+  for (const Value& series : sections[4]->array) {
+    const std::string& name =
+        field(series, "name", Value::Type::kString)->string;
+    const Value* window_ms = field(series, "window_ms", Value::Type::kNumber);
+    const Value* windows = field(series, "windows", Value::Type::kArray);
+    if (window_ms == nullptr || window_ms->number <= 0 || windows == nullptr) {
+      return complain(name + ": window_ms missing/non-positive or no windows");
+    }
+    double expected_start = 0.0;
+    for (const Value& window : windows->array) {
+      const Value* start = field(window, "start", Value::Type::kNumber);
+      const Value* end = field(window, "end", Value::Type::kNumber);
+      const Value* value = field(window, "value", Value::Type::kNumber);
+      if (start == nullptr || end == nullptr || value == nullptr) {
+        return complain(name + ": window without start/end/value");
+      }
+      if (start->number != expected_start) {
+        return complain(name + ": window starts not monotone from 0");
+      }
+      if (end->number != start->number + window_ms->number) {
+        return complain(name + ": window end != start + window_ms");
+      }
+      if (value->number < 0) {
+        return complain(name + ": negative window value");
+      }
+      expected_start += window_ms->number;
+      ++windows_total;
+    }
+  }
+
+  std::printf(
+      "validate_bench_json: %s ok (metrics: %zu counters, %zu gauges, "
+      "%zu series, %zu windows)\n",
+      path, sections[0]->array.size(), sections[1]->array.size(),
+      sections[4]->array.size(), windows_total);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool metrics_mode = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_mode = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    return complain("usage: validate_bench_json [--metrics] <file.json>");
+  }
+
+  std::string text;
+  std::string error;
+  if (!uap2p::obs::json::read_file(path, text, &error)) {
+    return complain(error);
+  }
+  Value root;
+  if (!uap2p::obs::json::parse(text, root, &error)) {
+    return complain("JSON parse error: " + error);
+  }
+  if (root.type != Value::Type::kObject) {
+    return complain("top level is not an object");
+  }
+  return metrics_mode ? validate_metrics(path, root)
+                      : validate_bench(path, root);
 }

@@ -10,8 +10,10 @@ Pinger::Pinger(underlay::Network& network, Rng rng, PingerConfig config)
 void Pinger::charge(PeerId a, PeerId b, std::uint64_t packets) {
   const auto& path = network_.path_between(a, b);
   // Request and echo both traverse the path; record both directions.
-  network_.traffic().record(path, packets * config_.probe_bytes * 2,
-                            network_.engine().now());
+  network_.traffic().record(
+      path, packets * config_.probe_bytes * 2, network_.engine().now(),
+      static_cast<std::uint32_t>(network_.host(a).as.value()),
+      static_cast<std::uint32_t>(network_.host(b).as.value()));
   probes_sent_ += packets;
   bytes_sent_ += packets * config_.probe_bytes * 2;
   probe_metric_.inc(packets);

@@ -1,0 +1,926 @@
+#include "obs/dash.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace uap2p::obs::dash {
+
+namespace {
+
+// --- Input model ---------------------------------------------------------
+
+struct Series {
+  double window_ms = 0.0;
+  std::vector<double> values;
+};
+
+struct PairCell {
+  unsigned src = 0;
+  unsigned dst = 0;
+  double bytes = 0.0;
+  double messages = 0.0;
+  double transit_link_bytes = 0.0;
+  double peering_link_bytes = 0.0;
+};
+
+struct AsBill {
+  unsigned as = 0;
+  double mbps = 0.0;
+  double usd = 0.0;
+};
+
+struct Model {
+  std::size_t snapshot_count = 0;
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Series> series;
+  // Derived (see derive()).
+  double p_transit = 12.0;
+  double p_peering = 2000.0;
+  double p_pct = 95.0;
+  double window_ms = 300000.0;
+  double peering_links = 0.0;
+  std::vector<PairCell> pairs;    // sorted by (src, dst)
+  std::vector<AsBill> bills;      // sorted by AS id
+  std::vector<std::pair<unsigned, const Series*>> as_series;  // by AS id
+  const Series* global_series = nullptr;
+};
+
+bool absorb(const std::string& text, Model& model, std::string* error) {
+  using json::Value;
+  Value root;
+  if (!json::parse(text, root, error)) return false;
+  if (root.type != Value::Type::kObject) {
+    if (error != nullptr) *error = "snapshot top level is not an object";
+    return false;
+  }
+  const Value* version =
+      json::field(root, "schema_version", Value::Type::kNumber);
+  if (version == nullptr || version->number < 2.0) {
+    if (error != nullptr)
+      *error = "snapshot schema_version missing or < 2 (re-run the bench "
+               "with this tree's --metrics)";
+    return false;
+  }
+  const auto scalars = [&](const char* section,
+                           std::map<std::string, double>& into) {
+    const Value* array = json::field(root, section, Value::Type::kArray);
+    if (array == nullptr) return;
+    for (const Value& entry : array->array) {
+      if (entry.type != Value::Type::kObject) continue;
+      const Value* name = json::field(entry, "name", Value::Type::kString);
+      const Value* value = json::field(entry, "value", Value::Type::kNumber);
+      if (name != nullptr && value != nullptr)
+        into[name->string] = value->number;
+    }
+  };
+  scalars("counters", model.counters);
+  scalars("gauges", model.gauges);
+  const Value* series_array =
+      json::field(root, "time_series", Value::Type::kArray);
+  if (series_array != nullptr) {
+    for (const Value& entry : series_array->array) {
+      if (entry.type != Value::Type::kObject) continue;
+      const Value* name = json::field(entry, "name", Value::Type::kString);
+      const Value* window =
+          json::field(entry, "window_ms", Value::Type::kNumber);
+      const Value* windows =
+          json::field(entry, "windows", Value::Type::kArray);
+      if (name == nullptr || window == nullptr || windows == nullptr)
+        continue;
+      Series& series = model.series[name->string];
+      series.window_ms = window->number;
+      series.values.clear();
+      series.values.reserve(windows->array.size());
+      for (const Value& w : windows->array) {
+        const Value* value = json::field(w, "value", Value::Type::kNumber);
+        series.values.push_back(value != nullptr ? value->number : 0.0);
+      }
+    }
+  }
+  ++model.snapshot_count;
+  return true;
+}
+
+void derive(Model& model) {
+  const auto gauge = [&](const char* name, double fallback) {
+    const auto it = model.gauges.find(name);
+    return it != model.gauges.end() ? it->second : fallback;
+  };
+  model.p_transit =
+      gauge("traffic.pricing.transit_usd_per_mbps_month", model.p_transit);
+  model.p_peering =
+      gauge("traffic.pricing.peering_link_usd_month", model.p_peering);
+  model.p_pct = gauge("traffic.pricing.billing_percentile", model.p_pct);
+  model.window_ms =
+      gauge("traffic.pricing.sample_window_ms", model.window_ms);
+  model.peering_links = gauge("traffic.peering_links", 0.0);
+
+  std::map<std::pair<unsigned, unsigned>, PairCell> pair_map;
+  for (const auto& [name, value] : model.counters) {
+    unsigned src = 0;
+    unsigned dst = 0;
+    char field[32] = {0};
+    if (std::sscanf(name.c_str(), "traffic.pair.%u.%u.%31s", &src, &dst,
+                    field) != 3)
+      continue;
+    PairCell& cell = pair_map[{src, dst}];
+    cell.src = src;
+    cell.dst = dst;
+    if (std::strcmp(field, "bytes") == 0) cell.bytes = value;
+    if (std::strcmp(field, "messages") == 0) cell.messages = value;
+    if (std::strcmp(field, "transit_link_bytes") == 0)
+      cell.transit_link_bytes = value;
+    if (std::strcmp(field, "peering_link_bytes") == 0)
+      cell.peering_link_bytes = value;
+  }
+  for (const auto& [key, cell] : pair_map) model.pairs.push_back(cell);
+
+  std::map<unsigned, AsBill> bill_map;
+  for (const auto& [name, value] : model.gauges) {
+    unsigned as = 0;
+    char field[32] = {0};
+    if (std::sscanf(name.c_str(), "traffic.as.%u.%31s", &as, field) != 2)
+      continue;
+    AsBill& bill = bill_map[as];
+    bill.as = as;
+    if (std::strcmp(field, "billed_transit_mbps") == 0) bill.mbps = value;
+    if (std::strcmp(field, "transit_usd_month") == 0) bill.usd = value;
+  }
+  for (const auto& [key, bill] : bill_map) model.bills.push_back(bill);
+
+  for (const auto& [name, series] : model.series) {
+    unsigned as = 0;
+    char field[32] = {0};
+    if (name == "traffic.transit_link_bytes") {
+      model.global_series = &series;
+    } else if (std::sscanf(name.c_str(), "traffic.as.%u.%31s", &as, field) ==
+                   2 &&
+               std::strcmp(field, "transit_bytes") == 0) {
+      model.as_series.emplace_back(as, &series);
+    }
+  }
+  std::sort(model.as_series.begin(), model.as_series.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+double counter_of(const Model& model, const char* name) {
+  const auto it = model.counters.find(name);
+  return it != model.counters.end() ? it->second : 0.0;
+}
+
+double gauge_of(const Model& model, const char* name) {
+  const auto it = model.gauges.find(name);
+  return it != model.gauges.end() ? it->second : 0.0;
+}
+
+// --- Formatting helpers --------------------------------------------------
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+void append_g17(std::string& out, double v) {
+  appendf(out, "%.17g", v);
+}
+
+std::string human_bytes(double bytes) {
+  std::string out;
+  if (bytes >= 1e9) {
+    appendf(out, "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    appendf(out, "%.2f MB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    appendf(out, "%.2f KB", bytes / 1e3);
+  } else {
+    appendf(out, "%.0f B", bytes);
+  }
+  return out;
+}
+
+std::string human_count(double n) {
+  std::string out;
+  if (n >= 1e6) {
+    appendf(out, "%.2fM", n / 1e6);
+  } else if (n >= 1e3) {
+    appendf(out, "%.1fk", n / 1e3);
+  } else {
+    appendf(out, "%.0f", n);
+  }
+  return out;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+}
+
+// --- dash.json -----------------------------------------------------------
+
+std::string render_json(const Model& model) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema_version\": 1,\n  \"snapshots\": ";
+  appendf(out, "%zu", model.snapshot_count);
+  out += ",\n  \"pricing\": {\"transit_usd_per_mbps_month\": ";
+  append_g17(out, model.p_transit);
+  out += ", \"peering_link_usd_month\": ";
+  append_g17(out, model.p_peering);
+  out += ", \"billing_percentile\": ";
+  append_g17(out, model.p_pct);
+  out += ", \"sample_window_ms\": ";
+  append_g17(out, model.window_ms);
+  out += "},\n  \"peering_links\": ";
+  append_g17(out, model.peering_links);
+  out += ",\n  \"summary\": {\"total_bytes\": ";
+  append_g17(out, counter_of(model, "traffic.bytes.total"));
+  out += ", \"intra_as_bytes\": ";
+  append_g17(out, counter_of(model, "traffic.bytes.intra_as"));
+  out += ", \"messages\": ";
+  append_g17(out, counter_of(model, "traffic.messages"));
+  out += ", \"intra_as_fraction\": ";
+  append_g17(out, gauge_of(model, "traffic.intra_as_fraction"));
+  out += ", \"billed_transit_mbps\": ";
+  append_g17(out, gauge_of(model, "traffic.billed_transit_mbps"));
+  out += ", \"estimated_transit_usd_month\": ";
+  append_g17(out, gauge_of(model, "traffic.estimated_transit_usd_month"));
+  out += ", \"closed_form_crossover_mbps\": ";
+  append_g17(out, model.p_transit > 0.0
+                      ? model.peering_links * model.p_peering / model.p_transit
+                      : 0.0);
+  out += "},\n  \"as_bills\": [";
+  for (std::size_t i = 0; i < model.bills.size(); ++i) {
+    const AsBill& bill = model.bills[i];
+    out += i == 0 ? "\n" : ",\n";
+    appendf(out, "    {\"as\": %u, \"billed_transit_mbps\": ", bill.as);
+    append_g17(out, bill.mbps);
+    out += ", \"transit_usd_month\": ";
+    append_g17(out, bill.usd);
+    out += "}";
+  }
+  out += model.bills.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"pairs\": [";
+  for (std::size_t i = 0; i < model.pairs.size(); ++i) {
+    const PairCell& cell = model.pairs[i];
+    out += i == 0 ? "\n" : ",\n";
+    appendf(out, "    {\"src_as\": %u, \"dst_as\": %u, \"bytes\": ", cell.src,
+            cell.dst);
+    append_g17(out, cell.bytes);
+    out += ", \"messages\": ";
+    append_g17(out, cell.messages);
+    out += ", \"transit_link_bytes\": ";
+    append_g17(out, cell.transit_link_bytes);
+    out += ", \"peering_link_bytes\": ";
+    append_g17(out, cell.peering_link_bytes);
+    out += "}";
+  }
+  out += model.pairs.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"series\": [";
+  bool first = true;
+  for (const auto& [name, series] : model.series) {
+    if (name.rfind("traffic.", 0) != 0) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"";
+    out += name;  // metric names are ASCII identifiers, no escaping needed
+    out += "\", \"window_ms\": ";
+    append_g17(out, series.window_ms);
+    out += ", \"values\": [";
+    for (std::size_t w = 0; w < series.values.size(); ++w) {
+      if (w != 0) out += ", ";
+      append_g17(out, series.values[w]);
+    }
+    out += "]}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+// --- HTML/SVG ------------------------------------------------------------
+
+// Sequential blue ramp, steps 100..700 (references/palette.md): one hue,
+// light -> dark, lightest = near zero.
+constexpr const char* kRamp[13] = {
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b"};
+
+void render_head(std::string& out, const Options& options) {
+  out +=
+      "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+      "<meta charset=\"utf-8\">\n"
+      "<meta name=\"viewport\" content=\"width=device-width, "
+      "initial-scale=1\">\n<title>";
+  append_escaped(out, options.title);
+  out +=
+      "</title>\n<style>\n"
+      ".viz-root {\n"
+      "  color-scheme: light;\n"
+      "  --surface-1: #fcfcfb;\n"
+      "  --page: #f9f9f7;\n"
+      "  --text-primary: #0b0b0b;\n"
+      "  --text-secondary: #52514e;\n"
+      "  --text-muted: #898781;\n"
+      "  --gridline: #e1e0d9;\n"
+      "  --baseline: #c3c2b7;\n"
+      "  --border: rgba(11,11,11,0.10);\n"
+      "  --series-1: #2a78d6;\n"
+      "  --series-2: #eb6834;\n"
+      "  --series-3: #1baf7a;\n"
+      "  --series-4: #eda100;\n"
+      "}\n"
+      "@media (prefers-color-scheme: dark) {\n"
+      "  :root:where(:not([data-theme=\"light\"])) .viz-root {\n"
+      "    color-scheme: dark;\n"
+      "    --surface-1: #1a1a19;\n"
+      "    --page: #0d0d0d;\n"
+      "    --text-primary: #ffffff;\n"
+      "    --text-secondary: #c3c2b7;\n"
+      "    --text-muted: #898781;\n"
+      "    --gridline: #2c2c2a;\n"
+      "    --baseline: #383835;\n"
+      "    --border: rgba(255,255,255,0.10);\n"
+      "    --series-1: #3987e5;\n"
+      "    --series-2: #d95926;\n"
+      "    --series-3: #199e70;\n"
+      "    --series-4: #c98500;\n"
+      "  }\n"
+      "}\n"
+      ":root[data-theme=\"dark\"] .viz-root {\n"
+      "  color-scheme: dark;\n"
+      "  --surface-1: #1a1a19;\n"
+      "  --page: #0d0d0d;\n"
+      "  --text-primary: #ffffff;\n"
+      "  --text-secondary: #c3c2b7;\n"
+      "  --text-muted: #898781;\n"
+      "  --gridline: #2c2c2a;\n"
+      "  --baseline: #383835;\n"
+      "  --border: rgba(255,255,255,0.10);\n"
+      "  --series-1: #3987e5;\n"
+      "  --series-2: #d95926;\n"
+      "  --series-3: #199e70;\n"
+      "  --series-4: #c98500;\n"
+      "}\n"
+      "body.viz-root { margin: 0; background: var(--page);\n"
+      "  color: var(--text-primary);\n"
+      "  font-family: system-ui, -apple-system, \"Segoe UI\", sans-serif;\n"
+      "  font-size: 14px; line-height: 1.45; }\n"
+      "main { max-width: 880px; margin: 0 auto; padding: 24px 16px 48px; }\n"
+      "h1 { font-size: 20px; margin: 0 0 2px; }\n"
+      "h2 { font-size: 15px; margin: 28px 0 8px; }\n"
+      ".sub { color: var(--text-secondary); margin: 0 0 20px; }\n"
+      ".note { color: var(--text-muted); font-size: 12px; margin: 6px 0 0; }\n"
+      ".tiles { display: flex; flex-wrap: wrap; gap: 12px; }\n"
+      ".tile { background: var(--surface-1); border: 1px solid var(--border);\n"
+      "  border-radius: 8px; padding: 10px 14px; min-width: 120px; }\n"
+      ".tile .v { font-size: 22px; }\n"
+      ".tile .k { color: var(--text-secondary); font-size: 12px; }\n"
+      ".panel { background: var(--surface-1); border: 1px solid "
+      "var(--border);\n"
+      "  border-radius: 8px; padding: 12px 14px; }\n"
+      "table { border-collapse: collapse; width: 100%; }\n"
+      "th { text-align: left; color: var(--text-secondary); font-weight: "
+      "600;\n"
+      "  font-size: 12px; border-bottom: 1px solid var(--baseline);\n"
+      "  padding: 4px 10px 4px 0; }\n"
+      "td { padding: 4px 10px 4px 0; border-bottom: 1px solid "
+      "var(--gridline);\n"
+      "  font-variant-numeric: tabular-nums; }\n"
+      "tr:last-child td { border-bottom: none; }\n"
+      "svg text { font-family: inherit; }\n"
+      ".axis-label { fill: var(--text-muted); font-size: 11px; }\n"
+      ".tick-label { fill: var(--text-muted); font-size: 11px;\n"
+      "  font-variant-numeric: tabular-nums; }\n"
+      ".series-label { fill: var(--text-secondary); font-size: 11px; }\n"
+      ".gridline { stroke: var(--gridline); stroke-width: 1; }\n"
+      ".baseline { stroke: var(--baseline); stroke-width: 1; }\n"
+      ".legend { display: flex; gap: 16px; flex-wrap: wrap;\n"
+      "  color: var(--text-secondary); font-size: 12px; margin: 0 0 6px; }\n"
+      ".legend .chip { display: inline-block; width: 10px; height: 10px;\n"
+      "  border-radius: 2px; margin-right: 5px; }\n"
+      "details summary { cursor: pointer; color: var(--text-secondary);\n"
+      "  font-size: 13px; margin-top: 10px; }\n"
+      "</style>\n</head>\n<body class=\"viz-root\">\n<main>\n";
+}
+
+void render_tiles(std::string& out, const Model& model) {
+  const double total = counter_of(model, "traffic.bytes.total");
+  const double messages = counter_of(model, "traffic.messages");
+  const double intra = gauge_of(model, "traffic.intra_as_fraction");
+  const double mbps = gauge_of(model, "traffic.billed_transit_mbps");
+  const double usd = gauge_of(model, "traffic.estimated_transit_usd_month");
+  out += "<div class=\"tiles\">\n";
+  const auto tile = [&](const std::string& value, const char* key) {
+    out += "<div class=\"tile\"><div class=\"v\">";
+    out += value;
+    out += "</div><div class=\"k\">";
+    out += key;
+    out += "</div></div>\n";
+  };
+  tile(human_bytes(total), "total traffic");
+  tile(human_count(messages), "messages");
+  std::string pct;
+  appendf(pct, "%.1f%%", intra * 100.0);
+  tile(pct, "intra-AS share");
+  std::string rate;
+  appendf(rate, "%.2f", mbps);
+  std::string rate_key;
+  appendf(rate_key, "billed Mbps (p%.0f)", model.p_pct);
+  tile(rate, rate_key.c_str());
+  std::string bill;
+  appendf(bill, "$%.2f", usd);
+  tile(bill, "est. transit / month");
+  out += "</div>\n";
+}
+
+void render_bill_table(std::string& out, const Model& model) {
+  out += "<h2>Per-AS transit bills</h2>\n<div class=\"panel\">\n";
+  if (model.bills.empty()) {
+    out += "<p class=\"note\">No AS crossed a transit link (or the traffic "
+           "matrix was not enabled for this run).</p>\n</div>\n";
+    return;
+  }
+  out += "<table>\n<tr><th>AS</th><th>billed rate (Mbps)</th>"
+         "<th>est. monthly bill (USD)</th></tr>\n";
+  for (const AsBill& bill : model.bills) {
+    appendf(out, "<tr><td>AS %u</td><td>%.3f</td><td>$%.2f</td></tr>\n",
+            bill.as, bill.mbps, bill.usd);
+  }
+  out += "</table>\n</div>\n";
+  std::string note;
+  appendf(note,
+          "<p class=\"note\">Billed rate = %.0fth percentile of per-window "
+          "transit rates (window %.0f ms), attributed to the source AS.</p>\n",
+          model.p_pct, model.window_ms);
+  out += note;
+}
+
+void render_heatmap(std::string& out, const Model& model,
+                    const Options& options) {
+  out += "<h2>AS-pair traffic matrix</h2>\n<div class=\"panel\">\n";
+  if (model.pairs.empty()) {
+    out += "<p class=\"note\">No AS-pair traffic recorded.</p>\n</div>\n";
+    return;
+  }
+  // Axis = the busiest ASes by total bytes touched (src + dst), capped.
+  std::map<unsigned, double> by_as;
+  for (const PairCell& cell : model.pairs) {
+    by_as[cell.src] += cell.bytes;
+    by_as[cell.dst] += cell.bytes;
+  }
+  std::vector<std::pair<unsigned, double>> ranked(by_as.begin(), by_as.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  const std::size_t axis_n =
+      std::min(options.heatmap_axis_cap, ranked.size());
+  std::vector<unsigned> axis;
+  for (std::size_t i = 0; i < axis_n; ++i) axis.push_back(ranked[i].first);
+  std::sort(axis.begin(), axis.end());
+  std::map<unsigned, std::size_t> axis_pos;
+  for (std::size_t i = 0; i < axis.size(); ++i) axis_pos[axis[i]] = i;
+
+  double max_bytes = 0.0;
+  for (const PairCell& cell : model.pairs)
+    max_bytes = std::max(max_bytes, cell.bytes);
+
+  const int cell_px = 26;
+  const int left = 64;
+  const int top = 40;
+  const int n = static_cast<int>(axis.size());
+  const int width = left + n * cell_px + 16;
+  const int height = top + n * cell_px + 28;
+  appendf(out,
+          "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" "
+          "role=\"img\" aria-label=\"AS-pair traffic heatmap\">\n",
+          width, height, width, height);
+  out += "<text class=\"axis-label\" x=\"4\" y=\"14\">src AS \\ dst "
+         "AS</text>\n";
+  for (int i = 0; i < n; ++i) {
+    appendf(out,
+            "<text class=\"tick-label\" x=\"%d\" y=\"%d\" "
+            "text-anchor=\"middle\">%u</text>\n",
+            left + i * cell_px + cell_px / 2, top - 8, axis[i]);
+    appendf(out,
+            "<text class=\"tick-label\" x=\"%d\" y=\"%d\" "
+            "text-anchor=\"end\">%u</text>\n",
+            left - 8, top + i * cell_px + cell_px / 2 + 4, axis[i]);
+  }
+  // Empty cells: surface fill + hairline ring, so "no traffic" recedes.
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      appendf(out,
+              "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" "
+              "fill=\"var(--surface-1)\" stroke=\"var(--gridline)\"/>\n",
+              left + c * cell_px, top + r * cell_px, cell_px, cell_px);
+    }
+  }
+  for (const PairCell& cell : model.pairs) {
+    const auto row = axis_pos.find(cell.src);
+    const auto col = axis_pos.find(cell.dst);
+    if (row == axis_pos.end() || col == axis_pos.end() || cell.bytes <= 0.0)
+      continue;
+    int step = static_cast<int>(cell.bytes / max_bytes * 12.0);
+    step = std::min(12, std::max(0, step));
+    appendf(out,
+            "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" "
+            "fill=\"%s\" stroke=\"var(--gridline)\">",
+            left + static_cast<int>(col->second) * cell_px,
+            top + static_cast<int>(row->second) * cell_px, cell_px, cell_px,
+            kRamp[step]);
+    appendf(out, "<title>AS %u &#8594; AS %u: %s, %s messages</title>",
+            cell.src, cell.dst, human_bytes(cell.bytes).c_str(),
+            human_count(cell.messages).c_str());
+    out += "</rect>\n";
+  }
+  out += "</svg>\n";
+  if (axis_n < ranked.size()) {
+    appendf(out,
+            "<p class=\"note\">Showing the %zu busiest of %zu ASes by bytes "
+            "touched; the full matrix is in dash.json.</p>\n",
+            axis_n, ranked.size());
+  }
+  // The accessibility/table view of the same data.
+  out += "<details><summary>Table view: busiest AS pairs</summary>\n"
+         "<table>\n<tr><th>src AS</th><th>dst AS</th><th>bytes</th>"
+         "<th>messages</th><th>transit-link bytes</th>"
+         "<th>peering-link bytes</th></tr>\n";
+  std::vector<PairCell> busiest = model.pairs;
+  std::sort(busiest.begin(), busiest.end(),
+            [](const PairCell& a, const PairCell& b) {
+              if (a.bytes != b.bytes) return a.bytes > b.bytes;
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
+  const std::size_t rows = std::min<std::size_t>(16, busiest.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    const PairCell& cell = busiest[i];
+    appendf(out, "<tr><td>%u</td><td>%u</td><td>%s</td><td>%.0f</td>"
+                 "<td>%s</td><td>%s</td></tr>\n",
+            cell.src, cell.dst, human_bytes(cell.bytes).c_str(),
+            cell.messages, human_bytes(cell.transit_link_bytes).c_str(),
+            human_bytes(cell.peering_link_bytes).c_str());
+  }
+  out += "</table>\n";
+  if (rows < busiest.size())
+    appendf(out, "<p class=\"note\">Showing top %zu of %zu pairs.</p>\n",
+            rows, busiest.size());
+  out += "</details>\n</div>\n";
+}
+
+void render_cost_curves(std::string& out, const Model& model) {
+  out += "<h2>Cost per Mbps: transit vs peering</h2>\n<div class=\"panel\">\n";
+  const double billed = gauge_of(model, "traffic.billed_transit_mbps");
+  const double links = model.peering_links;
+  if (model.p_transit <= 0.0) {
+    out += "<p class=\"note\">Transit price is zero; curves are "
+           "undefined.</p>\n</div>\n";
+    return;
+  }
+  const double crossover =
+      links > 0.0 ? links * model.p_peering / model.p_transit : 0.0;
+  // Log-x range covering the crossover and the measured rate.
+  double x_max = 100.0;
+  if (crossover > 0.0) x_max = std::max(x_max, crossover * 8.0);
+  if (billed > 0.0) x_max = std::max(x_max, billed * 8.0);
+  double x_min = std::max(0.01, x_max / 1e5);
+  if (billed > 0.0) x_min = std::min(x_min, billed / 4.0);
+  const double lx0 = std::log10(x_min);
+  const double lx1 = std::log10(x_max);
+  // Log-y range from both curves over [x_min, x_max].
+  double y_min = model.p_transit;
+  double y_max = model.p_transit;
+  if (links > 0.0) {
+    y_min = std::min(y_min, links * model.p_peering / x_max);
+    y_max = std::max(y_max, links * model.p_peering / x_min);
+  }
+  y_min /= 2.0;
+  y_max *= 2.0;
+  const double ly0 = std::log10(y_min);
+  const double ly1 = std::log10(y_max);
+
+  const int width = 640;
+  const int height = 260;
+  const int left = 56;
+  const int right = width - 16;
+  const int top = 12;
+  const int bottom = height - 36;
+  const auto x_of = [&](double mbps) {
+    return left + (std::log10(mbps) - lx0) / (lx1 - lx0) * (right - left);
+  };
+  const auto y_of = [&](double usd) {
+    return bottom - (std::log10(usd) - ly0) / (ly1 - ly0) * (bottom - top);
+  };
+
+  out += "<div class=\"legend\">"
+         "<span><span class=\"chip\" style=\"background: "
+         "var(--series-1)\"></span>transit (flat $/Mbps)</span>";
+  if (links > 0.0)
+    out += "<span><span class=\"chip\" style=\"background: "
+           "var(--series-2)\"></span>peering (flat fee / traffic)</span>";
+  if (billed > 0.0)
+    out += "<span><span class=\"chip\" style=\"background: "
+           "var(--series-3)\"></span>measured billed rate</span>";
+  out += "</div>\n";
+
+  appendf(out,
+          "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" "
+          "role=\"img\" aria-label=\"Transit vs peering cost per "
+          "Mbps\">\n",
+          width, height, width, height);
+  // Decade gridlines + tick labels on both log axes.
+  for (int d = static_cast<int>(std::ceil(lx0));
+       d <= static_cast<int>(std::floor(lx1)); ++d) {
+    const double x = x_of(std::pow(10.0, d));
+    appendf(out,
+            "<line class=\"gridline\" x1=\"%.2f\" y1=\"%d\" x2=\"%.2f\" "
+            "y2=\"%d\"/>\n",
+            x, top, x, bottom);
+    std::string label;
+    if (d >= 0) {
+      appendf(label, "%.0f", std::pow(10.0, d));
+    } else {
+      appendf(label, "%g", std::pow(10.0, d));
+    }
+    appendf(out,
+            "<text class=\"tick-label\" x=\"%.2f\" y=\"%d\" "
+            "text-anchor=\"middle\">%s</text>\n",
+            x, bottom + 16, label.c_str());
+  }
+  for (int d = static_cast<int>(std::ceil(ly0));
+       d <= static_cast<int>(std::floor(ly1)); ++d) {
+    const double y = y_of(std::pow(10.0, d));
+    appendf(out,
+            "<line class=\"gridline\" x1=\"%d\" y1=\"%.2f\" x2=\"%d\" "
+            "y2=\"%.2f\"/>\n",
+            left, y, right, y);
+    std::string label;
+    appendf(label, "%g", std::pow(10.0, d));
+    appendf(out,
+            "<text class=\"tick-label\" x=\"%d\" y=\"%.2f\" "
+            "text-anchor=\"end\">$%s</text>\n",
+            left - 6, y + 4, label.c_str());
+  }
+  appendf(out,
+          "<line class=\"baseline\" x1=\"%d\" y1=\"%d\" x2=\"%d\" "
+          "y2=\"%d\"/>\n",
+          left, bottom, right, bottom);
+  appendf(out,
+          "<text class=\"axis-label\" x=\"%d\" y=\"%d\">traffic exchanged "
+          "(Mbps, log)</text>\n",
+          left, height - 4);
+
+  // Transit: flat cost per Mbps.
+  appendf(out,
+          "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" "
+          "stroke=\"var(--series-1)\" stroke-width=\"2\" "
+          "fill=\"none\"/>\n",
+          x_of(x_min), y_of(model.p_transit), x_of(x_max),
+          y_of(model.p_transit));
+  // Peering: flat monthly fee spread over traffic, ~1/x.
+  if (links > 0.0) {
+    out += "<polyline fill=\"none\" stroke=\"var(--series-2)\" "
+           "stroke-width=\"2\" points=\"";
+    for (int i = 0; i <= 64; ++i) {
+      const double mbps =
+          std::pow(10.0, lx0 + (lx1 - lx0) * static_cast<double>(i) / 64.0);
+      double usd = links * model.p_peering / mbps;
+      usd = std::min(std::max(usd, y_min), y_max);
+      appendf(out, "%.2f,%.2f ", x_of(mbps), y_of(usd));
+    }
+    out += "\"/>\n";
+    if (crossover >= x_min && crossover <= x_max) {
+      appendf(out,
+              "<line x1=\"%.2f\" y1=\"%d\" x2=\"%.2f\" y2=\"%d\" "
+              "stroke=\"var(--baseline)\" stroke-dasharray=\"4 3\"/>\n",
+              x_of(crossover), top, x_of(crossover), bottom);
+      appendf(out,
+              "<text class=\"series-label\" x=\"%.2f\" y=\"%d\" "
+              "text-anchor=\"middle\">crossover %.1f Mbps</text>\n",
+              x_of(crossover), top + 10, crossover);
+    }
+  }
+  // Measured billed rate: where this run actually sits on the x axis.
+  if (billed > 0.0 && billed >= x_min && billed <= x_max) {
+    appendf(out,
+            "<line x1=\"%.2f\" y1=\"%d\" x2=\"%.2f\" y2=\"%d\" "
+            "stroke=\"var(--series-3)\" stroke-width=\"2\"/>\n",
+            x_of(billed), top, x_of(billed), bottom);
+    appendf(out,
+            "<text class=\"series-label\" x=\"%.2f\" y=\"%d\" "
+            "text-anchor=\"middle\">measured %.2f Mbps</text>\n",
+            x_of(billed), top + 24, billed);
+  }
+  out += "</svg>\n";
+  std::string note;
+  appendf(note,
+          "<p class=\"note\">Transit $%.2f/Mbps-month; peering %.0f "
+          "link(s) at $%.2f/month each. Closed-form crossover %.1f Mbps; "
+          "right of it, peering is cheaper (Figure 2).</p>\n",
+          model.p_transit, links, model.p_peering, crossover);
+  out += note;
+  out += "</div>\n";
+}
+
+void render_time_series(std::string& out, const Model& model,
+                        const Options& options) {
+  out += "<h2>Transit traffic over sim time</h2>\n<div class=\"panel\">\n";
+  struct Drawn {
+    std::string label;
+    int slot;  // CSS series slot 1..4
+    const Series* series;
+  };
+  std::vector<Drawn> drawn;
+  if (model.global_series != nullptr && !model.global_series->values.empty())
+    drawn.push_back({"all ASes", 1, model.global_series});
+  // The busiest per-AS series (by total bytes), up to the cap.
+  std::vector<std::pair<unsigned, const Series*>> ranked = model.as_series;
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    double sa = 0.0;
+    double sb = 0.0;
+    for (double v : a.second->values) sa += v;
+    for (double v : b.second->values) sb += v;
+    return sa != sb ? sa > sb : a.first < b.first;
+  });
+  for (std::size_t i = 0;
+       i < ranked.size() && drawn.size() < 1 + options.series_cap; ++i) {
+    std::string label;
+    appendf(label, "AS %u", ranked[i].first);
+    drawn.push_back(
+        {label, static_cast<int>(drawn.size()) + 1, ranked[i].second});
+  }
+  if (drawn.empty()) {
+    out += "<p class=\"note\">No billing-window series in the input "
+           "snapshots.</p>\n</div>\n";
+    return;
+  }
+  std::size_t windows = 0;
+  double peak = 0.0;
+  const double window_ms =
+      drawn.front().series->window_ms > 0.0 ? drawn.front().series->window_ms
+                                            : model.window_ms;
+  const double window_s = window_ms / 1000.0;
+  for (const Drawn& d : drawn) {
+    windows = std::max(windows, d.series->values.size());
+    for (double v : d.series->values)
+      peak = std::max(peak, v * 8.0 / window_s / 1e6);
+  }
+  if (peak <= 0.0) peak = 1.0;
+
+  out += "<div class=\"legend\">";
+  for (const Drawn& d : drawn) {
+    appendf(out,
+            "<span><span class=\"chip\" style=\"background: "
+            "var(--series-%d)\"></span>",
+            d.slot);
+    append_escaped(out, d.label);
+    out += "</span>";
+  }
+  out += "</div>\n";
+
+  const int width = 640;
+  const int height = 220;
+  const int left = 56;
+  const int right = width - 16;
+  const int top = 10;
+  const int bottom = height - 34;
+  const auto x_of = [&](std::size_t w) {
+    return windows > 1 ? left + static_cast<double>(w) /
+                                    static_cast<double>(windows - 1) *
+                                    (right - left)
+                       : static_cast<double>(left + right) / 2.0;
+  };
+  const auto y_of = [&](double mbps) {
+    return bottom - mbps / (peak * 1.05) * (bottom - top);
+  };
+  appendf(out,
+          "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" "
+          "role=\"img\" aria-label=\"Per-window transit rate\">\n",
+          width, height, width, height);
+  for (int i = 0; i <= 4; ++i) {
+    const double mbps = peak * 1.05 * i / 4.0;
+    const double y = y_of(mbps);
+    appendf(out,
+            "<line class=\"gridline\" x1=\"%d\" y1=\"%.2f\" x2=\"%d\" "
+            "y2=\"%.2f\"/>\n",
+            left, y, right, y);
+    appendf(out,
+            "<text class=\"tick-label\" x=\"%d\" y=\"%.2f\" "
+            "text-anchor=\"end\">%.2f</text>\n",
+            left - 6, y + 4, mbps);
+  }
+  const std::size_t tick_step = windows > 6 ? (windows + 5) / 6 : 1;
+  for (std::size_t w = 0; w < windows; w += tick_step) {
+    appendf(out,
+            "<text class=\"tick-label\" x=\"%.2f\" y=\"%d\" "
+            "text-anchor=\"middle\">%.0f</text>\n",
+            x_of(w), bottom + 16,
+            static_cast<double>(w) * window_ms / 60000.0);
+  }
+  appendf(out,
+          "<line class=\"baseline\" x1=\"%d\" y1=\"%d\" x2=\"%d\" "
+          "y2=\"%d\"/>\n",
+          left, bottom, right, bottom);
+  appendf(out,
+          "<text class=\"axis-label\" x=\"%d\" y=\"%d\">window start (sim "
+          "minutes); rate in Mbps</text>\n",
+          left, height - 4);
+  for (const Drawn& d : drawn) {
+    appendf(out,
+            "<polyline fill=\"none\" stroke=\"var(--series-%d)\" "
+            "stroke-width=\"2\" points=\"",
+            d.slot);
+    for (std::size_t w = 0; w < windows; ++w) {
+      const double v =
+          w < d.series->values.size() ? d.series->values[w] : 0.0;
+      appendf(out, "%.2f,%.2f ", x_of(w), y_of(v * 8.0 / window_s / 1e6));
+    }
+    out += "\"/>\n";
+    // Hover layer: one >=8px invisible target per window, native tooltip.
+    for (std::size_t w = 0; w < windows; ++w) {
+      const double v =
+          w < d.series->values.size() ? d.series->values[w] : 0.0;
+      const double mbps = v * 8.0 / window_s / 1e6;
+      appendf(out,
+              "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"8\" "
+              "fill=\"transparent\"><title>",
+              x_of(w), y_of(mbps));
+      append_escaped(out, d.label);
+      appendf(out, " @ %.0f min: %.3f Mbps</title></circle>\n",
+              static_cast<double>(w) * window_ms / 60000.0, mbps);
+    }
+  }
+  out += "</svg>\n";
+  if (model.as_series.size() > options.series_cap) {
+    appendf(out,
+            "<p class=\"note\">Showing the %zu busiest of %zu per-AS "
+            "series; all are in dash.json.</p>\n",
+            options.series_cap, model.as_series.size());
+  }
+  out += "</div>\n";
+}
+
+std::string render_html(const Model& model, const Options& options) {
+  std::string out;
+  out.reserve(32768);
+  render_head(out, options);
+  out += "<h1>";
+  append_escaped(out, options.title);
+  out += "</h1>\n";
+  appendf(out,
+          "<p class=\"sub\">%zu metrics snapshot%s &#183; %zu AS pair%s "
+          "&#183; %zu AS%s billed</p>\n",
+          model.snapshot_count, model.snapshot_count == 1 ? "" : "s",
+          model.pairs.size(), model.pairs.size() == 1 ? "" : "s",
+          model.bills.size(), model.bills.size() == 1 ? "" : "es");
+  render_tiles(out, model);
+  render_bill_table(out, model);
+  render_heatmap(out, model, options);
+  render_cost_curves(out, model);
+  render_time_series(out, model, options);
+  out += "<p class=\"note\">Deterministic rendering: this page is a pure "
+         "function of the input snapshots (no timestamps, no locale, no "
+         "randomness), so CI byte-diffs it.</p>\n"
+         "</main>\n</body>\n</html>\n";
+  return out;
+}
+
+}  // namespace
+
+bool render(const std::vector<std::string>& snapshot_texts,
+            const Options& options, Output& out, std::string* error) {
+  if (snapshot_texts.empty()) {
+    if (error != nullptr) *error = "no snapshots given";
+    return false;
+  }
+  Model model;
+  for (const std::string& text : snapshot_texts)
+    if (!absorb(text, model, error)) return false;
+  derive(model);
+  out.json = render_json(model);
+  out.html = render_html(model, options);
+  return true;
+}
+
+}  // namespace uap2p::obs::dash

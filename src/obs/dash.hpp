@@ -1,0 +1,48 @@
+// Deterministic cost-observatory dashboard (ROADMAP "Per-AS cost
+// dashboards"; paper §2.1 Figure 2).
+//
+// Renders one or more `--metrics` JSON snapshots (schema_version >= 2)
+// into (a) a self-contained HTML/SVG dashboard — per-AS transit-bill
+// table, top-k AS-pair traffic heatmap, the transit-vs-peering
+// cost-per-Mbps curves with the measured billed rate marked against the
+// closed-form crossover, and billing-window time-series panels — and
+// (b) a machine-readable `dash.json` with the same numbers.
+//
+// Determinism contract: output bytes are a pure function of the input
+// snapshots and Options — fixed section order, (src, dst)/AS-id sorted
+// tables, snprintf-formatted numbers, no timestamps, no locale, no
+// randomness. CI byte-diffs a pinned golden rendering (dash-smoke).
+//
+// Snapshots are cumulative, so when several are given (a --metrics-every
+// sequence) later files extend earlier ones: counters/gauges/series are
+// absorbed in argument order, last value per name wins.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace uap2p::obs::dash {
+
+struct Options {
+  /// Max ASes per heatmap axis; busiest-by-bytes kept, cap noted in output.
+  std::size_t heatmap_axis_cap = 12;
+  /// Max per-AS billing series drawn in the time-series panel (the
+  /// categorical palette validates three slots for all-pairs charts).
+  std::size_t series_cap = 3;
+  /// Dashboard title (appears verbatim in the HTML).
+  std::string title = "uap2p cost observatory";
+};
+
+struct Output {
+  std::string html;  ///< Self-contained dashboard page.
+  std::string json;  ///< Machine-readable dash.json.
+};
+
+/// Renders `snapshot_texts` (metrics JSON documents, in order) into
+/// `out`. Returns false and sets `error` on malformed input; inputs with
+/// no traffic render an explicit empty state, not an error.
+bool render(const std::vector<std::string>& snapshot_texts,
+            const Options& options, Output& out, std::string* error);
+
+}  // namespace uap2p::obs::dash

@@ -1,0 +1,221 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace uap2p::obs::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool parse(Value& out) {
+    skip_whitespace();
+    if (!parse_value(out)) return false;
+    skip_whitespace();
+    if (position_ != text_.size()) return fail("trailing garbage");
+    return true;
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  bool fail(const std::string& message) {
+    if (error_.empty()) {
+      std::ostringstream out;
+      out << message << " at offset " << position_;
+      error_ = out.str();
+    }
+    return false;
+  }
+
+  void skip_whitespace() {
+    while (position_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[position_]))) {
+      ++position_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (position_ < text_.size() && text_[position_] == expected) {
+      ++position_;
+      return true;
+    }
+    return fail(std::string("expected '") + expected + "'");
+  }
+
+  bool parse_value(Value& out) {
+    skip_whitespace();
+    if (position_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[position_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.type = Value::Type::kString;
+      return parse_string(out.string);
+    }
+    if (c == 't' || c == 'f' || c == 'n') return parse_literal(out);
+    return parse_number(out);
+  }
+
+  bool parse_object(Value& out) {
+    out.type = Value::Type::kObject;
+    if (!consume('{')) return false;
+    skip_whitespace();
+    if (position_ < text_.size() && text_[position_] == '}') {
+      ++position_;
+      return true;
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_whitespace();
+      if (!consume(':')) return false;
+      Value value;
+      if (!parse_value(value)) return false;
+      out.object.emplace(std::move(key), std::move(value));
+      skip_whitespace();
+      if (position_ < text_.size() && text_[position_] == ',') {
+        ++position_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parse_array(Value& out) {
+    out.type = Value::Type::kArray;
+    if (!consume('[')) return false;
+    skip_whitespace();
+    if (position_ < text_.size() && text_[position_] == ']') {
+      ++position_;
+      return true;
+    }
+    for (;;) {
+      Value value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_whitespace();
+      if (position_ < text_.size() && text_[position_] == ',') {
+        ++position_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (position_ < text_.size()) {
+      const char c = text_[position_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (position_ >= text_.size()) return fail("dangling escape");
+        const char esc = text_[position_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u':
+            // Emitted strings are ASCII; accept and skip the 4 hex digits.
+            if (position_ + 4 > text_.size()) return fail("bad \\u escape");
+            position_ += 4;
+            out.push_back('?');
+            break;
+          default: return fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_literal(Value& out) {
+    auto match = [&](const char* literal) {
+      const std::size_t len = std::strlen(literal);
+      if (text_.compare(position_, len, literal) == 0) {
+        position_ += len;
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      out.type = Value::Type::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out.type = Value::Type::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out.type = Value::Type::kNull;
+      return true;
+    }
+    return fail("unknown literal");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = position_;
+    while (position_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[position_])) ||
+            std::strchr("+-.eE", text_[position_]) != nullptr)) {
+      ++position_;
+    }
+    if (position_ == start) return fail("expected a number");
+    try {
+      out.number = std::stod(text_.substr(start, position_ - start));
+    } catch (...) {
+      return fail("malformed number");
+    }
+    out.type = Value::Type::kNumber;
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t position_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value& out, std::string* error) {
+  Parser parser(text);
+  if (parser.parse(out)) return true;
+  if (error != nullptr) *error = parser.error();
+  return false;
+}
+
+const Value* field(const Value& object, const std::string& key,
+                   Value::Type type) {
+  const auto it = object.object.find(key);
+  if (it == object.object.end() || it->second.type != type) return nullptr;
+  return &it->second;
+}
+
+bool read_file(const std::string& path, std::string& out, std::string* error) {
+  std::ifstream input(path, std::ios::binary);
+  if (!input) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace uap2p::obs::json

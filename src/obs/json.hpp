@@ -1,0 +1,38 @@
+// Minimal dependency-free JSON value + recursive-descent parser, shared
+// by the bench JSON validator and uap2p_dash. Parses the documents this
+// repo emits (metrics snapshots, BENCH_micro.json, dash.json) — object /
+// array / string / number / bool / null, ASCII strings. Not a general
+// spec-complete parser; \uXXXX escapes are accepted and replaced with '?'.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace uap2p::obs::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+};
+
+/// Parses `text` into `out`; rejects trailing garbage. On failure returns
+/// false and, when `error` is non-null, stores a message with the byte
+/// offset of the first problem.
+bool parse(const std::string& text, Value& out, std::string* error = nullptr);
+
+/// Looks up `key` in an object value, requiring the given type; returns
+/// nullptr when absent or mismatched.
+const Value* field(const Value& object, const std::string& key,
+                   Value::Type type);
+
+/// Reads a whole file; returns false (and sets `error`) on I/O failure.
+bool read_file(const std::string& path, std::string& out,
+               std::string* error = nullptr);
+
+}  // namespace uap2p::obs::json

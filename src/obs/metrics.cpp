@@ -87,6 +87,22 @@ Histo MetricsRegistry::histogram(std::string_view name, double lo, double hi,
   return Histo(&entry.hist);
 }
 
+TimeSeries MetricsRegistry::time_series(std::string_view name,
+                                        double window_ms) {
+  assert(window_ms > 0.0);
+  const auto it = series_index_.find(std::string(name));
+  if (it != series_index_.end()) {
+    detail::SeriesEntry& entry = series_[it->second];
+    assert(entry.window_ms == window_ms);
+    (void)window_ms;
+    return TimeSeries(&entry);
+  }
+  detail::SeriesEntry& entry = series_.push(
+      detail::SeriesEntry{std::string(name), window_ms, {}});
+  series_index_.emplace(entry.name, series_.size() - 1);
+  return TimeSeries(&entry);
+}
+
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (std::size_t i = 0; i < other.counters_.size(); ++i) {
     const detail::CounterEntry& src = other.counters_[i];
@@ -107,12 +123,20 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
                           src.hist.bucket_count());
     dst.hist_->merge(src.hist);
   }
+  for (std::size_t i = 0; i < other.series_.size(); ++i) {
+    const detail::SeriesEntry& src = other.series_[i];
+    TimeSeries dst = time_series(src.name, src.window_ms);
+    if (src.values.size() > dst.entry_->values.size())
+      dst.entry_->values.resize(src.values.size(), 0.0);
+    for (std::size_t w = 0; w < src.values.size(); ++w)
+      dst.entry_->values[w] += src.values[w];
+  }
 }
 
 std::string MetricsRegistry::to_json() const {
   std::string out;
   out.reserve(256 + 64 * (counters_.size() + gauges_.size() + stats_.size()));
-  out += "{\n  \"schema_version\": 1,\n  \"counters\": [";
+  out += "{\n  \"schema_version\": 2,\n  \"counters\": [";
   for (std::size_t i = 0; i < counters_.size(); ++i) {
     const detail::CounterEntry& e = counters_[i];
     out += i == 0 ? "\n" : ",\n";
@@ -167,14 +191,53 @@ std::string MetricsRegistry::to_json() const {
     append_double(out, e.hist.hi());
     out += ", \"total\": ";
     append_u64(out, e.hist.total());
+    const double width =
+        (e.hist.hi() - e.hist.lo()) /
+        static_cast<double>(e.hist.bucket_count());
+    out += ", \"bucket_width\": ";
+    append_double(out, width);
     out += ", \"buckets\": [";
+    // Each bucket carries its own [lo, hi) bounds so downstream tools
+    // (uap2p_dash) never hard-code the geometry.
     for (std::size_t b = 0; b < e.hist.bucket_count(); ++b) {
       if (b != 0) out += ", ";
+      out += "{\"lo\": ";
+      append_double(out, e.hist.bucket_lo(b));
+      out += ", \"hi\": ";
+      append_double(out, b + 1 == e.hist.bucket_count()
+                             ? e.hist.hi()
+                             : e.hist.bucket_lo(b + 1));
+      out += ", \"count\": ";
       append_u64(out, e.hist.bucket(b));
+      out += "}";
     }
     out += "]}";
   }
-  out += histos_.empty() ? "]\n" : "\n  ]\n";
+  out += histos_.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"time_series\": [";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const detail::SeriesEntry& e = series_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"";
+    append_escaped(out, e.name);
+    out += "\", \"window_ms\": ";
+    append_double(out, e.window_ms);
+    out += ", \"windows\": [";
+    // Every window 0..N-1 appears with explicit bounds; a partial final
+    // window still reports its full nominal [start, end).
+    for (std::size_t w = 0; w < e.values.size(); ++w) {
+      if (w != 0) out += ", ";
+      out += "{\"start\": ";
+      append_double(out, static_cast<double>(w) * e.window_ms);
+      out += ", \"end\": ";
+      append_double(out, static_cast<double>(w + 1) * e.window_ms);
+      out += ", \"value\": ";
+      append_double(out, e.values[w]);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += series_.empty() ? "]\n" : "\n  ]\n";
   out += "}\n";
   return out;
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/flat_map.hpp"
 #include "common/stats.hpp"
@@ -45,6 +46,11 @@ struct HistoEntry {
   Histogram hist;
   HistoEntry(std::string n, double lo, double hi, std::size_t buckets)
       : name(std::move(n)), hist(lo, hi, buckets) {}
+};
+struct SeriesEntry {
+  std::string name;
+  double window_ms = 0.0;  // fixed sim-time window width
+  std::vector<double> values;  // values[i] covers [i*window_ms, (i+1)*window_ms)
 };
 }  // namespace detail
 
@@ -128,6 +134,54 @@ class Histo {
   Histogram* hist_ = nullptr;
 };
 
+/// Windowed sim-time series handle. Windows are fixed-width half-open
+/// intervals [i*window_ms, (i+1)*window_ms) over sim time starting at 0;
+/// values accumulate per window and merge element-wise (window i + window
+/// i), so serial and sharded/parallel runs export identical series.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  /// Accumulates `delta` into the window containing sim time `now_ms`.
+  void add_at(double now_ms, double delta) {
+    if (entry_ == nullptr) return;
+    set_or_add(static_cast<std::size_t>(now_ms / entry_->window_ms), delta,
+               /*overwrite=*/false);
+  }
+  /// Overwrites window `index` (snapshot-style exports; idempotent).
+  void set_window(std::size_t index, double value) {
+    if (entry_ != nullptr) set_or_add(index, value, /*overwrite=*/true);
+  }
+  /// Pre-grows backing storage so steady-state add_at stays allocation-free.
+  void reserve(std::size_t windows) {
+    if (entry_ != nullptr && windows > entry_->values.capacity())
+      entry_->values.reserve(windows);
+  }
+  [[nodiscard]] double window_ms() const {
+    return entry_ != nullptr ? entry_->window_ms : 0.0;
+  }
+  [[nodiscard]] std::size_t window_count() const {
+    return entry_ != nullptr ? entry_->values.size() : 0;
+  }
+  [[nodiscard]] double window_value(std::size_t index) const {
+    return entry_ != nullptr && index < entry_->values.size()
+               ? entry_->values[index]
+               : 0.0;
+  }
+  [[nodiscard]] bool bound() const { return entry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit TimeSeries(detail::SeriesEntry* entry) : entry_(entry) {}
+  void set_or_add(std::size_t index, double v, bool overwrite) {
+    if (index >= entry_->values.size()) entry_->values.resize(index + 1, 0.0);
+    if (overwrite)
+      entry_->values[index] = v;
+    else
+      entry_->values[index] += v;
+  }
+  detail::SeriesEntry* entry_ = nullptr;
+};
+
 /// Interned-name instrument registry. Registration is idempotent: asking
 /// for an existing name returns a handle to the same slot, so several
 /// systems can share one metric. Entries live in ChunkedStore chunks, so
@@ -148,6 +202,8 @@ class MetricsRegistry {
   /// Bounds/bucket-count must match on re-registration (asserted).
   Histo histogram(std::string_view name, double lo, double hi,
                   std::size_t buckets);
+  /// Window width must match on re-registration (asserted); window_ms > 0.
+  TimeSeries time_series(std::string_view name, double window_ms);
 
   /// Folds `other` into this registry by metric name: counters add,
   /// gauges take the other's value when it was set, stats merge their
@@ -169,18 +225,23 @@ class MetricsRegistry {
   [[nodiscard]] std::size_t gauge_count() const { return gauges_.size(); }
   [[nodiscard]] std::size_t stat_count() const { return stats_.size(); }
   [[nodiscard]] std::size_t histogram_count() const { return histos_.size(); }
+  [[nodiscard]] std::size_t time_series_count() const {
+    return series_.size();
+  }
 
  private:
   ChunkedStore<detail::CounterEntry> counters_;
   ChunkedStore<detail::GaugeEntry> gauges_;
   ChunkedStore<detail::StatEntry> stats_;
   ChunkedStore<detail::HistoEntry> histos_;
+  ChunkedStore<detail::SeriesEntry> series_;
   // Name -> store index (not pointers: the maps only serve registration
   // and merge, both cold paths).
   std::unordered_map<std::string, std::size_t> counter_index_;
   std::unordered_map<std::string, std::size_t> gauge_index_;
   std::unordered_map<std::string, std::size_t> stat_index_;
   std::unordered_map<std::string, std::size_t> histo_index_;
+  std::unordered_map<std::string, std::size_t> series_index_;
 };
 
 }  // namespace uap2p::obs

@@ -227,6 +227,19 @@ class Engine {
     return EventHandle(this, tag);
   }
 
+  /// Schedules `fn` to fire repeatedly at now()+interval, now()+2*interval,
+  /// ... until it returns false. The periodic-flush shape (billing-window
+  /// snapshots, stat rollups) without each caller hand-rolling the
+  /// rescheduling chain; each firing is an ordinary event, so ties with
+  /// other work at the same timestamp keep deterministic seq order.
+  template <typename F>
+  void schedule_every(SimTime interval, F fn) {
+    assert(interval > 0);
+    schedule(interval, [this, interval, fn = std::move(fn)]() mutable {
+      if (fn()) schedule_every(interval, std::move(fn));
+    });
+  }
+
   /// Schedules at an absolute time without emitting a kEventScheduled
   /// trace record, attributing the event to `origin` instead of the
   /// engine's current origin. This is the ingestion path for cross-shard

@@ -81,6 +81,27 @@ void TrafficAccountant::export_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("traffic.messages").set(messages_);
   registry.gauge("traffic.intra_as_fraction").set(intra_as_fraction());
   registry.gauge("traffic.billed_transit_mbps").set(billed_transit_mbps());
+  registry.gauge("traffic.estimated_transit_usd_month")
+      .set(estimated_transit_usd_month());
+  // The price book and link count ride along so downstream tools
+  // (uap2p_dash) can draw the Figure 2 curves without re-deriving config.
+  registry.gauge("traffic.pricing.transit_usd_per_mbps_month")
+      .set(pricing_.transit_usd_per_mbps_month);
+  registry.gauge("traffic.pricing.peering_link_usd_month")
+      .set(pricing_.peering_link_usd_month);
+  registry.gauge("traffic.pricing.billing_percentile")
+      .set(pricing_.billing_percentile);
+  registry.gauge("traffic.pricing.sample_window_ms")
+      .set(pricing_.sample_window_ms);
+  registry.gauge("traffic.peering_links")
+      .set(static_cast<double>(peering_links_));
+  // The aggregate billing-window series (what billed_transit_mbps
+  // percentiles over), windowed at the pricing's sample width.
+  obs::TimeSeries series = registry.time_series(
+      "traffic.transit_link_bytes", pricing_.sample_window_ms);
+  for (std::size_t w = 0; w < window_transit_bytes_.size(); ++w)
+    series.set_window(w, window_transit_bytes_[w]);
+  matrix_.export_metrics(registry, pricing_);
 }
 
 void TrafficAccountant::merge_from(const TrafficAccountant& other) {
@@ -93,12 +114,15 @@ void TrafficAccountant::merge_from(const TrafficAccountant& other) {
     window_transit_bytes_.resize(other.window_transit_bytes_.size(), 0.0);
   for (std::size_t i = 0; i < other.window_transit_bytes_.size(); ++i)
     window_transit_bytes_[i] += other.window_transit_bytes_[i];
+  peering_links_ = std::max(peering_links_, other.peering_links_);
+  matrix_.merge_from(other.matrix_);
 }
 
 void TrafficAccountant::reset() {
   total_bytes_ = intra_bytes_ = transit_bytes_ = peering_bytes_ = 0;
   messages_ = 0;
   window_transit_bytes_.clear();
+  matrix_.reset();
 }
 
 }  // namespace uap2p::underlay

@@ -15,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "sim/time.hpp"
 #include "underlay/routing.hpp"
+#include "underlay/traffic_matrix.hpp"
 
 namespace uap2p::underlay {
 
@@ -55,13 +56,41 @@ class TrafficAccountant {
   /// Records one message of `bytes` bytes sent along `path` at time `now`.
   void record(const PathInfo& path, std::uint64_t bytes, sim::SimTime now);
 
-  /// Pre-sizes the per-window transit series through `horizon` of sim time,
-  /// so record() stays allocation-free until then (steady-state probes).
+  /// AS-attributed record: same totals as the 3-arg overload, plus — when
+  /// the matrix is enabled — the per-(src AS, dst AS) cell and the source
+  /// AS's billing-window series.
+  void record(const PathInfo& path, std::uint64_t bytes, sim::SimTime now,
+              std::uint32_t src_as, std::uint32_t dst_as) {
+    record(path, bytes, now);
+    if (matrix_.enabled()) [[unlikely]]
+      matrix_.record(src_as, dst_as, path, bytes, now);
+  }
+
+  /// Arms the per-AS-pair matrix (windowed at the pricing's sample
+  /// window). Off by default: a disabled matrix costs one predicted
+  /// branch per AS-attributed record.
+  void enable_matrix(std::uint32_t as_count) {
+    matrix_.enable(as_count, pricing_.sample_window_ms);
+  }
+  [[nodiscard]] const TrafficMatrix& matrix() const { return matrix_; }
+  [[nodiscard]] TrafficMatrix& matrix() { return matrix_; }
+
+  /// Peering-link count of the underlay, for the Figure 2 curves exported
+  /// with the metrics (Network sets this from its topology).
+  void set_peering_links(std::size_t links) { peering_links_ = links; }
+  [[nodiscard]] std::size_t peering_links() const { return peering_links_; }
+
+  [[nodiscard]] const Pricing& pricing() const { return pricing_; }
+
+  /// Pre-sizes the per-window transit series (and the matrix's, when
+  /// enabled) through `horizon` of sim time, so record() stays
+  /// allocation-free until then (steady-state probes).
   void reserve_windows(sim::SimTime horizon) {
     const auto windows =
         static_cast<std::size_t>(horizon / pricing_.sample_window_ms) + 1;
     if (window_transit_bytes_.capacity() < windows)
       window_transit_bytes_.reserve(windows);
+    matrix_.reserve_windows(horizon);
   }
 
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
@@ -110,8 +139,10 @@ class TrafficAccountant {
   std::uint64_t transit_bytes_ = 0;
   std::uint64_t peering_bytes_ = 0;
   std::uint64_t messages_ = 0;
+  std::size_t peering_links_ = 0;
   // Transit bytes per sampling window, indexed by window number.
   std::vector<double> window_transit_bytes_;
+  TrafficMatrix matrix_;  // disabled unless enable_matrix() is called
 };
 
 }  // namespace uap2p::underlay

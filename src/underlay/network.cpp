@@ -47,12 +47,22 @@ HostResources sample_resources(Rng& rng) {
 }
 
 void Network::init_lanes(std::size_t count, const Pricing& pricing) {
+  std::size_t peering_links = 0;
+  for (const Link& link : topology_->links())
+    if (link.type == LinkType::kPeering) ++peering_links;
   lanes_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     lanes_.emplace_back();
     lanes_.back().traffic = TrafficAccountant(pricing);
+    lanes_.back().traffic.set_peering_links(peering_links);
   }
   outboxes_.resize(count * count);
+}
+
+void Network::enable_traffic_matrix() {
+  for (DeliveryLane& lane : lanes_)
+    lane.traffic.enable_matrix(
+        static_cast<std::uint32_t>(topology_->as_count()));
 }
 
 Network::Network(sim::Engine& engine, const AsTopology& topology,
@@ -238,7 +248,9 @@ bool Network::send(Message msg) {
     drop_at_send(lane, msg, now);
     return false;
   }
-  lane.traffic.record(path, msg.size_bytes, now);
+  lane.traffic.record(path, msg.size_bytes, now,
+                      static_cast<std::uint32_t>(src.as.value()),
+                      static_cast<std::uint32_t>(dst.as.value()));
   lane.sent_count.inc();
   lane.bytes_sent.inc(msg.size_bytes);
   if (lane.trace != nullptr) [[unlikely]] {
@@ -369,6 +381,18 @@ sim::SimTime Network::lookahead_ms() const {
 }
 
 std::uint64_t Network::run_until(sim::SimTime until) {
+  // Forward the horizon to every lane's accountant so billing-window
+  // growth happens here (cold path) and record() stays allocation-free
+  // through the run. The horizon is quantized up to the next whole
+  // simulated hour: reserve_windows sizes capacity to the target exactly,
+  // so an unquantized `until + slack` would creep forward with every
+  // quiesce-horizon-at-a-time caller (overlay floods advance 30 s per
+  // call) and reallocate at each new billing window. Rounding up means
+  // the target — and hence capacity — changes once per simulated hour.
+  const double hour = sim::hours(1);
+  const sim::SimTime horizon = hour * (std::floor(until / hour) + 1.0);
+  for (DeliveryLane& lane : lanes_)
+    lane.traffic.reserve_windows(horizon);
   return group_ != nullptr ? group_->run_until(until)
                            : engine_.run_until(until);
 }

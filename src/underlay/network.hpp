@@ -161,6 +161,10 @@ class Network final : public sim::ShardMailbox {
   [[nodiscard]] const std::vector<Host>& hosts() const { return hosts_; }
   [[nodiscard]] const AsTopology& topology() const { return *topology_; }
   [[nodiscard]] TrafficAccountant& traffic() { return lanes_[0].traffic; }
+  /// Arms the per-(src AS, dst AS) TrafficMatrix on every lane (off by
+  /// default; costs one predicted branch per send while disabled). The
+  /// lane matrices merge in export_traffic like the scalar accountants.
+  void enable_traffic_matrix();
   [[nodiscard]] const TrafficAccountant& traffic() const {
     return lanes_[0].traffic;
   }

@@ -1,0 +1,149 @@
+// Dashboard renderer round-trip: record AS-attributed traffic into a
+// TrafficAccountant, export the registry to JSON, render it with
+// obs::dash, and check dash.json reproduces the per-AS bills the
+// cost_curves closed forms give for the measured billed rates. Also pins
+// renderer determinism (same snapshots -> same bytes) and error paths.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/dash.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "underlay/cost.hpp"
+
+namespace uap2p::obs {
+namespace {
+
+using underlay::PathInfo;
+using underlay::Pricing;
+using underlay::TrafficAccountant;
+
+PathInfo path_with(std::uint32_t transit, std::uint32_t peering) {
+  PathInfo path;
+  path.reachable = true;
+  path.transit_crossings = transit;
+  path.peering_crossings = peering;
+  path.as_crossings = transit + peering;
+  return path;
+}
+
+/// A small deterministic workload: AS 0 ships transit-heavy traffic to
+/// AS 1 across several billing windows, AS 2 stays local.
+std::string snapshot_json() {
+  TrafficAccountant accountant;
+  accountant.enable_matrix(3);
+  accountant.set_peering_links(2);
+  const double window = accountant.pricing().sample_window_ms;
+  for (int w = 0; w < 4; ++w) {
+    accountant.record(path_with(2, 0), 1'000'000 * (w + 1),
+                      window * w + 10.0, 0, 1);
+    accountant.record(path_with(0, 0), 500, window * w + 20.0, 2, 2);
+  }
+  MetricsRegistry registry;
+  accountant.export_metrics(registry);
+  return registry.to_json();
+}
+
+TEST(Dash, RoundTripReproducesPerAsBills) {
+  const std::string snapshot = snapshot_json();
+
+  dash::Output output;
+  std::string error;
+  ASSERT_TRUE(dash::render({snapshot}, dash::Options{}, output, &error))
+      << error;
+
+  json::Value root;
+  ASSERT_TRUE(json::parse(output.json, root, &error)) << error;
+  ASSERT_EQ(root.type, json::Value::Type::kObject);
+
+  // The measured per-AS bill in dash.json must be the closed-form
+  // transit_monthly_usd of the billed rate the registry carried.
+  const json::Value* bills = json::field(root, "as_bills",
+                                         json::Value::Type::kArray);
+  ASSERT_NE(bills, nullptr);
+  ASSERT_EQ(bills->array.size(), 1u);  // only AS 0 crossed transit
+  const json::Value& bill = bills->array[0];
+  EXPECT_EQ(json::field(bill, "as", json::Value::Type::kNumber)->number, 0.0);
+  const double mbps =
+      json::field(bill, "billed_transit_mbps", json::Value::Type::kNumber)
+          ->number;
+  const double usd =
+      json::field(bill, "transit_usd_month", json::Value::Type::kNumber)
+          ->number;
+  EXPECT_GT(mbps, 0.0);
+  EXPECT_DOUBLE_EQ(usd, underlay::cost_curves::transit_monthly_usd(mbps, {}));
+
+  const json::Value* pairs =
+      json::field(root, "pairs", json::Value::Type::kArray);
+  ASSERT_NE(pairs, nullptr);
+  ASSERT_EQ(pairs->array.size(), 2u);  // (0,1) and (2,2), sorted
+  EXPECT_EQ(json::field(pairs->array[0], "src_as",
+                        json::Value::Type::kNumber)->number, 0.0);
+  EXPECT_EQ(json::field(pairs->array[1], "src_as",
+                        json::Value::Type::kNumber)->number, 2.0);
+
+  // Crossover in dash.json matches the closed form for the exported
+  // peering-link count.
+  const json::Value* summary =
+      json::field(root, "summary", json::Value::Type::kObject);
+  ASSERT_NE(summary, nullptr);
+  EXPECT_DOUBLE_EQ(
+      json::field(*summary, "closed_form_crossover_mbps",
+                  json::Value::Type::kNumber)->number,
+      underlay::cost_curves::crossover_mbps(2, {}));
+
+  // The HTML embeds all four panels.
+  for (const char* panel :
+       {"Per-AS transit bills", "AS-pair traffic matrix",
+        "Cost per Mbps", "Transit traffic over sim time"}) {
+    EXPECT_NE(output.html.find(panel), std::string::npos) << panel;
+  }
+}
+
+TEST(Dash, RenderIsByteDeterministic) {
+  const std::string snapshot = snapshot_json();
+  dash::Output first, second;
+  std::string error;
+  ASSERT_TRUE(dash::render({snapshot}, dash::Options{}, first, &error));
+  ASSERT_TRUE(dash::render({snapshot}, dash::Options{}, second, &error));
+  EXPECT_EQ(first.html, second.html);
+  EXPECT_EQ(first.json, second.json);
+}
+
+TEST(Dash, LaterSnapshotsWin) {
+  // --metrics-every snapshots are cumulative; the renderer must read the
+  // sequence and keep the last value per metric.
+  MetricsRegistry early;
+  early.counter("traffic.bytes.total").set(100);
+  MetricsRegistry late;
+  late.counter("traffic.bytes.total").set(250);
+
+  dash::Output output;
+  std::string error;
+  ASSERT_TRUE(dash::render({early.to_json(), late.to_json()}, dash::Options{},
+                           output, &error))
+      << error;
+  json::Value root;
+  ASSERT_TRUE(json::parse(output.json, root, &error)) << error;
+  const json::Value* summary =
+      json::field(root, "summary", json::Value::Type::kObject);
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(json::field(*summary, "total_bytes",
+                        json::Value::Type::kNumber)->number, 250.0);
+}
+
+TEST(Dash, RejectsGarbageAndOldSchemas) {
+  dash::Output output;
+  std::string error;
+  EXPECT_FALSE(dash::render({"{not json"}, dash::Options{}, output, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(dash::render({"{\"schema_version\": 1}"}, dash::Options{},
+                            output, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace uap2p::obs

@@ -119,5 +119,55 @@ TEST(GnutellaAllocation, SteadyStateFloodWithObsEnabledIsAllocationFree) {
   EXPECT_GT(ring.total_recorded(), 0u);
 }
 
+TEST(GnutellaAllocation, WindowedMatrixSteadyStateIsAllocationFree) {
+  // The cost-observatory regime: per-AS-pair matrix armed, per-window
+  // billing series growing with simulated time — and NO manual
+  // reserve_windows call. Network::run_until forwards each quiesce
+  // horizon (plus an hour of lookahead) to every lane accountant, so
+  // once the pair cells exist the measured floods must never touch the
+  // allocator: window growth happens in run_until's cold path, inside
+  // capacity reserved a simulated hour ahead.
+  sim::Engine engine;
+  const underlay::AsTopology topo =
+      underlay::AsTopology::transit_stub(3, 5, 0.3);
+  underlay::Network net(engine, topo, 21);
+  const auto peers = net.populate(180);
+  net.enable_traffic_matrix();
+  overlay::gnutella::Config config;
+  config.dynamic_querying = false;
+  overlay::gnutella::GnutellaSystem system(
+      net, peers,
+      overlay::gnutella::testlab_roles(peers.size(), 2, topo.as_count()),
+      config);
+  system.bootstrap();
+  for (std::size_t i = 0; i < 3; ++i) {
+    system.share(peers[i * 7 + 1], ContentId(5));
+  }
+  system.ping_cycle();
+
+  std::size_t origin = 0;
+  auto do_search = [&] {
+    origin = (origin + 37) % peers.size();
+    return system
+        .search(peers[origin], ContentId(5), /*download=*/false)
+        .result_count;
+  };
+  // Warm-up populates every active AS pair's cell and triggers the
+  // automatic horizon reserve; 16 measured searches advance 8 simulated
+  // minutes, well inside the hour of lookahead.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_GT(do_search(), 0u);
+  }
+
+  const std::uint64_t before = testing::allocation_count();
+  std::size_t results = 0;
+  for (int i = 0; i < 16; ++i) results += do_search();
+  const std::uint64_t after = testing::allocation_count();
+
+  EXPECT_EQ(after - before, 0u) << "windowed matrix steady state allocated";
+  EXPECT_GT(results, 0u);
+  EXPECT_GT(net.traffic().matrix().pair_count(), 0u);
+}
+
 }  // namespace
 }  // namespace uap2p

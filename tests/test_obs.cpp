@@ -182,5 +182,101 @@ TEST(TraceKindName, CoversEveryKind) {
   EXPECT_STREQ(trace_kind_name(TraceKind::kChurnLeave), "churn_leave");
 }
 
+
+TEST(TimeSeries, WindowAlignmentBySimTime) {
+  MetricsRegistry registry;
+  TimeSeries ts = registry.time_series("ts", 100.0);
+  EXPECT_TRUE(ts.bound());
+  EXPECT_EQ(ts.window_ms(), 100.0);
+  ts.add_at(0.0, 1.0);
+  ts.add_at(99.9, 2.0);    // same window as t=0
+  ts.add_at(100.0, 5.0);   // exactly on the boundary -> window 1
+  ts.add_at(250.0, 7.0);   // window 2
+  ASSERT_EQ(ts.window_count(), 3u);
+  EXPECT_EQ(ts.window_value(0), 3.0);
+  EXPECT_EQ(ts.window_value(1), 5.0);
+  EXPECT_EQ(ts.window_value(2), 7.0);
+  EXPECT_EQ(registry.time_series_count(), 1u);
+}
+
+TEST(TimeSeries, RegistrationIsIdempotentAndUnboundIsNoOp) {
+  MetricsRegistry registry;
+  TimeSeries a = registry.time_series("ts", 50.0);
+  TimeSeries b = registry.time_series("ts", 50.0);
+  a.add_at(10.0, 2.0);
+  b.add_at(20.0, 3.0);
+  EXPECT_EQ(a.window_value(0), 5.0);
+  EXPECT_EQ(registry.time_series_count(), 1u);
+  TimeSeries unbound;
+  EXPECT_FALSE(unbound.bound());
+  unbound.add_at(0.0, 1.0);  // must not crash
+  EXPECT_EQ(unbound.window_count(), 0u);
+}
+
+TEST(TimeSeries, SetWindowOverwritesForIdempotentExports) {
+  // export_metrics-style producers re-set every window from their own
+  // accumulators; calling export twice must not double anything.
+  MetricsRegistry registry;
+  TimeSeries ts = registry.time_series("ts", 100.0);
+  ts.set_window(2, 8.0);  // extends with zero-filled gap windows
+  ts.set_window(2, 9.0);
+  ASSERT_EQ(ts.window_count(), 3u);
+  EXPECT_EQ(ts.window_value(0), 0.0);
+  EXPECT_EQ(ts.window_value(1), 0.0);
+  EXPECT_EQ(ts.window_value(2), 9.0);
+}
+
+TEST(TimeSeries, MergeAddsElementwiseAndKeepsLongestLength) {
+  MetricsRegistry a;
+  TimeSeries sa = a.time_series("bytes", 100.0);
+  sa.add_at(0.0, 1.0);
+  sa.add_at(150.0, 2.0);  // a has 2 windows
+  MetricsRegistry b;
+  TimeSeries sb = b.time_series("bytes", 100.0);
+  sb.add_at(50.0, 10.0);
+  sb.add_at(420.0, 40.0);  // b has 5 windows
+  a.merge(b);
+  TimeSeries merged = a.time_series("bytes", 100.0);
+  ASSERT_EQ(merged.window_count(), 5u);
+  EXPECT_EQ(merged.window_value(0), 11.0);
+  EXPECT_EQ(merged.window_value(1), 2.0);
+  EXPECT_EQ(merged.window_value(2), 0.0);
+  EXPECT_EQ(merged.window_value(4), 40.0);
+}
+
+TEST(TimeSeries, JsonCarriesExplicitWindowBounds) {
+  MetricsRegistry registry;
+  TimeSeries ts = registry.time_series("net.bytes", 250.0);
+  ts.add_at(0.0, 3.0);
+  ts.add_at(260.0, 4.0);  // partial second window still gets full bounds
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"time_series\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"net.bytes\", \"window_ms\": 250"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(
+      json.find("{\"start\": 0, \"end\": 250, \"value\": 3}, "
+                "{\"start\": 250, \"end\": 500, \"value\": 4}"),
+      std::string::npos)
+      << json;
+  // Byte determinism extends to the new section.
+  EXPECT_EQ(json, registry.to_json());
+}
+
+TEST(MetricsRegistry, HistogramJsonCarriesBucketBounds) {
+  MetricsRegistry registry;
+  Histo histo = registry.histogram("h", 0.0, 10.0, 5);
+  histo.observe(1.0);
+  histo.observe(9.5);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"bucket_width\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"lo\": 0, \"hi\": 2, \"count\": 1}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"lo\": 8, \"hi\": 10, \"count\": 1}"),
+            std::string::npos)
+      << json;
+}
+
 }  // namespace
 }  // namespace uap2p::obs

@@ -121,11 +121,12 @@ struct GnutellaRun {
   std::string comparable_json;
 };
 
-GnutellaRun run_gnutella(std::size_t shards) {
+GnutellaRun run_gnutella(std::size_t shards, bool matrix = false) {
   sim::EngineGroup engines(shards);
   const underlay::AsTopology topo = underlay::AsTopology::transit_stub(3, 5, 0.3);
   underlay::Network net(engines, topo, /*seed=*/99);
   const std::vector<PeerId> peers = net.populate(60);
+  if (matrix) net.enable_traffic_matrix();
   overlay::gnutella::Config config;
   config.seed = 7;
   overlay::gnutella::GnutellaSystem system(
@@ -144,6 +145,7 @@ GnutellaRun run_gnutella(std::size_t shards) {
   out.executed = stats.executed;
   obs::MetricsRegistry reg;
   engines.export_comparable_metrics(reg);
+  if (matrix) net.export_traffic(reg);
   out.comparable_json = reg.to_json();
   return out;
 }
@@ -162,6 +164,19 @@ TEST(ShardedEngine, GnutellaShardedMatchesSerial) {
   // piece of the --metrics snapshot the CTest gate byte-compares.
   EXPECT_EQ(serial.comparable_json, sharded.comparable_json);
   EXPECT_GT(serial.counts.total(), 0u);
+}
+
+TEST(ShardedEngine, GnutellaMatrixExportMatchesSerial) {
+  // Cost-observatory identity: with the per-AS-pair matrix armed, the
+  // lane-merged traffic export (pair counters, per-AS bill gauges, and
+  // the windowed transit series) must be byte-identical between one
+  // shard and four. This is the in-process half of the
+  // sharded-serial-identical CTest gates.
+  const GnutellaRun serial = run_gnutella(1, /*matrix=*/true);
+  const GnutellaRun sharded = run_gnutella(4, /*matrix=*/true);
+  EXPECT_EQ(serial.comparable_json, sharded.comparable_json);
+  EXPECT_NE(serial.comparable_json.find("traffic.pair."), std::string::npos);
+  EXPECT_NE(serial.comparable_json.find("transit_bytes"), std::string::npos);
 }
 
 TEST(ShardedEngine, ExportRollupShape) {

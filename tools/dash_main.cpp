@@ -1,0 +1,89 @@
+// uap2p_dash: cost-observatory dashboard renderer.
+//
+//   uap2p_dash --out=<dir> [--title=<text>] [--top-k=<n>]
+//              <metrics1.json> [metrics2.json ...]
+//
+// Reads one or more --metrics snapshots (schema_version >= 2, in order —
+// snapshots are cumulative, so a --metrics-every sequence ends with the
+// most complete one) and writes <dir>/dash.html (self-contained HTML/SVG
+// dashboard) plus <dir>/dash.json (machine-readable). Output is
+// deterministic: same inputs, same bytes (CI relies on this).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/dash.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: uap2p_dash --out=<dir> [--title=<text>] "
+               "[--top-k=<n>] <metrics.json> [more.json ...]\n");
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir;
+  uap2p::obs::dash::Options options;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_dir = arg.substr(6);
+    } else if (arg.rfind("--title=", 0) == 0) {
+      options.title = arg.substr(8);
+    } else if (arg.rfind("--top-k=", 0) == 0) {
+      const long k = std::strtol(arg.c_str() + 8, nullptr, 10);
+      if (k <= 0) return usage();
+      options.heatmap_axis_cap = static_cast<std::size_t>(k);
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (out_dir.empty() || inputs.empty()) return usage();
+
+  std::vector<std::string> texts;
+  texts.reserve(inputs.size());
+  std::string error;
+  for (const std::string& path : inputs) {
+    std::string text;
+    if (!uap2p::obs::json::read_file(path, text, &error)) {
+      std::fprintf(stderr, "uap2p_dash: %s\n", error.c_str());
+      return 1;
+    }
+    texts.push_back(std::move(text));
+  }
+
+  uap2p::obs::dash::Output output;
+  if (!uap2p::obs::dash::render(texts, options, output, &error)) {
+    std::fprintf(stderr, "uap2p_dash: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string html_path = out_dir + "/dash.html";
+  const std::string json_path = out_dir + "/dash.json";
+  if (!write_file(html_path, output.html) ||
+      !write_file(json_path, output.json)) {
+    std::fprintf(stderr, "uap2p_dash: cannot write into %s\n",
+                 out_dir.c_str());
+    return 1;
+  }
+  std::printf("uap2p_dash: wrote %s and %s (%zu snapshot(s))\n",
+              html_path.c_str(), json_path.c_str(), texts.size());
+  return 0;
+}
