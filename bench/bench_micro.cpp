@@ -14,12 +14,16 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/latency.hpp"
+#include "oracle/service.hpp"
 #include "netinfo/ics.hpp"
 #include "overlay/gnutella.hpp"
 #include "netinfo/ipmap.hpp"
@@ -573,6 +577,136 @@ static void BM_P4pRank(benchmark::State& state) {
 }
 BENCHMARK(BM_P4pRank)->Arg(100)->Arg(1000);
 
+// --- Oracle query service (src/oracle) -----------------------------------
+
+namespace {
+
+/// Warmed 204-router snapshot shared by the oracled benches (same
+/// transit-stub shape as the snapshot-roundtrip gate).
+const std::shared_ptr<const underlay::SharedRouting>& oracled_routing() {
+  static const auto routing = bench::shared_routing_cached(
+      "transit-stub", "t4-s16-p0.3", /*seed=*/7,
+      underlay::AsTopology::transit_stub(4, 16, 0.3,
+                                         underlay::TopologyConfig{.seed = 7}));
+  return routing;
+}
+
+std::uint64_t bench_splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// A reusable arena of rank requests with deterministic contents.
+struct OracledWorkload {
+  std::unique_ptr<oracled::RankRequest[]> requests;
+  std::vector<oracled::Candidate> candidates;
+  std::vector<std::uint32_t> ranked;
+  std::vector<oracled::RankRequest*> pointers;
+
+  OracledWorkload(std::size_t count, std::size_t k, std::uint32_t routers,
+                  std::uint64_t seed) {
+    requests = std::make_unique<oracled::RankRequest[]>(count);
+    candidates.resize(count * k);
+    ranked.resize(count * k);
+    pointers.resize(count);
+    std::uint64_t rng = seed;
+    for (std::size_t i = 0; i < count; ++i) {
+      oracled::RankRequest& req = requests[i];
+      req.client_router = std::uint32_t(bench_splitmix64(rng) % routers);
+      req.candidate_count = std::uint32_t(k);
+      req.candidates = candidates.data() + i * k;
+      req.ranked = ranked.data() + i * k;
+      for (std::size_t c = 0; c < k; ++c) {
+        candidates[i * k + c].peer =
+            std::uint32_t(bench_splitmix64(rng) % 65536);
+        candidates[i * k + c].router =
+            std::uint32_t(bench_splitmix64(rng) % routers);
+      }
+      pointers[i] = &req;
+    }
+  }
+};
+
+}  // namespace
+
+static void BM_OracledRankBatch(benchmark::State& state) {
+  // The pure ranking kernel: rank_batch over a warmed snapshot, no
+  // service threads — the per-request cost floor the closed-loop numbers
+  // amortize toward. Arg = candidates per request.
+  const auto& routing = oracled_routing();
+  const auto routers = std::uint32_t(routing->topology().router_count());
+  const std::size_t k = std::size_t(state.range(0));
+  OracledWorkload workload(256, k, routers, 17);
+  for (auto _ : state) {
+    oracled::rank_batch(*routing, workload.pointers);
+    benchmark::DoNotOptimize(workload.ranked.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);  // rank requests
+  state.SetLabel(std::to_string(k) + " candidates");
+}
+BENCHMARK(BM_OracledRankBatch)->Arg(8)->Arg(32);
+
+static void BM_OracledClosedLoop(benchmark::State& state) {
+  // The full service path: submit through a worker ring, rank on a
+  // worker thread, observe completion — 4096 requests in flight per
+  // iteration. End-to-end latency tails (submit stamp to completion
+  // stamp) are exported as p50_ns/p99_ns/p999_ns counters, which the
+  // JSON tee forwards into BENCH_micro.json. Arg = worker threads.
+  const auto& routing = oracled_routing();
+  const auto routers = std::uint32_t(routing->topology().router_count());
+  constexpr std::size_t kBatch = 4096;
+  OracledWorkload workload(kBatch, 8, routers, 23);
+  oracled::ServiceConfig config;
+  config.workers = std::size_t(state.range(0));
+  config.ring_capacity = 8192;
+  config.max_batch = 256;
+  oracled::OracleService service(routing, config);
+  obs::LatencyHistogram latency;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      while (!service.submit(&workload.requests[i])) {
+        std::this_thread::yield();
+      }
+    }
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      oracled::wait_terminal(workload.requests[i]);
+    }
+    benchmark::ClobberMemory();
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      oracled::RankRequest& req = workload.requests[i];
+      latency.record(req.done_ns - req.enqueue_ns);
+      req.state.store(oracled::RequestState::kFree,
+                      std::memory_order_relaxed);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * std::int64_t(kBatch));
+  state.counters["p50_ns"] = double(latency.p50_ns());
+  state.counters["p99_ns"] = double(latency.p99_ns());
+  state.counters["p999_ns"] = double(latency.p999_ns());
+  state.SetLabel(std::to_string(config.workers) + " workers");
+}
+// UseRealTime: the work happens on service workers, so wall clock — not
+// the submitting thread's CPU time — is the honest rate denominator.
+BENCHMARK(BM_OracledClosedLoop)->Arg(1)->Arg(2)->UseRealTime();
+
+static void BM_OracledSnapshotSwap(benchmark::State& state) {
+  // publish() cost under a live subscriber set: the slot swap plus the
+  // old snapshot's refcount drop (never the rebuild, which happens off
+  // to the side). This is the "topology changed" steady-state path.
+  const auto& routing = oracled_routing();
+  underlay::SharedRoutingSlot slot(routing);
+  auto alternate = oracled_routing();
+  for (auto _ : state) {
+    slot.publish(alternate);
+    benchmark::DoNotOptimize(slot.generation());
+  }
+}
+BENCHMARK(BM_OracledSnapshotSwap);
+
 // --- Machine-readable output --------------------------------------------
 
 namespace {
@@ -582,6 +716,11 @@ struct JsonEntry {
   std::int64_t iterations = 0;
   double real_time_ns_per_iter = 0.0;
   double items_per_second = 0.0;
+  /// Optional latency tail counters (service-tier benches only); 0 means
+  /// absent and the fields are omitted from the JSON row.
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
 };
 
 /// Console reporter that also records every per-iteration run so main()
@@ -601,6 +740,13 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
             run.real_accumulated_time * 1e9 / double(run.iterations);
       }
       const auto counter = run.counters.find("items_per_second");
+      const auto scalar = [&run](const char* name) {
+        const auto it = run.counters.find(name);
+        return it != run.counters.end() ? it->second.value : 0.0;
+      };
+      entry.p50_ns = scalar("p50_ns");
+      entry.p99_ns = scalar("p99_ns");
+      entry.p999_ns = scalar("p999_ns");
       if (counter != run.counters.end()) {
         entry.items_per_second = counter->second.value;
       } else if (run.real_accumulated_time > 0.0) {
@@ -642,10 +788,18 @@ bool write_json(const std::string& path,
     std::fprintf(file,
                  "    {\"name\": \"%s\", \"iterations\": %lld, "
                  "\"real_time_ns_per_iter\": %.6g, "
-                 "\"items_per_second\": %.6g}%s\n",
+                 "\"items_per_second\": %.6g",
                  json_escape(e.name).c_str(),
                  static_cast<long long>(e.iterations), e.real_time_ns_per_iter,
-                 e.items_per_second, i + 1 < entries.size() ? "," : "");
+                 e.items_per_second);
+    if (e.p50_ns > 0.0) {
+      // Latency tails ride along on service-tier rows (schema-optional:
+      // the validator checks them only when present).
+      std::fprintf(file,
+                   ", \"p50_ns\": %.6g, \"p99_ns\": %.6g, \"p999_ns\": %.6g",
+                   e.p50_ns, e.p99_ns, e.p999_ns);
+    }
+    std::fprintf(file, "}%s\n", i + 1 < entries.size() ? "," : "");
   }
   std::fprintf(file, "  ]\n}\n");
   std::fclose(file);

@@ -1,0 +1,352 @@
+// bench_oracled — load generator for the oracle query service
+// (src/oracle/service.hpp; DESIGN.md "Oracle service").
+//
+// Drives an in-process OracleService with a configurable client fleet and
+// reports sustained throughput plus p50/p99/p99.9 end-to-end latency from
+// per-client obs::LatencyHistogram recorders (submit stamp to completion
+// stamp, queueing included).
+//
+//   bench_oracled [--clients=N] [--workers=N] [--candidates=K]
+//     [--requests=N per client] [--window=W] [--arrival=closed|poisson]
+//     [--rate=R total req/s] [--deadline-us=D] [--ring=N] [--batch=N]
+//     [--swap-every-ms=M] [--seed=S] [--metrics=FILE]
+//
+// Arrival processes:
+//   closed  (default) — each client keeps --window requests in flight and
+//           refills on completion: the service runs at its capacity and
+//           the measured rate IS the capacity (acceptance: >= 1M
+//           rank-requests/s single-node).
+//   poisson — exponential inter-arrival open loop at --rate req/s split
+//           across clients; overload sheds at admission/deadline instead
+//           of queueing without bound, which is the contract this mode
+//           exists to demonstrate (run with --rate above capacity and
+//           watch shed counters, not latency, absorb the excess).
+//
+// --swap-every-ms republishes an identically-built snapshot from a side
+// thread while load runs, so the swap path is exercised at full load.
+// --metrics writes an obs::MetricsRegistry JSON snapshot (service
+// counters + bench.oracled.* summary) for validate_bench_json --metrics.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/latency.hpp"
+#include "obs/metrics.hpp"
+#include "oracle/service.hpp"
+#include "underlay/routing.hpp"
+#include "underlay/topology.hpp"
+
+using namespace uap2p;
+using namespace uap2p::oracled;
+
+namespace {
+
+struct Args {
+  std::size_t clients = 2;
+  std::size_t workers = 1;
+  std::size_t candidates = 8;
+  std::size_t requests = 200000;  ///< Completions per client before exit.
+  std::size_t window = 256;       ///< In-flight per client (closed loop).
+  std::string arrival = "closed";
+  double rate = 1e6;              ///< Total offered req/s (poisson).
+  std::uint64_t deadline_us = 0;
+  std::size_t ring = 4096;
+  std::size_t batch = 256;
+  std::uint64_t swap_every_ms = 0;
+  std::uint64_t seed = 42;
+  std::string metrics;
+};
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    const auto value = [&](std::string_view prefix) -> const char* {
+      return arg.rfind(prefix, 0) == 0 ? argv[i] + prefix.size() : nullptr;
+    };
+    if (const char* v = value("--clients=")) args.clients = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--workers=")) args.workers = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--candidates=")) args.candidates = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--requests=")) args.requests = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--window=")) args.window = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--arrival=")) args.arrival = v;
+    else if (const char* v = value("--rate=")) args.rate = std::strtod(v, nullptr);
+    else if (const char* v = value("--deadline-us=")) args.deadline_us = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--ring=")) args.ring = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--batch=")) args.batch = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--swap-every-ms=")) args.swap_every_ms = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--seed=")) args.seed = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--metrics=")) args.metrics = v;
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return false;
+    }
+  }
+  if (args.arrival != "closed" && args.arrival != "poisson") {
+    std::fprintf(stderr, "--arrival must be closed or poisson\n");
+    return false;
+  }
+  if (args.window == 0) args.window = 1;
+  if (args.candidates == 0) args.candidates = 1;
+  if (args.candidates > kMaxCandidates) args.candidates = kMaxCandidates;
+  return true;
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// One load-generating client: a window of request slots over a private
+/// candidate arena, recycled as completions are observed.
+struct Client {
+  std::unique_ptr<RankRequest[]> slots;
+  std::vector<Candidate> candidates;  ///< window * K, slot i at i*K.
+  std::vector<std::uint32_t> ranked;
+  obs::LatencyHistogram latency;
+  std::uint64_t done = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t submit_fail = 0;  ///< Admission sheds seen by this client.
+  std::thread thread;
+};
+
+void fill_slot(Client& client, std::size_t slot, std::size_t k,
+               std::uint32_t routers, std::uint64_t& rng) {
+  RankRequest& req = client.slots[slot];
+  req.client_router = std::uint32_t(splitmix64(rng) % routers);
+  req.candidate_count = std::uint32_t(k);
+  Candidate* cands = client.candidates.data() + slot * k;
+  for (std::size_t c = 0; c < k; ++c) {
+    cands[c].peer = std::uint32_t(splitmix64(rng) % 65536);
+    cands[c].router = std::uint32_t(splitmix64(rng) % routers);
+  }
+}
+
+/// Observes a terminal slot: records latency, recycles it to kFree.
+/// Returns false if the slot is still in flight.
+bool harvest(Client& client, std::size_t slot) {
+  RankRequest& req = client.slots[slot];
+  const RequestState state = req.state.load(std::memory_order_acquire);
+  if (state == RequestState::kQueued) return false;
+  if (state == RequestState::kDone) {
+    client.latency.record(req.done_ns - req.enqueue_ns);
+    ++client.done;
+  } else if (state == RequestState::kShed) {
+    ++client.shed;
+  } else {
+    return true;  // kFree: nothing in flight here yet
+  }
+  req.state.store(RequestState::kFree, std::memory_order_relaxed);
+  return true;
+}
+
+void run_closed_loop(OracleService& service, Client& client, const Args& args,
+                     std::uint32_t routers, std::uint64_t rng) {
+  const std::size_t window = args.window;
+  std::size_t cursor = 0;
+  // Total terminal observations this client must make before exiting.
+  while (client.done + client.shed < args.requests) {
+    RankRequest& req = client.slots[cursor];
+    if (req.state.load(std::memory_order_acquire) == RequestState::kFree) {
+      fill_slot(client, cursor, args.candidates, routers, rng);
+      if (!service.submit(&req)) {
+        ++client.submit_fail;
+        std::this_thread::yield();
+      }
+    } else {
+      if (!harvest(client, cursor) && cursor == 0) {
+        // A full sweep found nothing terminal; let the workers run.
+        std::this_thread::yield();
+      }
+    }
+    cursor = (cursor + 1) % window;
+  }
+}
+
+void run_poisson(OracleService& service, Client& client, const Args& args,
+                 std::uint32_t routers, std::uint64_t rng) {
+  const std::size_t window = args.window;
+  const double rate_per_client = args.rate / double(args.clients);
+  const double ns_per_req = 1e9 / rate_per_client;
+  std::uint64_t next_arrival = now_ns();
+  std::size_t submitted = 0;
+  std::size_t cursor = 0;
+  while (submitted < args.requests) {
+    // Drain completions opportunistically.
+    for (std::size_t i = 0; i < window; ++i) harvest(client, i);
+    if (now_ns() < next_arrival) {
+      // Donate the timeslice while waiting: on a single-core host a pure
+      // busy-wait would starve the very workers being measured.
+      std::this_thread::yield();
+      continue;
+    }
+    // Find a free slot; if the whole window is in flight the *client* is
+    // saturated and the arrival is dropped on the floor (counted like an
+    // admission shed: the open loop must not turn into a closed one).
+    std::size_t free_slot = window;
+    for (std::size_t i = 0; i < window; ++i) {
+      const std::size_t idx = (cursor + i) % window;
+      if (client.slots[idx].state.load(std::memory_order_acquire) ==
+          RequestState::kFree) {
+        free_slot = idx;
+        break;
+      }
+    }
+    // Exponential inter-arrival: u in (0,1], -ln(u)/rate.
+    const double u =
+        (double(splitmix64(rng) >> 11) + 1.0) / 9007199254740993.0;
+    next_arrival += std::uint64_t(-std::log(u) * ns_per_req);
+    ++submitted;
+    if (free_slot == window) {
+      ++client.submit_fail;
+      continue;
+    }
+    cursor = free_slot;
+    fill_slot(client, free_slot, args.candidates, routers, rng);
+    if (!service.submit(&client.slots[free_slot])) ++client.submit_fail;
+  }
+  // Drain the tail.
+  for (std::size_t i = 0; i < window; ++i) {
+    while (client.slots[i].state.load(std::memory_order_acquire) ==
+           RequestState::kQueued) {
+      std::this_thread::yield();
+    }
+    harvest(client, i);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return 2;
+
+  // The 204-router transit-stub underlay of the snapshot-roundtrip gate:
+  // big enough that DestEntry rows (204 * 32 B) dwarf the request, small
+  // enough to warm in moments.
+  underlay::TopologyConfig topo_config;
+  topo_config.seed = 7;
+  auto snapshot = underlay::SharedRouting::build(
+      underlay::AsTopology::transit_stub(4, 16, 0.3, topo_config), 0);
+  std::shared_ptr<const underlay::SharedRouting> alternate;
+  if (args.swap_every_ms != 0) {
+    alternate = underlay::SharedRouting::build(
+        underlay::AsTopology::transit_stub(4, 16, 0.3, topo_config), 0);
+  }
+  const auto routers =
+      std::uint32_t(snapshot->topology().router_count());
+
+  ServiceConfig config;
+  config.workers = args.workers;
+  config.ring_capacity = args.ring;
+  config.max_batch = args.batch;
+  config.deadline_ns = args.deadline_us * 1000;
+  OracleService service(snapshot, config);
+
+  std::vector<Client> clients(args.clients);
+  for (std::size_t i = 0; i < args.clients; ++i) {
+    Client& client = clients[i];
+    client.slots = std::make_unique<RankRequest[]>(args.window);
+    client.candidates.resize(args.window * args.candidates);
+    client.ranked.resize(args.window * args.candidates);
+    for (std::size_t s = 0; s < args.window; ++s) {
+      client.slots[s].candidates =
+          client.candidates.data() + s * args.candidates;
+      client.slots[s].ranked = client.ranked.data() + s * args.candidates;
+    }
+  }
+
+  std::atomic<bool> swapper_stop{false};
+  std::thread swapper;
+  std::uint64_t swaps_published = 0;
+  if (args.swap_every_ms != 0) {
+    swapper = std::thread([&] {
+      std::uint64_t ticks = 0;
+      while (!swapper_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(args.swap_every_ms));
+        service.publish((++ticks % 2 != 0) ? alternate : snapshot);
+        ++swaps_published;
+      }
+    });
+  }
+
+  const std::uint64_t start_ns = now_ns();
+  for (std::size_t i = 0; i < args.clients; ++i) {
+    Client& client = clients[i];
+    std::uint64_t rng = args.seed * 0x9e3779b97f4a7c15ull + i;
+    client.thread = std::thread([&, rng] {
+      if (args.arrival == "closed") {
+        run_closed_loop(service, client, args, routers, rng);
+      } else {
+        run_poisson(service, client, args, routers, rng);
+      }
+    });
+  }
+  for (Client& client : clients) client.thread.join();
+  const std::uint64_t elapsed_ns = now_ns() - start_ns;
+  if (swapper.joinable()) {
+    swapper_stop.store(true, std::memory_order_release);
+    swapper.join();
+  }
+  service.stop();
+
+  obs::LatencyHistogram merged;
+  std::uint64_t done = 0, shed = 0, submit_fail = 0;
+  for (Client& client : clients) {
+    merged.merge(client.latency);
+    done += client.done;
+    shed += client.shed;
+    submit_fail += client.submit_fail;
+  }
+  const double seconds = double(elapsed_ns) / 1e9;
+  const double rate = seconds > 0.0 ? double(done) / seconds : 0.0;
+
+  std::printf("arrival=%s clients=%zu workers=%zu candidates=%zu\n",
+              args.arrival.c_str(), args.clients, args.workers,
+              args.candidates);
+  std::printf(
+      "completed %llu requests in %.3f s -> %.0f rank-requests/s\n",
+      (unsigned long long)done, seconds, rate);
+  std::printf("shed: deadline=%llu admission(client)=%llu service=%llu\n",
+              (unsigned long long)shed, (unsigned long long)submit_fail,
+              (unsigned long long)service.shed_admission());
+  std::printf(
+      "latency p50=%llu ns  p99=%llu ns  p99.9=%llu ns  max=%llu ns\n",
+      (unsigned long long)merged.p50_ns(), (unsigned long long)merged.p99_ns(),
+      (unsigned long long)merged.p999_ns(), (unsigned long long)merged.max_ns());
+  if (swaps_published != 0) {
+    std::printf("snapshot swaps published=%llu observed=%llu\n",
+                (unsigned long long)swaps_published,
+                (unsigned long long)service.swaps_observed());
+  }
+
+  if (!args.metrics.empty()) {
+    obs::MetricsRegistry registry;
+    service.export_metrics(registry);
+    registry.counter("bench.oracled.completed").set(done);
+    registry.counter("bench.oracled.shed_observed").set(shed);
+    registry.counter("bench.oracled.client_admission_fail").set(submit_fail);
+    registry.gauge("bench.oracled.rank_requests_per_sec").set(rate);
+    registry.gauge("bench.oracled.p50_ns").set(double(merged.p50_ns()));
+    registry.gauge("bench.oracled.p99_ns").set(double(merged.p99_ns()));
+    registry.gauge("bench.oracled.p999_ns").set(double(merged.p999_ns()));
+    registry.gauge("bench.oracled.elapsed_sec").set(seconds);
+    if (!registry.write_json_file(args.metrics)) {
+      std::fprintf(stderr, "error: failed to write metrics to %s\n",
+                   args.metrics.c_str());
+      return 1;
+    }
+  }
+  return done != 0 ? 0 : 1;
+}

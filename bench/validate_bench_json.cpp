@@ -19,8 +19,25 @@
 //     - time_series: window_ms > 0, window starts monotone from 0 with
 //       start[i+1] == start[i] + window_ms, end == start + window_ms,
 //       values >= 0 (they are byte/message totals, never negative).
+//
+//   validate_bench_json --compare=<baseline.json> --tolerance=<pct> <fresh.json>
+//     - the CI perf-regression gate: both files must pass the bench
+//       schema, every baseline benchmark must still exist in the fresh
+//       run, and neither items/s (lower = worse) nor ns/op (higher =
+//       worse) are tabulated, and items/s may not drop by more than <pct>
+//       percent (the gate metric — bounded, so <pct> reads as "fell below
+//       (100-pct)% of baseline"; ns/op is context only). Benchmarks new
+//       in the fresh run are listed and ignored, as are rows measured
+//       with < 3 iterations on either side (one-shot samples of multi-ms
+//       benchmarks under the smoke run's tiny min_time are noise). A
+//       markdown delta table goes to stdout (CI tees it into
+//       $GITHUB_STEP_SUMMARY); on failure the worst offender is named on
+//       stderr.
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <set>
 #include <string>
 
@@ -78,13 +95,28 @@ int validate_bench(const char* path, const Value& root) {
     if (items == nullptr || items->number <= 0) {
       return complain(name->string + ": items_per_second missing or <= 0");
     }
+    // Latency tails are optional (service-tier rows), but when present
+    // they must come as a complete, ordered triple.
+    const Value* p50 = field(entry, "p50_ns", Value::Type::kNumber);
+    const Value* p99 = field(entry, "p99_ns", Value::Type::kNumber);
+    const Value* p999 = field(entry, "p999_ns", Value::Type::kNumber);
+    if (p50 != nullptr || p99 != nullptr || p999 != nullptr) {
+      if (p50 == nullptr || p99 == nullptr || p999 == nullptr) {
+        return complain(name->string + ": partial latency triple");
+      }
+      if (!(p50->number > 0 && p50->number <= p99->number &&
+            p99->number <= p999->number)) {
+        return complain(name->string + ": latency percentiles not ordered");
+      }
+    }
   }
 
   // The hot paths this baseline tracks across PRs must be present.
   for (const char* required :
        {"BM_EngineScheduleRun", "BM_EngineSteadyStateChurn",
         "BM_EngineCancelHeavy", "BM_RoutingCachedPath",
-        "BM_RoutingMixedCachedPaths", "BM_ParallelForDispatch"}) {
+        "BM_RoutingMixedCachedPaths", "BM_ParallelForDispatch",
+        "BM_OracledRankBatch/8", "BM_OracledClosedLoop/1/real_time"}) {
     if (seen.count(required) == 0) {
       return complain(std::string("required benchmark missing: ") + required);
     }
@@ -92,6 +124,124 @@ int validate_bench(const char* path, const Value& root) {
 
   std::printf("validate_bench_json: %s ok (%zu benchmarks)\n", path,
               seen.size());
+  return 0;
+}
+
+// --- baseline comparison (CI perf-regression gate) -----------------------
+
+struct BenchRow {
+  double items_per_second = 0.0;
+  double ns_per_iter = 0.0;
+  double iterations = 0.0;
+};
+
+/// A row measured with fewer iterations than this on either side is
+/// excluded from the gate: a 1-iteration sample of a multi-ms benchmark
+/// under the smoke run's tiny --benchmark_min_time is first-touch noise
+/// (page faults, cold caches), not a signal.
+constexpr double kMinIterationsToGate = 3.0;
+
+/// Extracts name -> row after the file passed validate_bench.
+std::map<std::string, BenchRow> extract_rows(const Value& root) {
+  std::map<std::string, BenchRow> rows;
+  const Value* benchmarks = field(root, "benchmarks", Value::Type::kArray);
+  for (const Value& entry : benchmarks->array) {
+    const Value* name = field(entry, "name", Value::Type::kString);
+    BenchRow row;
+    row.items_per_second =
+        field(entry, "items_per_second", Value::Type::kNumber)->number;
+    row.ns_per_iter =
+        field(entry, "real_time_ns_per_iter", Value::Type::kNumber)->number;
+    row.iterations = field(entry, "iterations", Value::Type::kNumber)->number;
+    rows[name->string] = row;
+  }
+  return rows;
+}
+
+/// Regression in percent: positive when `fresh` is worse than `base`.
+/// `higher_is_better` picks the direction (items/s vs ns/op).
+double regression_pct(double base, double fresh, bool higher_is_better) {
+  if (base <= 0.0) return 0.0;
+  const double delta = higher_is_better ? (base - fresh) : (fresh - base);
+  return delta / base * 100.0;
+}
+
+int compare_bench(const char* fresh_path, const Value& fresh_root,
+                  const char* baseline_path, const Value& baseline_root,
+                  double tolerance_pct) {
+  // Both sides must be schema-clean before numbers are trusted.
+  if (validate_bench(baseline_path, baseline_root) != 0) return 1;
+  if (validate_bench(fresh_path, fresh_root) != 0) return 1;
+
+  const auto baseline = extract_rows(baseline_root);
+  const auto fresh = extract_rows(fresh_root);
+
+  std::string worst_name;
+  double worst_pct = 0.0;
+  std::size_t failures = 0;
+
+  std::printf("## bench-compare: %s vs baseline %s (tolerance %.0f%%)\n\n",
+              fresh_path, baseline_path, tolerance_pct);
+  std::printf(
+      "| benchmark | base items/s | new items/s | Δ%% | base ns/op | "
+      "new ns/op | Δ%% | status |\n");
+  std::printf("|---|---:|---:|---:|---:|---:|---:|---|\n");
+  for (const auto& [name, base] : baseline) {
+    const auto it = fresh.find(name);
+    if (it == fresh.end()) {
+      std::printf("| %s | %.3g | — | — | %.3g | — | — | MISSING |\n",
+                  name.c_str(), base.items_per_second, base.ns_per_iter);
+      ++failures;
+      if (worst_name.empty()) worst_name = name + " (missing)";
+      continue;
+    }
+    const BenchRow& now = it->second;
+    const double items_reg =
+        regression_pct(base.items_per_second, now.items_per_second,
+                       /*higher_is_better=*/true);
+    const double ns_reg = regression_pct(base.ns_per_iter, now.ns_per_iter,
+                                         /*higher_is_better=*/false);
+    // Gate on items/s only: it is bounded (a collapse tops out at -100%),
+    // so <pct> reads directly as "dropped to less than (100-pct)% of
+    // baseline". ns/op is the same slowdown on an unbounded scale (2.5x
+    // slower = +150%), which makes thresholds twitchy; it stays in the
+    // table as context.
+    const double reg = items_reg;
+    const bool gated = base.iterations >= kMinIterationsToGate &&
+                       now.iterations >= kMinIterationsToGate;
+    const bool ok = !gated || reg <= tolerance_pct;
+    std::printf("| %s | %.4g | %.4g | %+.1f%% | %.4g | %.4g | %+.1f%% | %s |\n",
+                name.c_str(), base.items_per_second, now.items_per_second,
+                -items_reg, base.ns_per_iter, now.ns_per_iter, ns_reg,
+                !gated ? "skipped (<3 iters)"
+                       : (ok ? "ok" : "**REGRESSED**"));
+    if (!ok) {
+      ++failures;
+      if (reg > worst_pct) {
+        worst_pct = reg;
+        worst_name = name;
+      }
+    }
+  }
+  std::size_t fresh_only = 0;
+  for (const auto& [name, row] : fresh) {
+    if (baseline.count(name) != 0) continue;
+    std::printf("| %s | — | %.4g | new | — | %.4g | new | ignored |\n",
+                name.c_str(), row.items_per_second, row.ns_per_iter);
+    ++fresh_only;
+  }
+  std::printf("\n%zu compared, %zu new (ignored), %zu over tolerance\n",
+              baseline.size(), fresh_only, failures);
+
+  if (failures != 0) {
+    std::fprintf(stderr,
+                 "validate_bench_json: %zu benchmark(s) regressed beyond "
+                 "%.0f%%; worst offender: %s (%.1f%% worse)\n",
+                 failures, tolerance_pct, worst_name.c_str(), worst_pct);
+    return 1;
+  }
+  std::printf("bench-compare ok: no regression beyond %.0f%%\n",
+              tolerance_pct);
   return 0;
 }
 
@@ -205,12 +355,40 @@ int validate_metrics(const char* path, const Value& root) {
 
 }  // namespace
 
+namespace {
+
+bool load_json(const char* path, Value& root) {
+  std::string text;
+  std::string error;
+  if (!uap2p::obs::json::read_file(path, text, &error)) {
+    complain(error);
+    return false;
+  }
+  if (!uap2p::obs::json::parse(text, root, &error)) {
+    complain(std::string(path) + ": JSON parse error: " + error);
+    return false;
+  }
+  if (root.type != Value::Type::kObject) {
+    complain(std::string(path) + ": top level is not an object");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool metrics_mode = false;
+  const char* baseline_path = nullptr;
+  double tolerance_pct = 25.0;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics_mode = true;
+    } else if (std::strncmp(argv[i], "--compare=", 10) == 0) {
+      baseline_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
+      tolerance_pct = std::strtod(argv[i] + 12, nullptr);
     } else if (path == nullptr) {
       path = argv[i];
     } else {
@@ -218,22 +396,20 @@ int main(int argc, char** argv) {
       break;
     }
   }
-  if (path == nullptr) {
-    return complain("usage: validate_bench_json [--metrics] <file.json>");
+  if (path == nullptr || (metrics_mode && baseline_path != nullptr)) {
+    return complain(
+        "usage: validate_bench_json [--metrics] "
+        "[--compare=<baseline.json> [--tolerance=<pct>]] <file.json>");
   }
 
-  std::string text;
-  std::string error;
-  if (!uap2p::obs::json::read_file(path, text, &error)) {
-    return complain(error);
-  }
   Value root;
-  if (!uap2p::obs::json::parse(text, root, &error)) {
-    return complain("JSON parse error: " + error);
+  if (!load_json(path, root)) return 1;
+  if (metrics_mode) return validate_metrics(path, root);
+  if (baseline_path != nullptr) {
+    Value baseline_root;
+    if (!load_json(baseline_path, baseline_root)) return 1;
+    return compare_bench(path, root, baseline_path, baseline_root,
+                         tolerance_pct);
   }
-  if (root.type != Value::Type::kObject) {
-    return complain("top level is not an object");
-  }
-  return metrics_mode ? validate_metrics(path, root)
-                      : validate_bench(path, root);
+  return validate_bench(path, root);
 }

@@ -1,0 +1,45 @@
+#include "obs/latency.hpp"
+
+namespace uap2p::obs {
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0 || other.min_ns_ < min_ns_) min_ns_ = other.min_ns_;
+  if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_ns(std::size_t index) {
+  if (index < kSubBuckets) return index;  // exact small values
+  const std::size_t r = index - kSubBuckets;
+  const std::uint32_t exp = kSubBits + std::uint32_t(r / kSubBuckets);
+  const std::uint64_t sub = r % kSubBuckets;
+  const std::uint64_t width = std::uint64_t(1) << (exp - kSubBits);
+  return (std::uint64_t(1) << exp) + (sub + 1) * width - 1;
+}
+
+std::uint64_t LatencyHistogram::percentile_ns(double q) const {
+  if (count_ == 0) return 0;
+  if (q >= 100.0) return max_ns_;
+  if (q < 0.0) q = 0.0;
+  // Rank of the target sample, 1-based; ceil so p0 still needs one sample.
+  const double want = q / 100.0 * double(count_);
+  std::uint64_t rank = std::uint64_t(want);
+  if (double(rank) < want || rank == 0) ++rank;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      // The last bucket is the overflow bucket (values >= 2^kMaxExp); its
+      // nominal upper bound under-reports, so fall back to the observed max.
+      if (i == kBuckets - 1) return max_ns_;
+      const std::uint64_t upper = bucket_upper_ns(i);
+      return upper < max_ns_ ? upper : max_ns_;
+    }
+  }
+  return max_ns_;  // unreachable when count_ > 0
+}
+
+}  // namespace uap2p::obs

@@ -1,0 +1,81 @@
+// Log-linear latency histogram (HDR-histogram shape) for service tiers.
+//
+// Fixed-footprint recorder for nanosecond latencies spanning nine orders
+// of magnitude: values are bucketed into power-of-two major ranges, each
+// split into 2^kSubBits linear sub-buckets, so relative error is bounded
+// by 1/2^kSubBits (~3%) at every scale — precise enough for p50/p99/p99.9
+// tail reporting without storing samples. record() is a shift, a mask and
+// one array increment; no allocation ever. Instances are single-writer;
+// per-thread recorders merge() bucket-wise into a report copy, the same
+// reduction contract as common/stats.hpp Histogram.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace uap2p::obs {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two range (32 -> ~3% value error).
+  static constexpr std::uint32_t kSubBits = 5;
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBits;
+  /// Highest bucketed exponent: values at or above 2^kMaxExp ns (~18.3
+  /// simulated minutes) clamp into the top bucket.
+  static constexpr std::uint32_t kMaxExp = 40;
+  /// Buckets 0..kSubBuckets-1 hold exact values < kSubBuckets; each
+  /// exponent in [kSubBits, kMaxExp) then contributes kSubBuckets linear
+  /// sub-buckets.
+  static constexpr std::size_t kBuckets =
+      std::size_t(kSubBuckets) * (kMaxExp - kSubBits + 1);
+
+  void record(std::uint64_t ns) {
+    counts_[bucket_of(ns)] += 1;
+    ++count_;
+    sum_ns_ += ns;
+    if (ns > max_ns_) max_ns_ = ns;
+    if (count_ == 1 || ns < min_ns_) min_ns_ = ns;
+  }
+
+  /// Bucket-wise reduction of per-thread recorders.
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t min_ns() const { return count_ ? min_ns_ : 0; }
+  [[nodiscard]] std::uint64_t max_ns() const { return max_ns_; }
+  [[nodiscard]] double mean_ns() const {
+    return count_ ? double(sum_ns_) / double(count_) : 0.0;
+  }
+
+  /// Smallest value bound with at least q% of samples at or below it
+  /// (q in [0, 100]): the containing bucket's upper edge, capped at the
+  /// exact observed max so sparse tails never overstate. 0 when empty.
+  [[nodiscard]] std::uint64_t percentile_ns(double q) const;
+
+  [[nodiscard]] std::uint64_t p50_ns() const { return percentile_ns(50.0); }
+  [[nodiscard]] std::uint64_t p99_ns() const { return percentile_ns(99.0); }
+  [[nodiscard]] std::uint64_t p999_ns() const { return percentile_ns(99.9); }
+
+  /// Inclusive upper bound of bucket `index` in ns.
+  [[nodiscard]] static std::uint64_t bucket_upper_ns(std::size_t index);
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t ns) {
+    if (ns < kSubBuckets) return std::size_t(ns);
+    // Highest set bit position; >= kSubBits here because ns >= kSubBuckets.
+    const std::uint32_t exp = 63u - std::uint32_t(__builtin_clzll(ns));
+    if (exp >= kMaxExp) return kBuckets - 1;
+    const std::uint64_t sub = (ns >> (exp - kSubBits)) & (kSubBuckets - 1);
+    return std::size_t(kSubBuckets) * (exp - kSubBits) + std::size_t(sub) +
+           kSubBuckets;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ns_ = 0;
+  std::uint64_t min_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+}  // namespace uap2p::obs

@@ -1,0 +1,108 @@
+// Bounded lock-free MPMC ring (Vyukov's bounded queue) — the inbound
+// request channel of the oracle service.
+//
+// Each cell carries a sequence number that encodes whose turn it is:
+// producers claim a slot by CAS on the tail, write the payload, then
+// publish by advancing the cell sequence; consumers mirror the dance on
+// the head. Full and empty are detected without locks, so an overloaded
+// service sheds at admission with one failed CAS-free check instead of
+// blocking the submitting client — the bounded-queue behavior the
+// overload-degradation contract of DESIGN.md "Oracle service" relies on.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace uap2p::oracled {
+
+template <typename T>
+class MpmcRing {
+ public:
+  /// `capacity` must be a power of two (asserted).
+  explicit MpmcRing(std::size_t capacity)
+      : cells_(std::make_unique<Cell[]>(capacity)), mask_(capacity - 1) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0 &&
+           "MpmcRing capacity must be a power of two");
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  /// False when the ring is full (the caller sheds the request).
+  bool try_push(T value) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const std::intptr_t diff =
+          std::intptr_t(seq) - std::intptr_t(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the ring is empty.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const std::intptr_t diff =
+          std::intptr_t(seq) - std::intptr_t(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate occupancy (racy; for gauges only).
+  [[nodiscard]] std::size_t size_estimate() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< Producer cursor.
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< Consumer cursor.
+};
+
+}  // namespace uap2p::oracled

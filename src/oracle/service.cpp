@@ -1,0 +1,326 @@
+#include "oracle/service.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+
+namespace uap2p::oracled {
+namespace {
+
+using underlay::RoutingTable;
+
+/// Per-candidate sort key. Unreachable candidates rank after every
+/// reachable one (kUnreachableCrossings), then fewer AS crossings wins
+/// ([1]'s keep-it-local objective), then lower path latency, then peer id
+/// so ties are stable across runs and worker counts.
+struct RankKey {
+  std::uint32_t crossings = 0;
+  double latency = 0.0;
+  std::uint32_t peer = 0;
+};
+
+constexpr std::uint32_t kUnreachableCrossings = 0xffffffffu;
+
+bool key_less(const RankKey& a, const RankKey& b) {
+  if (a.crossings != b.crossings) return a.crossings < b.crossings;
+  if (a.latency != b.latency) return a.latency < b.latency;
+  return a.peer < b.peer;
+}
+
+void rank_with_row(std::span<const RoutingTable::DestEntry> row,
+                   RankRequest& req) {
+  const std::uint32_t count = std::min(req.candidate_count, kMaxCandidates);
+  RankKey keys[kMaxCandidates];
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Candidate& cand = req.candidates[i];
+    RankKey& key = keys[i];
+    key.peer = cand.peer;
+    if (cand.router >= row.size()) {
+      key.crossings = kUnreachableCrossings;
+      key.latency = 0.0;
+      continue;
+    }
+    const RoutingTable::DestEntry& entry = row[cand.router];
+    if (entry.latency == underlay::kUnreachableLatency) {
+      key.crossings = kUnreachableCrossings;
+      key.latency = 0.0;
+    } else {
+      key.crossings = entry.as_crossings;
+      key.latency = entry.latency;
+    }
+  }
+  std::sort(keys, keys + count, key_less);
+  for (std::uint32_t i = 0; i < count; ++i) req.ranked[i] = keys[i].peer;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+void rank_request(const underlay::SharedRouting& routing, RankRequest& req) {
+  const std::size_t routers = routing.topology().router_count();
+  if (req.client_router >= routers) {
+    // Unknown source: every candidate is unreachable, so the deterministic
+    // order degenerates to ascending peer id.
+    const std::uint32_t count = std::min(req.candidate_count, kMaxCandidates);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      req.ranked[i] = req.candidates[i].peer;
+    }
+    std::sort(req.ranked, req.ranked + count);
+    return;
+  }
+  rank_with_row(routing.table().row(RouterId(req.client_router)),
+                req);
+}
+
+void rank_batch(const underlay::SharedRouting& routing,
+                std::span<RankRequest* const> batch) {
+  // Group the batch by source router so every request sharing a source is
+  // ranked against one row fetch; the sort itself is tiny (<= max_batch
+  // pointers) next to the row work it saves.
+  RankRequest* sorted[1024];
+  const std::size_t n = std::min(batch.size(), std::size_t(1024));
+  std::copy(batch.begin(), batch.begin() + std::ptrdiff_t(n), sorted);
+  std::sort(sorted, sorted + n, [](const RankRequest* a, const RankRequest* b) {
+    return a->client_router < b->client_router;
+  });
+
+  const std::size_t routers = routing.topology().router_count();
+  std::span<const RoutingTable::DestEntry> row;
+  std::uint32_t row_source = 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) {
+    RankRequest& req = *sorted[i];
+    if (req.client_router >= routers) {
+      rank_request(routing, req);
+      continue;
+    }
+    if (req.client_router != row_source) {
+      row_source = req.client_router;
+      row = routing.table().row(RouterId(row_source));
+    }
+    rank_with_row(row, req);
+  }
+  // Anything beyond the fixed grouping window (never hit with the default
+  // max_batch of 256) still gets ranked, just without row sharing.
+  for (std::size_t i = n; i < batch.size(); ++i) {
+    rank_request(routing, *batch[i]);
+  }
+}
+
+OracleService::OracleService(
+    std::shared_ptr<const underlay::SharedRouting> initial,
+    ServiceConfig config)
+    : config_(config), slot_(std::move(initial)) {
+  if (slot_.get() == nullptr) {
+    throw std::invalid_argument("OracleService: initial snapshot is null");
+  }
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.max_batch == 0) config_.max_batch = 1;
+  if (config_.ring_capacity < 2 ||
+      (config_.ring_capacity & (config_.ring_capacity - 1)) != 0) {
+    throw std::invalid_argument(
+        "OracleService: ring_capacity must be a power of two >= 2");
+  }
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->ring =
+        std::make_unique<MpmcRing<RankRequest*>>(config_.ring_capacity);
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+  }
+}
+
+OracleService::~OracleService() { stop(); }
+
+bool OracleService::submit(RankRequest* req) {
+  assert(req != nullptr && req->ranked != nullptr);
+  assert(req->state.load(std::memory_order_relaxed) == RequestState::kFree);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  // Announce this submit before checking stopping_ (acq_rel so the two
+  // can't reorder): stop() raises stopping_ and then waits for the
+  // in-flight count to reach zero, so either this call sees stopping_ and
+  // bails, or stop() waits for its push to land before sweeping the rings.
+  submit_inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (stopping_.load(std::memory_order_acquire)) {
+    submit_inflight_.fetch_sub(1, std::memory_order_release);
+    shed_admission_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  req->enqueue_ns = now_ns();
+  req->done_ns = 0;
+  // kQueued before the push: once the pointer is in the ring a worker may
+  // complete it at any instant, and the release pairs with the worker's
+  // acquire load of the cell sequence.
+  req->state.store(RequestState::kQueued, std::memory_order_release);
+  const std::size_t slot =
+      submit_cursor_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  const bool pushed = workers_[slot]->ring->try_push(req);
+  if (!pushed) {
+    req->state.store(RequestState::kFree, std::memory_order_relaxed);
+    shed_admission_.fetch_add(1, std::memory_order_relaxed);
+  }
+  submit_inflight_.fetch_sub(1, std::memory_order_release);
+  return pushed;
+}
+
+void OracleService::publish(
+    std::shared_ptr<const underlay::SharedRouting> next) {
+  assert(next != nullptr);
+  slot_.publish(std::move(next));
+}
+
+void OracleService::stop() {
+  if (stopped_) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wait out submits that read stopping_ == false before it was raised:
+  // once the in-flight count hits zero every push has landed in a ring, so
+  // the sweep below cannot miss a late arrival.
+  while (submit_inflight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  // A submit() that raced stopping_ can still have landed its push after
+  // the worker's final empty-ring check. Sweep such stragglers here so
+  // every admitted request still reaches a terminal state; they were
+  // refused service, so they count as admission sheds.
+  for (auto& worker : workers_) {
+    RankRequest* straggler = nullptr;
+    while (worker->ring->try_pop(straggler)) {
+      shed(*straggler);
+      shed_admission_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  stopped_ = true;
+}
+
+std::uint64_t OracleService::completed() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->completed.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t OracleService::shed_deadline() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->shed_deadline.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t OracleService::swaps_observed() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->swaps.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void OracleService::export_metrics(obs::MetricsRegistry& registry) const {
+  std::uint64_t batches = 0;
+  for (const auto& worker : workers_) {
+    batches += worker->batches.load(std::memory_order_relaxed);
+  }
+  registry.counter("oracled.submitted").set(submitted());
+  registry.counter("oracled.admitted").set(admitted());
+  registry.counter("oracled.completed").set(completed());
+  registry.counter("oracled.shed_admission").set(shed_admission());
+  registry.counter("oracled.shed_deadline").set(shed_deadline());
+  registry.counter("oracled.snapshot_swaps").set(swaps_observed());
+  registry.counter("oracled.batches").set(batches);
+  registry.gauge("oracled.workers").set(double(workers_.size()));
+}
+
+void OracleService::shed(RankRequest& req) {
+  req.done_ns = now_ns();
+  req.state.store(RequestState::kShed, std::memory_order_release);
+}
+
+void OracleService::worker_loop(Worker& worker) {
+  std::shared_ptr<const underlay::SharedRouting> snapshot = slot_.get();
+  std::uint64_t generation = slot_.generation();
+  std::vector<RankRequest*> batch(config_.max_batch);
+  std::uint32_t idle_polls = 0;
+  for (;;) {
+    std::size_t popped = 0;
+    while (popped < config_.max_batch && worker.ring->try_pop(batch[popped])) {
+      ++popped;
+    }
+    if (popped == 0) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        // A submit may have raced the stop flag: only exit once the ring
+        // is seen empty *after* stopping_ was observed, so every admitted
+        // request reaches a terminal state.
+        RankRequest* straggler = nullptr;
+        if (!worker.ring->try_pop(straggler)) break;
+        batch[popped++] = straggler;
+      } else if (++idle_polls >= config_.spin_before_yield) {
+        idle_polls = 0;
+        std::this_thread::yield();
+        continue;
+      } else {
+        continue;
+      }
+    }
+    idle_polls = 0;
+
+    // One generation poll per batch: a u64 load when nothing changed, a
+    // shared_ptr re-acquire (and old-snapshot release) when it did.
+    if (slot_.generation() != generation) {
+      snapshot = slot_.get();
+      generation = slot_.generation();
+      worker.swaps.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::size_t ranked = 0;
+    if (config_.deadline_ns != 0) {
+      const std::uint64_t cutoff = now_ns() - config_.deadline_ns;
+      for (std::size_t i = 0; i < popped; ++i) {
+        if (batch[i]->enqueue_ns < cutoff) {
+          shed(*batch[i]);
+          worker.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          batch[ranked++] = batch[i];
+        }
+      }
+    } else {
+      ranked = popped;
+    }
+
+    if (ranked != 0) {
+      rank_batch(*snapshot, std::span<RankRequest* const>(batch.data(), ranked));
+      const std::uint64_t done = now_ns();
+      for (std::size_t i = 0; i < ranked; ++i) {
+        batch[i]->done_ns = done;
+        batch[i]->state.store(RequestState::kDone, std::memory_order_release);
+      }
+      worker.completed.fetch_add(ranked, std::memory_order_relaxed);
+    }
+    worker.batches.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+RequestState wait_terminal(const RankRequest& req) {
+  std::uint32_t spins = 0;
+  for (;;) {
+    const RequestState state = req.state.load(std::memory_order_acquire);
+    if (state != RequestState::kQueued) return state;
+    if (++spins >= 256) {
+      spins = 0;
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace uap2p::oracled

@@ -1,0 +1,193 @@
+// uap2p_oracled: the provider-operated oracle query tier (DESIGN.md
+// "Oracle service").
+//
+// The paper's centerpiece technique ([1], P4P) is an ISP-run server that
+// ranks candidate peer lists for thousands of clients. netinfo::Oracle is
+// that ranking *logic* in-process; OracleService is the serving tier: a
+// fixed pool of worker threads consuming RankRequests from bounded
+// lock-free rings, ranking each candidate list against an immutable warmed
+// underlay::SharedRouting snapshot, and degrading gracefully — never
+// unboundedly queueing — under overload.
+//
+// Threading model
+//   * submit() is safe from any number of client threads; it stamps the
+//     request, picks a worker ring round-robin and try_pushes. A full ring
+//     sheds at admission (counter, no blocking).
+//   * Workers pop requests in batches, drop any whose age exceeds the
+//     deadline knob (shed_deadline counter), and rank the rest via
+//     rank_batch, which sorts the batch by source router so consecutive
+//     requests sharing a source reuse the same hot DestEntry row.
+//   * The routing snapshot sits behind an underlay::SharedRoutingSlot.
+//     Workers poll the slot generation once per batch (one relaxed u64
+//     load) and re-acquire on change, so publish() makes a new topology
+//     visible within one batch without stalling in-flight queries — the
+//     background-server shape of speedex's OverlayFlooder.
+//
+// Completion is by request state: the worker writes the ranked peer ids
+// into the caller-owned output array, stamps done_ns and releases kDone
+// (or kShed). Callers own the request and its arrays until they observe a
+// terminal state; the closed-loop bench recycles slots on observation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "oracle/ring.hpp"
+#include "underlay/routing.hpp"
+
+namespace uap2p::oracled {
+
+/// One candidate neighbor as the client reports it: overlay identity plus
+/// the attachment router the provider resolved its address to.
+struct Candidate {
+  std::uint32_t peer = 0;
+  std::uint32_t router = 0;
+};
+
+/// Request lifecycle. Terminal states (kDone/kShed) are released by the
+/// service; the submitting side must not touch the request between a
+/// successful submit() and observing a terminal state.
+enum class RequestState : std::uint32_t {
+  kFree = 0,    ///< Owned by the client (fill / recycle).
+  kQueued = 1,  ///< In a ring or being ranked.
+  kDone = 2,    ///< ranked[0..candidate_count) holds peer ids, best first.
+  kShed = 3,    ///< Dropped: admission overflow or deadline overrun.
+};
+
+/// A rank query over caller-owned storage. The candidate array and the
+/// ranked output array must stay valid until a terminal state is observed;
+/// keeping them external lets the load generator preallocate one arena for
+/// any candidate-list length instead of a fixed-width slot.
+struct RankRequest {
+  std::uint32_t client_router = 0;   ///< The querying peer's attachment.
+  std::uint32_t candidate_count = 0;
+  const Candidate* candidates = nullptr;
+  std::uint32_t* ranked = nullptr;   ///< Out: peer ids, best first.
+  std::uint64_t enqueue_ns = 0;      ///< Stamped by submit().
+  std::uint64_t done_ns = 0;         ///< Stamped at completion.
+  std::atomic<RequestState> state{RequestState::kFree};
+};
+
+/// Longest candidate list ranked per request; longer lists are truncated
+/// before ranking (the OracleConfig::max_list_size contract of [1]).
+inline constexpr std::uint32_t kMaxCandidates = 512;
+
+struct ServiceConfig {
+  std::size_t workers = 1;
+  std::size_t ring_capacity = 4096;  ///< Per worker; power of two.
+  std::size_t max_batch = 256;       ///< Requests ranked per ring drain.
+  /// Age bound checked when a worker picks a request up: older requests
+  /// are shed instead of ranked (stale answers are worthless to a peer
+  /// that has moved on). 0 disables.
+  std::uint64_t deadline_ns = 0;
+  /// Idle polls (pop misses) before a worker yields its timeslice; keeps
+  /// single-core hosts from spinning generators out of the CPU.
+  std::uint32_t spin_before_yield = 64;
+};
+
+/// Monotonic nanosecond clock used for request stamps.
+[[nodiscard]] std::uint64_t now_ns();
+
+/// Ranks one request against `routing`: candidates sort ascending by
+/// (unreachable-last, AS crossings, path latency, peer id) from the
+/// client's attachment router, a deterministic pure function of (snapshot,
+/// request) — what makes the oracled-smoke golden byte-stable regardless
+/// of worker count or swap timing. Exposed for tests and the file-serving
+/// CLI; the service itself goes through rank_batch.
+void rank_request(const underlay::SharedRouting& routing, RankRequest& req);
+
+/// Ranks a batch, sorting it by client router first so requests sharing a
+/// source reuse the same hot per-source DestEntry row.
+void rank_batch(const underlay::SharedRouting& routing,
+                std::span<RankRequest* const> batch);
+
+class OracleService {
+ public:
+  /// `initial` must be a fully warmed snapshot (SharedRouting::build or
+  /// ::load) and non-null; workers start immediately.
+  OracleService(std::shared_ptr<const underlay::SharedRouting> initial,
+                ServiceConfig config = {});
+  /// Stops accepting, drains every admitted request, joins the workers.
+  ~OracleService();
+
+  OracleService(const OracleService&) = delete;
+  OracleService& operator=(const OracleService&) = delete;
+
+  /// Enqueues `req` (state must be kFree; the call moves it to kQueued).
+  /// False — with the request back in kFree and shed_admission counted —
+  /// when the chosen worker's ring is full or the service is stopping.
+  bool submit(RankRequest* req);
+
+  /// Publishes a fresh snapshot; in-flight queries finish on the one they
+  /// pinned, workers pick the new one up at their next batch.
+  void publish(std::shared_ptr<const underlay::SharedRouting> next);
+  [[nodiscard]] std::shared_ptr<const underlay::SharedRouting> snapshot()
+      const {
+    return slot_.get();
+  }
+
+  /// Stops accepting new requests, drains rings, joins workers. Idempotent
+  /// (the destructor calls it). After stop() all counters are final and
+  ///   submitted == admitted + shed_admission
+  ///   admitted  == completed + shed_deadline
+  /// hold exactly.
+  void stop();
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+  [[nodiscard]] std::uint64_t submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shed_admission() const {
+    return shed_admission_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t admitted() const {
+    return submitted() - shed_admission();
+  }
+  [[nodiscard]] std::uint64_t completed() const;
+  [[nodiscard]] std::uint64_t shed_deadline() const;
+  /// Snapshot re-acquisitions summed over workers (>= publish count once
+  /// every worker has seen the latest publish).
+  [[nodiscard]] std::uint64_t swaps_observed() const;
+
+  /// Snapshot-style export of the service counters as "oracled.*".
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  struct Worker {
+    std::unique_ptr<MpmcRing<RankRequest*>> ring;
+    std::thread thread;
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> shed_deadline{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> swaps{0};
+  };
+
+  void worker_loop(Worker& worker);
+  void shed(RankRequest& req);
+
+  ServiceConfig config_;
+  underlay::SharedRoutingSlot slot_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> shed_admission_{0};
+  std::atomic<std::uint64_t> submit_cursor_{0};  ///< Round-robin ring pick.
+  /// Count of submit() calls between their stopping_ check and their ring
+  /// push landing. stop() waits for this to hit zero after raising
+  /// stopping_, so its straggler sweep is guaranteed to run after the last
+  /// possible push — no request can be left kQueued in a ring forever.
+  std::atomic<std::uint64_t> submit_inflight_{0};
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  ///< stop() ran to completion (main thread only).
+};
+
+/// Spin-waits until `req` leaves kQueued; returns the terminal state.
+/// Test/CLI helper — the load generator polls its slots instead.
+RequestState wait_terminal(const RankRequest& req);
+
+}  // namespace uap2p::oracled

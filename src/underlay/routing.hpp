@@ -25,10 +25,12 @@
 // emitted byte.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -309,6 +311,56 @@ class SharedRouting {
   std::unique_ptr<snapshot::MappedSnapshot> mapped_;
   AsTopology topology_;  ///< Declared before table_, which references it.
   RoutingTable table_;
+};
+
+/// The publication point between a topology/snapshot producer and any
+/// number of concurrent readers: a swappable slot holding the current
+/// immutable SharedRouting. publish() swaps in a fresh snapshot (a new
+/// AsTopology build or a reloaded snapshot file) without stalling readers;
+/// a reader's get() pins whatever was current at that instant, and the old
+/// snapshot is destroyed only when its last reader drops the reference.
+/// generation() lets hot loops poll for "did anything change?" with one
+/// u64 load instead of a shared_ptr copy per query, so the mutex below is
+/// touched only on actual publications — never per ranked request.
+/// (A plain mutex instead of std::atomic<shared_ptr>: libstdc++'s
+/// _Sp_atomic unlocks its reader path with a relaxed RMW, which leaves no
+/// happens-before edge to the next writer and trips TSan; the explicit
+/// lock costs the same — _Sp_atomic spins on a lock bit internally anyway
+/// — and is sanitizer-clean.)
+class SharedRoutingSlot {
+ public:
+  SharedRoutingSlot() = default;
+  explicit SharedRoutingSlot(std::shared_ptr<const SharedRouting> initial)
+      : slot_(std::move(initial)), generation_(1) {}
+
+  /// Pins the currently published snapshot (may be null before the
+  /// first publish). Safe from any thread.
+  [[nodiscard]] std::shared_ptr<const SharedRouting> get() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slot_;
+  }
+
+  /// Publishes `next` and bumps the generation. The swap never blocks
+  /// query processing: in-flight queries keep their pinned snapshot and
+  /// workers only re-get() after seeing the generation move.
+  void publish(std::shared_ptr<const SharedRouting> next) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      slot_ = std::move(next);
+    }
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Publication count; readers compare against a cached value to decide
+  /// when to re-get(). Monotone, starts at 0 (1 when seeded via ctor).
+  [[nodiscard]] std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const SharedRouting> slot_;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 }  // namespace uap2p::underlay

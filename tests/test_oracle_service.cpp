@@ -1,0 +1,339 @@
+// Unit tests for the oracle query tier: the log-linear latency histogram
+// (obs/latency.hpp), the bounded MPMC ring (oracle/ring.hpp), the
+// deterministic ranking functions, and the OracleService lifecycle —
+// submit/complete accounting, admission and deadline shedding, snapshot
+// publication, and metrics export. Concurrency-stress coverage lives in
+// test_oracled_parallel.cpp under the TSan "parallel" label; these tests
+// pin the single-threaded contracts the service builds on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/latency.hpp"
+#include "obs/metrics.hpp"
+#include "oracle/ring.hpp"
+#include "oracle/service.hpp"
+#include "underlay/routing.hpp"
+#include "underlay/topology.hpp"
+
+namespace uap2p::oracled {
+namespace {
+
+using obs::LatencyHistogram;
+
+// --- LatencyHistogram ----------------------------------------------------
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(v), v);
+    EXPECT_EQ(LatencyHistogram::bucket_upper_ns(v), v);
+  }
+}
+
+TEST(LatencyHistogram, BucketUpperBoundsContainValue) {
+  // Every recorded value must land in a bucket whose reconstructed upper
+  // bound is >= the value and within the ~3% relative-error contract.
+  for (std::uint64_t v : {37ull, 100ull, 1000ull, 4097ull, 65535ull,
+                          1000000ull, 123456789ull, 987654321012ull}) {
+    const std::size_t bucket = LatencyHistogram::bucket_of(v);
+    const std::uint64_t upper = LatencyHistogram::bucket_upper_ns(bucket);
+    EXPECT_GE(upper, v) << v;
+    EXPECT_LE(double(upper - v), double(v) * 0.04) << v;
+    if (bucket + 1 < LatencyHistogram::kBuckets) {
+      // Bound tightness: the next bucket starts above this value.
+      EXPECT_GT(LatencyHistogram::bucket_upper_ns(bucket + 1), upper);
+    }
+  }
+}
+
+TEST(LatencyHistogram, HugeValuesClampIntoTopBucket) {
+  LatencyHistogram h;
+  h.record(~0ull);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_ns(), ~0ull);
+  EXPECT_EQ(h.p99_ns(), ~0ull);  // capped at observed max
+}
+
+TEST(LatencyHistogram, PercentilesOnUniformRamp) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v * 1000);  // 1..1000 us
+  EXPECT_EQ(h.count(), 1000u);
+  // p50 must bound the 500th sample (500us) within bucket resolution.
+  EXPECT_GE(h.p50_ns(), 500000u);
+  EXPECT_LE(h.p50_ns(), 520000u);
+  EXPECT_GE(h.p99_ns(), 990000u);
+  EXPECT_LE(h.p99_ns(), 1000000u + 32000u);
+  EXPECT_EQ(h.percentile_ns(100.0), 1000000u);
+  EXPECT_EQ(h.min_ns(), 1000u);
+  EXPECT_NEAR(h.mean_ns(), 500500.0, 1.0);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    a.record(v * 17);
+    combined.record(v * 17);
+  }
+  for (std::uint64_t v = 1; v <= 300; ++v) {
+    b.record(v * 9901);
+    combined.record(v * 9901);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min_ns(), combined.min_ns());
+  EXPECT_EQ(a.max_ns(), combined.max_ns());
+  for (double q : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.percentile_ns(q), combined.percentile_ns(q)) << q;
+  }
+}
+
+TEST(LatencyHistogram, EmptyIsAllZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50_ns(), 0u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+}
+
+// --- MpmcRing ------------------------------------------------------------
+
+TEST(MpmcRing, FifoWithinCapacity) {
+  MpmcRing<int> ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99)) << "ring must shed at capacity";
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(MpmcRing, WrapsAroundManyTimes) {
+  MpmcRing<std::uint64_t> ring(4);
+  for (std::uint64_t round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(ring.try_push(round));
+    std::uint64_t out = 0;
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, round);
+  }
+}
+
+// --- Ranking -------------------------------------------------------------
+
+std::shared_ptr<const underlay::SharedRouting> test_routing() {
+  static const auto routing = underlay::SharedRouting::build(
+      underlay::AsTopology::transit_stub(3, 5, 0.3), /*threads=*/1);
+  return routing;
+}
+
+struct RequestArena {
+  std::vector<Candidate> candidates;
+  std::vector<std::uint32_t> ranked;
+  RankRequest request;
+
+  RequestArena(std::uint32_t client, std::vector<Candidate> cands)
+      : candidates(std::move(cands)), ranked(candidates.size(), 0) {
+    request.client_router = client;
+    request.candidate_count = std::uint32_t(candidates.size());
+    request.candidates = candidates.data();
+    request.ranked = ranked.data();
+  }
+};
+
+TEST(RankRequestTest, OrdersByAsCrossingsThenLatencyThenPeer) {
+  const auto routing = test_routing();
+  const auto routers = std::uint32_t(routing->topology().router_count());
+  std::vector<Candidate> cands;
+  for (std::uint32_t i = 0; i < routers; ++i) cands.push_back({i, i});
+  RequestArena arena(0, cands);
+  rank_request(*routing, arena.request);
+
+  const auto& table = routing->table();
+  auto key = [&](std::uint32_t peer) {
+    const auto info = table.path(RouterId(0), RouterId(peer));
+    return std::tuple(info.reachable ? std::uint64_t(info.as_crossings)
+                                     : ~0ull,
+                      info.reachable ? info.latency_ms : 0.0, peer);
+  };
+  for (std::size_t i = 1; i < arena.ranked.size(); ++i) {
+    EXPECT_LE(key(arena.ranked[i - 1]), key(arena.ranked[i])) << i;
+  }
+  // First-ranked candidate shares the client's AS (self-route, 0 hops).
+  EXPECT_EQ(arena.ranked[0], 0u);
+}
+
+TEST(RankRequestTest, OutOfRangeRoutersRankLast) {
+  const auto routing = test_routing();
+  RequestArena arena(
+      0, {{10, 0xfffffff0u}, {11, 0}, {12, 0xfffffff1u}, {13, 1}});
+  rank_request(*routing, arena.request);
+  // The two resolvable candidates come first, the unknowns after, by id.
+  EXPECT_TRUE((arena.ranked[0] == 11 && arena.ranked[1] == 13) ||
+              (arena.ranked[0] == 13 && arena.ranked[1] == 11));
+  EXPECT_EQ(arena.ranked[2], 10u);
+  EXPECT_EQ(arena.ranked[3], 12u);
+}
+
+TEST(RankRequestTest, UnknownClientDegradesToPeerIdOrder) {
+  const auto routing = test_routing();
+  RequestArena arena(0xffffff00u, {{5, 0}, {1, 1}, {9, 2}});
+  rank_request(*routing, arena.request);
+  EXPECT_EQ(arena.ranked[0], 1u);
+  EXPECT_EQ(arena.ranked[1], 5u);
+  EXPECT_EQ(arena.ranked[2], 9u);
+}
+
+TEST(RankBatchTest, MatchesPerRequestRanking) {
+  const auto routing = test_routing();
+  const auto routers = std::uint32_t(routing->topology().router_count());
+  std::vector<std::unique_ptr<RequestArena>> arenas;
+  std::vector<RankRequest*> batch;
+  std::uint64_t rng = 99;
+  auto next = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return std::uint32_t(rng >> 33);
+  };
+  for (int i = 0; i < 64; ++i) {
+    std::vector<Candidate> cands;
+    for (int c = 0; c < 6; ++c) {
+      cands.push_back({next() % 1000, next() % routers});
+    }
+    arenas.push_back(std::make_unique<RequestArena>(next() % routers, cands));
+    batch.push_back(&arenas.back()->request);
+  }
+  rank_batch(*routing, batch);
+  for (auto& arena : arenas) {
+    const std::vector<std::uint32_t> batched = arena->ranked;
+    std::fill(arena->ranked.begin(), arena->ranked.end(), 0);
+    rank_request(*routing, arena->request);
+    EXPECT_EQ(batched, arena->ranked);
+  }
+}
+
+// --- OracleService -------------------------------------------------------
+
+TEST(OracleServiceTest, CompletesSubmittedRequests) {
+  const auto routing = test_routing();
+  ServiceConfig config;
+  config.workers = 2;
+  config.ring_capacity = 64;
+  OracleService service(routing, config);
+  std::vector<std::unique_ptr<RequestArena>> arenas;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    arenas.push_back(std::make_unique<RequestArena>(
+        i % 10, std::vector<Candidate>{{i, i % 20}, {i + 1, (i + 5) % 20}}));
+  }
+  for (auto& arena : arenas) {
+    while (!service.submit(&arena->request)) {
+    }
+  }
+  for (auto& arena : arenas) {
+    EXPECT_EQ(wait_terminal(arena->request), RequestState::kDone);
+    EXPECT_GE(arena->request.done_ns, arena->request.enqueue_ns);
+  }
+  service.stop();
+  EXPECT_EQ(service.completed(), 100u);
+  EXPECT_EQ(service.shed_deadline(), 0u);
+  EXPECT_EQ(service.admitted(),
+            service.completed() + service.shed_deadline());
+}
+
+TEST(OracleServiceTest, ResultsMatchDirectRanking) {
+  const auto routing = test_routing();
+  OracleService service(routing, {});
+  RequestArena served(3, {{7, 4}, {8, 11}, {9, 0}, {10, 19}});
+  RequestArena direct(3, {{7, 4}, {8, 11}, {9, 0}, {10, 19}});
+  ASSERT_TRUE(service.submit(&served.request));
+  EXPECT_EQ(wait_terminal(served.request), RequestState::kDone);
+  rank_request(*routing, direct.request);
+  EXPECT_EQ(served.ranked, direct.ranked);
+}
+
+TEST(OracleServiceTest, SubmitAfterStopIsShedAtAdmission) {
+  const auto routing = test_routing();
+  OracleService service(routing, {});
+  service.stop();
+  RequestArena arena(0, {{1, 1}});
+  EXPECT_FALSE(service.submit(&arena.request));
+  EXPECT_EQ(arena.request.state.load(), RequestState::kFree);
+  EXPECT_EQ(service.shed_admission(), 1u);
+  EXPECT_EQ(service.submitted(), 1u);
+  EXPECT_EQ(service.admitted(), 0u);
+}
+
+TEST(OracleServiceTest, ExpiredDeadlineShedsInsteadOfRanking) {
+  const auto routing = test_routing();
+  ServiceConfig config;
+  config.workers = 1;
+  config.deadline_ns = 1;  // everything a worker picks up is already late
+  OracleService service(routing, config);
+  RequestArena arena(0, {{1, 1}, {2, 2}});
+  ASSERT_TRUE(service.submit(&arena.request));
+  EXPECT_EQ(wait_terminal(arena.request), RequestState::kShed);
+  service.stop();
+  EXPECT_EQ(service.shed_deadline(), 1u);
+  EXPECT_EQ(service.completed(), 0u);
+}
+
+TEST(OracleServiceTest, PublishSwapsSnapshotForSubsequentRequests) {
+  const auto routing = test_routing();
+  OracleService service(routing, {});
+  EXPECT_EQ(service.snapshot().get(), routing.get());
+  auto replacement = underlay::SharedRouting::build(
+      underlay::AsTopology::transit_stub(3, 5, 0.3), /*threads=*/1);
+  service.publish(replacement);
+  EXPECT_EQ(service.snapshot().get(), replacement.get());
+  // A request served after the swap still ranks identically: the
+  // replacement was built from the same topology.
+  RequestArena served(1, {{5, 2}, {6, 7}});
+  RequestArena direct(1, {{5, 2}, {6, 7}});
+  ASSERT_TRUE(service.submit(&served.request));
+  EXPECT_EQ(wait_terminal(served.request), RequestState::kDone);
+  rank_request(*routing, direct.request);
+  EXPECT_EQ(served.ranked, direct.ranked);
+}
+
+TEST(OracleServiceTest, RejectsBadConfig) {
+  const auto routing = test_routing();
+  ServiceConfig config;
+  config.ring_capacity = 100;  // not a power of two
+  EXPECT_THROW(OracleService(routing, config), std::invalid_argument);
+  EXPECT_THROW(OracleService(nullptr, ServiceConfig{}), std::invalid_argument);
+}
+
+TEST(OracleServiceTest, ExportsMetrics) {
+  const auto routing = test_routing();
+  OracleService service(routing, {});
+  RequestArena arena(0, {{1, 1}});
+  ASSERT_TRUE(service.submit(&arena.request));
+  wait_terminal(arena.request);
+  service.stop();
+  obs::MetricsRegistry registry;
+  service.export_metrics(registry);
+  EXPECT_EQ(registry.counter("oracled.submitted").value(), 1u);
+  EXPECT_EQ(registry.counter("oracled.completed").value(), 1u);
+  EXPECT_EQ(registry.counter("oracled.shed_admission").value(), 0u);
+  EXPECT_EQ(registry.counter("oracled.shed_deadline").value(), 0u);
+}
+
+TEST(SharedRoutingSlotTest, GenerationTracksPublishes) {
+  const auto routing = test_routing();
+  underlay::SharedRoutingSlot slot(routing);
+  EXPECT_EQ(slot.generation(), 1u);
+  EXPECT_EQ(slot.get().get(), routing.get());
+  slot.publish(routing);
+  EXPECT_EQ(slot.generation(), 2u);
+  underlay::SharedRoutingSlot empty;
+  EXPECT_EQ(empty.generation(), 0u);
+  EXPECT_EQ(empty.get(), nullptr);
+}
+
+}  // namespace
+}  // namespace uap2p::oracled

@@ -1,0 +1,68 @@
+# oracled-smoke: proves the oracle query service end-to-end with
+# uap2p_oracled against a committed fixture and golden.
+#
+#  1. Serve the committed request fixture with the default 2-worker pool
+#     and byte-diff the ranked output against the committed golden.
+#  2. Serve it again with 4 workers AND a snapshot republish every 64
+#     requests (--swap-every): ranking is a pure function of (snapshot,
+#     request), so the output must stay byte-identical through every
+#     worker interleaving and swap.
+#
+# Usage: cmake -DORACLED_TOOL=<uap2p_oracled> -DFIXTURE=<requests.txt>
+#        -DGOLDEN=<ranked.txt> -DWORKDIR=<dir> -P check_oracled_smoke.cmake
+foreach(var ORACLED_TOOL FIXTURE GOLDEN WORKDIR)
+  if(NOT ${var})
+    message(FATAL_ERROR "pass -D${var}=...")
+  endif()
+endforeach()
+
+# The fixture was generated for the default transit-stub topology; the
+# serve runs must describe the same one (these are uap2p_oracled's
+# defaults, spelled out so a default drift fails loudly here).
+set(topo_flags --generator=transit-stub --transit=3 --stubs=5
+    --peering=0.3 --topo-seed=1 --routers-per-as=3)
+
+set(out_serial "${WORKDIR}/oracled_ranked_serial.txt")
+execute_process(
+  COMMAND "${ORACLED_TOOL}" serve "--requests=${FIXTURE}"
+          "--out=${out_serial}" --workers=2 ${topo_flags}
+  OUTPUT_VARIABLE serve_out ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_rc)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "oracled serve failed (rc=${serve_rc}):\n"
+    "${serve_out}${serve_err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${out_serial}" "${GOLDEN}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "ranked output differs from golden ${GOLDEN}.\n"
+    "If the ranking contract changed intentionally, regenerate with:\n"
+    "  uap2p_oracled serve --requests=${FIXTURE} --out=${GOLDEN}")
+endif()
+
+set(out_swapped "${WORKDIR}/oracled_ranked_swapped.txt")
+execute_process(
+  COMMAND "${ORACLED_TOOL}" serve "--requests=${FIXTURE}"
+          "--out=${out_swapped}" --workers=4 --swap-every=64 ${topo_flags}
+  OUTPUT_VARIABLE swap_out ERROR_VARIABLE swap_err
+  RESULT_VARIABLE swap_rc)
+if(NOT swap_rc EQUAL 0)
+  message(FATAL_ERROR "oracled serve --swap-every failed (rc=${swap_rc}):\n"
+    "${swap_out}${swap_err}")
+endif()
+if(NOT "${swap_err}" MATCHES "swaps")
+  message(FATAL_ERROR "serve did not report swap activity:\n${swap_err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${out_swapped}" "${GOLDEN}"
+  RESULT_VARIABLE swap_diff_rc)
+if(NOT swap_diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "ranked output changed under --workers=4 --swap-every=64: the service "
+    "leaked scheduling or swap timing into results")
+endif()
+
+message(STATUS "oracled-smoke ok: golden match with 2 workers, and "
+  "byte-identical under 4 workers + snapshot swaps")

@@ -1,0 +1,305 @@
+// uap2p_oracled — the oracle query service as a command-line daemon
+// harness (src/oracle/service.hpp, DESIGN.md "Oracle service").
+//
+//   uap2p_oracled gen-requests --out=FILE --requests=N [--candidates=K]
+//                 [--peers=N] [--seed=S] [topology flags]
+//   uap2p_oracled serve --requests=FILE --out=FILE [--workers=N]
+//                 [--ring=N] [--batch=N] [--swap-every=N] [topology flags]
+//
+// Topology flags match uap2p_snapshot (defaults in brackets):
+//   --generator=transit-stub|mesh|ring|star|tree   [transit-stub]
+//   --topo-seed=N [1]  --routers-per-as=N [3]
+//   --transit=N [3] --stubs=N [5] --peering=P [0.3]
+//   --ases=N [60] --edge-prob=P [0.1] --branching=N [2]
+//
+// `gen-requests` writes a deterministic request file (splitmix64 over
+// --seed; no std::random distribution, so the bytes are identical on any
+// platform). `serve` warms a SharedRouting for the same topology, starts
+// an OracleService, pushes every request through the worker pool, and
+// writes one line of ranked peer ids per request in input order. Ranking
+// is a pure function of (snapshot, request), so the output is
+// byte-identical for any --workers value — and for any --swap-every
+// cadence, which republishes an identically-built snapshot mid-serve to
+// exercise the swap path. The oracled-smoke CTest gate byte-diffs both
+// against a committed golden.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "oracle/service.hpp"
+#include "underlay/routing.hpp"
+#include "underlay/topology.hpp"
+
+using namespace uap2p;
+using namespace uap2p::underlay;
+using namespace uap2p::oracled;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string out;
+  std::string requests_file;
+  std::size_t requests = 256;
+  std::size_t candidates = 8;
+  std::size_t peers = 4096;
+  std::uint64_t seed = 42;
+  std::size_t workers = 2;
+  std::size_t ring = 1024;
+  std::size_t batch = 64;
+  std::size_t swap_every = 0;
+  // Topology flags (uap2p_snapshot's vocabulary).
+  std::string generator = "transit-stub";
+  std::uint64_t topo_seed = 1;
+  std::size_t routers_per_as = 3;
+  std::size_t transit = 3;
+  std::size_t stubs = 5;
+  double peering = 0.3;
+  std::size_t ases = 60;
+  double edge_prob = 0.1;
+  std::size_t branching = 2;
+};
+
+bool parse(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    const auto value = [&](std::string_view prefix) -> const char* {
+      return arg.rfind(prefix, 0) == 0 ? argv[i] + prefix.size() : nullptr;
+    };
+    if (const char* v = value("--out=")) args.out = v;
+    else if (const char* v = value("--requests=")) {
+      // gen-requests counts; serve takes a file path.
+      if (args.command == "serve") args.requests_file = v;
+      else args.requests = std::strtoull(v, nullptr, 10);
+    }
+    else if (const char* v = value("--candidates=")) args.candidates = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--peers=")) args.peers = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--seed=")) args.seed = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--workers=")) args.workers = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--ring=")) args.ring = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--batch=")) args.batch = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--swap-every=")) args.swap_every = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--generator=")) args.generator = v;
+    else if (const char* v = value("--topo-seed=")) args.topo_seed = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--routers-per-as=")) args.routers_per_as = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--transit=")) args.transit = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--stubs=")) args.stubs = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--peering=")) args.peering = std::strtod(v, nullptr);
+    else if (const char* v = value("--ases=")) args.ases = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--edge-prob=")) args.edge_prob = std::strtod(v, nullptr);
+    else if (const char* v = value("--branching=")) args.branching = std::strtoull(v, nullptr, 10);
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return args.command == "gen-requests" || args.command == "serve";
+}
+
+AsTopology make_topology(const Args& args) {
+  TopologyConfig config;
+  config.seed = args.topo_seed;
+  config.routers_per_as = args.routers_per_as;
+  if (args.generator == "transit-stub") {
+    return AsTopology::transit_stub(args.transit, args.stubs, args.peering,
+                                    config);
+  }
+  if (args.generator == "mesh") {
+    return AsTopology::mesh(args.ases, args.edge_prob, config);
+  }
+  if (args.generator == "ring") return AsTopology::ring(args.ases, config);
+  if (args.generator == "star") return AsTopology::star(args.ases, config);
+  if (args.generator == "tree") {
+    return AsTopology::tree(args.ases, args.branching, config);
+  }
+  std::fprintf(stderr, "unknown generator: %s\n", args.generator.c_str());
+  std::exit(2);
+}
+
+/// Platform-stable generator for the request fixture (std:: distributions
+/// are not byte-stable across standard libraries).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int cmd_gen_requests(const Args& args) {
+  const AsTopology topo = make_topology(args);
+  const std::uint64_t routers = topo.router_count();
+  std::FILE* out = std::fopen(args.out.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", args.out.c_str());
+    return 1;
+  }
+  std::fprintf(out, "# uap2p_oracled requests v1\n");
+  std::uint64_t state = args.seed;
+  for (std::size_t r = 0; r < args.requests; ++r) {
+    const std::uint64_t client = splitmix64(state) % routers;
+    std::fprintf(out, "%llu %zu", (unsigned long long)client, args.candidates);
+    for (std::size_t c = 0; c < args.candidates; ++c) {
+      const std::uint64_t peer = splitmix64(state) % args.peers;
+      const std::uint64_t router = splitmix64(state) % routers;
+      std::fprintf(out, " %llu:%llu", (unsigned long long)peer,
+                   (unsigned long long)router);
+    }
+    std::fputc('\n', out);
+  }
+  std::fclose(out);
+  std::printf("wrote %zu requests (%zu candidates each, %llu routers) to %s\n",
+              args.requests, args.candidates, (unsigned long long)routers,
+              args.out.c_str());
+  return 0;
+}
+
+struct ParsedRequests {
+  // RankRequest carries an atomic (not movable), so the arena is a fixed
+  // array sized once after parsing.
+  std::unique_ptr<RankRequest[]> requests;
+  std::size_t count = 0;
+  std::vector<Candidate> candidates;  ///< One arena; requests point into it.
+  std::vector<std::uint32_t> ranked;  ///< Output arena.
+};
+
+bool load_requests(const std::string& path, ParsedRequests& parsed) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  struct Raw {
+    std::uint32_t client;
+    std::size_t first;
+    std::uint32_t count;
+  };
+  std::vector<Raw> raw;
+  char line[1 << 16];
+  while (std::fgets(line, sizeof line, in) != nullptr) {
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') continue;
+    char* cursor = line;
+    const unsigned long long client = std::strtoull(cursor, &cursor, 10);
+    const unsigned long long count = std::strtoull(cursor, &cursor, 10);
+    Raw r{std::uint32_t(client), parsed.candidates.size(), std::uint32_t(count)};
+    for (unsigned long long c = 0; c < count; ++c) {
+      const unsigned long long peer = std::strtoull(cursor, &cursor, 10);
+      if (*cursor != ':') {
+        std::fprintf(stderr, "malformed request line: %s", line);
+        std::fclose(in);
+        return false;
+      }
+      ++cursor;
+      const unsigned long long router = std::strtoull(cursor, &cursor, 10);
+      parsed.candidates.push_back(
+          Candidate{std::uint32_t(peer), std::uint32_t(router)});
+    }
+    raw.push_back(r);
+  }
+  std::fclose(in);
+  // The candidate arena is final; now the pointers are stable.
+  parsed.ranked.assign(parsed.candidates.size(), 0);
+  parsed.count = raw.size();
+  parsed.requests = std::make_unique<RankRequest[]>(parsed.count);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    RankRequest& req = parsed.requests[i];
+    req.client_router = raw[i].client;
+    req.candidate_count = raw[i].count;
+    req.candidates = parsed.candidates.data() + raw[i].first;
+    req.ranked = parsed.ranked.data() + raw[i].first;
+  }
+  return true;
+}
+
+int cmd_serve(const Args& args) {
+  if (args.requests_file.empty()) {
+    std::fprintf(stderr, "serve needs --requests=FILE\n");
+    return 2;
+  }
+  ParsedRequests parsed;
+  if (!load_requests(args.requests_file, parsed)) return 1;
+
+  const AsTopology topo = make_topology(args);
+  auto snapshot = SharedRouting::build(topo, /*threads=*/0);
+  // A second, identically-built snapshot lets --swap-every exercise the
+  // publication path on every cadence tick without mid-serve warm-up cost;
+  // the ranked output must stay byte-identical through every swap.
+  std::shared_ptr<const SharedRouting> alternate;
+  if (args.swap_every != 0) {
+    alternate = SharedRouting::build(make_topology(args), /*threads=*/0);
+  }
+
+  ServiceConfig config;
+  config.workers = args.workers;
+  config.ring_capacity = args.ring;
+  config.max_batch = args.batch;
+  OracleService service(snapshot, config);
+
+  std::size_t swaps = 0;
+  for (std::size_t i = 0; i < parsed.count; ++i) {
+    RankRequest* req = &parsed.requests[i];
+    while (!service.submit(req)) {
+      // Ring full (tiny --ring values): the service is draining; retry.
+      std::this_thread::yield();
+    }
+    if (args.swap_every != 0 && (i + 1) % args.swap_every == 0) {
+      service.publish((++swaps % 2 != 0) ? alternate : snapshot);
+    }
+  }
+  for (std::size_t i = 0; i < parsed.count; ++i) {
+    wait_terminal(parsed.requests[i]);
+  }
+  service.stop();
+
+  std::FILE* out = std::fopen(args.out.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", args.out.c_str());
+    return 1;
+  }
+  for (std::size_t i = 0; i < parsed.count; ++i) {
+    const RankRequest& req = parsed.requests[i];
+    if (req.state.load(std::memory_order_acquire) != RequestState::kDone) {
+      std::fprintf(out, "SHED\n");
+      continue;
+    }
+    for (std::uint32_t i = 0; i < req.candidate_count; ++i) {
+      std::fprintf(out, i == 0 ? "%u" : " %u", req.ranked[i]);
+    }
+    std::fputc('\n', out);
+  }
+  std::fclose(out);
+  std::fprintf(stderr,
+               "served %zu requests (%llu completed, %llu shed, %llu swaps "
+               "observed) with %zu workers\n",
+               parsed.count,
+               (unsigned long long)service.completed(),
+               (unsigned long long)(service.shed_admission() +
+                                    service.shed_deadline()),
+               (unsigned long long)service.swaps_observed(), args.workers);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) {
+    std::fprintf(stderr,
+                 "usage: uap2p_oracled <gen-requests|serve> --out=FILE "
+                 "[--requests=N|FILE] [service/topology flags]\n");
+    return 2;
+  }
+  if (args.out.empty()) {
+    std::fprintf(stderr, "missing --out=\n");
+    return 2;
+  }
+  if (args.command == "gen-requests") return cmd_gen_requests(args);
+  return cmd_serve(args);
+}
