@@ -112,17 +112,22 @@ inline void parse_flags(int argc, char** argv) {
 }
 
 /// Cache filename for a (generator, params, seed) routing key:
-/// "<generator>_<params>_seed<seed>.uap2psnap" with every character
-/// outside [A-Za-z0-9._-] mapped to '-' so arbitrary param strings stay
-/// filesystem-safe.
+/// "<generator>_<params>_seed<seed>_fmt<version>.uap2psnap" with every
+/// character outside [A-Za-z0-9._-] mapped to '-' so arbitrary param
+/// strings stay filesystem-safe. The snapshot format version is part of
+/// the key: after a format bump, old cache files become clean misses
+/// (first run re-warms and writes the new name) instead of load-time
+/// rejections, so a stale-format cache never silently eats a full
+/// re-warm on every run without the miss being visible in the dir.
 inline std::string snapshot_cache_name(std::string_view generator,
                                        std::string_view params,
                                        std::uint64_t seed) {
   std::string name;
-  name.reserve(generator.size() + params.size() + 32);
+  name.reserve(generator.size() + params.size() + 40);
   name.append(generator).push_back('_');
   name.append(params);
   name += "_seed" + std::to_string(seed);
+  name += "_fmt" + std::to_string(underlay::snapshot::kFormatVersion);
   for (char& c : name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';

@@ -102,14 +102,26 @@ static void BM_RoutingColdDijkstra(benchmark::State& state) {
 }
 BENCHMARK(BM_RoutingColdDijkstra)->Arg(5)->Arg(20)->Arg(60)->Arg(200)->Arg(1000);
 
+// Transit-stub underlay sized to ~`routers` total routers (10 providers,
+// 3 routers/AS): the topology family the hierarchical preprocessing
+// contracts, shared by the flat/hier warm-all pair below so their rows —
+// byte-identical by the routing property suite — are timed on identical
+// inputs.
+static underlay::AsTopology warm_bench_topology(std::size_t routers) {
+  const std::size_t transit = 10;
+  const std::size_t stubs_per_transit = (routers / 3 - transit) / transit;
+  return underlay::AsTopology::transit_stub(transit, stubs_per_transit, 0.3);
+}
+
 static void BM_RoutingWarmAll(benchmark::State& state) {
   // Batch all-pairs warm-up over the process pool: the provider-side
   // precompute a P4P/oracle deployment would run per topology snapshot.
-  // Arg = AS count on a sparse mesh (~8 inter-AS links per AS); /1000 is
-  // the scale target — 3000 sources routed all-pairs in O(N^2) memory.
-  const auto ases = static_cast<std::size_t>(state.range(0));
+  // Arg = target router count on a 10-provider transit-stub underlay;
+  // /3000 is the flat path's scale wall (quadratic state beyond it), and
+  // there is deliberately no /10000 row — at that size only the
+  // hierarchical warm (BM_RoutingWarmAllHier) fits the smoke budget.
   const underlay::AsTopology topo =
-      underlay::AsTopology::mesh(ases, 8.0 / double(ases));
+      warm_bench_topology(std::size_t(state.range(0)));
   (void)topo.csr();  // charge the one-off CSR build to setup, not the loop
   for (auto _ : state) {
     underlay::RoutingTable routing(topo);
@@ -121,10 +133,63 @@ static void BM_RoutingWarmAll(benchmark::State& state) {
   state.SetLabel(std::to_string(topo.router_count()) + " routers");
 }
 BENCHMARK(BM_RoutingWarmAll)
-    ->Arg(60)
-    ->Arg(200)
     ->Arg(1000)
+    ->Arg(3000)
     ->Unit(benchmark::kMillisecond);
+
+static void BM_RoutingWarmAllHier(benchmark::State& state) {
+  // The same warm-up through the hierarchical path (DESIGN.md
+  // "Hierarchical routing"): pendant + stub-group contraction, Dijkstra
+  // only over the transit core, exact aggregate re-expansion. Rows are
+  // byte-identical to BM_RoutingWarmAll on the same topology; /10000 is
+  // the row the flat path has no entry for. The first iteration builds
+  // the contraction plan (cached on the topology thereafter) and faults
+  // in a fresh row arena (recycled across tables thereafter), so the
+  // reported mean is the steady state an oracle deployment re-warming
+  // per topology snapshot actually sees.
+  const underlay::AsTopology topo =
+      warm_bench_topology(std::size_t(state.range(0)));
+  (void)topo.csr();
+  for (auto _ : state) {
+    underlay::RoutingTable routing(topo);
+    routing.warm_all_hierarchical();
+    benchmark::DoNotOptimize(routing.cached_sources());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          std::int64_t(topo.router_count()));  // sources
+  state.SetLabel(std::to_string(topo.router_count()) + " routers");
+}
+BENCHMARK(BM_RoutingWarmAllHier)
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_AltQuery(benchmark::State& state) {
+  // ALT-pruned point-to-point queries (RoutingTable::point_path) on a
+  // cold table: landmark lower bounds + early exit keep a single query
+  // far under a full Dijkstra row, for callers that need a handful of
+  // pairs and not the all-pairs warm. Items = queries.
+  const underlay::AsTopology topo = warm_bench_topology(3000);
+  (void)topo.csr();
+  underlay::RoutingTable routing(topo);
+  (void)routing.ensure_landmarks();  // charge landmark build to setup
+  const auto n = static_cast<std::uint32_t>(topo.router_count());
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;  // splitmix-style pair stream
+  for (auto _ : state) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const auto a = RouterId(std::uint32_t(z % n));
+    const auto b = RouterId(std::uint32_t((z >> 32) % n));
+    benchmark::DoNotOptimize(routing.point_path(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(n) + " routers");
+}
+BENCHMARK(BM_AltQuery);
 
 // Snapshot files for BM_SnapshotLoad / BM_SnapshotOpenVerify, written once
 // per (router-count) arg into the snapshot dir (or a temp dir when no

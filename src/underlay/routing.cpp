@@ -1,165 +1,21 @@
 #include "underlay/routing.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 #include <cstring>
 #include <utility>
 
 #include "common/thread_pool.hpp"
+#include "underlay/calendar_queue.hpp"
+#include "underlay/hierarchy.hpp"
 #include "underlay/snapshot.hpp"
 
 namespace uap2p::underlay {
 
 namespace {
 
-/// Order-preserving bit image of a non-negative double: for 0 <= a, b,
-/// a < b iff enc(a) < enc(b). Lets the queue compare distances as u64.
-[[nodiscard]] std::uint64_t enc(double value) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &value, sizeof(bits));
-  return bits;
-}
-
-/// Monotone calendar queue for Dijkstra: 512 circular buckets of width
-/// max_edge_weight / 256. Dijkstra's frontier only spans one edge weight
-/// beyond the current minimum, so live keys occupy at most 256 buckets and
-/// bucket indices never collide across epochs. Push appends to an
-/// intrusive per-bucket list (three stores); pop drains buckets in cursor
-/// order, restoring the exact global (distance, router id) order by
-/// sorting each bucket's handful of entries as it is reached. Entries
-/// pushed into the bucket currently being drained (weight < one bucket
-/// width) sorted-insert into the not-yet-emitted tail, which reproduces a
-/// binary heap's semantics exactly: every pop yields the minimum of the
-/// entries present. Compared to a d-ary heap this removes the O(log n)
-/// compare/swap chain from both ends of the hot loop.
-class CalendarQueue {
- public:
-  struct Slot {
-    std::uint64_t key;   ///< enc(distance).
-    std::uint32_t node;
-    std::uint32_t next;  ///< Intrusive bucket chain (index into pool).
-  };
-
-  /// `max_weight` is the largest edge latency; `max_pushes` bounds the
-  /// number of pushes (improving relaxations <= directed edge count).
-  void reset(double max_weight, std::size_t max_pushes) {
-    if (pool_.size() < max_pushes + 1) pool_.resize(max_pushes + 1);
-    pool_used_ = 0;
-    std::memset(head_, 0xFF, sizeof(head_));
-    std::memset(occupied_, 0, sizeof(occupied_));
-    inv_width_ = max_weight > 0.0 ? double(kBuckets / 2) / max_weight : 1.0;
-    cursor_ = 0;
-    count_ = 0;
-    pending_.clear();
-    pending_at_ = 0;
-  }
-
-  /// Seeds the source at distance 0 (cursor starts on its bucket).
-  void seed(std::uint32_t node) {
-    pending_.push_back(Slot{0, node, 0});
-    count_ = 1;
-  }
-
-  [[nodiscard]] std::uint32_t size() const { return count_; }
-
-  void push(double distance, std::uint32_t node) {
-    const auto bucket_abs = static_cast<std::uint64_t>(distance * inv_width_);
-    ++count_;
-    if (bucket_abs != cursor_) [[likely]] {
-      const auto b = static_cast<std::uint32_t>(bucket_abs) & (kBuckets - 1);
-      pool_[pool_used_] = Slot{enc(distance), node, head_[b]};
-      head_[b] = pool_used_++;
-      occupied_[b >> 6] |= 1ull << (b & 63);
-      return;
-    }
-    // Lands in the bucket being drained: sorted-insert after the emitted
-    // prefix (its key is >= every already-popped key by monotonicity).
-    const Slot slot{enc(distance), node, 0};
-    std::size_t pos = pending_.size();
-    pending_.push_back(slot);
-    while (pos > pending_at_ && slot_before(slot, pending_[pos - 1])) {
-      pending_[pos] = pending_[pos - 1];
-      --pos;
-    }
-    pending_[pos] = slot;
-  }
-
-  Slot pop() {
-    --count_;
-    if (pending_at_ < pending_.size()) [[likely]] {
-      return pending_[pending_at_++];
-    }
-    advance_cursor();
-    const auto b = static_cast<std::uint32_t>(cursor_) & (kBuckets - 1);
-    std::uint32_t index = head_[b];
-    head_[b] = UINT32_MAX;
-    occupied_[b >> 6] &= ~(1ull << (b & 63));
-    const Slot first = pool_[index];
-    index = first.next;
-    pending_.clear();
-    pending_at_ = 0;
-    if (index == UINT32_MAX) [[likely]] return first;  // one-entry bucket
-    // Gather the chain and sort it (insertion sort for the common tiny
-    // case; buckets can get large on uniform-latency topologies where a
-    // whole BFS wavefront shares one distance).
-    pending_.push_back(first);
-    for (; index != UINT32_MAX; index = pool_[index].next) {
-      pending_.push_back(pool_[index]);
-    }
-    if (pending_.size() <= 32) {
-      for (std::size_t i = 1; i < pending_.size(); ++i) {
-        const Slot slot = pending_[i];
-        std::size_t pos = i;
-        while (pos > 0 && slot_before(slot, pending_[pos - 1])) {
-          pending_[pos] = pending_[pos - 1];
-          --pos;
-        }
-        pending_[pos] = slot;
-      }
-    } else {
-      std::sort(pending_.begin(), pending_.end(),
-                [](const Slot& a, const Slot& b) { return slot_before(a, b); });
-    }
-    pending_at_ = 1;
-    return pending_[0];
-  }
-
- private:
-  static constexpr std::uint32_t kBuckets = 512;
-
-  [[nodiscard]] static bool slot_before(const Slot& a, const Slot& b) {
-    return a.key != b.key ? a.key < b.key : a.node < b.node;
-  }
-
-  void advance_cursor() {
-    std::uint64_t bucket_abs = cursor_ + 1;
-    while (true) {
-      const auto b = static_cast<std::uint32_t>(bucket_abs) & (kBuckets - 1);
-      const std::uint32_t word_index = b >> 6;
-      const std::uint64_t word = occupied_[word_index] & (~0ull << (b & 63));
-      if (word != 0) {
-        const auto found = static_cast<std::uint32_t>(
-            (word_index << 6) | std::uint32_t(std::countr_zero(word)));
-        bucket_abs += (found - b) & (kBuckets - 1);
-        break;
-      }
-      bucket_abs += 64 - (b & 63);  // jump to the next bitmap word
-    }
-    cursor_ = bucket_abs;
-  }
-
-  std::vector<Slot> pool_;
-  std::uint32_t pool_used_ = 0;
-  std::uint32_t head_[kBuckets];
-  std::uint64_t occupied_[kBuckets / 64];
-  double inv_width_ = 1.0;
-  std::uint64_t cursor_ = 0;  ///< Absolute index of the bucket being drained.
-  std::uint32_t count_ = 0;
-  // Sorted not-yet-emitted entries of the cursor bucket.
-  std::vector<Slot> pending_;
-  std::size_t pending_at_ = 0;
-};
+using detail::CalendarQueue;
+using detail::enc;
 
 /// Reusable per-thread Dijkstra scratch. thread_local (not per-table) so a
 /// fresh RoutingTable pays no scratch allocation after the first run on a
@@ -206,7 +62,8 @@ void RoutingTable::compute_row(std::uint32_t src) {
   // source; reset to the reported 0 after the run.
   row[src] = DestEntry{0.0, std::numeric_limits<double>::max(), UINT32_MAX,
                        0,   0,
-                       0,   0};
+                       0,   0,
+                       0};
   s.queue.seed(src);
   std::size_t settled = 0;
 
@@ -249,7 +106,8 @@ void RoutingTable::compute_row(std::uint32_t src) {
     // Disconnected topology: stamp the rows relaxation never touched.
     for (std::size_t i = 0; i < n; ++i) {
       if (dist[i] == kUnreachableLatency) {
-        row[i] = DestEntry{kUnreachableLatency, 0.0, UINT32_MAX, 0, 0, 0, 0};
+        row[i] =
+            DestEntry{kUnreachableLatency, 0.0, UINT32_MAX, 0, 0, 0, 0, 0};
       }
     }
   }
@@ -413,7 +271,12 @@ std::shared_ptr<const SharedRouting> SharedRouting::build(AsTopology topology,
   std::shared_ptr<SharedRouting> shared(
       new SharedRouting(std::move(topology)));
   shared->topology_.warm_as_hops(threads);
-  shared->table_.warm_all(threads);
+  // The hierarchical warm is byte-identical to warm_all (gated by the
+  // routing property suite and the snapshot-roundtrip verify), so every
+  // SharedRouting consumer — benches, the oracle tier, snapshot writes —
+  // rides the contracted path for free.
+  shared->table_.warm_all_hierarchical(threads);
+  shared->table_.ensure_landmarks();
   return shared;
 }
 

@@ -51,6 +51,9 @@ namespace snapshot {
 class MappedSnapshot;  // underlay/snapshot.hpp
 }
 
+class HierarchyPlan;  // underlay/hierarchy.hpp
+class AltLandmarks;   // underlay/hierarchy.hpp
+
 /// Sentinel latency for unreachable router pairs. Callers must branch on
 /// PathInfo::reachable (or the checked accessors below) before summing
 /// latencies: adding anything to this value overflows to +inf.
@@ -93,6 +96,11 @@ class RoutingTable {
  public:
   explicit RoutingTable(const AsTopology& topology)
       : topology_(topology), rows_(topology.router_count()) {}
+  /// Retires the row arena (if any) to a process-global recycler so the
+  /// next hierarchical warm of the same size reuses its already-faulted
+  /// pages instead of paying the kernel's first-touch cost again.
+  ~RoutingTable();
+  RoutingTable(RoutingTable&&) = default;
 
   /// Per-destination aggregates for one source row. This is both the
   /// in-memory layout and the on-disk snapshot record (underlay/snapshot):
@@ -150,6 +158,48 @@ class RoutingTable {
   /// Same, dispatching on an explicit pool (runs inline when the pool has
   /// one thread or the caller is already a pool worker).
   void warm_all(ThreadPool& pool);
+
+  /// Hierarchical warm-up (underlay/hierarchy.hpp, DESIGN.md
+  /// "Hierarchical routing"): contracts pendants and stub groups onto
+  /// the transit core and expands them back by exact aggregate folding.
+  /// Byte-identical rows to warm_all — same floats, same tie-breaks —
+  /// gated by the reference-Dijkstra property suite; on topologies with
+  /// nothing to contract it degenerates to the flat warm. Same
+  /// determinism/threading contract as warm_all.
+  void warm_all_hierarchical(std::size_t threads = 0);
+  /// Same, dispatching on an explicit pool.
+  void warm_all_hierarchical(ThreadPool& pool);
+
+  /// Builds (once) and returns the contraction plan. Not thread-safe
+  /// against itself; the warm entry points call it before fanning out.
+  const HierarchyPlan& ensure_hierarchy();
+  /// The cached plan, or null if never built.
+  [[nodiscard]] std::shared_ptr<const HierarchyPlan> hierarchy() const {
+    return hierarchy_;
+  }
+
+  /// Builds (once) and returns the ALT landmark tables (a handful of
+  /// full Dijkstras; snapshots persist the result so loads skip them).
+  const AltLandmarks& ensure_landmarks();
+  /// The cached landmark tables, or null if never built/adopted.
+  [[nodiscard]] std::shared_ptr<const AltLandmarks> landmarks() const {
+    return landmarks_;
+  }
+  /// Adopts persisted landmark tables (snapshot load path).
+  void adopt_landmarks(std::shared_ptr<const AltLandmarks> landmarks) {
+    landmarks_ = std::move(landmarks);
+  }
+
+  /// Point-to-point query that never warms a row: an early-exit Dijkstra
+  /// pruned by ALT lower bounds, returning PathInfo byte-identical to
+  /// path(src, dst) on a warmed table. Builds the landmark tables on
+  /// first use; scratch is thread_local but the lazy build makes this a
+  /// non-const (single-writer) entry point like the lazy path().
+  [[nodiscard]] PathInfo point_path(RouterId src, RouterId dst);
+
+  /// The ALT lower bound itself (0 when landmarks are absent) — what
+  /// point_path prunes with; exposed for tests and coarse filtering.
+  [[nodiscard]] double alt_lower_bound(RouterId a, RouterId b) const;
 
   [[nodiscard]] bool warmed(RouterId src) const {
     return rows_[src.value()].entries != nullptr;
@@ -239,6 +289,16 @@ class RoutingTable {
   /// distinct sources (the topology CSR must be built first).
   void compute_row(std::uint32_t src);
 
+  /// Contracted equivalent of compute_row (underlay/hierarchy.cpp):
+  /// region Dijkstras + star/pendant folds, byte-identical output. Same
+  /// concurrency contract (plan built and shared read-only beforehand).
+  void compute_row_hierarchical(std::uint32_t src, const HierarchyPlan& plan);
+
+  /// Allocates the one-block backing image hierarchical warms write into
+  /// (no-op if any row is already cached). Called before the warm loop so
+  /// workers only read `row_arena_`.
+  void ensure_row_arena();
+
   [[nodiscard]] RouterId prev_router_of(const DestEntry& entry,
                                         RouterId node) const {
     const Link& link = topology_.link(entry.prev_link);
@@ -250,6 +310,20 @@ class RoutingTable {
   const AsTopology& topology_;
   std::vector<SourceRow> rows_;
   std::size_t cached_sources_ = 0;
+
+  /// Backing store for hierarchically warmed rows: one contiguous n²
+  /// image (madvised to huge pages) instead of n separate row
+  /// allocations. First-touch page faults on the O(n²) image otherwise
+  /// dominate the contracted warm; rows point into this with their
+  /// `owned` pointer left null, mirroring the snapshot adopt_rows shape.
+  std::unique_ptr<DestEntry[]> row_arena_;
+  std::size_t row_arena_count_ = 0;  ///< Entries in row_arena_.
+
+  // Hierarchical preprocessing products, built once and shared read-only
+  // (shared_ptr: HierarchyPlan/AltLandmarks are incomplete here, and
+  // snapshots/benches may hold them past the table).
+  std::shared_ptr<const HierarchyPlan> hierarchy_;
+  std::shared_ptr<const AltLandmarks> landmarks_;
 
   // Lazy as_path store: pair -> interned entry, hash -> chain head, and a
   // block arena whose blocks never reallocate once created — spans handed

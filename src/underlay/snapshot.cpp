@@ -1,5 +1,7 @@
 #include "underlay/snapshot.hpp"
 
+#include "underlay/hierarchy.hpp"
+
 #include <algorithm>
 #include <bit>
 #include <cstdio>
@@ -166,6 +168,9 @@ const char* to_string(SectionId id) {
     case SectionId::kCsrRouterAs: return "csr-router-as";
     case SectionId::kDestRows: return "dest-rows";
     case SectionId::kAsPathPairs: return "as-path-pairs";
+    case SectionId::kLandmarkIds: return "landmark-ids";
+    case SectionId::kLandmarkDists: return "landmark-dists";
+    case SectionId::kCoreOrder: return "core-order";
   }
   return "?";
 }
@@ -188,7 +193,7 @@ bool write(const AsTopology& topology, const RoutingTable& table,
   const AsTopology::RouterCsr& csr = topology.csr();
   const std::vector<std::uint64_t> pairs = table.materialized_pair_keys();
 
-  const SectionSpec specs[] = {
+  std::vector<SectionSpec> specs = {
       {SectionId::kCsrOffsets, csr.offsets.data(),
        csr.offsets.size() * sizeof(std::uint32_t)},
       {SectionId::kCsrHeads, csr.heads.data(),
@@ -207,7 +212,22 @@ bool write(const AsTopology& topology, const RoutingTable& table,
       {SectionId::kAsPathPairs, pairs.data(),
        pairs.size() * sizeof(std::uint64_t)},
   };
-  constexpr std::size_t kSectionCount = std::size(specs);
+  // v2 optional sections: only emitted when the table was warmed through
+  // the hierarchical path. A flat-warmed table writes a file whose section
+  // set matches v1 exactly (apart from the header version).
+  const std::shared_ptr<const AltLandmarks> landmarks = table.landmarks();
+  if (landmarks != nullptr && landmarks->count() > 0) {
+    specs.push_back({SectionId::kLandmarkIds, landmarks->ids().data(),
+                     landmarks->ids().size() * sizeof(std::uint32_t)});
+    specs.push_back({SectionId::kLandmarkDists, landmarks->dists().data(),
+                     landmarks->dists().size() * sizeof(double)});
+  }
+  const std::shared_ptr<const HierarchyPlan> plan = table.hierarchy();
+  if (plan != nullptr && !plan->core_order().empty()) {
+    specs.push_back({SectionId::kCoreOrder, plan->core_order().data(),
+                     plan->core_order().size() * sizeof(std::uint32_t)});
+  }
+  const std::size_t kSectionCount = specs.size();
 
   // Lay the sections out and hash them (rows are hashed per source row so
   // the O(N²) image never needs a contiguous staging copy).
@@ -351,6 +371,15 @@ std::span<const RoutingTable::DestEntry> MappedSnapshot::dest_rows() const {
 std::span<const std::uint64_t> MappedSnapshot::as_path_pairs() const {
   return typed<std::uint64_t>(SectionId::kAsPathPairs);
 }
+std::span<const std::uint32_t> MappedSnapshot::landmark_ids() const {
+  return typed<std::uint32_t>(SectionId::kLandmarkIds);
+}
+std::span<const double> MappedSnapshot::landmark_dists() const {
+  return typed<double>(SectionId::kLandmarkDists);
+}
+std::span<const std::uint32_t> MappedSnapshot::core_order() const {
+  return typed<std::uint32_t>(SectionId::kCoreOrder);
+}
 
 std::unique_ptr<MappedSnapshot> MappedSnapshot::open(const std::string& path,
                                                      std::string* error,
@@ -428,9 +457,10 @@ std::unique_ptr<MappedSnapshot> MappedSnapshot::open(const std::string& path,
     set_error(error, path + ": bad magic (not a uap2p snapshot)");
     return nullptr;
   }
-  if (header.version != kFormatVersion) {
+  if (header.version > kFormatVersion || header.version < kMinFormatVersion) {
     set_error(error, path + ": format version " +
-                         std::to_string(header.version) + ", expected " +
+                         std::to_string(header.version) + ", supported " +
+                         std::to_string(kMinFormatVersion) + ".." +
                          std::to_string(kFormatVersion));
     return nullptr;
   }
@@ -535,10 +565,39 @@ bool attach(const MappedSnapshot& snap, const AsTopology& topology,
       return false;
     }
   }
+  // v2 optional sections. A v1 file simply has none; a v2 file that
+  // carries them must be internally consistent with the router count, or
+  // it is corrupt (our writer cannot produce such a file).
+  const auto lm_ids = snap.landmark_ids();
+  const auto lm_dists = snap.landmark_dists();
+  if (lm_ids.empty() != lm_dists.empty() ||
+      lm_dists.size() != lm_ids.size() * n) {
+    set_error(error, "snapshot landmark sections are inconsistent (" +
+                         std::to_string(lm_ids.size()) + " ids, " +
+                         std::to_string(lm_dists.size()) + " distances)");
+    return false;
+  }
+  for (const std::uint32_t id : lm_ids) {
+    if (id >= n) {
+      set_error(error, "snapshot landmark id " + std::to_string(id) +
+                           " out of range");
+      return false;
+    }
+  }
+  const auto core = snap.core_order();
+  for (std::size_t i = 0; i < core.size(); ++i) {
+    if (core[i] >= n || (i > 0 && core[i] <= core[i - 1])) {
+      set_error(error, "snapshot core order is not ascending in [0, n)");
+      return false;
+    }
+  }
   table.adopt_rows(rows);
   // Stored keys are sorted by (src, dst), so the rebuilt intern table is
   // deterministic regardless of the query order that built the snapshot.
   table.materialize_pairs(pairs);
+  if (!lm_ids.empty()) {
+    table.adopt_landmarks(AltLandmarks::adopt(lm_ids, lm_dists, n));
+  }
   return true;
 }
 
@@ -573,6 +632,13 @@ std::shared_ptr<const SharedRouting> SharedRouting::load(
   }
   shared->mapped_ = std::move(mapped);
   shared->topology_.warm_as_hops(threads);
+  // attach() adopts persisted landmark tables (v2 files); a v1 snapshot
+  // carries none, so rebuild them here — K Dijkstras, noise next to the
+  // row image the snapshot just saved us — so load and build hand the
+  // oracle tier tables in the same state either way.
+  if (shared->table_.landmarks() == nullptr) {
+    shared->table_.ensure_landmarks();
+  }
   return shared;
 }
 

@@ -34,9 +34,15 @@ namespace uap2p::underlay::snapshot {
 
 /// "UAP2PSNP" little-endian.
 inline constexpr std::uint64_t kMagic = 0x504e535032504155ull;
-/// Bump on any layout change; loaders reject other versions (no
-/// migration — a snapshot is a cache, the fallback is a fresh warm).
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Bump on any layout change; loaders reject *newer* versions (no
+/// migration — a snapshot is a cache, the fallback is a fresh warm) but
+/// keep accepting every older version whose sections are a subset of the
+/// current layout. v2 added the optional hierarchical-preprocessing
+/// sections (landmark tables + contraction order); v1 files still load,
+/// they just carry no landmarks to adopt.
+inline constexpr std::uint32_t kFormatVersion = 2;
+/// Oldest version open() accepts.
+inline constexpr std::uint32_t kMinFormatVersion = 1;
 
 enum class SectionId : std::uint32_t {
   kCsrOffsets = 1,    ///< u32[router_count + 1]
@@ -48,6 +54,11 @@ enum class SectionId : std::uint32_t {
   kCsrRouterAs = 7,   ///< u32[router_count]
   kDestRows = 8,      ///< DestEntry[router_count²], source-major
   kAsPathPairs = 9,   ///< u64[pair_count], sorted (src << 32 | dst)
+  // v2 optional sections (hierarchical preprocessing, DESIGN.md
+  // "Hierarchical routing"):
+  kLandmarkIds = 10,   ///< u32[landmark_count]: ALT landmark router ids
+  kLandmarkDists = 11, ///< f64[landmark_count * router_count], row-major
+  kCoreOrder = 12,     ///< u32[core_count]: non-contracted routers, ascending
 };
 
 [[nodiscard]] const char* to_string(SectionId id);
@@ -126,6 +137,11 @@ class MappedSnapshot {
   [[nodiscard]] std::span<const std::uint32_t> csr_router_as() const;
   [[nodiscard]] std::span<const RoutingTable::DestEntry> dest_rows() const;
   [[nodiscard]] std::span<const std::uint64_t> as_path_pairs() const;
+  /// v2 optional sections; empty spans when absent (v1 files, or a table
+  /// that was warmed without hierarchical preprocessing).
+  [[nodiscard]] std::span<const std::uint32_t> landmark_ids() const;
+  [[nodiscard]] std::span<const double> landmark_dists() const;
+  [[nodiscard]] std::span<const std::uint32_t> core_order() const;
 
   [[nodiscard]] std::size_t file_bytes() const { return size_; }
 

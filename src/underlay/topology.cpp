@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/thread_pool.hpp"
+#include "underlay/hierarchy.hpp"
 
 namespace uap2p::underlay {
 
@@ -257,6 +258,15 @@ const AsTopology::RouterCsr& AsTopology::csr() const {
   csr_.offsets[n] = static_cast<std::uint32_t>(csr_.heads.size());
   csr_dirty_ = false;
   return csr_;
+}
+
+std::shared_ptr<const HierarchyPlan> AsTopology::hierarchy_plan() const {
+  // A dirty CSR means the topology mutated since the plan was built; the
+  // plan bakes edge payloads, so it must be dropped with the stale view.
+  if (csr_dirty_) hier_plan_ = nullptr;
+  (void)csr();
+  if (hier_plan_ == nullptr) hier_plan_ = HierarchyPlan::build(*this);
+  return hier_plan_;
 }
 
 const AsTopology::AsCsr& AsTopology::as_csr() const {

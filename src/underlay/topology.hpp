@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -22,6 +23,8 @@
 #include "underlay/geo.hpp"
 
 namespace uap2p::underlay {
+
+class HierarchyPlan;  // underlay/hierarchy.hpp
 
 /// Classification of a physical link, which drives the cost model (Fig. 2):
 /// transit traffic is billed per Mbps, peering links cost a flat
@@ -177,6 +180,16 @@ class AsTopology {
 
   [[nodiscard]] const TopologyConfig& config() const { return config_; }
 
+  /// Lazily built hierarchical-preprocessing plan (underlay/hierarchy.hpp):
+  /// pendant + stub-group contraction order and the per-source fold trees.
+  /// The plan is a pure function of the topology, so it lives here and is
+  /// shared by every RoutingTable over this topology — a rebuild (oracle
+  /// snapshot refresh, repeated warms in a bench loop) reuses it instead
+  /// of re-running the plan-time Dijkstras. Invalidated, like the CSR,
+  /// by any mutation. Same laziness contract as csr(): build before
+  /// sharing the topology across threads.
+  [[nodiscard]] std::shared_ptr<const HierarchyPlan> hierarchy_plan() const;
+
  private:
   explicit AsTopology(TopologyConfig config) : config_(std::move(config)) {}
 
@@ -203,6 +216,8 @@ class AsTopology {
   mutable bool as_csr_dirty_ = true;
   // Lazy per-source AS-hop caches.
   mutable std::vector<std::vector<std::size_t>> as_hop_cache_;
+  // Lazily built contraction plan; dropped whenever the CSR is dirty.
+  mutable std::shared_ptr<const HierarchyPlan> hier_plan_;
 };
 
 }  // namespace uap2p::underlay

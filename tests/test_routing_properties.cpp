@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <queue>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "underlay/hierarchy.hpp"
 #include "underlay/routing.hpp"
 
 namespace uap2p::underlay {
@@ -333,6 +335,157 @@ TEST(RoutingFlatCache, InternedSpansSurviveStoreGrowth) {
   ASSERT_EQ(early.size(), early_copy.size());
   for (std::size_t k = 0; k < early.size(); ++k)
     EXPECT_EQ(early[k], early_copy[k]);
+}
+
+// --- Hierarchical warm vs flat warm: byte identity -----------------------
+
+namespace {
+
+/// warm_all_hierarchical's whole contract: every DestEntry row must be
+/// byte-for-byte what warm_all computes — same IEEE-754 sums, same
+/// canonical tie-breaks — so snapshots, the bench cache, and the oracle
+/// tier can treat the warm paths as interchangeable.
+void expect_hier_rows_identical(const AsTopology& topo) {
+  RoutingTable flat(topo);
+  flat.warm_all();
+  RoutingTable hier(topo);
+  hier.warm_all_hierarchical();
+  const auto n = static_cast<std::uint32_t>(topo.router_count());
+  for (std::uint32_t src = 0; src < n; ++src) {
+    const auto flat_row = flat.row(RouterId(src));
+    const auto hier_row = hier.row(RouterId(src));
+    ASSERT_EQ(0, std::memcmp(flat_row.data(), hier_row.data(),
+                             n * sizeof(RoutingTable::DestEntry)))
+        << "row " << src << " diverges";
+  }
+}
+
+}  // namespace
+
+TEST_P(RoutingVsReferenceP, HierarchicalRowsBytesMatchFlat) {
+  expect_hier_rows_identical(make_topology());
+}
+
+TEST(RoutingHierarchical, RandomTransitStubRowsBytesMatchFlat) {
+  // The archetype the contraction targets, randomized across shape and
+  // seed: multiple providers, varying stub fanout and peering density.
+  for (int trial = 0; trial < 8; ++trial) {
+    TopologyConfig config;
+    config.seed = 9000 + trial;
+    config.routers_per_as = 2 + trial % 3;
+    expect_hier_rows_identical(AsTopology::transit_stub(
+        2 + trial % 3, 2 + trial, 0.15 * (trial % 4), config));
+  }
+}
+
+TEST(RoutingHierarchical, RandomMeshRowsBytesMatchFlat) {
+  // Meshes have no stub structure: the plan must degrade to inner-core
+  // Dijkstra (plus pendant contraction of internal routers) and still
+  // reproduce the flat bytes.
+  for (int trial = 0; trial < 4; ++trial) {
+    TopologyConfig config;
+    config.seed = 9100 + trial;
+    expect_hier_rows_identical(
+        AsTopology::mesh(6 + 3 * trial, 0.15 + 0.1 * trial, config));
+  }
+}
+
+TEST(RoutingHierarchical, DisconnectedIslandsMatchFlat) {
+  // Unreachable sweep parity: two mesh islands, cross-island rows must be
+  // stamped identically by both warm paths.
+  AsTopology topo;
+  const AsId as_l = topo.add_as("left", true, {50, 8});
+  const AsId as_r = topo.add_as("right", false, {10, 100});
+  std::vector<RouterId> left, right;
+  for (int i = 0; i < 4; ++i) left.push_back(topo.add_router(as_l, {50, 8}));
+  for (int i = 0; i < 4; ++i) right.push_back(topo.add_router(as_r, {10, 100}));
+  for (int i = 0; i < 3; ++i) {
+    topo.connect(left[i], left[i + 1], LinkType::kInternal, 1.0, 1000);
+    topo.connect(right[i], right[i + 1], LinkType::kInternal, 1.0, 1000);
+  }
+  expect_hier_rows_identical(topo);
+}
+
+TEST(RoutingHierarchical, PlanContractsTransitStub) {
+  // Sanity on the plan itself: the canonical transit-stub shape must
+  // actually contract (pendant internal routers + star stub groups), or
+  // the "speedup" rows in BENCH_micro.json would silently measure the
+  // flat path twice.
+  const AsTopology topo = AsTopology::transit_stub(4, 16, 0.3);
+  const auto plan = HierarchyPlan::build(topo);
+  EXPECT_TRUE(plan->contracted());
+  EXPECT_GT(plan->pendant_count(), 0u);
+  EXPECT_GT(plan->group_count(), 0u);
+  EXPECT_EQ(plan->star_group_count(), plan->group_count())
+      << "default transit-stub groups should all pass the star test";
+  EXPECT_LT(plan->inner_core().size(), topo.router_count() / 2)
+      << "most routers should be contracted away from the Dijkstra core";
+  // Contracted + core routers partition the graph.
+  std::size_t grouped = 0;
+  for (std::uint32_t v = 0; v < topo.router_count(); ++v) {
+    grouped += plan->group_of(v) != UINT32_MAX ? 1 : 0;
+  }
+  EXPECT_EQ(plan->core_order().size() + plan->pendant_count(),
+            topo.router_count());
+  EXPECT_EQ(grouped + plan->inner_core().size() + plan->pendant_count(),
+            topo.router_count());
+}
+
+TEST(RoutingAlt, LowerBoundNeverExceedsTrueDistance) {
+  const AsTopology topo = AsTopology::transit_stub(3, 8, 0.3);
+  RoutingTable table(topo);
+  table.warm_all();
+  const auto landmarks = AltLandmarks::build(topo);
+  const auto n = static_cast<std::uint32_t>(topo.router_count());
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = RouterId(std::uint32_t(rng.uniform(n)));
+    const auto b = RouterId(std::uint32_t(rng.uniform(n)));
+    const PathInfo info = table.path(a, b);
+    if (!info.reachable) continue;
+    const double lb = landmarks->lower_bound(a.value(), b.value());
+    const double ub = landmarks->upper_bound(a.value(), b.value());
+    // The float slack the point_path prune budgets for is far below 1e-6
+    // at these sizes.
+    EXPECT_LE(lb, info.latency_ms + 1e-6) << a.value() << "->" << b.value();
+    EXPECT_GE(ub, info.latency_ms - 1e-6) << a.value() << "->" << b.value();
+  }
+}
+
+TEST_P(RoutingVsReferenceP, PointPathBytesMatchWarmedPath) {
+  const AsTopology topo = make_topology();
+  RoutingTable warmed(topo);
+  warmed.warm_all();
+  RoutingTable lazy(topo);  // point_path must not warm any row
+  const auto n = static_cast<std::uint32_t>(topo.router_count());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const PathInfo expected = warmed.path(RouterId(i), RouterId(j));
+      const PathInfo got = lazy.point_path(RouterId(i), RouterId(j));
+      expect_bit_identical(got, expected, i, j);
+    }
+  }
+  EXPECT_EQ(lazy.cached_sources(), 0u) << "point_path warmed a row";
+}
+
+TEST(RoutingAlt, PointPathOnRandomTransitStubs) {
+  for (int trial = 0; trial < 3; ++trial) {
+    TopologyConfig config;
+    config.seed = 9500 + trial;
+    const AsTopology topo =
+        AsTopology::transit_stub(3, 5 + trial, 0.3, config);
+    RoutingTable warmed(topo);
+    warmed.warm_all();
+    RoutingTable lazy(topo);
+    const auto n = static_cast<std::uint32_t>(topo.router_count());
+    Rng rng(trial);
+    for (int q = 0; q < 300; ++q) {
+      const auto a = RouterId(std::uint32_t(rng.uniform(n)));
+      const auto b = RouterId(std::uint32_t(rng.uniform(n)));
+      expect_bit_identical(lazy.point_path(a, b), warmed.path(a, b),
+                           a.value(), b.value());
+    }
+  }
 }
 
 TEST(RoutingRandomGraphs, HandMadeMultiEdgePicksCheapest) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "underlay/hierarchy.hpp"
 #include "underlay/routing.hpp"
 #include "underlay/topology.hpp"
 
@@ -293,6 +294,113 @@ TEST(Snapshot, WriteRefusesUnwarmedTable) {
   std::string error;
   EXPECT_FALSE(snapshot::write(topo, cold, temp_path("unwarmed"), &error));
   EXPECT_FALSE(error.empty());
+}
+
+TEST(Snapshot, V2RoundTripAdoptsLandmarks) {
+  // A hierarchically warmed table with landmark tables writes the three
+  // v2 sections; SharedRouting::load adopts the landmarks verbatim
+  // instead of re-running the K landmark Dijkstras.
+  const AsTopology topo = AsTopology::transit_stub(3, 6, 0.3);
+  const std::string path = temp_path("v2_landmarks");
+  RoutingTable table(topo);
+  table.warm_all_hierarchical();
+  const AltLandmarks& built = table.ensure_landmarks();
+  std::string error;
+  ASSERT_TRUE(snapshot::write(topo, table, path, &error)) << error;
+
+  const auto snap = snapshot::MappedSnapshot::open(
+      path, &error, snapshot::MappedSnapshot::Verify::kAlways);
+  ASSERT_NE(snap, nullptr) << error;
+  EXPECT_EQ(snap->header().version, snapshot::kFormatVersion);
+  EXPECT_EQ(snap->sections().size(), std::size_t(12));
+  ASSERT_EQ(snap->landmark_ids().size(), built.count());
+  ASSERT_EQ(snap->landmark_dists().size(),
+            std::size_t(built.count()) * topo.router_count());
+  EXPECT_FALSE(snap->core_order().empty());
+
+  const auto shared = SharedRouting::load(topo, path, 1, &error);
+  ASSERT_NE(shared, nullptr) << error;
+  const auto adopted = shared->table().landmarks();
+  ASSERT_NE(adopted, nullptr);
+  ASSERT_EQ(adopted->count(), built.count());
+  ASSERT_EQ(adopted->router_count(), built.router_count());
+  EXPECT_EQ(std::memcmp(adopted->ids().data(), built.ids().data(),
+                        built.ids().size_bytes()),
+            0);
+  EXPECT_EQ(std::memcmp(adopted->dists().data(), built.dists().data(),
+                        built.dists().size_bytes()),
+            0);
+  const auto last = std::uint32_t(topo.router_count() - 1);
+  EXPECT_DOUBLE_EQ(adopted->lower_bound(0, last), built.lower_bound(0, last));
+  EXPECT_DOUBLE_EQ(adopted->upper_bound(0, last), built.upper_bound(0, last));
+}
+
+TEST(Snapshot, FlatWarmedWriteCarriesNoV2Sections) {
+  // A flat-warmed table has neither landmarks nor a hierarchy plan, so a
+  // v2 writer emits exactly the v1 section set (only the header version
+  // differs) and a load simply finds no landmarks to adopt.
+  const AsTopology topo = AsTopology::mesh(8, 0.5);
+  const std::string path = temp_path("v2_flat");
+  write_snapshot(topo, path);
+
+  std::string error;
+  const auto snap = snapshot::MappedSnapshot::open(
+      path, &error, snapshot::MappedSnapshot::Verify::kAlways);
+  ASSERT_NE(snap, nullptr) << error;
+  EXPECT_EQ(snap->sections().size(), std::size_t(9));
+  EXPECT_TRUE(snap->landmark_ids().empty());
+  EXPECT_TRUE(snap->landmark_dists().empty());
+  EXPECT_TRUE(snap->core_order().empty());
+  RoutingTable loaded(topo);
+  ASSERT_TRUE(snapshot::attach(*snap, topo, loaded, &error)) << error;
+  EXPECT_EQ(loaded.landmarks(), nullptr);
+}
+
+TEST(Snapshot, AcceptsOlderFormatVersion) {
+  // Loaders accept every version back to kMinFormatVersion: rewrite a
+  // fresh file's header as v1 (re-sealing header_hash, which covers the
+  // version field) and check that open/attach/load all still work, with
+  // the landmark tables rebuilt rather than adopted.
+  const AsTopology topo = AsTopology::mesh(8, 0.5);
+  const std::string path = temp_path("v1_src");
+  write_snapshot(topo, path);
+
+  std::vector<char> bytes = read_file(path);
+  // Header layout: version u32 at offset 8, section_count u32 at 12,
+  // header_hash u64 at 56 — the hash of header + section table with the
+  // hash field itself zeroed, which content_hash reproduces because the
+  // two regions are contiguous in the file.
+  std::uint32_t version = snapshot::kMinFormatVersion;
+  std::memcpy(bytes.data() + 8, &version, sizeof(version));
+  std::uint32_t section_count = 0;
+  std::memcpy(&section_count, bytes.data() + 12, sizeof(section_count));
+  const std::size_t sealed_bytes =
+      sizeof(snapshot::Header) + section_count * sizeof(snapshot::SectionRecord);
+  ASSERT_LE(sealed_bytes, bytes.size());
+  std::memset(bytes.data() + 56, 0, sizeof(std::uint64_t));
+  const std::uint64_t header_hash =
+      snapshot::content_hash(bytes.data(), sealed_bytes);
+  std::memcpy(bytes.data() + 56, &header_hash, sizeof(header_hash));
+  const std::string old_path = temp_path("v1_patched");
+  write_file(old_path, bytes);
+
+  std::string error;
+  const auto snap = snapshot::MappedSnapshot::open(
+      old_path, &error, snapshot::MappedSnapshot::Verify::kAlways);
+  ASSERT_NE(snap, nullptr) << error;
+  EXPECT_EQ(snap->header().version, snapshot::kMinFormatVersion);
+  EXPECT_TRUE(snap->landmark_ids().empty());
+
+  RoutingTable loaded(topo);
+  ASSERT_TRUE(snapshot::attach(*snap, topo, loaded, &error)) << error;
+  EXPECT_EQ(loaded.cached_sources(), topo.router_count());
+  EXPECT_EQ(loaded.landmarks(), nullptr);
+
+  const auto shared = SharedRouting::load(topo, old_path, 1, &error);
+  ASSERT_NE(shared, nullptr) << error;
+  EXPECT_TRUE(shared->snapshot_backed());
+  // load() rebuilds the landmark tables an old-format file cannot carry.
+  EXPECT_NE(shared->table().landmarks(), nullptr);
 }
 
 TEST(Snapshot, ContentHashIsStableAndSensitive) {

@@ -12,8 +12,9 @@
 //   --ases=N [60] --edge-prob=P [0.1]                 (mesh/ring/star/tree)
 //   --branching=N [2]                                 (tree)
 //
-// `write` generates the topology, batch-warms all-pairs routing, and
-// serializes it. `info` dumps the header, section table, and recomputed
+// `write` generates the topology, batch-warms all-pairs routing (via the
+// hierarchical path, landmarks included), and serializes it. `info` dumps
+// the header, section table, and recomputed
 // checksums. `verify` regenerates the topology from the flags, recomputes
 // the full warm-up from scratch, and byte-compares every per-source row
 // against the snapshot — the strong form of the round-trip guarantee the
@@ -99,7 +100,12 @@ AsTopology make_topology(const Args& args) {
 int cmd_write(const Args& args) {
   const AsTopology topo = make_topology(args);
   RoutingTable table(topo);
-  table.warm_all();
+  // Hierarchical warm (byte-identical to warm_all; `verify` recomputes
+  // the flat warm and diffs, so the claim is checked end to end) plus the
+  // ALT landmark tables, so the file carries the v2 sections and a load
+  // skips the landmark Dijkstras too.
+  table.warm_all_hierarchical();
+  table.ensure_landmarks();
   std::string error;
   if (!snapshot::write(topo, table, args.file, &error)) {
     std::fprintf(stderr, "write failed: %s\n", error.c_str());
