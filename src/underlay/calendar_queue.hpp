@@ -42,13 +42,22 @@ class CalendarQueue {
 
   /// `max_weight` is the largest edge latency; `max_pushes` bounds the
   /// number of pushes (improving relaxations <= directed edge count).
-  void reset(double max_weight, std::size_t max_pushes) {
+  /// `first_distance` must be the distance of the first push (0 for a
+  /// fresh Dijkstra; the seed offset when resuming one, as the
+  /// hierarchical region runs do). The cursor starts on that absolute
+  /// bucket: seeding it at 0 while the first key lands in bucket >=
+  /// kBuckets would leave the cursor lagging the true bucket index by a
+  /// multiple of kBuckets forever, so pushes into the bucket currently
+  /// being drained would miss the `bucket_abs != cursor_` check and be
+  /// popped a full lap late, out of order.
+  void reset(double max_weight, std::size_t max_pushes,
+             double first_distance = 0.0) {
     if (pool_.size() < max_pushes + 1) pool_.resize(max_pushes + 1);
     pool_used_ = 0;
     std::memset(head_, 0xFF, sizeof(head_));
     std::memset(occupied_, 0, sizeof(occupied_));
     inv_width_ = max_weight > 0.0 ? double(kBuckets / 2) / max_weight : 1.0;
-    cursor_ = 0;
+    cursor_ = static_cast<std::uint64_t>(first_distance * inv_width_);
     count_ = 0;
     pending_.clear();
     pending_at_ = 0;

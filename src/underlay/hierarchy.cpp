@@ -105,8 +105,12 @@ inline void fold_star(const HierarchyPlan::StarEdge& se, sim::SimTime* dist,
 void run_region(const RegionCsr& r, std::uint32_t seed_local,
                 const AsTopology::RouterCsr& g, sim::SimTime* dist,
                 RoutingTable::DestEntry* row, CalendarQueue& queue) {
-  queue.reset(g.max_weight, r.edge_count() + 1);
-  queue.push(dist[r.node_global[seed_local]], seed_local);
+  // The seed offset (the attachment's already-settled distance) can sit
+  // an arbitrary number of bucket laps past 0, so the queue's cursor must
+  // start on the seed's absolute bucket — see CalendarQueue::reset.
+  const sim::SimTime seed_dist = dist[r.node_global[seed_local]];
+  queue.reset(g.max_weight, r.edge_count() + 1, seed_dist);
+  queue.push(seed_dist, seed_local);
   while (queue.size() != 0) {
     const CalendarQueue::Slot top = queue.pop();
     const std::uint32_t u_local = top.node;
@@ -150,7 +154,7 @@ bool record_region(const RegionCsr& r, std::uint32_t seed_local,
   prev_edge.assign(m, kNone);
   prev_parent.assign(m, kNone);
   tau[seed_local] = seed_value;
-  queue.reset(g.max_weight, r.edge_count() + 1);
+  queue.reset(g.max_weight, r.edge_count() + 1, seed_value);
   queue.push(seed_value, seed_local);
   while (queue.size() != 0) {
     const CalendarQueue::Slot top = queue.pop();
@@ -844,7 +848,15 @@ class RowArenaPool {
 
   std::unique_ptr<RoutingTable::DestEntry[]> take(std::size_t count) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (arena_ == nullptr || count_ != count) return nullptr;
+    if (arena_ == nullptr) return nullptr;
+    if (count_ != count) {
+      // Topology size changed: the retired image can never match a take
+      // again, so release it now instead of stranding a multi-GB mapping
+      // until some same-sized warm happens to replace it.
+      arena_.reset();
+      count_ = 0;
+      return nullptr;
+    }
     count_ = 0;
     return std::move(arena_);
   }
@@ -855,6 +867,12 @@ class RowArenaPool {
     std::lock_guard<std::mutex> lock(mu_);
     arena_ = std::move(arena);  // newest wins; the old image is released
     count_ = count;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    arena_.reset();
+    count_ = 0;
   }
 
  private:
@@ -868,6 +886,8 @@ class RowArenaPool {
 RoutingTable::~RoutingTable() {
   RowArenaPool::instance().put(std::move(row_arena_), row_arena_count_);
 }
+
+void RoutingTable::trim_row_arena_pool() { RowArenaPool::instance().clear(); }
 
 void RoutingTable::ensure_row_arena() {
   if (row_arena_ != nullptr) return;

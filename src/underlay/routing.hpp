@@ -100,6 +100,11 @@ class RoutingTable {
   /// next hierarchical warm of the same size reuses its already-faulted
   /// pages instead of paying the kernel's first-touch cost again.
   ~RoutingTable();
+  /// Releases the recycled row image (if any) back to the OS. The pool
+  /// otherwise keeps exactly one retired n² arena — ~3 GB at 10000
+  /// routers — for the next same-sized warm (a size-mismatched take also
+  /// frees it); call this when no further hierarchical warms are coming.
+  static void trim_row_arena_pool();
   RoutingTable(RoutingTable&&) = default;
 
   /// Per-destination aggregates for one source row. This is both the

@@ -53,6 +53,7 @@ RouterId AsTopology::add_router(AsId as, GeoPoint location) {
   routers_.push_back(router);
   adjacency_.emplace_back();
   csr_dirty_ = true;
+  hier_plan_ = nullptr;
   return router.id;
 }
 
@@ -67,6 +68,7 @@ void AsTopology::connect(RouterId a, RouterId b, LinkType type,
   as_hop_cache_.clear();
   csr_dirty_ = true;
   as_csr_dirty_ = true;
+  hier_plan_ = nullptr;
 }
 
 void AsTopology::connect_ases(AsId a, AsId b, LinkType type) {
@@ -261,8 +263,11 @@ const AsTopology::RouterCsr& AsTopology::csr() const {
 }
 
 std::shared_ptr<const HierarchyPlan> AsTopology::hierarchy_plan() const {
-  // A dirty CSR means the topology mutated since the plan was built; the
-  // plan bakes edge payloads, so it must be dropped with the stale view.
+  // The plan bakes edge payloads, so the mutators drop it eagerly (the
+  // CSR-dirty flag alone is not a safe staleness signal here: any csr()
+  // call — warm_all_hierarchical makes one before asking for the plan —
+  // clears it without touching the plan). This check only backstops the
+  // default-constructed state.
   if (csr_dirty_) hier_plan_ = nullptr;
   (void)csr();
   if (hier_plan_ == nullptr) hier_plan_ = HierarchyPlan::build(*this);

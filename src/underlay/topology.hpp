@@ -216,7 +216,9 @@ class AsTopology {
   mutable bool as_csr_dirty_ = true;
   // Lazy per-source AS-hop caches.
   mutable std::vector<std::vector<std::size_t>> as_hop_cache_;
-  // Lazily built contraction plan; dropped whenever the CSR is dirty.
+  // Lazily built contraction plan; dropped eagerly by every mutator
+  // (add_router/connect) — see hierarchy_plan() for why csr_dirty_ alone
+  // cannot signal staleness.
   mutable std::shared_ptr<const HierarchyPlan> hier_plan_;
 };
 

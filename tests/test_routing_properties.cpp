@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "underlay/calendar_queue.hpp"
 #include "underlay/hierarchy.hpp"
 #include "underlay/routing.hpp"
 
@@ -429,6 +430,98 @@ TEST(RoutingHierarchical, PlanContractsTransitStub) {
             topo.router_count());
   EXPECT_EQ(grouped + plan->inner_core().size() + plan->pendant_count(),
             topo.router_count());
+}
+
+TEST(CalendarQueue, SeededFarPastLapKeepsPopOrder) {
+  // Regression: a queue seeded at distance >= 2 * max_weight (absolute
+  // bucket >= 512) used to start its cursor at 0, leaving it lagging the
+  // true bucket index by a whole lap — a push into the bucket being
+  // drained then missed the pending-insert path and popped 512 buckets
+  // late, out of order. With max_weight = 1.0 the bucket width is 1/256:
+  // 3.0005 shares the seed's bucket, 3.01 lands two buckets later.
+  detail::CalendarQueue q;
+  q.reset(1.0, 8, 3.0);
+  q.push(3.0, 0);
+  EXPECT_EQ(0u, q.pop().node);
+  q.push(3.0005, 1);
+  q.push(3.01, 2);
+  EXPECT_EQ(1u, q.pop().node);  // pre-fix this popped node 2 first
+  EXPECT_EQ(2u, q.pop().node);
+  EXPECT_EQ(0u, q.size());
+}
+
+TEST(RoutingHierarchical, FarMiniGroupSubBucketEdgesMatchFlat) {
+  // Regression for the same cursor-lag bug end to end: a non-star (mini)
+  // stub group whose attachment sits 3 * max_weight away from the source
+  // forces phase C's run_region to seed its queue a full bucket lap past
+  // 0, and the group's sub-bucket-width edges (0.125 ms vs a 100/256 ms
+  // bucket) land in the very bucket being drained. The exact float tie at
+  // s4 (400.125 + 0.5 == 400.5 + 0.125) then resolves by settle order, so
+  // a lagged cursor flips the first-achiever parent and changes row
+  // bytes. All weights are binary fractions, so the ties are exact.
+  AsTopology topo;
+  const AsId transit = topo.add_as("transit", true, {0, 0});
+  const AsId stub = topo.add_as("stub", false, {0, 10});
+  std::vector<RouterId> t, s;
+  for (int i = 0; i < 4; ++i) t.push_back(topo.add_router(transit, {0, 0}));
+  for (int i = 0; i < 5; ++i) s.push_back(topo.add_router(stub, {0, 10}));
+  for (int i = 0; i < 3; ++i) {
+    topo.connect(t[i], t[i + 1], LinkType::kInternal, 100.0, 1000);
+  }
+  topo.connect(t[3], s[0], LinkType::kTransit, 100.0, 1000);
+  topo.connect(s[0], s[1], LinkType::kInternal, 0.125, 1000);
+  topo.connect(s[0], s[2], LinkType::kInternal, 0.5, 1000);
+  topo.connect(s[0], s[3], LinkType::kInternal, 0.25, 1000);
+  topo.connect(s[1], s[3], LinkType::kInternal, 0.125, 1000);
+  topo.connect(s[1], s[4], LinkType::kInternal, 0.5, 1000);
+  topo.connect(s[2], s[4], LinkType::kInternal, 0.125, 1000);
+  // The 100.25-via-s0 vs 100.125+0.125-via-s1 tie at s3 must fail the
+  // star-margin test, or phase C would stream offset-invariant folds and
+  // never exercise the far-seeded region Dijkstra.
+  const auto plan = HierarchyPlan::build(topo);
+  ASSERT_EQ(1u, plan->group_count());
+  ASSERT_EQ(0u, plan->star_group_count());
+  expect_hier_rows_identical(topo);
+}
+
+TEST(RoutingHierarchical, RewarmAfterMutationDropsStalePlan) {
+  // Regression: the contraction plan used to be invalidated only while
+  // csr_dirty_ was still set, but warm_all_hierarchical rebuilds the CSR
+  // (clearing the flag) before asking for the plan — so a warm after a
+  // mutation silently reused the plan baked from the old edges. Mutators
+  // must drop the plan eagerly.
+  AsTopology topo = AsTopology::transit_stub(2, 3, 0.4);
+  {
+    RoutingTable first(topo);
+    first.warm_all_hierarchical();  // caches the plan on the topology
+    ASSERT_NE(nullptr, topo.hierarchy_plan());
+  }
+  // Mutate both ways: a new router and a cross-stub shortcut that
+  // reroutes traffic which previously crossed the transit core.
+  const RouterId extra = topo.add_router(topo.ases()[1].id, {0, 0});
+  topo.connect(extra, RouterId(0), LinkType::kInternal, 0.25, 1000);
+  topo.connect(RouterId(2),
+               RouterId(static_cast<std::uint32_t>(topo.router_count() - 2)),
+               LinkType::kPeering, 0.5, 1000);
+  expect_hier_rows_identical(topo);
+}
+
+TEST(RoutingHierarchical, ArenaPoolSizeMismatchAndTrim) {
+  // The recycler keeps one retired row image; a differently sized warm
+  // must release it (not strand it), and trim must be callable anytime.
+  const AsTopology small = AsTopology::transit_stub(2, 2, 0.0);
+  const AsTopology large = AsTopology::transit_stub(2, 4, 0.0);
+  {
+    RoutingTable t(small);
+    t.warm_all_hierarchical();
+  }  // retires small's arena to the pool
+  {
+    RoutingTable t(large);
+    t.warm_all_hierarchical();  // mismatched take frees the small image
+  }
+  RoutingTable::trim_row_arena_pool();
+  expect_hier_rows_identical(small);  // fresh arena path still correct
+  RoutingTable::trim_row_arena_pool();
 }
 
 TEST(RoutingAlt, LowerBoundNeverExceedsTrueDistance) {
